@@ -1,0 +1,292 @@
+"""Benches for the paper's named extensions (Sections 3.4, 3.8, 7).
+
+* **pipeline merging** — concurrent conditions sharing common
+  algorithms ("the sensor manager can attempt to improve performance by
+  combining the pipelines that use common algorithms");
+* **self-tuning conditions** — threshold adaptation from application
+  false-positive feedback;
+* **FPGA hub** — the future-work prototype: the siren condition on a
+  few-mW fabric instead of the LM4F120;
+* **link bandwidth** — what the debug UART does to audio batching.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once, save_artifact
+from repro.api.compile import compile_pipeline
+from repro.apps import (
+    HeadbuttApp,
+    MusicJournalApp,
+    PhraseDetectionApp,
+    SirenDetectorApp,
+    StepsApp,
+    TransitionsApp,
+)
+from repro.eval.report import render_table
+from repro.hub.fpga import ICE40_CLASS, select_processor
+from repro.hub.link import I2C_FAST_MODE, UART_DEBUG
+from repro.hub.mcu import LM4F120, MSP430
+from repro.hub.merge import merge_programs, merged_cycles_per_second
+from repro.il.validate import validate_program
+from repro.sim import Batching, Sidewinder
+
+
+def test_pipeline_merging_savings(benchmark):
+    """Hub load with and without merging, for realistic app mixes."""
+    def compute():
+        mixes = {
+            "music + phrase": (MusicJournalApp, PhraseDetectionApp),
+            "steps + transitions + headbutts": (
+                StepsApp, TransitionsApp, HeadbuttApp,
+            ),
+            "all six": (
+                StepsApp, TransitionsApp, HeadbuttApp,
+                SirenDetectorApp, MusicJournalApp, PhraseDetectionApp,
+            ),
+        }
+        rows = []
+        for name, apps in mixes.items():
+            programs = [
+                compile_pipeline(cls().build_wakeup_pipeline()) for cls in apps
+            ]
+            separate_nodes = sum(len(p) for p in programs)
+            separate_cycles = sum(
+                validate_program(p).total_cycles_per_second for p in programs
+            )
+            merged = merge_programs(programs)
+            merged_cycles = merged_cycles_per_second(merged)
+            rows.append(
+                (
+                    name,
+                    f"{separate_nodes} -> {merged.node_count}",
+                    f"{separate_cycles / 1e6:.2f}M",
+                    f"{merged_cycles / 1e6:.2f}M",
+                    f"{1 - merged_cycles / separate_cycles:.0%}",
+                )
+            )
+        return rows
+
+    rows = run_once(benchmark, compute)
+    save_artifact(
+        "ablation_merge",
+        render_table(
+            ["condition mix", "nodes", "cycles/s apart", "merged", "saved"],
+            rows,
+            title="Extension: pipeline merging across concurrent conditions",
+        ),
+    )
+    saved = {row[0]: float(row[4].rstrip("%")) for row in rows}
+    # Music and phrase share their whole feature front end.
+    assert saved["music + phrase"] >= 40.0
+    # Disjoint accel apps share nothing: no harm, no gain.
+    assert saved["steps + transitions + headbutts"] == 0.0
+
+
+def test_adaptive_tuning(benchmark):
+    """Self-tuning a deliberately loose condition recovers most of the
+    energy a hand-tuned condition would have saved."""
+    from tests.unit.test_adaptive import SpikeApp, spike_trace
+    from repro.sim import AdaptiveSidewinder
+
+    def compute():
+        trace = spike_trace(duration=600.0, seed=5)
+        static = Sidewinder().run(SpikeApp(), trace)
+        config = AdaptiveSidewinder(epochs=5)
+        adaptive = config.run(SpikeApp(), trace)
+        return static, adaptive, config.last_reports
+
+    static, adaptive, reports = run_once(benchmark, compute)
+    lines = ["Extension: self-tuning wake-up condition (spike scenario)"]
+    lines.append(
+        f"  static condition:   {static.average_power_mw:6.1f} mW, "
+        f"recall {static.recall:.0%}"
+    )
+    lines.append(
+        f"  adaptive condition: {adaptive.average_power_mw:6.1f} mW, "
+        f"recall {adaptive.recall:.0%}"
+    )
+    for report in reports:
+        lines.append(
+            f"  epoch {report.epoch}: threshold {report.threshold:5.2f} -> "
+            f"{report.new_threshold:5.2f}, wakes {report.wake_events:3d}, "
+            f"FP rate {report.false_positive_rate:.0%}"
+        )
+    save_artifact("ablation_adaptive", "\n".join(lines))
+    assert adaptive.recall == 1.0
+    assert adaptive.average_power_mw < static.average_power_mw
+    assert reports[-1].false_positive_rate < reports[0].false_positive_rate
+
+
+def test_fpga_hub(benchmark, audio_traces):
+    """The future-work FPGA prototype: siren detection without the
+    LM4F120 tax."""
+    def compute():
+        app = SirenDetectorApp()
+        graph = validate_program(compile_pipeline(app.build_wakeup_pipeline()))
+        placed = select_processor(graph, (MSP430, ICE40_CLASS, LM4F120))
+        stock = [Sidewinder().run(SirenDetectorApp(), t) for t in audio_traces]
+        fpga = [
+            Sidewinder(catalog=(MSP430, ICE40_CLASS, LM4F120)).run(
+                SirenDetectorApp(), t
+            )
+            for t in audio_traces
+        ]
+        return placed, stock, fpga
+
+    placed, stock, fpga = run_once(benchmark, compute)
+    mean = lambda rs: sum(r.average_power_mw for r in rs) / len(rs)
+    save_artifact(
+        "ablation_fpga",
+        "Extension: FPGA sensor hub (siren detector, 3 audio traces)\n"
+        f"  placement with FPGA in catalog: {placed.name}\n"
+        f"  MCU-only Sidewinder:  {mean(stock):6.1f} mW (LM4F120)\n"
+        f"  FPGA Sidewinder:      {mean(fpga):6.1f} mW ({placed.name})\n"
+        f"  saving:               {mean(stock) - mean(fpga):6.1f} mW",
+    )
+    assert placed is ICE40_CLASS
+    assert mean(fpga) < mean(stock) - 35.0  # most of the 41.9 mW tax
+    assert all(r.recall == 1.0 for r in fpga)
+
+
+def test_concurrent_applications(benchmark, robot_traces, audio_traces):
+    """Multiple concurrent applications on one shared device versus one
+    device each (Section 7 future work)."""
+    from repro.sim import ConcurrentSidewinder
+
+    def compute():
+        rows = []
+        for label, apps, trace in [
+            (
+                "3 accel apps, group-1 robot run",
+                [StepsApp(), TransitionsApp(), HeadbuttApp()],
+                robot_traces[0],
+            ),
+            (
+                "3 audio apps, office trace",
+                [SirenDetectorApp(), MusicJournalApp(), PhraseDetectionApp()],
+                audio_traces[0],
+            ),
+        ]:
+            outcome = ConcurrentSidewinder(merge=True).run(apps, trace)
+            separate = sum(
+                Sidewinder().run(type(app)(), trace).average_power_mw
+                for app in apps
+            )
+            min_recall = min(r.recall for r in outcome.per_app)
+            rows.append(
+                (
+                    label,
+                    f"{outcome.device_power_mw:.1f}",
+                    f"{separate:.1f}",
+                    f"{outcome.shared_nodes}",
+                    f"{min_recall:.0%}",
+                )
+            )
+        return rows
+
+    rows = run_once(benchmark, compute)
+    save_artifact(
+        "ablation_concurrent",
+        render_table(
+            ["scenario", "shared device (mW)", "separate devices (mW)",
+             "merged nodes", "min recall"],
+            rows,
+            title="Extension: concurrent applications on one device",
+        ),
+    )
+    for row in rows:
+        assert float(row[1]) < float(row[2])  # sharing always wins
+        assert row[4] == "100%"
+
+
+def test_delivery_options(benchmark, audio_traces):
+    """Section 3.8's data-access question: what each wake-up payload
+    costs on the hub-to-phone link."""
+    from repro.api.compile import compile_pipeline
+    from repro.hub.delivery import (
+        RAW_DELIVERY,
+        TRIGGER_DELIVERY,
+        DeliveryMode,
+        DeliverySpec,
+        delivery_latency_s,
+        payload_bytes,
+    )
+    from repro.il.validate import validate_program
+
+    def compute():
+        graph = validate_program(
+            compile_pipeline(MusicJournalApp().build_wakeup_pipeline())
+        )
+        # Node 2 is the amplitude-variance feature stream.
+        feature_spec = DeliverySpec(DeliveryMode.NODE, node_id=2, buffer_s=4.0)
+        rows = []
+        for label, spec in [
+            ("raw buffer (paper default)", RAW_DELIVERY),
+            ("trigger item only", TRIGGER_DELIVERY),
+            ("feature stream (amp variance)", feature_spec),
+        ]:
+            rows.append(
+                (
+                    label,
+                    f"{payload_bytes(spec, graph):.0f}",
+                    f"{delivery_latency_s(spec, graph, UART_DEBUG) * 1000:.1f}",
+                )
+            )
+        return rows
+
+    rows = run_once(benchmark, compute)
+    save_artifact(
+        "ablation_delivery",
+        render_table(
+            ["delivery option", "payload (bytes)", "UART latency (ms)"],
+            rows,
+            title="Extension: wake-up payload options (music condition)",
+        ),
+    )
+    payloads = {row[0]: float(row[1]) for row in rows}
+    assert payloads["trigger item only"] < 10
+    assert payloads["raw buffer (paper default)"] > 1000 * payloads["trigger item only"]
+    assert (
+        payloads["feature stream (amp variance)"]
+        < 0.01 * payloads["raw buffer (paper default)"]
+    )
+
+
+def test_link_bandwidth(benchmark, audio_traces, robot_traces):
+    """Section 3.4's bus constraint, quantified for batching."""
+    def compute():
+        audio = audio_traces[0]
+        robot = robot_traces[0]
+        rows = []
+        for label, app, trace, link in [
+            ("accel batch, ideal link", HeadbuttApp(), robot, None),
+            ("accel batch, debug UART", HeadbuttApp(), robot, UART_DEBUG),
+            ("audio batch, ideal link", SirenDetectorApp(), audio, None),
+            ("audio batch, debug UART", SirenDetectorApp(), audio, UART_DEBUG),
+            ("audio batch, I2C fast", SirenDetectorApp(), audio, I2C_FAST_MODE),
+        ]:
+            result = Batching(10.0, link=link).run(app, trace)
+            rows.append((label, f"{result.average_power_mw:.1f}"))
+        return rows
+
+    rows = run_once(benchmark, compute)
+    save_artifact(
+        "ablation_link",
+        render_table(
+            ["scenario", "power (mW)"],
+            rows,
+            title="Extension: hub-to-phone link bandwidth and batching",
+        ),
+    )
+    values = dict(rows)
+    assert float(values["accel batch, debug UART"]) == pytest.approx(
+        float(values["accel batch, ideal link"]), rel=0.05
+    )
+    assert (
+        float(values["audio batch, debug UART"])
+        > 1.3 * float(values["audio batch, ideal link"])
+    )
+    assert (
+        float(values["audio batch, I2C fast"])
+        < float(values["audio batch, debug UART"])
+    )

@@ -1,0 +1,108 @@
+"""Ablation: MCU sizing (paper Section 3.8, "Sizing").
+
+The paper raises MCU sizing as an open vendor question: the MSP430 is
+an order of magnitude cheaper but cannot run audio-rate FFTs.  This
+bench quantifies both sides:
+
+* feasibility/placement of every application's condition per MCU;
+* the energy cost of shipping only the big MCU (everything pays the
+  LM4F120 tax) versus only the small one (the siren detector simply
+  cannot be offloaded and must fall back to batching on the phone).
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once, save_artifact
+from repro.api.compile import compile_pipeline
+from repro.apps import all_applications
+from repro.errors import FeasibilityError
+from repro.eval.report import render_table
+from repro.hub.feasibility import analyze, select_mcu
+from repro.hub.mcu import LM4F120, MSP430
+from repro.il.validate import validate_program
+from repro.sim import Batching, Sidewinder
+from repro.traces.library import robot_corpus
+
+
+def test_mcu_placement_table(benchmark):
+    def compute():
+        rows = []
+        for app in all_applications():
+            graph = validate_program(compile_pipeline(app.build_wakeup_pipeline()))
+            small = analyze(graph, MSP430)
+            big = analyze(graph, LM4F120)
+            chosen = select_mcu(graph)
+            rows.append(
+                (
+                    app.name,
+                    f"{small.utilization:.1%}",
+                    "yes" if small.feasible else "NO",
+                    f"{big.utilization:.1%}",
+                    chosen.name,
+                )
+            )
+        return rows
+
+    rows = run_once(benchmark, compute)
+    save_artifact(
+        "ablation_mcu_placement",
+        render_table(
+            ["app", "MSP430 load", "MSP430 ok", "LM4F120 load", "placed on"],
+            rows,
+            title="Ablation: wake-up condition load and MCU placement",
+        ),
+    )
+    placement = {row[0]: row[4] for row in rows}
+    assert placement["sirens"] == "TI LM4F120"
+    assert all(
+        mcu == "TI MSP430" for app, mcu in placement.items() if app != "sirens"
+    )
+
+
+def test_big_mcu_only_tax(benchmark, robot_traces):
+    """Shipping only the LM4F120: every app pays ~46 mW extra hub power."""
+    trace = robot_traces[0]
+    from repro.apps import HeadbuttApp
+
+    def compute():
+        both = Sidewinder().run(HeadbuttApp(), trace).average_power_mw
+        big_only = Sidewinder(catalog=(LM4F120,)).run(
+            HeadbuttApp(), trace
+        ).average_power_mw
+        return both, big_only
+
+    both, big_only = run_once(benchmark, compute)
+    tax = LM4F120.awake_power_mw - MSP430.awake_power_mw
+    save_artifact(
+        "ablation_mcu_big_only",
+        "Ablation: LM4F120-only hub (headbutts, one group-1 run)\n"
+        f"  MSP430+LM4F120 catalog: {both:6.1f} mW\n"
+        f"  LM4F120 only:           {big_only:6.1f} mW\n"
+        f"  expected MCU tax:       {tax:6.1f} mW",
+    )
+    assert big_only == pytest.approx(both + tax, abs=0.5)
+
+
+def test_small_mcu_only_strands_sirens(benchmark, audio_traces):
+    """Shipping only the MSP430: the siren condition cannot be placed,
+    and the best fallback (batching) costs far more than Sidewinder."""
+    from repro.apps import SirenDetectorApp
+    trace = audio_traces[0]
+
+    def compute():
+        app = SirenDetectorApp()
+        with pytest.raises(FeasibilityError):
+            Sidewinder(catalog=(MSP430,)).run(app, trace)
+        fallback = Batching(10.0).run(app, trace).average_power_mw
+        proper = Sidewinder().run(app, trace).average_power_mw
+        return fallback, proper
+
+    fallback, proper = run_once(benchmark, compute)
+    save_artifact(
+        "ablation_mcu_small_only",
+        "Ablation: MSP430-only hub (sirens, office trace)\n"
+        "  Sidewinder: infeasible (FFT load exceeds the MSP430 budget)\n"
+        f"  batching fallback: {fallback:6.1f} mW\n"
+        f"  two-MCU Sidewinder: {proper:6.1f} mW",
+    )
+    assert fallback > proper

@@ -1,0 +1,142 @@
+"""Ablation: the recall/power threshold trade-off (Sections 2.1.2, 5.3).
+
+Two sweeps:
+
+* the Predefined Activity calibration the paper performed ("we explored
+  the parameter space... values that minimize power consumption, while
+  maintaining 100% detection recall") — power falls as the trigger gets
+  lazier until recall collapses;
+* a conservativeness sweep on a Sidewinder wake-up condition (the
+  headbutt threshold), quantifying how much energy the prescribed
+  high-recall margin costs.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once, save_artifact
+from repro.api.branch import ProcessingBranch
+from repro.api.pipeline import ProcessingPipeline
+from repro.api.stubs import MaxThreshold, MovingAverage
+from repro.apps import HeadbuttApp, StepsApp, TransitionsApp
+from repro.eval.report import render_table
+from repro.sensors.channels import ACC_Y
+from repro.sim.calibrate import calibrate_predefined_activity, sweep_recall_power
+
+
+def test_pa_motion_calibration_sweep(benchmark, robot_traces):
+    pairs = [
+        (cls(), trace)
+        for cls in (StepsApp, TransitionsApp, HeadbuttApp)
+        for trace in robot_traces[:6]
+    ]
+    grid = [0.3, 0.5, 0.7, 0.9, 1.1, 1.4, 1.8]
+
+    def compute():
+        return calibrate_predefined_activity("motion", grid, pairs)
+
+    result = run_once(benchmark, compute)
+    rows = [
+        (f"{p.threshold:.2f}", f"{p.min_recall:.2f}", f"{p.mean_power_mw:.1f}")
+        for p in result.points
+    ]
+    save_artifact(
+        "ablation_pa_motion_sweep",
+        render_table(
+            ["threshold", "min recall", "mean power (mW)"],
+            rows,
+            title=(
+                "Ablation: significant-motion threshold sweep "
+                f"(best with 100% recall: {result.best_threshold})"
+            ),
+        ),
+    )
+    # Power decreases monotonically with the threshold...
+    powers = [p.mean_power_mw for p in result.points]
+    assert all(a >= b - 0.5 for a, b in zip(powers, powers[1:]))
+    # ...until recall collapses past the calibrated optimum.
+    assert result.points[-1].min_recall < 1.0
+    assert result.best_threshold < grid[-1]
+
+
+def test_sidewinder_conservativeness_sweep(benchmark, robot_traces):
+    """How much does the high-recall margin on the headbutt wake-up
+    condition cost?  (Answer: almost nothing — which is why the paper
+    recommends conservative conditions.)"""
+    from repro.sim import Sidewinder
+
+    class TunableHeadbutt(HeadbuttApp):
+        def __init__(self, wake_threshold: float):
+            self.wake_threshold = wake_threshold
+
+        def build_wakeup_pipeline(self):
+            pipeline = ProcessingPipeline()
+            pipeline.add(
+                ProcessingBranch(ACC_Y)
+                .add(MovingAverage(3))
+                .add(MaxThreshold(self.wake_threshold))
+            )
+            return pipeline
+
+    traces = [t for t in robot_traces if t.metadata["group"] == 2]
+    thresholds = [-2.0, -2.5, -3.0, -3.5, -4.0, -4.5, -5.0]
+
+    def compute():
+        rows = []
+        for threshold in thresholds:
+            app = TunableHeadbutt(threshold)
+            results = [Sidewinder().run(app, t) for t in traces]
+            rows.append(
+                (
+                    threshold,
+                    min(r.recall for r in results),
+                    sum(r.average_power_mw for r in results) / len(results),
+                )
+            )
+        return rows
+
+    rows = run_once(benchmark, compute)
+    save_artifact(
+        "ablation_sw_conservativeness",
+        render_table(
+            ["wake threshold (m/s^2)", "min recall", "mean power (mW)"],
+            [(f"{t:.2f}", f"{r:.2f}", f"{p:.1f}") for t, r, p in rows],
+            title="Ablation: headbutt wake-up condition conservativeness",
+        ),
+    )
+    by_threshold = {t: (r, p) for t, r, p in rows}
+    # The conservative setting (loose threshold, -2.0) keeps recall 1.0.
+    assert by_threshold[-2.0][0] == 1.0
+    # An over-tight threshold starts missing headbutts (the smoothed
+    # dip depth varies between roughly -4.5 and -5.5 m/s^2).
+    assert by_threshold[-5.0][0] < 1.0
+    # And the conservative margin costs only a little energy.
+    assert by_threshold[-2.0][1] < by_threshold[-3.5][1] * 1.5
+
+
+def test_pa_sound_sweep(benchmark, audio_traces):
+    from repro.apps import MusicJournalApp, PhraseDetectionApp, SirenDetectorApp
+    pairs = [
+        (cls(), trace)
+        for cls in (SirenDetectorApp, MusicJournalApp, PhraseDetectionApp)
+        for trace in audio_traces
+    ]
+    grid = [0.01, 0.02, 0.03, 0.06]
+
+    def compute():
+        return sweep_recall_power("sound", grid, pairs)
+
+    curve = run_once(benchmark, compute)
+    rows = [
+        (f"{t:.3f}", f"{curve[t].min_recall:.2f}", f"{curve[t].mean_power_mw:.1f}")
+        for t in grid
+    ]
+    save_artifact(
+        "ablation_pa_sound_sweep",
+        render_table(
+            ["threshold", "min recall", "mean power (mW)"],
+            rows,
+            title="Ablation: significant-sound threshold sweep",
+        ),
+    )
+    assert curve[0.01].mean_power_mw > curve[0.03].mean_power_mw
+    assert curve[0.03].min_recall == 1.0

@@ -1,0 +1,71 @@
+"""Figure 5: power relative to Oracle on the synthetic robot traces.
+
+Regenerates the full bar chart — Always Awake, Duty Cycling at
+2/5/10/20/30 s, Batching at 10 s, Predefined Activity and Sidewinder,
+each relative to Oracle, for the three applications across the three
+activity groups — and checks the orderings the paper reads off it.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once, save_artifact
+from repro.eval.figures import figure5_series
+from repro.eval.report import render_figure5
+
+APPS = ("steps", "transitions", "headbutts")
+
+
+def test_figure5(benchmark, robot_traces):
+    series, matrix = run_once(benchmark, lambda: figure5_series(traces=robot_traces))
+    save_artifact("figure5", render_figure5(series))
+    from benchmarks.conftest import RESULTS_DIR
+    from repro.eval.export import write_results_csv, write_series_json
+    write_results_csv(matrix.results, RESULTS_DIR / "figure5_raw.csv")
+    write_series_json(series, RESULTS_DIR / "figure5.json",
+                      meta={"unit": "power relative to Oracle"})
+
+    for group, per_app in series.items():
+        for app, bars in per_app.items():
+            # Sidewinder is the closest to Oracle of every mechanism
+            # that actually keeps 100% recall (long duty-cycling
+            # intervals can undercut it, but only by missing most
+            # events — the calibration caveat of Figure 5's caption).
+            full_recall = {
+                k: v for k, v in bars.items() if not k.startswith("DC-")
+            }
+            assert bars["Sw"] == min(full_recall.values()), (group, app)
+            # Always Awake is (near) the ceiling; only the degenerate
+            # 2 s duty cycle can exceed it.
+            ceiling = {k: v for k, v in bars.items() if k not in ("DC-2",)}
+            assert bars["AA"] == max(ceiling.values()), (group, app)
+            # The paper's Section 5.4 anomaly: 2 s duty cycling costs
+            # more than staying awake.
+            assert bars["DC-2"] > bars["AA"], (group, app)
+            # Longer sleep intervals save more power.
+            assert bars["DC-2"] > bars["DC-10"] > bars["DC-30"], (group, app)
+
+    # PA is competitive for the common event (steps) but pays multiples
+    # for the rare ones (paper: 4.7x for headbutts, 6.1x transitions).
+    for group in series:
+        pa_over_sw_steps = series[group]["steps"]["PA"] / series[group]["steps"]["Sw"]
+        pa_over_sw_hb = (
+            series[group]["headbutts"]["PA"] / series[group]["headbutts"]["Sw"]
+        )
+        assert pa_over_sw_hb > 1.5 * pa_over_sw_steps, group
+        assert pa_over_sw_hb > 3.0, group
+
+    # Higher activity compresses every ratio toward 1 (less to save).
+    for app in APPS:
+        assert series[1][app]["AA"] > series[3][app]["AA"], app
+
+
+def test_figure5_recall_calibration(benchmark, figure5):
+    """All approaches except duty cycling are calibrated to 100% recall
+    (Figure 5's caption premise)."""
+    _, matrix = run_once(benchmark, lambda: figure5)
+    for result in matrix.results:
+        if result.config_name.startswith("duty_cycling"):
+            continue
+        assert result.recall == 1.0, (
+            result.config_name, result.app_name, result.trace_name,
+        )

@@ -1,0 +1,60 @@
+"""Interpreter throughput: how fast the simulated hub chews sensor data.
+
+Not a paper experiment, but a practical property of the reproduction:
+trace-driven studies are only usable if the interpreter runs far faster
+than real time.  This bench measures samples/second through two
+representative conditions and asserts a comfortable real-time margin.
+"""
+
+from benchmarks.conftest import run_once, save_artifact
+from repro.api.compile import compile_pipeline
+from repro.apps import SirenDetectorApp, StepsApp
+from repro.il.validate import validate_program
+from repro.sim.simulator import run_wakeup_condition
+from repro.traces.audio import AudioEnvironment, AudioTraceConfig, generate_audio_trace
+from repro.traces.robot import RobotRunConfig, generate_robot_run
+
+
+def test_accel_condition_throughput(benchmark):
+    trace = generate_robot_run(RobotRunConfig(group=2, duration_s=600.0, seed=1))
+    graph = validate_program(
+        compile_pipeline(StepsApp().build_wakeup_pipeline())
+    )
+
+    def run():
+        return run_wakeup_condition(graph, trace)
+
+    benchmark(run)
+    seconds = benchmark.stats["mean"]
+    realtime_factor = trace.duration / seconds
+    save_artifact(
+        "throughput_accel",
+        f"Interpreter throughput, steps condition (50 Hz accel):\n"
+        f"  {trace.duration:g}s of data in {seconds * 1000:.1f} ms "
+        f"({realtime_factor:,.0f}x real time)",
+    )
+    assert realtime_factor > 100
+
+
+def test_audio_condition_throughput(benchmark):
+    trace = generate_audio_trace(
+        AudioTraceConfig(AudioEnvironment.OFFICE, duration_s=120.0, seed=1)
+    )
+    graph = validate_program(
+        compile_pipeline(SirenDetectorApp().build_wakeup_pipeline())
+    )
+
+    def run():
+        return run_wakeup_condition(graph, trace)
+
+    benchmark(run)
+    seconds = benchmark.stats["mean"]
+    realtime_factor = trace.duration / seconds
+    save_artifact(
+        "throughput_audio",
+        f"Interpreter throughput, siren condition (8 kHz audio, "
+        f"windowed FFTs):\n"
+        f"  {trace.duration:g}s of data in {seconds * 1000:.1f} ms "
+        f"({realtime_factor:,.0f}x real time)",
+    )
+    assert realtime_factor > 20

@@ -1,0 +1,69 @@
+"""Step-count accuracy across sensing configurations.
+
+The steps application does not just detect walking — it counts steps
+(the paper bases it on Libby's footstep-detection method).  Recall on
+walking bouts hides how many individual steps a configuration loses, so
+this bench reports the counting error directly: Always Awake and
+Batching see every sample (exact counts), Sidewinder's wake-ups cover
+the bouts almost entirely, and duty cycling misses every step that
+falls into a sleep interval — the quantity behind Figure 6's steps
+curve.
+"""
+
+from benchmarks.conftest import run_once, save_artifact
+from repro.apps import StepsApp
+from repro.eval.report import render_table
+from repro.sim import AlwaysAwake, Batching, DutyCycling, Sidewinder
+
+
+def _true_steps(trace):
+    return sum(
+        len(event.meta("step_times"))
+        for event in trace.events_with_label("walking")
+    )
+
+
+def test_step_count_accuracy(benchmark, robot_traces):
+    group2 = [t for t in robot_traces if t.metadata.get("group") == 2]
+
+    def compute():
+        configs = [
+            AlwaysAwake(),
+            Batching(10.0),
+            Sidewinder(),
+            DutyCycling(5.0),
+            DutyCycling(10.0),
+            DutyCycling(30.0),
+        ]
+        rows = []
+        for config in configs:
+            counted, actual = 0, 0
+            for trace in group2:
+                result = config.run(StepsApp(), trace)
+                counted += StepsApp.count_steps(result.detections)
+                actual += _true_steps(trace)
+            rows.append(
+                (config.name, actual, counted, f"{counted / actual - 1:+.1%}")
+            )
+        return rows
+
+    rows = run_once(benchmark, compute)
+    save_artifact(
+        "step_count_accuracy",
+        render_table(
+            ["configuration", "true steps", "counted", "error"],
+            rows,
+            title="Step-count accuracy (group-2 robot runs)",
+        ),
+    )
+    by_config = {row[0]: row[2] / row[1] for row in rows}
+
+    # Full-visibility configurations count within a few percent.
+    assert abs(by_config["always_awake"] - 1.0) < 0.05
+    assert abs(by_config["batching_10s"] - 1.0) < 0.10
+    # Sidewinder's wake-ups cover the walking bouts nearly completely.
+    assert abs(by_config["sidewinder"] - 1.0) < 0.10
+    # Duty cycling undercounts in proportion to its sleep share, and
+    # monotonically more with longer intervals.
+    assert by_config["duty_cycling_30s"] < by_config["duty_cycling_10s"]
+    assert by_config["duty_cycling_30s"] < 0.75

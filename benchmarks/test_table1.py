@@ -1,0 +1,28 @@
+"""Table 1: the Google Nexus 4 power profile.
+
+The profile is measured data embedded as the simulator's power model;
+this bench regenerates the table and pins the constants every other
+experiment depends on.
+"""
+
+from benchmarks.conftest import run_once, save_artifact
+from repro.eval.tables import build_table1
+from repro.eval.report import render_table1
+from repro.power.phone import NEXUS4
+
+
+def test_table1(benchmark):
+    rows = run_once(benchmark, build_table1)
+    save_artifact("table1", render_table1(rows))
+
+    values = {state: mw for state, mw, _ in rows}
+    assert values["Awake, running sensor-driven application"] == 323.0
+    assert values["Asleep"] == 9.7
+    assert values["Asleep-to-Awake Transition"] == 384.0
+    assert values["Awake-to-Asleep Transition"] == 341.0
+    # The structural facts the paper's Section 5 arguments rest on:
+    assert values["Asleep"] < values["Awake, running sensor-driven application"] / 30
+    assert values["Asleep-to-Awake Transition"] > values[
+        "Awake, running sensor-driven application"
+    ]
+    assert NEXUS4.transition_s == 1.0

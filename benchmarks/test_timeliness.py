@@ -1,0 +1,84 @@
+"""Timeliness: the latency cost behind Section 5.4's batching argument.
+
+"Batching achieves perfect recall, but requires long batching intervals
+to achieve large energy savings.  Therefore, this approach is not
+appropriate for applications with timeliness constraints. ... the user
+of a gesture recognition application would not be satisfied if the
+application detects the performed gesture after a delay of more than a
+couple of seconds."
+
+This bench turns that prose into numbers: mean detection-report latency
+versus average power for Sidewinder and for Batching across sleep
+intervals, on the transition application (brief, frequent events —
+the gesture-like case).  The paper's point falls out directly: by the
+time batching's power approaches Sidewinder's, its latency has blown
+far past "a couple of seconds", while Sidewinder reports immediately.
+"""
+
+from benchmarks.conftest import run_once, save_artifact
+from repro.apps import TransitionsApp
+from repro.eval.report import render_table
+from repro.sim import Batching, Sidewinder
+
+INTERVALS = (5.0, 10.0, 20.0, 30.0)
+
+
+def test_latency_power_tradeoff(benchmark, robot_traces):
+    group2 = [t for t in robot_traces if t.metadata.get("group") == 2]
+
+    def compute():
+        app = TransitionsApp()
+        rows = []
+        sw_power, sw_latency = [], []
+        for trace in group2:
+            events = app.events_of_interest(trace)
+            result = Sidewinder().run(app, trace)
+            sw_power.append(result.average_power_mw)
+            sw_latency.append(result.mean_latency_s(events, app.match_tolerance_s))
+        rows.append(
+            ("Sidewinder",
+             f"{sum(sw_power) / len(sw_power):.1f}",
+             f"{sum(sw_latency) / len(sw_latency):.2f}",
+             "1.00")
+        )
+        for interval in INTERVALS:
+            powers, latencies, recalls = [], [], []
+            for trace in group2:
+                events = app.events_of_interest(trace)
+                result = Batching(interval).run(app, trace)
+                powers.append(result.average_power_mw)
+                latencies.append(
+                    result.mean_latency_s(events, app.match_tolerance_s)
+                )
+                recalls.append(result.recall)
+            rows.append(
+                (f"Batching {interval:g}s",
+                 f"{sum(powers) / len(powers):.1f}",
+                 f"{sum(latencies) / len(latencies):.2f}",
+                 f"{min(recalls):.2f}")
+            )
+        return rows
+
+    rows = run_once(benchmark, compute)
+    save_artifact(
+        "timeliness",
+        render_table(
+            ["configuration", "power (mW)", "mean latency (s)", "min recall"],
+            rows,
+            title="Timeliness vs power (transitions app, group-2 robot runs)",
+        ),
+    )
+    values = {row[0]: (float(row[1]), float(row[2])) for row in rows}
+
+    # Sidewinder: immediate reports.
+    assert values["Sidewinder"][1] < 1.0
+
+    # Batching latency grows with the interval...
+    latencies = [values[f"Batching {i:g}s"][1] for i in INTERVALS]
+    assert all(a < b for a, b in zip(latencies, latencies[1:]))
+    # ...and already exceeds "a couple of seconds" well before its
+    # power reaches Sidewinder's.
+    for interval in INTERVALS:
+        power, latency = values[f"Batching {interval:g}s"]
+        if power <= 1.5 * values["Sidewinder"][0]:
+            assert latency > 2.0, interval

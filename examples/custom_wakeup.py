@@ -1,0 +1,117 @@
+"""Authoring a brand-new wake-up condition with the platform algorithms.
+
+The point of Sidewinder is that a developer can build conditions the
+manufacturer never anticipated, without writing MCU code.  This example
+invents a "device picked up off the table" detector:
+
+* while flat on a table, gravity sits on z (~9.81) and the device is
+  still;
+* a pickup tilts the device (z gravity component falls) *while* motion
+  energy rises.
+
+The condition uses two branches off different axes joined through band
+indicators and a ``minOf`` conjunction — entirely from the platform's
+predefined algorithms — and runs on the MSP430.
+
+Run:  python examples/custom_wakeup.py
+"""
+
+import numpy as np
+
+from repro.api import (
+    BandIndicator,
+    MinOf,
+    MinThreshold,
+    MovingAverage,
+    ProcessingBranch,
+    ProcessingPipeline,
+    SidewinderSensorManager,
+    Statistic,
+    Window,
+)
+from repro.api.listener import RecordingListener
+from repro.sensors.samples import Chunk
+
+
+def build_pickup_condition(manager: SidewinderSensorManager) -> ProcessingPipeline:
+    """Tilt (smoothed z leaves the flat band) AND motion (x std rises)."""
+    pipeline = ProcessingPipeline()
+    # Branch 1: smoothed z gravity component below 9.2 m/s^2 => tilted.
+    pipeline.add(
+        ProcessingBranch(manager.ACCELEROMETER_Z)
+        .add(MovingAverage(15))
+        .add(BandIndicator(-20.0, 9.2))
+    )
+    # Branch 2: short-window x-axis standard deviation above the
+    # stillness floor => the device is moving.
+    pipeline.add(
+        ProcessingBranch(manager.ACCELEROMETER_X)
+        .add(Window(15, hop=1))
+        .add(Statistic("std"))
+        .add(BandIndicator(0.3, 1e9))
+    )
+    # Both must hold simultaneously.
+    pipeline.add(MinOf())
+    pipeline.add(MinThreshold(1.0))
+    return pipeline
+
+
+def synthesize(rng, seconds, rate=50.0):
+    """A tabletop scene: stillness, then a pickup at t=6s."""
+    n = int(seconds * rate)
+    t = np.arange(n) / rate
+    x = rng.normal(0, 0.03, n)
+    z = 9.81 + rng.normal(0, 0.03, n)
+    pickup = (t >= 6.0) & (t < 7.5)
+    # Tilt: z gravity component eases toward 7 m/s^2.
+    z[pickup] -= 2.8 * np.sin(np.pi * (t[pickup] - 6.0) / 1.5)
+    z[t >= 7.5] -= 0.0
+    # Motion: handling jitter on x.
+    x[pickup] += rng.normal(0, 0.8, pickup.sum())
+    return t, x, z
+
+
+def main():
+    manager = SidewinderSensorManager()
+    listener = RecordingListener()
+    handle = manager.push(build_pickup_condition(manager), listener)
+
+    print("custom condition intermediate code:")
+    print(handle.intermediate_code)
+    print(f"placed on: {handle.mcu_name}")
+    print()
+
+    rng = np.random.default_rng(1)
+    t, x, z = synthesize(rng, seconds=12.0)
+    manager.hub.feed(
+        {
+            "ACC_X": Chunk.scalars(t, x, 50.0),
+            "ACC_Z": Chunk.scalars(t, z, 50.0),
+        }
+    )
+    if listener.events:
+        print(f"{len(listener.events)} wake-up events; first at "
+              f"t={listener.events[0].timestamp:.2f}s (pickup began at 6.0s)")
+    else:
+        print("no wake-ups (unexpected)")
+
+    # Counter-test: sliding the phone across the table (motion without
+    # tilt) must NOT wake the device.
+    quiet_listener = RecordingListener()
+    manager2 = SidewinderSensorManager()
+    manager2.push(build_pickup_condition(manager2), quiet_listener)
+    x2 = rng.normal(0, 0.8, 200)  # vigorous x motion
+    z2 = 9.81 + rng.normal(0, 0.05, 200)  # still flat
+    times = np.arange(200) / 50.0
+    manager2.hub.feed(
+        {
+            "ACC_X": Chunk.scalars(times, x2, 50.0),
+            "ACC_Z": Chunk.scalars(times, z2, 50.0),
+        }
+    )
+    print(f"slide-without-tilt wake-ups: {len(quiet_listener.events)} "
+          "(the conjunction filters pure motion)")
+
+
+if __name__ == "__main__":
+    main()

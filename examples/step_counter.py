@@ -1,0 +1,46 @@
+"""Step counting on a robot trace: Sidewinder versus the alternatives.
+
+Replays one synthetic AIBO run (group 2: 50% idle) through the step
+application under four sensing configurations and prints the paper's
+core trade-off: Sidewinder keeps perfect recall at a fraction of the
+energy.
+
+Run:  python examples/step_counter.py
+"""
+
+from repro.apps import StepsApp
+from repro.sim import AlwaysAwake, DutyCycling, Oracle, Sidewinder
+from repro.traces.robot import RobotRunConfig, generate_robot_run
+
+
+def main():
+    trace = generate_robot_run(RobotRunConfig(group=2, duration_s=600.0, seed=7))
+    true_steps = sum(
+        len(event.meta("step_times"))
+        for event in trace.events_with_label("walking")
+    )
+    print(f"trace: {trace.name} ({trace.duration:.0f}s, {true_steps} true steps)")
+    print()
+    print(f"{'configuration':<18s} {'power':>9s} {'recall':>7s} "
+          f"{'steps':>6s} {'wakeups':>8s}")
+
+    for config in (AlwaysAwake(), DutyCycling(10.0), Sidewinder(), Oracle()):
+        app = StepsApp()
+        result = config.run(app, trace)
+        counted = StepsApp.count_steps(result.detections)
+        print(
+            f"{result.config_name:<18s} {result.average_power_mw:7.1f}mW "
+            f"{result.recall:6.0%} {counted:6d} {result.wakeup_count:8d}"
+        )
+
+    print()
+    aa = AlwaysAwake().run(StepsApp(), trace).average_power_mw
+    oracle = Oracle().run(StepsApp(), trace).average_power_mw
+    sw = Sidewinder().run(StepsApp(), trace).average_power_mw
+    fraction = (aa - sw) / (aa - oracle)
+    print(f"Sidewinder achieves {fraction:.0%} of the possible savings "
+          f"(paper: 92.7-95.7% across the robot corpus).")
+
+
+if __name__ == "__main__":
+    main()

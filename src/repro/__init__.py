@@ -1,0 +1,49 @@
+"""Reproduction of Sidewinder (Liaqat et al., ASPLOS 2016).
+
+Sidewinder is a heterogeneous architecture for continuous mobile
+sensing: the platform ships common sensor-processing algorithms that run
+on a low-power sensor hub, and applications chain and parameterize them
+into custom *wake-up conditions* that wake the main processor only when
+events of interest occur.
+
+Package map:
+
+* :mod:`repro.api` — developer-facing API (pipelines, branches,
+  algorithm stubs, listeners, the sensor manager);
+* :mod:`repro.il` — the intermediate language decoupling platform from
+  hub hardware;
+* :mod:`repro.hub` — the hub runtime, MCU models, feasibility analysis;
+* :mod:`repro.algorithms` — the platform's processing algorithms;
+* :mod:`repro.sensors` — channels and sample containers;
+* :mod:`repro.power` — the Nexus 4 / MCU power models;
+* :mod:`repro.traces` — synthetic robot / human / audio trace substrate;
+* :mod:`repro.apps` — the paper's six applications;
+* :mod:`repro.sim` — the trace-driven simulator and its sensing
+  configurations (Always Awake, Duty Cycling, Batching, Predefined
+  Activity, Sidewinder, Oracle);
+* :mod:`repro.eval` — metrics and the table/figure builders.
+
+Quickstart::
+
+    from repro.api import (MinThreshold, MovingAverage, ProcessingBranch,
+                           ProcessingPipeline, SidewinderSensorManager,
+                           VectorMagnitude)
+    from repro.api.listener import RecordingListener
+
+    manager = SidewinderSensorManager()
+    pipeline = ProcessingPipeline()
+    for axis in (manager.ACCELEROMETER_X, manager.ACCELEROMETER_Y,
+                 manager.ACCELEROMETER_Z):
+        pipeline.add(ProcessingBranch(axis).add(MovingAverage(10)))
+    pipeline.add(VectorMagnitude())
+    pipeline.add(MinThreshold(15))
+    listener = RecordingListener()
+    handle = manager.push(pipeline, listener)
+    print(handle.intermediate_code)
+"""
+
+__version__ = "1.0.0"
+
+from repro.errors import SidewinderError
+
+__all__ = ["SidewinderError", "__version__"]

@@ -1,0 +1,71 @@
+"""Hub-side sensor data processing algorithms (paper Section 3.6).
+
+These are the "common sensor data processing algorithms" the platform
+ships: windowing, transforms, data filtering, feature extraction and
+admission control.  Application developers never implement these — they
+parameterize and chain them through the :mod:`repro.api` stubs; the hub
+runtime (:mod:`repro.hub`) instantiates the classes here to execute a
+wake-up condition.
+
+Every algorithm is a :class:`~repro.algorithms.base.StreamAlgorithm`
+registered under an intermediate-language opcode (e.g. ``movingAvg``,
+``fft``, ``minThreshold``).
+"""
+
+from repro.algorithms.base import (
+    PORT_VARIADIC,
+    StreamAlgorithm,
+    available_opcodes,
+    create,
+    get_algorithm_class,
+    register,
+)
+from repro.algorithms.admission import (
+    BandIndicator,
+    MaxThreshold,
+    MinThreshold,
+    RangeThreshold,
+    SustainedThreshold,
+)
+from repro.algorithms.aggregate import MaxOf, MeanOf, MinOf, SumOf
+from repro.algorithms.features import DominantFrequency, VectorMagnitude, ZeroCrossingRate
+from repro.algorithms.filters import (
+    ExponentialMovingAverage,
+    HighPassFilter,
+    LowPassFilter,
+    MovingAverage,
+)
+from repro.algorithms.peaks import LocalExtrema
+from repro.algorithms.statistics import Statistic
+from repro.algorithms.transforms import FFT, IFFT
+from repro.algorithms.windowing import Window
+
+__all__ = [
+    "FFT",
+    "IFFT",
+    "PORT_VARIADIC",
+    "BandIndicator",
+    "DominantFrequency",
+    "ExponentialMovingAverage",
+    "HighPassFilter",
+    "LocalExtrema",
+    "LowPassFilter",
+    "MaxOf",
+    "MaxThreshold",
+    "MeanOf",
+    "MinOf",
+    "MinThreshold",
+    "MovingAverage",
+    "RangeThreshold",
+    "SumOf",
+    "Statistic",
+    "StreamAlgorithm",
+    "SustainedThreshold",
+    "VectorMagnitude",
+    "Window",
+    "ZeroCrossingRate",
+    "available_opcodes",
+    "create",
+    "get_algorithm_class",
+    "register",
+]

@@ -1,0 +1,179 @@
+"""Admission-control algorithms (paper Section 3.6: "configurable high
+or low thresholds").
+
+An admission-control node passes an item through only when its value
+satisfies the configured condition; otherwise it emits nothing.  When an
+admission-control node is the last algorithm in a pipeline, each item it
+passes reaches ``OUT`` and wakes the main processor.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.algorithms.base import StreamAlgorithm, StreamShape, register
+from repro.errors import ParameterError
+from repro.sensors.samples import Chunk, StreamKind
+
+
+@register("minThreshold")
+class MinThreshold(StreamAlgorithm):
+    """Pass items whose value is at least ``threshold``.
+
+    This is the "significant motion" example's final stage (Figure 2):
+    a smoothed acceleration magnitude of at least 15 m/s^2 wakes the
+    main CPU.
+    """
+
+    n_inputs = 1
+    input_kind = StreamKind.SCALAR
+    output_kind = StreamKind.SCALAR
+    param_order = ("threshold",)
+
+    def __init__(self, threshold: float):
+        super().__init__(threshold=threshold)
+        self.threshold = self._require_float("threshold", threshold)
+
+    def process(self, chunks: Sequence[Chunk]) -> Chunk:
+        (chunk,) = chunks
+        return chunk.take(chunk.values >= self.threshold)
+
+    def cycles_per_item(self, in_shapes: Sequence[StreamShape]) -> float:
+        return 3.0
+
+
+@register("maxThreshold")
+class MaxThreshold(StreamAlgorithm):
+    """Pass items whose value is at most ``threshold``.
+
+    Used for "low threshold" admission control — e.g. the headbutt
+    wake-up condition passes strongly negative y-axis accelerations.
+    """
+
+    n_inputs = 1
+    input_kind = StreamKind.SCALAR
+    output_kind = StreamKind.SCALAR
+    param_order = ("threshold",)
+
+    def __init__(self, threshold: float):
+        super().__init__(threshold=threshold)
+        self.threshold = self._require_float("threshold", threshold)
+
+    def process(self, chunks: Sequence[Chunk]) -> Chunk:
+        (chunk,) = chunks
+        return chunk.take(chunk.values <= self.threshold)
+
+    def cycles_per_item(self, in_shapes: Sequence[StreamShape]) -> float:
+        return 3.0
+
+
+@register("rangeThreshold")
+class RangeThreshold(StreamAlgorithm):
+    """Pass items whose value lies in ``[low, high]`` (inclusive).
+
+    The transition wake-up condition uses band checks on per-axis
+    gravity components (Section 3.7.1).
+    """
+
+    n_inputs = 1
+    input_kind = StreamKind.SCALAR
+    output_kind = StreamKind.SCALAR
+    param_order = ("low", "high")
+
+    def __init__(self, low: float, high: float):
+        super().__init__(low=low, high=high)
+        self.low = self._require_float("low", low)
+        self.high = self._require_float("high", high)
+        if self.low > self.high:
+            raise ParameterError(f"rangeThreshold: low ({low}) exceeds high ({high})")
+
+    def process(self, chunks: Sequence[Chunk]) -> Chunk:
+        (chunk,) = chunks
+        mask = (chunk.values >= self.low) & (chunk.values <= self.high)
+        return chunk.take(mask)
+
+    def cycles_per_item(self, in_shapes: Sequence[StreamShape]) -> float:
+        return 5.0
+
+
+@register("bandIndicator")
+class BandIndicator(StreamAlgorithm):
+    """Emit 1.0 when the value lies in ``[low, high]``, else 0.0.
+
+    Unlike :class:`RangeThreshold`, which *drops* non-qualifying items,
+    the indicator emits for every input item and therefore preserves
+    item alignment across branches.  That makes it composable with the
+    aggregators in :mod:`repro.algorithms.aggregate`: feed one indicator
+    per feature branch into ``minOf`` and threshold at 1 to require all
+    conditions simultaneously.
+    """
+
+    n_inputs = 1
+    input_kind = StreamKind.SCALAR
+    output_kind = StreamKind.SCALAR
+    param_order = ("low", "high")
+
+    def __init__(self, low: float, high: float):
+        super().__init__(low=low, high=high)
+        self.low = self._require_float("low", low)
+        self.high = self._require_float("high", high)
+        if self.low > self.high:
+            raise ParameterError(f"bandIndicator: low ({low}) exceeds high ({high})")
+
+    def process(self, chunks: Sequence[Chunk]) -> Chunk:
+        (chunk,) = chunks
+        mask = (chunk.values >= self.low) & (chunk.values <= self.high)
+        return Chunk.scalars(chunk.times, mask.astype(np.float64), chunk.rate_hz)
+
+    def cycles_per_item(self, in_shapes: Sequence[StreamShape]) -> float:
+        return 5.0
+
+
+@register("sustainedThreshold")
+class SustainedThreshold(StreamAlgorithm):
+    """Pass an item only after the condition has held for ``count``
+    consecutive items.
+
+    Duration-qualified admission control: the siren detector classifies
+    "pitched sounds ... that last longer than 650 ms" as sirens
+    (Section 3.7.2), which maps to requiring the pitch-prominence
+    threshold to hold across several consecutive windows.
+
+    Parameters:
+        threshold: Value the items must reach (``>=``).
+        count: Number of consecutive qualifying items required.  The
+            emission happens on the ``count``-th item of a qualifying
+            run and then on every further item while the run persists.
+    """
+
+    n_inputs = 1
+    input_kind = StreamKind.SCALAR
+    output_kind = StreamKind.SCALAR
+    param_order = ("threshold", "count")
+
+    def __init__(self, threshold: float, count: int):
+        super().__init__(threshold=threshold, count=count)
+        self.threshold = self._require_float("threshold", threshold)
+        self.count = self._require_positive_int("count", count)
+        self._run = 0
+
+    def process(self, chunks: Sequence[Chunk]) -> Chunk:
+        (chunk,) = chunks
+        if chunk.is_empty:
+            return chunk
+        qualifying = chunk.values >= self.threshold
+        emit = np.zeros(len(chunk), dtype=bool)
+        run = self._run
+        for i, ok in enumerate(qualifying):
+            run = run + 1 if ok else 0
+            emit[i] = run >= self.count
+        self._run = run
+        return chunk.take(emit)
+
+    def reset(self) -> None:
+        self._run = 0
+
+    def cycles_per_item(self, in_shapes: Sequence[StreamShape]) -> float:
+        return 6.0

@@ -1,0 +1,190 @@
+"""Base class and opcode registry for hub processing algorithms.
+
+The hub runtime executes a wake-up condition as a dataflow graph whose
+nodes are :class:`StreamAlgorithm` instances.  Each concrete algorithm:
+
+* declares how many input streams it accepts and which
+  :class:`~repro.sensors.samples.StreamKind` it consumes and produces,
+  so the IL validator can type-check a pipeline before it is pushed;
+* implements :meth:`process`, transforming one aligned set of input
+  chunks into one output chunk (possibly empty — the paper's
+  ``hasResult`` flag generalizes to "the output chunk may hold fewer
+  items than the input");
+* exposes a coarse cycle-cost model used by the MCU feasibility analysis
+  (Section 4: the MSP430 cannot run FFT-based filters in real time).
+
+Registration::
+
+    @register("movingAvg")
+    class MovingAverage(StreamAlgorithm):
+        ...
+
+makes the opcode available both to the IL parser/compiler and to the hub
+runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence, Tuple, Type
+
+from repro.errors import ParameterError, UnknownAlgorithmError
+from repro.sensors.samples import Chunk, StreamKind
+
+#: Sentinel for algorithms accepting any number of inputs >= 1
+#: (e.g. vector magnitude).
+PORT_VARIADIC = -1
+
+
+@dataclass(frozen=True)
+class StreamShape:
+    """Static description of a stream edge, used by feasibility analysis.
+
+    Attributes:
+        kind: Item kind on the edge.
+        items_per_second: Upper bound on item rate.
+        width: Number of samples per item (1 for scalars).
+        rate_hz: Sampling rate of the underlying time-domain signal.
+    """
+
+    kind: StreamKind
+    items_per_second: float
+    width: int
+    rate_hz: float
+
+
+class StreamAlgorithm:
+    """One node of a wake-up condition dataflow graph.
+
+    Subclasses set the class attributes and implement :meth:`process`.
+
+    Class attributes:
+        opcode: Intermediate-language name (set by :func:`register`).
+        n_inputs: Number of input streams, or :data:`PORT_VARIADIC`.
+        input_kind: Stream kind required on every input.
+        output_kind: Stream kind produced.
+    """
+
+    opcode: str = ""
+    n_inputs: int = 1
+    input_kind: StreamKind = StreamKind.SCALAR
+    output_kind: StreamKind = StreamKind.SCALAR
+
+    def __init__(self, **params: Any):
+        self.params = params
+
+    # -- execution ---------------------------------------------------
+
+    def process(self, chunks: Sequence[Chunk]) -> Chunk:
+        """Consume one aligned chunk per input port, produce one chunk.
+
+        The returned chunk may be empty or shorter than the input when
+        the algorithm is not ready to emit (window not yet full,
+        threshold not met, ...).
+        """
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Discard internal state, returning to the just-constructed state."""
+
+    # -- static analysis ---------------------------------------------
+
+    def propagate_shape(self, in_shapes: Sequence[StreamShape]) -> StreamShape:
+        """Compute the output stream shape from the input shapes.
+
+        The default implementation passes the first input through
+        unchanged except for the declared output kind, which is correct
+        for element-wise scalar algorithms.
+        """
+        first = in_shapes[0]
+        return StreamShape(self.output_kind, first.items_per_second, first.width, first.rate_hz)
+
+    def cycles_per_item(self, in_shapes: Sequence[StreamShape]) -> float:
+        """Approximate MCU cycles consumed per *input* item.
+
+        The constants are coarse but ranked realistically: element-wise
+        ops are a few cycles, windowed statistics are linear in window
+        width, FFTs are ``O(w log w)`` with a large constant (software
+        FFT on an MCU without a floating-point unit).
+        """
+        return 8.0
+
+    # -- parameter helpers -------------------------------------------
+
+    def _require_positive_int(self, name: str, value: Any) -> int:
+        value = _as_int(name, value)
+        if value <= 0:
+            raise ParameterError(f"{self.opcode}: {name} must be positive, got {value}")
+        return value
+
+    def _require_float(self, name: str, value: Any) -> float:
+        try:
+            return float(value)
+        except (TypeError, ValueError):
+            raise ParameterError(
+                f"{self.opcode}: {name} must be a number, got {value!r}"
+            ) from None
+
+    def __repr__(self) -> str:
+        args = ", ".join(f"{k}={v!r}" for k, v in self.params.items())
+        return f"{type(self).__name__}({args})"
+
+
+def _as_int(name: str, value: Any) -> int:
+    if isinstance(value, bool):
+        raise ParameterError(f"{name} must be an integer, got a bool")
+    try:
+        as_float = float(value)
+    except (TypeError, ValueError):
+        raise ParameterError(f"{name} must be an integer, got {value!r}") from None
+    as_int = int(as_float)
+    if as_int != as_float:
+        raise ParameterError(f"{name} must be an integer, got {value!r}")
+    return as_int
+
+
+_REGISTRY: Dict[str, Type[StreamAlgorithm]] = {}
+
+
+def register(opcode: str):
+    """Class decorator registering a :class:`StreamAlgorithm` under an opcode."""
+
+    def decorate(cls: Type[StreamAlgorithm]) -> Type[StreamAlgorithm]:
+        if opcode in _REGISTRY:
+            raise ValueError(f"opcode {opcode!r} registered twice")
+        cls.opcode = opcode
+        _REGISTRY[opcode] = cls
+        return cls
+
+    return decorate
+
+
+def get_algorithm_class(opcode: str) -> Type[StreamAlgorithm]:
+    """Return the implementation class for an opcode.
+
+    Raises:
+        UnknownAlgorithmError: if the opcode is not registered.
+    """
+    try:
+        return _REGISTRY[opcode]
+    except KeyError:
+        raise UnknownAlgorithmError(opcode) from None
+
+
+def create(opcode: str, **params: Any) -> StreamAlgorithm:
+    """Instantiate the algorithm registered under ``opcode``."""
+    return get_algorithm_class(opcode)(**params)
+
+
+def available_opcodes() -> List[str]:
+    """All opcodes the platform ships, sorted."""
+    return sorted(_REGISTRY)
+
+
+def positional_param_order(opcode: str) -> Tuple[str, ...]:
+    """Order in which an opcode's parameters appear in IL positional form.
+
+    Used by the IL parser to map ``params={10}`` onto keyword arguments.
+    """
+    cls = get_algorithm_class(opcode)
+    return getattr(cls, "param_order", ())

@@ -1,0 +1,176 @@
+"""Data-filtering algorithms (paper Section 3.6).
+
+Noise reduction via moving / exponential moving averages on scalar
+streams, and FFT-based low/high-pass filtering on frames.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.algorithms.base import StreamAlgorithm, StreamShape, register
+from repro.algorithms.transforms import fft_cycles
+from repro.errors import ParameterError
+from repro.sensors.samples import Chunk, ChunkBuffer, StreamKind
+
+
+@register("movingAvg")
+class MovingAverage(StreamAlgorithm):
+    """Sliding-window mean over a scalar stream.
+
+    Parameters:
+        size: Window length in samples.
+
+    Faithful to the paper's interpreter semantics (Section 3.5): "a
+    moving average with a window size of N will not produce a result
+    until it has received N data points" — the first output item is
+    emitted for the N-th input sample, then one output per input.
+    """
+
+    n_inputs = 1
+    input_kind = StreamKind.SCALAR
+    output_kind = StreamKind.SCALAR
+    param_order = ("size",)
+
+    def __init__(self, size: int):
+        super().__init__(size=size)
+        self.size = self._require_positive_int("size", size)
+        self._carry = ChunkBuffer()
+
+    def process(self, chunks: Sequence[Chunk]) -> Chunk:
+        (chunk,) = chunks
+        self._carry.extend(chunk)
+        n = len(self._carry)
+        if n < self.size:
+            return Chunk.empty(StreamKind.SCALAR, chunk.rate_hz)
+        values = self._carry.values
+        # Sliding mean via cumulative sum: one output per position where
+        # a full window is available.
+        csum = np.concatenate([[0.0], np.cumsum(values)])
+        means = (csum[self.size:] - csum[:-self.size]) / self.size
+        times = self._carry.times[self.size - 1:]
+        # Keep the last size-1 samples as carry for the next chunk.
+        self._carry.consume(n - (self.size - 1))
+        return Chunk.scalars(times, means, chunk.rate_hz)
+
+    def reset(self) -> None:
+        self._carry.clear()
+
+    def cycles_per_item(self, in_shapes: Sequence[StreamShape]) -> float:
+        # Running-sum implementation: add, subtract, divide per sample.
+        return 12.0
+
+
+@register("expMovingAvg")
+class ExponentialMovingAverage(StreamAlgorithm):
+    """First-order IIR smoother ``y[n] = a*x[n] + (1-a)*y[n-1]``.
+
+    Parameters:
+        alpha: Smoothing factor in ``(0, 1]``.  Larger alpha tracks the
+            input more closely; smaller alpha smooths more aggressively.
+
+    Emits one output per input starting with the very first sample
+    (seeded with that sample).
+    """
+
+    n_inputs = 1
+    input_kind = StreamKind.SCALAR
+    output_kind = StreamKind.SCALAR
+    param_order = ("alpha",)
+
+    def __init__(self, alpha: float):
+        super().__init__(alpha=alpha)
+        self.alpha = self._require_float("alpha", alpha)
+        if not 0.0 < self.alpha <= 1.0:
+            raise ParameterError(f"expMovingAvg: alpha must be in (0, 1], got {alpha}")
+        self._state: float | None = None
+
+    def process(self, chunks: Sequence[Chunk]) -> Chunk:
+        (chunk,) = chunks
+        if chunk.is_empty:
+            return chunk
+        x = chunk.values
+        out = np.empty_like(x)
+        prev = x[0] if self._state is None else self._state
+        # Closed-form scan: y[k] = (1-a)^k * prev + a * sum_j (1-a)^(k-j) x[j]
+        # A short Python loop is clearer and chunk counts are modest, but
+        # for large audio chunks we vectorize with the standard trick.
+        decay = 1.0 - self.alpha
+        if len(x) > 64:
+            powers = decay ** np.arange(len(x) + 1)
+            # y[k] = powers[k+1]*prev + alpha * sum_{j<=k} powers[k-j] * x[j]
+            conv = np.convolve(x, powers[:-1])[: len(x)]
+            out = powers[1:] * prev + self.alpha * conv
+        else:
+            y = prev
+            for i, xi in enumerate(x):
+                y = self.alpha * xi + decay * y
+                out[i] = y
+        self._state = float(out[-1])
+        return Chunk.scalars(chunk.times, out, chunk.rate_hz)
+
+    def reset(self) -> None:
+        self._state = None
+
+    def cycles_per_item(self, in_shapes: Sequence[StreamShape]) -> float:
+        return 10.0
+
+
+class _FFTBandFilter(StreamAlgorithm):
+    """Shared implementation for FFT-based low/high-pass filtering.
+
+    Each input frame is transformed, bins outside the pass band are
+    zeroed, and the frame is transformed back.  ``cutoff_hz`` maps to a
+    bin index through the frame's underlying sample rate.
+    """
+
+    n_inputs = 1
+    input_kind = StreamKind.FRAME
+    output_kind = StreamKind.FRAME
+    param_order = ("cutoff_hz",)
+
+    #: True keeps bins below the cutoff (low-pass); False keeps above.
+    keep_low = True
+
+    def __init__(self, cutoff_hz: float):
+        super().__init__(cutoff_hz=cutoff_hz)
+        self.cutoff_hz = self._require_float("cutoff_hz", cutoff_hz)
+        if self.cutoff_hz <= 0:
+            raise ParameterError(f"{self.opcode}: cutoff_hz must be positive")
+
+    def process(self, chunks: Sequence[Chunk]) -> Chunk:
+        (chunk,) = chunks
+        if chunk.is_empty:
+            return chunk
+        width = chunk.values.shape[1]
+        spectra = np.fft.rfft(chunk.values, axis=1)
+        freqs = np.fft.rfftfreq(width, d=1.0 / chunk.rate_hz)
+        mask = freqs <= self.cutoff_hz if self.keep_low else freqs >= self.cutoff_hz
+        spectra[:, ~mask] = 0.0
+        filtered = np.fft.irfft(spectra, n=width, axis=1)
+        return Chunk(StreamKind.FRAME, chunk.times, filtered, chunk.rate_hz)
+
+    def cycles_per_item(self, in_shapes: Sequence[StreamShape]) -> float:
+        # Forward FFT + masking + inverse FFT per frame.
+        width = in_shapes[0].width
+        return 2.0 * fft_cycles(width) + 4.0 * width
+
+
+@register("lowPass")
+class LowPassFilter(_FFTBandFilter):
+    """FFT-based low-pass filter keeping content at or below ``cutoff_hz``."""
+
+    keep_low = True
+
+
+@register("highPass")
+class HighPassFilter(_FFTBandFilter):
+    """FFT-based high-pass filter keeping content at or above ``cutoff_hz``.
+
+    The siren detector's first stage (a 750 Hz high-pass removing most
+    non-siren sound, Section 3.7.2) is an instance of this algorithm.
+    """
+
+    keep_low = False

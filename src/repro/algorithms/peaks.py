@@ -1,0 +1,104 @@
+"""Streaming local-extrema detection.
+
+The step and headbutt classifiers (Section 3.7.1) "search for local
+maxima/minima" of a filtered axis within an amplitude band.  This module
+provides that search as a reusable hub algorithm so a wake-up condition
+can end with ``LocalExtrema -> OUT``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.algorithms.base import StreamAlgorithm, StreamShape, register
+from repro.errors import ParameterError
+from repro.sensors.samples import Chunk, StreamKind
+
+#: Extremum polarities :class:`LocalExtrema` can search for.
+EXTREMA_MODES = ("max", "min")
+
+
+@register("localExtrema")
+class LocalExtrema(StreamAlgorithm):
+    """Emit local maxima (or minima) of a scalar stream within a band.
+
+    Parameters:
+        mode: ``"max"`` to detect peaks, ``"min"`` to detect valleys.
+        low / high: Inclusive amplitude band an extremum must fall in to
+            be emitted.  The step detector uses maxima in
+            ``[2.5, 4.5] m/s^2``; the headbutt detector uses minima in
+            ``[-6.75, -3.75] m/s^2``.
+        min_separation: Minimum number of samples between two emitted
+            extrema (debounce).  Defaults to 1 (no debounce).
+
+    A sample ``x[i]`` is a local maximum when ``x[i-1] < x[i] >= x[i+1]``
+    (mirrored for minima).  Detection therefore lags the input by one
+    sample; the emitted item carries the extremum's own timestamp.
+    """
+
+    n_inputs = 1
+    input_kind = StreamKind.SCALAR
+    output_kind = StreamKind.SCALAR
+    param_order = ("mode", "low", "high", "min_separation")
+
+    def __init__(
+        self,
+        mode: str,
+        low: float,
+        high: float,
+        min_separation: int = 1,
+    ):
+        super().__init__(mode=mode, low=low, high=high, min_separation=min_separation)
+        if mode not in EXTREMA_MODES:
+            raise ParameterError(f"localExtrema: mode must be one of {EXTREMA_MODES}")
+        self.mode = mode
+        self.low = self._require_float("low", low)
+        self.high = self._require_float("high", high)
+        if self.low > self.high:
+            raise ParameterError(f"localExtrema: low ({low}) exceeds high ({high})")
+        self.min_separation = self._require_positive_int("min_separation", min_separation)
+        self._prev_times = np.empty(0)
+        self._prev_values = np.empty(0)
+        self._last_emit_index = -(10**12)
+        self._stream_index = 0  # index of the first sample in _prev buffers
+
+    def process(self, chunks: Sequence[Chunk]) -> Chunk:
+        (chunk,) = chunks
+        values = np.concatenate([self._prev_values, chunk.values])
+        times = np.concatenate([self._prev_times, chunk.times])
+        if len(values) < 3:
+            self._prev_values, self._prev_times = values, times
+            return Chunk.empty(StreamKind.SCALAR, chunk.rate_hz)
+        mid = values[1:-1]
+        if self.mode == "max":
+            is_ext = (values[:-2] < mid) & (mid >= values[2:])
+        else:
+            is_ext = (values[:-2] > mid) & (mid <= values[2:])
+        in_band = (mid >= self.low) & (mid <= self.high)
+        candidate = np.flatnonzero(is_ext & in_band) + 1  # index into `values`
+        emit_times, emit_values = [], []
+        for idx in candidate:
+            global_idx = self._stream_index + int(idx)
+            if global_idx - self._last_emit_index >= self.min_separation:
+                emit_times.append(times[idx])
+                emit_values.append(values[idx])
+                self._last_emit_index = global_idx
+        # Keep the final two samples so extrema at chunk edges are found.
+        keep = len(values) - 2
+        self._stream_index += keep
+        self._prev_values, self._prev_times = values[keep:], times[keep:]
+        return Chunk.scalars(
+            np.asarray(emit_times), np.asarray(emit_values), chunk.rate_hz
+        )
+
+    def reset(self) -> None:
+        self._prev_times = np.empty(0)
+        self._prev_values = np.empty(0)
+        self._last_emit_index = -(10**12)
+        self._stream_index = 0
+
+    def cycles_per_item(self, in_shapes: Sequence[StreamShape]) -> float:
+        # Two comparisons plus band check per sample.
+        return 8.0

@@ -1,0 +1,91 @@
+"""Developer-facing Sidewinder API (paper Section 3.2, Figure 2a).
+
+Application developers build custom wake-up conditions out of four
+pieces, mirroring the paper's Java API:
+
+* :class:`~repro.api.pipeline.ProcessingPipeline` — the whole wake-up
+  condition, from input sensors to the final output;
+* :class:`~repro.api.branch.ProcessingBranch` — a flow of data from one
+  sensor channel through a chain of algorithms;
+* algorithm stubs (:mod:`repro.api.stubs`) — parameterized placeholders
+  for the processing algorithms implemented on the hub;
+* :class:`~repro.api.listener.SensorEventListener` — the callback
+  invoked on the main processor when the condition fires.
+
+The condition is registered through
+:class:`~repro.api.manager.SidewinderSensorManager`, which compiles it to
+the intermediate language and pushes it to the low-power sensor hub.
+
+Example (the paper's significant-motion condition)::
+
+    pipeline = ProcessingPipeline()
+    for channel in (manager.ACCELEROMETER_X,
+                    manager.ACCELEROMETER_Y,
+                    manager.ACCELEROMETER_Z):
+        pipeline.add(ProcessingBranch(channel).add(MovingAverage(10)))
+    pipeline.add(VectorMagnitude())
+    pipeline.add(MinThreshold(15))
+    handle = manager.push(pipeline, listener)
+"""
+
+from repro.api.branch import ProcessingBranch
+from repro.api.compile import compile_pipeline
+from repro.api.listener import SensorEvent, SensorEventListener
+from repro.api.manager import SidewinderSensorManager, WakeUpHandle
+from repro.api.pipeline import ProcessingPipeline
+from repro.api.stubs import (
+    FFT,
+    IFFT,
+    AlgorithmStub,
+    BandIndicator,
+    DominantFrequency,
+    ExponentialMovingAverage,
+    HighPass,
+    LocalExtrema,
+    LowPass,
+    MaxOf,
+    MaxThreshold,
+    MeanOf,
+    MinOf,
+    MinThreshold,
+    MovingAverage,
+    RangeThreshold,
+    Statistic,
+    SumOf,
+    SustainedThreshold,
+    VectorMagnitude,
+    Window,
+    ZeroCrossingRate,
+)
+
+__all__ = [
+    "FFT",
+    "IFFT",
+    "AlgorithmStub",
+    "BandIndicator",
+    "MaxOf",
+    "MeanOf",
+    "MinOf",
+    "SumOf",
+    "DominantFrequency",
+    "ExponentialMovingAverage",
+    "HighPass",
+    "LocalExtrema",
+    "LowPass",
+    "MaxThreshold",
+    "MinThreshold",
+    "MovingAverage",
+    "ProcessingBranch",
+    "ProcessingPipeline",
+    "RangeThreshold",
+    "SensorEvent",
+    "SensorEventListener",
+    "SidewinderSensorManager",
+    "Statistic",
+    "SustainedThreshold",
+    "VectorMagnitude",
+    "WakeUpHandle",
+    "Window",
+    "ZeroCrossingRate",
+    "compile_pipeline",
+]

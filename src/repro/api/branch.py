@@ -1,0 +1,54 @@
+"""Processing branches: one sensor channel through a chain of algorithms.
+
+"Branches represent the flow of data from either a sensor to an
+algorithm or between two algorithms" (Section 3.2).  In this API a
+branch is anchored to one sensor channel and carries an ordered chain of
+algorithm stubs; branches are later joined by pipeline-level aggregation
+algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from repro.api.stubs import AlgorithmStub
+from repro.errors import PipelineError
+from repro.sensors.channels import SensorChannel, channel_by_name
+
+
+class ProcessingBranch:
+    """A chain of algorithms fed by one sensor channel.
+
+    Args:
+        source: The sensor channel feeding the branch, given either as a
+            :class:`~repro.sensors.channels.SensorChannel` or its IL name
+            (e.g. ``"ACC_X"``).
+
+    ``add`` returns the branch so chains read fluently::
+
+        branch = ProcessingBranch(ACC_X).add(MovingAverage(10))
+    """
+
+    def __init__(self, source: Union[SensorChannel, str]):
+        if isinstance(source, str):
+            source = channel_by_name(source)
+        if not isinstance(source, SensorChannel):
+            raise PipelineError(
+                f"branch source must be a SensorChannel or channel name, "
+                f"got {type(source).__name__}"
+            )
+        self.source = source
+        self.algorithms: List[AlgorithmStub] = []
+
+    def add(self, algorithm: AlgorithmStub) -> "ProcessingBranch":
+        """Append an algorithm to the end of this branch."""
+        if not isinstance(algorithm, AlgorithmStub):
+            raise PipelineError(
+                f"expected an algorithm stub, got {type(algorithm).__name__}"
+            )
+        self.algorithms.append(algorithm)
+        return self
+
+    def __repr__(self) -> str:
+        chain = " -> ".join([self.source.name] + [repr(a) for a in self.algorithms])
+        return f"ProcessingBranch({chain})"

@@ -1,0 +1,80 @@
+"""Compilation of pipelines to the intermediate language.
+
+"Upon receiving a wake-up condition configuration, the sensor manager
+generates its associated intermediate code" (Section 3.3).  Node ids are
+assigned in dataflow order starting at 1, matching Figure 2c's numbering
+(branch algorithms first, in branch order, then the joining stages).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.algorithms.base import PORT_VARIADIC, get_algorithm_class
+from repro.api.pipeline import ProcessingPipeline
+from repro.errors import CompileError
+from repro.il.ast import ChannelRef, ILProgram, ILStatement, NodeRef, SourceRef
+
+
+def compile_pipeline(pipeline: ProcessingPipeline) -> ILProgram:
+    """Translate a :class:`ProcessingPipeline` to an :class:`ILProgram`.
+
+    Raises:
+        CompileError: if the pipeline has no branches, a single-input
+            stage is applied while several branches are open, or the
+            pipeline does not end with exactly one open branch.
+    """
+    if not pipeline.branches:
+        raise CompileError("pipeline has no branches; add at least one sensor branch")
+
+    statements: List[ILStatement] = []
+    next_id = 1
+
+    def emit(inputs: List[SourceRef], opcode: str, params: dict) -> NodeRef:
+        nonlocal next_id
+        statements.append(ILStatement.make(tuple(inputs), opcode, next_id, params))
+        ref = NodeRef(next_id)
+        next_id += 1
+        return ref
+
+    # Branch-local chains.
+    open_flows: List[SourceRef] = []
+    for branch in pipeline.branches:
+        head: SourceRef = ChannelRef(branch.source.name)
+        for stub in branch.algorithms:
+            cls = get_algorithm_class(stub.opcode)
+            if cls.n_inputs not in (1, PORT_VARIADIC):
+                raise CompileError(
+                    f"{stub.opcode} cannot appear inside a branch: it takes "
+                    f"{cls.n_inputs} inputs"
+                )
+            head = emit([head], stub.opcode, stub.params)
+        open_flows.append(head)
+
+    # Pipeline-level joining stages.
+    for stub in pipeline.stages:
+        cls = get_algorithm_class(stub.opcode)
+        if cls.n_inputs == PORT_VARIADIC:
+            consumed = list(open_flows)
+        else:
+            if len(open_flows) != cls.n_inputs:
+                raise CompileError(
+                    f"{stub.opcode} expects {cls.n_inputs} input branch(es) but "
+                    f"{len(open_flows)} are open; insert an aggregation "
+                    "algorithm (e.g. VectorMagnitude) first"
+                )
+            consumed = list(open_flows)
+        open_flows = [emit(consumed, stub.opcode, stub.params)]
+
+    if len(open_flows) != 1:
+        raise CompileError(
+            f"pipeline ends with {len(open_flows)} open branches; it must "
+            "converge to exactly one (aggregate the branches before OUT)"
+        )
+    (out,) = open_flows
+    if not isinstance(out, NodeRef):
+        raise CompileError(
+            "pipeline routes a raw sensor channel straight to OUT; add at "
+            "least one algorithm"
+        )
+    return ILProgram(tuple(statements), out)

@@ -1,0 +1,67 @@
+"""Sensor event listeners: the wake-up callback.
+
+"This is a callback method that is registered with the sensor manager
+that will be called when the custom wake-up condition is satisfied"
+(Section 3.2).  When the condition fires, the hub wakes the main
+processor and delivers a :class:`SensorEvent` carrying the value that
+reached ``OUT`` plus a buffer of raw sensor data (Section 3.8: "Our
+current implementation passes a buffer of raw sensor data to the
+application").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SensorEvent:
+    """Delivered to the application when its wake-up condition fires.
+
+    Attributes:
+        timestamp: Trace time (seconds) of the item that reached ``OUT``.
+        value: The item's value (e.g. the smoothed magnitude that
+            crossed the admission threshold).
+        raw_data: Per-channel buffer of recent raw sensor samples,
+            keyed by channel name.  Empty unless the condition was
+            pushed with RAW delivery (the default).
+        features: Recent output items of the chosen intermediate node,
+            when the condition was pushed with NODE delivery
+            (Section 3.8: "others may want to use the filtered data or
+            extracted features").
+    """
+
+    timestamp: float
+    value: float
+    raw_data: Dict[str, np.ndarray] = field(default_factory=dict)
+    features: Optional[np.ndarray] = None
+
+
+class SensorEventListener:
+    """Interface applications implement to receive wake-up events."""
+
+    def on_sensor_event(self, event: SensorEvent) -> None:
+        """Called once per wake-up event, on the main processor."""
+        raise NotImplementedError
+
+
+class RecordingListener(SensorEventListener):
+    """Listener that simply records every event it receives.
+
+    Convenient for tests and for the simulator, which replays the
+    recorded wake-up times into the device power model.
+    """
+
+    def __init__(self):
+        self.events: List[SensorEvent] = []
+
+    def on_sensor_event(self, event: SensorEvent) -> None:
+        self.events.append(event)
+
+    @property
+    def times(self) -> List[float]:
+        """Timestamps of all recorded events, in arrival order."""
+        return [e.timestamp for e in self.events]

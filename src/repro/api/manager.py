@@ -1,0 +1,114 @@
+"""The Sidewinder sensor manager (paper Section 3.1).
+
+Modelled on the Android SensorManager, extended with the wake-up
+condition API: it knows the available sensors and processing algorithms,
+compiles pipelines to the intermediate language, and pushes them to the
+low-power sensor hub.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.algorithms.base import available_opcodes
+from repro.api.compile import compile_pipeline
+from repro.api.listener import SensorEventListener
+from repro.api.pipeline import ProcessingPipeline
+from repro.hub.delivery import DeliverySpec
+from repro.hub.hub import PushedCondition, SensorHub
+from repro.il.ast import ILProgram
+from repro.il.text import format_program
+from repro.sensors.channels import ACC_X, ACC_Y, ACC_Z, MIC, SensorChannel, all_channels
+
+
+class WakeUpHandle:
+    """Returned by :meth:`SidewinderSensorManager.push`.
+
+    Lets the application inspect the generated intermediate code and
+    cancel the condition.
+
+    Attributes:
+        program: The compiled intermediate-language program.
+        condition: The hub-resident condition (runtime, MCU placement).
+    """
+
+    def __init__(self, manager: "SidewinderSensorManager", program: ILProgram,
+                 condition: PushedCondition):
+        self._manager = manager
+        self.program = program
+        self.condition = condition
+
+    @property
+    def intermediate_code(self) -> str:
+        """The condition's textual IL, as pushed to the hub."""
+        return format_program(self.program)
+
+    @property
+    def mcu_name(self) -> str:
+        """Name of the MCU the hub placed the condition on."""
+        return self.condition.mcu.name
+
+    def cancel(self) -> None:
+        """Remove the condition from the hub."""
+        self._manager.hub.remove(self.condition)
+
+
+class SidewinderSensorManager:
+    """Entry point for applications: sensors, algorithms, push/cancel.
+
+    Args:
+        hub: The sensor hub to push conditions to.  A fresh simulated
+            hub with the default MCU catalog is created when omitted.
+
+    Channel constants mirror the paper's Java API
+    (``SidewinderSensorManager.ACCELEROMETER_X`` etc.).
+    """
+
+    #: Sensor channel constants, Java-API style.
+    ACCELEROMETER_X: SensorChannel = ACC_X
+    ACCELEROMETER_Y: SensorChannel = ACC_Y
+    ACCELEROMETER_Z: SensorChannel = ACC_Z
+    MICROPHONE: SensorChannel = MIC
+
+    def __init__(self, hub: Optional[SensorHub] = None):
+        self.hub = hub if hub is not None else SensorHub()
+        self._handles: List[WakeUpHandle] = []
+
+    def get_sensor_list(self) -> Tuple[SensorChannel, ...]:
+        """The sensor channels this device exposes."""
+        return all_channels()
+
+    def get_algorithm_list(self) -> List[str]:
+        """Opcodes of the processing algorithms the platform provides."""
+        return available_opcodes()
+
+    def push(
+        self,
+        pipeline: ProcessingPipeline,
+        listener: Optional[SensorEventListener] = None,
+        delivery: Optional[DeliverySpec] = None,
+    ) -> WakeUpHandle:
+        """Compile a pipeline and start it on the sensor hub.
+
+        Args:
+            pipeline: The wake-up condition.
+            listener: Callback fired on wake-ups.
+            delivery: What the hub sends with a wake-up (Section 3.8):
+                raw buffer (default), trigger item only, or an
+                intermediate node's output.
+
+        Raises:
+            CompileError / PipelineError: on a malformed pipeline.
+            ILValidationError / ParameterError: if validation fails.
+            FeasibilityError: if no hub MCU can run the condition.
+        """
+        program = compile_pipeline(pipeline)
+        condition = self.hub.push(program, listener, delivery=delivery)
+        handle = WakeUpHandle(self, program, condition)
+        self._handles.append(handle)
+        return handle
+
+    @property
+    def handles(self) -> Tuple[WakeUpHandle, ...]:
+        """Handles of every condition pushed through this manager."""
+        return tuple(self._handles)

@@ -1,0 +1,73 @@
+"""Processing pipelines: the whole wake-up condition.
+
+"This represents the entire wake-up condition from the input sensors to
+the final output.  The pipeline consists of one or more processing
+branches" (Section 3.2).  The order in which branches and algorithms are
+added specifies how they chain together (Figure 2a): branches open
+parallel data flows; each pipeline-level algorithm consumes the currently
+open flow(s) and leaves exactly one open flow behind it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+from repro.api.branch import ProcessingBranch
+from repro.api.stubs import AlgorithmStub
+from repro.errors import PipelineError
+
+_Addable = Union[ProcessingBranch, AlgorithmStub, Sequence[ProcessingBranch]]
+
+
+class ProcessingPipeline:
+    """Ordered composition of branches and joining algorithms.
+
+    Items are added in dataflow order.  Branches must come first (they
+    anchor the pipeline to sensor channels); pipeline-level algorithms
+    then consume *all* branches open at that point:
+
+    * a variadic algorithm (e.g. ``VectorMagnitude``) merges every open
+      branch into one;
+    * a single-input algorithm is only legal while exactly one branch is
+      open.
+
+    The pipeline is complete when exactly one branch remains open; the
+    last algorithm's emissions reach ``OUT``.
+    """
+
+    def __init__(self):
+        self.branches: List[ProcessingBranch] = []
+        self.stages: List[AlgorithmStub] = []
+
+    def add(self, item: _Addable) -> "ProcessingPipeline":
+        """Add a branch, a list of branches, or a pipeline-level algorithm."""
+        if isinstance(item, ProcessingBranch):
+            self._add_branch(item)
+        elif isinstance(item, AlgorithmStub):
+            self.stages.append(item)
+        elif isinstance(item, Iterable):
+            for branch in item:
+                self._add_branch(branch)
+        else:
+            raise PipelineError(
+                f"cannot add {type(item).__name__} to a pipeline; expected a "
+                "ProcessingBranch, an algorithm stub, or a list of branches"
+            )
+        return self
+
+    def _add_branch(self, branch: ProcessingBranch) -> None:
+        if not isinstance(branch, ProcessingBranch):
+            raise PipelineError(
+                f"expected a ProcessingBranch, got {type(branch).__name__}"
+            )
+        if self.stages:
+            raise PipelineError(
+                "branches must be added before pipeline-level algorithms"
+            )
+        self.branches.append(branch)
+
+    def __repr__(self) -> str:
+        return (
+            f"ProcessingPipeline(branches={len(self.branches)}, "
+            f"stages={len(self.stages)})"
+        )

@@ -1,0 +1,211 @@
+"""Algorithm stubs: the API-level placeholders for hub algorithms.
+
+"At the API level, these algorithms are simply stubs that represent the
+algorithm implementations at the low-power processor level"
+(Section 3.2).  A stub records the opcode and parameters; parameters are
+validated eagerly (by constructing the hub implementation once and
+discarding it) so that developers get errors at condition-construction
+time, not when the condition is pushed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.algorithms.base import create
+
+
+class AlgorithmStub:
+    """Base class for all API-level algorithm stubs.
+
+    Attributes:
+        opcode: The intermediate-language opcode the stub compiles to.
+        params: Keyword parameters forwarded to the hub implementation.
+    """
+
+    opcode: str = ""
+
+    def __init__(self, **params: Any):
+        # Drop parameters left at None so the hub implementation's own
+        # defaults apply and the IL stays minimal.
+        self.params: Dict[str, Any] = {k: v for k, v in params.items() if v is not None}
+        create(self.opcode, **self.params)  # eager validation
+
+    def __repr__(self) -> str:
+        args = ", ".join(f"{k}={v!r}" for k, v in self.params.items())
+        return f"{type(self).__name__}({args})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, AlgorithmStub)
+            and self.opcode == other.opcode
+            and self.params == other.params
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.opcode, tuple(sorted(self.params.items()))))
+
+
+class MovingAverage(AlgorithmStub):
+    """Sliding-window mean; no output until ``size`` samples arrived."""
+
+    opcode = "movingAvg"
+
+    def __init__(self, size: int):
+        super().__init__(size=size)
+
+
+class ExponentialMovingAverage(AlgorithmStub):
+    """First-order IIR smoother with factor ``alpha`` in ``(0, 1]``."""
+
+    opcode = "expMovingAvg"
+
+    def __init__(self, alpha: float):
+        super().__init__(alpha=alpha)
+
+
+class Window(AlgorithmStub):
+    """Partition a scalar stream into frames of ``size`` samples."""
+
+    opcode = "window"
+
+    def __init__(self, size: int, hop: int | None = None, shape: str = "rectangular"):
+        super().__init__(size=size, hop=hop, shape=shape)
+
+
+class FFT(AlgorithmStub):
+    """Transform frames to one-sided complex spectra."""
+
+    opcode = "fft"
+
+
+class IFFT(AlgorithmStub):
+    """Transform spectra back to time-domain frames."""
+
+    opcode = "ifft"
+
+
+class LowPass(AlgorithmStub):
+    """FFT-based low-pass filter over frames."""
+
+    opcode = "lowPass"
+
+    def __init__(self, cutoff_hz: float):
+        super().__init__(cutoff_hz=cutoff_hz)
+
+
+class HighPass(AlgorithmStub):
+    """FFT-based high-pass filter over frames."""
+
+    opcode = "highPass"
+
+    def __init__(self, cutoff_hz: float):
+        super().__init__(cutoff_hz=cutoff_hz)
+
+
+class VectorMagnitude(AlgorithmStub):
+    """Euclidean magnitude across all open branches."""
+
+    opcode = "vectorMagnitude"
+
+
+class ZeroCrossingRate(AlgorithmStub):
+    """Per-frame zero-crossing rate in ``[0, 1]``."""
+
+    opcode = "zeroCrossingRate"
+
+
+class Statistic(AlgorithmStub):
+    """Per-frame statistic (``mean``, ``variance``, ``rms``, ...)."""
+
+    opcode = "stat"
+
+    def __init__(self, name: str):
+        super().__init__(name=name)
+
+
+class DominantFrequency(AlgorithmStub):
+    """Dominant-bin magnitude, frequency, or prominence ratio."""
+
+    opcode = "dominantFrequency"
+
+    def __init__(self, mode: str = "magnitude", min_hz: float = 0.0, max_hz: float | None = None):
+        super().__init__(mode=mode, min_hz=min_hz, max_hz=max_hz)
+
+
+class MinThreshold(AlgorithmStub):
+    """Admission control: pass values >= ``threshold``."""
+
+    opcode = "minThreshold"
+
+    def __init__(self, threshold: float):
+        super().__init__(threshold=threshold)
+
+
+class MaxThreshold(AlgorithmStub):
+    """Admission control: pass values <= ``threshold``."""
+
+    opcode = "maxThreshold"
+
+    def __init__(self, threshold: float):
+        super().__init__(threshold=threshold)
+
+
+class RangeThreshold(AlgorithmStub):
+    """Admission control: pass values in ``[low, high]``."""
+
+    opcode = "rangeThreshold"
+
+    def __init__(self, low: float, high: float):
+        super().__init__(low=low, high=high)
+
+
+class SustainedThreshold(AlgorithmStub):
+    """Admission control with a persistence requirement."""
+
+    opcode = "sustainedThreshold"
+
+    def __init__(self, threshold: float, count: int):
+        super().__init__(threshold=threshold, count=count)
+
+
+class LocalExtrema(AlgorithmStub):
+    """Streaming local maxima/minima within an amplitude band."""
+
+    opcode = "localExtrema"
+
+    def __init__(self, mode: str, low: float, high: float, min_separation: int = 1):
+        super().__init__(mode=mode, low=low, high=high, min_separation=min_separation)
+
+
+class BandIndicator(AlgorithmStub):
+    """Alignment-preserving band check: emits 1.0 in band, else 0.0."""
+
+    opcode = "bandIndicator"
+
+    def __init__(self, low: float, high: float):
+        super().__init__(low=low, high=high)
+
+
+class MinOf(AlgorithmStub):
+    """Element-wise minimum across all open branches (AND over indicators)."""
+
+    opcode = "minOf"
+
+
+class MaxOf(AlgorithmStub):
+    """Element-wise maximum across all open branches (OR over indicators)."""
+
+    opcode = "maxOf"
+
+
+class SumOf(AlgorithmStub):
+    """Element-wise sum across all open branches."""
+
+    opcode = "sumOf"
+
+
+class MeanOf(AlgorithmStub):
+    """Element-wise mean across all open branches."""
+
+    opcode = "meanOf"

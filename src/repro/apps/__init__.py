@@ -1,0 +1,48 @@
+"""The paper's six continuous-sensing applications (Section 3.7).
+
+Accelerometer: :mod:`~repro.apps.steps`, :mod:`~repro.apps.transitions`,
+:mod:`~repro.apps.headbutts`.  Audio: :mod:`~repro.apps.siren`,
+:mod:`~repro.apps.music`, :mod:`~repro.apps.phrase`.
+
+Each application provides two stages, mirroring the paper's structure:
+
+* a **wake-up condition** — a :class:`~repro.api.ProcessingPipeline`
+  built from platform algorithms, conservative (high recall, moderate
+  precision), executed on the low-power hub;
+* a **precise detector** — arbitrary code run on the main processor
+  after a wake-up, providing the final high-precision classification.
+"""
+
+from repro.apps.base import Detection, SensingApplication
+from repro.apps.headbutts import HeadbuttApp
+from repro.apps.music import MusicJournalApp
+from repro.apps.phrase import PhraseDetectionApp
+from repro.apps.siren import SirenDetectorApp
+from repro.apps.steps import StepsApp
+from repro.apps.transitions import TransitionsApp
+
+#: The three accelerometer applications, in the paper's order.
+ACCEL_APPS = (StepsApp, TransitionsApp, HeadbuttApp)
+
+#: The three audio applications, in the paper's order.
+AUDIO_APPS = (SirenDetectorApp, MusicJournalApp, PhraseDetectionApp)
+
+
+def all_applications():
+    """Fresh instances of all six applications."""
+    return tuple(cls() for cls in ACCEL_APPS + AUDIO_APPS)
+
+
+__all__ = [
+    "ACCEL_APPS",
+    "AUDIO_APPS",
+    "Detection",
+    "HeadbuttApp",
+    "MusicJournalApp",
+    "PhraseDetectionApp",
+    "SensingApplication",
+    "SirenDetectorApp",
+    "StepsApp",
+    "TransitionsApp",
+    "all_applications",
+]

@@ -1,0 +1,98 @@
+"""Shared audio feature extraction for the precise detectors.
+
+The music-journal and phrase-detection applications both window the
+audio and extract two features per window (Section 3.7.2):
+
+* the variance of the amplitude over the entire window, and
+* the variance of the zero-crossing rate across fixed sub-windows.
+
+The siren detector extracts the dominant-frequency prominence ratio of
+high-passed windows.  Constants here mirror the hub-side wake-up
+conditions so the two stages agree on window geometry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.detectors import frame_signal, zero_crossing_rate
+
+#: Main analysis window: 2048 samples = 256 ms at 8 kHz.
+WINDOW = 2048
+#: ZCR sub-window: 256 samples = 32 ms; 8 sub-windows per window.
+SUBWINDOW = 256
+#: Siren analysis frame and hop: 512 / 256 samples (64 / 32 ms).
+SIREN_FRAME = 512
+SIREN_HOP = 256
+#: Siren detector's high-pass cutoff (paper: 750 Hz).
+SIREN_HIGHPASS_HZ = 750.0
+#: Siren pitch band (paper: 850-1800 Hz).
+SIREN_BAND = (850.0, 1800.0)
+
+
+@dataclass(frozen=True)
+class AudioFeatures:
+    """Per-window features of one audio stretch.
+
+    Attributes:
+        times: Window end times (seconds, absolute).
+        amplitude_variance: Variance of the raw amplitude per window.
+        zcr_variance: Variance of the sub-window ZCRs per window.
+    """
+
+    times: np.ndarray
+    amplitude_variance: np.ndarray
+    zcr_variance: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+
+def window_features(
+    samples: np.ndarray, start_time: float, rate: float
+) -> AudioFeatures:
+    """Extract the two-branch feature set from one contiguous stretch."""
+    frames = frame_signal(samples, WINDOW, WINDOW)
+    if frames.shape[0] == 0:
+        empty = np.empty(0)
+        return AudioFeatures(empty, empty, empty)
+    amplitude_variance = np.var(frames, axis=1)
+    n_sub = WINDOW // SUBWINDOW
+    sub = frames.reshape(frames.shape[0] * n_sub, SUBWINDOW)
+    zcr = zero_crossing_rate(sub).reshape(frames.shape[0], n_sub)
+    zcr_variance = np.var(zcr, axis=1)
+    times = start_time + (np.arange(frames.shape[0]) + 1) * WINDOW / rate
+    return AudioFeatures(times, amplitude_variance, zcr_variance)
+
+
+def siren_frame_features(
+    samples: np.ndarray, start_time: float, rate: float
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+    """Per-frame (times, prominence ratio, dominant frequency in band).
+
+    Frames are Hamming-tapered, high-passed at
+    :data:`SIREN_HIGHPASS_HZ`, and the dominant bin is searched within
+    :data:`SIREN_BAND`; the ratio divides its magnitude by the mean
+    magnitude of all non-DC bins.
+    """
+    frames = frame_signal(samples, SIREN_FRAME, SIREN_HOP)
+    if frames.shape[0] == 0:
+        empty = np.empty(0)
+        return empty, empty, empty
+    frames = frames * np.hamming(SIREN_FRAME)
+    spectra = np.fft.rfft(frames, axis=1)
+    freqs = np.fft.rfftfreq(SIREN_FRAME, d=1.0 / rate)
+    spectra[:, freqs < SIREN_HIGHPASS_HZ] = 0.0
+    magnitudes = np.abs(spectra)
+    band = (freqs >= SIREN_BAND[0]) & (freqs <= SIREN_BAND[1])
+    in_band = magnitudes[:, band]
+    band_freqs = freqs[band]
+    peak_idx = np.argmax(in_band, axis=1)
+    peak_mag = in_band[np.arange(len(frames)), peak_idx]
+    mean_mag = np.mean(magnitudes[:, 1:], axis=1)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratio = np.where(mean_mag > 0, peak_mag / mean_mag, 0.0)
+    times = start_time + (np.arange(frames.shape[0]) * SIREN_HOP + SIREN_FRAME) / rate
+    return times, ratio, band_freqs[peak_idx]

@@ -1,0 +1,92 @@
+"""Application interface: wake-up condition + precise detector."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.api.pipeline import ProcessingPipeline
+from repro.traces.base import GroundTruthEvent, Trace
+
+
+@dataclass(frozen=True)
+class Detection:
+    """One event reported by an application's precise detector.
+
+    Attributes:
+        time: Detection time (seconds into the trace).  For interval
+            detections this is the interval start.
+        end: Interval end, or None for instantaneous detections.
+        label: The detected event class.
+        confidence: Detector confidence in ``(0, 1]``.
+    """
+
+    time: float
+    end: Optional[float] = None
+    label: str = ""
+    confidence: float = 1.0
+
+    @property
+    def span(self) -> Tuple[float, float]:
+        """Detection as a (start, end) interval."""
+        return (self.time, self.end if self.end is not None else self.time)
+
+
+class SensingApplication:
+    """One continuous-sensing application.
+
+    Subclasses define the class attributes and implement
+    :meth:`build_wakeup_pipeline` and :meth:`detect`.
+
+    Class attributes:
+        name: Application name.
+        event_label: Ground-truth label of the events of interest.
+        channels: Sensor channels the application consumes.
+        match_tolerance_s: Temporal slack when matching detections to
+            ground truth (see :mod:`repro.eval.metrics`).
+        min_event_context_s: Seconds of signal context the precise
+            detector needs around an event to classify it; used by the
+            duty-cycling recall model (a partially observed event cannot
+            be classified).
+    """
+
+    name: str = ""
+    event_label: str = ""
+    channels: Tuple[str, ...] = ()
+    match_tolerance_s: float = 1.0
+    min_event_context_s: float = 0.5
+
+    def build_wakeup_pipeline(self) -> ProcessingPipeline:
+        """The application's Sidewinder wake-up condition.
+
+        Built from platform algorithm stubs only — this is the code the
+        developer writes against the Sidewinder API (Figure 2a).
+        """
+        raise NotImplementedError
+
+    def detect(
+        self, trace: Trace, windows: Sequence[Tuple[float, float]]
+    ) -> List[Detection]:
+        """Run the precise (main-processor) detector.
+
+        Args:
+            trace: The full trace (raw sensor arrays).
+            windows: Spans of data the application actually has access
+                to — the awake/sensing windows of the current sensing
+                configuration, extended by any hub-buffered data.  The
+                detector must not look outside these windows.
+
+        Returns:
+            Detections, time-ordered.
+        """
+        raise NotImplementedError
+
+    def events_of_interest(self, trace: Trace) -> List[GroundTruthEvent]:
+        """Ground-truth events this application should report.
+
+        Default: every event whose label equals :attr:`event_label`.
+        """
+        return trace.events_with_label(self.event_label)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,105 @@
+"""Simulated cloud recognition services.
+
+The paper's music-journal application identifies songs through the
+Echoprint.me web service and the phrase detector uses the Google Speech
+API (Section 3.7.2).  Neither service is available offline, and their
+recognition accuracy is orthogonal to the paper's energy results — the
+cloud call only matters because it happens *after* a wake-up, on the
+main processor.
+
+The simulated services therefore resolve queries against the trace's
+ground truth: if the queried span overlaps a music event, Echoprint
+returns that event's song id; if it overlaps a speech event flagged
+``phrase=True``, the speech API reports the phrase.  A configurable
+error rate models recognition failures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.traces.base import Trace
+
+
+def _overlapping_event(
+    trace: Trace, label: str, start: float, end: float
+):
+    for event in trace.events_with_label(label):
+        if event.end > start and event.start < end:
+            return event
+    return None
+
+
+@dataclass
+class SimulatedEchoprint:
+    """Echoprint.me stand-in: audio span -> song id (or None).
+
+    Attributes:
+        failure_rate: Probability a genuinely playing song is not
+            recognized (fingerprinting failures).  Defaults to 0 so the
+            evaluation harness is deterministic; raise it to study
+            recognition-failure sensitivity.
+        seed: RNG seed for failure draws.
+    """
+
+    failure_rate: float = 0.0
+    seed: int = 0
+    queries: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+
+    def identify(self, trace: Trace, start: float, end: float) -> Optional[str]:
+        """Identify the song playing in ``[start, end]``, if any."""
+        self.queries += 1
+        event = _overlapping_event(trace, "music", start, end)
+        if event is None:
+            return None
+        if self._rng.random() < self.failure_rate:
+            return None
+        index = trace.events_with_label("music").index(event)
+        return f"song-{index:03d}"
+
+
+@dataclass
+class SimulatedSpeechAPI:
+    """Google-Speech stand-in: audio span -> does it contain the phrase.
+
+    Attributes:
+        failure_rate: Probability the phrase goes untranscribed.
+            Defaults to 0 so the evaluation harness is deterministic.
+        seed: RNG seed for failure draws.
+    """
+
+    failure_rate: float = 0.0
+    seed: int = 0
+    queries: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+
+    def contains_phrase(self, trace: Trace, start: float, end: float) -> bool:
+        """True when the span overlaps a phrase-bearing speech event."""
+        self.queries += 1
+        for event in trace.events_with_label("speech"):
+            if event.end > start and event.start < end and event.meta("phrase"):
+                return self._rng.random() >= self.failure_rate
+        return False
+
+
+def music_journal(
+    trace: Trace,
+    detections: List[Tuple[float, float]],
+    service: Optional[SimulatedEchoprint] = None,
+) -> List[Tuple[float, str]]:
+    """Resolve detected music spans to a (time, song id) journal."""
+    service = service or SimulatedEchoprint()
+    journal: List[Tuple[float, str]] = []
+    for start, end in detections:
+        song = service.identify(trace, start, end)
+        if song is not None and (not journal or journal[-1][1] != song):
+            journal.append((start, song))
+    return journal

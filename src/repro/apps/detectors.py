@@ -1,0 +1,158 @@
+"""Shared signal-processing helpers for the precise detectors.
+
+The precise detectors run on the main processor after a wake-up, so
+unlike wake-up conditions they are not restricted to platform
+algorithms; these helpers are ordinary numpy code.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.traces.base import Trace
+
+
+def merge_spans(
+    spans: Sequence[Tuple[float, float]], min_gap: float = 0.0
+) -> List[Tuple[float, float]]:
+    """Sort spans and merge overlaps (and gaps below ``min_gap``)."""
+    merged: List[Tuple[float, float]] = []
+    for start, end in sorted(spans):
+        if end <= start:
+            continue
+        if merged and start - merged[-1][1] <= min_gap:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def iter_window_arrays(
+    trace: Trace,
+    channel: str,
+    windows: Sequence[Tuple[float, float]],
+) -> Iterator[Tuple[float, np.ndarray]]:
+    """Yield ``(window_start_time, samples)`` per accessible window.
+
+    Windows are merged first, so overlapping wake-ups yield one
+    contiguous array (the detector sees each sample once).
+    """
+    rate = trace.rate_hz[channel]
+    samples = trace.data[channel]
+    for start, end in merge_spans(windows):
+        i0 = max(0, int(round(start * rate)))
+        i1 = min(len(samples), int(round(end * rate)))
+        if i1 > i0:
+            yield (i0 / rate, samples[i0:i1])
+
+
+def moving_average(values: np.ndarray, size: int) -> np.ndarray:
+    """Centred-on-trailing moving average, same semantics as the hub's
+    ``movingAvg``: output[i] is the mean of ``values[i-size+1 .. i]``;
+    the first ``size - 1`` positions are dropped."""
+    if len(values) < size:
+        return np.empty(0)
+    csum = np.concatenate([[0.0], np.cumsum(values)])
+    return (csum[size:] - csum[:-size]) / size
+
+
+def local_maxima(
+    values: np.ndarray,
+    low: float,
+    high: float,
+    min_separation: int,
+    margin: int = 0,
+    prominence: float = 0.0,
+) -> np.ndarray:
+    """Indices of local maxima within ``[low, high]``, debounced.
+
+    Args:
+        margin: Samples of context required on *both* sides of a peak.
+            A peak too close to the data edge is rejected — a classifier
+            cannot confirm a half-seen event (this is what makes short
+            duty-cycling windows miss brief events).
+        prominence: Minimum rise from the lowest value within ``margin``
+            samples on each side up to the peak.  Filters noise wiggles
+            that happen to sit inside the amplitude band.
+    """
+    if len(values) < 3:
+        return np.empty(0, dtype=int)
+    mid = values[1:-1]
+    is_peak = (values[:-2] < mid) & (mid >= values[2:])
+    in_band = (mid >= low) & (mid <= high)
+    candidates = np.flatnonzero(is_peak & in_band) + 1
+    if margin > 0:
+        qualified = []
+        for idx in candidates:
+            if idx < margin or idx + margin >= len(values):
+                continue
+            left = values[idx - margin : idx]
+            right = values[idx + 1 : idx + 1 + margin]
+            peak = values[idx]
+            if (
+                peak - left.min() >= prominence
+                and peak - right.min() >= prominence
+            ):
+                qualified.append(idx)
+        candidates = np.asarray(qualified, dtype=int)
+    return _debounce(candidates, min_separation)
+
+
+def local_minima(
+    values: np.ndarray,
+    low: float,
+    high: float,
+    min_separation: int,
+    margin: int = 0,
+    prominence: float = 0.0,
+) -> np.ndarray:
+    """Indices of local minima within ``[low, high]``, debounced.
+
+    See :func:`local_maxima` for the ``margin`` / ``prominence``
+    semantics (mirrored for valleys).
+    """
+    return local_maxima(-values, -high, -low, min_separation, margin, prominence)
+
+
+def _debounce(indices: np.ndarray, min_separation: int) -> np.ndarray:
+    if len(indices) == 0:
+        return indices
+    kept = [int(indices[0])]
+    for idx in indices[1:]:
+        if idx - kept[-1] >= min_separation:
+            kept.append(int(idx))
+    return np.asarray(kept, dtype=int)
+
+
+def frame_signal(values: np.ndarray, size: int, hop: int) -> np.ndarray:
+    """Non-padded sliding frames: shape (n_frames, size)."""
+    if len(values) < size:
+        return np.empty((0, size))
+    n_frames = (len(values) - size) // hop + 1
+    idx = np.arange(n_frames)[:, None] * hop + np.arange(size)[None, :]
+    return values[idx]
+
+
+def zero_crossing_rate(frames: np.ndarray) -> np.ndarray:
+    """Per-frame fraction of sign changes (matches the hub algorithm)."""
+    signs = np.signbit(frames)
+    return np.sum(signs[:, 1:] != signs[:, :-1], axis=1) / max(
+        frames.shape[1] - 1, 1
+    )
+
+
+def spans_from_mask(
+    mask: np.ndarray, times: np.ndarray
+) -> List[Tuple[float, float]]:
+    """Contiguous True runs of ``mask`` as (start, end) time spans."""
+    if len(mask) == 0:
+        return []
+    padded = np.concatenate([[False], mask, [False]])
+    edges = np.flatnonzero(padded[1:] != padded[:-1])
+    starts, ends = edges[0::2], edges[1::2]
+    return [
+        (float(times[s]), float(times[min(e, len(times) - 1)]))
+        for s, e in zip(starts, ends)
+    ]

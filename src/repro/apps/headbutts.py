@@ -1,0 +1,76 @@
+"""Headbutt detection (paper Section 3.7.1).
+
+"Detects a sudden forward head movement.  The application monitors the
+y-axis acceleration and searches for local minima between -3.75 m/s^2
+and -6.75 m/s^2."  Headbutts stand in for very infrequent human actions
+such as falls.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.api.branch import ProcessingBranch
+from repro.api.pipeline import ProcessingPipeline
+from repro.api.stubs import MaxThreshold, MovingAverage
+from repro.apps.base import Detection, SensingApplication
+from repro.apps.detectors import iter_window_arrays, local_minima, moving_average
+from repro.sensors.channels import ACC_Y
+from repro.traces.base import Trace
+
+#: Headbutt dip band on the y axis, m/s^2 (paper: [-6.75, -3.75]).
+HEADBUTT_BAND = (-6.75, -3.75)
+
+_SMOOTH_SAMPLES = 3
+_MIN_SEPARATION_S = 0.5
+
+#: Full-context requirements: the dip apex needs ~200 ms of signal on
+#: each side, rising at least 1.5 m/s^2 back out of the dip — a jerk
+#: half-seen at a window edge cannot be confirmed as a headbutt.
+_DIP_MARGIN_SAMPLES = 10
+_DIP_PROMINENCE = 1.5
+
+
+class HeadbuttApp(SensingApplication):
+    """Detects sudden forward head movements (rare events)."""
+
+    name = "headbutts"
+    event_label = "headbutt"
+    channels = ("ACC_Y",)
+    match_tolerance_s = 0.6
+    min_event_context_s = 0.4
+
+    def build_wakeup_pipeline(self) -> ProcessingPipeline:
+        """Wake-up condition: smoothed y-axis dips below the band top.
+
+        A plain low-threshold admission control — any y value at or
+        below -3.5 m/s^2 wakes the device (slightly wider than the
+        detector band, for recall).  Normal posture keeps y near 0
+        (standing) or +4.5 (sitting), so only violent forward jerks
+        fire this.
+        """
+        pipeline = ProcessingPipeline()
+        pipeline.add(
+            ProcessingBranch(ACC_Y)
+            .add(MovingAverage(_SMOOTH_SAMPLES))
+            .add(MaxThreshold(HEADBUTT_BAND[1] + 0.25))
+        )
+        return pipeline
+
+    def detect(
+        self, trace: Trace, windows: Sequence[Tuple[float, float]]
+    ) -> List[Detection]:
+        """Precise detector: banded local minima of the smoothed y axis."""
+        rate = trace.rate_hz["ACC_Y"]
+        min_sep = int(_MIN_SEPARATION_S * rate)
+        detections: List[Detection] = []
+        for start_time, samples in iter_window_arrays(trace, "ACC_Y", windows):
+            smoothed = moving_average(samples, _SMOOTH_SAMPLES)
+            dips = local_minima(
+                smoothed, HEADBUTT_BAND[0], HEADBUTT_BAND[1], min_sep,
+                margin=_DIP_MARGIN_SAMPLES, prominence=_DIP_PROMINENCE,
+            )
+            for idx in dips:
+                t = start_time + (idx + _SMOOTH_SAMPLES - 1) / rate
+                detections.append(Detection(time=t, label="headbutt"))
+        return detections

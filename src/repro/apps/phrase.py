@@ -1,0 +1,121 @@
+"""Phrase detection (paper Section 3.7.2).
+
+"Similar to Music Journal, except different parameters are used in the
+wake-up condition and Google Speech API was used for speech-to-text
+translation."
+
+Speech's signature is the inverse of music's: the alternation between
+voiced and unvoiced syllables swings the per-sub-window zero-crossing
+rate, giving *high* ZCR variance; sound presence still shows as
+amplitude variance.  The wake-up condition fires on any speech
+(~5 % of the trace); the main processor then transcribes and matches the
+phrase, which occurs in well under 1 % of the trace — the paper's worked
+example of a deliberately conservative wake-up condition (Section 5.2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.api.branch import ProcessingBranch
+from repro.api.pipeline import ProcessingPipeline
+from repro.api.stubs import (
+    BandIndicator,
+    MinOf,
+    MinThreshold,
+    Statistic,
+    Window,
+    ZeroCrossingRate,
+)
+from repro.apps.audio_features import SUBWINDOW, WINDOW, window_features
+from repro.apps.base import Detection, SensingApplication
+from repro.apps.cloud import SimulatedSpeechAPI
+from repro.apps.detectors import iter_window_arrays, merge_spans, spans_from_mask
+from repro.sensors.channels import MIC
+from repro.traces.base import Trace
+from repro.traces.base import GroundTruthEvent
+
+#: Speech thresholds (calibrated against the synthetic corpora, see
+#: tests/unit/test_audio_thresholds.py): sound present plus strongly
+#: varying sub-window ZCR.
+SPEECH_AMP_VAR_MIN = 1.0e-3
+SPEECH_ZCR_VAR_MIN = 2.5e-3
+
+#: Minimum speech span worth transcribing.
+_MIN_SPEECH_S = 0.6
+
+#: Wake-up thresholds: conservative versions of the above.
+_WAKEUP_AMP_VAR_MIN = 7.0e-4
+_WAKEUP_ZCR_VAR_MIN = 1.5e-3
+
+
+class PhraseDetectionApp(SensingApplication):
+    """Detects a spoken trigger phrase ("OK Google Now" style)."""
+
+    name = "phrase_detection"
+    event_label = "speech"  # refined by events_of_interest
+    channels = ("MIC",)
+    match_tolerance_s = 2.0
+    min_event_context_s = 1.0
+
+    def __init__(self, service: Optional[SimulatedSpeechAPI] = None):
+        self.service = service or SimulatedSpeechAPI()
+
+    def events_of_interest(self, trace: Trace) -> List[GroundTruthEvent]:
+        """Only the speech segments that actually contain the phrase."""
+        return [
+            e for e in trace.events_with_label("speech") if e.meta("phrase")
+        ]
+
+    def build_wakeup_pipeline(self) -> ProcessingPipeline:
+        """Wake-up condition: two-branch speech trigger (Figure 3).
+
+        Same topology as the music pipeline with the ZCR-variance
+        indicator inverted: speech requires *high* ZCR variance.
+        """
+        pipeline = ProcessingPipeline()
+        pipeline.add(
+            ProcessingBranch(MIC)
+            .add(Window(WINDOW))
+            .add(Statistic("variance"))
+            .add(BandIndicator(_WAKEUP_AMP_VAR_MIN, 1e9))
+        )
+        pipeline.add(
+            ProcessingBranch(MIC)
+            .add(Window(SUBWINDOW))
+            .add(ZeroCrossingRate())
+            .add(Window(WINDOW // SUBWINDOW))
+            .add(Statistic("variance"))
+            .add(BandIndicator(_WAKEUP_ZCR_VAR_MIN, 1e9))
+        )
+        pipeline.add(MinOf())
+        pipeline.add(MinThreshold(1.0))
+        return pipeline
+
+    def detect(
+        self, trace: Trace, windows: Sequence[Tuple[float, float]]
+    ) -> List[Detection]:
+        """Precise detector: speech spans, transcribed by the cloud.
+
+        A detection is reported only when the (simulated) speech API
+        confirms the phrase — the second-stage filtering that restores
+        precision after the deliberately loose wake-up condition.
+        """
+        rate = trace.rate_hz["MIC"]
+        window_s = WINDOW / rate
+        spans: List[Tuple[float, float]] = []
+        for start_time, samples in iter_window_arrays(trace, "MIC", windows):
+            feats = window_features(samples, start_time, rate)
+            qualifying = (
+                (feats.amplitude_variance >= SPEECH_AMP_VAR_MIN)
+                & (feats.zcr_variance >= SPEECH_ZCR_VAR_MIN)
+            )
+            spans.extend(spans_from_mask(qualifying, feats.times))
+        merged = merge_spans(spans, min_gap=4 * window_s)
+        detections: List[Detection] = []
+        for start, end in merged:
+            if end - start < _MIN_SPEECH_S:
+                continue
+            if self.service.contains_phrase(trace, start, end):
+                detections.append(Detection(time=start, end=end, label="phrase"))
+        return detections

@@ -1,0 +1,91 @@
+"""Step counting (paper Section 3.7.1, after Libby's method).
+
+"The application takes in raw accelerometer readings and applies a
+low-pass filter on the x-axis acceleration.  It then searches for local
+maxima in the filtered x-axis acceleration.  Local maxima between
+2.5 m/s^2 and 4.5 m/s^2 are detected as steps."
+
+The event of interest for recall/precision purposes is a *walking bout*
+(the robot's action log records walking intervals); the detector
+additionally reports every individual step, so step-count accuracy can
+be evaluated too.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.api.branch import ProcessingBranch
+from repro.api.pipeline import ProcessingPipeline
+from repro.api.stubs import LocalExtrema, MovingAverage
+from repro.apps.base import Detection, SensingApplication
+from repro.apps.detectors import iter_window_arrays, local_maxima, moving_average
+from repro.sensors.channels import ACC_X
+from repro.traces.base import Trace
+
+#: Libby-style step band on the low-passed x axis, m/s^2.
+STEP_BAND = (2.5, 4.5)
+
+#: Low-pass moving-average length at 50 Hz (100 ms).
+_SMOOTH_SAMPLES = 5
+
+#: Two peaks closer than 300 ms cannot both be steps.
+_MIN_STEP_SEPARATION_S = 0.3
+
+#: Full-context requirements: a step peak must be seen with ~160 ms of
+#: signal on each side and rise at least 1.0 m/s^2 out of the trough —
+#: a half-glimpsed stride at a sensing-window edge is not a step.
+_PEAK_MARGIN_SAMPLES = 8
+_PEAK_PROMINENCE = 1.0
+
+
+class StepsApp(SensingApplication):
+    """Counts steps; events of interest are walking bouts."""
+
+    name = "steps"
+    event_label = "walking"
+    channels = ("ACC_X",)
+    match_tolerance_s = 1.0
+    min_event_context_s = 1.0  # needs about a stride of context
+
+    def build_wakeup_pipeline(self) -> ProcessingPipeline:
+        """Wake-up condition: smoothed x-axis peaks in the step band.
+
+        The same structure as the precise detector — a low-pass filter
+        followed by a banded local-maximum search — expressed entirely
+        in platform algorithms.  The band is widened slightly versus the
+        precise detector (conservative, high-recall configuration as
+        Section 2.1.2 prescribes).
+        """
+        pipeline = ProcessingPipeline()
+        pipeline.add(
+            ProcessingBranch(ACC_X)
+            .add(MovingAverage(_SMOOTH_SAMPLES))
+            .add(LocalExtrema("max", STEP_BAND[0] - 0.4, STEP_BAND[1] + 0.6,
+                              min_separation=10))
+        )
+        return pipeline
+
+    def detect(
+        self, trace: Trace, windows: Sequence[Tuple[float, float]]
+    ) -> List[Detection]:
+        """Precise detector: one detection per step."""
+        rate = trace.rate_hz["ACC_X"]
+        min_sep = int(_MIN_STEP_SEPARATION_S * rate)
+        detections: List[Detection] = []
+        for start_time, samples in iter_window_arrays(trace, "ACC_X", windows):
+            smoothed = moving_average(samples, _SMOOTH_SAMPLES)
+            peaks = local_maxima(
+                smoothed, STEP_BAND[0], STEP_BAND[1], min_sep,
+                margin=_PEAK_MARGIN_SAMPLES, prominence=_PEAK_PROMINENCE,
+            )
+            for idx in peaks:
+                # moving_average drops the first size-1 samples.
+                t = start_time + (idx + _SMOOTH_SAMPLES - 1) / rate
+                detections.append(Detection(time=t, label="step"))
+        return detections
+
+    @staticmethod
+    def count_steps(detections: Sequence[Detection]) -> int:
+        """Number of individual steps among the detections."""
+        return sum(1 for d in detections if d.label == "step")

@@ -1,0 +1,315 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``inventory`` — list sensors and platform algorithms;
+* ``compile`` — print an application's wake-up condition as IL and its
+  hub placement;
+* ``simulate`` — run one (application, configuration, trace) simulation
+  and print the result summary;
+* ``trace`` — generate a synthetic trace and save it to disk;
+* ``table1`` / ``table2`` / ``figure5`` / ``figure6`` / ``figure7`` —
+  regenerate a table or figure of the paper;
+* ``merge`` — show pipeline-merging savings for a set of applications.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.algorithms.base import available_opcodes
+from repro.api.compile import compile_pipeline
+from repro.apps import all_applications
+from repro.apps.base import SensingApplication
+from repro.errors import SidewinderError
+from repro.hub.feasibility import analyze, select_mcu
+from repro.hub.mcu import DEFAULT_CATALOG
+from repro.il.text import format_program
+from repro.il.validate import validate_program
+from repro.sensors.channels import all_channels
+from repro.sim import (
+    AlwaysAwake,
+    Batching,
+    DutyCycling,
+    Oracle,
+    PredefinedActivity,
+    Sidewinder,
+)
+from repro.traces.base import Trace
+
+
+def _apps_by_name() -> Dict[str, SensingApplication]:
+    return {app.name: app for app in all_applications()}
+
+
+def _make_config(name: str, sleep_interval: float):
+    factories = {
+        "always_awake": lambda: AlwaysAwake(),
+        "duty_cycling": lambda: DutyCycling(sleep_interval),
+        "batching": lambda: Batching(sleep_interval),
+        "predefined_activity": lambda: PredefinedActivity(),
+        "sidewinder": lambda: Sidewinder(),
+        "oracle": lambda: Oracle(),
+    }
+    if name not in factories:
+        raise SidewinderError(
+            f"unknown configuration {name!r}; choose from {sorted(factories)}"
+        )
+    return factories[name]()
+
+
+def _make_trace(spec: str, duration: float, seed: int) -> Trace:
+    """Build a trace from a spec like ``robot:2``, ``human:commute`` or
+    ``audio:office``."""
+    kind, _, variant = spec.partition(":")
+    if kind == "robot":
+        from repro.traces.robot import RobotRunConfig, generate_robot_run
+        group = int(variant or 1)
+        return generate_robot_run(
+            RobotRunConfig(group=group, duration_s=duration, seed=seed)
+        )
+    if kind == "human":
+        from repro.traces.human import (
+            HumanScenario,
+            HumanTraceConfig,
+            generate_human_trace,
+        )
+        scenario = HumanScenario(variant or "commute")
+        return generate_human_trace(
+            HumanTraceConfig(scenario=scenario, duration_s=duration, seed=seed)
+        )
+    if kind == "audio":
+        from repro.traces.audio import (
+            AudioEnvironment,
+            AudioTraceConfig,
+            generate_audio_trace,
+        )
+        environment = AudioEnvironment(variant or "office")
+        return generate_audio_trace(
+            AudioTraceConfig(environment=environment, duration_s=duration, seed=seed)
+        )
+    raise SidewinderError(
+        f"unknown trace kind {kind!r}; use robot[:group], human[:scenario] "
+        "or audio[:environment]"
+    )
+
+
+def cmd_inventory(_: argparse.Namespace) -> int:
+    """List sensors, platform algorithms and applications."""
+    print("sensor channels:")
+    for channel in all_channels():
+        print(f"  {channel.name:<8s} {channel.kind.value:<14s} "
+              f"{channel.rate_hz:g} Hz ({channel.unit})")
+    print()
+    print("platform algorithms:")
+    for opcode in available_opcodes():
+        print(f"  {opcode}")
+    print()
+    print("applications:")
+    for name in sorted(_apps_by_name()):
+        print(f"  {name}")
+    return 0
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    """Print an application's wake-up condition IL and placement."""
+    apps = _apps_by_name()
+    if args.app not in apps:
+        print(f"unknown application {args.app!r}; choose from {sorted(apps)}",
+              file=sys.stderr)
+        return 2
+    app = apps[args.app]
+    program = compile_pipeline(app.build_wakeup_pipeline())
+    graph = validate_program(program)
+    if args.diagram:
+        from repro.il.draw import render_condition_tree
+        print(render_condition_tree(program))
+        print()
+    print(format_program(program))
+    mcu = select_mcu(graph, DEFAULT_CATALOG)
+    print(f"# placed on {mcu.name} "
+          f"({analyze(graph, mcu).utilization:.1%} of its cycle budget)")
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    """Run one (app, configuration, trace) simulation."""
+    apps = _apps_by_name()
+    if args.app not in apps:
+        print(f"unknown application {args.app!r}; choose from {sorted(apps)}",
+              file=sys.stderr)
+        return 2
+    trace = _make_trace(args.trace, args.duration, args.seed)
+    config = _make_config(args.config, args.sleep_interval)
+    result = config.run(apps[args.app], trace)
+    print(result.summary())
+    breakdown = result.power
+    print(
+        f"  awake {breakdown.awake_fraction:6.1%} of trace | phone "
+        f"{breakdown.phone_mw:6.1f} mW + hub {breakdown.hub_mw:4.1f} mW | "
+        f"energy {breakdown.total_energy_mj / 1000:7.1f} J"
+    )
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Generate a synthetic trace and save it to disk."""
+    from repro.traces.io import save_trace
+    trace = _make_trace(args.kind, args.duration, args.seed)
+    path = save_trace(trace, args.out)
+    labels: Dict[str, int] = {}
+    for event in trace.events:
+        labels[event.label] = labels.get(event.label, 0) + 1
+    print(f"wrote {path} ({trace.duration:g}s, events: {labels})")
+    return 0
+
+
+def cmd_table1(_: argparse.Namespace) -> int:
+    """Print the paper's Table 1 (Nexus 4 power profile)."""
+    from repro.eval.report import render_table1
+    from repro.eval.tables import build_table1
+    print(render_table1(build_table1()))
+    return 0
+
+
+def cmd_table2(args: argparse.Namespace) -> int:
+    """Regenerate the paper's Table 2 over the audio corpus."""
+    from repro.eval.report import render_table2
+    from repro.eval.tables import PAPER_TABLE2, build_table2
+    from repro.traces.library import audio_corpus
+    table, _ = build_table2(traces=audio_corpus(duration_s=args.duration))
+    print(render_table2(table, paper=PAPER_TABLE2))
+    return 0
+
+
+def cmd_figure5(args: argparse.Namespace) -> int:
+    """Regenerate Figure 5 over the robot corpus."""
+    from repro.eval.figures import figure5_series
+    from repro.eval.report import render_figure5
+    from repro.traces.library import robot_corpus
+    series, _ = figure5_series(traces=robot_corpus(duration_s=args.duration))
+    print(render_figure5(series))
+    return 0
+
+
+def cmd_figure6(args: argparse.Namespace) -> int:
+    """Regenerate Figure 6 (duty-cycling recall curves)."""
+    from repro.eval.figures import figure6_series
+    from repro.eval.report import render_figure6
+    from repro.traces.library import robot_corpus
+    group1 = [
+        t for t in robot_corpus(duration_s=args.duration)
+        if t.metadata.get("group") == 1
+    ]
+    print(render_figure6(figure6_series(traces=group1)))
+    return 0
+
+
+def cmd_figure7(args: argparse.Namespace) -> int:
+    """Regenerate Figure 7 over the human corpus."""
+    from repro.eval.figures import figure7_series
+    from repro.eval.report import render_figure7
+    from repro.traces.library import human_corpus
+    series, _ = figure7_series(traces=human_corpus(duration_s=args.duration))
+    print(render_figure7(series))
+    return 0
+
+
+def cmd_merge(args: argparse.Namespace) -> int:
+    """Merge several apps' conditions and report the sharing."""
+    from repro.hub.merge import merge_programs, merged_cycles_per_second
+    apps = _apps_by_name()
+    names = [name.strip() for name in args.apps.split(",")]
+    unknown = [n for n in names if n not in apps]
+    if unknown:
+        print(f"unknown applications {unknown}; choose from {sorted(apps)}",
+              file=sys.stderr)
+        return 2
+    programs = [
+        compile_pipeline(apps[name].build_wakeup_pipeline()) for name in names
+    ]
+    separate = sum(validate_program(p).total_cycles_per_second for p in programs)
+    merged = merge_programs(programs)
+    merged_load = merged_cycles_per_second(merged)
+    print(format_program(merged.program))
+    print(f"# taps: {dict(zip(names, merged.taps))}")
+    print(f"# nodes {merged.original_node_count} -> {merged.node_count} "
+          f"(shared {merged.shared_nodes})")
+    if separate > 0:
+        print(f"# hub load {separate / 1e6:.2f}M -> {merged_load / 1e6:.2f}M "
+              f"cycles/s ({1 - merged_load / separate:.0%} saved)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Sidewinder (ASPLOS 2016) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("inventory", help="list sensors, algorithms and apps")
+
+    p = sub.add_parser("compile", help="show an app's wake-up condition IL")
+    p.add_argument("--app", required=True)
+    p.add_argument("--diagram", action="store_true",
+                   help="also draw the Figure 2b-style conceptual tree")
+
+    p = sub.add_parser("simulate", help="run one simulation")
+    p.add_argument("--app", required=True)
+    p.add_argument("--config", default="sidewinder")
+    p.add_argument("--trace", default="robot:1",
+                   help="robot[:group] | human[:scenario] | audio[:environment]")
+    p.add_argument("--duration", type=float, default=600.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--sleep-interval", type=float, default=10.0)
+
+    p = sub.add_parser("trace", help="generate and save a synthetic trace")
+    p.add_argument("--kind", required=True,
+                   help="robot[:group] | human[:scenario] | audio[:environment]")
+    p.add_argument("--duration", type=float, default=600.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", required=True)
+
+    sub.add_parser("table1", help="print Table 1")
+    for name, default in (("table2", 600.0), ("figure5", 600.0),
+                          ("figure6", 600.0), ("figure7", 1200.0)):
+        p = sub.add_parser(name, help=f"regenerate {name}")
+        p.add_argument("--duration", type=float, default=default)
+
+    p = sub.add_parser("merge", help="merge several apps' conditions")
+    p.add_argument("--apps", required=True,
+                   help="comma-separated application names")
+
+    return parser
+
+
+_COMMANDS = {
+    "inventory": cmd_inventory,
+    "compile": cmd_compile,
+    "simulate": cmd_simulate,
+    "trace": cmd_trace,
+    "table1": cmd_table1,
+    "table2": cmd_table2,
+    "figure5": cmd_figure5,
+    "figure6": cmd_figure6,
+    "figure7": cmd_figure7,
+    "merge": cmd_merge,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except SidewinderError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,76 @@
+"""Exception hierarchy for the Sidewinder reproduction.
+
+Every error raised by the library derives from :class:`SidewinderError` so
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class SidewinderError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class PipelineError(SidewinderError):
+    """A processing pipeline is structurally invalid.
+
+    Raised when a pipeline cannot be compiled to the intermediate
+    language: e.g. it has no branches, does not converge to a single
+    output branch, or chains algorithms with incompatible stream kinds.
+    """
+
+
+class CompileError(PipelineError):
+    """Compilation of a pipeline into intermediate code failed."""
+
+
+class ILSyntaxError(SidewinderError):
+    """Intermediate-language text could not be parsed."""
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class ILValidationError(SidewinderError):
+    """An intermediate-language program is syntactically well formed but
+    semantically invalid (dangling references, cycles, wrong arity, more
+    than one OUT, ...)."""
+
+
+class UnknownAlgorithmError(SidewinderError):
+    """The hub runtime has no implementation registered for an opcode."""
+
+    def __init__(self, opcode: str):
+        self.opcode = opcode
+        super().__init__(
+            f"no algorithm registered for opcode {opcode!r}; "
+            "the wake-up condition cannot run on this sensor hub"
+        )
+
+
+class UnknownChannelError(SidewinderError):
+    """A pipeline references a sensor channel the device does not have."""
+
+    def __init__(self, channel: str):
+        self.channel = channel
+        super().__init__(f"unknown sensor channel {channel!r}")
+
+
+class ParameterError(SidewinderError):
+    """An algorithm was configured with invalid parameters."""
+
+
+class FeasibilityError(SidewinderError):
+    """A wake-up condition cannot run in real time on any available MCU."""
+
+
+class SimulationError(SidewinderError):
+    """The trace-driven simulator was configured inconsistently."""
+
+
+class TraceError(SidewinderError):
+    """A sensor trace is malformed or incompatible with the request."""

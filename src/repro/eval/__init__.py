@@ -1,0 +1,25 @@
+"""Evaluation harness: metrics, experiment runners, table/figure builders.
+
+Only the dependency-light pieces (:mod:`repro.eval.metrics`,
+:mod:`repro.eval.report`) are re-exported here; the experiment runners
+(:mod:`repro.eval.experiments`, :mod:`repro.eval.tables`,
+:mod:`repro.eval.figures`) import the simulator and are used as
+submodules to keep the import graph acyclic::
+
+    from repro.eval.experiments import run_matrix
+    from repro.eval.tables import build_table2
+"""
+
+from repro.eval.metrics import (
+    MatchResult,
+    match_events,
+    precision_score,
+    recall_score,
+)
+
+__all__ = [
+    "MatchResult",
+    "match_events",
+    "precision_score",
+    "recall_score",
+]

@@ -1,0 +1,169 @@
+"""Experiment runners: the paper's configuration matrix.
+
+:func:`run_matrix` replays every (configuration, application, trace)
+combination; the aggregation helpers compute the quantities the paper
+reports — power relative to Oracle (Figures 5 and 7), savings fractions
+(Section 5.2), and cross-configuration ratios (Sections 5.3-5.4).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+
+from repro.apps.base import SensingApplication
+from repro.sim.configs import (
+    AlwaysAwake,
+    Batching,
+    DutyCycling,
+    Oracle,
+    PredefinedActivity,
+    Sidewinder,
+)
+from repro.sim.configs.base import SensingConfiguration
+from repro.sim.results import SimulationResult
+from repro.traces.base import Trace
+
+#: Short labels used by the figure builders, matching the paper's axes.
+CONFIG_LABELS = {
+    "always_awake": "AA",
+    "duty_cycling_2s": "DC-2",
+    "duty_cycling_5s": "DC-5",
+    "duty_cycling_10s": "DC-10",
+    "duty_cycling_20s": "DC-20",
+    "duty_cycling_30s": "DC-30",
+    "batching_10s": "Ba-10",
+    "predefined_activity": "PA",
+    "sidewinder": "Sw",
+    "oracle": "Oracle",
+}
+
+
+def paper_configurations(
+    sleep_intervals: Sequence[float] = (2.0, 5.0, 10.0, 20.0, 30.0),
+    batching_interval: float = 10.0,
+) -> List[SensingConfiguration]:
+    """The Figure 5 configuration set: AA, DC-*, Ba-10, PA, Sw, Oracle.
+
+    The paper shows Batching at a 10 s interval only ("the other results
+    were similar to Duty Cycling", Figure 5 footnote).
+    """
+    configs: List[SensingConfiguration] = [AlwaysAwake()]
+    configs.extend(DutyCycling(interval) for interval in sleep_intervals)
+    configs.append(Batching(batching_interval))
+    configs.append(PredefinedActivity())
+    configs.append(Sidewinder())
+    configs.append(Oracle())
+    return configs
+
+
+@dataclass
+class Matrix:
+    """All results of one experiment sweep, with lookup helpers."""
+
+    results: List[SimulationResult] = field(default_factory=list)
+
+    def add(self, result: SimulationResult) -> None:
+        """Record one simulation result."""
+        self.results.append(result)
+
+    def get(
+        self, config_name: str, app_name: str, trace_name: str
+    ) -> SimulationResult:
+        """Exact lookup; raises ``KeyError`` when absent."""
+        for r in self.results:
+            if (
+                r.config_name == config_name
+                and r.app_name == app_name
+                and r.trace_name == trace_name
+            ):
+                return r
+        raise KeyError((config_name, app_name, trace_name))
+
+    def select(
+        self,
+        config_name: str | None = None,
+        app_name: str | None = None,
+        predicate: Callable[[SimulationResult], bool] | None = None,
+    ) -> List[SimulationResult]:
+        """All results matching the given filters."""
+        out = []
+        for r in self.results:
+            if config_name is not None and r.config_name != config_name:
+                continue
+            if app_name is not None and r.app_name != app_name:
+                continue
+            if predicate is not None and not predicate(r):
+                continue
+            out.append(r)
+        return out
+
+    def mean_power(
+        self,
+        config_name: str,
+        app_name: str,
+        trace_names: Iterable[str] | None = None,
+    ) -> float:
+        """Mean average power over the selected traces, mW."""
+        names = set(trace_names) if trace_names is not None else None
+        rows = [
+            r
+            for r in self.select(config_name, app_name)
+            if names is None or r.trace_name in names
+        ]
+        if not rows:
+            raise KeyError((config_name, app_name, trace_names))
+        return sum(r.average_power_mw for r in rows) / len(rows)
+
+    def relative_to_oracle(
+        self,
+        config_name: str,
+        app_name: str,
+        trace_names: Iterable[str] | None = None,
+    ) -> float:
+        """Mean power of a configuration divided by Oracle's (Figure 5)."""
+        oracle = self.mean_power("oracle", app_name, trace_names)
+        if oracle <= 0:
+            return float("inf")
+        return self.mean_power(config_name, app_name, trace_names) / oracle
+
+    def savings_fraction(
+        self,
+        config_name: str,
+        app_name: str,
+        trace_names: Iterable[str] | None = None,
+    ) -> float:
+        """(AA - X) / (AA - Oracle), the Section 5.2 metric."""
+        aa = self.mean_power("always_awake", app_name, trace_names)
+        oracle = self.mean_power("oracle", app_name, trace_names)
+        x = self.mean_power(config_name, app_name, trace_names)
+        if aa - oracle <= 0:
+            return 1.0
+        return (aa - x) / (aa - oracle)
+
+
+def run_matrix(
+    configs: Sequence[SensingConfiguration],
+    apps: Sequence[SensingApplication],
+    traces: Sequence[Trace],
+) -> Matrix:
+    """Simulate every (config, app, trace) combination."""
+    matrix = Matrix()
+    for trace in traces:
+        for app in apps:
+            if any(channel not in trace.data for channel in app.channels):
+                continue  # app's sensor absent from this trace
+            for config in configs:
+                matrix.add(config.run(app, trace))
+    return matrix
+
+
+def group_trace_names(traces: Sequence[Trace]) -> Dict[int, List[str]]:
+    """Robot trace names keyed by activity group."""
+    groups: Dict[int, List[str]] = defaultdict(list)
+    for trace in traces:
+        group = trace.metadata.get("group")
+        if group is not None:
+            groups[int(group)].append(trace.name)
+    return dict(groups)

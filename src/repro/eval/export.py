@@ -1,0 +1,105 @@
+"""Machine-readable export of experiment results.
+
+The report module renders tables for humans; this one writes the same
+data as CSV and JSON so plotting scripts and downstream analyses can
+consume a benchmark run without re-simulating.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence, Union
+
+from repro.sim.results import SimulationResult
+
+#: Columns of the flat per-simulation CSV.
+RESULT_FIELDS = (
+    "config",
+    "app",
+    "trace",
+    "power_mw",
+    "phone_mw",
+    "hub_mw",
+    "awake_fraction",
+    "wakeups",
+    "hub_wake_count",
+    "recall",
+    "precision",
+    "duration_s",
+)
+
+
+def result_row(result: SimulationResult) -> dict:
+    """Flatten one simulation result into a CSV/JSON row."""
+    return {
+        "config": result.config_name,
+        "app": result.app_name,
+        "trace": result.trace_name,
+        "power_mw": round(result.average_power_mw, 4),
+        "phone_mw": round(result.power.phone_mw, 4),
+        "hub_mw": round(result.power.hub_mw, 4),
+        "awake_fraction": round(result.power.awake_fraction, 6),
+        "wakeups": result.wakeup_count,
+        "hub_wake_count": result.hub_wake_count,
+        "recall": round(result.recall, 6),
+        "precision": round(result.precision, 6),
+        "duration_s": round(result.power.duration_s, 3),
+    }
+
+
+def write_results_csv(
+    results: Iterable[SimulationResult], path: Union[str, Path]
+) -> Path:
+    """Write simulation results as a flat CSV; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=RESULT_FIELDS)
+        writer.writeheader()
+        for result in results:
+            writer.writerow(result_row(result))
+    return path
+
+
+def write_results_json(
+    results: Iterable[SimulationResult], path: Union[str, Path]
+) -> Path:
+    """Write simulation results as a JSON array; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps([result_row(r) for r in results], indent=2, sort_keys=True)
+    )
+    return path
+
+
+def write_series_json(
+    series: Mapping, path: Union[str, Path], meta: Mapping | None = None
+) -> Path:
+    """Write a figure's nested series (plus optional metadata) as JSON.
+
+    Non-string mapping keys (group numbers, sleep intervals) are
+    stringified, matching what any JSON consumer expects.
+    """
+    def normalize(value):
+        if isinstance(value, Mapping):
+            return {str(k): normalize(v) for k, v in value.items()}
+        if isinstance(value, (list, tuple)):
+            return [normalize(v) for v in value]
+        return value
+
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {"series": normalize(series)}
+    if meta:
+        payload["meta"] = normalize(meta)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path
+
+
+def read_results_csv(path: Union[str, Path]) -> Sequence[dict]:
+    """Load a CSV written by :func:`write_results_csv` (strings kept)."""
+    with Path(path).open() as handle:
+        return list(csv.DictReader(handle))

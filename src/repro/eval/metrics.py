@@ -1,0 +1,180 @@
+"""Detection metrics: event-level recall and precision (Section 4.3).
+
+An event counts as *caught* when at least one detection overlaps the
+event interval widened by the application's match tolerance; a detection
+counts as *true* when it overlaps at least one such widened event.
+Recall is the caught fraction of events; precision is the true fraction
+of detections.  Both are defined as 1.0 over empty denominators (a trace
+without events cannot be missed; a silent detector reports nothing
+wrong).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Set, Tuple
+
+from repro.apps.base import Detection
+from repro.traces.base import GroundTruthEvent
+
+
+@dataclass(frozen=True)
+class MatchResult:
+    """Outcome of matching detections against ground truth.
+
+    Attributes:
+        n_events: Number of ground-truth events.
+        n_detections: Number of detections.
+        caught_events: Indices of events with at least one detection.
+        true_detections: Indices of detections matching some event.
+    """
+
+    n_events: int
+    n_detections: int
+    caught_events: Tuple[int, ...]
+    true_detections: Tuple[int, ...]
+
+    @property
+    def recall(self) -> float:
+        """Fraction of events caught (1.0 when there are no events)."""
+        if self.n_events == 0:
+            return 1.0
+        return len(self.caught_events) / self.n_events
+
+    @property
+    def precision(self) -> float:
+        """Fraction of detections that are true (1.0 when none)."""
+        if self.n_detections == 0:
+            return 1.0
+        return len(self.true_detections) / self.n_detections
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of recall and precision."""
+        p, r = self.precision, self.recall
+        if p + r == 0:
+            return 0.0
+        return 2 * p * r / (p + r)
+
+
+def _overlaps(
+    span: Tuple[float, float], event: GroundTruthEvent, tolerance: float
+) -> bool:
+    start, end = span
+    return end >= event.start - tolerance and start <= event.end + tolerance
+
+
+def match_events(
+    events: Sequence[GroundTruthEvent],
+    detections: Sequence[Detection],
+    tolerance_s: float,
+) -> MatchResult:
+    """Match detections against ground-truth events.
+
+    Matching is by interval overlap with ``tolerance_s`` slack on both
+    event edges.  The matching is not exclusive: one detection may catch
+    several adjacent events and vice versa — appropriate for recall /
+    precision over sparse events (the paper's metrics), as opposed to
+    counting metrics.
+    """
+    caught: Set[int] = set()
+    true_det: Set[int] = set()
+    for event_index, event in enumerate(events):
+        for det_index, detection in enumerate(detections):
+            if _overlaps(detection.span, event, tolerance_s):
+                caught.add(event_index)
+                true_det.add(det_index)
+    return MatchResult(
+        n_events=len(events),
+        n_detections=len(detections),
+        caught_events=tuple(sorted(caught)),
+        true_detections=tuple(sorted(true_det)),
+    )
+
+
+def recall_score(
+    events: Sequence[GroundTruthEvent],
+    detections: Sequence[Detection],
+    tolerance_s: float,
+) -> float:
+    """Event-level recall (see :func:`match_events`)."""
+    return match_events(events, detections, tolerance_s).recall
+
+
+def precision_score(
+    events: Sequence[GroundTruthEvent],
+    detections: Sequence[Detection],
+    tolerance_s: float,
+) -> float:
+    """Detection-level precision (see :func:`match_events`)."""
+    return match_events(events, detections, tolerance_s).precision
+
+
+def first_awake_at(
+    time: float, awake_windows: Sequence[Tuple[float, float]]
+) -> float | None:
+    """Earliest instant at or after ``time`` the phone is fully awake.
+
+    Returns None when the phone never wakes again.
+    """
+    for start, end in sorted(awake_windows):
+        if end <= time:
+            continue
+        return max(start, time)
+    return None
+
+
+def detection_latencies(
+    events: Sequence[GroundTruthEvent],
+    detections: Sequence[Detection],
+    tolerance_s: float,
+    awake_windows: Sequence[Tuple[float, float]] | None = None,
+) -> List[float]:
+    """Per caught event, how long after the event it was *reported*.
+
+    Section 5.4's timeliness argument made measurable: a detection's
+    timestamps refer to signal time, but the application can only
+    report once the phone is awake — under batching that is the next
+    batch wake-up, up to a sleep interval later ("the user of a gesture
+    recognition application would not be satisfied if the application
+    detects the performed gesture after a delay of more than a couple
+    of seconds").
+
+    The latency of one event is the earliest matching detection's
+    report time minus the event's end, floored at zero.  The report
+    time is the first awake instant at or after the detection's signal
+    time (``awake_windows`` omitted: the phone is treated as always
+    responsive).  Missed events contribute nothing — combine with
+    recall when comparing configurations.
+    """
+    latencies: List[float] = []
+    for event in events:
+        report_times = []
+        for detection in detections:
+            if not _overlaps(detection.span, event, tolerance_s):
+                continue
+            signal_time = max(detection.span[1], detection.time)
+            if awake_windows is None:
+                report_times.append(signal_time)
+            else:
+                report = first_awake_at(signal_time, awake_windows)
+                if report is not None:
+                    report_times.append(report)
+        if report_times:
+            latencies.append(max(0.0, min(report_times) - event.end))
+    return latencies
+
+
+def mean_detection_latency(
+    events: Sequence[GroundTruthEvent],
+    detections: Sequence[Detection],
+    tolerance_s: float,
+    awake_windows: Sequence[Tuple[float, float]] | None = None,
+) -> float:
+    """Mean of :func:`detection_latencies` (0.0 when nothing matched)."""
+    latencies = detection_latencies(
+        events, detections, tolerance_s, awake_windows
+    )
+    if not latencies:
+        return 0.0
+    return sum(latencies) / len(latencies)

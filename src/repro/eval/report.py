@@ -1,0 +1,97 @@
+"""Plain-text rendering of tables and figure series.
+
+The benchmark harness prints these so a run of ``pytest benchmarks/``
+regenerates every table and figure of the paper as readable text.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Fixed-width ASCII table."""
+    columns = [list(map(str, col)) for col in zip(headers, *rows)]
+    widths = [max(len(cell) for cell in col) for col in columns]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            " | ".join(str(cell).ljust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def render_table1(rows: Sequence[Tuple[str, float, str]]) -> str:
+    """Render the Table 1 power profile."""
+    return render_table(
+        ["State", "Average Power (mW)", "Average Duration"],
+        [(state, f"{mw:g}", duration) for state, mw, duration in rows],
+        title="Table 1: Google Nexus 4 power profile",
+    )
+
+
+def render_table2(
+    table: Mapping[str, Mapping[str, float]],
+    paper: Mapping[str, Mapping[str, float]] | None = None,
+) -> str:
+    """Render Table 2 (measured, with the paper's values alongside)."""
+    config_rows = ["oracle", "predefined_activity", "sidewinder"]
+    apps = ["sirens", "music_journal", "phrase_detection"]
+    headers = ["Wake-up Mechanism"] + [a for a in apps]
+    rows = []
+    for config in config_rows:
+        row: List[object] = [config]
+        for app in apps:
+            cell = f"{table[config][app]:.1f}"
+            if paper is not None:
+                cell += f" (paper {paper[config][app]:g})"
+            row.append(cell)
+        rows.append(row)
+    return render_table(
+        headers, rows,
+        title="Table 2: Average power for the audio applications (mW)",
+    )
+
+
+def render_figure5(series: Mapping[int, Mapping[str, Mapping[str, float]]]) -> str:
+    """Render the Figure 5 bars: power over Oracle per group and app."""
+    lines = ["Figure 5: power relative to Oracle (synthetic robot traces)"]
+    for group in sorted(series):
+        lines.append(f"  Group {group}:")
+        for app, bars in series[group].items():
+            cells = "  ".join(f"{label}={value:5.1f}x" for label, value in bars.items())
+            lines.append(f"    {app:<12s} {cells}")
+    return "\n".join(lines)
+
+
+def render_figure6(series: Mapping[str, Mapping[float, float]]) -> str:
+    """Render the Figure 6 recall curves."""
+    lines = ["Figure 6: duty-cycling recall at 90% idle"]
+    intervals = sorted(next(iter(series.values())).keys())
+    header = "  interval(s):   " + "  ".join(f"{i:5g}" for i in intervals)
+    lines.append(header)
+    for app, curve in series.items():
+        cells = "  ".join(f"{curve[i]:5.2f}" for i in intervals)
+        lines.append(f"  {app:<12s}   {cells}")
+    return "\n".join(lines)
+
+
+def render_figure7(series: Mapping[str, Mapping[str, float]]) -> str:
+    """Render the Figure 7 bars: human traces, step detector."""
+    lines = ["Figure 7: power relative to Oracle (human traces, steps app)"]
+    for scenario, bars in series.items():
+        cells = "  ".join(f"{label}={value:5.1f}x" for label, value in bars.items())
+        lines.append(f"  {scenario:<10s} {cells}")
+    return "\n".join(lines)
+
+
+def render_results(results: Sequence) -> str:
+    """Render raw simulation results, one summary line each."""
+    return "\n".join(r.summary() for r in results)

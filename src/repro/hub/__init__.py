@@ -1,0 +1,72 @@
+"""The low-power sensor hub (paper Sections 3.4-3.5).
+
+The hub is the manufacturer-provided side of Sidewinder: one or more
+low-power microcontrollers plus a runtime that interprets intermediate
+language pushed by the sensor manager.  This package provides:
+
+* :mod:`repro.hub.mcu` — microcontroller descriptors (TI MSP430 and
+  TI LM4F120, with the paper's measured power draws);
+* :mod:`repro.hub.feasibility` — the real-time feasibility model that
+  decides which MCU a wake-up condition needs (the paper's MSP430 could
+  not run FFT-based filtering of audio in real time);
+* :mod:`repro.hub.runtime` — the interpreter executing a validated
+  dataflow graph over incoming sensor chunks;
+* :mod:`repro.hub.hub` — the :class:`SensorHub` facade managing several
+  concurrent wake-up conditions and their listeners.
+"""
+
+from repro.hub.delivery import (
+    RAW_DELIVERY,
+    TRIGGER_DELIVERY,
+    DeliveryMode,
+    DeliverySpec,
+    payload_bytes,
+)
+from repro.hub.feasibility import FeasibilityReport, analyze, is_feasible, select_mcu
+from repro.hub.fpga import ARTIX_CLASS, ICE40_CLASS, FPGAModel, select_processor
+from repro.hub.link import I2C_FAST_MODE, SPI_20MHZ, UART_DEBUG, LinkModel
+from repro.hub.merge import (
+    MergedProgram,
+    MultiTapRuntime,
+    merge_programs,
+    merged_cycles_per_second,
+    merged_graph,
+)
+from repro.hub.hub import PushedCondition, SensorHub
+from repro.hub.mcu import DEFAULT_CATALOG, LM4F120, MSP430, MCUModel
+from repro.hub.runtime import HubRuntime, WakeEvent
+from repro.hub.state import AlgorithmState
+
+__all__ = [
+    "ARTIX_CLASS",
+    "DEFAULT_CATALOG",
+    "DeliveryMode",
+    "DeliverySpec",
+    "FPGAModel",
+    "I2C_FAST_MODE",
+    "ICE40_CLASS",
+    "LM4F120",
+    "LinkModel",
+    "MSP430",
+    "RAW_DELIVERY",
+    "SPI_20MHZ",
+    "TRIGGER_DELIVERY",
+    "UART_DEBUG",
+    "AlgorithmState",
+    "FeasibilityReport",
+    "MergedProgram",
+    "MultiTapRuntime",
+    "HubRuntime",
+    "MCUModel",
+    "PushedCondition",
+    "SensorHub",
+    "WakeEvent",
+    "analyze",
+    "is_feasible",
+    "merge_programs",
+    "merged_cycles_per_second",
+    "merged_graph",
+    "payload_bytes",
+    "select_mcu",
+    "select_processor",
+]

@@ -1,0 +1,151 @@
+"""Wake-up data delivery options (paper Section 3.8).
+
+"A related question is determining what data the sensor hub should pass
+to the application following a wake-up.  Some applications may be
+interested in the raw sensor data, while others may want to use the
+filtered data or extracted features.  Ideally, an API would allow
+developers to specify what data their application should receive when
+an event of interest occurs.  Our current implementation passes a
+buffer of raw sensor data to the application."
+
+This module provides that API.  A :class:`DeliverySpec` chosen at push
+time controls the wake-up payload:
+
+* ``RAW`` — the paper's behaviour: a ring buffer of raw samples per
+  channel;
+* ``TRIGGER`` — just the item that reached OUT (time + value), the
+  minimal payload;
+* ``NODE`` — the recent output items of a chosen intermediate node
+  (filtered data or extracted features), selected by its IL id.
+
+Payloads differ by orders of magnitude on the wire —
+:func:`payload_bytes` quantifies what each option costs on the
+hub-to-phone link, which is where the choice matters
+(raw audio: tens of kilobytes; a feature stream: a few dozen bytes).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.errors import SimulationError
+from repro.hub.link import SAMPLE_BYTES_BY_KIND, LinkModel
+from repro.il.graph import DataflowGraph
+from repro.sensors.channels import channel_by_name
+
+#: Bytes to encode one delivered stream item (timestamp + value,
+#: fixed-point).
+ITEM_BYTES = 6
+
+
+class DeliveryMode(enum.Enum):
+    """What the hub sends along with a wake-up."""
+
+    RAW = "raw"
+    TRIGGER = "trigger"
+    NODE = "node"
+
+
+@dataclass(frozen=True)
+class DeliverySpec:
+    """A wake-up payload choice.
+
+    Attributes:
+        mode: Payload kind.
+        node_id: For ``NODE`` delivery, the IL id of the node whose
+            output items to deliver.
+        buffer_s: Seconds of history to include (raw samples for
+            ``RAW``, node output items for ``NODE``).
+    """
+
+    mode: DeliveryMode = DeliveryMode.RAW
+    node_id: Optional[int] = None
+    buffer_s: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.mode is DeliveryMode.NODE and self.node_id is None:
+            raise SimulationError("NODE delivery needs a node_id")
+        if self.buffer_s < 0:
+            raise SimulationError("buffer_s must be non-negative")
+
+
+#: The paper's default: a raw buffer.
+RAW_DELIVERY = DeliverySpec(DeliveryMode.RAW)
+
+#: Minimal delivery: the triggering item only.
+TRIGGER_DELIVERY = DeliverySpec(DeliveryMode.TRIGGER)
+
+
+def validate_delivery(spec: DeliverySpec, graph: DataflowGraph) -> None:
+    """Check a delivery spec against the condition it is attached to.
+
+    Raises:
+        SimulationError: when ``NODE`` delivery names a node the
+            condition does not contain.
+    """
+    if spec.mode is DeliveryMode.NODE:
+        known = {node.node_id for node in graph.nodes}
+        if spec.node_id not in known:
+            raise SimulationError(
+                f"delivery node {spec.node_id} not in condition "
+                f"(nodes: {sorted(known)})"
+            )
+
+
+def payload_bytes(spec: DeliverySpec, graph: DataflowGraph) -> float:
+    """Bytes one wake-up's payload occupies on the link.
+
+    ``RAW``: ``buffer_s`` of raw samples for every channel the
+    condition reads.  ``TRIGGER``: one item.  ``NODE``: ``buffer_s``
+    worth of the node's output items at its static item rate, each item
+    carrying its full width.
+    """
+    if spec.mode is DeliveryMode.TRIGGER:
+        return float(ITEM_BYTES)
+    if spec.mode is DeliveryMode.RAW:
+        total = 0.0
+        for name in graph.channels:
+            channel = channel_by_name(name)
+            total += (
+                spec.buffer_s
+                * channel.rate_hz
+                * SAMPLE_BYTES_BY_KIND[channel.kind.value]
+            )
+        return total
+    node = graph.node(spec.node_id)
+    shape = node.output_shape
+    items = spec.buffer_s * shape.items_per_second
+    return items * (ITEM_BYTES + 2 * max(shape.width - 1, 0))
+
+
+def delivery_latency_s(
+    spec: DeliverySpec, graph: DataflowGraph, link: LinkModel
+) -> float:
+    """Seconds the phone waits for the payload after waking."""
+    return link.transfer_seconds(payload_bytes(spec, graph))
+
+
+def cheapest_sufficient_delivery(
+    graph: DataflowGraph,
+    candidates: Sequence[DeliverySpec],
+    link: LinkModel,
+    deadline_s: float,
+) -> DeliverySpec:
+    """Pick the candidate with the smallest payload meeting a deadline.
+
+    Raises:
+        SimulationError: when no candidate transfers within
+            ``deadline_s`` on the given link.
+    """
+    viable = [
+        spec for spec in candidates
+        if delivery_latency_s(spec, graph, link) <= deadline_s
+    ]
+    if not viable:
+        raise SimulationError(
+            f"no delivery option transfers within {deadline_s}s over "
+            f"{link.name}"
+        )
+    return min(viable, key=lambda spec: payload_bytes(spec, graph))

@@ -1,0 +1,119 @@
+"""Real-time feasibility analysis and MCU selection.
+
+Section 4: the MSP430 "cannot perform complex analysis of sensor data in
+real-time.  In our tests, it was unable to run the FFT-based low-pass
+filter in real-time", so the siren detector's power model "had to
+account for the powerful TI LM4F120 ... instead of the MSP430".
+
+The analysis is static: the validated dataflow graph carries, per node,
+the item rate and width of its input edges (propagated from the sensor
+channel rates), and each algorithm reports an approximate cycles-per-item
+cost.  A condition is feasible on an MCU when its aggregate cycles per
+second fit within the MCU's cycle budget and its windowing state fits in
+RAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from repro.errors import FeasibilityError
+from repro.hub.mcu import DEFAULT_CATALOG, MCUModel
+from repro.il.graph import DataflowGraph
+
+#: Bytes of algorithm state per buffered sample (16-bit fixed point:
+#: MCU sensor hubs store raw 12-14 bit ADC samples, not floats).
+_BYTES_PER_SAMPLE = 2
+#: Fixed per-node bookkeeping overhead (the paper's per-algorithm record).
+_BYTES_PER_NODE = 32
+
+
+def estimate_ram_bytes(graph: DataflowGraph) -> int:
+    """Approximate hub RAM the condition's algorithm state needs."""
+    total = 0
+    for node in graph.nodes:
+        total += _BYTES_PER_NODE
+        width = max((s.width for s in node.input_shapes), default=1)
+        # Windowing and moving averages buffer roughly one window of
+        # samples; frame processors need the frame itself resident.
+        size = node.algorithm.params.get("size")
+        if isinstance(size, (int, float)):
+            total += int(size) * _BYTES_PER_SAMPLE
+        else:
+            total += width * _BYTES_PER_SAMPLE
+    return total
+
+
+@dataclass(frozen=True)
+class FeasibilityReport:
+    """Outcome of analysing one condition against one MCU.
+
+    Attributes:
+        mcu: The MCU analysed.
+        cycles_per_second: Estimated aggregate algorithm load.
+        cycle_budget: The MCU's available cycles per second.
+        ram_bytes: Estimated state footprint.
+        ram_budget: The MCU's data memory.
+        per_node_cycles: Load breakdown keyed by node id.
+    """
+
+    mcu: MCUModel
+    cycles_per_second: float
+    cycle_budget: float
+    ram_bytes: int
+    ram_budget: int
+    per_node_cycles: Tuple[Tuple[int, float], ...]
+
+    @property
+    def feasible(self) -> bool:
+        """True when the condition runs in real time on this MCU."""
+        return (
+            self.cycles_per_second <= self.cycle_budget
+            and self.ram_bytes <= self.ram_budget
+        )
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the MCU's cycle budget the condition consumes."""
+        return self.cycles_per_second / self.cycle_budget
+
+
+def analyze(graph: DataflowGraph, mcu: MCUModel) -> FeasibilityReport:
+    """Produce a :class:`FeasibilityReport` for a condition on an MCU."""
+    per_node: Dict[int, float] = {
+        node.node_id: node.cycles_per_second for node in graph.nodes
+    }
+    return FeasibilityReport(
+        mcu=mcu,
+        cycles_per_second=sum(per_node.values()),
+        cycle_budget=mcu.cycle_budget_per_second,
+        ram_bytes=estimate_ram_bytes(graph),
+        ram_budget=mcu.ram_bytes,
+        per_node_cycles=tuple(sorted(per_node.items())),
+    )
+
+
+def is_feasible(graph: DataflowGraph, mcu: MCUModel) -> bool:
+    """True when the condition runs in real time on ``mcu``."""
+    return analyze(graph, mcu).feasible
+
+
+def select_mcu(
+    graph: DataflowGraph, catalog: Sequence[MCUModel] = DEFAULT_CATALOG
+) -> MCUModel:
+    """Pick the least power-hungry MCU that can run the condition.
+
+    Raises:
+        FeasibilityError: when no MCU in the catalog can run it.
+    """
+    for mcu in sorted(catalog, key=lambda m: m.awake_power_mw):
+        if is_feasible(graph, mcu):
+            return mcu
+    loads = {
+        mcu.name: f"{analyze(graph, mcu).utilization:.1%}" for mcu in catalog
+    }
+    raise FeasibilityError(
+        f"wake-up condition cannot run in real time on any available MCU "
+        f"(estimated utilization: {loads})"
+    )

@@ -1,0 +1,184 @@
+"""FPGA-based sensor hub model (paper Sections 2.1.1 and 7).
+
+The paper's design explicitly allows FPGA hubs ("the hardware could be
+a network of one or more processors, DSPs, FPGAs or microcontrollers...
+In the case of FPGAs the algorithms will most likely be pre-compiled
+and the runtime would need to reconfigure according to the specific
+configuration") and names an FPGA prototype as immediate future work.
+
+The model here captures what makes an FPGA different from an MCU:
+
+* feasibility is bounded by *area*, not cycles — each algorithm block
+  occupies logic cells, and a condition fits when its blocks (plus
+  their buffering) fit the fabric;
+* throughput is essentially free once placed (each block is dedicated
+  hardware), so the audio-rate FFT that sinks the MSP430 synthesizes
+  comfortably;
+* power sits between the two MCUs: flash-based low-power fabrics
+  (iCE40/IGLOO class) run DSP pipelines at a few mW.
+
+An :class:`FPGAModel` duck-types the attributes the simulator reads
+from :class:`~repro.hub.mcu.MCUModel` (``name``, ``awake_power_mw``),
+and :func:`select_processor` extends MCU selection across a mixed
+catalog, so ``Sidewinder(catalog=(MSP430, ICE40_CLASS))`` works
+unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple, Union
+
+from repro.errors import FeasibilityError
+from repro.hub.feasibility import is_feasible as mcu_is_feasible
+from repro.hub.mcu import MCUModel
+from repro.il.graph import DataflowGraph
+
+#: Logic-cell cost per algorithm block.  Constants are coarse but
+#: realistically ranked: element-wise ops are tiny, windowed statistics
+#: moderate, an FFT engine large (butterfly datapath + twiddle ROM).
+_BASE_CELLS: Dict[str, float] = {
+    "movingAvg": 60.0,
+    "expMovingAvg": 80.0,
+    "window": 40.0,
+    "fft": 1500.0,
+    "ifft": 1500.0,
+    # Band filters time-multiplex a single butterfly engine for the
+    # forward and inverse passes, so they cost less than two FFTs.
+    "lowPass": 2800.0,
+    "highPass": 2800.0,
+    "vectorMagnitude": 220.0,  # multipliers + sqrt pipeline
+    "zeroCrossingRate": 70.0,
+    "stat": 180.0,
+    "dominantFrequency": 260.0,
+    "minThreshold": 20.0,
+    "maxThreshold": 20.0,
+    "rangeThreshold": 30.0,
+    "bandIndicator": 30.0,
+    "sustainedThreshold": 40.0,
+    "localExtrema": 90.0,
+    "minOf": 25.0,
+    "maxOf": 25.0,
+    "sumOf": 25.0,
+    "meanOf": 40.0,
+}
+
+#: Buffer memory is implemented in block RAM, not logic cells; cells
+#: only pay for address/control logic, scaling gently with window size.
+_CELLS_PER_LOG2_SAMPLE = 12.0
+
+
+def node_cells(opcode: str, buffered_samples: int) -> float:
+    """Logic-cell estimate for one algorithm block."""
+    base = _BASE_CELLS.get(opcode, 150.0)
+    if buffered_samples > 1:
+        base += _CELLS_PER_LOG2_SAMPLE * math.log2(buffered_samples)
+    return base
+
+
+@dataclass(frozen=True)
+class FPGAModel:
+    """A low-power FPGA fabric serving as the sensor hub.
+
+    Attributes:
+        name: Fabric name.
+        awake_power_mw: Static + active draw while running a condition.
+        logic_cells: Available logic cells.
+        bram_bytes: Block RAM available for sample buffers.
+        reconfiguration_s: Time to load a new condition's bitstream
+            (during which events can be missed; informational).
+    """
+
+    name: str
+    awake_power_mw: float
+    logic_cells: int
+    bram_bytes: int
+    reconfiguration_s: float
+
+    def cells_for(self, graph: DataflowGraph) -> float:
+        """Total logic cells the condition's blocks occupy."""
+        total = 0.0
+        for node in graph.nodes:
+            size = node.algorithm.params.get("size")
+            buffered = int(size) if isinstance(size, (int, float)) else max(
+                (s.width for s in node.input_shapes), default=1
+            )
+            total += node_cells(node.opcode, buffered)
+        return total
+
+    def bram_for(self, graph: DataflowGraph) -> int:
+        """Block RAM bytes for the condition's sample buffers."""
+        total = 0
+        for node in graph.nodes:
+            size = node.algorithm.params.get("size")
+            if isinstance(size, (int, float)):
+                total += int(size) * 2  # 16-bit samples
+            else:
+                total += max((s.width for s in node.input_shapes), default=1) * 2
+        return total
+
+    def supports(self, graph: DataflowGraph) -> bool:
+        """True when the condition synthesizes onto this fabric."""
+        return (
+            self.cells_for(graph) <= self.logic_cells
+            and self.bram_for(graph) <= self.bram_bytes
+        )
+
+
+#: An iCE40/IGLOO-class flash FPGA: ~5000 logic cells, 16 KiB BRAM,
+#: a few milliwatts running a DSP pipeline.
+ICE40_CLASS = FPGAModel(
+    name="iCE40-class FPGA",
+    awake_power_mw=7.5,
+    logic_cells=5280,
+    bram_bytes=16 * 1024,
+    reconfiguration_s=0.07,
+)
+
+#: A larger (Artix-class) fabric: effectively unconstrained for these
+#: pipelines but an order of magnitude hungrier.
+ARTIX_CLASS = FPGAModel(
+    name="Artix-class FPGA",
+    awake_power_mw=120.0,
+    logic_cells=100_000,
+    bram_bytes=512 * 1024,
+    reconfiguration_s=0.25,
+)
+
+HubProcessor = Union[MCUModel, FPGAModel]
+
+
+def processor_supports(processor: HubProcessor, graph: DataflowGraph) -> bool:
+    """Feasibility across both processor kinds."""
+    if isinstance(processor, FPGAModel):
+        return processor.supports(graph)
+    return mcu_is_feasible(graph, processor)
+
+
+def select_processor(
+    graph: DataflowGraph, catalog: Sequence[HubProcessor]
+) -> HubProcessor:
+    """Cheapest processor (MCU or FPGA) that can run the condition.
+
+    Raises:
+        FeasibilityError: when nothing in the catalog can.
+    """
+    feasible = [p for p in catalog if processor_supports(p, graph)]
+    if not feasible:
+        names = [p.name for p in catalog]
+        raise FeasibilityError(
+            f"wake-up condition fits none of the hub processors {names}"
+        )
+    return min(feasible, key=lambda p: p.awake_power_mw)
+
+
+def placement_table(
+    graphs: Dict[str, DataflowGraph], catalog: Sequence[HubProcessor]
+) -> Dict[str, Tuple[str, float]]:
+    """Per-condition (processor name, power) placement summary."""
+    table = {}
+    for name, graph in graphs.items():
+        processor = select_processor(graph, catalog)
+        table[name] = (processor.name, processor.awake_power_mw)
+    return table

@@ -1,0 +1,224 @@
+"""The sensor hub facade: concurrent conditions, listeners, raw buffers.
+
+A :class:`SensorHub` owns the MCU catalog and the set of currently
+pushed wake-up conditions.  It accepts IL programs from the sensor
+manager, places each on the cheapest feasible MCU, interprets incoming
+sensor data, and invokes each application's listener when its condition
+fires — delivering a buffer of recent raw sensor data along with the
+event (Section 3.8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.hub.delivery import (
+    RAW_DELIVERY,
+    DeliveryMode,
+    DeliverySpec,
+    validate_delivery,
+)
+from repro.hub.feasibility import select_mcu
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (api -> hub)
+    from repro.api.listener import SensorEventListener
+from repro.hub.mcu import DEFAULT_CATALOG, MCUModel
+from repro.hub.runtime import HubRuntime, WakeEvent
+from repro.il.ast import ILProgram
+from repro.il.graph import DataflowGraph
+from repro.il.validate import validate_program
+from repro.sensors.samples import Chunk
+
+
+@dataclass
+class PushedCondition:
+    """One wake-up condition resident on the hub.
+
+    Attributes:
+        condition_id: Hub-assigned identifier.
+        graph: The validated dataflow graph.
+        runtime: The interpreter instance executing the graph.
+        mcu: The microcontroller the condition was placed on.
+        listener: The application callback, if any.
+    """
+
+    condition_id: int
+    graph: DataflowGraph
+    runtime: HubRuntime
+    mcu: MCUModel
+    listener: Optional["SensorEventListener"] = None
+    #: Wake-up payload choice (Section 3.8); defaults to a raw buffer.
+    delivery: DeliverySpec = RAW_DELIVERY
+    #: All wake events produced since the condition was pushed.
+    events: List[WakeEvent] = field(default_factory=list)
+    #: Rolling tail of the delivery node's output (NODE delivery only).
+    feature_tail: Tuple[np.ndarray, np.ndarray] = (
+        np.empty(0), np.empty(0),
+    )
+
+
+class SensorHub:
+    """Simulated low-power sensor hub.
+
+    Args:
+        catalog: MCUs the manufacturer installed; defaults to the
+            paper's MSP430 + LM4F120 pair.
+        raw_buffer_seconds: Length of the raw-sample ring buffer
+            delivered to applications on wake-up.
+    """
+
+    def __init__(
+        self,
+        catalog: Sequence[MCUModel] = DEFAULT_CATALOG,
+        raw_buffer_seconds: float = 4.0,
+    ):
+        self.catalog = tuple(catalog)
+        self.raw_buffer_seconds = raw_buffer_seconds
+        self.conditions: List[PushedCondition] = []
+        self._next_id = 1
+        self._raw_tail: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+
+    # -- configuration -------------------------------------------------
+
+    def push(
+        self,
+        program: ILProgram,
+        listener: Optional["SensorEventListener"] = None,
+        delivery: Optional[DeliverySpec] = None,
+    ) -> PushedCondition:
+        """Validate, place and start a wake-up condition.
+
+        Args:
+            program: The condition's intermediate-language form.
+            listener: Callback fired on wake-ups.
+            delivery: Wake-up payload choice (Section 3.8): raw buffer
+                (default), trigger item only, or an intermediate node's
+                output items.
+
+        Raises:
+            ILValidationError / ParameterError: if the program is invalid.
+            FeasibilityError: if no installed MCU can run it.
+            SimulationError: if the delivery spec names an unknown node.
+        """
+        graph = validate_program(program)
+        delivery = delivery if delivery is not None else RAW_DELIVERY
+        validate_delivery(delivery, graph)
+        mcu = select_mcu(graph, self.catalog)
+        condition = PushedCondition(
+            condition_id=self._next_id,
+            graph=graph,
+            runtime=HubRuntime(graph),
+            mcu=mcu,
+            listener=listener,
+            delivery=delivery,
+        )
+        self._next_id += 1
+        self.conditions.append(condition)
+        return condition
+
+    def remove(self, condition: PushedCondition) -> None:
+        """Stop and discard a pushed condition."""
+        self.conditions.remove(condition)
+
+    @property
+    def active_mcus(self) -> Tuple[MCUModel, ...]:
+        """Distinct MCUs currently running at least one condition."""
+        seen: Dict[str, MCUModel] = {}
+        for condition in self.conditions:
+            seen[condition.mcu.name] = condition.mcu
+        return tuple(seen.values())
+
+    @property
+    def power_mw(self) -> float:
+        """Aggregate hub power draw (each active MCU drawn awake)."""
+        return sum(mcu.awake_power_mw for mcu in self.active_mcus)
+
+    # -- data path -------------------------------------------------------
+
+    def feed(self, channel_chunks: Dict[str, Chunk]) -> List[Tuple[PushedCondition, WakeEvent]]:
+        """Push one round of sensor data through every condition.
+
+        Listener callbacks run immediately (the simulation treats the
+        main processor's wake-up latency separately, in the device power
+        model).  Returns ``(condition, event)`` pairs in firing order.
+        """
+        self._retain_raw(channel_chunks)
+        fired: List[Tuple[PushedCondition, WakeEvent]] = []
+        for condition in self.conditions:
+            relevant = {
+                name: channel_chunks[name]
+                for name in condition.graph.channels
+                if name in channel_chunks
+            }
+            if len(relevant) != len(condition.graph.channels):
+                continue  # this round carries no data for this condition
+            round_events = condition.runtime.feed(relevant)
+            self._retain_features(condition)
+            for event in round_events:
+                condition.events.append(event)
+                fired.append((condition, event))
+                if condition.listener is not None:
+                    from repro.api.listener import SensorEvent
+
+                    condition.listener.on_sensor_event(
+                        SensorEvent(
+                            timestamp=event.time,
+                            value=event.value,
+                            raw_data=self._delivery_raw(condition),
+                            features=self._delivery_features(condition),
+                        )
+                    )
+        return fired
+
+    def _delivery_raw(self, condition: PushedCondition) -> Dict[str, np.ndarray]:
+        if condition.delivery.mode is DeliveryMode.RAW:
+            return self.raw_buffer(condition.graph.channels)
+        return {}
+
+    def _delivery_features(
+        self, condition: PushedCondition
+    ) -> Optional[np.ndarray]:
+        if condition.delivery.mode is not DeliveryMode.NODE:
+            return None
+        return condition.feature_tail[1].copy()
+
+    def _retain_features(self, condition: PushedCondition) -> None:
+        """Update the rolling output tail of the delivery node."""
+        if condition.delivery.mode is not DeliveryMode.NODE:
+            return
+        state = condition.runtime.states[condition.delivery.node_id]
+        if state.result is None or state.result.is_empty:
+            return
+        times, values = condition.feature_tail
+        new_values = state.result.values
+        if new_values.ndim > 1:  # frames/spectra: keep item magnitudes
+            new_values = np.abs(new_values).mean(axis=1)
+        times = np.concatenate([times, state.result.times])
+        values = np.concatenate([values, new_values])
+        cutoff = times[-1] - condition.delivery.buffer_s
+        keep = times >= cutoff
+        condition.feature_tail = (times[keep], values[keep])
+
+    def raw_buffer(self, channels: Sequence[str]) -> Dict[str, np.ndarray]:
+        """Recent raw samples per channel (the wake-up payload)."""
+        return {
+            name: self._raw_tail[name][1].copy()
+            for name in channels
+            if name in self._raw_tail
+        }
+
+    def _retain_raw(self, channel_chunks: Dict[str, Chunk]) -> None:
+        for name, chunk in channel_chunks.items():
+            if chunk.is_empty:
+                continue
+            old_times, old_values = self._raw_tail.get(
+                name, (np.empty(0), np.empty(0))
+            )
+            times = np.concatenate([old_times, chunk.times])
+            values = np.concatenate([old_values, chunk.values])
+            cutoff = times[-1] - self.raw_buffer_seconds
+            keep = times >= cutoff
+            self._raw_tail[name] = (times[keep], values[keep])

@@ -1,0 +1,129 @@
+"""The hub-to-phone data link (paper Section 3.4).
+
+"The Nexus 4 and microcontroller communicate over the UART port made
+available by the Nexus 4 debugging interface via the audio interface
+jack.  The serial connection provides sufficient bandwidth to support
+low bit-rate sensors, such as the accelerometer, a microphone or GPS.
+However, extending the prototype to work with higher bit-rate sensors
+like the camera would require a higher bandwidth data bus, such as I2C."
+
+This module models that constraint: links have an effective payload
+rate, sensor channels have a streaming bit rate (16-bit samples), and
+transfers of buffered data take real time — time the phone spends awake
+waiting.  The model exposes the paper's qualitative point directly:
+accelerometer batches cross the debug UART in milliseconds, audio
+batches take seconds, and camera-class streams do not fit at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import SimulationError
+from repro.sensors.channels import SensorChannel, channel_by_name
+
+#: Bytes per transported sample, per sensor kind.  Accelerometer samples
+#: travel as 16-bit fixed point; microphone audio is companded to 8-bit
+#: mu-law for the link (telephone quality suffices for the detectors),
+#: which is what lets the paper's debug UART carry "a microphone".
+SAMPLE_BYTES_BY_KIND = {
+    "accelerometer": 2,
+    "microphone": 1,
+}
+
+#: A camera-class sensor stream (QVGA grayscale at 15 fps) — the paper's
+#: example of a sensor that outgrows the serial link.
+CAMERA_CLASS_BYTES_PER_SECOND = 320 * 240 * 15.0
+
+
+@dataclass(frozen=True)
+class LinkModel:
+    """A hub-to-phone data link.
+
+    Attributes:
+        name: Human-readable bus name.
+        raw_bits_per_second: Signalling rate.
+        efficiency: Fraction of raw bits that carry payload (framing,
+            start/stop bits, addressing, ACKs).
+    """
+
+    name: str
+    raw_bits_per_second: float
+    efficiency: float
+
+    @property
+    def payload_bytes_per_second(self) -> float:
+        """Effective payload throughput."""
+        return self.raw_bits_per_second * self.efficiency / 8.0
+
+    def transfer_seconds(self, n_bytes: float) -> float:
+        """Time to move ``n_bytes`` of payload across the link."""
+        if n_bytes < 0:
+            raise SimulationError(f"negative transfer size: {n_bytes}")
+        return n_bytes / self.payload_bytes_per_second
+
+
+#: The prototype's debug UART: 115200 baud, 8N1 framing (8 payload bits
+#: out of 10 on the wire).
+UART_DEBUG = LinkModel("UART 115200 8N1", 115_200.0, 0.8)
+
+#: I2C fast mode, the paper's suggested upgrade: 400 kbit/s with ~20%
+#: addressing/ACK overhead.
+I2C_FAST_MODE = LinkModel("I2C fast mode", 400_000.0, 0.8)
+
+#: SPI at 20 MHz — representative of what a camera-class sensor needs.
+SPI_20MHZ = LinkModel("SPI 20 MHz", 20_000_000.0, 0.95)
+
+
+def channel_stream_bytes_per_second(channel: SensorChannel) -> float:
+    """Streaming byte rate of one channel at its nominal sample rate."""
+    return channel.rate_hz * SAMPLE_BYTES_BY_KIND[channel.kind.value]
+
+
+def stream_bytes_per_second(channels: Iterable[object]) -> float:
+    """Aggregate streaming byte rate of several channels.
+
+    Channels may be given as :class:`SensorChannel` objects or IL names.
+    """
+    total = 0.0
+    for channel in channels:
+        if isinstance(channel, str):
+            channel = channel_by_name(channel)
+        total += channel_stream_bytes_per_second(channel)
+    return total
+
+
+def can_stream(channels: Sequence[object], link: LinkModel) -> bool:
+    """True when the channels' live streams fit the link's throughput."""
+    return stream_bytes_per_second(channels) <= link.payload_bytes_per_second
+
+
+def batch_bytes(channels: Sequence[object], batch_seconds: float) -> float:
+    """Payload size of ``batch_seconds`` of buffered samples."""
+    if batch_seconds < 0:
+        raise SimulationError(f"negative batch length: {batch_seconds}")
+    return stream_bytes_per_second(channels) * batch_seconds
+
+
+def batch_transfer_seconds(
+    channels: Sequence[object], batch_seconds: float, link: LinkModel
+) -> float:
+    """Time to upload one batch of buffered sensor data to the phone.
+
+    The phone is awake (and burning ~323 mW) for this long before it can
+    even start processing the batch — the hidden cost of batching over a
+    slow link.
+
+    Raises:
+        SimulationError: when the link cannot even keep up with the live
+            stream (the batch would grow faster than it drains).
+    """
+    if not can_stream(channels, link):
+        raise SimulationError(
+            f"link {link.name!r} ({link.payload_bytes_per_second:.0f} B/s) "
+            f"cannot sustain channels streaming at "
+            f"{stream_bytes_per_second(channels):.0f} B/s; batches would "
+            "grow without bound"
+        )
+    return link.transfer_seconds(batch_bytes(channels, batch_seconds))

@@ -1,0 +1,69 @@
+"""Microcontroller descriptors for the sensor hub.
+
+The paper's prototype evaluated two TI microcontrollers (Section 4):
+
+* **MSP430** — 3.6 mW awake, but "limited memory and cannot perform
+  complex analysis of sensor data in real-time.  In our tests, it was
+  unable to run the FFT-based low-pass filter in real-time."
+* **LM4F120** (Cortex-M4) — "can run all our filters in real time", at
+  "an energy footprint an order of magnitude greater", 49.4 mW awake.
+
+Clock rates are the parts' datasheet values; together with the
+per-algorithm cycle model (:mod:`repro.algorithms`), they reproduce the
+paper's feasibility split: audio-rate FFT pipelines exceed the MSP430's
+budget while accelerometer-rate pipelines do not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class MCUModel:
+    """A sensor-hub microcontroller.
+
+    Attributes:
+        name: Human-readable part name.
+        awake_power_mw: Average power draw while running a condition.
+        clock_hz: Core clock.
+        utilization_cap: Fraction of cycles the runtime may budget for
+            algorithm work (the rest covers the interpreter loop, sensor
+            I/O and the UART link to the phone).
+        ram_bytes: Data memory available for algorithm state.
+    """
+
+    name: str
+    awake_power_mw: float
+    clock_hz: float
+    utilization_cap: float
+    ram_bytes: int
+
+    @property
+    def cycle_budget_per_second(self) -> float:
+        """Cycles per second available to wake-up-condition algorithms."""
+        return self.clock_hz * self.utilization_cap
+
+
+#: TI MSP430: ultra-low-power, 8 MHz class, tiny RAM.
+MSP430 = MCUModel(
+    name="TI MSP430",
+    awake_power_mw=3.6,
+    clock_hz=8_000_000.0,
+    utilization_cap=0.7,
+    ram_bytes=10 * 1024,
+)
+
+#: TI LM4F120 (Stellaris LaunchPad): Cortex-M4F, 80 MHz, 32 KiB SRAM.
+LM4F120 = MCUModel(
+    name="TI LM4F120",
+    awake_power_mw=49.4,
+    clock_hz=80_000_000.0,
+    utilization_cap=0.7,
+    ram_bytes=32 * 1024,
+)
+
+#: MCUs the default hub offers, in increasing power order.  The hub
+#: places each condition on the least hungry feasible MCU.
+DEFAULT_CATALOG: Tuple[MCUModel, ...] = (MSP430, LM4F120)

@@ -1,0 +1,75 @@
+"""Per-algorithm runtime state records.
+
+Section 3.6: "Each algorithm operates on its own instance of a data
+structure.  The data structure is created by the runtime and stores the
+algorithm ID, type, size, data, whether a result is available and the
+result."  :class:`AlgorithmState` is that record: the interpreter keeps
+one per graph node and uses the ``has_result`` flag to decide whether to
+forward output downstream, exactly as the paper's C interpreter does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.algorithms.base import StreamAlgorithm
+from repro.sensors.samples import Chunk, ChunkBuffer
+
+
+@dataclass
+class AlgorithmState:
+    """Runtime record for one algorithm instance on the hub.
+
+    Attributes:
+        node_id: The algorithm's unique id ("algorithm ID").
+        opcode: The algorithm's type name.
+        algorithm: The stateful implementation ("data" — internal
+            buffers live inside the implementation object).
+        pending: Per-input-port synchronization buffers for multi-input
+            algorithms; single-input algorithms bypass these.
+        has_result: True when the most recent invocation produced at
+            least one output item.
+        result: The output chunk of the most recent invocation (empty
+            when ``has_result`` is False).
+    """
+
+    node_id: int
+    opcode: str
+    algorithm: StreamAlgorithm
+    pending: Dict[int, ChunkBuffer] = field(default_factory=dict)
+    has_result: bool = False
+    result: Chunk | None = None
+
+    def record_result(self, chunk: Chunk) -> None:
+        """Store an invocation's output and update ``has_result``."""
+        self.result = chunk
+        self.has_result = not chunk.is_empty
+
+    def reset(self) -> None:
+        """Return to the freshly-allocated state."""
+        self.algorithm.reset()
+        for buffer in self.pending.values():
+            buffer.clear()
+        self.has_result = False
+        self.result = None
+
+
+def allocate_states(nodes: List) -> Dict[int, AlgorithmState]:
+    """Allocate one state record per graph node, keyed by node id.
+
+    Mirrors the paper's "upon receiving a new configuration, the runtime
+    allocates memory for each algorithm in the configuration".
+    """
+    states: Dict[int, AlgorithmState] = {}
+    for node in nodes:
+        pending: Dict[int, ChunkBuffer] = {}
+        if len(node.inputs) > 1:
+            pending = {port: ChunkBuffer() for port in range(len(node.inputs))}
+        states[node.node_id] = AlgorithmState(
+            node_id=node.node_id,
+            opcode=node.opcode,
+            algorithm=node.algorithm,
+            pending=pending,
+        )
+    return states

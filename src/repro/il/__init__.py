@@ -1,0 +1,42 @@
+"""The Sidewinder intermediate language (IL).
+
+A wake-up condition crosses the boundary between the sensor manager (on
+the main processor) and the hub runtime as a small textual program
+(paper Figure 2c)::
+
+    ACC_X -> movingAvg(id=1, params={10});
+    ACC_Y -> movingAvg(id=2, params={10});
+    ACC_Z -> movingAvg(id=3, params={10});
+    1,2,3 -> vectorMagnitude(id=4);
+    4 -> minThreshold(id=5, params={15});
+    5 -> OUT;
+
+The IL decouples the mobile platform from the hub hardware: any hub that
+can interpret the IL can run any application's wake-up condition.  This
+package provides the AST (:mod:`repro.il.ast`), text round-tripping
+(:mod:`repro.il.text`, :mod:`repro.il.parser`), semantic validation
+(:mod:`repro.il.validate`) and the executable dataflow-graph form
+(:mod:`repro.il.graph`).
+"""
+
+from repro.il.ast import ChannelRef, ILProgram, ILStatement, NodeRef, SourceRef
+from repro.il.draw import render_condition_tree, render_merged_trees
+from repro.il.graph import DataflowGraph, GraphNode
+from repro.il.parser import parse_program
+from repro.il.text import format_program
+from repro.il.validate import validate_program
+
+__all__ = [
+    "ChannelRef",
+    "DataflowGraph",
+    "GraphNode",
+    "ILProgram",
+    "ILStatement",
+    "NodeRef",
+    "SourceRef",
+    "format_program",
+    "parse_program",
+    "render_condition_tree",
+    "render_merged_trees",
+    "validate_program",
+]

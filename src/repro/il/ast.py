@@ -1,0 +1,91 @@
+"""Abstract syntax of the intermediate language.
+
+An :class:`ILProgram` is a list of :class:`ILStatement` — one per
+algorithm instance — plus the reference that feeds ``OUT``.  Statement
+inputs are :class:`SourceRef` values: either a sensor channel
+(:class:`ChannelRef`) or the output of another statement
+(:class:`NodeRef`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple, Union
+
+
+@dataclass(frozen=True)
+class ChannelRef:
+    """Reference to a sensor channel by IL name (e.g. ``"ACC_X"``)."""
+
+    channel: str
+
+    def __str__(self) -> str:
+        return self.channel
+
+
+@dataclass(frozen=True)
+class NodeRef:
+    """Reference to the output of the statement with id ``node_id``."""
+
+    node_id: int
+
+    def __str__(self) -> str:
+        return str(self.node_id)
+
+
+SourceRef = Union[ChannelRef, NodeRef]
+
+
+@dataclass(frozen=True)
+class ILStatement:
+    """One algorithm instantiation: ``inputs -> opcode(id=N, params={...})``.
+
+    Attributes:
+        inputs: Where this algorithm reads from, in port order.
+        opcode: Registered algorithm opcode (``movingAvg``, ``fft``, ...).
+        node_id: Unique positive id assigned by the sensor manager.
+        params: Keyword parameters for the algorithm constructor.  Values
+            are numbers or strings.  Stored as a tuple of pairs so the
+            statement stays hashable; use :meth:`param_dict` for access.
+    """
+
+    inputs: Tuple[SourceRef, ...]
+    opcode: str
+    node_id: int
+    params: Tuple[Tuple[str, object], ...] = field(default_factory=tuple)
+
+    def param_dict(self) -> Dict[str, object]:
+        """Parameters as a regular dict."""
+        return dict(self.params)
+
+    @staticmethod
+    def make(
+        inputs: Tuple[SourceRef, ...],
+        opcode: str,
+        node_id: int,
+        params: Dict[str, object] | None = None,
+    ) -> "ILStatement":
+        """Build a statement from a parameter dict."""
+        items = tuple(sorted((params or {}).items()))
+        return ILStatement(inputs, opcode, node_id, items)
+
+
+@dataclass(frozen=True)
+class ILProgram:
+    """A complete wake-up condition in intermediate form.
+
+    Attributes:
+        statements: Algorithm statements in definition order.
+        output: The statement whose emissions reach ``OUT`` and wake the
+            main processor.
+    """
+
+    statements: Tuple[ILStatement, ...]
+    output: NodeRef
+
+    def statement_by_id(self) -> Dict[int, ILStatement]:
+        """Map node id to statement (ids are unique in a valid program)."""
+        return {s.node_id: s for s in self.statements}
+
+    def __len__(self) -> int:
+        return len(self.statements)

@@ -1,0 +1,104 @@
+"""ASCII rendering of wake-up conditions (paper Figure 2b).
+
+The paper shows three views of a condition: the Java code (2a), a
+conceptual dataflow diagram (2b) and the intermediate code (2c).  This
+module provides the conceptual view as an ASCII tree rooted at ``OUT``,
+with each node's parameters inline and sensor channels as leaves::
+
+    OUT
+    └─ minThreshold(id=5, threshold=15)
+       └─ vectorMagnitude(id=4)
+          ├─ movingAvg(id=1, size=10) ◀ ACC_X
+          ├─ movingAvg(id=2, size=10) ◀ ACC_Y
+          └─ movingAvg(id=3, size=10) ◀ ACC_Z
+
+Nodes reachable along several paths (shared subcomputations in merged
+programs, or diamond shapes) are expanded once and referenced after
+that (``… see id=N``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.il.ast import ChannelRef, ILProgram, ILStatement, NodeRef
+
+
+def _node_label(statement: ILStatement) -> str:
+    parts = [f"id={statement.node_id}"]
+    parts.extend(f"{key}={value}" for key, value in statement.params)
+    channels = [
+        str(ref) for ref in statement.inputs if isinstance(ref, ChannelRef)
+    ]
+    label = f"{statement.opcode}({', '.join(parts)})"
+    if channels:
+        label += " ◀ " + ", ".join(channels)
+    return label
+
+
+def render_condition_tree(program: ILProgram, root: int | None = None) -> str:
+    """Render a condition as an ASCII tree rooted at OUT.
+
+    Args:
+        program: The intermediate-language program.
+        root: Node id to root the tree at; defaults to the program's
+            OUT feeder.  Useful for drawing one tap of a merged
+            program.
+    """
+    by_id = program.statement_by_id()
+    root_id = root if root is not None else program.output.node_id
+    lines: List[str] = ["OUT"]
+    expanded: Set[int] = set()
+
+    def visit(node_id: int, prefix: str, is_last: bool) -> None:
+        statement = by_id[node_id]
+        connector = "└─ " if is_last else "├─ "
+        if node_id in expanded:
+            lines.append(
+                f"{prefix}{connector}… see id={node_id} ({statement.opcode})"
+            )
+            return
+        expanded.add(node_id)
+        lines.append(f"{prefix}{connector}{_node_label(statement)}")
+        child_prefix = prefix + ("   " if is_last else "│  ")
+        children = [
+            ref.node_id for ref in statement.inputs if isinstance(ref, NodeRef)
+        ]
+        for index, child in enumerate(children):
+            visit(child, child_prefix, index == len(children) - 1)
+
+    visit(root_id, "", True)
+    return "\n".join(lines)
+
+
+def render_merged_trees(program: ILProgram, taps: List[int]) -> str:
+    """Render every tap of a merged program, sharing the expansion set.
+
+    The first occurrence of a shared node is drawn in full; later taps
+    reference it, making the sharing visible.
+    """
+    by_id = program.statement_by_id()
+    lines: List[str] = []
+    expanded: Set[int] = set()
+
+    def visit(node_id: int, prefix: str, is_last: bool) -> None:
+        statement = by_id[node_id]
+        connector = "└─ " if is_last else "├─ "
+        if node_id in expanded:
+            lines.append(
+                f"{prefix}{connector}… see id={node_id} ({statement.opcode})"
+            )
+            return
+        expanded.add(node_id)
+        lines.append(f"{prefix}{connector}{_node_label(statement)}")
+        child_prefix = prefix + ("   " if is_last else "│  ")
+        children = [
+            ref.node_id for ref in statement.inputs if isinstance(ref, NodeRef)
+        ]
+        for index, child in enumerate(children):
+            visit(child, child_prefix, index == len(children) - 1)
+
+    for tap_index, tap in enumerate(taps):
+        lines.append(f"OUT[{tap_index}]")
+        visit(tap, "", True)
+    return "\n".join(lines)

@@ -1,0 +1,149 @@
+"""Executable dataflow-graph form of an IL program.
+
+The hub runtime interprets a :class:`DataflowGraph`: nodes in topological
+order, each holding a fresh :class:`~repro.algorithms.base.StreamAlgorithm`
+instance plus the static :class:`~repro.algorithms.base.StreamShape` of its
+output edge (used by the MCU feasibility analysis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.algorithms.base import StreamAlgorithm, StreamShape, create
+from repro.errors import ILValidationError
+from repro.il.ast import ChannelRef, ILProgram, ILStatement, NodeRef, SourceRef
+from repro.sensors.channels import channel_by_name
+from repro.sensors.samples import StreamKind
+
+
+@dataclass
+class GraphNode:
+    """One algorithm instance in an executable wake-up condition."""
+
+    node_id: int
+    opcode: str
+    inputs: Tuple[SourceRef, ...]
+    algorithm: StreamAlgorithm
+    #: Static shapes of this node's input edges, in port order.
+    input_shapes: Tuple[StreamShape, ...] = ()
+    #: Static shape of this node's output edge.
+    output_shape: StreamShape | None = None
+
+    @property
+    def cycles_per_second(self) -> float:
+        """Estimated MCU cycles per second this node consumes."""
+        per_item = self.algorithm.cycles_per_item(self.input_shapes)
+        # A node processes every item of its (first) input stream.
+        rate = max(s.items_per_second for s in self.input_shapes)
+        return per_item * rate
+
+
+@dataclass
+class DataflowGraph:
+    """Topologically ordered, type-checked wake-up condition.
+
+    Build with :func:`repro.il.validate.validate_program`; execute with
+    :class:`repro.hub.runtime.HubRuntime`.
+    """
+
+    nodes: List[GraphNode]
+    output_id: int
+    #: Names of sensor channels the graph reads, in first-use order.
+    channels: Tuple[str, ...]
+    program: ILProgram
+
+    _by_id: Dict[int, GraphNode] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        self._by_id = {n.node_id: n for n in self.nodes}
+
+    def node(self, node_id: int) -> GraphNode:
+        """Look up a node by id."""
+        return self._by_id[node_id]
+
+    @property
+    def total_cycles_per_second(self) -> float:
+        """Estimated aggregate MCU load of the whole condition."""
+        return sum(n.cycles_per_second for n in self.nodes)
+
+    def reset(self) -> None:
+        """Reset every algorithm instance to its initial state."""
+        for node in self.nodes:
+            node.algorithm.reset()
+
+
+def _source_shape(ref: ChannelRef) -> StreamShape:
+    channel = channel_by_name(ref.channel)
+    return StreamShape(StreamKind.SCALAR, channel.rate_hz, 1, channel.rate_hz)
+
+
+def _toposort(statements: Tuple[ILStatement, ...]) -> List[ILStatement]:
+    """Order statements so every node follows all of its inputs.
+
+    Raises:
+        ILValidationError: if the dependency graph contains a cycle.
+    """
+    by_id = {s.node_id: s for s in statements}
+    ordered: List[ILStatement] = []
+    state: Dict[int, int] = {}  # 0 = visiting, 1 = done
+
+    def visit(stmt: ILStatement, stack: List[int]) -> None:
+        mark = state.get(stmt.node_id)
+        if mark == 1:
+            return
+        if mark == 0:
+            cycle = " -> ".join(str(i) for i in stack + [stmt.node_id])
+            raise ILValidationError(f"wake-up condition contains a cycle: {cycle}")
+        state[stmt.node_id] = 0
+        for ref in stmt.inputs:
+            if isinstance(ref, NodeRef):
+                visit(by_id[ref.node_id], stack + [stmt.node_id])
+        state[stmt.node_id] = 1
+        ordered.append(stmt)
+
+    for stmt in statements:
+        visit(stmt, [])
+    return ordered
+
+
+def build_graph(program: ILProgram) -> DataflowGraph:
+    """Instantiate an executable graph from a *validated* program.
+
+    :func:`repro.il.validate.validate_program` performs the semantic
+    checks and then calls this; calling it directly on an unvalidated
+    program may raise arbitrary errors.
+    """
+    ordered = _toposort(program.statements)
+    shapes: Dict[int, StreamShape] = {}
+    nodes: List[GraphNode] = []
+    channels: List[str] = []
+    for stmt in ordered:
+        in_shapes: List[StreamShape] = []
+        for ref in stmt.inputs:
+            if isinstance(ref, ChannelRef):
+                if ref.channel not in channels:
+                    channels.append(ref.channel)
+                in_shapes.append(_source_shape(ref))
+            else:
+                in_shapes.append(shapes[ref.node_id])
+        algorithm = create(stmt.opcode, **stmt.param_dict())
+        out_shape = algorithm.propagate_shape(in_shapes)
+        shapes[stmt.node_id] = out_shape
+        nodes.append(
+            GraphNode(
+                node_id=stmt.node_id,
+                opcode=stmt.opcode,
+                inputs=stmt.inputs,
+                algorithm=algorithm,
+                input_shapes=tuple(in_shapes),
+                output_shape=out_shape,
+            )
+        )
+    return DataflowGraph(
+        nodes=nodes,
+        output_id=program.output.node_id,
+        channels=tuple(channels),
+        program=program,
+    )

@@ -1,0 +1,212 @@
+"""Parser for the textual intermediate language.
+
+Accepts both this library's named-parameter form::
+
+    ACC_X -> movingAvg(id=1, params={size=10});
+
+and the paper's positional form (Figure 2c)::
+
+    ACC_X -> movingAvg(id=1, params={10});
+
+Positional values are mapped onto parameter names through the target
+algorithm's declared ``param_order``.  Lines may be separated by
+newlines; ``#`` starts a comment running to end of line.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from repro.algorithms.base import get_algorithm_class
+from repro.errors import ILSyntaxError, UnknownAlgorithmError
+from repro.il.ast import ChannelRef, ILProgram, ILStatement, NodeRef, SourceRef
+
+_STMT_RE = re.compile(
+    r"^\s*(?P<inputs>[^-]+?)\s*->\s*(?P<target>[A-Za-z_][A-Za-z0-9_]*)\s*"
+    r"(?:\(\s*(?P<args>.*)\))?\s*$"
+)
+_ID_RE = re.compile(r"^id\s*=\s*(\d+)$")
+_PARAMS_RE = re.compile(r"^params\s*=\s*\{(?P<body>.*)\}$", re.DOTALL)
+_NAMED_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*)\s*=\s*(.+)$", re.DOTALL)
+
+
+def _strip_comments(text: str) -> List[Tuple[int, str]]:
+    """Split input into ``;``-terminated statements with line numbers."""
+    statements: List[Tuple[int, str]] = []
+    current: List[str] = []
+    start_line = 1
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.split("#", 1)[0]
+        for piece in re.split(r"(;)", line):
+            if piece == ";":
+                stmt = "".join(current).strip()
+                if stmt:
+                    statements.append((start_line, stmt))
+                current = []
+                start_line = lineno
+            else:
+                if not "".join(current).strip():
+                    start_line = lineno
+                current.append(piece)
+    tail = "".join(current).strip()
+    if tail:
+        raise ILSyntaxError(f"statement not terminated with ';': {tail!r}")
+    return statements
+
+
+def _parse_value(text: str, line: int) -> object:
+    text = text.strip()
+    if not text:
+        raise ILSyntaxError("empty parameter value", line)
+    if text.startswith('"'):
+        if not text.endswith('"') or len(text) < 2:
+            raise ILSyntaxError(f"unterminated string {text!r}", line)
+        body = text[1:-1]
+        return body.replace('\\"', '"').replace("\\\\", "\\")
+    lowered = text.lower()
+    if lowered == "true":
+        return True
+    if lowered == "false":
+        return False
+    if lowered in ("none", "null"):
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    if re.fullmatch(r"[A-Za-z_][A-Za-z0-9_.]*", text):
+        return text  # bare identifier string (e.g. hamming)
+    raise ILSyntaxError(f"cannot parse parameter value {text!r}", line)
+
+
+def _split_top_level(body: str) -> List[str]:
+    """Split on commas that are not inside quotes."""
+    parts: List[str] = []
+    current: List[str] = []
+    in_string = False
+    i = 0
+    while i < len(body):
+        c = body[i]
+        if c == '"' and (i == 0 or body[i - 1] != "\\"):
+            in_string = not in_string
+        if c == "," and not in_string:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(c)
+        i += 1
+    if current:
+        parts.append("".join(current))
+    return [p for p in (part.strip() for part in parts) if p]
+
+
+def _parse_params(body: str, opcode: str, line: int) -> Dict[str, object]:
+    """Parse the ``{...}`` parameter body, resolving positional values."""
+    entries = _split_top_level(body)
+    named: Dict[str, object] = {}
+    positional: List[object] = []
+    for entry in entries:
+        match = _NAMED_RE.match(entry)
+        if match and not entry.startswith('"'):
+            named[match.group(1)] = _parse_value(match.group(2), line)
+        else:
+            positional.append(_parse_value(entry, line))
+    if positional:
+        # Positional values are resolved through the target algorithm's
+        # declared parameter order; an unknown opcode is therefore a
+        # *parse* error here (with named parameters it would surface
+        # later, as a validation error).
+        try:
+            algorithm_class = get_algorithm_class(opcode)
+        except UnknownAlgorithmError as error:
+            raise ILSyntaxError(
+                f"cannot map positional parameters: {error}", line
+            ) from None
+        order = getattr(algorithm_class, "param_order", ())
+        if len(positional) > len(order):
+            raise ILSyntaxError(
+                f"{opcode} takes at most {len(order)} positional parameters, "
+                f"got {len(positional)}",
+                line,
+            )
+        for name, value in zip(order, positional):
+            if name in named:
+                raise ILSyntaxError(
+                    f"{opcode}: parameter {name!r} given both positionally and by name",
+                    line,
+                )
+            named[name] = value
+    return named
+
+
+def _parse_source(token: str, line: int) -> SourceRef:
+    token = token.strip()
+    if not token:
+        raise ILSyntaxError("empty input reference", line)
+    if token.isdigit():
+        return NodeRef(int(token))
+    if re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*", token):
+        return ChannelRef(token)
+    raise ILSyntaxError(f"bad input reference {token!r}", line)
+
+
+def parse_program(text: str) -> ILProgram:
+    """Parse IL text into an (unvalidated) :class:`ILProgram`.
+
+    Raises:
+        ILSyntaxError: on any lexical or grammatical problem, including
+            a missing or duplicated ``OUT`` statement.
+    """
+    statements: List[ILStatement] = []
+    output: NodeRef | None = None
+    for line, stmt_text in _strip_comments(text):
+        match = _STMT_RE.match(stmt_text)
+        if not match:
+            raise ILSyntaxError(f"cannot parse statement {stmt_text!r}", line)
+        inputs = tuple(
+            _parse_source(tok, line) for tok in match.group("inputs").split(",")
+        )
+        target = match.group("target")
+        if target == "OUT":
+            if match.group("args"):
+                raise ILSyntaxError("OUT takes no arguments", line)
+            if len(inputs) != 1 or not isinstance(inputs[0], NodeRef):
+                raise ILSyntaxError("OUT must be fed by exactly one node id", line)
+            if output is not None:
+                raise ILSyntaxError("duplicate OUT statement", line)
+            output = inputs[0]
+            continue
+        args = match.group("args")
+        if args is None:
+            raise ILSyntaxError(f"{target}: missing (id=...) argument list", line)
+        node_id: int | None = None
+        params: Dict[str, object] = {}
+        # Split args into the id=... part and the optional params={...} part.
+        params_match = re.search(r"params\s*=\s*\{", args)
+        if params_match:
+            head = args[: params_match.start()].rstrip().rstrip(",")
+            body_start = params_match.end()
+            if not args.rstrip().endswith("}"):
+                raise ILSyntaxError("params block not closed with '}'", line)
+            body = args.rstrip()[body_start:-1]
+            params = _parse_params(body, target, line)
+        else:
+            head = args
+        for piece in _split_top_level(head):
+            id_match = _ID_RE.match(piece)
+            if not id_match:
+                raise ILSyntaxError(f"unexpected argument {piece!r}", line)
+            if node_id is not None:
+                raise ILSyntaxError("duplicate id argument", line)
+            node_id = int(id_match.group(1))
+        if node_id is None:
+            raise ILSyntaxError(f"{target}: missing id", line)
+        statements.append(ILStatement.make(inputs, target, node_id, params))
+    if output is None:
+        raise ILSyntaxError("program has no OUT statement")
+    return ILProgram(tuple(statements), output)

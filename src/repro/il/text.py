@@ -1,0 +1,46 @@
+"""Serialization of IL programs to their textual wire form.
+
+The wire form is what the sensor manager actually pushes to the hub
+(paper Figure 2c).  We emit named parameters (``params={size=10}``) for
+readability; the parser also accepts the paper's positional form
+(``params={10}``).
+"""
+
+from __future__ import annotations
+
+from repro.il.ast import ILProgram, ILStatement
+
+_BARE_CHARS = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_.")
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        # Render integral floats compactly but keep them floats on parse.
+        text = repr(value)
+        return text
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, str):
+        if value and all(c in _BARE_CHARS for c in value) and not value[0].isdigit():
+            return value
+        escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+    raise TypeError(f"cannot serialize IL parameter value of type {type(value).__name__}")
+
+
+def format_statement(statement: ILStatement) -> str:
+    """Render one statement as a line of IL text (without newline)."""
+    inputs = ",".join(str(ref) for ref in statement.inputs)
+    if statement.params:
+        params = ", ".join(f"{k}={_format_value(v)}" for k, v in statement.params)
+        return f"{inputs} -> {statement.opcode}(id={statement.node_id}, params={{{params}}});"
+    return f"{inputs} -> {statement.opcode}(id={statement.node_id});"
+
+
+def format_program(program: ILProgram) -> str:
+    """Render a full program, one statement per line, ending with OUT."""
+    lines = [format_statement(s) for s in program.statements]
+    lines.append(f"{program.output} -> OUT;")
+    return "\n".join(lines) + "\n"

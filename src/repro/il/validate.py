@@ -1,0 +1,128 @@
+"""Semantic validation of IL programs.
+
+The hub refuses a wake-up condition unless it passes these checks, which
+mirror the structural rules of Section 3.2:
+
+* node ids are unique and positive;
+* every input reference resolves (to a known channel or a defined node);
+* the dependency graph is acyclic;
+* each algorithm receives the number and the stream kind of inputs it
+  declares, and its parameters construct cleanly;
+* multi-input algorithms receive rate-aligned inputs;
+* exactly one node feeds ``OUT`` and every node contributes to it
+  ("at the end of the pipeline, there must be only one branch").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.algorithms.base import PORT_VARIADIC, get_algorithm_class
+from repro.errors import (
+    ILValidationError,
+    ParameterError,
+    SidewinderError,
+    UnknownAlgorithmError,
+    UnknownChannelError,
+)
+from repro.il.ast import ChannelRef, ILProgram, NodeRef
+from repro.il.graph import DataflowGraph, build_graph
+from repro.sensors.channels import channel_by_name
+
+
+def validate_program(program: ILProgram) -> DataflowGraph:
+    """Check a program and return its executable graph form.
+
+    Raises:
+        ILValidationError: on any structural problem.
+        ParameterError: when an algorithm's parameters are invalid.
+        UnknownAlgorithmError / UnknownChannelError: on unknown names.
+    """
+    if not program.statements:
+        raise ILValidationError("program defines no algorithms")
+
+    seen_ids: Set[int] = set()
+    for stmt in program.statements:
+        if stmt.node_id <= 0:
+            raise ILValidationError(f"node id must be positive, got {stmt.node_id}")
+        if stmt.node_id in seen_ids:
+            raise ILValidationError(f"duplicate node id {stmt.node_id}")
+        seen_ids.add(stmt.node_id)
+
+    by_id = program.statement_by_id()
+    for stmt in program.statements:
+        cls = get_algorithm_class(stmt.opcode)  # raises UnknownAlgorithmError
+        if cls.n_inputs == PORT_VARIADIC:
+            if len(stmt.inputs) < 1:
+                raise ILValidationError(
+                    f"node {stmt.node_id} ({stmt.opcode}): needs at least one input"
+                )
+        elif len(stmt.inputs) != cls.n_inputs:
+            raise ILValidationError(
+                f"node {stmt.node_id} ({stmt.opcode}): expects {cls.n_inputs} "
+                f"input(s), got {len(stmt.inputs)}"
+            )
+        for ref in stmt.inputs:
+            if isinstance(ref, ChannelRef):
+                channel_by_name(ref.channel)  # raises UnknownChannelError
+            elif ref.node_id not in by_id:
+                raise ILValidationError(
+                    f"node {stmt.node_id} reads undefined node {ref.node_id}"
+                )
+            if isinstance(ref, NodeRef) and ref.node_id == stmt.node_id:
+                raise ILValidationError(f"node {stmt.node_id} reads itself")
+
+    if program.output.node_id not in by_id:
+        raise ILValidationError(
+            f"OUT references undefined node {program.output.node_id}"
+        )
+
+    # Stream-kind compatibility: channels produce scalars; each node
+    # consumes its declared input kind and produces its declared output
+    # kind.  Building the graph performs shape propagation and parameter
+    # construction (and cycle detection via the topological sort).
+    try:
+        graph = build_graph(program)
+    except (ILValidationError, ParameterError, UnknownChannelError, UnknownAlgorithmError):
+        raise
+    except SidewinderError as exc:
+        raise ILValidationError(str(exc)) from exc
+
+    kinds: Dict[int, object] = {n.node_id: n.algorithm.output_kind for n in graph.nodes}
+    for node in graph.nodes:
+        cls = type(node.algorithm)
+        for port, (ref, shape) in enumerate(zip(node.inputs, node.input_shapes)):
+            actual = kinds[ref.node_id] if isinstance(ref, NodeRef) else shape.kind
+            if actual is not cls.input_kind:
+                source = str(ref)
+                raise ILValidationError(
+                    f"node {node.node_id} ({node.opcode}) port {port}: expects "
+                    f"{cls.input_kind.value} items but {source} produces "
+                    f"{getattr(actual, 'value', actual)} items"
+                )
+        if len(node.inputs) > 1:
+            rates = {round(s.items_per_second, 9) for s in node.input_shapes}
+            if len(rates) > 1:
+                raise ILValidationError(
+                    f"node {node.node_id} ({node.opcode}): input item rates differ "
+                    f"({sorted(rates)}); multi-input algorithms need aligned inputs"
+                )
+
+    # Convergence: every node must (transitively) feed OUT.
+    feeding: Set[int] = set()
+    frontier = [program.output.node_id]
+    while frontier:
+        node_id = frontier.pop()
+        if node_id in feeding:
+            continue
+        feeding.add(node_id)
+        for ref in by_id[node_id].inputs:
+            if isinstance(ref, NodeRef):
+                frontier.append(ref.node_id)
+    dangling = seen_ids - feeding
+    if dangling:
+        raise ILValidationError(
+            f"nodes {sorted(dangling)} do not feed OUT; the pipeline must "
+            "converge to a single output branch"
+        )
+    return graph

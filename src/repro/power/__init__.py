@@ -1,0 +1,27 @@
+"""Power models and energy accounting (paper Section 4, Table 1).
+
+The evaluation's energy numbers come from a measured Nexus 4 power
+profile (:mod:`repro.power.phone`) applied to a timeline of device
+states (:mod:`repro.power.timeline`), plus the constant draw of any
+sensor-hub MCU in use.  :mod:`repro.power.accounting` breaks the total
+down by component.
+"""
+
+from repro.power.accounting import PowerBreakdown, account
+from repro.power.battery import NEXUS4_BATTERY, BatteryModel, lifetime_gain
+from repro.power.phone import NEXUS4, PhonePowerProfile
+from repro.power.timeline import Interval, PhoneState, Timeline, build_timeline
+
+__all__ = [
+    "NEXUS4",
+    "NEXUS4_BATTERY",
+    "BatteryModel",
+    "lifetime_gain",
+    "Interval",
+    "PhonePowerProfile",
+    "PhoneState",
+    "PowerBreakdown",
+    "Timeline",
+    "account",
+    "build_timeline",
+]

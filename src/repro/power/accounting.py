@@ -1,0 +1,96 @@
+"""Energy accounting: per-component breakdown of a simulated run.
+
+Combines the phone timeline with the constant draw of any sensor-hub
+MCU (Section 4.3: "for Batching and Predefined Activity, the model also
+includes the cost of a low-power TI MSP430 ... experiments configured to
+use Sidewinder include the cost of the TI MSP430, with the exception
+being the siren detector which required the more powerful TI LM4F120").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.hub.mcu import MCUModel
+from repro.power.phone import PhonePowerProfile
+from repro.power.timeline import PhoneState, Timeline
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Average power of one simulated run, broken down by component.
+
+    All values are in milliwatts averaged over the full trace duration.
+
+    Attributes:
+        phone_awake_mw: Contribution of fully-awake time.
+        phone_asleep_mw: Contribution of fully-asleep time.
+        phone_transition_mw: Contribution of wake/sleep transitions.
+        hub_mw: Constant draw of the sensor-hub MCU(s), 0 when the
+            configuration uses no hub.
+        duration_s: Trace duration the averages are taken over.
+        wakeup_count: Number of asleep-to-awake transitions.
+        awake_fraction: Fraction of the trace spent fully awake.
+    """
+
+    phone_awake_mw: float
+    phone_asleep_mw: float
+    phone_transition_mw: float
+    hub_mw: float
+    duration_s: float
+    wakeup_count: int
+    awake_fraction: float
+
+    @property
+    def phone_mw(self) -> float:
+        """Average phone draw (hub excluded)."""
+        return self.phone_awake_mw + self.phone_asleep_mw + self.phone_transition_mw
+
+    @property
+    def total_mw(self) -> float:
+        """Average total draw including the hub."""
+        return self.phone_mw + self.hub_mw
+
+    @property
+    def total_energy_mj(self) -> float:
+        """Total energy over the run in millijoules."""
+        return self.total_mw * self.duration_s
+
+
+def account(
+    timeline: Timeline,
+    profile: PhonePowerProfile,
+    mcus: Tuple[MCUModel, ...] = (),
+    hub_mw: Optional[float] = None,
+) -> PowerBreakdown:
+    """Compute the :class:`PowerBreakdown` of a run.
+
+    Args:
+        timeline: The phone's state timeline.
+        profile: Phone power profile (normally :data:`repro.power.NEXUS4`).
+        mcus: Hub MCUs running throughout the trace; their awake power
+            is charged for the full duration (the hub never sleeps while
+            a condition is resident).
+        hub_mw: Explicit override for the hub draw; wins over ``mcus``.
+    """
+    duration = timeline.duration
+    if duration <= 0:
+        return PowerBreakdown(0.0, 0.0, 0.0, 0.0, 0.0, 0, 0.0)
+    awake = timeline.seconds_in(PhoneState.AWAKE)
+    asleep = timeline.seconds_in(PhoneState.ASLEEP)
+    waking = timeline.seconds_in(PhoneState.WAKING)
+    sleeping = timeline.seconds_in(PhoneState.SLEEPING)
+    hub = hub_mw if hub_mw is not None else sum(m.awake_power_mw for m in mcus)
+    return PowerBreakdown(
+        phone_awake_mw=profile.awake_mw * awake / duration,
+        phone_asleep_mw=profile.asleep_mw * asleep / duration,
+        phone_transition_mw=(
+            profile.wake_transition_mw * waking
+            + profile.sleep_transition_mw * sleeping
+        ) / duration,
+        hub_mw=hub,
+        duration_s=duration,
+        wakeup_count=timeline.wakeup_count,
+        awake_fraction=awake / duration,
+    )

@@ -1,0 +1,74 @@
+"""The Google Nexus 4 power profile (paper Table 1).
+
+The paper measured the phone with screen, WiFi and GPS off:
+
+====================================  ======================  =========
+State                                 Average power (mW)      Duration
+====================================  ======================  =========
+Awake, running sensing application    323                     N/A
+Asleep                                9.7                     N/A
+Asleep-to-awake transition            384                     1 second
+Awake-to-asleep transition            341                     1 second
+====================================  ======================  =========
+
+These constants are embedded directly; the reproduction's simulator uses
+them exactly as the paper's simulator did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.power.timeline import PhoneState
+
+
+@dataclass(frozen=True)
+class PhonePowerProfile:
+    """Average power per device state plus transition durations.
+
+    Attributes:
+        awake_mw: Awake, running the sensor-driven application.
+        asleep_mw: Deep sleep.
+        wake_transition_mw: Asleep-to-awake transition draw.
+        sleep_transition_mw: Awake-to-asleep transition draw.
+        transition_s: Duration of each transition.
+    """
+
+    name: str
+    awake_mw: float
+    asleep_mw: float
+    wake_transition_mw: float
+    sleep_transition_mw: float
+    transition_s: float
+
+    def power_mw(self, state: PhoneState) -> float:
+        """Average draw of one state."""
+        return {
+            PhoneState.AWAKE: self.awake_mw,
+            PhoneState.ASLEEP: self.asleep_mw,
+            PhoneState.WAKING: self.wake_transition_mw,
+            PhoneState.SLEEPING: self.sleep_transition_mw,
+        }[state]
+
+    def table1_rows(self) -> List[Tuple[str, float, str]]:
+        """Rows of the paper's Table 1: (state, power mW, duration)."""
+        return [
+            ("Awake, running sensor-driven application", self.awake_mw, "N/A"),
+            ("Asleep", self.asleep_mw, "N/A"),
+            ("Asleep-to-Awake Transition", self.wake_transition_mw,
+             f"{self.transition_s:g} second"),
+            ("Awake-to-Asleep Transition", self.sleep_transition_mw,
+             f"{self.transition_s:g} second"),
+        ]
+
+
+#: The paper's measured Nexus 4 profile (Table 1).
+NEXUS4 = PhonePowerProfile(
+    name="Google Nexus 4",
+    awake_mw=323.0,
+    asleep_mw=9.7,
+    wake_transition_mw=384.0,
+    sleep_transition_mw=341.0,
+    transition_s=1.0,
+)

@@ -1,0 +1,223 @@
+"""Device state timelines.
+
+A :class:`Timeline` is a gap-free, non-overlapping sequence of
+:class:`Interval` records covering a trace from 0 to its duration.  The
+simulator decides *when the application needs the phone awake* (sensing
+or processing windows); :func:`build_timeline` turns those windows into
+a physically consistent timeline by inserting the 1-second wake/sleep
+transitions the paper measured, collapsing gaps too short to complete a
+sleep/wake round trip.
+
+Transition placement: a wake-up requested at time ``t`` starts its
+asleep-to-awake transition at ``t - transition_s`` (the hub's wake
+signal precedes usable CPU time), and the awake-to-asleep transition
+starts when the awake window ends.  Transitions therefore eat into
+*sleep* time, matching the paper's observation that short duty-cycling
+intervals can cost more than staying awake.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, List, Sequence, Tuple
+
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.power.phone import PhonePowerProfile
+
+
+class PhoneState(enum.Enum):
+    """Power states of the main processor (paper Table 1)."""
+
+    ASLEEP = "asleep"
+    WAKING = "waking"  # asleep-to-awake transition
+    AWAKE = "awake"
+    SLEEPING = "sleeping"  # awake-to-asleep transition
+
+
+@dataclass(frozen=True)
+class Interval:
+    """One contiguous stretch of a single phone state."""
+
+    state: PhoneState
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        """Length of the interval in seconds."""
+        return self.end - self.start
+
+
+@dataclass
+class Timeline:
+    """A validated sequence of state intervals covering ``[0, duration]``."""
+
+    intervals: List[Interval]
+
+    def __post_init__(self) -> None:
+        previous_end = None
+        for interval in self.intervals:
+            if interval.end < interval.start:
+                raise SimulationError(
+                    f"interval ends before it starts: {interval}"
+                )
+            if previous_end is not None and abs(interval.start - previous_end) > 1e-9:
+                raise SimulationError(
+                    f"timeline has a gap/overlap at t={previous_end} -> "
+                    f"{interval.start}"
+                )
+            previous_end = interval.end
+
+    @property
+    def duration(self) -> float:
+        """Total covered time in seconds."""
+        if not self.intervals:
+            return 0.0
+        return self.intervals[-1].end - self.intervals[0].start
+
+    def seconds_in(self, state: PhoneState) -> float:
+        """Total seconds spent in one state."""
+        return sum(i.duration for i in self.intervals if i.state is state)
+
+    @property
+    def awake_seconds(self) -> float:
+        """Seconds fully awake (excluding transitions)."""
+        return self.seconds_in(PhoneState.AWAKE)
+
+    @property
+    def asleep_seconds(self) -> float:
+        """Seconds fully asleep (excluding transitions)."""
+        return self.seconds_in(PhoneState.ASLEEP)
+
+    @property
+    def wakeup_count(self) -> int:
+        """Number of asleep-to-awake transitions."""
+        return sum(1 for i in self.intervals if i.state is PhoneState.WAKING)
+
+    def awake_windows(self) -> List[Tuple[float, float]]:
+        """The (start, end) spans of every fully-awake interval."""
+        return [
+            (i.start, i.end) for i in self.intervals if i.state is PhoneState.AWAKE
+        ]
+
+    def energy_mj(self, profile: "PhonePowerProfile") -> float:
+        """Total phone energy over the timeline, in millijoules."""
+        return sum(
+            profile.power_mw(i.state) * i.duration for i in self.intervals
+        )
+
+    def average_power_mw(self, profile: "PhonePowerProfile") -> float:
+        """Average phone power over the timeline, in milliwatts."""
+        if self.duration <= 0:
+            return 0.0
+        return self.energy_mj(profile) / self.duration
+
+
+def merge_windows(
+    windows: Iterable[Tuple[float, float]], min_gap: float
+) -> List[Tuple[float, float]]:
+    """Sort windows and merge overlaps and gaps smaller than ``min_gap``.
+
+    Overlapping or touching windows always merge; a positive gap
+    survives only when it is at least ``min_gap`` (a gap of exactly
+    ``min_gap`` is kept — for the timeline builder that is the shortest
+    sleep round trip that still fits its two transitions).  Windows with
+    non-positive length are dropped.
+    """
+    merged: List[Tuple[float, float]] = []
+    for start, end in sorted(windows):
+        if end <= start:
+            continue
+        if merged:
+            gap = start - merged[-1][1]
+            if gap <= 0 or gap < min_gap:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+                continue
+        merged.append((start, end))
+    return merged
+
+
+def build_timeline(
+    duration: float,
+    awake_windows: Sequence[Tuple[float, float]],
+    profile: "PhonePowerProfile",
+) -> Timeline:
+    """Turn requested awake windows into a physical state timeline.
+
+    Args:
+        duration: Trace length in seconds; the timeline covers
+            ``[0, duration]``.
+        awake_windows: Spans during which the application needs the main
+            processor fully awake.  Windows are clipped to the trace,
+            merged when overlapping, and merged when the gap between
+            them is too short to complete a sleep + wake transition
+            round trip (the device simply stays awake).
+        profile: Phone power profile supplying the transition duration.
+
+    Returns:
+        A validated :class:`Timeline`.
+    """
+    if duration <= 0:
+        raise SimulationError(f"duration must be positive, got {duration}")
+    t_tr = profile.transition_s
+    clipped = [
+        (max(0.0, start), min(duration, end))
+        for start, end in awake_windows
+        if min(duration, end) > max(0.0, start)
+    ]
+    # A sleep round trip needs one sleep transition + one wake transition;
+    # gaps shorter than that leave no time asleep at all, so stay awake.
+    merged = merge_windows(clipped, min_gap=2.0 * t_tr)
+
+    intervals: List[Interval] = []
+    cursor = 0.0
+    for start, end in merged:
+        gap = start - cursor
+        if intervals:
+            # Coming out of a previous awake window: sleep transition,
+            # possible sleep, then wake transition.
+            sleep_time = gap - 2.0 * t_tr
+            intervals.append(
+                Interval(PhoneState.SLEEPING, cursor, cursor + t_tr)
+            )
+            if sleep_time > 1e-12:
+                intervals.append(
+                    Interval(PhoneState.ASLEEP, cursor + t_tr, start - t_tr)
+                )
+            intervals.append(Interval(PhoneState.WAKING, start - t_tr, start))
+        else:
+            # Trace starts asleep; wake transition precedes first window.
+            if gap >= t_tr:
+                if gap > t_tr:
+                    intervals.append(Interval(PhoneState.ASLEEP, 0.0, start - t_tr))
+                intervals.append(Interval(PhoneState.WAKING, start - t_tr, start))
+            elif gap > 0:
+                # Not enough lead time for a full transition: compress it.
+                intervals.append(Interval(PhoneState.WAKING, 0.0, start))
+        intervals.append(Interval(PhoneState.AWAKE, start, end))
+        cursor = end
+    # Tail: back to sleep if there is room.
+    if cursor < duration:
+        if intervals:
+            tail = duration - cursor
+            if tail >= t_tr:
+                intervals.append(Interval(PhoneState.SLEEPING, cursor, cursor + t_tr))
+                if tail > t_tr:
+                    intervals.append(
+                        Interval(PhoneState.ASLEEP, cursor + t_tr, duration)
+                    )
+            else:
+                intervals.append(Interval(PhoneState.SLEEPING, cursor, duration))
+        else:
+            intervals.append(Interval(PhoneState.ASLEEP, 0.0, duration))
+    return Timeline(intervals)
+
+
+def always_awake_timeline(duration: float) -> Timeline:
+    """Timeline for the Always Awake configuration: awake throughout."""
+    if duration <= 0:
+        raise SimulationError(f"duration must be positive, got {duration}")
+    return Timeline([Interval(PhoneState.AWAKE, 0.0, duration)])

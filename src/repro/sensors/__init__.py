@@ -1,0 +1,31 @@
+"""Sensor channel definitions and sample containers.
+
+The sensor substrate models the physical sensors the paper's prototype
+used: a 3-axis accelerometer and a microphone, exposed to the rest of the
+system as named *channels* (``ACC_X``, ``ACC_Y``, ``ACC_Z``, ``MIC``).
+"""
+
+from repro.sensors.channels import (
+    ACC_X,
+    ACC_Y,
+    ACC_Z,
+    ACCELEROMETER_CHANNELS,
+    MIC,
+    SensorChannel,
+    SensorKind,
+    channel_by_name,
+)
+from repro.sensors.samples import Chunk, StreamKind
+
+__all__ = [
+    "ACC_X",
+    "ACC_Y",
+    "ACC_Z",
+    "ACCELEROMETER_CHANNELS",
+    "MIC",
+    "Chunk",
+    "SensorChannel",
+    "SensorKind",
+    "StreamKind",
+    "channel_by_name",
+]

@@ -1,0 +1,79 @@
+"""Sensor channel definitions.
+
+A :class:`SensorChannel` names one scalar stream a sensor produces.  The
+paper's prototype exposes the three accelerometer axes and the microphone
+as independent channels; a :class:`~repro.api.branch.ProcessingBranch` is
+anchored to exactly one channel.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import UnknownChannelError
+
+#: Default accelerometer sampling rate used throughout the reproduction.
+#: 50 Hz is the rate Android reports for SENSOR_DELAY_GAME and is what the
+#: paper's step/transition/headbutt classifiers were tuned for.
+ACCEL_RATE_HZ = 50.0
+
+#: Default microphone sampling rate.  8 kHz comfortably covers the siren
+#: detector's 850-1800 Hz band of interest.
+AUDIO_RATE_HZ = 8000.0
+
+
+class SensorKind(enum.Enum):
+    """Physical sensor family a channel belongs to."""
+
+    ACCELEROMETER = "accelerometer"
+    MICROPHONE = "microphone"
+
+
+@dataclass(frozen=True)
+class SensorChannel:
+    """One scalar sensor stream.
+
+    Attributes:
+        name: Stable identifier used in the intermediate language
+            (e.g. ``"ACC_X"``).
+        kind: Physical sensor family.
+        unit: Unit of the samples (informational).
+        rate_hz: Nominal sampling rate of the channel.
+    """
+
+    name: str
+    kind: SensorKind
+    unit: str
+    rate_hz: float
+
+    def __str__(self) -> str:
+        return self.name
+
+
+ACC_X = SensorChannel("ACC_X", SensorKind.ACCELEROMETER, "m/s^2", ACCEL_RATE_HZ)
+ACC_Y = SensorChannel("ACC_Y", SensorKind.ACCELEROMETER, "m/s^2", ACCEL_RATE_HZ)
+ACC_Z = SensorChannel("ACC_Z", SensorKind.ACCELEROMETER, "m/s^2", ACCEL_RATE_HZ)
+MIC = SensorChannel("MIC", SensorKind.MICROPHONE, "normalized amplitude", AUDIO_RATE_HZ)
+
+#: The three accelerometer axes, in x/y/z order.
+ACCELEROMETER_CHANNELS = (ACC_X, ACC_Y, ACC_Z)
+
+_CHANNELS = {c.name: c for c in (ACC_X, ACC_Y, ACC_Z, MIC)}
+
+
+def channel_by_name(name: str) -> SensorChannel:
+    """Look up a channel by its intermediate-language name.
+
+    Raises:
+        UnknownChannelError: if no channel with that name exists.
+    """
+    try:
+        return _CHANNELS[name]
+    except KeyError:
+        raise UnknownChannelError(name) from None
+
+
+def all_channels() -> tuple[SensorChannel, ...]:
+    """Return every channel the simulated device exposes."""
+    return tuple(_CHANNELS.values())

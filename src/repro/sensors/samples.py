@@ -1,0 +1,131 @@
+"""Sample containers flowing between processing algorithms.
+
+Data moves through a wake-up condition as a sequence of :class:`Chunk`
+objects.  A chunk is a batch of *items* with per-item timestamps; batching
+lets the Python interpreter vectorize with numpy while preserving the
+paper's per-sample semantics (an algorithm "may not always produce a
+result", Section 3.5 — here that simply means it may return a shorter, or
+empty, chunk).
+
+Three item kinds exist:
+
+* ``SCALAR`` — one float per item (raw samples, moving averages,
+  extracted features).  ``values`` has shape ``(n,)``.
+* ``FRAME`` — one window of time-domain samples per item (the output of a
+  windowing algorithm).  ``values`` has shape ``(n, width)``.
+* ``SPECTRUM`` — one one-sided complex spectrum per item (the output of an
+  FFT).  ``values`` has shape ``(n, nbins)`` and is complex.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class StreamKind(enum.Enum):
+    """Kind of item carried on a stream between two algorithms."""
+
+    SCALAR = "scalar"
+    FRAME = "frame"
+    SPECTRUM = "spectrum"
+
+
+@dataclass
+class Chunk:
+    """A batch of stream items with per-item timestamps.
+
+    Attributes:
+        kind: Item kind carried by this chunk.
+        times: Per-item timestamps in seconds, shape ``(n,)``.  For
+            ``FRAME``/``SPECTRUM`` items the timestamp is the *end* of the
+            window the item was computed from, so that admission-control
+            decisions are causally consistent.
+        values: Item payload; shape ``(n,)`` for scalars and
+            ``(n, width)`` otherwise.
+        rate_hz: Sampling rate of the underlying time-domain signal.
+            Needed by frequency-domain algorithms to map bins to Hz.
+    """
+
+    kind: StreamKind
+    times: np.ndarray
+    values: np.ndarray
+    rate_hz: float
+
+    def __post_init__(self) -> None:
+        self.times = np.asarray(self.times, dtype=np.float64)
+        if self.kind is StreamKind.SCALAR:
+            self.values = np.asarray(self.values, dtype=np.float64)
+            if self.values.ndim != 1:
+                raise ValueError("SCALAR chunk values must be 1-D")
+        else:
+            self.values = np.asarray(self.values)
+            if self.values.ndim != 2:
+                raise ValueError(f"{self.kind.value} chunk values must be 2-D")
+        if self.times.shape[0] != self.values.shape[0]:
+            raise ValueError(
+                f"times ({self.times.shape[0]}) and values "
+                f"({self.values.shape[0]}) item counts differ"
+            )
+
+    def __len__(self) -> int:
+        return int(self.times.shape[0])
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the chunk carries no items."""
+        return len(self) == 0
+
+    @classmethod
+    def empty(cls, kind: StreamKind, rate_hz: float, width: int | None = None) -> "Chunk":
+        """Build a chunk with zero items of the given kind."""
+        if kind is StreamKind.SCALAR:
+            values = np.empty(0, dtype=np.float64)
+        else:
+            dtype = np.complex128 if kind is StreamKind.SPECTRUM else np.float64
+            values = np.empty((0, width or 0), dtype=dtype)
+        return cls(kind, np.empty(0, dtype=np.float64), values, rate_hz)
+
+    @classmethod
+    def scalars(cls, times: np.ndarray, values: np.ndarray, rate_hz: float) -> "Chunk":
+        """Convenience constructor for a SCALAR chunk."""
+        return cls(StreamKind.SCALAR, times, values, rate_hz)
+
+    def take(self, mask: np.ndarray) -> "Chunk":
+        """Return a new chunk keeping only items where ``mask`` is true."""
+        return Chunk(self.kind, self.times[mask], self.values[mask], self.rate_hz)
+
+
+@dataclass
+class ChunkBuffer:
+    """Accumulates scalar items across chunk boundaries.
+
+    Several algorithms (windowing, moving averages) need to carry partial
+    state between chunks.  ``ChunkBuffer`` holds the tail of the scalar
+    stream seen so far along with matching timestamps.
+    """
+
+    times: np.ndarray = field(default_factory=lambda: np.empty(0))
+    values: np.ndarray = field(default_factory=lambda: np.empty(0))
+
+    def extend(self, chunk: Chunk) -> None:
+        """Append the items of a scalar chunk to the buffer."""
+        if chunk.kind is not StreamKind.SCALAR:
+            raise ValueError("ChunkBuffer only accepts SCALAR chunks")
+        self.times = np.concatenate([self.times, chunk.times])
+        self.values = np.concatenate([self.values, chunk.values])
+
+    def consume(self, count: int) -> None:
+        """Drop the first ``count`` items."""
+        self.times = self.times[count:]
+        self.values = self.values[count:]
+
+    def __len__(self) -> int:
+        return int(self.times.shape[0])
+
+    def clear(self) -> None:
+        """Drop everything in the buffer."""
+        self.times = np.empty(0)
+        self.values = np.empty(0)

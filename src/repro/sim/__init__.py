@@ -1,0 +1,45 @@
+"""Trace-driven simulator (paper Section 4).
+
+"Our evaluation is based on a trace-driven simulation.  We measured
+power usage for our hardware to create a power model and collected
+accelerometer and audio traces.  This data was fed into our simulator
+which modeled the behavior and power consumption of our devices under
+various configurations and applications."
+
+:mod:`repro.sim.simulator` provides the shared machinery (wake-up
+condition execution, awake-window policies, result assembly);
+:mod:`repro.sim.configs` provides the six sensing configurations of
+Section 4.2; :mod:`repro.sim.calibrate` provides the threshold sweeps
+used to give Predefined Activity its best-case parameters (Section 5.3).
+"""
+
+from repro.sim.adaptive import AdaptiveSidewinder, EpochReport, ThresholdTuner
+from repro.sim.concurrent import ConcurrentResult, ConcurrentSidewinder
+from repro.sim.configs import (
+    AlwaysAwake,
+    Batching,
+    DutyCycling,
+    Oracle,
+    PredefinedActivity,
+    Sidewinder,
+)
+from repro.sim.results import SimulationResult
+from repro.sim.simulator import evaluate, run_wakeup_condition, windows_from_wake_times
+
+__all__ = [
+    "AdaptiveSidewinder",
+    "AlwaysAwake",
+    "ConcurrentResult",
+    "ConcurrentSidewinder",
+    "EpochReport",
+    "ThresholdTuner",
+    "Batching",
+    "DutyCycling",
+    "Oracle",
+    "PredefinedActivity",
+    "Sidewinder",
+    "SimulationResult",
+    "evaluate",
+    "run_wakeup_condition",
+    "windows_from_wake_times",
+]

@@ -1,0 +1,34 @@
+"""The six sensing configurations of Section 4.2.
+
+* :class:`~repro.sim.configs.always_awake.AlwaysAwake` — phone never
+  sleeps (the baseline ceiling);
+* :class:`~repro.sim.configs.duty_cycling.DutyCycling` — periodic 4 s
+  sensing windows separated by a sleep interval;
+* :class:`~repro.sim.configs.batching.Batching` — like duty cycling,
+  but the hub caches sensor data while the phone sleeps, so nothing is
+  missed (at the cost of timeliness);
+* :class:`~repro.sim.configs.predefined.PredefinedActivity` — a generic
+  manufacturer-provided significant-motion / significant-sound trigger;
+* :class:`~repro.sim.configs.sidewinder.Sidewinder` — the application's
+  custom wake-up condition on the hub;
+* :class:`~repro.sim.configs.oracle.Oracle` — a hypothetical ideal that
+  wakes exactly for the events of interest (the savings floor).
+"""
+
+from repro.sim.configs.always_awake import AlwaysAwake
+from repro.sim.configs.base import SensingConfiguration
+from repro.sim.configs.batching import Batching
+from repro.sim.configs.duty_cycling import DutyCycling
+from repro.sim.configs.oracle import Oracle
+from repro.sim.configs.predefined import PredefinedActivity
+from repro.sim.configs.sidewinder import Sidewinder
+
+__all__ = [
+    "AlwaysAwake",
+    "Batching",
+    "DutyCycling",
+    "Oracle",
+    "PredefinedActivity",
+    "SensingConfiguration",
+    "Sidewinder",
+]

@@ -1,0 +1,34 @@
+"""Always Awake: the phone never sleeps.
+
+The paper's power ceiling (~323 mW): every other approach is judged by
+how much of the gap between this and Oracle it closes.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import SensingApplication
+from repro.power.phone import NEXUS4, PhonePowerProfile
+from repro.sim.configs.base import SensingConfiguration
+from repro.sim.results import SimulationResult
+from repro.sim.simulator import evaluate
+from repro.traces.base import Trace
+
+
+class AlwaysAwake(SensingConfiguration):
+    """Phone awake for the entire trace; detector sees everything."""
+
+    name = "always_awake"
+
+    def run(
+        self,
+        app: SensingApplication,
+        trace: Trace,
+        profile: PhonePowerProfile = NEXUS4,
+    ) -> SimulationResult:
+        return evaluate(
+            config_name=self.name,
+            app=app,
+            trace=trace,
+            awake_windows=[(0.0, trace.duration)],
+            profile=profile,
+        )

@@ -1,0 +1,32 @@
+"""Sensing-configuration interface."""
+
+from __future__ import annotations
+
+from repro.apps.base import SensingApplication
+from repro.power.phone import NEXUS4, PhonePowerProfile
+from repro.sim.results import SimulationResult
+from repro.traces.base import Trace
+
+
+class SensingConfiguration:
+    """One way of scheduling the phone and hub for an application.
+
+    Subclasses implement :meth:`run`, producing a
+    :class:`~repro.sim.results.SimulationResult` for one application on
+    one trace.  Configurations are stateless across runs — the same
+    instance may be reused for many (app, trace) pairs.
+    """
+
+    name: str = ""
+
+    def run(
+        self,
+        app: SensingApplication,
+        trace: Trace,
+        profile: PhonePowerProfile = NEXUS4,
+    ) -> SimulationResult:
+        """Simulate ``app`` on ``trace`` under this configuration."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

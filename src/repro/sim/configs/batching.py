@@ -1,0 +1,121 @@
+"""Batching (Section 4.2).
+
+"Similar to Duty Cycling, except when the phone is asleep sensor data is
+cached.  When the device wakes, a batch of data from the sleep cycle is
+given to the application."
+
+Recall is perfect — the detector eventually sees every sample — but
+detection is *late* by up to one sleep interval, which is why the paper
+rules batching out for timeliness-constrained applications
+(Section 5.4).  The hub MCU that does the caching (an MSP430) is charged
+in the power model (Section 4.3).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from typing import Optional
+
+from repro.apps.base import Detection, SensingApplication
+from repro.errors import SimulationError
+from repro.hub.link import LinkModel, batch_transfer_seconds
+from repro.hub.mcu import MSP430
+from repro.power.phone import NEXUS4, PhonePowerProfile
+from repro.sim.configs.base import SensingConfiguration
+from repro.sim.results import SimulationResult
+from repro.sim.simulator import DEFAULT_HOLD_S, evaluate
+from repro.traces.base import Trace
+
+
+class Batching(SensingConfiguration):
+    """Sleep while the hub buffers; wake to process each batch.
+
+    Args:
+        sleep_interval_s: Batch length / sleep stretch (paper: same
+            intervals as duty cycling; Figure 5 shows 10 s).
+        process_s: Awake time to chew through one batch.
+        hold_s: Extension granted while detections keep arriving (the
+            application stays up to act on what it found).
+        overlap_s: Batch overlap so events straddling a batch boundary
+            are still seen whole by the detector.  The default covers
+            the longest event signature plus detector smoothing context
+            (a posture transition needs ~3 s of surrounding signal).
+        link: Optional hub-to-phone link model (Section 3.4).  When
+            given, each wake-up also pays the time to pull the buffered
+            batch across the link — negligible for accelerometer data
+            over the debug UART, seconds per batch for audio.
+    """
+
+    def __init__(
+        self,
+        sleep_interval_s: float,
+        process_s: float = 4.0,
+        hold_s: float = DEFAULT_HOLD_S,
+        overlap_s: float = 4.0,
+        link: Optional[LinkModel] = None,
+    ):
+        if sleep_interval_s <= 0:
+            raise SimulationError("sleep interval must be positive")
+        self.sleep_interval_s = sleep_interval_s
+        self.process_s = process_s
+        self.hold_s = hold_s
+        self.overlap_s = overlap_s
+        self.link = link
+        self.name = f"batching_{sleep_interval_s:g}s"
+
+    def run(
+        self,
+        app: SensingApplication,
+        trace: Trace,
+        profile: PhonePowerProfile = NEXUS4,
+    ) -> SimulationResult:
+        transfer_s = 0.0
+        if self.link is not None:
+            transfer_s = batch_transfer_seconds(
+                app.channels, self.sleep_interval_s, self.link
+            )
+        windows: List[Tuple[float, float]] = []
+        detections: List[Detection] = []
+        batch_start = 0.0
+        cursor = self.sleep_interval_s  # first wake after one batch
+        while batch_start < trace.duration:
+            wake_at = min(cursor, trace.duration)
+            awake_end = min(
+                wake_at + self.process_s + transfer_s, trace.duration
+            )
+            # Extend while fresh detections keep arriving; each
+            # extension re-processes the (now longer) batch so the data
+            # sensed live during the extension is never lost.
+            while True:
+                batch = (max(0.0, batch_start - self.overlap_s), awake_end)
+                batch_detections = app.detect(trace, [batch])
+                recent = [
+                    d for d in batch_detections
+                    if d.span[1] >= awake_end - self.hold_s
+                ]
+                if recent and awake_end < trace.duration:
+                    awake_end = min(awake_end + self.hold_s, trace.duration)
+                else:
+                    break
+            if awake_end > wake_at:
+                windows.append((wake_at, awake_end))
+            # Overlap-region events may be reported by both adjacent
+            # batches; duplicates are harmless for the event-level
+            # recall/precision metrics (both match the same event), and
+            # dropping them risks losing events whose context straddles
+            # the boundary.
+            detections.extend(batch_detections)
+            batch_start = awake_end
+            cursor = awake_end + self.sleep_interval_s
+            if wake_at >= trace.duration:
+                break
+        return evaluate(
+            config_name=self.name,
+            app=app,
+            trace=trace,
+            awake_windows=windows,
+            detections=detections,
+            mcus=(MSP430,),
+            profile=profile,
+        )

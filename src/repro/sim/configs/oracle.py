@@ -1,0 +1,63 @@
+"""Oracle: the hypothetical ideal wake-up mechanism (Section 4.2).
+
+"A hypothetical ideal implementation that only wakes up when the event
+of interest occurs.  Such a wake-up condition would achieve perfect
+detection precision and recall, with the lowest possible power
+consumption.  The difference between the power consumption of this
+method and the Sidewinder configuration provides an upper bound on the
+potential additional benefits of custom code offloading."
+
+No hub MCU is charged: the Oracle is an ideal, not an implementation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.apps.base import Detection, SensingApplication
+from repro.power.phone import NEXUS4, PhonePowerProfile
+from repro.power.timeline import merge_windows
+from repro.sim.configs.base import SensingConfiguration
+from repro.sim.results import SimulationResult
+from repro.sim.simulator import evaluate
+from repro.traces.base import Trace
+
+
+class Oracle(SensingConfiguration):
+    """Wakes exactly for each ground-truth event of interest.
+
+    Args:
+        processing_s: Awake time charged per event beyond the event's
+            own duration (the application still has to *process* the
+            event once awake).
+    """
+
+    name = "oracle"
+
+    def __init__(self, processing_s: float = 1.0):
+        self.processing_s = processing_s
+
+    def run(
+        self,
+        app: SensingApplication,
+        trace: Trace,
+        profile: PhonePowerProfile = NEXUS4,
+    ) -> SimulationResult:
+        events = app.events_of_interest(trace)
+        windows: List[Tuple[float, float]] = [
+            (event.start, min(event.end + self.processing_s, trace.duration))
+            for event in events
+        ]
+        windows = merge_windows(windows, min_gap=2.0 * profile.transition_s)
+        detections = [
+            Detection(time=event.start, end=event.end, label=event.label)
+            for event in events
+        ]
+        return evaluate(
+            config_name=self.name,
+            app=app,
+            trace=trace,
+            awake_windows=windows,
+            detections=detections,
+            profile=profile,
+        )

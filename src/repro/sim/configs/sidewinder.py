@@ -1,0 +1,79 @@
+"""The Sidewinder configuration (Section 4.2).
+
+"For each of the applications, we constructed wake-up conditions to
+invoke the application when events of interest are detected."
+
+The application's own wake-up condition (built through the developer
+API) runs on the hub; the hub places it on the cheapest feasible MCU
+(Section 4.3: MSP430 for everything except the siren detector, whose
+audio-rate FFTs need the LM4F120).  On each wake-up, the phone processes
+the hub's raw buffer plus live data, with the precise detector providing
+the final filtering.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.apps.base import SensingApplication
+from repro.hub.fpga import HubProcessor, select_processor
+from repro.hub.mcu import DEFAULT_CATALOG
+from repro.power.phone import NEXUS4, PhonePowerProfile
+from repro.sim.configs.base import SensingConfiguration
+from repro.sim.results import SimulationResult
+from repro.sim.simulator import (
+    TRIGGERED_HOLD_S,
+    DEFAULT_RAW_BUFFER_S,
+    compile_app_condition,
+    evaluate,
+    extend_for_buffer,
+    run_wakeup_condition,
+    windows_from_wake_times,
+)
+from repro.traces.base import Trace
+
+
+class Sidewinder(SensingConfiguration):
+    """The paper's approach: custom wake-up condition on the hub.
+
+    Args:
+        hold_s: Awake hold per wake-up.
+        raw_buffer_s: Pre-wake raw data the hub hands over.
+        catalog: Hub processors on offer — MCUs and/or FPGAs
+            (default: the paper's MSP430 + LM4F120 pair).
+    """
+
+    name = "sidewinder"
+
+    def __init__(
+        self,
+        hold_s: float = TRIGGERED_HOLD_S,
+        raw_buffer_s: float = DEFAULT_RAW_BUFFER_S,
+        catalog: Sequence[HubProcessor] = DEFAULT_CATALOG,
+    ):
+        self.hold_s = hold_s
+        self.raw_buffer_s = raw_buffer_s
+        self.catalog = tuple(catalog)
+
+    def run(
+        self,
+        app: SensingApplication,
+        trace: Trace,
+        profile: PhonePowerProfile = NEXUS4,
+    ) -> SimulationResult:
+        graph = compile_app_condition(app.build_wakeup_pipeline())
+        mcu = select_processor(graph, self.catalog)
+        wake_events = run_wakeup_condition(graph, trace)
+        awake = windows_from_wake_times(
+            [w.time for w in wake_events], trace.duration, self.hold_s, profile
+        )
+        return evaluate(
+            config_name=self.name,
+            app=app,
+            trace=trace,
+            awake_windows=awake,
+            detect_windows=extend_for_buffer(awake, self.raw_buffer_s),
+            mcus=(mcu,),
+            profile=profile,
+            hub_wake_count=len(wake_events),
+        )

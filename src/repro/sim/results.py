@@ -1,0 +1,96 @@
+"""Simulation results: everything the paper's metrics need (Section 4.3).
+
+"For each sensing approach and trace, the simulator calculated the
+amount of sleep and awake time, the total number of wake-up events, and
+the recall and precision of the application.  Using this data and the
+energy model ... we estimate the average power consumption."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.apps.base import Detection
+from repro.power.accounting import PowerBreakdown
+from repro.power.timeline import Timeline
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of one (configuration, application, trace) simulation.
+
+    Attributes:
+        config_name: Sensing configuration (e.g. ``"sidewinder"``).
+        app_name: Application simulated.
+        trace_name: Trace replayed.
+        timeline: The phone's state timeline.
+        power: Average-power breakdown (phone + hub MCU).
+        detections: The application's reported detections.
+        recall: Event-level recall against ground truth.
+        precision: Detection-level precision against ground truth.
+        hub_wake_count: Wake events emitted by the hub condition (0 for
+            configurations without a hub condition).
+        mcu_names: Hub MCUs charged in the power model.
+    """
+
+    config_name: str
+    app_name: str
+    trace_name: str
+    timeline: Timeline
+    power: PowerBreakdown
+    detections: Tuple[Detection, ...]
+    recall: float
+    precision: float
+    hub_wake_count: int = 0
+    mcu_names: Tuple[str, ...] = ()
+
+    @property
+    def average_power_mw(self) -> float:
+        """Average total power (phone + hub), mW."""
+        return self.power.total_mw
+
+    @property
+    def awake_fraction(self) -> float:
+        """Fraction of the trace the phone spent fully awake."""
+        return self.power.awake_fraction
+
+    @property
+    def wakeup_count(self) -> int:
+        """Number of phone asleep-to-awake transitions."""
+        return self.power.wakeup_count
+
+    def mean_latency_s(self, events, tolerance_s: float) -> float:
+        """Mean detection-report latency against the given events.
+
+        Report times are constrained to this run's awake windows — the
+        timeliness metric behind Section 5.4's batching argument.
+        """
+        from repro.eval.metrics import mean_detection_latency
+
+        return mean_detection_latency(
+            events, self.detections, tolerance_s, self.timeline.awake_windows()
+        )
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.config_name:>18s} | {self.app_name:<16s} | "
+            f"{self.trace_name:<28s} | {self.average_power_mw:7.1f} mW | "
+            f"recall {self.recall:5.1%} | precision {self.precision:5.1%} | "
+            f"wakeups {self.wakeup_count}"
+        )
+
+
+def savings_fraction(
+    result: SimulationResult, always_awake_mw: float, oracle_mw: float
+) -> float:
+    """Fraction of the possible savings a configuration achieved.
+
+    The paper's Section 5.2 metric:
+    ``(AlwaysAwake - X) / (AlwaysAwake - Oracle)``.
+    """
+    denominator = always_awake_mw - oracle_mw
+    if denominator <= 0:
+        return 1.0
+    return (always_awake_mw - result.average_power_mw) / denominator

@@ -1,0 +1,148 @@
+"""Shared simulation machinery.
+
+A sensing configuration's job is to decide *when the phone is awake* and
+*what data the application sees*; everything else — running hub
+conditions, building timelines, scoring detections, accounting power —
+is shared and lives here.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.api.compile import compile_pipeline
+from repro.api.pipeline import ProcessingPipeline
+from repro.apps.base import Detection, SensingApplication
+from repro.eval.metrics import match_events
+from repro.hub.mcu import MCUModel
+from repro.hub.runtime import HubRuntime, WakeEvent, split_into_rounds
+from repro.il.graph import DataflowGraph
+from repro.il.validate import validate_program
+from repro.power.accounting import account
+from repro.power.phone import NEXUS4, PhonePowerProfile
+from repro.power.timeline import build_timeline, merge_windows
+from repro.sim.results import SimulationResult
+from repro.traces.base import Trace
+
+#: Default seconds the phone stays awake after a wake-up to collect and
+#: process data (the paper's duty-cycling experiments use 4 s windows).
+DEFAULT_HOLD_S = 4.0
+
+#: Hold for hub-triggered wake-ups (Sidewinder, Predefined Activity):
+#: the phone wakes to process an already-buffered event and can return
+#: to sleep as soon as the hub condition stops firing, unlike duty
+#: cycling which must sense blindly for a full window.
+TRIGGERED_HOLD_S = 2.0
+
+#: Seconds of raw pre-wake sensor data the hub buffers and hands to the
+#: application (Section 3.8: "Our current implementation passes a buffer
+#: of raw sensor data to the application").
+DEFAULT_RAW_BUFFER_S = 4.0
+
+#: Chunk length used when feeding traces through hub runtimes.
+FEED_CHUNK_S = 4.0
+
+
+def compile_app_condition(pipeline: ProcessingPipeline) -> DataflowGraph:
+    """Compile and validate a wake-up condition pipeline."""
+    return validate_program(compile_pipeline(pipeline))
+
+
+def run_wakeup_condition(
+    graph: DataflowGraph, trace: Trace, chunk_seconds: float = FEED_CHUNK_S
+) -> List[WakeEvent]:
+    """Execute a hub condition over a whole trace, collecting wake events."""
+    runtime = HubRuntime(graph)
+    channels = {
+        name: triple
+        for name, triple in trace.channel_arrays().items()
+        if name in graph.channels
+    }
+    missing = set(graph.channels) - set(channels)
+    if missing:
+        raise KeyError(
+            f"trace {trace.name!r} lacks channels {sorted(missing)} needed "
+            "by the wake-up condition"
+        )
+    return runtime.run(split_into_rounds(channels, chunk_seconds))
+
+
+def windows_from_wake_times(
+    wake_times: Sequence[float],
+    duration: float,
+    hold_s: float = DEFAULT_HOLD_S,
+    profile: PhonePowerProfile = NEXUS4,
+) -> List[Tuple[float, float]]:
+    """Awake windows implied by hub wake events.
+
+    Each wake event keeps the phone awake for ``hold_s``; events arriving
+    while already awake extend the window (windows merge when the gap is
+    too short to complete a sleep/wake round trip).
+    """
+    windows = [
+        (t, min(t + hold_s, duration)) for t in wake_times if t < duration
+    ]
+    return merge_windows(windows, min_gap=2.0 * profile.transition_s)
+
+
+def extend_for_buffer(
+    windows: Sequence[Tuple[float, float]],
+    buffer_s: float = DEFAULT_RAW_BUFFER_S,
+) -> List[Tuple[float, float]]:
+    """Data-visibility windows: awake windows plus the hub's raw buffer.
+
+    The buffer only extends what data the application can *see*; it does
+    not add awake time (the data was captured while the phone slept).
+    """
+    return merge_windows(
+        [(max(0.0, start - buffer_s), end) for start, end in windows], min_gap=0.0
+    )
+
+
+def evaluate(
+    config_name: str,
+    app: SensingApplication,
+    trace: Trace,
+    awake_windows: Sequence[Tuple[float, float]],
+    detect_windows: Optional[Sequence[Tuple[float, float]]] = None,
+    detections: Optional[Sequence[Detection]] = None,
+    mcus: Sequence[MCUModel] = (),
+    profile: PhonePowerProfile = NEXUS4,
+    hub_wake_count: int = 0,
+) -> SimulationResult:
+    """Assemble a :class:`SimulationResult`.
+
+    Args:
+        config_name: Name of the sensing configuration.
+        app: The application under simulation.
+        trace: The trace replayed.
+        awake_windows: Spans the phone must be fully awake.
+        detect_windows: Spans of data the precise detector may read;
+            defaults to the awake windows.
+        detections: Pre-computed detections (used by configurations that
+            interleave detection with window construction, e.g. duty
+            cycling); when omitted, the detector runs over
+            ``detect_windows``.
+        mcus: Hub MCUs charged in the power model.
+        profile: Phone power profile.
+        hub_wake_count: Wake events the hub condition produced.
+    """
+    timeline = build_timeline(trace.duration, awake_windows, profile)
+    if detections is None:
+        windows = detect_windows if detect_windows is not None else timeline.awake_windows()
+        detections = app.detect(trace, windows)
+    events = app.events_of_interest(trace)
+    match = match_events(events, detections, app.match_tolerance_s)
+    breakdown = account(timeline, profile, mcus=tuple(mcus))
+    return SimulationResult(
+        config_name=config_name,
+        app_name=app.name,
+        trace_name=trace.name,
+        timeline=timeline,
+        power=breakdown,
+        detections=tuple(detections),
+        recall=match.recall,
+        precision=match.precision,
+        hub_wake_count=hub_wake_count,
+        mcu_names=tuple(m.name for m in mcus),
+    )

@@ -1,0 +1,51 @@
+"""Synthetic sensor trace substrate (paper Section 4.1).
+
+The paper's evaluation replays accelerometer and audio traces collected
+from an AIBO robot, three human subjects and three acoustic
+environments.  Those recordings are not available, so this package
+synthesizes traces with the same statistical structure and — crucially —
+exact ground-truth event logs, which the robot setup existed to provide
+in the first place ("the robot logged the start and end of each action,
+which we use as the ground truth").
+
+* :mod:`repro.traces.base` — :class:`Trace` and
+  :class:`GroundTruthEvent` containers;
+* :mod:`repro.traces.signals` — seeded low-level signal primitives;
+* :mod:`repro.traces.robot` — scripted AIBO runs (walk / sit-stand /
+  headbutt at three activity levels);
+* :mod:`repro.traces.human` — commute / retail / office accelerometer
+  days with confounder motion;
+* :mod:`repro.traces.audio` — office / coffee-shop / outdoor scenes
+  with injected sirens, music and speech;
+* :mod:`repro.traces.io` — save/load;
+* :mod:`repro.traces.library` — the standard corpora the benchmarks use
+  (18 robot runs, 3 human traces, 3 audio traces).
+"""
+
+from repro.traces.base import GroundTruthEvent, Trace
+from repro.traces.compose import concat_traces, repeat_trace
+from repro.traces.perturb import dropout, noise_burst, random_fault_spans, stuck_sensor
+from repro.traces.library import audio_corpus, human_corpus, robot_corpus
+from repro.traces.robot import RobotRunConfig, generate_robot_run
+from repro.traces.human import HumanScenario, generate_human_trace
+from repro.traces.audio import AudioEnvironment, generate_audio_trace
+
+__all__ = [
+    "AudioEnvironment",
+    "concat_traces",
+    "dropout",
+    "noise_burst",
+    "random_fault_spans",
+    "repeat_trace",
+    "stuck_sensor",
+    "GroundTruthEvent",
+    "HumanScenario",
+    "RobotRunConfig",
+    "Trace",
+    "audio_corpus",
+    "generate_audio_trace",
+    "generate_human_trace",
+    "generate_robot_run",
+    "human_corpus",
+    "robot_corpus",
+]

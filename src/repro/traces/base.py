@@ -1,0 +1,165 @@
+"""Trace containers: sensor data plus ground-truth event log."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.sensors.channels import channel_by_name
+
+
+@dataclass(frozen=True)
+class GroundTruthEvent:
+    """One labelled event interval in a trace.
+
+    Attributes:
+        label: Event class (``"walking"``, ``"transition"``,
+            ``"headbutt"``, ``"siren"``, ``"music"``, ``"speech"``, ...).
+        start: Event start time in seconds.
+        end: Event end time in seconds.
+        metadata: Extra per-event facts — e.g. a walking bout carries
+            ``step_times``; a speech segment carries ``phrase`` when it
+            contains the phrase of interest.
+    """
+
+    label: str
+    start: float
+    end: float
+    metadata: Tuple[Tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise TraceError(
+                f"event {self.label!r} ends ({self.end}) before it starts "
+                f"({self.start})"
+            )
+
+    @property
+    def duration(self) -> float:
+        """Event length in seconds."""
+        return self.end - self.start
+
+    @property
+    def midpoint(self) -> float:
+        """Temporal midpoint of the event."""
+        return 0.5 * (self.start + self.end)
+
+    def meta(self, key: str, default: object = None) -> object:
+        """Look up a metadata value."""
+        return dict(self.metadata).get(key, default)
+
+    @staticmethod
+    def make(
+        label: str, start: float, end: float, **metadata: object
+    ) -> "GroundTruthEvent":
+        """Build an event from keyword metadata."""
+        items = tuple(sorted(metadata.items()))
+        return GroundTruthEvent(label, start, end, items)
+
+
+@dataclass
+class Trace:
+    """A multi-channel sensor recording with ground truth.
+
+    Attributes:
+        name: Identifier (e.g. ``"robot/group1/run03"``).
+        data: Sample arrays keyed by channel name.  All channels of the
+            same sensor share a sampling rate and are sample-aligned.
+        rate_hz: Sampling rate per channel name.
+        duration: Trace length in seconds.
+        events: Ground-truth event log, time-ordered.
+        metadata: Trace-level facts (generator seed, activity mix, ...).
+    """
+
+    name: str
+    data: Dict[str, np.ndarray]
+    rate_hz: Dict[str, float]
+    duration: float
+    events: List[GroundTruthEvent] = field(default_factory=list)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.data:
+            raise TraceError("trace has no channels")
+        for name, samples in self.data.items():
+            channel_by_name(name)  # raises UnknownChannelError
+            rate = self.rate_hz.get(name)
+            if not rate or rate <= 0:
+                raise TraceError(f"channel {name!r} has no sampling rate")
+            expected = int(round(self.duration * rate))
+            if abs(len(samples) - expected) > 1:
+                raise TraceError(
+                    f"channel {name!r}: {len(samples)} samples inconsistent "
+                    f"with duration {self.duration}s at {rate} Hz "
+                    f"(expected ~{expected})"
+                )
+        self.events = sorted(self.events, key=lambda e: (e.start, e.end))
+        for event in self.events:
+            if event.start < -1e-9 or event.end > self.duration + 1e-9:
+                raise TraceError(
+                    f"event {event.label!r} [{event.start}, {event.end}] lies "
+                    f"outside the trace [0, {self.duration}]"
+                )
+
+    @property
+    def channels(self) -> Tuple[str, ...]:
+        """Channel names, sorted."""
+        return tuple(sorted(self.data))
+
+    def times(self, channel: str) -> np.ndarray:
+        """Per-sample timestamps of one channel."""
+        rate = self.rate_hz[channel]
+        return np.arange(len(self.data[channel])) / rate
+
+    def channel_arrays(self) -> Dict[str, Tuple[np.ndarray, np.ndarray, float]]:
+        """Per-channel ``(times, values, rate)`` triples (simulator input)."""
+        return {
+            name: (self.times(name), self.data[name], self.rate_hz[name])
+            for name in self.data
+        }
+
+    def events_with_label(self, label: str) -> List[GroundTruthEvent]:
+        """All events of one class, time-ordered."""
+        return [e for e in self.events if e.label == label]
+
+    def event_seconds(self, label: Optional[str] = None) -> float:
+        """Total time covered by events (optionally of one class)."""
+        selected = self.events if label is None else self.events_with_label(label)
+        return sum(e.duration for e in selected)
+
+    def slice(self, start: float, end: float, name: Optional[str] = None) -> "Trace":
+        """Extract a sub-trace covering ``[start, end]``.
+
+        Events are clipped to the window; event times and sample times
+        are re-based so the sub-trace starts at 0.
+        """
+        start = max(0.0, start)
+        end = min(self.duration, end)
+        if end <= start:
+            raise TraceError(f"empty slice [{start}, {end}]")
+        data: Dict[str, np.ndarray] = {}
+        for channel, samples in self.data.items():
+            rate = self.rate_hz[channel]
+            i0, i1 = int(round(start * rate)), int(round(end * rate))
+            data[channel] = samples[i0:i1]
+        events = [
+            GroundTruthEvent(
+                e.label,
+                max(e.start, start) - start,
+                min(e.end, end) - start,
+                e.metadata,
+            )
+            for e in self.events
+            if e.end > start and e.start < end
+        ]
+        return Trace(
+            name=name or f"{self.name}[{start:g}:{end:g}]",
+            data=data,
+            rate_hz=dict(self.rate_hz),
+            duration=end - start,
+            events=events,
+            metadata=dict(self.metadata),
+        )

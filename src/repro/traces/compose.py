@@ -1,0 +1,100 @@
+"""Trace composition: build day-scale scenarios from segments.
+
+The paper's motivation is *all-day* continuous sensing (pedometers,
+fall detectors, journals), but each recorded trace covers one context.
+:func:`concat_traces` splices compatible traces end to end — channels,
+events and metadata included — so experiments can run over a morning
+commute followed by office hours followed by retail errands, and report
+day-scale battery numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.traces.base import GroundTruthEvent, Trace
+
+
+def _shift_metadata(metadata, offset: float):
+    """Shift time-valued event metadata into composite time.
+
+    By convention, metadata keys ending in ``_times`` hold tuples of
+    absolute trace times (e.g. a walking bout's ``step_times``); they
+    must move with the event.  Everything else passes through verbatim.
+    """
+    shifted = []
+    for key, value in metadata:
+        if key.endswith("_times") and isinstance(value, tuple):
+            value = tuple(float(t) + offset for t in value)
+        shifted.append((key, value))
+    return tuple(shifted)
+
+
+def concat_traces(traces: Sequence[Trace], name: str | None = None) -> Trace:
+    """Splice traces end to end.
+
+    All traces must expose the same channels at the same rates.  Event
+    times — including time-valued metadata such as ``step_times`` — are
+    shifted by the preceding segments' total duration; each segment's
+    boundaries are recorded in the result's metadata under
+    ``"segments"`` as ``(name, start, end)`` triples.
+
+    Raises:
+        TraceError: on an empty sequence or mismatched channels/rates.
+    """
+    if not traces:
+        raise TraceError("nothing to concatenate")
+    first = traces[0]
+    for trace in traces[1:]:
+        if set(trace.data) != set(first.data):
+            raise TraceError(
+                f"channel mismatch: {sorted(first.data)} vs {sorted(trace.data)}"
+            )
+        for channel in first.data:
+            if trace.rate_hz[channel] != first.rate_hz[channel]:
+                raise TraceError(
+                    f"rate mismatch on {channel}: "
+                    f"{first.rate_hz[channel]} vs {trace.rate_hz[channel]}"
+                )
+
+    data: Dict[str, np.ndarray] = {
+        channel: np.concatenate([t.data[channel] for t in traces])
+        for channel in first.data
+    }
+    events: List[GroundTruthEvent] = []
+    segments = []
+    offset = 0.0
+    for trace in traces:
+        for event in trace.events:
+            events.append(
+                GroundTruthEvent(
+                    event.label,
+                    event.start + offset,
+                    event.end + offset,
+                    _shift_metadata(event.metadata, offset),
+                )
+            )
+        segments.append((trace.name, offset, offset + trace.duration))
+        offset += trace.duration
+    return Trace(
+        name=name or "+".join(t.name for t in traces),
+        data=data,
+        rate_hz=dict(first.rate_hz),
+        duration=offset,
+        events=events,
+        metadata={"kind": "composite", "segments": segments},
+    )
+
+
+def repeat_trace(trace: Trace, times: int, name: str | None = None) -> Trace:
+    """Tile a trace ``times`` times (e.g. extend a scenario to hours).
+
+    Raises:
+        TraceError: for a non-positive repeat count.
+    """
+    if times < 1:
+        raise TraceError(f"repeat count must be >= 1, got {times}")
+    return concat_traces([trace] * times, name=name or f"{trace.name}x{times}")

@@ -1,0 +1,98 @@
+"""Trace persistence: save/load as ``.npz`` plus a JSON sidecar.
+
+Sample arrays go into a compressed ``.npz``; events and metadata go into
+a human-readable ``.json`` next to it.  Round-tripping preserves ground
+truth exactly (floats included, via JSON's double precision).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.traces.base import GroundTruthEvent, Trace
+
+
+def _sidecar(path: Path) -> Path:
+    return path.with_suffix(".json")
+
+
+def save_trace(trace: Trace, path: Union[str, Path]) -> Path:
+    """Write a trace to ``path`` (``.npz``) and its JSON sidecar.
+
+    Returns the ``.npz`` path actually written.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **trace.data)
+    manifest = {
+        "name": trace.name,
+        "duration": trace.duration,
+        "rate_hz": trace.rate_hz,
+        "metadata": trace.metadata,
+        "events": [
+            {
+                "label": e.label,
+                "start": e.start,
+                "end": e.end,
+                "metadata": {k: _jsonable(v) for k, v in e.metadata},
+            }
+            for e in trace.events
+        ],
+    }
+    _sidecar(path).write_text(json.dumps(manifest, indent=2, sort_keys=True))
+    return path
+
+
+def load_trace(path: Union[str, Path]) -> Trace:
+    """Load a trace written by :func:`save_trace`.
+
+    Raises:
+        TraceError: when the sidecar is missing or inconsistent.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    sidecar = _sidecar(path)
+    if not path.exists() or not sidecar.exists():
+        raise TraceError(f"trace files missing: {path} / {sidecar}")
+    manifest = json.loads(sidecar.read_text())
+    with np.load(path) as archive:
+        data = {name: archive[name] for name in archive.files}
+    events = [
+        GroundTruthEvent(
+            entry["label"],
+            float(entry["start"]),
+            float(entry["end"]),
+            tuple(sorted((k, _tupled(v)) for k, v in entry["metadata"].items())),
+        )
+        for entry in manifest["events"]
+    ]
+    return Trace(
+        name=manifest["name"],
+        data=data,
+        rate_hz={k: float(v) for k, v in manifest["rate_hz"].items()},
+        duration=float(manifest["duration"]),
+        events=events,
+        metadata=manifest.get("metadata", {}),
+    )
+
+
+def _jsonable(value: object) -> object:
+    if isinstance(value, tuple):
+        return list(value)
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    return value
+
+
+def _tupled(value: object) -> object:
+    if isinstance(value, list):
+        return tuple(value)
+    return value

@@ -1,0 +1,78 @@
+"""Standard corpora: the trace sets the paper's evaluation replays.
+
+* :func:`robot_corpus` — 18 runs: 9 in group 1 (90 % idle), 6 in group 2
+  (50 % idle), 3 in group 3 (10 % idle), matching Section 4.1 ("the
+  robot executed 18 different runs: 9 for group 1, 6 for group 2 and 3
+  for group 3").
+* :func:`human_corpus` — 3 traces: commute, retail, office.
+* :func:`audio_corpus` — 3 traces: office, coffee shop, outdoors.
+
+Corpora are deterministic functions of their base seed, so every
+benchmark run replays the same traces.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List, Tuple
+
+from repro.traces.audio import AudioEnvironment, AudioTraceConfig, generate_audio_trace
+from repro.traces.base import Trace
+from repro.traces.human import HumanScenario, HumanTraceConfig, generate_human_trace
+from repro.traces.robot import RobotRunConfig, generate_robot_run
+
+#: (group, run count) pairs per Section 4.1.
+ROBOT_GROUP_RUNS: Tuple[Tuple[int, int], ...] = ((1, 9), (2, 6), (3, 3))
+
+
+@lru_cache(maxsize=8)
+def robot_corpus(
+    duration_s: float = 600.0, base_seed: int = 1000
+) -> Tuple[Trace, ...]:
+    """The 18 synthetic robot runs (9 / 6 / 3 across groups 1-3)."""
+    traces: List[Trace] = []
+    seed = base_seed
+    for group, count in ROBOT_GROUP_RUNS:
+        for _ in range(count):
+            traces.append(
+                generate_robot_run(
+                    RobotRunConfig(group=group, duration_s=duration_s, seed=seed)
+                )
+            )
+            seed += 1
+    return tuple(traces)
+
+
+def robot_group(
+    group: int, duration_s: float = 600.0, base_seed: int = 1000
+) -> Tuple[Trace, ...]:
+    """Runs of one activity group from the standard robot corpus."""
+    return tuple(
+        t for t in robot_corpus(duration_s, base_seed) if t.metadata["group"] == group
+    )
+
+
+@lru_cache(maxsize=8)
+def human_corpus(
+    duration_s: float = 1200.0, base_seed: int = 2000
+) -> Tuple[Trace, ...]:
+    """The three human traces: commute, retail, office."""
+    return tuple(
+        generate_human_trace(
+            HumanTraceConfig(scenario=scenario, duration_s=duration_s, seed=base_seed + i)
+        )
+        for i, scenario in enumerate(HumanScenario)
+    )
+
+
+@lru_cache(maxsize=8)
+def audio_corpus(
+    duration_s: float = 600.0, base_seed: int = 3000
+) -> Tuple[Trace, ...]:
+    """The three audio traces: office, coffee shop, outdoors."""
+    return tuple(
+        generate_audio_trace(
+            AudioTraceConfig(environment=env, duration_s=duration_s, seed=base_seed + i)
+        )
+        for i, env in enumerate(AudioEnvironment)
+    )

@@ -1,0 +1,148 @@
+"""Sensor-fault injection for robustness experiments.
+
+Real continuous-sensing deployments see sensors glitch: samples stick
+at the last value (I2C bus stalls, saturated parts), bursts of noise
+(connector chatter, EMI), or whole dropout windows.  These functions
+perturb a trace's sample arrays while leaving its ground truth intact,
+so experiments can ask *what happens to recall and power when the
+sensor misbehaves* — the kind of failure-injection study a hub vendor
+would run before hardwiring conditions into silicon.
+
+All perturbations are pure: they return a new
+:class:`~repro.traces.base.Trace` and never mutate the input.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.traces.base import Trace
+
+
+def _copy_data(trace: Trace) -> dict:
+    return {name: values.copy() for name, values in trace.data.items()}
+
+
+def _span_indices(
+    trace: Trace, channel: str, span: Tuple[float, float]
+) -> Tuple[int, int]:
+    start, end = span
+    if end <= start:
+        raise TraceError(f"empty fault span {span}")
+    rate = trace.rate_hz[channel]
+    n = len(trace.data[channel])
+    i0 = max(0, int(round(start * rate)))
+    i1 = min(n, int(round(end * rate)))
+    return i0, i1
+
+
+def _rebuild(trace: Trace, data: dict, suffix: str) -> Trace:
+    return Trace(
+        name=f"{trace.name}+{suffix}",
+        data=data,
+        rate_hz=dict(trace.rate_hz),
+        duration=trace.duration,
+        events=list(trace.events),
+        metadata={**trace.metadata, "fault": suffix},
+    )
+
+
+def stuck_sensor(
+    trace: Trace,
+    channel: str,
+    spans: Sequence[Tuple[float, float]],
+) -> Trace:
+    """Hold the channel at its last good value over each span.
+
+    Models a saturated or bus-stalled sensor: samples keep arriving at
+    the nominal rate but carry a frozen value.
+    """
+    data = _copy_data(trace)
+    samples = data[channel]
+    for span in spans:
+        i0, i1 = _span_indices(trace, channel, span)
+        if i1 > i0:
+            held = samples[i0 - 1] if i0 > 0 else samples[0]
+            samples[i0:i1] = held
+    return _rebuild(trace, data, "stuck")
+
+
+def noise_burst(
+    trace: Trace,
+    channel: str,
+    spans: Sequence[Tuple[float, float]],
+    sigma: float,
+    seed: int = 0,
+) -> Trace:
+    """Add Gaussian noise of the given sigma over each span."""
+    if sigma < 0:
+        raise TraceError(f"noise sigma must be non-negative, got {sigma}")
+    rng = np.random.default_rng(seed)
+    data = _copy_data(trace)
+    samples = data[channel]
+    for span in spans:
+        i0, i1 = _span_indices(trace, channel, span)
+        samples[i0:i1] += rng.normal(0.0, sigma, i1 - i0)
+    return _rebuild(trace, data, "noise")
+
+
+def dropout(
+    trace: Trace,
+    channel: str,
+    spans: Sequence[Tuple[float, float]],
+    fill: float = 0.0,
+) -> Trace:
+    """Replace the channel with a constant fill value over each span.
+
+    Models the driver substituting zeros (or a sentinel) for samples it
+    never received.
+    """
+    data = _copy_data(trace)
+    samples = data[channel]
+    for span in spans:
+        i0, i1 = _span_indices(trace, channel, span)
+        samples[i0:i1] = fill
+    return _rebuild(trace, data, "dropout")
+
+
+def random_fault_spans(
+    trace: Trace,
+    total_fault_s: float,
+    span_s: float,
+    seed: int = 0,
+    avoid_events: bool = False,
+) -> List[Tuple[float, float]]:
+    """Draw non-overlapping fault spans across the trace.
+
+    Args:
+        trace: The trace to place spans in.
+        total_fault_s: Aggregate fault time to place.
+        span_s: Length of each individual span.
+        seed: RNG seed.
+        avoid_events: When True, spans are redrawn (best effort) so they
+            do not overlap any ground-truth event — separating "fault
+            during idle" from "fault during the event" experiments.
+    """
+    if span_s <= 0 or total_fault_s < 0:
+        raise TraceError("span_s must be positive and total_fault_s >= 0")
+    rng = np.random.default_rng(seed)
+    spans: List[Tuple[float, float]] = []
+    budget = total_fault_s
+    attempts = 0
+    while budget >= span_s and attempts < 1000:
+        attempts += 1
+        start = float(rng.uniform(0.0, trace.duration - span_s))
+        candidate = (start, start + span_s)
+        if any(candidate[1] > a and candidate[0] < b for a, b in spans):
+            continue
+        if avoid_events and any(
+            candidate[1] > e.start and candidate[0] < e.end
+            for e in trace.events
+        ):
+            continue
+        spans.append(candidate)
+        budget -= span_s
+    return sorted(spans)

@@ -1,0 +1,237 @@
+"""Low-level seeded signal primitives used by the trace generators.
+
+Everything here is a pure function of a ``numpy.random.Generator`` plus
+shape parameters, so traces are fully reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+#: Standard gravity, m/s^2.
+GRAVITY = 9.81
+
+
+def sample_count(duration: float, rate_hz: float) -> int:
+    """Number of samples covering ``duration`` at ``rate_hz``."""
+    return int(round(duration * rate_hz))
+
+
+def add_segment(dest: np.ndarray, i0: int, segment: np.ndarray) -> None:
+    """Add ``segment`` onto ``dest`` starting at index ``i0``.
+
+    Clips at the destination's end and tolerates one-sample rounding
+    mismatches between independently computed index ranges.
+    """
+    m = min(len(dest) - i0, len(segment))
+    if m > 0:
+        dest[i0 : i0 + m] += segment[:m]
+
+
+def white_noise(rng: np.random.Generator, n: int, sigma: float) -> np.ndarray:
+    """Gaussian white noise."""
+    return rng.normal(0.0, sigma, n)
+
+
+def smoothstep(n: int) -> np.ndarray:
+    """Cubic smoothstep ramp from 0 to 1 over ``n`` samples."""
+    t = np.linspace(0.0, 1.0, n)
+    return t * t * (3.0 - 2.0 * t)
+
+
+def low_pass_noise(
+    rng: np.random.Generator, n: int, sigma: float, smooth: int
+) -> np.ndarray:
+    """White noise smoothed with a moving average (1/f-ish wander)."""
+    raw = rng.normal(0.0, sigma, n + smooth)
+    kernel = np.ones(smooth) / smooth
+    return np.convolve(raw, kernel, mode="valid")[:n]
+
+
+def walking_axis(
+    rng: np.random.Generator,
+    duration: float,
+    rate_hz: float,
+    step_rate_hz: float,
+    peak_amplitude: float,
+    noise_sigma: float,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Walking oscillation for one axis plus the per-step peak times.
+
+    Models the paper's step signature: a quasi-periodic oscillation
+    whose positive peaks (one per step) fall in a detectable amplitude
+    band.  Stride-to-stride variability jitters both period and peak
+    height.
+
+    Returns:
+        (samples, step_times): the axis signal and the ground-truth time
+        of each step's peak, relative to the start of the bout.
+    """
+    n = sample_count(duration, rate_hz)
+    t = np.arange(n) / rate_hz
+    samples = white_noise(rng, n, noise_sigma)
+    step_times = []
+    cursor = 0.5 / step_rate_hz  # first step after half a period
+    while cursor < duration - 0.2:
+        period = (1.0 / step_rate_hz) * rng.uniform(0.9, 1.1)
+        amplitude = peak_amplitude * rng.uniform(0.88, 1.12)
+        # One step: a raised-cosine pulse centred on the step time.
+        half = 0.5 * period
+        lo = max(0.0, cursor - half)
+        hi = min(duration, cursor + half)
+        i0, i1 = int(lo * rate_hz), int(hi * rate_hz)
+        if i1 > i0:
+            phase = (t[i0:i1] - cursor) / half  # -1..1 across the pulse
+            pulse = amplitude * 0.5 * (1.0 + np.cos(np.pi * np.clip(phase, -1, 1)))
+            samples[i0:i1] += pulse
+            step_times.append(cursor)
+        cursor += period
+    return samples, np.asarray(step_times)
+
+
+def spike(
+    rng: np.random.Generator,
+    duration: float,
+    rate_hz: float,
+    depth: float,
+) -> np.ndarray:
+    """A single smooth spike (raised cosine) reaching ``depth``.
+
+    ``depth`` may be negative (the headbutt's forward jerk dips the
+    y-axis acceleration to around -5 m/s^2).
+    """
+    n = sample_count(duration, rate_hz)
+    t = np.linspace(0.0, 1.0, n)
+    return depth * 0.5 * (1.0 - np.cos(2.0 * np.pi * t))
+
+
+def orientation_ramp(start_value: float, end_value: float, n: int) -> np.ndarray:
+    """Smooth ramp between two gravity components over ``n`` samples."""
+    return start_value + (end_value - start_value) * smoothstep(n)
+
+
+# -- audio primitives ----------------------------------------------------
+
+
+def siren_sweep(
+    rng: np.random.Generator,
+    duration: float,
+    rate_hz: float,
+    low_hz: float = 900.0,
+    high_hz: float = 1700.0,
+    sweep_period_s: float = 3.0,
+    amplitude: float = 0.5,
+) -> np.ndarray:
+    """Emergency-vehicle style siren: a sinusoid sweeping a pitch band.
+
+    The instantaneous frequency triangles between ``low_hz`` and
+    ``high_hz`` — a strongly pitched sound inside the paper's
+    850-1800 Hz siren band, sustained well past 650 ms.
+    """
+    n = sample_count(duration, rate_hz)
+    t = np.arange(n) / rate_hz
+    tri = 2.0 * np.abs((t / sweep_period_s) % 1.0 - 0.5)  # 1..0..1 triangle
+    freq = low_hz + (high_hz - low_hz) * (1.0 - tri)
+    phase = 2.0 * np.pi * np.cumsum(freq) / rate_hz
+    start_phase = rng.uniform(0, 2 * np.pi)
+    return amplitude * np.sin(phase + start_phase)
+
+
+def music_segment(
+    rng: np.random.Generator,
+    duration: float,
+    rate_hz: float,
+    amplitude: float = 0.35,
+) -> np.ndarray:
+    """Tonal music-like audio: a slowly-changing chord with a beat.
+
+    Sustained harmonic tones give music a *stable* zero-crossing rate
+    from window to window, while the beat envelope produces substantial
+    amplitude variance — the exact feature combination the
+    music-journal wake-up condition keys on.
+    """
+    n = sample_count(duration, rate_hz)
+    t = np.arange(n) / rate_hz
+    # Pentatonic-ish pitch set; pick a chord and hold it per bar.
+    pitches = np.array([220.0, 261.6, 329.6, 392.0, 440.0, 523.3])
+    bar_s = rng.uniform(1.6, 2.4)
+    samples = np.zeros(n)
+    bar_start = 0.0
+    while bar_start < duration:
+        bar_end = min(duration, bar_start + bar_s)
+        i0, i1 = int(bar_start * rate_hz), int(bar_end * rate_hz)
+        chord = rng.choice(pitches, size=3, replace=False)
+        for f in chord:
+            phase = rng.uniform(0, 2 * np.pi)
+            samples[i0:i1] += np.sin(2 * np.pi * f * t[i0:i1] + phase) / 3.0
+        bar_start = bar_end
+    beat_hz = rng.uniform(1.5, 2.5)
+    envelope = 0.65 + 0.35 * np.clip(np.sin(2 * np.pi * beat_hz * t), 0.0, 1.0)
+    return amplitude * samples * envelope
+
+
+def speech_segment(
+    rng: np.random.Generator,
+    duration: float,
+    rate_hz: float,
+    amplitude: float = 0.4,
+) -> np.ndarray:
+    """Speech-like audio: syllabic bursts of band-limited noise.
+
+    Alternating voiced-ish (low-frequency-heavy) and fricative-ish
+    (high-frequency-heavy) bursts at a ~4 Hz syllabic rate make the
+    zero-crossing rate swing strongly between sub-windows — the high
+    ZCR-variance signature the phrase-detection condition keys on.
+    """
+    n = sample_count(duration, rate_hz)
+    samples = np.zeros(n)
+    cursor = 0.0
+    while cursor < duration:
+        syllable_s = rng.uniform(0.12, 0.35)
+        gap_s = rng.uniform(0.03, 0.25)
+        i0 = int(cursor * rate_hz)
+        i1 = min(n, int((cursor + syllable_s) * rate_hz))
+        if i1 <= i0:
+            break
+        burst = rng.normal(0.0, 1.0, i1 - i0)
+        if rng.random() < 0.5:
+            # Voiced: smooth the noise (low ZCR) and add a pitch buzz.
+            # numpy's convolve(mode="same") returns the *kernel's*
+            # length when it exceeds the signal's, so cap the kernel for
+            # very short bursts at a trace's tail.
+            width = min(24, len(burst))
+            kernel = np.ones(width) / width
+            burst = np.convolve(burst, kernel, mode="same") * 4.0
+            tt = np.arange(i1 - i0) / rate_hz
+            burst += 0.6 * np.sin(2 * np.pi * rng.uniform(110, 220) * tt)
+        # else fricative: keep it white (high ZCR).
+        ramp = min(len(burst) // 4, 40)
+        if ramp > 0:
+            burst[:ramp] *= smoothstep(ramp)
+            burst[-ramp:] *= smoothstep(ramp)[::-1]
+        samples[i0:i1] += burst * rng.uniform(0.5, 1.0)
+        cursor += syllable_s + gap_s
+    peak = np.max(np.abs(samples)) or 1.0
+    return amplitude * samples / peak
+
+
+def babble_noise(
+    rng: np.random.Generator, n: int, rate_hz: float, sigma: float
+) -> np.ndarray:
+    """Coffee-shop babble: amplitude-modulated smoothed noise."""
+    base = low_pass_noise(rng, n, sigma, smooth=6)
+    t = np.arange(n) / rate_hz
+    mod = 1.0 + 0.5 * np.sin(2 * np.pi * 0.3 * t + rng.uniform(0, 2 * np.pi))
+    mod += 0.3 * np.sin(2 * np.pi * 1.1 * t + rng.uniform(0, 2 * np.pi))
+    return base * np.clip(mod, 0.2, None)
+
+
+def wind_noise(
+    rng: np.random.Generator, n: int, rate_hz: float, sigma: float
+) -> np.ndarray:
+    """Outdoor wind: strongly low-passed noise with slow gusts."""
+    base = low_pass_noise(rng, n, sigma, smooth=40)
+    gust = 1.0 + 0.8 * np.clip(low_pass_noise(rng, n, 1.0, smooth=4000), 0, None)
+    return base * gust

@@ -1,0 +1,54 @@
+"""Shared fixtures: small deterministic traces and helper factories."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sensors.samples import Chunk
+from repro.traces.audio import AudioEnvironment, AudioTraceConfig, generate_audio_trace
+from repro.traces.human import HumanScenario, HumanTraceConfig, generate_human_trace
+from repro.traces.robot import RobotRunConfig, generate_robot_run
+
+
+def scalar_chunk(values, rate_hz=50.0, t0=0.0):
+    """Build a SCALAR chunk with evenly spaced timestamps."""
+    values = np.asarray(values, dtype=float)
+    times = t0 + np.arange(len(values)) / rate_hz
+    return Chunk.scalars(times, values, rate_hz)
+
+
+@pytest.fixture(scope="session")
+def robot_trace():
+    """One small group-2 robot run shared across tests."""
+    return generate_robot_run(RobotRunConfig(group=2, duration_s=240.0, seed=42))
+
+
+@pytest.fixture(scope="session")
+def quiet_robot_trace():
+    """A group-1 (90% idle) robot run."""
+    return generate_robot_run(RobotRunConfig(group=1, duration_s=240.0, seed=43))
+
+
+@pytest.fixture(scope="session")
+def audio_trace():
+    """One small office audio trace shared across tests."""
+    return generate_audio_trace(
+        AudioTraceConfig(AudioEnvironment.OFFICE, duration_s=120.0, seed=44)
+    )
+
+
+@pytest.fixture(scope="session")
+def coffee_audio_trace():
+    """A coffee-shop audio trace (louder background)."""
+    return generate_audio_trace(
+        AudioTraceConfig(AudioEnvironment.COFFEE_SHOP, duration_s=120.0, seed=45)
+    )
+
+
+@pytest.fixture(scope="session")
+def human_trace():
+    """One small commute human trace."""
+    return generate_human_trace(
+        HumanTraceConfig(HumanScenario.COMMUTE, duration_s=300.0, seed=46)
+    )

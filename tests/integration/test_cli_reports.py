@@ -1,0 +1,33 @@
+"""Integration: CLI report commands on miniature corpora."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_cli_table2_small(capsys):
+    assert main(["table2", "--duration", "60"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 2" in out
+    assert "sidewinder" in out and "paper" in out
+
+
+def test_cli_figure6_small(capsys):
+    assert main(["figure6", "--duration", "120"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 6" in out
+    assert "headbutts" in out
+
+
+def test_cli_figure7_small(capsys):
+    assert main(["figure7", "--duration", "240"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 7" in out
+    assert "commute" in out
+
+
+def test_cli_figure5_small(capsys):
+    assert main(["figure5", "--duration", "120"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 5" in out
+    assert "Group 1" in out and "Sw=" in out

@@ -1,0 +1,146 @@
+"""Adversarial edge cases across the simulation stack."""
+
+import numpy as np
+import pytest
+
+from repro.apps import HeadbuttApp, StepsApp
+from repro.sim import (
+    AlwaysAwake,
+    Batching,
+    DutyCycling,
+    Oracle,
+    PredefinedActivity,
+    Sidewinder,
+)
+from repro.traces.base import GroundTruthEvent, Trace
+
+
+def _flat_trace(duration=90.0, events=()):
+    """A perfectly still trace (gravity only)."""
+    rate = 50.0
+    n = int(duration * rate)
+    rng = np.random.default_rng(0)
+    return Trace(
+        "edge/flat",
+        {
+            "ACC_X": rng.normal(0, 0.02, n),
+            "ACC_Y": rng.normal(0, 0.02, n),
+            "ACC_Z": 9.81 + rng.normal(0, 0.02, n),
+        },
+        {"ACC_X": rate, "ACC_Y": rate, "ACC_Z": rate},
+        duration,
+        list(events),
+    )
+
+
+ALL_CONFIGS = [
+    AlwaysAwake(),
+    DutyCycling(10.0),
+    Batching(10.0),
+    PredefinedActivity(),
+    Sidewinder(),
+    Oracle(),
+]
+
+
+@pytest.mark.parametrize("config", ALL_CONFIGS, ids=lambda c: c.name)
+def test_eventless_trace(config):
+    """No events of interest: every config reports perfect recall, no
+    detections, and the wake-up-driven ones stay asleep."""
+    trace = _flat_trace()
+    result = config.run(HeadbuttApp(), trace)
+    assert result.recall == 1.0
+    assert result.precision == 1.0
+    assert result.detections == ()
+    if config.name in ("sidewinder", "predefined_activity", "oracle"):
+        assert result.power.awake_fraction == 0.0
+
+
+@pytest.mark.parametrize("config", ALL_CONFIGS, ids=lambda c: c.name)
+def test_event_at_trace_end(config):
+    """An event ending exactly at the trace boundary is still caught by
+    the full-visibility configurations."""
+    duration = 90.0
+    rate = 50.0
+    trace = _flat_trace(duration)
+    y = trace.data["ACC_Y"].copy()
+    i0 = int((duration - 0.7) * rate)
+    y[i0:] += -5.2 * 0.5 * (1 - np.cos(2 * np.pi * np.linspace(0, 1, len(y) - i0)))
+    trace = Trace(
+        trace.name,
+        {**trace.data, "ACC_Y": y},
+        dict(trace.rate_hz),
+        duration,
+        [GroundTruthEvent.make("headbutt", duration - 0.7, duration - 0.1)],
+    )
+    result = config.run(HeadbuttApp(), trace)
+    if config.name in ("always_awake", "batching_10s", "sidewinder", "oracle"):
+        assert result.recall == 1.0, config.name
+
+
+def test_event_at_trace_start_sidewinder():
+    """An event in the first second: the wake transition has no lead
+    time, but the hub buffer still lets the detector see the data."""
+    duration = 90.0
+    rate = 50.0
+    trace = _flat_trace(duration)
+    y = trace.data["ACC_Y"].copy()
+    pulse = -5.2 * 0.5 * (1 - np.cos(2 * np.pi * np.linspace(0, 1, 30)))
+    y[10:40] += pulse
+    trace = Trace(
+        trace.name,
+        {**trace.data, "ACC_Y": y},
+        dict(trace.rate_hz),
+        duration,
+        [GroundTruthEvent.make("headbutt", 0.2, 0.8)],
+    )
+    result = Sidewinder().run(HeadbuttApp(), trace)
+    assert result.recall == 1.0
+
+
+def test_minimum_duration_traces():
+    """Every config survives the shortest legal traces."""
+    trace = _flat_trace(duration=60.0)
+    for config in ALL_CONFIGS:
+        result = config.run(StepsApp(), trace)
+        assert 0 <= result.average_power_mw <= 400
+
+
+def test_sleep_interval_longer_than_trace():
+    trace = _flat_trace(duration=60.0)
+    result = DutyCycling(600.0).run(StepsApp(), trace)
+    # One sensing window, then asleep for the rest.
+    assert result.power.awake_fraction < 0.2
+
+
+def test_batching_interval_longer_than_trace():
+    trace = _flat_trace(duration=60.0)
+    result = Batching(600.0).run(StepsApp(), trace)
+    assert result.recall == 1.0  # the final batch still gets processed
+
+
+def test_many_rapid_events_merge_windows():
+    """Back-to-back events produce one long awake stretch, not a storm
+    of transitions."""
+    duration = 120.0
+    rate = 50.0
+    trace = _flat_trace(duration)
+    y = trace.data["ACC_Y"].copy()
+    events = []
+    t = 30.0
+    for _ in range(10):
+        i0 = int(t * rate)
+        pulse = -5.2 * 0.5 * (1 - np.cos(2 * np.pi * np.linspace(0, 1, 30)))
+        y[i0 : i0 + 30] += pulse
+        events.append(GroundTruthEvent.make("headbutt", t, t + 0.6))
+        t += 1.2
+    trace = Trace(
+        trace.name,
+        {**trace.data, "ACC_Y": y},
+        dict(trace.rate_hz),
+        duration,
+        events,
+    )
+    result = Sidewinder().run(HeadbuttApp(), trace)
+    assert result.recall == 1.0
+    assert result.wakeup_count <= 3  # merged, not 10 separate wake-ups

@@ -1,0 +1,122 @@
+"""Integration: the full developer path of paper Figure 2.
+
+Application code builds a pipeline through the public API, the sensor
+manager compiles it to IL and pushes it to the hub, the hub places it on
+an MCU and interprets sensor data, and the listener fires with a raw
+buffer — the complete story of Sections 3.1-3.5.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    MaxThreshold,
+    MinThreshold,
+    MovingAverage,
+    ProcessingBranch,
+    ProcessingPipeline,
+    SidewinderSensorManager,
+    VectorMagnitude,
+)
+from repro.api.listener import RecordingListener
+from repro.il import parse_program, validate_program
+from repro.sensors.samples import Chunk
+
+
+@pytest.fixture()
+def manager():
+    return SidewinderSensorManager()
+
+
+def significant_motion(manager):
+    pipeline = ProcessingPipeline()
+    for axis in (
+        manager.ACCELEROMETER_X,
+        manager.ACCELEROMETER_Y,
+        manager.ACCELEROMETER_Z,
+    ):
+        pipeline.add(ProcessingBranch(axis).add(MovingAverage(10)))
+    pipeline.add(VectorMagnitude())
+    pipeline.add(MinThreshold(15))
+    return pipeline
+
+
+def _feed(manager, x, y, z, rate=50.0, t0=0.0):
+    times = t0 + np.arange(len(x)) / rate
+    manager.hub.feed(
+        {
+            "ACC_X": Chunk.scalars(times, x, rate),
+            "ACC_Y": Chunk.scalars(times, y, rate),
+            "ACC_Z": Chunk.scalars(times, z, rate),
+        }
+    )
+
+
+def test_figure2_condition_end_to_end(manager):
+    listener = RecordingListener()
+    handle = manager.push(significant_motion(manager), listener)
+
+    # The intermediate code matches Figure 2c's structure.
+    text = handle.intermediate_code
+    assert "1,2,3 -> vectorMagnitude(id=4);" in text
+    assert text.rstrip().endswith("5 -> OUT;")
+    assert handle.mcu_name == "TI MSP430"
+
+    # Quiet data: no wake-ups.
+    n = 200
+    quiet = np.random.default_rng(0).normal(0, 0.05, n)
+    _feed(manager, quiet, quiet, quiet + 9.81)
+    assert listener.events == []
+
+    # A vigorous shake: wake-up with raw data attached.
+    shake = np.full(n, 25.0)
+    _feed(manager, shake, shake, shake, t0=4.0)
+    assert listener.events
+    event = listener.events[0]
+    assert event.value >= 15.0
+    assert set(event.raw_data) == {"ACC_X", "ACC_Y", "ACC_Z"}
+
+
+def test_pushed_il_reparses_to_same_graph(manager):
+    handle = manager.push(significant_motion(manager))
+    graph = validate_program(parse_program(handle.intermediate_code))
+    assert [n.opcode for n in graph.nodes] == [
+        n.opcode for n in handle.condition.graph.nodes
+    ]
+
+
+def test_cancel_removes_condition(manager):
+    listener = RecordingListener()
+    handle = manager.push(significant_motion(manager), listener)
+    handle.cancel()
+    _feed(manager, np.full(100, 25.0), np.full(100, 25.0), np.full(100, 25.0))
+    assert listener.events == []
+
+
+def test_manager_inventories(manager):
+    sensors = manager.get_sensor_list()
+    assert {s.name for s in sensors} >= {"ACC_X", "ACC_Y", "ACC_Z", "MIC"}
+    algorithms = manager.get_algorithm_list()
+    assert "movingAvg" in algorithms and "fft" in algorithms
+
+
+def test_two_applications_one_hub(manager):
+    motion_listener = RecordingListener()
+    manager.push(significant_motion(manager), motion_listener)
+
+    headbutt_listener = RecordingListener()
+    headbutt = ProcessingPipeline()
+    headbutt.add(
+        ProcessingBranch(manager.ACCELEROMETER_Y)
+        .add(MovingAverage(3))
+        .add(MaxThreshold(-3.5))
+    )
+    manager.push(headbutt, headbutt_listener)
+
+    n = 200
+    y = np.zeros(n)
+    y[100:115] = -5.0  # headbutt-like dip: fires headbutt but not motion
+    _feed(manager, np.zeros(n), y, np.zeros(n))
+    assert headbutt_listener.events
+    assert not motion_listener.events
+    assert len(manager.handles) == 2

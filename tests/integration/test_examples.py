@@ -1,0 +1,74 @@
+"""Integration: every example script runs to completion.
+
+Examples are the user-facing face of the library; each must execute
+cleanly from a fresh interpreter state and print its key takeaways.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent.parent / "examples"
+
+ALL_EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def _run(name, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_example_inventory_complete():
+    assert "quickstart.py" in ALL_EXAMPLES
+    assert len(ALL_EXAMPLES) >= 6
+
+
+def test_quickstart(capsys):
+    out = _run("quickstart.py", capsys)
+    assert "OUT;" in out
+    assert "after stillness:  0 wake-up events" in out
+    assert "TI MSP430" in out
+
+
+def test_step_counter(capsys):
+    out = _run("step_counter.py", capsys)
+    assert "sidewinder" in out
+    assert "of the possible savings" in out
+
+
+def test_siren_detection(capsys):
+    out = _run("siren_detection.py", capsys)
+    assert "NOT feasible" in out  # MSP430 rejection
+    assert "detected sirens:" in out
+
+
+def test_music_journal(capsys):
+    out = _run("music_journal.py", capsys)
+    assert "song-" in out
+    assert "Echoprint queried" in out
+
+
+def test_custom_wakeup(capsys):
+    out = _run("custom_wakeup.py", capsys)
+    assert "wake-up events; first at" in out
+    assert "slide-without-tilt wake-ups: 0" in out
+
+
+def test_concurrent_apps(capsys):
+    out = _run("concurrent_apps.py", capsys)
+    assert "one shared device" in out
+    assert out.count("recall 100%") >= 6
+
+
+def test_adaptive_tuning(capsys):
+    out = _run("adaptive_tuning.py", capsys)
+    assert "adaptation trajectory" in out
+    assert "recall 100%" in out
+
+
+def test_full_day(capsys):
+    out = _run("full_day.py", capsys)
+    assert "battery life" in out or "days" in out
+    assert "multiplies battery life" in out

@@ -1,0 +1,136 @@
+"""Integration: full simulations across configurations and apps.
+
+These pin the qualitative results the paper's evaluation rests on, at
+reduced trace sizes so the suite stays fast; the benchmarks replay the
+full corpora.
+"""
+
+import pytest
+
+from repro.apps import (
+    HeadbuttApp,
+    MusicJournalApp,
+    PhraseDetectionApp,
+    SirenDetectorApp,
+    StepsApp,
+    TransitionsApp,
+)
+from repro.sim import (
+    AlwaysAwake,
+    Batching,
+    DutyCycling,
+    Oracle,
+    PredefinedActivity,
+    Sidewinder,
+)
+
+
+ACCEL_APPS = (StepsApp, TransitionsApp, HeadbuttApp)
+AUDIO_APPS = (SirenDetectorApp, MusicJournalApp, PhraseDetectionApp)
+
+
+@pytest.mark.parametrize("app_cls", ACCEL_APPS, ids=lambda c: c.name)
+def test_power_ordering_accel(app_cls, robot_trace):
+    """Oracle <= Sidewinder <= PA and AA is the ceiling."""
+    app = app_cls()
+    oracle = Oracle().run(app, robot_trace).average_power_mw
+    sidewinder = Sidewinder().run(app, robot_trace).average_power_mw
+    predefined = PredefinedActivity().run(app, robot_trace).average_power_mw
+    always = AlwaysAwake().run(app, robot_trace).average_power_mw
+    assert oracle <= sidewinder <= predefined * 1.05
+    assert sidewinder < always
+    assert predefined < always
+
+
+@pytest.mark.parametrize("app_cls", AUDIO_APPS, ids=lambda c: c.name)
+def test_recall_one_for_wakeup_configs_audio(app_cls, audio_trace):
+    app = app_cls()
+    for config in (AlwaysAwake(), Oracle(), PredefinedActivity(), Sidewinder()):
+        result = config.run(app, audio_trace)
+        assert result.recall == 1.0, (config.name, app.name)
+
+
+def test_sidewinder_audio_mcu_split(audio_trace):
+    assert Sidewinder().run(SirenDetectorApp(), audio_trace).mcu_names == (
+        "TI LM4F120",
+    )
+    assert Sidewinder().run(MusicJournalApp(), audio_trace).mcu_names == (
+        "TI MSP430",
+    )
+
+
+def test_sidewinder_closes_most_of_the_gap(robot_trace):
+    """Section 5.2's core claim, on one small trace."""
+    for app_cls in ACCEL_APPS:
+        app = app_cls()
+        aa = AlwaysAwake().run(app, robot_trace).average_power_mw
+        oracle = Oracle().run(app, robot_trace).average_power_mw
+        sw = Sidewinder().run(app, robot_trace).average_power_mw
+        fraction = (aa - sw) / (aa - oracle)
+        assert fraction > 0.85, app.name
+
+
+def test_pa_penalty_grows_for_rare_events(robot_trace):
+    """Section 5.3: PA ~ Sw for common events, multiples for rare ones."""
+    pa = PredefinedActivity()
+    sw = Sidewinder()
+    ratio = {}
+    for app_cls in (StepsApp, HeadbuttApp):
+        app = app_cls()
+        ratio[app.name] = (
+            pa.run(app, robot_trace).average_power_mw
+            / sw.run(app, robot_trace).average_power_mw
+        )
+    assert ratio["headbutts"] > 1.5 * ratio["steps"]
+
+
+def test_duty_cycling_trades_recall_for_power(quiet_robot_trace):
+    app = TransitionsApp()
+    results = {
+        interval: DutyCycling(interval).run(app, quiet_robot_trace)
+        for interval in (2.0, 10.0, 30.0)
+    }
+    assert results[30.0].average_power_mw < results[2.0].average_power_mw
+    assert results[30.0].recall <= results[2.0].recall
+    assert results[2.0].average_power_mw > 323.0  # worse than Always Awake
+
+
+def test_batching_keeps_recall_but_not_timely(quiet_robot_trace):
+    app = HeadbuttApp()
+    batching = Batching(10.0).run(app, quiet_robot_trace)
+    duty = DutyCycling(10.0).run(app, quiet_robot_trace)
+    assert batching.recall == 1.0
+    assert batching.recall >= duty.recall
+
+
+def test_precision_stays_high_everywhere(robot_trace):
+    for app_cls in ACCEL_APPS:
+        app = app_cls()
+        for config in (AlwaysAwake(), Sidewinder(), PredefinedActivity()):
+            result = config.run(app, robot_trace)
+            assert result.precision >= 0.85, (app.name, config.name)
+
+
+def test_wakeup_counts_sane(robot_trace):
+    result = Sidewinder().run(HeadbuttApp(), robot_trace)
+    headbutts = len(robot_trace.events_with_label("headbutt"))
+    # One phone wake-up per headbutt (bursts merge), modulo merging.
+    assert headbutts * 0.5 <= result.wakeup_count <= headbutts * 2 + 2
+
+
+def test_human_trace_sidewinder_savings(human_trace):
+    """Section 5.5: Sw achieves >= 91% of available savings on humans."""
+    app = StepsApp()
+    aa = AlwaysAwake().run(app, human_trace).average_power_mw
+    oracle = Oracle().run(app, human_trace).average_power_mw
+    sw = Sidewinder().run(app, human_trace).average_power_mw
+    assert (aa - sw) / (aa - oracle) >= 0.85
+
+
+def test_pa_wasteful_on_human_confounders(human_trace):
+    """Section 5.5: generic wake-ups fire on non-event human motion."""
+    app = StepsApp()
+    pa = PredefinedActivity().run(app, human_trace)
+    sw = Sidewinder().run(app, human_trace)
+    assert pa.average_power_mw > sw.average_power_mw
+    assert pa.recall == 1.0

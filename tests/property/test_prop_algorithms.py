@@ -1,0 +1,154 @@
+"""Property-based tests on the hub algorithms.
+
+The central invariant is *chunking transparency*: feeding a signal in
+one chunk or in arbitrary split points must produce identical output —
+the paper's interpreter runs continuously on streamed sensor data, so
+no algorithm may behave differently depending on delivery granularity.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.admission import MinThreshold, RangeThreshold, SustainedThreshold
+from repro.algorithms.base import create
+from repro.algorithms.features import VectorMagnitude, ZeroCrossingRate
+from repro.algorithms.filters import ExponentialMovingAverage, MovingAverage
+from repro.algorithms.peaks import LocalExtrema
+from repro.algorithms.windowing import Window
+from repro.sensors.samples import Chunk, StreamKind
+from tests.conftest import scalar_chunk
+
+signals = st.lists(
+    st.floats(min_value=-50.0, max_value=50.0, allow_nan=False),
+    min_size=0,
+    max_size=200,
+)
+
+split_seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+def _split_points(seed, n):
+    rng = np.random.default_rng(seed)
+    if n == 0:
+        return []
+    n_cuts = int(rng.integers(0, min(6, n)))
+    return sorted(rng.choice(np.arange(1, n + 1), size=n_cuts, replace=False))
+
+
+def _run_chunked(factory, values, cuts):
+    algo = factory()
+    outputs = []
+    last = 0
+    for cut in list(cuts) + [len(values)]:
+        chunk = scalar_chunk(values[last:cut], t0=last / 50.0)
+        outputs.append(algo.process([chunk]))
+        last = cut
+    times = np.concatenate([o.times for o in outputs]) if outputs else np.empty(0)
+    if outputs and outputs[0].kind is not StreamKind.SCALAR:
+        widths = {o.values.shape[1] for o in outputs if len(o)}
+        if len(widths) > 1:  # pragma: no cover - would be a bug
+            raise AssertionError(widths)
+        vals = np.concatenate([o.values for o in outputs if len(o)]) if any(
+            len(o) for o in outputs
+        ) else np.empty((0, 0))
+    else:
+        vals = np.concatenate([o.values for o in outputs]) if outputs else np.empty(0)
+    return times, vals
+
+
+_FACTORIES = {
+    "movingAvg": lambda: MovingAverage(size=7),
+    "expMovingAvg": lambda: ExponentialMovingAverage(alpha=0.25),
+    "window": lambda: Window(size=16, hop=8),
+    "minThreshold": lambda: MinThreshold(threshold=3.0),
+    "rangeThreshold": lambda: RangeThreshold(low=-5.0, high=5.0),
+    "sustainedThreshold": lambda: SustainedThreshold(threshold=1.0, count=4),
+    "localExtrema": lambda: LocalExtrema("max", low=1.0, high=20.0, min_separation=3),
+}
+
+
+@pytest.mark.parametrize("name", sorted(_FACTORIES))
+@given(values=signals, seed=split_seeds)
+@settings(max_examples=30, deadline=None)
+def test_chunking_transparency(name, values, seed):
+    factory = _FACTORIES[name]
+    values = np.asarray(values)
+    whole_t, whole_v = _run_chunked(factory, values, cuts=[])
+    part_t, part_v = _run_chunked(factory, values, cuts=_split_points(seed, len(values)))
+    assert np.allclose(whole_t, part_t)
+    assert np.allclose(whole_v, part_v, atol=1e-9)
+
+
+@given(values=signals)
+@settings(max_examples=50, deadline=None)
+def test_moving_average_bounded_by_input(values):
+    values = np.asarray(values)
+    out = MovingAverage(size=5).process([scalar_chunk(values)])
+    if len(out):
+        assert out.values.max() <= values.max() + 1e-12
+        assert out.values.min() >= values.min() - 1e-12
+
+
+@given(values=signals)
+@settings(max_examples=50, deadline=None)
+def test_ema_bounded_by_input(values):
+    values = np.asarray(values)
+    out = ExponentialMovingAverage(alpha=0.5).process([scalar_chunk(values)])
+    if len(out):
+        assert out.values.max() <= values.max() + 1e-9
+        assert out.values.min() >= values.min() - 1e-9
+
+
+@given(values=st.lists(st.floats(-10, 10, allow_nan=False), min_size=32, max_size=64))
+@settings(max_examples=50, deadline=None)
+def test_zcr_in_unit_interval(values):
+    frames = Window(size=len(values)).process([scalar_chunk(values)])
+    out = ZeroCrossingRate().process([frames])
+    assert 0.0 <= out.values[0] <= 1.0
+
+
+@given(values=st.lists(st.floats(-10, 10, allow_nan=False), min_size=8, max_size=128))
+@settings(max_examples=50, deadline=None)
+def test_fft_ifft_roundtrip(values):
+    from repro.algorithms.transforms import FFT, IFFT
+    frames = Window(size=len(values) - len(values) % 2 or 2).process(
+        [scalar_chunk(values)]
+    )
+    if frames.is_empty:
+        return
+    back = IFFT().process([FFT().process([frames])])
+    assert np.allclose(back.values, frames.values, atol=1e-8)
+
+
+@given(
+    values=st.lists(st.floats(-10, 10, allow_nan=False), min_size=3, max_size=100),
+)
+@settings(max_examples=50, deadline=None)
+def test_vector_magnitude_nonnegative_and_triangle(values):
+    values = np.asarray(values)
+    chunks = [scalar_chunk(values), scalar_chunk(-values), scalar_chunk(values * 0.5)]
+    out = VectorMagnitude().process(chunks)
+    assert np.all(out.values >= 0)
+    # magnitude >= |any single component|
+    assert np.all(out.values >= np.abs(values) - 1e-12)
+
+
+@given(values=signals, threshold=st.floats(-20, 20, allow_nan=False))
+@settings(max_examples=50, deadline=None)
+def test_threshold_output_subset_of_input(values, threshold):
+    values = np.asarray(values)
+    out = MinThreshold(threshold=threshold).process([scalar_chunk(values)])
+    assert len(out) <= len(values)
+    assert np.all(out.values >= threshold)
+
+
+@given(values=signals)
+@settings(max_examples=30, deadline=None)
+def test_window_frames_are_input_slices(values):
+    values = np.asarray(values)
+    out = Window(size=8, hop=4).process([scalar_chunk(values)])
+    for k in range(len(out)):
+        start = k * 4
+        assert np.array_equal(out.values[k], values[start : start + 8])

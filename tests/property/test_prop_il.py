@@ -1,0 +1,104 @@
+"""Property-based tests on the intermediate language round trip."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api.branch import ProcessingBranch
+from repro.api.compile import compile_pipeline
+from repro.api.pipeline import ProcessingPipeline
+from repro.api.stubs import (
+    ExponentialMovingAverage,
+    LocalExtrema,
+    MaxThreshold,
+    MinThreshold,
+    MovingAverage,
+    RangeThreshold,
+    SustainedThreshold,
+    VectorMagnitude,
+)
+from repro.il.parser import parse_program
+from repro.il.text import format_program
+from repro.il.validate import validate_program
+from repro.sensors.channels import ACC_X, ACC_Y, ACC_Z
+
+_finite = dict(allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def scalar_stub(draw):
+    """A random scalar-to-scalar algorithm stub."""
+    kind = draw(st.integers(0, 5))
+    if kind == 0:
+        return MovingAverage(draw(st.integers(1, 50)))
+    if kind == 1:
+        return ExponentialMovingAverage(draw(st.floats(0.01, 1.0, **_finite)))
+    if kind == 2:
+        return MinThreshold(draw(st.floats(-100, 100, **_finite)))
+    if kind == 3:
+        return MaxThreshold(draw(st.floats(-100, 100, **_finite)))
+    if kind == 4:
+        low = draw(st.floats(-100, 0, **_finite))
+        return RangeThreshold(low, low + draw(st.floats(0, 100, **_finite)))
+    return SustainedThreshold(
+        draw(st.floats(-100, 100, **_finite)), draw(st.integers(1, 20))
+    )
+
+
+@st.composite
+def random_pipeline(draw):
+    """A random valid multi-branch accelerometer pipeline."""
+    axes = draw(
+        st.lists(
+            st.sampled_from([ACC_X, ACC_Y, ACC_Z]),
+            min_size=1,
+            max_size=3,
+            unique=True,
+        )
+    )
+    pipeline = ProcessingPipeline()
+    for axis in axes:
+        branch = ProcessingBranch(axis)
+        for _ in range(draw(st.integers(0, 3))):
+            branch.add(draw(scalar_stub()))
+        pipeline.add(branch)
+    if len(axes) > 1:
+        pipeline.add(VectorMagnitude())
+    for _ in range(draw(st.integers(0, 2))):
+        pipeline.add(draw(scalar_stub()))
+    # Must end on at least one algorithm overall.
+    if len(axes) == 1 and not pipeline.stages and not pipeline.branches[0].algorithms:
+        pipeline.add(MinThreshold(0.0))
+    return pipeline
+
+
+@given(pipeline=random_pipeline())
+@settings(max_examples=100, deadline=None)
+def test_compile_format_parse_roundtrip(pipeline):
+    program = compile_pipeline(pipeline)
+    text = format_program(program)
+    assert parse_program(text) == program
+
+
+@given(pipeline=random_pipeline())
+@settings(max_examples=100, deadline=None)
+def test_compiled_pipelines_always_validate(pipeline):
+    program = compile_pipeline(pipeline)
+    graph = validate_program(program)
+    assert graph.output_id == program.output.node_id
+    assert len(graph.nodes) == len(program.statements)
+
+
+@given(pipeline=random_pipeline())
+@settings(max_examples=50, deadline=None)
+def test_node_ids_dense_from_one(pipeline):
+    program = compile_pipeline(pipeline)
+    ids = [s.node_id for s in program.statements]
+    assert ids == list(range(1, len(ids) + 1))
+
+
+@given(pipeline=random_pipeline())
+@settings(max_examples=50, deadline=None)
+def test_reformat_is_idempotent(pipeline):
+    program = compile_pipeline(pipeline)
+    text = format_program(program)
+    assert format_program(parse_program(text)) == text

@@ -1,0 +1,99 @@
+"""Property-based tests: pipeline merging never changes semantics.
+
+For random pairs of valid pipelines, the merged multi-tap execution must
+produce exactly the events each condition produces when run alone — on
+the same random input data.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api.compile import compile_pipeline
+from repro.hub.merge import MultiTapRuntime, merge_programs
+from repro.hub.runtime import HubRuntime
+from repro.il.validate import validate_program
+from tests.conftest import scalar_chunk
+from tests.property.test_prop_il import random_pipeline
+
+
+def _acc_data(seed, n=200):
+    rng = np.random.default_rng(seed)
+    # Mix of noise and occasional large excursions so thresholds and
+    # extrema actually fire sometimes.
+    data = {}
+    for name in ("ACC_X", "ACC_Y", "ACC_Z"):
+        x = rng.normal(0, 2.0, n)
+        for _ in range(rng.integers(0, 4)):
+            i = rng.integers(0, n - 10)
+            x[i : i + 10] += rng.uniform(-30, 30)
+        data[name] = x
+    return data
+
+
+def _chunks(data, lo, hi, t0_offset=0.0):
+    return {
+        name: scalar_chunk(values[lo:hi], t0=lo / 50.0 + t0_offset)
+        for name, values in data.items()
+    }
+
+
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    pipelines=st.tuples(random_pipeline(), random_pipeline()),
+)
+@settings(max_examples=40, deadline=None)
+def test_merged_execution_equals_separate(seed, pipelines):
+    programs = [compile_pipeline(p) for p in pipelines]
+    merged = merge_programs(programs)
+    runtime = MultiTapRuntime(merged)
+    data = _acc_data(seed)
+
+    merged_events = {tap: [] for tap in merged.taps}
+    for lo in range(0, 200, 50):
+        round_events = runtime.feed(_chunks(data, lo, lo + 50))
+        for tap, events in round_events.items():
+            merged_events[tap].extend(events)
+
+    for program, tap in zip(programs, merged.taps):
+        reference_runtime = HubRuntime(validate_program(program))
+        reference = []
+        for lo in range(0, 200, 50):
+            chunks = {
+                name: chunk
+                for name, chunk in _chunks(data, lo, lo + 50).items()
+                if name in reference_runtime.graph.channels
+            }
+            reference.extend(reference_runtime.feed(chunks))
+        got = merged_events[tap]
+        assert len(got) == len(reference)
+        assert np.allclose([e.time for e in got], [e.time for e in reference])
+        assert np.allclose(
+            [e.value for e in got], [e.value for e in reference]
+        )
+
+
+@given(pipelines=st.lists(random_pipeline(), min_size=1, max_size=4))
+@settings(max_examples=40, deadline=None)
+def test_merge_accounting_invariants(pipelines):
+    programs = [compile_pipeline(p) for p in pipelines]
+    merged = merge_programs(programs)
+    total_nodes = sum(len(p) for p in programs)
+    assert merged.node_count + merged.shared_nodes == total_nodes
+    assert merged.node_count <= total_nodes
+    assert len(merged.taps) == len(programs)
+    # Every tap refers to a node in the merged program.
+    ids = {s.node_id for s in merged.program.statements}
+    assert set(merged.taps) <= ids
+    # Merged ids are dense from 1.
+    assert sorted(ids) == list(range(1, len(ids) + 1))
+
+
+@given(pipeline=random_pipeline())
+@settings(max_examples=30, deadline=None)
+def test_self_merge_halves_nothing(pipeline):
+    program = compile_pipeline(pipeline)
+    merged = merge_programs([program, program])
+    assert merged.node_count == len(program)
+    assert merged.shared_nodes == len(program)
+    assert merged.taps[0] == merged.taps[1]

@@ -1,0 +1,77 @@
+"""Property-based tests on the recall/precision metrics."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.base import Detection
+from repro.eval.metrics import match_events
+from repro.traces.base import GroundTruthEvent
+
+
+@st.composite
+def events_strategy(draw):
+    count = draw(st.integers(0, 10))
+    events = []
+    for _ in range(count):
+        start = draw(st.floats(0, 500, allow_nan=False))
+        length = draw(st.floats(0.1, 30, allow_nan=False))
+        events.append(GroundTruthEvent.make("e", start, start + length))
+    return events
+
+
+@st.composite
+def detections_strategy(draw):
+    count = draw(st.integers(0, 15))
+    detections = []
+    for _ in range(count):
+        t = draw(st.floats(0, 500, allow_nan=False))
+        detections.append(Detection(t))
+    return detections
+
+
+tolerances = st.floats(0.0, 10.0, allow_nan=False)
+
+
+@given(events=events_strategy(), detections=detections_strategy(), tol=tolerances)
+@settings(max_examples=150, deadline=None)
+def test_scores_in_unit_interval(events, detections, tol):
+    match = match_events(events, detections, tol)
+    assert 0.0 <= match.recall <= 1.0
+    assert 0.0 <= match.precision <= 1.0
+    assert 0.0 <= match.f1 <= 1.0
+
+
+@given(events=events_strategy(), detections=detections_strategy(), tol=tolerances)
+@settings(max_examples=100, deadline=None)
+def test_recall_monotone_in_detections(events, detections, tol):
+    fewer = match_events(events, detections[: len(detections) // 2], tol)
+    more = match_events(events, detections, tol)
+    assert more.recall >= fewer.recall
+
+
+@given(events=events_strategy(), detections=detections_strategy(), tol=tolerances)
+@settings(max_examples=100, deadline=None)
+def test_wider_tolerance_never_hurts_recall(events, detections, tol):
+    narrow = match_events(events, detections, tol)
+    wide = match_events(events, detections, tol + 5.0)
+    assert wide.recall >= narrow.recall
+    assert wide.precision >= narrow.precision
+
+
+@given(events=events_strategy(), tol=tolerances)
+@settings(max_examples=50, deadline=None)
+def test_detections_at_midpoints_give_perfect_recall(events, tol):
+    detections = [Detection(e.midpoint) for e in events]
+    match = match_events(events, detections, tol)
+    assert match.recall == 1.0
+    assert match.precision == 1.0
+
+
+@given(events=events_strategy(), detections=detections_strategy(), tol=tolerances)
+@settings(max_examples=100, deadline=None)
+def test_counts_consistent(events, detections, tol):
+    match = match_events(events, detections, tol)
+    assert match.n_events == len(events)
+    assert match.n_detections == len(detections)
+    assert len(match.caught_events) <= match.n_events
+    assert len(match.true_detections) <= match.n_detections

@@ -1,0 +1,57 @@
+"""Fuzzing the IL parser: arbitrary input must fail *cleanly*.
+
+The hub accepts intermediate code from (potentially buggy) sensor
+managers; whatever bytes arrive, the parser must either produce a
+program or raise :class:`~repro.errors.ILSyntaxError` — never an
+uncontrolled exception.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ILSyntaxError
+from repro.il.parser import parse_program
+from repro.il.text import format_program
+
+
+@given(text=st.text(max_size=300))
+@settings(max_examples=300, deadline=None)
+def test_arbitrary_text_never_crashes(text):
+    try:
+        parse_program(text)
+    except ILSyntaxError:
+        pass  # the contract: malformed input raises exactly this
+
+
+@given(text=st.text(alphabet="ACX_Y-> movingAvg(id=1,params={0});\nOUT", max_size=200))
+@settings(max_examples=300, deadline=None)
+def test_il_like_text_never_crashes(text):
+    """Near-miss inputs (IL alphabet) are the likeliest corruptions."""
+    try:
+        parse_program(text)
+    except ILSyntaxError:
+        pass
+
+
+@given(
+    mutation_point=st.integers(0, 200),
+    replacement=st.characters(),
+)
+@settings(max_examples=200, deadline=None)
+def test_single_character_corruption(mutation_point, replacement):
+    """Flip one character of a valid program: parse or clean reject."""
+    valid = (
+        "ACC_X -> movingAvg(id=1, params={10});\n"
+        "ACC_Y -> movingAvg(id=2, params={10});\n"
+        "1,2 -> vectorMagnitude(id=3);\n"
+        "3 -> minThreshold(id=4, params={15});\n"
+        "4 -> OUT;\n"
+    )
+    index = mutation_point % len(valid)
+    corrupted = valid[:index] + replacement + valid[index + 1:]
+    try:
+        program = parse_program(corrupted)
+    except ILSyntaxError:
+        return
+    # If it still parses, it must serialize back without crashing.
+    format_program(program)

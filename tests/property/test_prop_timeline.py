@@ -1,0 +1,119 @@
+"""Property-based tests on timelines and power accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.power.accounting import account
+from repro.power.phone import NEXUS4
+from repro.power.timeline import PhoneState, build_timeline, merge_windows
+
+durations = st.floats(min_value=10.0, max_value=2000.0, allow_nan=False)
+
+
+@st.composite
+def windows_in(draw, duration):
+    """Random awake windows inside [0, duration]."""
+    count = draw(st.integers(min_value=0, max_value=10))
+    windows = []
+    for _ in range(count):
+        a = draw(st.floats(min_value=0.0, max_value=duration, allow_nan=False))
+        b = draw(st.floats(min_value=0.0, max_value=duration, allow_nan=False))
+        windows.append((min(a, b), max(a, b)))
+    return windows
+
+
+@given(data=st.data(), duration=durations)
+@settings(max_examples=100, deadline=None)
+def test_timeline_conserves_time(data, duration):
+    windows = data.draw(windows_in(duration))
+    timeline = build_timeline(duration, windows, NEXUS4)
+    total = sum(i.duration for i in timeline.intervals)
+    assert total == pytest.approx(duration, rel=1e-9)
+    assert timeline.intervals[0].start == 0.0
+    assert timeline.intervals[-1].end == pytest.approx(duration)
+
+
+@given(data=st.data(), duration=durations)
+@settings(max_examples=100, deadline=None)
+def test_timeline_no_adjacent_same_state_gaps(data, duration):
+    windows = data.draw(windows_in(duration))
+    timeline = build_timeline(duration, windows, NEXUS4)
+    for a, b in zip(timeline.intervals, timeline.intervals[1:]):
+        assert a.end == pytest.approx(b.start)
+
+
+@given(data=st.data(), duration=durations)
+@settings(max_examples=100, deadline=None)
+def test_average_power_bounded_by_extremes(data, duration):
+    windows = data.draw(windows_in(duration))
+    timeline = build_timeline(duration, windows, NEXUS4)
+    avg = timeline.average_power_mw(NEXUS4)
+    assert NEXUS4.asleep_mw - 1e-9 <= avg <= NEXUS4.wake_transition_mw + 1e-9
+
+
+@given(data=st.data(), duration=durations)
+@settings(max_examples=100, deadline=None)
+def test_transitions_paired(data, duration):
+    windows = data.draw(windows_in(duration))
+    timeline = build_timeline(duration, windows, NEXUS4)
+    waking = sum(1 for i in timeline.intervals if i.state is PhoneState.WAKING)
+    sleeping = sum(1 for i in timeline.intervals if i.state is PhoneState.SLEEPING)
+    # Each wake is eventually followed by a sleep, except when the trace
+    # starts awake (no wake transition) or ends awake (no sleep).
+    assert abs(waking - sleeping) <= 1
+
+
+@given(data=st.data(), duration=durations)
+@settings(max_examples=60, deadline=None)
+def test_more_awake_time_costs_more(data, duration):
+    windows = data.draw(windows_in(duration))
+    base = build_timeline(duration, windows, NEXUS4)
+    wider = build_timeline(
+        duration,
+        windows + [(0.0, min(duration, duration * 0.5))],
+        NEXUS4,
+    )
+    assert wider.awake_seconds >= base.awake_seconds - 1e-9
+    if wider.awake_seconds > base.awake_seconds + 2.5:
+        # Enough extra awake time to dominate transition bookkeeping.
+        assert wider.energy_mj(NEXUS4) > base.energy_mj(NEXUS4)
+
+
+@given(data=st.data(), duration=durations)
+@settings(max_examples=60, deadline=None)
+def test_accounting_breakdown_sums(data, duration):
+    windows = data.draw(windows_in(duration))
+    timeline = build_timeline(duration, windows, NEXUS4)
+    breakdown = account(timeline, NEXUS4)
+    assert breakdown.phone_mw == pytest.approx(
+        timeline.average_power_mw(NEXUS4), rel=1e-9
+    )
+    assert 0.0 <= breakdown.awake_fraction <= 1.0
+
+
+@given(
+    windows=st.lists(
+        st.tuples(
+            st.floats(0, 100, allow_nan=False), st.floats(0, 100, allow_nan=False)
+        ),
+        max_size=12,
+    ),
+    min_gap=st.floats(0.0, 10.0, allow_nan=False),
+)
+@settings(max_examples=100, deadline=None)
+def test_merge_windows_invariants(windows, min_gap):
+    normalized = [(min(a, b), max(a, b)) for a, b in windows]
+    merged = merge_windows(normalized, min_gap)
+    # Sorted, disjoint with gaps >= min_gap, and covering >= the input.
+    for (a0, a1), (b0, b1) in zip(merged, merged[1:]):
+        assert a1 < b0
+        assert b0 - a1 >= min_gap - 1e-9
+    total_in = sum(b - a for a, b in normalized if b > a)
+    total_out = sum(b - a for a, b in merged)
+    assert total_out >= 0
+    if normalized:
+        assert total_out <= max(
+            (b for _, b in normalized), default=0
+        ) - min((a for a, _ in normalized), default=0) + 1e-9

@@ -1,0 +1,100 @@
+"""Property-based tests on the trace generators.
+
+Whatever the seed, duration and variant, a generated trace must be
+internally consistent: samples match the declared duration and rate,
+events lie inside the trace with the right labels and metadata, and
+generation is a pure function of its config.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traces.audio import AudioEnvironment, AudioTraceConfig, generate_audio_trace
+from repro.traces.human import HumanScenario, HumanTraceConfig, generate_human_trace
+from repro.traces.robot import (
+    ACTIVITY_SPLIT,
+    GROUP_IDLE_FRACTION,
+    RobotRunConfig,
+    generate_robot_run,
+)
+
+seeds = st.integers(0, 2**31 - 1)
+
+
+@given(
+    seed=seeds,
+    group=st.sampled_from([1, 2, 3]),
+    duration=st.floats(120.0, 300.0),
+)
+@settings(max_examples=15, deadline=None)
+def test_robot_trace_invariants(seed, group, duration):
+    trace = generate_robot_run(
+        RobotRunConfig(group=group, duration_s=duration, seed=seed)
+    )
+    rate = trace.rate_hz["ACC_X"]
+    for channel in ("ACC_X", "ACC_Y", "ACC_Z"):
+        assert abs(len(trace.data[channel]) - duration * rate) <= 1
+        assert np.all(np.isfinite(trace.data[channel]))
+    labels = {e.label for e in trace.events}
+    assert labels <= {"walking", "transition", "headbutt"}
+    for event in trace.events:
+        assert 0.0 <= event.start <= event.end <= trace.duration + 1e-9
+    # Walking bouts carry in-bout step times.
+    for bout in trace.events_with_label("walking"):
+        for t in bout.meta("step_times"):
+            assert bout.start - 1e-9 <= t <= bout.end + 1e-9
+    # Activity roughly follows the group's budget (loose bounds: the
+    # scheduler truncates at the trace end).
+    active = trace.event_seconds()
+    budget = duration * (1.0 - GROUP_IDLE_FRACTION[group])
+    assert active <= budget * 1.35 + 10.0
+
+
+@given(
+    seed=seeds,
+    scenario=st.sampled_from(list(HumanScenario)),
+    duration=st.floats(150.0, 300.0),
+)
+@settings(max_examples=10, deadline=None)
+def test_human_trace_invariants(seed, scenario, duration):
+    trace = generate_human_trace(
+        HumanTraceConfig(scenario=scenario, duration_s=duration, seed=seed)
+    )
+    assert {e.label for e in trace.events} <= {"walking", "other_motion"}
+    assert trace.events_with_label("walking")
+    for event in trace.events:
+        assert 0.0 <= event.start <= event.end <= trace.duration + 1e-9
+    assert np.all(np.isfinite(trace.data["ACC_Z"]))
+
+
+@given(
+    seed=seeds,
+    environment=st.sampled_from(list(AudioEnvironment)),
+    duration=st.floats(90.0, 180.0),
+)
+@settings(max_examples=10, deadline=None)
+def test_audio_trace_invariants(seed, environment, duration):
+    trace = generate_audio_trace(
+        AudioTraceConfig(environment=environment, duration_s=duration, seed=seed)
+    )
+    assert {e.label for e in trace.events} <= {"siren", "music", "speech"}
+    events = sorted(trace.events, key=lambda e: e.start)
+    for a, b in zip(events, events[1:]):
+        assert a.end <= b.start + 1e-9  # placement never overlaps
+    speech = trace.events_with_label("speech")
+    if speech:
+        assert any(e.meta("phrase") for e in speech)  # guaranteed target
+    assert np.all(np.isfinite(trace.data["MIC"]))
+    assert np.abs(trace.data["MIC"]).max() < 3.0
+
+
+@given(seed=seeds, group=st.sampled_from([1, 2, 3]))
+@settings(max_examples=6, deadline=None)
+def test_robot_generation_deterministic(seed, group):
+    config = RobotRunConfig(group=group, duration_s=120.0, seed=seed)
+    a = generate_robot_run(config)
+    b = generate_robot_run(config)
+    assert a.events == b.events
+    for channel in a.data:
+        assert np.array_equal(a.data[channel], b.data[channel])

@@ -1,0 +1,88 @@
+"""Unit tests for admission-control algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.admission import (
+    BandIndicator,
+    MaxThreshold,
+    MinThreshold,
+    RangeThreshold,
+    SustainedThreshold,
+)
+from repro.errors import ParameterError
+from tests.conftest import scalar_chunk
+
+
+class TestMinThreshold:
+    def test_passes_at_or_above(self):
+        out = MinThreshold(5.0).process([scalar_chunk([4.9, 5.0, 5.1])])
+        assert list(out.values) == [5.0, 5.1]
+
+    def test_silent_below(self):
+        assert MinThreshold(10.0).process([scalar_chunk([1, 2, 3])]).is_empty
+
+    def test_timestamps_follow_values(self):
+        chunk = scalar_chunk([1.0, 9.0, 1.0], rate_hz=50.0)
+        out = MinThreshold(5.0).process([chunk])
+        assert out.times[0] == pytest.approx(chunk.times[1])
+
+
+class TestMaxThreshold:
+    def test_passes_at_or_below(self):
+        out = MaxThreshold(-3.5).process([scalar_chunk([-3.4, -3.5, -5.0])])
+        assert list(out.values) == [-3.5, -5.0]
+
+
+class TestRangeThreshold:
+    def test_inclusive_band(self):
+        out = RangeThreshold(1.0, 2.0).process(
+            [scalar_chunk([0.9, 1.0, 1.5, 2.0, 2.1])]
+        )
+        assert list(out.values) == [1.0, 1.5, 2.0]
+
+    def test_low_above_high_rejected(self):
+        with pytest.raises(ParameterError):
+            RangeThreshold(3.0, 1.0)
+
+
+class TestBandIndicator:
+    def test_emits_for_every_item(self):
+        out = BandIndicator(0.0, 1.0).process([scalar_chunk([-1.0, 0.5, 2.0])])
+        assert list(out.values) == [0.0, 1.0, 0.0]
+        assert len(out) == 3  # alignment preserved
+
+    def test_conjunction_via_min(self):
+        from repro.algorithms.aggregate import MinOf
+        a = BandIndicator(0.0, 1.0).process([scalar_chunk([0.5, 0.5, 5.0])])
+        b = BandIndicator(0.0, 1.0).process([scalar_chunk([0.5, 5.0, 0.5])])
+        both = MinOf().process([a, b])
+        assert list(both.values) == [1.0, 0.0, 0.0]
+
+
+class TestSustainedThreshold:
+    def test_requires_consecutive_run(self):
+        st = SustainedThreshold(threshold=1.0, count=3)
+        out = st.process([scalar_chunk([2, 2, 0, 2, 2, 2, 2])])
+        # run restarts after the 0; emits on 3rd and 4th of the new run
+        assert len(out) == 2
+
+    def test_run_survives_chunk_boundary(self):
+        st = SustainedThreshold(threshold=1.0, count=4)
+        assert st.process([scalar_chunk([2, 2])]).is_empty
+        out = st.process([scalar_chunk([2, 2], t0=0.04)])
+        assert len(out) == 1
+
+    def test_reset_clears_run(self):
+        st = SustainedThreshold(threshold=1.0, count=2)
+        st.process([scalar_chunk([2])])
+        st.reset()
+        assert st.process([scalar_chunk([2])]).is_empty
+
+    def test_below_threshold_never_emits(self):
+        st = SustainedThreshold(threshold=5.0, count=1)
+        assert st.process([scalar_chunk([4, 4, 4])]).is_empty
+
+    def test_count_validation(self):
+        with pytest.raises(ParameterError):
+            SustainedThreshold(threshold=1.0, count=0)

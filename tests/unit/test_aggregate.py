@@ -1,0 +1,43 @@
+"""Unit tests for aggregation algorithms."""
+
+import numpy as np
+
+from repro.algorithms.aggregate import MaxOf, MeanOf, MinOf, SumOf
+from tests.conftest import scalar_chunk
+
+
+def _pair():
+    return [scalar_chunk([1.0, 4.0, 2.0]), scalar_chunk([3.0, 2.0, 2.0])]
+
+
+def test_min_of():
+    assert list(MinOf().process(_pair()).values) == [1.0, 2.0, 2.0]
+
+
+def test_max_of():
+    assert list(MaxOf().process(_pair()).values) == [3.0, 4.0, 2.0]
+
+
+def test_sum_of():
+    assert list(SumOf().process(_pair()).values) == [4.0, 6.0, 4.0]
+
+
+def test_mean_of():
+    assert list(MeanOf().process(_pair()).values) == [2.0, 3.0, 2.0]
+
+
+def test_three_inputs():
+    chunks = [scalar_chunk([1.0]), scalar_chunk([2.0]), scalar_chunk([3.0])]
+    assert SumOf().process(chunks).values[0] == 6.0
+
+
+def test_empty_passthrough():
+    empty = scalar_chunk([])
+    assert MinOf().process([empty, empty]).is_empty
+
+
+def test_times_from_first_input():
+    a = scalar_chunk([1.0, 2.0], rate_hz=50.0)
+    b = scalar_chunk([3.0, 4.0], rate_hz=50.0)
+    out = MaxOf().process([a, b])
+    assert np.allclose(out.times, a.times)

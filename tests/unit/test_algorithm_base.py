@@ -1,0 +1,61 @@
+"""Unit tests for the algorithm registry and base class."""
+
+import pytest
+
+from repro.algorithms.base import (
+    available_opcodes,
+    create,
+    get_algorithm_class,
+    register,
+)
+from repro.errors import ParameterError, UnknownAlgorithmError
+
+
+def test_known_opcodes_present():
+    opcodes = available_opcodes()
+    for expected in (
+        "movingAvg", "expMovingAvg", "window", "fft", "ifft", "lowPass",
+        "highPass", "vectorMagnitude", "zeroCrossingRate", "stat",
+        "dominantFrequency", "minThreshold", "maxThreshold",
+        "rangeThreshold", "sustainedThreshold", "localExtrema",
+        "bandIndicator", "minOf", "maxOf", "sumOf", "meanOf",
+    ):
+        assert expected in opcodes
+
+
+def test_unknown_opcode_raises():
+    with pytest.raises(UnknownAlgorithmError):
+        get_algorithm_class("convolve2d")
+
+
+def test_create_instantiates_with_params():
+    algo = create("movingAvg", size=10)
+    assert algo.opcode == "movingAvg"
+    assert algo.params == {"size": 10}
+
+
+def test_duplicate_registration_rejected():
+    with pytest.raises(ValueError, match="registered twice"):
+        @register("movingAvg")
+        class Duplicate:  # pragma: no cover - never used
+            pass
+
+
+def test_parameter_validation_helpers():
+    with pytest.raises(ParameterError):
+        create("movingAvg", size=-1)
+    with pytest.raises(ParameterError):
+        create("movingAvg", size="ten")
+    with pytest.raises(ParameterError):
+        create("movingAvg", size=2.5)
+    with pytest.raises(ParameterError):
+        create("minThreshold", threshold="high")
+
+
+def test_bool_is_not_an_integer():
+    with pytest.raises(ParameterError):
+        create("movingAvg", size=True)
+
+
+def test_repr_shows_params():
+    assert "size=10" in repr(create("movingAvg", size=10))

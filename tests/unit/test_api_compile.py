@@ -1,0 +1,94 @@
+"""Unit tests for pipeline -> IL compilation."""
+
+import pytest
+
+from repro.api.branch import ProcessingBranch
+from repro.api.compile import compile_pipeline
+from repro.api.pipeline import ProcessingPipeline
+from repro.api.stubs import (
+    MinThreshold,
+    MovingAverage,
+    Statistic,
+    VectorMagnitude,
+    Window,
+)
+from repro.errors import CompileError
+from repro.il.text import format_program
+from repro.sensors.channels import ACC_X, ACC_Y, ACC_Z
+
+
+def significant_motion():
+    """The paper's Figure 2a pipeline."""
+    pipeline = ProcessingPipeline()
+    for axis in (ACC_X, ACC_Y, ACC_Z):
+        pipeline.add(ProcessingBranch(axis).add(MovingAverage(10)))
+    pipeline.add(VectorMagnitude())
+    pipeline.add(MinThreshold(15))
+    return pipeline
+
+
+def test_figure2_ids_in_dataflow_order():
+    program = compile_pipeline(significant_motion())
+    assert [s.node_id for s in program.statements] == [1, 2, 3, 4, 5]
+    assert [s.opcode for s in program.statements] == [
+        "movingAvg", "movingAvg", "movingAvg", "vectorMagnitude", "minThreshold",
+    ]
+    assert program.output.node_id == 5
+
+
+def test_figure2_intermediate_text():
+    text = format_program(compile_pipeline(significant_motion()))
+    assert "ACC_X -> movingAvg(id=1, params={size=10});" in text
+    assert "1,2,3 -> vectorMagnitude(id=4);" in text
+    assert "4 -> minThreshold(id=5, params={threshold=15});" in text
+    assert text.rstrip().endswith("5 -> OUT;")
+
+
+def test_empty_pipeline_rejected():
+    with pytest.raises(CompileError, match="no branches"):
+        compile_pipeline(ProcessingPipeline())
+
+
+def test_single_input_stage_with_multiple_branches_rejected():
+    pipeline = ProcessingPipeline()
+    pipeline.add(ProcessingBranch(ACC_X))
+    pipeline.add(ProcessingBranch(ACC_Y))
+    pipeline.add(MinThreshold(5))
+    with pytest.raises(CompileError, match="aggregation"):
+        compile_pipeline(pipeline)
+
+
+def test_unconverged_pipeline_rejected():
+    pipeline = ProcessingPipeline()
+    pipeline.add(ProcessingBranch(ACC_X).add(MovingAverage(5)))
+    pipeline.add(ProcessingBranch(ACC_Y).add(MovingAverage(5)))
+    with pytest.raises(CompileError, match="converge"):
+        compile_pipeline(pipeline)
+
+
+def test_raw_channel_to_out_rejected():
+    pipeline = ProcessingPipeline()
+    pipeline.add(ProcessingBranch(ACC_X))
+    with pytest.raises(CompileError, match="raw sensor channel"):
+        compile_pipeline(pipeline)
+
+
+def test_variadic_stage_inside_branch_allowed():
+    # A single-branch use of a variadic aggregator is legal (arity 1).
+    pipeline = ProcessingPipeline()
+    pipeline.add(
+        ProcessingBranch(ACC_X)
+        .add(Window(10))
+        .add(Statistic("std"))
+    )
+    pipeline.add(MinThreshold(0.5))
+    program = compile_pipeline(pipeline)
+    assert program.output.node_id == 3
+
+
+def test_branch_algorithms_precede_stage_algorithms():
+    program = compile_pipeline(significant_motion())
+    # Branch chains get ids 1..3, stages 4..5 — matching Figure 2c.
+    stage_ids = [s.node_id for s in program.statements if s.opcode != "movingAvg"]
+    branch_ids = [s.node_id for s in program.statements if s.opcode == "movingAvg"]
+    assert max(branch_ids) < min(stage_ids)

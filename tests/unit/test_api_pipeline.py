@@ -1,0 +1,78 @@
+"""Unit tests for ProcessingBranch / ProcessingPipeline construction."""
+
+import pytest
+
+from repro.api.branch import ProcessingBranch
+from repro.api.pipeline import ProcessingPipeline
+from repro.api.stubs import MinThreshold, MovingAverage, VectorMagnitude
+from repro.errors import PipelineError, UnknownChannelError
+from repro.sensors.channels import ACC_X
+
+
+def test_branch_accepts_channel_object():
+    branch = ProcessingBranch(ACC_X)
+    assert branch.source is ACC_X
+
+
+def test_branch_accepts_channel_name():
+    branch = ProcessingBranch("ACC_Z")
+    assert branch.source.name == "ACC_Z"
+
+
+def test_branch_rejects_unknown_name():
+    with pytest.raises(UnknownChannelError):
+        ProcessingBranch("TEMP")
+
+
+def test_branch_rejects_non_channel():
+    with pytest.raises(PipelineError):
+        ProcessingBranch(42)
+
+
+def test_branch_add_chains_fluently():
+    branch = ProcessingBranch(ACC_X).add(MovingAverage(5)).add(MinThreshold(1))
+    assert len(branch.algorithms) == 2
+
+
+def test_branch_rejects_non_stub():
+    with pytest.raises(PipelineError):
+        ProcessingBranch(ACC_X).add("movingAvg")
+
+
+def test_pipeline_add_branch_and_stage():
+    pipeline = ProcessingPipeline()
+    pipeline.add(ProcessingBranch(ACC_X))
+    pipeline.add(VectorMagnitude())
+    assert len(pipeline.branches) == 1
+    assert len(pipeline.stages) == 1
+
+
+def test_pipeline_add_branch_list():
+    pipeline = ProcessingPipeline()
+    pipeline.add([ProcessingBranch(ACC_X), ProcessingBranch("ACC_Y")])
+    assert len(pipeline.branches) == 2
+
+
+def test_branch_after_stage_rejected():
+    pipeline = ProcessingPipeline()
+    pipeline.add(ProcessingBranch(ACC_X))
+    pipeline.add(MinThreshold(5))
+    with pytest.raises(PipelineError, match="before pipeline-level"):
+        pipeline.add(ProcessingBranch("ACC_Y"))
+
+
+def test_pipeline_rejects_garbage():
+    with pytest.raises(PipelineError):
+        ProcessingPipeline().add(3.14)
+
+
+def test_stub_eager_parameter_validation():
+    from repro.errors import ParameterError
+    with pytest.raises(ParameterError):
+        MovingAverage(0)
+
+
+def test_stub_equality_and_hash():
+    assert MovingAverage(5) == MovingAverage(5)
+    assert MovingAverage(5) != MovingAverage(6)
+    assert hash(MovingAverage(5)) == hash(MovingAverage(5))

@@ -1,0 +1,134 @@
+"""Unit tests for the accelerometer applications (precise detectors and
+wake-up conditions)."""
+
+import numpy as np
+import pytest
+
+from repro.api.compile import compile_pipeline
+from repro.apps.headbutts import HeadbuttApp
+from repro.apps.steps import StepsApp
+from repro.apps.transitions import TransitionsApp
+from repro.eval.metrics import match_events
+from repro.il.validate import validate_program
+from repro.sim.simulator import run_wakeup_condition
+
+
+def _full_windows(trace):
+    return [(0.0, trace.duration)]
+
+
+class TestStepsApp:
+    def test_detects_every_bout(self, robot_trace):
+        app = StepsApp()
+        detections = app.detect(robot_trace, _full_windows(robot_trace))
+        match = match_events(
+            app.events_of_interest(robot_trace), detections, app.match_tolerance_s
+        )
+        assert match.recall == 1.0
+        assert match.precision >= 0.95
+
+    def test_step_count_accuracy(self, robot_trace):
+        app = StepsApp()
+        detections = app.detect(robot_trace, _full_windows(robot_trace))
+        true_steps = sum(
+            len(e.meta("step_times"))
+            for e in robot_trace.events_with_label("walking")
+        )
+        counted = StepsApp.count_steps(detections)
+        assert counted == pytest.approx(true_steps, rel=0.15)
+
+    def test_silent_on_idle(self, quiet_robot_trace):
+        app = StepsApp()
+        idle = quiet_robot_trace.slice(0.0, 5.0)
+        # Very unlikely the first 5 s contain a walking bout; if they
+        # do, skip (the slice keeps its events, so check).
+        if not idle.events_with_label("walking"):
+            assert app.detect(idle, _full_windows(idle)) == []
+
+    def test_windows_restrict_visibility(self, robot_trace):
+        app = StepsApp()
+        bout = app.events_of_interest(robot_trace)[0]
+        outside = [
+            d for d in app.detect(robot_trace, [(bout.start, bout.end)])
+            if not bout.start - 1 <= d.time <= bout.end + 1
+        ]
+        assert outside == []
+
+    def test_wakeup_condition_catches_all_bouts(self, robot_trace):
+        app = StepsApp()
+        graph = validate_program(compile_pipeline(app.build_wakeup_pipeline()))
+        events = run_wakeup_condition(graph, robot_trace)
+        for bout in app.events_of_interest(robot_trace):
+            assert any(
+                bout.start - 1 <= e.time <= bout.end + 1 for e in events
+            ), bout
+
+
+class TestTransitionsApp:
+    def test_detects_every_transition(self, robot_trace):
+        app = TransitionsApp()
+        detections = app.detect(robot_trace, _full_windows(robot_trace))
+        match = match_events(
+            app.events_of_interest(robot_trace), detections, app.match_tolerance_s
+        )
+        assert match.recall == 1.0
+        assert match.precision >= 0.9
+
+    def test_directions_alternate(self, robot_trace):
+        app = TransitionsApp()
+        detections = app.detect(robot_trace, _full_windows(robot_trace))
+        directions = [d.label for d in detections]
+        for a, b in zip(directions, directions[1:]):
+            assert a != b  # sit, stand, sit, stand, ...
+
+    def test_wakeup_condition_catches_all(self, robot_trace):
+        app = TransitionsApp()
+        graph = validate_program(compile_pipeline(app.build_wakeup_pipeline()))
+        events = run_wakeup_condition(graph, robot_trace)
+        for transition in app.events_of_interest(robot_trace):
+            assert any(
+                transition.start - 1 <= e.time <= transition.end + 1
+                for e in events
+            )
+
+    def test_wakeup_silent_during_walking(self, robot_trace):
+        app = TransitionsApp()
+        graph = validate_program(compile_pipeline(app.build_wakeup_pipeline()))
+        events = run_wakeup_condition(graph, robot_trace)
+        transitions = app.events_of_interest(robot_trace)
+        for event in events:
+            near_transition = any(
+                t.start - 2 <= event.time <= t.end + 2 for t in transitions
+            )
+            assert near_transition, f"spurious wake at {event.time}"
+
+
+class TestHeadbuttApp:
+    def test_detects_every_headbutt(self, robot_trace):
+        app = HeadbuttApp()
+        detections = app.detect(robot_trace, _full_windows(robot_trace))
+        match = match_events(
+            app.events_of_interest(robot_trace), detections, app.match_tolerance_s
+        )
+        assert match.recall == 1.0
+        assert match.precision >= 0.9
+
+    def test_ignores_transitions_and_walking(self, robot_trace):
+        app = HeadbuttApp()
+        detections = app.detect(robot_trace, _full_windows(robot_trace))
+        headbutts = app.events_of_interest(robot_trace)
+        for d in detections:
+            assert any(
+                h.start - 0.6 <= d.time <= h.end + 0.6 for h in headbutts
+            ), f"false headbutt at {d.time}"
+
+    def test_wakeup_condition_fires_only_near_headbutts(self, robot_trace):
+        app = HeadbuttApp()
+        graph = validate_program(compile_pipeline(app.build_wakeup_pipeline()))
+        events = run_wakeup_condition(graph, robot_trace)
+        headbutts = app.events_of_interest(robot_trace)
+        assert events
+        for event in events:
+            assert any(
+                h.start - 1 <= event.time <= h.end + 1 for h in headbutts
+            )

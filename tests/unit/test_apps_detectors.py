@@ -1,0 +1,130 @@
+"""Unit tests for the shared precise-detector helpers."""
+
+import numpy as np
+import pytest
+
+from repro.apps.detectors import (
+    frame_signal,
+    iter_window_arrays,
+    local_maxima,
+    merge_spans,
+    moving_average,
+    spans_from_mask,
+    zero_crossing_rate,
+)
+
+
+class TestMergeSpans:
+    def test_merges_overlaps_and_sorts(self):
+        assert merge_spans([(5.0, 7.0), (1.0, 3.0), (2.0, 4.0)]) == [
+            (1.0, 4.0), (5.0, 7.0),
+        ]
+
+    def test_min_gap_merges_nearby(self):
+        assert merge_spans([(0.0, 1.0), (1.5, 2.0)], min_gap=1.0) == [(0.0, 2.0)]
+
+    def test_drops_degenerate(self):
+        assert merge_spans([(2.0, 2.0)]) == []
+
+
+class TestIterWindowArrays:
+    def test_yields_merged_window_slices(self, robot_trace):
+        windows = [(10.0, 12.0), (11.0, 14.0), (50.0, 52.0)]
+        pieces = list(iter_window_arrays(robot_trace, "ACC_X", windows))
+        assert len(pieces) == 2  # first two merged
+        start, samples = pieces[0]
+        assert start == pytest.approx(10.0)
+        assert len(samples) == pytest.approx(4.0 * 50, abs=1)
+
+    def test_clipped_to_trace(self, robot_trace):
+        pieces = list(
+            iter_window_arrays(robot_trace, "ACC_X", [(-5.0, 2.0)])
+        )
+        start, samples = pieces[0]
+        assert start == 0.0
+        assert len(samples) == 100
+
+    def test_out_of_range_window_empty(self, robot_trace):
+        assert list(
+            iter_window_arrays(robot_trace, "ACC_X", [(1e6, 1e6 + 5)])
+        ) == []
+
+
+class TestMovingAverage:
+    def test_short_input_empty(self):
+        assert len(moving_average(np.arange(3.0), 5)) == 0
+
+    def test_values(self):
+        out = moving_average(np.array([1.0, 2.0, 3.0, 4.0]), 2)
+        assert np.allclose(out, [1.5, 2.5, 3.5])
+
+
+class TestLocalMaximaProminence:
+    def test_margin_rejects_edge_peaks(self):
+        signal = np.zeros(30)
+        signal[2] = 3.0  # too close to the left edge for margin=5
+        signal[15] = 3.0
+        idx = local_maxima(signal, 2.0, 4.0, min_separation=1, margin=5,
+                           prominence=1.0)
+        assert list(idx) == [15]
+
+    def test_prominence_rejects_shallow_wiggles(self):
+        # A plateau at 3.0 with a tiny wiggle: fails 1.0 prominence.
+        signal = np.full(30, 3.0)
+        signal[15] = 3.2
+        idx = local_maxima(signal, 2.0, 4.0, min_separation=1, margin=5,
+                           prominence=1.0)
+        assert len(idx) == 0
+
+    def test_zero_margin_keeps_legacy_behaviour(self):
+        signal = np.zeros(10)
+        signal[1] = 3.0
+        idx = local_maxima(signal, 2.0, 4.0, min_separation=1)
+        assert list(idx) == [1]
+
+
+class TestFrameHelpers:
+    def test_frame_signal_shapes(self):
+        frames = frame_signal(np.arange(10.0), size=4, hop=3)
+        assert frames.shape == (3, 4)
+        assert list(frames[1]) == [3.0, 4.0, 5.0, 6.0]
+
+    def test_frame_signal_short_input(self):
+        assert frame_signal(np.arange(3.0), 8, 8).shape[0] == 0
+
+    def test_zcr_matches_hub_algorithm(self):
+        """The detector-side ZCR must agree with the hub-side one, or
+        the two stages would disagree about the same signal."""
+        from repro.algorithms.features import ZeroCrossingRate
+        from repro.algorithms.windowing import Window
+        from tests.conftest import scalar_chunk
+
+        rng = np.random.default_rng(2)
+        signal = rng.normal(size=512)
+        ours = zero_crossing_rate(frame_signal(signal, 128, 128))
+        hub_frames = Window(128).process([scalar_chunk(signal)])
+        hub = ZeroCrossingRate().process([hub_frames]).values
+        assert np.allclose(ours, hub)
+
+
+class TestSpansFromMask:
+    def test_runs_extracted(self):
+        times = np.arange(6, dtype=float)
+        mask = np.array([False, True, True, False, True, False])
+        spans = spans_from_mask(mask, times)
+        assert spans[0] == (1.0, 3.0)
+        assert spans[1] == (4.0, 5.0)
+
+    def test_run_to_end(self):
+        times = np.arange(4, dtype=float)
+        mask = np.array([False, False, True, True])
+        spans = spans_from_mask(mask, times)
+        assert spans == [(2.0, 3.0)]
+
+    def test_empty_mask(self):
+        assert spans_from_mask(np.array([]), np.array([])) == []
+
+    def test_all_true(self):
+        times = np.arange(3, dtype=float)
+        spans = spans_from_mask(np.array([True] * 3), times)
+        assert spans == [(0.0, 2.0)]

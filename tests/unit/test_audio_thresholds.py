@@ -1,0 +1,99 @@
+"""Calibration guards for the audio feature thresholds.
+
+The constants in :mod:`repro.apps.music`, :mod:`repro.apps.phrase` and
+:mod:`repro.apps.siren` were calibrated against the synthetic corpora;
+these tests pin the separation those constants rely on, so a change to
+the trace generators that silently breaks the feature margins fails
+loudly here rather than as a mysterious recall regression.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.audio_features import siren_frame_features, window_features
+from repro.apps.music import MUSIC_AMP_VAR_MAX, MUSIC_AMP_VAR_MIN, MUSIC_ZCR_VAR_MAX
+from repro.apps.phrase import SPEECH_AMP_VAR_MIN, SPEECH_ZCR_VAR_MIN
+from repro.apps.siren import PITCH_RATIO_DETECT, PITCH_RATIO_WAKEUP
+from repro.traces.audio import AudioEnvironment, AudioTraceConfig, generate_audio_trace
+
+
+@pytest.fixture(scope="module", params=list(AudioEnvironment))
+def trace(request):
+    return generate_audio_trace(
+        AudioTraceConfig(request.param, duration_s=180.0, seed=77)
+    )
+
+
+def _features(trace):
+    return window_features(trace.data["MIC"], 0.0, trace.rate_hz["MIC"])
+
+
+def _mask(feats_times, trace, label, pad=0.0):
+    mask = np.zeros(len(feats_times), dtype=bool)
+    for event in trace.events_with_label(label):
+        mask |= (feats_times >= event.start + pad) & (feats_times <= event.end)
+    return mask
+
+
+def test_background_below_music_amplitude_floor(trace):
+    feats = _features(trace)
+    background = np.ones(len(feats), dtype=bool)
+    for event in trace.events:
+        background &= ~(
+            (feats.times >= event.start) & (feats.times <= event.end + 0.3)
+        )
+    if background.any():
+        assert feats.amplitude_variance[background].max() < MUSIC_AMP_VAR_MIN
+        assert feats.amplitude_variance[background].max() < SPEECH_AMP_VAR_MIN
+
+
+def test_every_music_event_has_qualifying_windows(trace):
+    feats = _features(trace)
+    for event in trace.events_with_label("music"):
+        mask = (feats.times >= event.start) & (feats.times <= event.end)
+        qualifying = (
+            (feats.amplitude_variance[mask] >= MUSIC_AMP_VAR_MIN)
+            & (feats.amplitude_variance[mask] <= MUSIC_AMP_VAR_MAX)
+            & (feats.zcr_variance[mask] <= MUSIC_ZCR_VAR_MAX)
+        )
+        assert qualifying.sum() >= 4, event
+
+
+def test_every_speech_event_has_qualifying_windows(trace):
+    feats = _features(trace)
+    for event in trace.events_with_label("speech"):
+        mask = (feats.times >= event.start) & (feats.times <= event.end)
+        qualifying = (
+            (feats.amplitude_variance[mask] >= SPEECH_AMP_VAR_MIN)
+            & (feats.zcr_variance[mask] >= SPEECH_ZCR_VAR_MIN)
+        )
+        assert qualifying.sum() >= 3, event
+
+
+def test_sirens_do_not_pass_music_band(trace):
+    feats = _features(trace)
+    mask = _mask(feats.times, trace, "siren", pad=0.3)
+    if mask.any():
+        as_music = (
+            (feats.amplitude_variance[mask] >= MUSIC_AMP_VAR_MIN)
+            & (feats.amplitude_variance[mask] <= MUSIC_AMP_VAR_MAX)
+        )
+        assert as_music.mean() < 0.2  # siren tones are far louder
+
+
+def test_siren_ratio_separation(trace):
+    times, ratio, _ = siren_frame_features(
+        trace.data["MIC"], 0.0, trace.rate_hz["MIC"]
+    )
+    siren_mask = _mask(times, trace, "siren", pad=0.3)
+    if siren_mask.any():
+        # Nearly all siren frames exceed the detect ratio.
+        assert np.percentile(ratio[siren_mask], 20) > PITCH_RATIO_DETECT
+    music_mask = _mask(times, trace, "music", pad=0.3)
+    if music_mask.any():
+        # Music never looks pitched enough to wake the siren condition.
+        assert np.percentile(ratio[music_mask], 95) < PITCH_RATIO_WAKEUP
+
+
+def test_wakeup_thresholds_looser_than_detect():
+    assert PITCH_RATIO_WAKEUP < PITCH_RATIO_DETECT

@@ -1,0 +1,151 @@
+"""Unit tests for battery projection and sensor-fault injection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError, TraceError
+from repro.power.battery import NEXUS4_BATTERY, BatteryModel, lifetime_gain
+from repro.traces.perturb import dropout, noise_burst, random_fault_spans, stuck_sensor
+
+
+class TestBattery:
+    def test_usable_energy(self):
+        assert NEXUS4_BATTERY.usable_energy_mwh == pytest.approx(
+            2100 * 3.8 * 0.9
+        )
+
+    def test_always_awake_about_a_day(self):
+        hours = NEXUS4_BATTERY.hours_at(323.0)
+        assert 20.0 < hours < 26.0
+
+    def test_sidewinder_weeks(self):
+        # A Sidewinder deployment around 20 mW: two weeks or more.
+        assert NEXUS4_BATTERY.days_at(20.0) > 14.0
+
+    def test_lifetime_gain_is_power_ratio(self):
+        assert lifetime_gain(323.0, 32.3) == pytest.approx(10.0)
+
+    def test_invalid_power_rejected(self):
+        with pytest.raises(SimulationError):
+            NEXUS4_BATTERY.hours_at(0.0)
+        with pytest.raises(SimulationError):
+            lifetime_gain(-1.0, 5.0)
+
+    def test_custom_battery(self):
+        battery = BatteryModel("test", 1000.0, 3.7, usable_fraction=1.0)
+        assert battery.hours_at(370.0) == pytest.approx(10.0)
+
+
+class TestPerturbations:
+    def test_stuck_holds_last_value(self, robot_trace):
+        faulty = stuck_sensor(robot_trace, "ACC_X", [(10.0, 12.0)])
+        rate = robot_trace.rate_hz["ACC_X"]
+        i0 = int(10.0 * rate)
+        held = robot_trace.data["ACC_X"][i0 - 1]
+        assert np.all(faulty.data["ACC_X"][i0 : int(12.0 * rate)] == held)
+
+    def test_original_not_mutated(self, robot_trace):
+        before = robot_trace.data["ACC_X"].copy()
+        stuck_sensor(robot_trace, "ACC_X", [(10.0, 12.0)])
+        dropout(robot_trace, "ACC_X", [(20.0, 22.0)])
+        noise_burst(robot_trace, "ACC_X", [(30.0, 32.0)], sigma=1.0)
+        assert np.array_equal(robot_trace.data["ACC_X"], before)
+
+    def test_dropout_fills_constant(self, robot_trace):
+        faulty = dropout(robot_trace, "ACC_Z", [(5.0, 6.0)], fill=-1.0)
+        rate = robot_trace.rate_hz["ACC_Z"]
+        assert np.all(
+            faulty.data["ACC_Z"][int(5 * rate) : int(6 * rate)] == -1.0
+        )
+
+    def test_noise_burst_raises_variance(self, robot_trace):
+        faulty = noise_burst(robot_trace, "ACC_Y", [(5.0, 15.0)], sigma=3.0, seed=1)
+        rate = robot_trace.rate_hz["ACC_Y"]
+        window = slice(int(5 * rate), int(15 * rate))
+        assert np.std(faulty.data["ACC_Y"][window]) > np.std(
+            robot_trace.data["ACC_Y"][window]
+        )
+
+    def test_negative_sigma_rejected(self, robot_trace):
+        with pytest.raises(TraceError):
+            noise_burst(robot_trace, "ACC_X", [(1.0, 2.0)], sigma=-1.0)
+
+    def test_empty_span_rejected(self, robot_trace):
+        with pytest.raises(TraceError):
+            stuck_sensor(robot_trace, "ACC_X", [(5.0, 5.0)])
+
+    def test_ground_truth_preserved(self, robot_trace):
+        faulty = dropout(robot_trace, "ACC_X", [(10.0, 20.0)])
+        assert faulty.events == robot_trace.events
+        assert faulty.metadata["fault"] == "dropout"
+
+    def test_other_channels_untouched(self, robot_trace):
+        faulty = dropout(robot_trace, "ACC_X", [(10.0, 20.0)])
+        assert np.array_equal(faulty.data["ACC_Y"], robot_trace.data["ACC_Y"])
+
+
+class TestRandomFaultSpans:
+    def test_respects_budget_and_length(self, robot_trace):
+        spans = random_fault_spans(robot_trace, total_fault_s=20.0, span_s=5.0)
+        assert len(spans) == 4
+        for start, end in spans:
+            assert end - start == pytest.approx(5.0)
+            assert 0.0 <= start and end <= robot_trace.duration
+
+    def test_non_overlapping(self, robot_trace):
+        spans = random_fault_spans(robot_trace, 60.0, 5.0, seed=3)
+        for (a0, a1), (b0, b1) in zip(spans, spans[1:]):
+            assert a1 <= b0
+
+    def test_avoid_events(self, robot_trace):
+        spans = random_fault_spans(
+            robot_trace, 30.0, 3.0, seed=4, avoid_events=True
+        )
+        for start, end in spans:
+            for event in robot_trace.events:
+                assert not (end > event.start and start < event.end)
+
+    def test_invalid_args(self, robot_trace):
+        with pytest.raises(TraceError):
+            random_fault_spans(robot_trace, 10.0, 0.0)
+
+
+class TestRobustnessUnderFaults:
+    def test_stuck_sensor_outside_events_harmless(self, robot_trace):
+        """Faults during idle time do not cost recall."""
+        from repro.apps import HeadbuttApp
+        from repro.sim import Sidewinder
+        spans = random_fault_spans(
+            robot_trace, 30.0, 5.0, seed=7, avoid_events=True
+        )
+        faulty = stuck_sensor(robot_trace, "ACC_Y", spans)
+        result = Sidewinder().run(HeadbuttApp(), faulty)
+        assert result.recall == 1.0
+
+    def test_dropout_during_events_costs_recall(self, robot_trace):
+        """Zeroing the y axis across every headbutt hides them all —
+        the conditions cannot conjure events out of missing data."""
+        from repro.apps import HeadbuttApp
+        from repro.sim import Sidewinder
+        app = HeadbuttApp()
+        spans = [
+            (e.start - 0.2, e.end + 0.2)
+            for e in app.events_of_interest(robot_trace)
+        ]
+        faulty = dropout(robot_trace, "ACC_Y", spans)
+        result = Sidewinder().run(app, faulty)
+        assert result.recall == 0.0
+
+    def test_noise_bursts_cost_energy_not_recall(self, quiet_robot_trace):
+        """EMI-style bursts trigger spurious wake-ups (energy) but the
+        precise detector keeps precision and recall."""
+        from repro.apps import StepsApp
+        from repro.sim import PredefinedActivity
+        spans = random_fault_spans(
+            quiet_robot_trace, 40.0, 5.0, seed=9, avoid_events=True
+        )
+        noisy = noise_burst(quiet_robot_trace, "ACC_X", spans, sigma=2.5, seed=9)
+        clean_result = PredefinedActivity().run(StepsApp(), quiet_robot_trace)
+        noisy_result = PredefinedActivity().run(StepsApp(), noisy)
+        assert noisy_result.recall == 1.0
+        assert noisy_result.average_power_mw > clean_result.average_power_mw

@@ -1,0 +1,49 @@
+"""Unit tests for the Predefined Activity calibration sweep."""
+
+import pytest
+
+from repro.apps import HeadbuttApp, StepsApp
+from repro.errors import SimulationError
+from repro.sim.calibrate import calibrate_predefined_activity, sweep_recall_power
+
+
+@pytest.fixture(scope="module")
+def pairs():
+    from repro.traces.robot import RobotRunConfig, generate_robot_run
+    trace = generate_robot_run(RobotRunConfig(group=2, duration_s=240.0, seed=42))
+    return [(StepsApp(), trace), (HeadbuttApp(), trace)]
+
+
+def test_best_threshold_keeps_perfect_recall(pairs):
+    result = calibrate_predefined_activity("motion", [0.3, 0.6, 0.9], pairs)
+    assert result.best_threshold in (0.3, 0.6, 0.9)
+    best_point = next(
+        p for p in result.points if p.threshold == result.best_threshold
+    )
+    assert best_point.min_recall == 1.0
+
+
+def test_picks_least_sensitive_perfect_threshold(pairs):
+    result = calibrate_predefined_activity("motion", [0.3, 0.6], pairs)
+    perfect = [p.threshold for p in result.points if p.min_recall >= 1.0]
+    assert result.best_threshold == max(perfect)
+
+
+def test_power_decreases_with_threshold(pairs):
+    curve = sweep_recall_power("motion", [0.3, 0.9], pairs)
+    assert curve[0.9].mean_power_mw <= curve[0.3].mean_power_mw
+
+
+def test_impossible_grid_raises(pairs):
+    with pytest.raises(SimulationError, match="100% recall"):
+        calibrate_predefined_activity("motion", [50.0, 100.0], pairs)
+
+
+def test_bad_sensor_rejected(pairs):
+    with pytest.raises(SimulationError):
+        calibrate_predefined_activity("pressure", [1.0], pairs)
+
+
+def test_empty_pairs_rejected():
+    with pytest.raises(SimulationError):
+        calibrate_predefined_activity("motion", [1.0], [])

@@ -1,0 +1,48 @@
+"""Unit tests for sensor channel definitions."""
+
+import pytest
+
+from repro.errors import UnknownChannelError
+from repro.sensors.channels import (
+    ACC_X,
+    ACC_Y,
+    ACC_Z,
+    ACCELEROMETER_CHANNELS,
+    MIC,
+    SensorKind,
+    all_channels,
+    channel_by_name,
+)
+
+
+def test_accelerometer_channels_order():
+    assert ACCELEROMETER_CHANNELS == (ACC_X, ACC_Y, ACC_Z)
+
+
+def test_channel_lookup_by_name():
+    assert channel_by_name("ACC_X") is ACC_X
+    assert channel_by_name("MIC") is MIC
+
+
+def test_unknown_channel_raises():
+    with pytest.raises(UnknownChannelError):
+        channel_by_name("GYRO_X")
+
+
+def test_channel_kinds():
+    assert ACC_X.kind is SensorKind.ACCELEROMETER
+    assert MIC.kind is SensorKind.MICROPHONE
+
+
+def test_rates_positive():
+    for channel in all_channels():
+        assert channel.rate_hz > 0
+
+
+def test_audio_rate_covers_siren_band():
+    # Nyquist must exceed the siren detector's 1800 Hz upper band edge.
+    assert MIC.rate_hz / 2 > 1800
+
+
+def test_str_is_il_name():
+    assert str(ACC_Y) == "ACC_Y"

@@ -1,0 +1,103 @@
+"""Unit tests for concurrent multi-application simulation."""
+
+import pytest
+
+from repro.apps import (
+    HeadbuttApp,
+    MusicJournalApp,
+    PhraseDetectionApp,
+    SirenDetectorApp,
+    StepsApp,
+    TransitionsApp,
+)
+from repro.errors import SimulationError
+from repro.sim.concurrent import ConcurrentSidewinder
+from repro.sim.configs.sidewinder import Sidewinder
+
+
+class TestConcurrentAccel:
+    @pytest.fixture(scope="class")
+    def outcome(self, robot_trace):
+        apps = [StepsApp(), TransitionsApp(), HeadbuttApp()]
+        return ConcurrentSidewinder().run(apps, robot_trace)
+
+    def test_per_app_recall_preserved(self, outcome):
+        for result in outcome.per_app:
+            assert result.recall == 1.0, result.app_name
+
+    def test_single_hub_charge(self, outcome):
+        # Three MSP430 conditions: the hub is charged once.
+        assert outcome.hub_processors == ("TI MSP430",)
+        assert outcome.per_app[0].power.hub_mw == pytest.approx(3.6)
+
+    def test_device_power_shared(self, outcome):
+        powers = {r.average_power_mw for r in outcome.per_app}
+        assert len(powers) == 1  # one device, one power figure
+
+    def test_cheaper_than_three_devices(self, outcome, robot_trace):
+        # Sharing one device saves at least the duplicated sleep
+        # baselines and hub charges of three separate deployments.
+        separate = sum(
+            Sidewinder().run(app, robot_trace).average_power_mw
+            for app in (StepsApp(), TransitionsApp(), HeadbuttApp())
+        )
+        assert outcome.device_power_mw < separate - 15.0
+
+    def test_sharing_fraction_on_quiet_trace(self, quiet_robot_trace):
+        # On a mostly-idle trace the three apps' wake windows overlap
+        # little with the baseline, so sharing saves a large fraction.
+        apps = [StepsApp(), TransitionsApp(), HeadbuttApp()]
+        outcome = ConcurrentSidewinder().run(apps, quiet_robot_trace)
+        separate = sum(
+            Sidewinder().run(app, quiet_robot_trace).average_power_mw
+            for app in (StepsApp(), TransitionsApp(), HeadbuttApp())
+        )
+        assert outcome.device_power_mw < 0.8 * separate
+
+    def test_device_power_at_least_worst_single(self, outcome, robot_trace):
+        # The union of wake-ups costs at least as much as the most
+        # wake-hungry app alone (minus merge-window effects).
+        steps_alone = Sidewinder().run(StepsApp(), robot_trace)
+        assert outcome.device_power_mw >= steps_alone.average_power_mw - 1.0
+
+    def test_result_lookup(self, outcome):
+        assert outcome.result_for("steps").app_name == "steps"
+        with pytest.raises(KeyError):
+            outcome.result_for("nope")
+
+
+class TestConcurrentAudio:
+    def test_merging_shares_audio_front_end(self, audio_trace):
+        apps = [MusicJournalApp(), PhraseDetectionApp()]
+        merged = ConcurrentSidewinder(merge=True).run(apps, audio_trace)
+        unmerged = ConcurrentSidewinder(merge=False).run(apps, audio_trace)
+        assert merged.shared_nodes >= 4
+        assert unmerged.shared_nodes == 0
+        # Identical wake behaviour either way.
+        for a, b in zip(merged.per_app, unmerged.per_app):
+            assert a.recall == b.recall == 1.0
+            assert a.hub_wake_count == b.hub_wake_count
+
+    def test_mixed_mcu_conditions_charge_both(self, audio_trace):
+        apps = [SirenDetectorApp(), MusicJournalApp()]
+        outcome = ConcurrentSidewinder().run(apps, audio_trace)
+        assert set(outcome.hub_processors) == {"TI MSP430", "TI LM4F120"}
+        assert outcome.per_app[0].power.hub_mw == pytest.approx(3.6 + 49.4)
+
+
+class TestValidation:
+    def test_no_apps_rejected(self, robot_trace):
+        with pytest.raises(SimulationError):
+            ConcurrentSidewinder().run([], robot_trace)
+
+    def test_wrong_sensor_apps_rejected(self, robot_trace):
+        with pytest.raises(SimulationError, match="lacks the sensors"):
+            ConcurrentSidewinder().run([SirenDetectorApp()], robot_trace)
+
+    def test_partial_sensor_coverage_filters(self, audio_trace):
+        # Accel apps are silently skipped on an audio-only trace as long
+        # as one usable app remains.
+        outcome = ConcurrentSidewinder().run(
+            [StepsApp(), MusicJournalApp()], audio_trace
+        )
+        assert [r.app_name for r in outcome.per_app] == ["music_journal"]

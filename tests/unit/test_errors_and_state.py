@@ -1,0 +1,87 @@
+"""Unit tests for the error hierarchy and hub state records."""
+
+import numpy as np
+import pytest
+
+from repro import errors
+from repro.hub.state import AlgorithmState, allocate_states
+from repro.il.parser import parse_program
+from repro.il.validate import validate_program
+from tests.conftest import scalar_chunk
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_base(self):
+        for name in (
+            "PipelineError", "CompileError", "ILSyntaxError",
+            "ILValidationError", "UnknownAlgorithmError",
+            "UnknownChannelError", "ParameterError", "FeasibilityError",
+            "SimulationError", "TraceError",
+        ):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.SidewinderError), name
+
+    def test_compile_error_is_pipeline_error(self):
+        assert issubclass(errors.CompileError, errors.PipelineError)
+
+    def test_syntax_error_carries_line(self):
+        error = errors.ILSyntaxError("bad token", line=3)
+        assert error.line == 3
+        assert "line 3" in str(error)
+
+    def test_syntax_error_without_line(self):
+        error = errors.ILSyntaxError("no OUT")
+        assert error.line is None
+
+    def test_unknown_algorithm_names_opcode(self):
+        error = errors.UnknownAlgorithmError("convolve")
+        assert error.opcode == "convolve"
+        assert "convolve" in str(error)
+
+    def test_unknown_channel_names_channel(self):
+        error = errors.UnknownChannelError("GYRO")
+        assert error.channel == "GYRO"
+
+    def test_single_catch_all(self):
+        with pytest.raises(errors.SidewinderError):
+            raise errors.FeasibilityError("nope")
+
+
+class TestAlgorithmState:
+    def _graph(self):
+        return validate_program(parse_program(
+            "ACC_X -> movingAvg(id=1, params={5});"
+            "ACC_Y -> movingAvg(id=2, params={5});"
+            "1,2 -> vectorMagnitude(id=3);"
+            "3 -> OUT;"
+        ))
+
+    def test_allocate_one_per_node(self):
+        states = allocate_states(self._graph().nodes)
+        assert set(states) == {1, 2, 3}
+        assert states[1].opcode == "movingAvg"
+
+    def test_multi_input_nodes_get_port_buffers(self):
+        states = allocate_states(self._graph().nodes)
+        assert states[3].pending.keys() == {0, 1}
+        assert states[1].pending == {}
+
+    def test_record_result_sets_flag(self):
+        states = allocate_states(self._graph().nodes)
+        state = states[1]
+        empty = scalar_chunk([])
+        state.record_result(empty)
+        assert not state.has_result
+        state.record_result(scalar_chunk([1.0]))
+        assert state.has_result
+        assert state.result.values[0] == 1.0
+
+    def test_reset_clears_everything(self):
+        states = allocate_states(self._graph().nodes)
+        state = states[3]
+        state.pending[0].extend(scalar_chunk([1.0, 2.0]))
+        state.record_result(scalar_chunk([3.0]))
+        state.reset()
+        assert len(state.pending[0]) == 0
+        assert not state.has_result
+        assert state.result is None

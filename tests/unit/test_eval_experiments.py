@@ -1,0 +1,117 @@
+"""Unit tests for the experiment matrix and report rendering."""
+
+import pytest
+
+from repro.apps import HeadbuttApp, StepsApp
+from repro.eval.experiments import (
+    CONFIG_LABELS,
+    Matrix,
+    group_trace_names,
+    paper_configurations,
+    run_matrix,
+)
+from repro.eval.report import (
+    render_figure5,
+    render_figure6,
+    render_figure7,
+    render_table,
+    render_table1,
+    render_table2,
+)
+from repro.power.phone import NEXUS4
+from repro.sim import AlwaysAwake, Oracle, Sidewinder
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    from repro.traces.robot import RobotRunConfig, generate_robot_run
+    traces = [
+        generate_robot_run(RobotRunConfig(group=g, duration_s=180.0, seed=50 + g))
+        for g in (1, 2)
+    ]
+    return run_matrix(
+        [AlwaysAwake(), Oracle(), Sidewinder()],
+        [StepsApp(), HeadbuttApp()],
+        traces,
+    ), traces
+
+
+def test_matrix_complete(matrix):
+    m, traces = matrix
+    assert len(m.results) == 3 * 2 * 2
+
+
+def test_get_and_select(matrix):
+    m, traces = matrix
+    result = m.get("oracle", "steps", traces[0].name)
+    assert result.config_name == "oracle"
+    assert len(m.select(config_name="sidewinder")) == 4
+    assert len(m.select(app_name="steps")) == 6
+
+
+def test_get_missing_raises(matrix):
+    m, _ = matrix
+    with pytest.raises(KeyError):
+        m.get("oracle", "steps", "no/such/trace")
+
+
+def test_mean_power_and_ratios(matrix):
+    m, traces = matrix
+    aa = m.mean_power("always_awake", "steps")
+    assert aa == pytest.approx(323.0)
+    ratio = m.relative_to_oracle("always_awake", "steps")
+    assert ratio > 1.0
+    fraction = m.savings_fraction("sidewinder", "steps")
+    assert 0.0 < fraction <= 1.0
+
+
+def test_group_trace_names(matrix):
+    _, traces = matrix
+    groups = group_trace_names(traces)
+    assert set(groups) == {1, 2}
+
+
+def test_paper_configurations_composition():
+    configs = paper_configurations()
+    names = [c.name for c in configs]
+    assert names[0] == "always_awake"
+    assert "duty_cycling_2s" in names and "duty_cycling_30s" in names
+    assert "batching_10s" in names
+    assert names[-1] == "oracle"
+    assert set(CONFIG_LABELS) == set(names)
+
+
+def test_apps_skipped_on_wrong_sensor(matrix):
+    from repro.apps import SirenDetectorApp
+    from repro.traces.robot import RobotRunConfig, generate_robot_run
+    trace = generate_robot_run(RobotRunConfig(group=1, duration_s=120.0, seed=3))
+    m = run_matrix([AlwaysAwake()], [SirenDetectorApp()], [trace])
+    assert m.results == []  # robot trace has no MIC channel
+
+
+class TestReportRendering:
+    def test_render_table_alignment(self):
+        text = render_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines}) == 1  # rectangular
+
+    def test_render_table1(self):
+        text = render_table1(NEXUS4.table1_rows())
+        assert "323" in text and "9.7" in text and "1 second" in text
+
+    def test_render_table2(self):
+        table = {
+            "oracle": {"sirens": 1.0, "music_journal": 2.0, "phrase_detection": 3.0},
+            "predefined_activity": {"sirens": 4.0, "music_journal": 5.0, "phrase_detection": 6.0},
+            "sidewinder": {"sirens": 7.0, "music_journal": 8.0, "phrase_detection": 9.0},
+        }
+        text = render_table2(table)
+        assert "sidewinder" in text and "7.0" in text
+
+    def test_render_figures(self):
+        fig5 = {1: {"steps": {"AA": 2.0, "Sw": 1.1}}}
+        assert "Group 1" in render_figure5(fig5)
+        fig6 = {"steps": {2.0: 1.0, 10.0: 0.5}}
+        assert "steps" in render_figure6(fig6)
+        fig7 = {"commute": {"AA": 3.0}}
+        assert "commute" in render_figure7(fig7)

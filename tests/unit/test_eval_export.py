@@ -1,0 +1,60 @@
+"""Unit tests for results export."""
+
+import json
+
+import pytest
+
+from repro.apps import HeadbuttApp, StepsApp
+from repro.eval.export import (
+    RESULT_FIELDS,
+    read_results_csv,
+    result_row,
+    write_results_csv,
+    write_results_json,
+    write_series_json,
+)
+from repro.sim import Oracle, Sidewinder
+
+
+@pytest.fixture(scope="module")
+def results(robot_trace):
+    return [
+        config.run(app, robot_trace)
+        for config in (Oracle(), Sidewinder())
+        for app in (StepsApp(), HeadbuttApp())
+    ]
+
+
+def test_row_fields_complete(results):
+    row = result_row(results[0])
+    assert set(row) == set(RESULT_FIELDS)
+
+
+def test_csv_round_trip(tmp_path, results):
+    path = write_results_csv(results, tmp_path / "out.csv")
+    rows = read_results_csv(path)
+    assert len(rows) == len(results)
+    assert rows[0]["config"] == results[0].config_name
+    assert float(rows[1]["power_mw"]) == pytest.approx(
+        results[1].average_power_mw, abs=1e-3
+    )
+
+
+def test_json_export(tmp_path, results):
+    path = write_results_json(results, tmp_path / "out.json")
+    payload = json.loads(path.read_text())
+    assert len(payload) == len(results)
+    assert {entry["app"] for entry in payload} == {"steps", "headbutts"}
+
+
+def test_series_json_stringifies_keys(tmp_path):
+    series = {1: {"steps": {2.0: 0.9}}}
+    path = write_series_json(series, tmp_path / "fig.json", meta={"source": "test"})
+    payload = json.loads(path.read_text())
+    assert payload["series"]["1"]["steps"]["2.0"] == 0.9
+    assert payload["meta"]["source"] == "test"
+
+
+def test_parent_directories_created(tmp_path, results):
+    path = write_results_csv(results, tmp_path / "deep" / "nested" / "out.csv")
+    assert path.exists()

@@ -1,0 +1,67 @@
+"""Unit tests for the figure builders on miniature corpora."""
+
+import pytest
+
+from repro.eval.figures import figure5_series, figure6_series, figure7_series
+from repro.traces.human import HumanScenario, HumanTraceConfig, generate_human_trace
+from repro.traces.robot import RobotRunConfig, generate_robot_run
+
+
+@pytest.fixture(scope="module")
+def mini_robot():
+    return [
+        generate_robot_run(RobotRunConfig(group=g, duration_s=180.0, seed=70 + g))
+        for g in (1, 3)
+    ]
+
+
+@pytest.fixture(scope="module")
+def mini_humans():
+    return [
+        generate_human_trace(
+            HumanTraceConfig(scenario, duration_s=240.0, seed=80 + i)
+        )
+        for i, scenario in enumerate(
+            (HumanScenario.COMMUTE, HumanScenario.OFFICE)
+        )
+    ]
+
+
+def test_figure5_structure(mini_robot):
+    series, matrix = figure5_series(traces=mini_robot)
+    assert set(series) == {1, 3}
+    for group, per_app in series.items():
+        assert set(per_app) == {"steps", "transitions", "headbutts"}
+        for bars in per_app.values():
+            assert set(bars) == {
+                "AA", "DC-2", "DC-5", "DC-10", "DC-20", "DC-30",
+                "Ba-10", "PA", "Sw",
+            }
+            for value in bars.values():
+                assert value > 0
+
+
+def test_figure5_oracle_normalization(mini_robot):
+    series, matrix = figure5_series(traces=mini_robot)
+    # Ratio definition: config power over oracle power for the group.
+    group1 = [t.name for t in mini_robot if t.metadata["group"] == 1]
+    aa = matrix.mean_power("always_awake", "steps", group1)
+    oracle = matrix.mean_power("oracle", "steps", group1)
+    assert series[1]["steps"]["AA"] == pytest.approx(aa / oracle)
+
+
+def test_figure6_structure(mini_robot):
+    group1 = [t for t in mini_robot if t.metadata["group"] == 1]
+    series = figure6_series(traces=group1, intervals=(2.0, 10.0))
+    assert set(series) == {"steps", "transitions", "headbutts"}
+    for curve in series.values():
+        assert set(curve) == {2.0, 10.0}
+        assert all(0.0 <= v <= 1.0 for v in curve.values())
+
+
+def test_figure7_structure(mini_humans):
+    series, matrix = figure7_series(traces=mini_humans)
+    assert set(series) == {"commute", "office"}
+    for bars in series.values():
+        assert set(bars) == {"AA", "DC-10", "Ba-10", "PA", "Sw"}
+        assert bars["Sw"] <= bars["AA"]

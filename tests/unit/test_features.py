@@ -1,0 +1,123 @@
+"""Unit tests for feature-extraction algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.features import DominantFrequency, VectorMagnitude, ZeroCrossingRate
+from repro.algorithms.transforms import FFT
+from repro.algorithms.windowing import Window
+from repro.errors import ParameterError
+from tests.conftest import scalar_chunk
+
+
+class TestVectorMagnitude:
+    def test_three_axis_magnitude(self):
+        vm = VectorMagnitude()
+        out = vm.process(
+            [scalar_chunk([3.0]), scalar_chunk([4.0]), scalar_chunk([0.0])]
+        )
+        assert out.values[0] == pytest.approx(5.0)
+
+    def test_two_inputs_supported(self):
+        vm = VectorMagnitude()
+        out = vm.process([scalar_chunk([1.0, 0.0]), scalar_chunk([0.0, 1.0])])
+        assert np.allclose(out.values, [1.0, 1.0])
+
+    def test_gravity_vector(self):
+        vm = VectorMagnitude()
+        out = vm.process(
+            [scalar_chunk([0.0]), scalar_chunk([0.0]), scalar_chunk([9.81])]
+        )
+        assert out.values[0] == pytest.approx(9.81)
+
+    def test_empty_passthrough(self):
+        vm = VectorMagnitude()
+        empty = scalar_chunk([])
+        assert vm.process([empty, empty, empty]).is_empty
+
+
+class TestZeroCrossingRate:
+    def _zcr(self, signal, rate=8000.0):
+        frames = Window(size=len(signal)).process(
+            [scalar_chunk(signal, rate_hz=rate)]
+        )
+        return ZeroCrossingRate().process([frames]).values[0]
+
+    def test_constant_signal_zero(self):
+        assert self._zcr(np.ones(64)) == 0.0
+
+    def test_alternating_signal_one(self):
+        signal = np.tile([1.0, -1.0], 32)
+        assert self._zcr(signal) == pytest.approx(1.0)
+
+    def test_sine_zcr_tracks_frequency(self):
+        rate = 8000.0
+        n = 800
+        t = np.arange(n) / rate
+        # A sine at f crosses zero 2f times per second.
+        slow = self._zcr(np.sin(2 * np.pi * 100 * t), rate)
+        fast = self._zcr(np.sin(2 * np.pi * 1000 * t), rate)
+        assert slow == pytest.approx(2 * 100 / rate, rel=0.1)
+        assert fast == pytest.approx(2 * 1000 / rate, rel=0.1)
+
+    def test_bounded_in_unit_interval(self):
+        rng = np.random.default_rng(3)
+        value = self._zcr(rng.normal(size=256))
+        assert 0.0 <= value <= 1.0
+
+
+class TestDominantFrequency:
+    def _spectrum(self, signal, rate=8000.0):
+        frames = Window(size=len(signal)).process(
+            [scalar_chunk(signal, rate_hz=rate)]
+        )
+        return FFT().process([frames])
+
+    def test_frequency_mode_finds_tone(self):
+        rate = 8000.0
+        tone = np.sin(2 * np.pi * 1250 * np.arange(512) / rate)
+        out = DominantFrequency("frequency").process([self._spectrum(tone, rate)])
+        assert out.values[0] == pytest.approx(1250, abs=rate / 512)
+
+    def test_band_restriction(self):
+        rate = 8000.0
+        t = np.arange(512) / rate
+        # Strong 200 Hz tone + weak 1000 Hz tone; band excludes the strong one.
+        signal = 2.0 * np.sin(2 * np.pi * 200 * t) + 0.3 * np.sin(2 * np.pi * 1000 * t)
+        out = DominantFrequency("frequency", min_hz=850, max_hz=1800).process(
+            [self._spectrum(signal, rate)]
+        )
+        assert out.values[0] == pytest.approx(1000, abs=rate / 512)
+
+    def test_ratio_high_for_pure_tone_low_for_noise(self):
+        rate = 8000.0
+        rng = np.random.default_rng(4)
+        tone = np.sin(2 * np.pi * 1000 * np.arange(512) / rate)
+        noise = rng.normal(size=512)
+        tone_ratio = DominantFrequency("ratio").process(
+            [self._spectrum(tone, rate)]
+        ).values[0]
+        noise_ratio = DominantFrequency("ratio").process(
+            [self._spectrum(noise, rate)]
+        ).values[0]
+        assert tone_ratio > 5 * noise_ratio
+
+    def test_dc_excluded_from_dominance(self):
+        rate = 8000.0
+        signal = np.full(512, 10.0) + 0.1 * np.sin(
+            2 * np.pi * 500 * np.arange(512) / rate
+        )
+        out = DominantFrequency("frequency").process([self._spectrum(signal, rate)])
+        assert out.values[0] > 0  # not the DC bin
+
+    def test_invalid_mode(self):
+        with pytest.raises(ParameterError):
+            DominantFrequency("phase")
+
+    def test_empty_band_rejected(self):
+        rate = 8000.0
+        tone = np.sin(2 * np.pi * 100 * np.arange(64) / rate)
+        spectrum = self._spectrum(tone, rate)
+        algo = DominantFrequency("ratio", min_hz=3999.0, max_hz=3999.5)
+        with pytest.raises(ParameterError, match="no FFT bins"):
+            algo.process([spectrum])

@@ -1,0 +1,143 @@
+"""Unit tests for data-filtering algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.filters import (
+    ExponentialMovingAverage,
+    HighPassFilter,
+    LowPassFilter,
+    MovingAverage,
+)
+from repro.algorithms.windowing import Window
+from repro.errors import ParameterError
+from tests.conftest import scalar_chunk
+
+
+class TestMovingAverage:
+    def test_no_result_until_n_points(self):
+        # Paper Section 3.5: "a moving average with a window size of N
+        # will not produce a result until it has received N data points".
+        ma = MovingAverage(size=5)
+        assert ma.process([scalar_chunk([1, 2, 3, 4])]).is_empty
+
+    def test_first_output_is_mean_of_first_n(self):
+        ma = MovingAverage(size=5)
+        out = ma.process([scalar_chunk([1, 2, 3, 4, 5])])
+        assert len(out) == 1
+        assert out.values[0] == pytest.approx(3.0)
+
+    def test_matches_numpy_convolution(self):
+        rng = np.random.default_rng(7)
+        data = rng.normal(size=200)
+        ma = MovingAverage(size=8)
+        out = ma.process([scalar_chunk(data)])
+        expected = np.convolve(data, np.ones(8) / 8, mode="valid")
+        assert np.allclose(out.values, expected)
+
+    def test_chunked_equals_whole(self):
+        rng = np.random.default_rng(8)
+        data = rng.normal(size=100)
+        whole = MovingAverage(size=7).process([scalar_chunk(data)]).values
+        ma = MovingAverage(size=7)
+        parts = []
+        for i in range(0, 100, 13):
+            out = ma.process([scalar_chunk(data[i : i + 13], t0=i / 50.0)])
+            parts.append(out.values)
+        assert np.allclose(np.concatenate(parts), whole)
+
+    def test_output_timestamp_alignment(self):
+        ma = MovingAverage(size=3)
+        chunk = scalar_chunk([1, 2, 3, 4], rate_hz=50.0)
+        out = ma.process([chunk])
+        # Output i corresponds to input sample i + size - 1.
+        assert np.allclose(out.times, chunk.times[2:])
+
+    def test_reset(self):
+        ma = MovingAverage(size=3)
+        ma.process([scalar_chunk([1, 2])])
+        ma.reset()
+        assert ma.process([scalar_chunk([5, 6])]).is_empty
+
+
+class TestExponentialMovingAverage:
+    def test_alpha_validation(self):
+        with pytest.raises(ParameterError):
+            ExponentialMovingAverage(alpha=0.0)
+        with pytest.raises(ParameterError):
+            ExponentialMovingAverage(alpha=1.5)
+
+    def test_alpha_one_is_identity(self):
+        ema = ExponentialMovingAverage(alpha=1.0)
+        data = [3.0, -1.0, 4.0]
+        out = ema.process([scalar_chunk(data)])
+        assert np.allclose(out.values, data)
+
+    def test_matches_reference_scan(self):
+        rng = np.random.default_rng(9)
+        data = rng.normal(size=300)  # large: exercises vectorized path
+        ema = ExponentialMovingAverage(alpha=0.3)
+        out = ema.process([scalar_chunk(data)])
+        y = data[0]
+        expected = []
+        for x in data:
+            y = 0.3 * x + 0.7 * y
+            expected.append(y)
+        assert np.allclose(out.values, expected)
+
+    def test_chunked_equals_whole(self):
+        rng = np.random.default_rng(10)
+        data = rng.normal(size=150)
+        whole = ExponentialMovingAverage(0.2).process([scalar_chunk(data)]).values
+        ema = ExponentialMovingAverage(0.2)
+        parts = [
+            ema.process([scalar_chunk(data[i : i + 31], t0=i / 50.0)]).values
+            for i in range(0, 150, 31)
+        ]
+        assert np.allclose(np.concatenate(parts), whole, atol=1e-9)
+
+    def test_smooths_towards_mean(self):
+        ema = ExponentialMovingAverage(alpha=0.1)
+        data = np.concatenate([np.zeros(50), np.ones(50)])
+        out = ema.process([scalar_chunk(data)])
+        assert 0 < out.values[55] < 1.0  # lags the step
+        assert out.values[-1] > out.values[55]  # keeps converging
+
+
+class TestBandFilters:
+    def _frame(self, signal, rate=8000.0):
+        return Window(size=len(signal)).process(
+            [scalar_chunk(signal, rate_hz=rate)]
+        )
+
+    def test_lowpass_removes_high_tone(self):
+        rate = 8000.0
+        t = np.arange(512) / rate
+        low = np.sin(2 * np.pi * 100 * t)
+        high = np.sin(2 * np.pi * 2000 * t)
+        frames = self._frame(low + high, rate)
+        out = LowPassFilter(cutoff_hz=500.0).process([frames])
+        assert np.sqrt(np.mean((out.values[0] - low) ** 2)) < 0.05
+
+    def test_highpass_removes_low_tone(self):
+        rate = 8000.0
+        t = np.arange(512) / rate
+        low = np.sin(2 * np.pi * 100 * t)
+        high = np.sin(2 * np.pi * 2000 * t)
+        frames = self._frame(low + high, rate)
+        out = HighPassFilter(cutoff_hz=750.0).process([frames])
+        assert np.sqrt(np.mean((out.values[0] - high) ** 2)) < 0.05
+
+    def test_cutoff_must_be_positive(self):
+        with pytest.raises(ParameterError):
+            LowPassFilter(cutoff_hz=-10.0)
+
+    def test_filter_cost_reflects_two_ffts(self):
+        from repro.algorithms.base import StreamShape
+        from repro.algorithms.transforms import FFT
+        from repro.sensors.samples import StreamKind
+        shape = StreamShape(StreamKind.FRAME, 10.0, 512, 8000.0)
+        assert (
+            LowPassFilter(100.0).cycles_per_item([shape])
+            > 2 * FFT().cycles_per_item([shape])
+        )

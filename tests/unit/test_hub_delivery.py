@@ -1,0 +1,170 @@
+"""Unit tests for wake-up data delivery options."""
+
+import numpy as np
+import pytest
+
+from repro.api.listener import RecordingListener
+from repro.errors import SimulationError
+from repro.hub.delivery import (
+    RAW_DELIVERY,
+    TRIGGER_DELIVERY,
+    DeliveryMode,
+    DeliverySpec,
+    cheapest_sufficient_delivery,
+    delivery_latency_s,
+    payload_bytes,
+    validate_delivery,
+)
+from repro.hub.hub import SensorHub
+from repro.hub.link import I2C_FAST_MODE, UART_DEBUG
+from repro.il.parser import parse_program
+from repro.il.validate import validate_program
+from tests.conftest import scalar_chunk
+
+MOTION = (
+    "ACC_X -> movingAvg(id=1, params={5});"
+    "1 -> minThreshold(id=2, params={10});"
+    "2 -> OUT;"
+)
+
+AUDIO = (
+    "MIC -> window(id=1, params={2048});"
+    "1 -> stat(id=2, params={variance});"
+    "2 -> minThreshold(id=3, params={0.001});"
+    "3 -> OUT;"
+)
+
+
+def _graph(text):
+    return validate_program(parse_program(text))
+
+
+class TestSpecs:
+    def test_node_requires_id(self):
+        with pytest.raises(SimulationError, match="node_id"):
+            DeliverySpec(DeliveryMode.NODE)
+
+    def test_negative_buffer_rejected(self):
+        with pytest.raises(SimulationError):
+            DeliverySpec(DeliveryMode.RAW, buffer_s=-1.0)
+
+    def test_validate_unknown_node(self):
+        spec = DeliverySpec(DeliveryMode.NODE, node_id=99)
+        with pytest.raises(SimulationError, match="not in condition"):
+            validate_delivery(spec, _graph(MOTION))
+
+    def test_validate_known_node(self):
+        validate_delivery(DeliverySpec(DeliveryMode.NODE, node_id=1), _graph(MOTION))
+
+
+class TestPayloadSizes:
+    def test_trigger_is_minimal(self):
+        graph = _graph(AUDIO)
+        assert payload_bytes(TRIGGER_DELIVERY, graph) < 10
+
+    def test_raw_audio_is_huge(self):
+        graph = _graph(AUDIO)
+        raw = payload_bytes(RAW_DELIVERY, graph)
+        assert raw == pytest.approx(4.0 * 8000 * 1)  # 4 s of mu-law audio
+
+    def test_feature_delivery_tiny_for_audio(self):
+        graph = _graph(AUDIO)
+        features = DeliverySpec(DeliveryMode.NODE, node_id=2, buffer_s=4.0)
+        assert payload_bytes(features, graph) < 0.01 * payload_bytes(
+            RAW_DELIVERY, graph
+        )
+
+    def test_latency_on_link(self):
+        graph = _graph(AUDIO)
+        raw_latency = delivery_latency_s(RAW_DELIVERY, graph, UART_DEBUG)
+        trig_latency = delivery_latency_s(TRIGGER_DELIVERY, graph, UART_DEBUG)
+        assert raw_latency > 2.0
+        assert trig_latency < 0.01
+
+    def test_cheapest_sufficient(self):
+        graph = _graph(AUDIO)
+        features = DeliverySpec(DeliveryMode.NODE, node_id=2, buffer_s=4.0)
+        chosen = cheapest_sufficient_delivery(
+            graph, [RAW_DELIVERY, features], UART_DEBUG, deadline_s=0.5
+        )
+        assert chosen is features
+
+    def test_cheapest_sufficient_raises_when_none_fit(self):
+        graph = _graph(AUDIO)
+        with pytest.raises(SimulationError, match="no delivery option"):
+            cheapest_sufficient_delivery(
+                graph, [RAW_DELIVERY], UART_DEBUG, deadline_s=0.1
+            )
+
+    def test_faster_link_helps(self):
+        graph = _graph(AUDIO)
+        assert delivery_latency_s(RAW_DELIVERY, graph, I2C_FAST_MODE) < (
+            delivery_latency_s(RAW_DELIVERY, graph, UART_DEBUG)
+        )
+
+
+class TestHubIntegration:
+    def _spiky(self, n=100):
+        x = np.zeros(n)
+        x[40:70] = 20.0
+        return {"ACC_X": scalar_chunk(x)}
+
+    def test_raw_default(self):
+        hub = SensorHub()
+        listener = RecordingListener()
+        hub.push(parse_program(MOTION), listener)
+        hub.feed(self._spiky())
+        event = listener.events[0]
+        assert "ACC_X" in event.raw_data
+        assert event.features is None
+
+    def test_trigger_delivery_omits_raw(self):
+        hub = SensorHub()
+        listener = RecordingListener()
+        hub.push(parse_program(MOTION), listener, delivery=TRIGGER_DELIVERY)
+        hub.feed(self._spiky())
+        event = listener.events[0]
+        assert event.raw_data == {}
+        assert event.features is None
+
+    def test_node_delivery_carries_features(self):
+        hub = SensorHub()
+        listener = RecordingListener()
+        spec = DeliverySpec(DeliveryMode.NODE, node_id=1, buffer_s=2.0)
+        hub.push(parse_program(MOTION), listener, delivery=spec)
+        hub.feed(self._spiky())
+        event = listener.events[0]
+        assert event.raw_data == {}
+        assert event.features is not None
+        assert len(event.features) > 0
+        # The features are the moving average's output: smoothed x.
+        assert event.features.max() <= 20.0 + 1e-9
+
+    def test_push_rejects_bad_node(self):
+        hub = SensorHub()
+        with pytest.raises(SimulationError):
+            hub.push(
+                parse_program(MOTION),
+                delivery=DeliverySpec(DeliveryMode.NODE, node_id=42),
+            )
+
+    def test_manager_passthrough(self):
+        from repro.api import (
+            MinThreshold,
+            MovingAverage,
+            ProcessingBranch,
+            ProcessingPipeline,
+            SidewinderSensorManager,
+        )
+        manager = SidewinderSensorManager()
+        listener = RecordingListener()
+        pipeline = ProcessingPipeline()
+        pipeline.add(
+            ProcessingBranch(manager.ACCELEROMETER_X)
+            .add(MovingAverage(5))
+            .add(MinThreshold(10))
+        )
+        manager.push(pipeline, listener, delivery=TRIGGER_DELIVERY)
+        manager.hub.feed(self._spiky())
+        assert listener.events
+        assert listener.events[0].raw_data == {}

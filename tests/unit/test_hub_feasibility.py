@@ -1,0 +1,109 @@
+"""Unit tests for MCU feasibility analysis and selection."""
+
+import pytest
+
+from repro.api.compile import compile_pipeline
+from repro.errors import FeasibilityError
+from repro.hub.feasibility import analyze, estimate_ram_bytes, is_feasible, select_mcu
+from repro.hub.mcu import DEFAULT_CATALOG, LM4F120, MSP430, MCUModel
+from repro.il.parser import parse_program
+from repro.il.validate import validate_program
+
+
+def _graph(text):
+    return validate_program(parse_program(text))
+
+
+ACCEL_CONDITION = (
+    "ACC_X -> movingAvg(id=1, params={10});"
+    "1 -> minThreshold(id=2, params={15});"
+    "2 -> OUT;"
+)
+
+AUDIO_FFT_CONDITION = (
+    "MIC -> window(id=1, params={size=512, hop=256});"
+    "1 -> highPass(id=2, params={750});"
+    "2 -> fft(id=3);"
+    "3 -> dominantFrequency(id=4, params={mode=ratio, min_hz=850, max_hz=1800});"
+    "4 -> minThreshold(id=5, params={15});"
+    "5 -> OUT;"
+)
+
+
+def test_accel_condition_fits_msp430():
+    # Paper Section 4.3: everything except the siren detector runs on
+    # the MSP430.
+    assert is_feasible(_graph(ACCEL_CONDITION), MSP430)
+
+
+def test_audio_fft_exceeds_msp430():
+    # Paper Section 4: the MSP430 "was unable to run the FFT-based
+    # low-pass filter in real-time".
+    assert not is_feasible(_graph(AUDIO_FFT_CONDITION), MSP430)
+
+
+def test_audio_fft_fits_lm4f120():
+    assert is_feasible(_graph(AUDIO_FFT_CONDITION), LM4F120)
+
+
+def test_select_prefers_cheapest_feasible():
+    assert select_mcu(_graph(ACCEL_CONDITION)) is MSP430
+    assert select_mcu(_graph(AUDIO_FFT_CONDITION)) is LM4F120
+
+
+def test_select_raises_when_nothing_fits():
+    tiny = MCUModel("tiny", 0.5, 1000.0, 0.5, 64)
+    with pytest.raises(FeasibilityError):
+        select_mcu(_graph(AUDIO_FFT_CONDITION), (tiny,))
+
+
+def test_report_fields_consistent():
+    report = analyze(_graph(AUDIO_FFT_CONDITION), MSP430)
+    assert report.cycles_per_second == pytest.approx(
+        sum(c for _, c in report.per_node_cycles)
+    )
+    assert report.utilization > 1.0
+    assert not report.feasible
+
+
+def test_ram_estimate_counts_window_sizes():
+    small = estimate_ram_bytes(_graph(ACCEL_CONDITION))
+    big = estimate_ram_bytes(
+        _graph(
+            "MIC -> window(id=1, params={4096});"
+            "1 -> stat(id=2, params={rms});"
+            "2 -> minThreshold(id=3, params={1});"
+            "3 -> OUT;"
+        )
+    )
+    assert big > small
+    assert big >= 4096 * 2  # 16-bit samples
+
+
+def test_ram_can_be_the_binding_constraint():
+    graph = _graph(
+        "ACC_X -> window(id=1, params={40000});"
+        "1 -> stat(id=2, params={mean});"
+        "2 -> minThreshold(id=3, params={1});"
+        "3 -> OUT;"
+    )
+    assert not is_feasible(graph, MSP430)  # 80 KB of state, 10 KB RAM
+
+
+def test_all_paper_apps_place_as_in_section_4_3():
+    from repro.apps import all_applications
+    placements = {}
+    for app in all_applications():
+        graph = validate_program(compile_pipeline(app.build_wakeup_pipeline()))
+        placements[app.name] = select_mcu(graph, DEFAULT_CATALOG).name
+    assert placements["sirens"] == "TI LM4F120"
+    for name, mcu in placements.items():
+        if name != "sirens":
+            assert mcu == "TI MSP430", name
+
+
+def test_mcu_power_ordering_matches_paper():
+    # "an energy footprint an order of magnitude greater"
+    assert LM4F120.awake_power_mw > 10 * MSP430.awake_power_mw
+    assert MSP430.awake_power_mw == pytest.approx(3.6)
+    assert LM4F120.awake_power_mw == pytest.approx(49.4)

@@ -1,0 +1,104 @@
+"""Unit tests for the FPGA hub model."""
+
+import pytest
+
+from repro.api.compile import compile_pipeline
+from repro.apps import SirenDetectorApp, StepsApp
+from repro.errors import FeasibilityError
+from repro.hub.fpga import (
+    ARTIX_CLASS,
+    ICE40_CLASS,
+    FPGAModel,
+    node_cells,
+    placement_table,
+    processor_supports,
+    select_processor,
+)
+from repro.hub.mcu import LM4F120, MSP430
+from repro.il.parser import parse_program
+from repro.il.validate import validate_program
+
+
+def _graph(app_cls):
+    return validate_program(compile_pipeline(app_cls().build_wakeup_pipeline()))
+
+
+def test_node_cells_ranked():
+    assert node_cells("fft", 512) > node_cells("stat", 512)
+    assert node_cells("stat", 512) > node_cells("minThreshold", 1)
+
+
+def test_cells_grow_with_buffering():
+    assert node_cells("window", 2048) > node_cells("window", 64)
+
+
+def test_siren_fits_ice40():
+    # The point of the future-work prototype: the FFT pipeline that
+    # sinks the MSP430 synthesizes onto a few-mW fabric.
+    graph = _graph(SirenDetectorApp)
+    assert ICE40_CLASS.supports(graph)
+    assert ARTIX_CLASS.supports(graph)
+
+
+def test_tiny_fabric_rejects_siren():
+    small = FPGAModel("tiny", 1.0, logic_cells=500, bram_bytes=1024,
+                      reconfiguration_s=0.01)
+    assert not small.supports(_graph(SirenDetectorApp))
+
+
+def test_bram_constraint_binds():
+    graph = validate_program(parse_program(
+        "MIC -> window(id=1, params={16384});"
+        "1 -> stat(id=2, params={rms});"
+        "2 -> minThreshold(id=3, params={0.5});"
+        "3 -> OUT;"
+    ))
+    assert ICE40_CLASS.bram_for(graph) > ICE40_CLASS.bram_bytes
+    assert not ICE40_CLASS.supports(graph)
+
+
+def test_processor_supports_covers_both_kinds():
+    graph = _graph(SirenDetectorApp)
+    assert not processor_supports(MSP430, graph)
+    assert processor_supports(LM4F120, graph)
+    assert processor_supports(ICE40_CLASS, graph)
+
+
+def test_mixed_catalog_prefers_cheapest():
+    siren = _graph(SirenDetectorApp)
+    steps = _graph(StepsApp)
+    catalog = (MSP430, LM4F120, ICE40_CLASS)
+    # Sirens: iCE40 (7.5 mW) beats LM4F120 (49.4); MSP430 infeasible.
+    assert select_processor(siren, catalog) is ICE40_CLASS
+    # Steps: the MSP430 (3.6 mW) remains the cheapest feasible.
+    assert select_processor(steps, catalog) is MSP430
+
+
+def test_empty_feasible_set_raises():
+    small = FPGAModel("tiny", 1.0, logic_cells=10, bram_bytes=8,
+                      reconfiguration_s=0.01)
+    with pytest.raises(FeasibilityError):
+        select_processor(_graph(SirenDetectorApp), (small,))
+
+
+def test_placement_table():
+    graphs = {"sirens": _graph(SirenDetectorApp), "steps": _graph(StepsApp)}
+    table = placement_table(graphs, (MSP430, ICE40_CLASS, LM4F120))
+    assert table["sirens"] == ("iCE40-class FPGA", 7.5)
+    assert table["steps"] == ("TI MSP430", 3.6)
+
+
+def test_sidewinder_with_fpga_catalog(audio_trace):
+    from repro.sim import Sidewinder
+    app = SirenDetectorApp()
+    with_fpga = Sidewinder(catalog=(MSP430, ICE40_CLASS, LM4F120)).run(
+        app, audio_trace
+    )
+    stock = Sidewinder().run(app, audio_trace)
+    assert with_fpga.mcu_names == ("iCE40-class FPGA",)
+    # The FPGA shaves the LM4F120 tax off the total.
+    expected_saving = LM4F120.awake_power_mw - ICE40_CLASS.awake_power_mw
+    assert with_fpga.average_power_mw == pytest.approx(
+        stock.average_power_mw - expected_saving, abs=0.5
+    )
+    assert with_fpga.recall == 1.0

@@ -1,0 +1,107 @@
+"""Unit tests for the SensorHub facade."""
+
+import numpy as np
+import pytest
+
+from repro.api.listener import RecordingListener
+from repro.hub.hub import SensorHub
+from repro.hub.mcu import LM4F120, MSP430
+from repro.il.parser import parse_program
+from tests.conftest import scalar_chunk
+
+MOTION = (
+    "ACC_X -> movingAvg(id=1, params={5});"
+    "1 -> minThreshold(id=2, params={10});"
+    "2 -> OUT;"
+)
+
+SOUND = (
+    "MIC -> window(id=1, params={256});"
+    "1 -> stat(id=2, params={rms});"
+    "2 -> minThreshold(id=3, params={0.5});"
+    "3 -> OUT;"
+)
+
+
+def _spiky_x(n=100):
+    x = np.zeros(n)
+    x[40:70] = 20.0
+    return x
+
+
+def test_push_validates_and_places():
+    hub = SensorHub()
+    condition = hub.push(parse_program(MOTION))
+    assert condition.mcu is MSP430
+    assert condition.condition_id == 1
+
+
+def test_listener_invoked_with_raw_buffer():
+    hub = SensorHub()
+    listener = RecordingListener()
+    hub.push(parse_program(MOTION), listener)
+    hub.feed({"ACC_X": scalar_chunk(_spiky_x())})
+    assert listener.events
+    event = listener.events[0]
+    assert "ACC_X" in event.raw_data
+    assert len(event.raw_data["ACC_X"]) > 0
+
+
+def test_multiple_concurrent_conditions():
+    hub = SensorHub()
+    motion_listener = RecordingListener()
+    sound_listener = RecordingListener()
+    hub.push(parse_program(MOTION), motion_listener)
+    hub.push(parse_program(SOUND), sound_listener)
+    n = 2048
+    loud = np.sin(2 * np.pi * 440 * np.arange(n) / 8000.0)
+    hub.feed(
+        {
+            "ACC_X": scalar_chunk(_spiky_x()),
+            "MIC": scalar_chunk(loud, rate_hz=8000.0),
+        }
+    )
+    assert motion_listener.events
+    assert sound_listener.events
+
+
+def test_condition_without_its_channel_skipped():
+    hub = SensorHub()
+    listener = RecordingListener()
+    hub.push(parse_program(SOUND), listener)
+    hub.feed({"ACC_X": scalar_chunk(_spiky_x())})  # no MIC data this round
+    assert not listener.events
+
+
+def test_remove_stops_events():
+    hub = SensorHub()
+    listener = RecordingListener()
+    condition = hub.push(parse_program(MOTION), listener)
+    hub.remove(condition)
+    hub.feed({"ACC_X": scalar_chunk(_spiky_x())})
+    assert not listener.events
+
+
+def test_hub_power_counts_distinct_mcus():
+    hub = SensorHub()
+    hub.push(parse_program(MOTION))
+    assert hub.power_mw == pytest.approx(MSP430.awake_power_mw)
+    hub.push(parse_program(MOTION))  # same MCU: no double count
+    assert hub.power_mw == pytest.approx(MSP430.awake_power_mw)
+
+
+def test_raw_buffer_trimmed_to_window():
+    hub = SensorHub(raw_buffer_seconds=1.0)
+    hub.push(parse_program(MOTION))
+    for i in range(5):
+        hub.feed({"ACC_X": scalar_chunk(np.zeros(100), t0=i * 2.0)})
+    buffer = hub.raw_buffer(("ACC_X",))
+    assert len(buffer["ACC_X"]) <= 100  # only ~1 s retained
+
+
+def test_wake_events_recorded_on_condition():
+    hub = SensorHub()
+    condition = hub.push(parse_program(MOTION))
+    hub.feed({"ACC_X": scalar_chunk(_spiky_x())})
+    assert condition.events
+    assert condition.events[0].value >= 10.0

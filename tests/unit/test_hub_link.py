@@ -1,0 +1,106 @@
+"""Unit tests for the hub-to-phone link model."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.hub.link import (
+    CAMERA_CLASS_BYTES_PER_SECOND,
+    I2C_FAST_MODE,
+    SPI_20MHZ,
+    UART_DEBUG,
+    LinkModel,
+    batch_bytes,
+    batch_transfer_seconds,
+    can_stream,
+    channel_stream_bytes_per_second,
+    stream_bytes_per_second,
+)
+from repro.sensors.channels import ACC_X, MIC
+
+
+def test_uart_payload_rate():
+    # 115200 baud, 8N1: 80% of raw bits are payload.
+    assert UART_DEBUG.payload_bytes_per_second == pytest.approx(11_520.0)
+
+
+def test_accel_stream_tiny():
+    # 50 Hz x 2 bytes = 100 B/s per axis.
+    assert channel_stream_bytes_per_second(ACC_X) == pytest.approx(100.0)
+
+
+def test_mic_stream_fits_uart_barely():
+    # 8 kHz mu-law audio: 8000 B/s against 11520 B/s — the paper's
+    # "sufficient bandwidth to support ... a microphone".
+    assert can_stream([MIC], UART_DEBUG)
+    assert stream_bytes_per_second([MIC]) > 0.5 * UART_DEBUG.payload_bytes_per_second
+
+
+def test_three_axis_accel_fits_everything():
+    channels = ["ACC_X", "ACC_Y", "ACC_Z"]
+    for link in (UART_DEBUG, I2C_FAST_MODE, SPI_20MHZ):
+        assert can_stream(channels, link)
+
+
+def test_camera_needs_more_than_serial():
+    # The paper's camera example: even I2C fast mode is not enough.
+    assert CAMERA_CLASS_BYTES_PER_SECOND > I2C_FAST_MODE.payload_bytes_per_second
+    assert CAMERA_CLASS_BYTES_PER_SECOND > UART_DEBUG.payload_bytes_per_second
+    assert CAMERA_CLASS_BYTES_PER_SECOND < SPI_20MHZ.payload_bytes_per_second
+
+
+def test_channel_names_accepted():
+    assert stream_bytes_per_second(["MIC"]) == stream_bytes_per_second([MIC])
+
+
+def test_batch_sizes():
+    assert batch_bytes(["ACC_X"], 10.0) == pytest.approx(1000.0)
+    assert batch_bytes(["MIC"], 10.0) == pytest.approx(80_000.0)
+
+
+def test_audio_batch_transfer_dominates_uart():
+    # 10 s of audio over the debug UART takes ~7 s to upload.
+    seconds = batch_transfer_seconds(["MIC"], 10.0, UART_DEBUG)
+    assert 5.0 < seconds < 9.0
+    # I2C fast mode cuts that to ~2 s.
+    assert batch_transfer_seconds(["MIC"], 10.0, I2C_FAST_MODE) < 3.0
+
+
+def test_accel_batch_transfer_negligible():
+    seconds = batch_transfer_seconds(["ACC_X", "ACC_Y", "ACC_Z"], 10.0, UART_DEBUG)
+    assert seconds < 0.5
+
+
+def test_overloaded_link_rejected():
+    slow = LinkModel("slow", 9600.0, 0.8)
+    with pytest.raises(SimulationError, match="cannot sustain"):
+        batch_transfer_seconds(["MIC"], 10.0, slow)
+
+
+def test_negative_sizes_rejected():
+    with pytest.raises(SimulationError):
+        UART_DEBUG.transfer_seconds(-1.0)
+    with pytest.raises(SimulationError):
+        batch_bytes(["MIC"], -1.0)
+
+
+def test_batching_config_pays_transfer_time(audio_trace):
+    """Over the UART, audio batching spends most of its awake time just
+    receiving the batch — its power jumps accordingly."""
+    from repro.apps import SirenDetectorApp
+    from repro.sim import Batching
+
+    ideal = Batching(10.0).run(SirenDetectorApp(), audio_trace)
+    over_uart = Batching(10.0, link=UART_DEBUG).run(SirenDetectorApp(), audio_trace)
+    assert over_uart.average_power_mw > ideal.average_power_mw * 1.3
+    assert over_uart.recall == 1.0
+
+
+def test_batching_accel_unaffected_by_uart(robot_trace):
+    from repro.apps import HeadbuttApp
+    from repro.sim import Batching
+
+    ideal = Batching(10.0).run(HeadbuttApp(), robot_trace)
+    over_uart = Batching(10.0, link=UART_DEBUG).run(HeadbuttApp(), robot_trace)
+    assert over_uart.average_power_mw == pytest.approx(
+        ideal.average_power_mw, rel=0.05
+    )

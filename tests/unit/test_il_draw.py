@@ -1,0 +1,68 @@
+"""Unit tests for the ASCII condition renderer."""
+
+from repro.api.compile import compile_pipeline
+from repro.apps import MusicJournalApp, PhraseDetectionApp
+from repro.hub.merge import merge_programs
+from repro.il.draw import render_condition_tree, render_merged_trees
+from repro.il.parser import parse_program
+
+SIGNIFICANT_MOTION = (
+    "ACC_X -> movingAvg(id=1, params={10});"
+    "ACC_Y -> movingAvg(id=2, params={10});"
+    "ACC_Z -> movingAvg(id=3, params={10});"
+    "1,2,3 -> vectorMagnitude(id=4);"
+    "4 -> minThreshold(id=5, params={15});"
+    "5 -> OUT;"
+)
+
+
+def test_figure2b_structure():
+    text = render_condition_tree(parse_program(SIGNIFICANT_MOTION))
+    lines = text.splitlines()
+    assert lines[0] == "OUT"
+    assert "minThreshold(id=5, threshold=15)" in lines[1]
+    assert "vectorMagnitude(id=4)" in text
+    # Three channel leaves, each annotated with its source.
+    for channel in ("ACC_X", "ACC_Y", "ACC_Z"):
+        assert f"◀ {channel}" in text
+    # Tree characters present and the threshold is the sole top child.
+    assert lines[1].startswith("└─ ")
+
+
+def test_parameters_inline():
+    text = render_condition_tree(parse_program(
+        "ACC_Y -> localExtrema(id=1, params={mode=min, low=-6.75, high=-3.75});"
+        "1 -> OUT;"
+    ))
+    assert "mode=min" in text and "low=-6.75" in text
+
+
+def test_diamond_referenced_once():
+    program = parse_program(
+        "ACC_X -> movingAvg(id=1, params={5});"
+        "1 -> minThreshold(id=2, params={1});"
+        "1 -> maxThreshold(id=3, params={9});"
+        "2,3 -> minOf(id=4);"
+        "4 -> OUT;"
+    )
+    text = render_condition_tree(program)
+    assert text.count("movingAvg(id=1, size=5)") == 1
+    assert "… see id=1" in text
+
+
+def test_merged_trees_show_sharing():
+    programs = [
+        compile_pipeline(MusicJournalApp().build_wakeup_pipeline()),
+        compile_pipeline(PhraseDetectionApp().build_wakeup_pipeline()),
+    ]
+    merged = merge_programs(programs)
+    text = render_merged_trees(merged.program, list(merged.taps))
+    assert "OUT[0]" in text and "OUT[1]" in text
+    assert "… see id=" in text  # the shared feature front end
+
+
+def test_custom_root():
+    program = parse_program(SIGNIFICANT_MOTION)
+    text = render_condition_tree(program, root=4)
+    assert "minThreshold" not in text
+    assert "vectorMagnitude(id=4)" in text

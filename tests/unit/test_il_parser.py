@@ -1,0 +1,134 @@
+"""Unit tests for the intermediate-language parser."""
+
+import pytest
+
+from repro.errors import ILSyntaxError
+from repro.il.ast import ChannelRef, NodeRef
+from repro.il.parser import parse_program
+
+FIGURE2C = """
+ACC_X -> movingAvg(id=1, params={10});
+ACC_Y -> movingAvg(id=2, params={10});
+ACC_Z -> movingAvg(id=3, params={10});
+1,2,3 -> vectorMagnitude(id=4);
+4 -> minThreshold(id=5, params={15});
+5 -> OUT;
+"""
+
+
+def test_parses_paper_figure2c():
+    program = parse_program(FIGURE2C)
+    assert len(program) == 5
+    assert program.output == NodeRef(5)
+    first = program.statements[0]
+    assert first.inputs == (ChannelRef("ACC_X"),)
+    assert first.opcode == "movingAvg"
+    assert first.param_dict() == {"size": 10}
+
+
+def test_positional_params_map_via_param_order():
+    program = parse_program("ACC_X -> movingAvg(id=1, params={7}); 1 -> OUT;")
+    assert program.statements[0].param_dict() == {"size": 7}
+
+
+def test_named_params():
+    program = parse_program(
+        "ACC_X -> localExtrema(id=1, params={mode=max, low=2.5, high=4.5}); 1 -> OUT;"
+    )
+    assert program.statements[0].param_dict() == {
+        "mode": "max", "low": 2.5, "high": 4.5,
+    }
+
+
+def test_quoted_string_params():
+    program = parse_program(
+        'ACC_X -> window(id=1, params={size=8, shape="hamming"}); 1 -> OUT;'
+    )
+    assert program.statements[0].param_dict()["shape"] == "hamming"
+
+
+def test_negative_and_float_values():
+    program = parse_program(
+        "ACC_Y -> rangeThreshold(id=1, params={low=-6.75, high=-3.75}); 1 -> OUT;"
+    )
+    params = program.statements[0].param_dict()
+    assert params["low"] == -6.75 and params["high"] == -3.75
+
+
+def test_comments_and_blank_lines_ignored():
+    text = """
+    # the significant motion condition
+    ACC_X -> movingAvg(id=1, params={10});  # smooth
+
+    1 -> OUT;
+    """
+    assert len(parse_program(text)) == 1
+
+
+def test_multi_input_node():
+    program = parse_program(
+        "ACC_X -> movingAvg(id=1, params={2});"
+        "ACC_Y -> movingAvg(id=2, params={2});"
+        "1,2 -> vectorMagnitude(id=3); 3 -> OUT;"
+    )
+    assert program.statements[2].inputs == (NodeRef(1), NodeRef(2))
+
+
+def test_missing_out_rejected():
+    with pytest.raises(ILSyntaxError, match="no OUT"):
+        parse_program("ACC_X -> movingAvg(id=1, params={2});")
+
+
+def test_duplicate_out_rejected():
+    with pytest.raises(ILSyntaxError, match="duplicate OUT"):
+        parse_program(
+            "ACC_X -> movingAvg(id=1, params={2}); 1 -> OUT; 1 -> OUT;"
+        )
+
+
+def test_out_with_args_rejected():
+    with pytest.raises(ILSyntaxError, match="OUT takes no arguments"):
+        parse_program("ACC_X -> movingAvg(id=1, params={2}); 1 -> OUT(id=9);")
+
+
+def test_out_must_be_fed_by_node():
+    with pytest.raises(ILSyntaxError, match="exactly one node id"):
+        parse_program("ACC_X -> movingAvg(id=1, params={2}); ACC_X -> OUT;")
+
+
+def test_missing_id_rejected():
+    with pytest.raises(ILSyntaxError, match="missing id"):
+        parse_program("ACC_X -> movingAvg(params={2}); 1 -> OUT;")
+
+
+def test_unterminated_statement_rejected():
+    with pytest.raises(ILSyntaxError, match="not terminated"):
+        parse_program("ACC_X -> movingAvg(id=1, params={2})")
+
+
+def test_garbage_rejected():
+    with pytest.raises(ILSyntaxError):
+        parse_program("?!? -> nothing; 1 -> OUT;")
+
+
+def test_too_many_positional_params():
+    with pytest.raises(ILSyntaxError, match="positional"):
+        parse_program("ACC_X -> fft(id=1, params={1, 2, 3}); 1 -> OUT;")
+
+
+def test_positional_and_named_conflict():
+    with pytest.raises(ILSyntaxError, match="both positionally and by name"):
+        parse_program("ACC_X -> movingAvg(id=1, params={10, size=5}); 1 -> OUT;")
+
+
+def test_positional_params_with_unknown_opcode_is_parse_error():
+    # Positional values need the opcode's declared parameter order, so
+    # an unknown opcode is rejected at parse time with a clean error.
+    with pytest.raises(ILSyntaxError, match="cannot map positional"):
+        parse_program("ACC_X -> convolve(id=1, params={5}); 1 -> OUT;")
+
+
+def test_error_reports_line_number():
+    text = "ACC_X -> movingAvg(id=1, params={2});\nbroken stuff here;\n1 -> OUT;"
+    with pytest.raises(ILSyntaxError, match="line 2"):
+        parse_program(text)

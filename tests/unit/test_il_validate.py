@@ -1,0 +1,169 @@
+"""Unit tests for IL semantic validation."""
+
+import pytest
+
+from repro.errors import (
+    ILValidationError,
+    ParameterError,
+    UnknownAlgorithmError,
+    UnknownChannelError,
+)
+from repro.il.ast import ChannelRef, ILProgram, ILStatement, NodeRef
+from repro.il.parser import parse_program
+from repro.il.validate import validate_program
+
+
+def _valid_text():
+    return (
+        "ACC_X -> movingAvg(id=1, params={10});"
+        "1 -> minThreshold(id=2, params={15});"
+        "2 -> OUT;"
+    )
+
+
+def test_valid_program_builds_graph():
+    graph = validate_program(parse_program(_valid_text()))
+    assert [n.opcode for n in graph.nodes] == ["movingAvg", "minThreshold"]
+    assert graph.output_id == 2
+    assert graph.channels == ("ACC_X",)
+
+
+def test_empty_program_rejected():
+    with pytest.raises(ILValidationError, match="no algorithms"):
+        validate_program(ILProgram((), NodeRef(1)))
+
+
+def test_duplicate_ids_rejected():
+    statements = (
+        ILStatement.make((ChannelRef("ACC_X"),), "movingAvg", 1, {"size": 2}),
+        ILStatement.make((ChannelRef("ACC_Y"),), "movingAvg", 1, {"size": 2}),
+    )
+    with pytest.raises(ILValidationError, match="duplicate node id"):
+        validate_program(ILProgram(statements, NodeRef(1)))
+
+
+def test_nonpositive_id_rejected():
+    statements = (
+        ILStatement.make((ChannelRef("ACC_X"),), "movingAvg", 0, {"size": 2}),
+    )
+    with pytest.raises(ILValidationError, match="positive"):
+        validate_program(ILProgram(statements, NodeRef(0)))
+
+
+def test_undefined_node_reference_rejected():
+    text = "99 -> minThreshold(id=1, params={5}); 1 -> OUT;"
+    with pytest.raises(ILValidationError, match="undefined node 99"):
+        validate_program(parse_program(text))
+
+
+def test_unknown_channel_rejected():
+    text = "GYRO_X -> movingAvg(id=1, params={5}); 1 -> OUT;"
+    with pytest.raises(UnknownChannelError):
+        validate_program(parse_program(text))
+
+
+def test_unknown_opcode_rejected():
+    # Named parameters parse fine for any opcode; the unknown algorithm
+    # surfaces at validation.  (With positional parameters the parser
+    # itself rejects the opcode — see the parser tests.)
+    text = "ACC_X -> convolve(id=1, params={size=5}); 1 -> OUT;"
+    with pytest.raises(UnknownAlgorithmError):
+        validate_program(parse_program(text))
+
+
+def test_self_loop_rejected():
+    statements = (
+        ILStatement.make((NodeRef(1),), "minThreshold", 1, {"threshold": 5}),
+    )
+    with pytest.raises(ILValidationError, match="reads itself"):
+        validate_program(ILProgram(statements, NodeRef(1)))
+
+
+def test_cycle_rejected():
+    statements = (
+        ILStatement.make((NodeRef(2),), "minThreshold", 1, {"threshold": 5}),
+        ILStatement.make((NodeRef(1),), "maxThreshold", 2, {"threshold": 9}),
+    )
+    with pytest.raises(ILValidationError, match="cycle"):
+        validate_program(ILProgram(statements, NodeRef(2)))
+
+
+def test_wrong_arity_rejected():
+    text = (
+        "ACC_X -> movingAvg(id=1, params={2});"
+        "ACC_Y -> movingAvg(id=2, params={2});"
+        "1,2 -> minThreshold(id=3, params={5});"
+        "3 -> OUT;"
+    )
+    with pytest.raises(ILValidationError, match="expects 1 input"):
+        validate_program(parse_program(text))
+
+
+def test_out_referencing_missing_node():
+    statements = (
+        ILStatement.make((ChannelRef("ACC_X"),), "movingAvg", 1, {"size": 2}),
+    )
+    with pytest.raises(ILValidationError, match="OUT references undefined"):
+        validate_program(ILProgram(statements, NodeRef(7)))
+
+
+def test_kind_mismatch_rejected():
+    # zeroCrossingRate wants FRAME items, movingAvg emits SCALAR.
+    text = (
+        "ACC_X -> movingAvg(id=1, params={2});"
+        "1 -> zeroCrossingRate(id=2);"
+        "2 -> OUT;"
+    )
+    with pytest.raises(ILValidationError, match="expects frame"):
+        validate_program(parse_program(text))
+
+
+def test_raw_channel_into_frame_algorithm_rejected():
+    text = "MIC -> fft(id=1); 1 -> OUT;"
+    with pytest.raises(ILValidationError, match="expects frame"):
+        validate_program(parse_program(text))
+
+
+def test_rate_mismatch_on_multi_input_rejected():
+    # ACC at 50 Hz, windowed MIC ZCR at a different item rate.
+    text = (
+        "ACC_X -> movingAvg(id=1, params={2});"
+        "MIC -> window(id=2, params={256});"
+        "2 -> stat(id=3, params={rms});"
+        "1,3 -> vectorMagnitude(id=4);"
+        "4 -> OUT;"
+    )
+    with pytest.raises(ILValidationError, match="rates differ"):
+        validate_program(parse_program(text))
+
+
+def test_dangling_node_rejected():
+    text = (
+        "ACC_X -> movingAvg(id=1, params={2});"
+        "ACC_Y -> movingAvg(id=2, params={2});"  # dangling
+        "1 -> minThreshold(id=3, params={5});"
+        "3 -> OUT;"
+    )
+    with pytest.raises(ILValidationError, match="do not feed OUT"):
+        validate_program(parse_program(text))
+
+
+def test_bad_parameters_surface_as_parameter_error():
+    text = "ACC_X -> movingAvg(id=1, params={-5}); 1 -> OUT;"
+    with pytest.raises(ParameterError):
+        validate_program(parse_program(text))
+
+
+def test_graph_reset_resets_algorithms():
+    graph = validate_program(parse_program(_valid_text()))
+    from tests.conftest import scalar_chunk
+    node = graph.nodes[0]
+    node.algorithm.process([scalar_chunk([1.0] * 9)])
+    graph.reset()
+    out = node.algorithm.process([scalar_chunk([1.0] * 9)])
+    assert out.is_empty  # buffer was cleared: 9 < 10 again
+
+
+def test_total_cycles_positive():
+    graph = validate_program(parse_program(_valid_text()))
+    assert graph.total_cycles_per_second > 0

@@ -1,0 +1,104 @@
+"""Unit tests for the detection-latency (timeliness) metric."""
+
+import pytest
+
+from repro.apps.base import Detection
+from repro.eval.metrics import (
+    detection_latencies,
+    first_awake_at,
+    mean_detection_latency,
+)
+from repro.traces.base import GroundTruthEvent
+
+
+def _event(start, end):
+    return GroundTruthEvent.make("e", start, end)
+
+
+class TestFirstAwakeAt:
+    def test_inside_window(self):
+        assert first_awake_at(5.0, [(4.0, 8.0)]) == 5.0
+
+    def test_before_window(self):
+        assert first_awake_at(2.0, [(4.0, 8.0)]) == 4.0
+
+    def test_after_all_windows(self):
+        assert first_awake_at(10.0, [(4.0, 8.0)]) is None
+
+    def test_picks_earliest_window(self):
+        assert first_awake_at(2.0, [(20.0, 25.0), (4.0, 8.0)]) == 4.0
+
+
+class TestLatencies:
+    def test_immediate_when_always_awake(self):
+        events = [_event(10.0, 11.0)]
+        detections = [Detection(10.5)]
+        latencies = detection_latencies(events, detections, 0.5)
+        assert latencies == [0.0]
+
+    def test_batching_style_delay(self):
+        # Event ends at 11; the phone next wakes at 20.
+        events = [_event(10.0, 11.0)]
+        detections = [Detection(10.5)]
+        latencies = detection_latencies(
+            events, detections, 0.5, awake_windows=[(20.0, 24.0)]
+        )
+        assert latencies == [pytest.approx(9.0)]
+
+    def test_detection_while_awake_immediate(self):
+        events = [_event(10.0, 11.0)]
+        detections = [Detection(10.5)]
+        latencies = detection_latencies(
+            events, detections, 0.5, awake_windows=[(10.0, 14.0)]
+        )
+        assert latencies == [0.0]
+
+    def test_missed_events_excluded(self):
+        events = [_event(10.0, 11.0), _event(50.0, 51.0)]
+        detections = [Detection(10.5)]
+        latencies = detection_latencies(events, detections, 0.5)
+        assert len(latencies) == 1
+
+    def test_never_awake_again_excluded(self):
+        events = [_event(10.0, 11.0)]
+        detections = [Detection(10.5)]
+        latencies = detection_latencies(
+            events, detections, 0.5, awake_windows=[(0.0, 5.0)]
+        )
+        assert latencies == []
+
+    def test_mean_zero_when_empty(self):
+        assert mean_detection_latency([], [], 0.5) == 0.0
+
+    def test_earliest_detection_wins(self):
+        events = [_event(10.0, 11.0)]
+        detections = [Detection(10.5), Detection(10.8)]
+        latencies = detection_latencies(
+            events, detections, 0.5, awake_windows=[(12.0, 13.0), (30.0, 31.0)]
+        )
+        assert latencies == [pytest.approx(1.0)]
+
+
+class TestConfigurationLatencies:
+    def test_batching_latency_tracks_interval(self, robot_trace):
+        """Batching's latency grows with the interval while Sidewinder's
+        stays near zero — Section 5.4's trade-off in numbers.  Uses the
+        transition app (many events) so the averages are stable."""
+        from repro.apps import TransitionsApp
+        from repro.sim import Batching, Sidewinder
+
+        app = TransitionsApp()
+        events = app.events_of_interest(robot_trace)
+        assert len(events) >= 10  # enough events to average over
+
+        sidewinder = Sidewinder().run(app, robot_trace)
+        sw_latency = sidewinder.mean_latency_s(events, app.match_tolerance_s)
+        assert sw_latency < 1.0
+
+        short = Batching(5.0).run(app, robot_trace)
+        long = Batching(30.0).run(app, robot_trace)
+        short_latency = short.mean_latency_s(events, app.match_tolerance_s)
+        long_latency = long.mean_latency_s(events, app.match_tolerance_s)
+        assert long_latency > short_latency
+        assert long_latency > 4.0
+        assert short_latency >= sw_latency

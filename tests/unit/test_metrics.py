@@ -1,0 +1,83 @@
+"""Unit tests for recall/precision metrics."""
+
+import pytest
+
+from repro.apps.base import Detection
+from repro.eval.metrics import match_events, precision_score, recall_score
+from repro.traces.base import GroundTruthEvent
+
+
+def _event(start, end, label="x"):
+    return GroundTruthEvent.make(label, start, end)
+
+
+def test_perfect_match():
+    events = [_event(1.0, 2.0), _event(5.0, 6.0)]
+    detections = [Detection(1.5), Detection(5.5)]
+    match = match_events(events, detections, 0.5)
+    assert match.recall == 1.0
+    assert match.precision == 1.0
+    assert match.f1 == 1.0
+
+
+def test_missed_event_lowers_recall():
+    events = [_event(1.0, 2.0), _event(5.0, 6.0)]
+    match = match_events(events, [Detection(1.5)], 0.5)
+    assert match.recall == 0.5
+    assert match.precision == 1.0
+
+
+def test_false_detection_lowers_precision():
+    events = [_event(1.0, 2.0)]
+    match = match_events(events, [Detection(1.5), Detection(40.0)], 0.5)
+    assert match.precision == 0.5
+    assert match.recall == 1.0
+
+
+def test_tolerance_widens_matching():
+    events = [_event(10.0, 11.0)]
+    detection = [Detection(9.2)]
+    assert match_events(events, detection, 0.5).recall == 0.0
+    assert match_events(events, detection, 1.0).recall == 1.0
+
+
+def test_interval_detection_overlap():
+    events = [_event(10.0, 20.0)]
+    match = match_events(events, [Detection(2.0, end=10.5)], 0.0)
+    assert match.recall == 1.0
+
+
+def test_empty_events_recall_one():
+    assert recall_score([], [Detection(1.0)], 0.5) == 1.0
+
+
+def test_empty_detections_precision_one():
+    assert precision_score([_event(1.0, 2.0)], [], 0.5) == 1.0
+
+
+def test_f1_zero_when_both_zero():
+    match = match_events([_event(1.0, 2.0)], [Detection(99.0)], 0.1)
+    assert match.recall == 0.0 and match.precision == 0.0
+    assert match.f1 == 0.0
+
+
+def test_one_detection_catches_adjacent_events():
+    events = [_event(1.0, 2.0), _event(2.1, 3.0)]
+    match = match_events(events, [Detection(1.9, end=2.2)], 0.2)
+    assert match.recall == 1.0
+
+
+def test_indices_reported():
+    events = [_event(1.0, 2.0), _event(5.0, 6.0)]
+    detections = [Detection(40.0), Detection(5.5)]
+    match = match_events(events, detections, 0.2)
+    assert match.caught_events == (1,)
+    assert match.true_detections == (1,)
+
+
+def test_scores_bounded():
+    events = [_event(float(i), float(i) + 0.5) for i in range(0, 20, 2)]
+    detections = [Detection(float(i) / 3) for i in range(30)]
+    match = match_events(events, detections, 0.3)
+    assert 0.0 <= match.recall <= 1.0
+    assert 0.0 <= match.precision <= 1.0

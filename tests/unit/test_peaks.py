@@ -1,0 +1,94 @@
+"""Unit tests for the streaming local-extrema algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.peaks import LocalExtrema
+from repro.errors import ParameterError
+from tests.conftest import scalar_chunk
+
+
+def _pulse_train(n_pulses, height, rate=50.0, period=25):
+    """Signal with raised-cosine pulses of the given peak height."""
+    n = n_pulses * period
+    signal = np.zeros(n)
+    for k in range(n_pulses):
+        center = k * period + period // 2
+        span = np.arange(-8, 9)
+        signal[center + span] += height * 0.5 * (1 + np.cos(np.pi * span / 8))
+    return signal
+
+
+def test_detects_in_band_maxima():
+    algo = LocalExtrema("max", low=2.5, high=4.5)
+    out = algo.process([scalar_chunk(_pulse_train(4, 3.5))])
+    assert len(out) == 4
+    assert np.all(out.values >= 2.5) and np.all(out.values <= 4.5)
+
+
+def test_out_of_band_peaks_ignored():
+    algo = LocalExtrema("max", low=2.5, high=4.5)
+    out = algo.process([scalar_chunk(_pulse_train(4, 8.0))])
+    assert out.is_empty
+
+
+def test_minima_mode():
+    algo = LocalExtrema("min", low=-6.75, high=-3.75)
+    out = algo.process([scalar_chunk(-_pulse_train(3, 5.0))])
+    assert len(out) == 3
+    assert np.all(out.values <= -3.75)
+
+
+def test_chunked_equals_whole():
+    signal = _pulse_train(6, 3.5)
+    whole = LocalExtrema("max", 2.5, 4.5).process([scalar_chunk(signal)])
+    algo = LocalExtrema("max", 2.5, 4.5)
+    parts = []
+    for i in range(0, len(signal), 17):
+        out = algo.process([scalar_chunk(signal[i : i + 17], t0=i / 50.0)])
+        parts.append(out.values)
+    chunked = np.concatenate(parts)
+    assert np.allclose(chunked, whole.values)
+
+
+def test_min_separation_debounces():
+    # Two adjacent wiggles within the band, closer than min_separation.
+    signal = np.zeros(30)
+    signal[10] = 3.0
+    signal[13] = 3.2
+    strict = LocalExtrema("max", 2.5, 4.5, min_separation=10)
+    out = strict.process([scalar_chunk(signal)])
+    assert len(out) == 1
+    loose = LocalExtrema("max", 2.5, 4.5, min_separation=1)
+    assert len(loose.process([scalar_chunk(signal)])) == 2
+
+
+def test_separation_across_chunks():
+    signal = np.zeros(30)
+    signal[14] = 3.0
+    algo = LocalExtrema("max", 2.5, 4.5, min_separation=20)
+    first = algo.process([scalar_chunk(signal)])
+    assert len(first) == 1
+    # Second chunk has a peak 18 samples after the first one (< 20).
+    signal2 = np.zeros(30)
+    signal2[2] = 3.0
+    second = algo.process([scalar_chunk(signal2, t0=0.6)])
+    assert second.is_empty
+
+
+def test_reset():
+    algo = LocalExtrema("max", 2.5, 4.5, min_separation=100)
+    algo.process([scalar_chunk(_pulse_train(1, 3.5))])
+    algo.reset()
+    out = algo.process([scalar_chunk(_pulse_train(1, 3.5))])
+    assert len(out) == 1
+
+
+def test_invalid_mode():
+    with pytest.raises(ParameterError):
+        LocalExtrema("saddle", 0.0, 1.0)
+
+
+def test_invalid_band():
+    with pytest.raises(ParameterError):
+        LocalExtrema("max", 5.0, 1.0)

@@ -1,0 +1,71 @@
+"""Unit tests for power accounting and the Table 1 profile."""
+
+import pytest
+
+from repro.hub.mcu import LM4F120, MSP430
+from repro.power.accounting import account
+from repro.power.phone import NEXUS4
+from repro.power.timeline import PhoneState, build_timeline
+
+
+def test_table1_values():
+    rows = NEXUS4.table1_rows()
+    values = {state: mw for state, mw, _ in rows}
+    assert values["Awake, running sensor-driven application"] == 323.0
+    assert values["Asleep"] == 9.7
+    assert values["Asleep-to-Awake Transition"] == 384.0
+    assert values["Awake-to-Asleep Transition"] == 341.0
+    durations = [d for _, _, d in rows]
+    assert durations == ["N/A", "N/A", "1 second", "1 second"]
+
+
+def test_power_mw_by_state():
+    assert NEXUS4.power_mw(PhoneState.AWAKE) == 323.0
+    assert NEXUS4.power_mw(PhoneState.ASLEEP) == 9.7
+    assert NEXUS4.power_mw(PhoneState.WAKING) == 384.0
+    assert NEXUS4.power_mw(PhoneState.SLEEPING) == 341.0
+
+
+def test_breakdown_components_sum_to_total():
+    timeline = build_timeline(100.0, [(10.0, 30.0)], NEXUS4)
+    breakdown = account(timeline, NEXUS4, mcus=(MSP430,))
+    assert breakdown.total_mw == pytest.approx(
+        breakdown.phone_awake_mw
+        + breakdown.phone_asleep_mw
+        + breakdown.phone_transition_mw
+        + breakdown.hub_mw
+    )
+    assert breakdown.hub_mw == pytest.approx(3.6)
+
+
+def test_breakdown_matches_timeline_average():
+    timeline = build_timeline(100.0, [(10.0, 30.0)], NEXUS4)
+    breakdown = account(timeline, NEXUS4)
+    assert breakdown.phone_mw == pytest.approx(
+        timeline.average_power_mw(NEXUS4)
+    )
+
+
+def test_hub_override_wins():
+    timeline = build_timeline(10.0, [], NEXUS4)
+    breakdown = account(timeline, NEXUS4, mcus=(MSP430,), hub_mw=42.0)
+    assert breakdown.hub_mw == 42.0
+
+
+def test_two_mcus_sum():
+    timeline = build_timeline(10.0, [], NEXUS4)
+    breakdown = account(timeline, NEXUS4, mcus=(MSP430, LM4F120))
+    assert breakdown.hub_mw == pytest.approx(3.6 + 49.4)
+
+
+def test_awake_fraction_and_wakeups():
+    timeline = build_timeline(100.0, [(10.0, 30.0), (50.0, 60.0)], NEXUS4)
+    breakdown = account(timeline, NEXUS4)
+    assert breakdown.awake_fraction == pytest.approx(0.30)
+    assert breakdown.wakeup_count == 2
+
+
+def test_total_energy():
+    timeline = build_timeline(100.0, [(0.0, 100.0)], NEXUS4)
+    breakdown = account(timeline, NEXUS4)
+    assert breakdown.total_energy_mj == pytest.approx(323.0 * 100.0)

@@ -1,0 +1,151 @@
+"""Unit tests for device state timelines."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.power.phone import NEXUS4
+from repro.power.timeline import (
+    Interval,
+    PhoneState,
+    Timeline,
+    always_awake_timeline,
+    build_timeline,
+    merge_windows,
+)
+
+
+class TestMergeWindows:
+    def test_sorts_and_merges_overlaps(self):
+        merged = merge_windows([(5.0, 7.0), (1.0, 3.0), (2.5, 4.0)], min_gap=0.0)
+        assert merged == [(1.0, 4.0), (5.0, 7.0)]
+
+    def test_merges_short_gaps(self):
+        merged = merge_windows([(0.0, 2.0), (3.0, 4.0)], min_gap=2.0)
+        assert merged == [(0.0, 4.0)]
+
+    def test_drops_empty_windows(self):
+        assert merge_windows([(3.0, 3.0), (5.0, 4.0)], min_gap=0.0) == []
+
+
+class TestBuildTimeline:
+    def test_covers_exactly_duration(self):
+        timeline = build_timeline(100.0, [(10.0, 20.0), (50.0, 60.0)], NEXUS4)
+        assert timeline.intervals[0].start == 0.0
+        assert timeline.intervals[-1].end == pytest.approx(100.0)
+        total = sum(i.duration for i in timeline.intervals)
+        assert total == pytest.approx(100.0)
+
+    def test_transitions_surround_awake_windows(self):
+        timeline = build_timeline(100.0, [(10.0, 20.0)], NEXUS4)
+        states = [i.state for i in timeline.intervals]
+        assert states == [
+            PhoneState.ASLEEP,
+            PhoneState.WAKING,
+            PhoneState.AWAKE,
+            PhoneState.SLEEPING,
+            PhoneState.ASLEEP,
+        ]
+        assert timeline.seconds_in(PhoneState.WAKING) == pytest.approx(1.0)
+        assert timeline.seconds_in(PhoneState.SLEEPING) == pytest.approx(1.0)
+
+    def test_no_windows_means_asleep(self):
+        timeline = build_timeline(50.0, [], NEXUS4)
+        assert timeline.asleep_seconds == pytest.approx(50.0)
+        assert timeline.wakeup_count == 0
+
+    def test_short_gap_stays_awake(self):
+        # A 1.5 s gap cannot fit a 2 s transition round trip.
+        timeline = build_timeline(30.0, [(5.0, 10.0), (11.5, 15.0)], NEXUS4)
+        assert timeline.wakeup_count == 1
+        assert timeline.awake_seconds == pytest.approx(10.0)
+
+    def test_barely_fitting_gap_sleeps_briefly(self):
+        timeline = build_timeline(30.0, [(5.0, 10.0), (12.5, 15.0)], NEXUS4)
+        assert timeline.wakeup_count == 2
+        # Gap of 2.5 s: two 1 s transitions around a 0.5 s sleep.
+        sandwiched = [
+            i for i in timeline.intervals
+            if i.state is PhoneState.ASLEEP and 10.0 <= i.start < 12.5
+        ]
+        assert len(sandwiched) == 1
+        assert sandwiched[0].duration == pytest.approx(0.5)
+
+    def test_exact_round_trip_gap_sleeps_zero(self):
+        # A gap of exactly one sleep + wake transition round trip is
+        # kept: the device attempts the sleep and gets zero real sleep
+        # (this is what makes 2 s duty cycling cost more than staying
+        # awake, Section 5.4).
+        timeline = build_timeline(30.0, [(5.0, 10.0), (12.0, 15.0)], NEXUS4)
+        assert timeline.wakeup_count == 2
+        sandwiched = [
+            i for i in timeline.intervals
+            if i.state is PhoneState.ASLEEP and 10.0 <= i.start < 12.0
+        ]
+        assert not sandwiched
+
+    def test_window_at_start_begins_awake(self):
+        timeline = build_timeline(20.0, [(0.0, 5.0)], NEXUS4)
+        assert timeline.intervals[0].state is PhoneState.AWAKE
+
+    def test_window_to_end_has_no_tail_sleep(self):
+        timeline = build_timeline(20.0, [(15.0, 20.0)], NEXUS4)
+        assert timeline.intervals[-1].state is PhoneState.AWAKE
+
+    def test_windows_clipped_to_duration(self):
+        timeline = build_timeline(20.0, [(18.0, 40.0)], NEXUS4)
+        assert timeline.intervals[-1].end == pytest.approx(20.0)
+
+    def test_nonpositive_duration_rejected(self):
+        with pytest.raises(SimulationError):
+            build_timeline(0.0, [], NEXUS4)
+
+    def test_short_lead_time_compresses_transition(self):
+        timeline = build_timeline(20.0, [(0.5, 5.0)], NEXUS4)
+        assert timeline.intervals[0].state is PhoneState.WAKING
+        assert timeline.intervals[0].duration == pytest.approx(0.5)
+
+
+class TestTimelineMath:
+    def test_gap_rejected(self):
+        with pytest.raises(SimulationError, match="gap"):
+            Timeline([
+                Interval(PhoneState.AWAKE, 0.0, 5.0),
+                Interval(PhoneState.ASLEEP, 6.0, 10.0),
+            ])
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(SimulationError):
+            Timeline([Interval(PhoneState.AWAKE, 5.0, 1.0)])
+
+    def test_always_awake_average_power(self):
+        timeline = always_awake_timeline(600.0)
+        assert timeline.average_power_mw(NEXUS4) == pytest.approx(323.0)
+
+    def test_asleep_average_power(self):
+        timeline = build_timeline(600.0, [], NEXUS4)
+        assert timeline.average_power_mw(NEXUS4) == pytest.approx(9.7)
+
+    def test_duty_cycle_2s_interval_exceeds_always_awake(self):
+        # Section 5.4: with a 2 s sleep interval the round trip leaves no
+        # real sleep, and the transition overhead pushes the average
+        # *above* Always Awake's 323 mW.
+        windows = []
+        t = 0.0
+        while t < 600.0:
+            windows.append((t, t + 4.0))
+            t += 4.0 + 2.0
+        timeline = build_timeline(600.0, windows, NEXUS4)
+        avg = timeline.average_power_mw(NEXUS4)
+        assert avg > NEXUS4.awake_mw
+        assert avg == pytest.approx(336.0, abs=2.0)
+
+    def test_energy_is_power_times_time(self):
+        timeline = build_timeline(100.0, [(10.0, 30.0)], NEXUS4)
+        assert timeline.energy_mj(NEXUS4) == pytest.approx(
+            timeline.average_power_mw(NEXUS4) * 100.0
+        )
+
+    def test_awake_windows_roundtrip(self):
+        windows = [(10.0, 20.0), (50.0, 55.0)]
+        timeline = build_timeline(100.0, windows, NEXUS4)
+        assert timeline.awake_windows() == windows

@@ -1,0 +1,78 @@
+"""Guards on public-API quality: docstrings and exports.
+
+Every public module, class and function in the library must carry a
+docstring, and the package ``__all__`` lists must only export names
+that exist.  These tests keep the documentation promise enforceable.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _walk_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name.endswith("__main__"):
+            continue  # importing it runs the CLI
+        yield importlib.import_module(info.name)
+
+
+ALL_MODULES = list(_walk_modules())
+
+
+@pytest.mark.parametrize("module", ALL_MODULES, ids=lambda m: m.__name__)
+def test_module_has_docstring(module):
+    assert module.__doc__ and module.__doc__.strip(), module.__name__
+
+
+@pytest.mark.parametrize("module", ALL_MODULES, ids=lambda m: m.__name__)
+def test_public_members_documented(module):
+    undocumented = []
+    for name, member in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(member) or inspect.isfunction(member)):
+            continue
+        if getattr(member, "__module__", None) != module.__name__:
+            continue  # re-export; documented at its home
+        if not (member.__doc__ and member.__doc__.strip()):
+            undocumented.append(name)
+        if inspect.isclass(member):
+            for method_name, method in vars(member).items():
+                if method_name.startswith("_"):
+                    continue
+                if not inspect.isfunction(method):
+                    continue
+                if method.__doc__ and method.__doc__.strip():
+                    continue
+                # Overrides inherit the base method's documentation.
+                inherited = any(
+                    getattr(base, method_name, None) is not None
+                    and getattr(base, method_name).__doc__
+                    for base in member.__mro__[1:]
+                )
+                if not inherited:
+                    undocumented.append(f"{name}.{method_name}")
+    assert not undocumented, f"{module.__name__}: {undocumented}"
+
+
+@pytest.mark.parametrize(
+    "module",
+    [m for m in ALL_MODULES if hasattr(m, "__all__")],
+    ids=lambda m: m.__name__,
+)
+def test_dunder_all_entries_exist(module):
+    missing = [name for name in module.__all__ if not hasattr(module, name)]
+    assert not missing, f"{module.__name__}: {missing}"
+
+
+def test_top_level_convenience_exports():
+    # The flagship classes are importable from the obvious places.
+    from repro.api import ProcessingPipeline, SidewinderSensorManager  # noqa: F401
+    from repro.sim import Sidewinder, Oracle  # noqa: F401
+    from repro.hub import SensorHub, MSP430  # noqa: F401

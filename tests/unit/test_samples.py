@@ -1,0 +1,77 @@
+"""Unit tests for sample containers (chunks, buffers)."""
+
+import numpy as np
+import pytest
+
+from repro.sensors.samples import Chunk, ChunkBuffer, StreamKind
+from tests.conftest import scalar_chunk
+
+
+class TestChunk:
+    def test_scalar_chunk_basic(self):
+        chunk = scalar_chunk([1.0, 2.0, 3.0])
+        assert len(chunk) == 3
+        assert not chunk.is_empty
+        assert chunk.kind is StreamKind.SCALAR
+
+    def test_scalar_values_must_be_1d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            Chunk(StreamKind.SCALAR, np.zeros(2), np.zeros((2, 2)), 50.0)
+
+    def test_frame_values_must_be_2d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            Chunk(StreamKind.FRAME, np.zeros(2), np.zeros(2), 50.0)
+
+    def test_times_values_length_mismatch(self):
+        with pytest.raises(ValueError, match="differ"):
+            Chunk(StreamKind.SCALAR, np.zeros(3), np.zeros(2), 50.0)
+
+    def test_empty_scalar(self):
+        chunk = Chunk.empty(StreamKind.SCALAR, 50.0)
+        assert chunk.is_empty
+        assert len(chunk) == 0
+
+    def test_empty_frame_has_width(self):
+        chunk = Chunk.empty(StreamKind.FRAME, 50.0, width=16)
+        assert chunk.values.shape == (0, 16)
+
+    def test_empty_spectrum_is_complex(self):
+        chunk = Chunk.empty(StreamKind.SPECTRUM, 50.0, width=9)
+        assert np.iscomplexobj(chunk.values)
+
+    def test_take_filters_items(self):
+        chunk = scalar_chunk([1.0, 5.0, 2.0, 7.0])
+        taken = chunk.take(chunk.values > 3.0)
+        assert list(taken.values) == [5.0, 7.0]
+        assert len(taken.times) == 2
+
+    def test_take_preserves_rate(self):
+        chunk = scalar_chunk([1.0, 2.0], rate_hz=123.0)
+        assert chunk.take(chunk.values > 0).rate_hz == 123.0
+
+
+class TestChunkBuffer:
+    def test_extend_and_len(self):
+        buffer = ChunkBuffer()
+        buffer.extend(scalar_chunk([1.0, 2.0]))
+        buffer.extend(scalar_chunk([3.0], t0=1.0))
+        assert len(buffer) == 3
+        assert list(buffer.values) == [1.0, 2.0, 3.0]
+
+    def test_consume(self):
+        buffer = ChunkBuffer()
+        buffer.extend(scalar_chunk([1.0, 2.0, 3.0]))
+        buffer.consume(2)
+        assert list(buffer.values) == [3.0]
+
+    def test_rejects_frame_chunks(self):
+        buffer = ChunkBuffer()
+        frame = Chunk(StreamKind.FRAME, np.zeros(1), np.zeros((1, 4)), 50.0)
+        with pytest.raises(ValueError, match="SCALAR"):
+            buffer.extend(frame)
+
+    def test_clear(self):
+        buffer = ChunkBuffer()
+        buffer.extend(scalar_chunk([1.0]))
+        buffer.clear()
+        assert len(buffer) == 0

@@ -1,0 +1,163 @@
+"""Unit tests for the six sensing configurations."""
+
+import pytest
+
+from repro.apps import HeadbuttApp, StepsApp, TransitionsApp
+from repro.errors import SimulationError
+from repro.sim import (
+    AlwaysAwake,
+    Batching,
+    DutyCycling,
+    Oracle,
+    PredefinedActivity,
+    Sidewinder,
+)
+
+
+class TestAlwaysAwake:
+    def test_power_is_awake_constant(self, robot_trace):
+        result = AlwaysAwake().run(StepsApp(), robot_trace)
+        assert result.average_power_mw == pytest.approx(323.0)
+        assert result.recall == 1.0
+        assert result.power.awake_fraction == 1.0
+        assert result.mcu_names == ()
+
+
+class TestOracle:
+    def test_perfect_metrics(self, robot_trace):
+        result = Oracle().run(HeadbuttApp(), robot_trace)
+        assert result.recall == 1.0
+        assert result.precision == 1.0
+
+    def test_cheapest_configuration(self, robot_trace):
+        for app_cls in (StepsApp, TransitionsApp, HeadbuttApp):
+            oracle = Oracle().run(app_cls(), robot_trace).average_power_mw
+            sidewinder = Sidewinder().run(app_cls(), robot_trace).average_power_mw
+            always = AlwaysAwake().run(app_cls(), robot_trace).average_power_mw
+            assert oracle <= sidewinder <= always
+
+    def test_awake_tracks_event_time(self, robot_trace, quiet_robot_trace):
+        busy = Oracle().run(StepsApp(), robot_trace).average_power_mw
+        quiet = Oracle().run(StepsApp(), quiet_robot_trace).average_power_mw
+        assert busy > quiet  # group 2 walks much more than group 1
+
+    def test_no_hub_charged(self, robot_trace):
+        assert Oracle().run(StepsApp(), robot_trace).power.hub_mw == 0.0
+
+
+class TestDutyCycling:
+    def test_invalid_interval(self):
+        with pytest.raises(SimulationError):
+            DutyCycling(0.0)
+
+    def test_name_embeds_interval(self):
+        assert DutyCycling(10).name == "duty_cycling_10s"
+
+    def test_short_interval_beats_nothing(self, robot_trace):
+        # Section 5.4: a 2 s interval costs more than Always Awake.
+        result = DutyCycling(2.0).run(StepsApp(), robot_trace)
+        assert result.average_power_mw > 323.0
+
+    def test_longer_interval_cheaper(self, quiet_robot_trace):
+        short = DutyCycling(5.0).run(HeadbuttApp(), quiet_robot_trace)
+        long = DutyCycling(30.0).run(HeadbuttApp(), quiet_robot_trace)
+        assert long.average_power_mw < short.average_power_mw
+
+    def test_recall_degrades_with_interval(self, quiet_robot_trace):
+        short = DutyCycling(2.0).run(TransitionsApp(), quiet_robot_trace)
+        long = DutyCycling(30.0).run(TransitionsApp(), quiet_robot_trace)
+        assert long.recall <= short.recall
+
+    def test_no_hub_charged(self, robot_trace):
+        assert DutyCycling(10).run(StepsApp(), robot_trace).power.hub_mw == 0.0
+
+
+class TestBatching:
+    def test_perfect_recall(self, robot_trace):
+        for app_cls in (StepsApp, TransitionsApp, HeadbuttApp):
+            result = Batching(10.0).run(app_cls(), robot_trace)
+            assert result.recall == 1.0, app_cls.name
+
+    def test_msp430_charged(self, robot_trace):
+        result = Batching(10.0).run(StepsApp(), robot_trace)
+        assert result.power.hub_mw == pytest.approx(3.6)
+        assert result.mcu_names == ("TI MSP430",)
+
+    def test_longer_interval_cheaper(self, quiet_robot_trace):
+        short = Batching(5.0).run(HeadbuttApp(), quiet_robot_trace)
+        long = Batching(30.0).run(HeadbuttApp(), quiet_robot_trace)
+        assert long.average_power_mw < short.average_power_mw
+
+    def test_invalid_interval(self):
+        with pytest.raises(SimulationError):
+            Batching(-1.0)
+
+
+class TestPredefinedActivity:
+    def test_same_trigger_for_all_accel_apps(self, robot_trace):
+        config = PredefinedActivity()
+        powers = {
+            app_cls.name: config.run(app_cls(), robot_trace).average_power_mw
+            for app_cls in (StepsApp, TransitionsApp, HeadbuttApp)
+        }
+        # One generic trigger: identical wake windows, identical power.
+        assert len({round(p, 6) for p in powers.values()}) == 1
+
+    def test_full_recall_at_default_thresholds(self, robot_trace):
+        config = PredefinedActivity()
+        for app_cls in (StepsApp, TransitionsApp, HeadbuttApp):
+            assert config.run(app_cls(), robot_trace).recall == 1.0
+
+    def test_msp430_charged(self, robot_trace):
+        result = PredefinedActivity().run(StepsApp(), robot_trace)
+        assert result.power.hub_mw == pytest.approx(3.6)
+
+    def test_higher_threshold_less_power(self, robot_trace):
+        sensitive = PredefinedActivity(motion_threshold=0.3)
+        lazy = PredefinedActivity(motion_threshold=1.5)
+        app = HeadbuttApp()
+        assert (
+            lazy.run(app, robot_trace).average_power_mw
+            <= sensitive.run(app, robot_trace).average_power_mw
+        )
+
+    def test_audio_app_uses_sound_pipeline(self, audio_trace):
+        from repro.apps import SirenDetectorApp
+        result = PredefinedActivity().run(SirenDetectorApp(), audio_trace)
+        assert result.recall == 1.0
+
+    def test_unknown_sensor_rejected(self, robot_trace):
+        from repro.apps.base import SensingApplication
+
+        class Weird(SensingApplication):
+            name = "weird"
+            channels = ("ACC_X", "MIC")
+
+        with pytest.raises(SimulationError):
+            PredefinedActivity().pipeline_for(Weird())
+
+
+class TestSidewinder:
+    def test_full_recall_all_accel_apps(self, robot_trace):
+        for app_cls in (StepsApp, TransitionsApp, HeadbuttApp):
+            result = Sidewinder().run(app_cls(), robot_trace)
+            assert result.recall == 1.0, app_cls.name
+
+    def test_msp430_for_accel(self, robot_trace):
+        result = Sidewinder().run(StepsApp(), robot_trace)
+        assert result.mcu_names == ("TI MSP430",)
+
+    def test_lm4f120_for_sirens(self, audio_trace):
+        from repro.apps import SirenDetectorApp
+        result = Sidewinder().run(SirenDetectorApp(), audio_trace)
+        assert result.mcu_names == ("TI LM4F120",)
+        assert result.power.hub_mw == pytest.approx(49.4)
+
+    def test_hub_wake_count_recorded(self, robot_trace):
+        result = Sidewinder().run(StepsApp(), robot_trace)
+        assert result.hub_wake_count > 0
+
+    def test_rare_events_cost_least(self, robot_trace):
+        steps = Sidewinder().run(StepsApp(), robot_trace).average_power_mw
+        headbutts = Sidewinder().run(HeadbuttApp(), robot_trace).average_power_mw
+        assert headbutts < steps

@@ -1,0 +1,126 @@
+"""Unit tests for the shared simulation machinery."""
+
+import pytest
+
+from repro.apps.base import Detection, SensingApplication
+from repro.power.phone import NEXUS4
+from repro.sim.simulator import (
+    evaluate,
+    extend_for_buffer,
+    windows_from_wake_times,
+)
+from repro.traces.base import GroundTruthEvent, Trace
+
+import numpy as np
+
+
+class _StubApp(SensingApplication):
+    """Minimal application reporting a detection per 'walking' event it
+    can see within its windows."""
+
+    name = "stub"
+    event_label = "walking"
+    channels = ("ACC_X",)
+    match_tolerance_s = 0.5
+
+    def detect(self, trace, windows):
+        detections = []
+        for event in trace.events_with_label("walking"):
+            for start, end in windows:
+                if start <= event.midpoint <= end:
+                    detections.append(Detection(event.midpoint))
+                    break
+        return detections
+
+
+def _trace(duration=100.0, events=()):
+    n = int(duration * 50)
+    return Trace(
+        "t", {"ACC_X": np.zeros(n)}, {"ACC_X": 50.0}, duration, list(events)
+    )
+
+
+class TestWindowsFromWakeTimes:
+    def test_hold_applied(self):
+        windows = windows_from_wake_times([10.0], 100.0, hold_s=3.0)
+        assert windows == [(10.0, 13.0)]
+
+    def test_burst_merges(self):
+        windows = windows_from_wake_times([10.0, 10.5, 11.0], 100.0, hold_s=2.0)
+        assert windows == [(10.0, 13.0)]
+
+    def test_wake_past_duration_dropped(self):
+        assert windows_from_wake_times([150.0], 100.0) == []
+
+    def test_window_clipped_to_duration(self):
+        windows = windows_from_wake_times([99.0], 100.0, hold_s=4.0)
+        assert windows == [(99.0, 100.0)]
+
+    def test_gap_below_round_trip_merges(self):
+        windows = windows_from_wake_times([10.0, 13.5], 100.0, hold_s=2.0)
+        assert len(windows) == 1  # 1.5 s gap < 2 s round trip
+
+
+class TestExtendForBuffer:
+    def test_backfill(self):
+        assert extend_for_buffer([(10.0, 12.0)], 4.0) == [(6.0, 12.0)]
+
+    def test_clipped_at_zero(self):
+        assert extend_for_buffer([(2.0, 5.0)], 4.0) == [(0.0, 5.0)]
+
+    def test_backfill_merges_adjacent(self):
+        extended = extend_for_buffer([(10.0, 12.0), (14.0, 16.0)], 4.0)
+        assert extended == [(6.0, 16.0)]
+
+
+class TestEvaluate:
+    def test_detector_limited_to_windows(self):
+        trace = _trace(events=[GroundTruthEvent.make("walking", 50.0, 60.0)])
+        result = evaluate("test", _StubApp(), trace, awake_windows=[(0.0, 10.0)])
+        assert result.recall == 0.0
+        result = evaluate("test", _StubApp(), trace, awake_windows=[(50.0, 60.0)])
+        assert result.recall == 1.0
+
+    def test_detect_windows_override(self):
+        trace = _trace(events=[GroundTruthEvent.make("walking", 50.0, 60.0)])
+        result = evaluate(
+            "test", _StubApp(), trace,
+            awake_windows=[(70.0, 72.0)],
+            detect_windows=[(50.0, 60.0)],
+        )
+        assert result.recall == 1.0
+        assert result.power.awake_fraction == pytest.approx(0.02)
+
+    def test_explicit_detections_skip_detector(self):
+        trace = _trace(events=[GroundTruthEvent.make("walking", 50.0, 60.0)])
+        result = evaluate(
+            "test", _StubApp(), trace,
+            awake_windows=[],
+            detections=[Detection(55.0)],
+        )
+        assert result.recall == 1.0
+
+    def test_power_includes_mcu(self):
+        from repro.hub.mcu import MSP430
+        trace = _trace()
+        with_hub = evaluate("a", _StubApp(), trace, [], mcus=(MSP430,))
+        without = evaluate("b", _StubApp(), trace, [])
+        assert with_hub.average_power_mw == pytest.approx(
+            without.average_power_mw + 3.6
+        )
+
+    def test_summary_contains_key_fields(self):
+        trace = _trace()
+        result = evaluate("cfg", _StubApp(), trace, [])
+        text = result.summary()
+        assert "cfg" in text and "stub" in text and "mW" in text
+
+
+class TestSavingsFraction:
+    def test_formula(self):
+        from repro.sim.results import savings_fraction
+        trace = _trace()
+        result = evaluate("x", _StubApp(), trace, [])
+        # result power = 9.7 (asleep); AA=323, Oracle=10
+        fraction = savings_fraction(result, 323.0, 10.0)
+        assert fraction == pytest.approx((323.0 - 9.7) / 313.0)

@@ -1,0 +1,59 @@
+"""Unit tests for the Statistic algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.statistics import STATISTIC_NAMES, Statistic
+from repro.algorithms.windowing import Window
+from repro.errors import ParameterError
+from tests.conftest import scalar_chunk
+
+
+def _stat(name, signal):
+    frames = Window(size=len(signal)).process([scalar_chunk(signal)])
+    return Statistic(name).process([frames]).values[0]
+
+
+@pytest.mark.parametrize("name", STATISTIC_NAMES)
+def test_matches_numpy(name):
+    rng = np.random.default_rng(11)
+    data = rng.normal(size=64)
+    reference = {
+        "mean": np.mean(data),
+        "variance": np.var(data),
+        "std": np.std(data),
+        "min": np.min(data),
+        "max": np.max(data),
+        "range": np.ptp(data),
+        "rms": np.sqrt(np.mean(data**2)),
+        "median": np.median(data),
+        "energy": np.sum(data**2),
+        "mad": np.mean(np.abs(data - np.mean(data))),
+    }[name]
+    assert _stat(name, data) == pytest.approx(reference)
+
+
+def test_multiple_frames_vectorized():
+    frames = Window(size=4).process([scalar_chunk(np.arange(12, dtype=float))])
+    out = Statistic("mean").process([frames])
+    assert np.allclose(out.values, [1.5, 5.5, 9.5])
+
+
+def test_unknown_statistic_rejected():
+    with pytest.raises(ParameterError, match="unknown statistic"):
+        Statistic("kurtosis")
+
+
+def test_empty_input():
+    from repro.sensors.samples import Chunk, StreamKind
+    empty = Chunk.empty(StreamKind.FRAME, 50.0, width=8)
+    assert Statistic("mean").process([empty]).is_empty
+
+
+def test_cost_scales_with_width():
+    from repro.algorithms.base import StreamShape
+    from repro.sensors.samples import StreamKind
+    narrow = StreamShape(StreamKind.FRAME, 1.0, 16, 50.0)
+    wide = StreamShape(StreamKind.FRAME, 1.0, 1024, 50.0)
+    stat = Statistic("variance")
+    assert stat.cycles_per_item([wide]) > stat.cycles_per_item([narrow])

@@ -1,0 +1,112 @@
+"""Unit tests for Trace and GroundTruthEvent containers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.traces.base import GroundTruthEvent, Trace
+
+
+def _trace(duration=10.0, rate=50.0, events=()):
+    n = int(duration * rate)
+    return Trace(
+        name="test",
+        data={"ACC_X": np.zeros(n)},
+        rate_hz={"ACC_X": rate},
+        duration=duration,
+        events=list(events),
+    )
+
+
+class TestGroundTruthEvent:
+    def test_duration_and_midpoint(self):
+        event = GroundTruthEvent.make("walking", 2.0, 6.0)
+        assert event.duration == 4.0
+        assert event.midpoint == 4.0
+
+    def test_metadata_access(self):
+        event = GroundTruthEvent.make("walking", 0.0, 1.0, step_times=(0.5,))
+        assert event.meta("step_times") == (0.5,)
+        assert event.meta("missing", "default") == "default"
+
+    def test_backwards_event_rejected(self):
+        with pytest.raises(TraceError):
+            GroundTruthEvent("x", 5.0, 2.0)
+
+    def test_hashable(self):
+        assert hash(GroundTruthEvent.make("a", 0.0, 1.0, k=(1, 2)))
+
+
+class TestTrace:
+    def test_requires_channels(self):
+        with pytest.raises(TraceError, match="no channels"):
+            Trace("t", {}, {}, 1.0)
+
+    def test_unknown_channel_rejected(self):
+        from repro.errors import UnknownChannelError
+        with pytest.raises(UnknownChannelError):
+            Trace("t", {"FOO": np.zeros(10)}, {"FOO": 10.0}, 1.0)
+
+    def test_sample_count_must_match_duration(self):
+        with pytest.raises(TraceError, match="inconsistent"):
+            Trace("t", {"ACC_X": np.zeros(10)}, {"ACC_X": 50.0}, 10.0)
+
+    def test_event_outside_trace_rejected(self):
+        with pytest.raises(TraceError, match="outside"):
+            _trace(events=[GroundTruthEvent.make("x", 5.0, 20.0)])
+
+    def test_events_sorted(self):
+        trace = _trace(
+            events=[
+                GroundTruthEvent.make("b", 5.0, 6.0),
+                GroundTruthEvent.make("a", 1.0, 2.0),
+            ]
+        )
+        assert [e.label for e in trace.events] == ["a", "b"]
+
+    def test_times_spacing(self):
+        trace = _trace(rate=50.0)
+        times = trace.times("ACC_X")
+        assert times[1] - times[0] == pytest.approx(0.02)
+
+    def test_events_with_label_and_seconds(self):
+        trace = _trace(
+            events=[
+                GroundTruthEvent.make("walking", 0.0, 4.0),
+                GroundTruthEvent.make("headbutt", 5.0, 5.5),
+            ]
+        )
+        assert len(trace.events_with_label("walking")) == 1
+        assert trace.event_seconds("walking") == pytest.approx(4.0)
+        assert trace.event_seconds() == pytest.approx(4.5)
+
+    def test_slice_rebases_times_and_events(self):
+        trace = _trace(
+            duration=10.0,
+            events=[GroundTruthEvent.make("walking", 3.0, 7.0)],
+        )
+        part = trace.slice(2.0, 8.0)
+        assert part.duration == pytest.approx(6.0)
+        assert len(part.data["ACC_X"]) == 300
+        event = part.events[0]
+        assert event.start == pytest.approx(1.0)
+        assert event.end == pytest.approx(5.0)
+
+    def test_slice_clips_partial_events(self):
+        trace = _trace(
+            duration=10.0,
+            events=[GroundTruthEvent.make("walking", 0.0, 5.0)],
+        )
+        part = trace.slice(4.0, 10.0)
+        assert part.events[0].end == pytest.approx(1.0)
+
+    def test_empty_slice_rejected(self):
+        with pytest.raises(TraceError):
+            _trace().slice(5.0, 5.0)
+
+    def test_channel_arrays_structure(self):
+        trace = _trace()
+        arrays = trace.channel_arrays()
+        times, values, rate = arrays["ACC_X"]
+        assert len(times) == len(values)
+        assert rate == 50.0

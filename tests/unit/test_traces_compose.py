@@ -1,0 +1,107 @@
+"""Unit tests for trace composition."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.traces.compose import concat_traces, repeat_trace
+from repro.traces.human import HumanScenario, HumanTraceConfig, generate_human_trace
+from repro.traces.robot import RobotRunConfig, generate_robot_run
+
+
+@pytest.fixture(scope="module")
+def segments():
+    return [
+        generate_human_trace(
+            HumanTraceConfig(scenario, duration_s=200.0, seed=60 + i)
+        )
+        for i, scenario in enumerate(
+            (HumanScenario.COMMUTE, HumanScenario.OFFICE, HumanScenario.RETAIL)
+        )
+    ]
+
+
+def test_duration_and_samples_add_up(segments):
+    day = concat_traces(segments, name="day")
+    assert day.duration == pytest.approx(600.0)
+    assert len(day.data["ACC_X"]) == sum(len(s.data["ACC_X"]) for s in segments)
+
+
+def test_events_shifted(segments):
+    day = concat_traces(segments)
+    first_events = len(segments[0].events)
+    shifted = day.events[first_events] if len(day.events) > first_events else None
+    assert day.events
+    # Events from the second segment start at/after 200 s.
+    second_segment_events = [
+        e for e in day.events if 200.0 <= e.start < 400.0
+    ]
+    assert len(second_segment_events) >= len(segments[1].events) - 1
+
+
+def test_step_times_shift_with_their_bout(segments):
+    day = concat_traces(segments)
+    for bout in day.events_with_label("walking"):
+        for t in bout.meta("step_times"):
+            assert bout.start - 1e-9 <= t <= bout.end + 1e-9
+
+
+def test_segments_recorded(segments):
+    day = concat_traces(segments, name="day")
+    spans = day.metadata["segments"]
+    assert len(spans) == 3
+    assert spans[0][1] == 0.0
+    assert spans[-1][2] == pytest.approx(600.0)
+
+
+def test_signal_continuity(segments):
+    day = concat_traces(segments)
+    boundary = len(segments[0].data["ACC_X"])
+    assert np.array_equal(
+        day.data["ACC_X"][:boundary], segments[0].data["ACC_X"]
+    )
+    assert np.array_equal(
+        day.data["ACC_X"][boundary : boundary + 100],
+        segments[1].data["ACC_X"][:100],
+    )
+
+
+def test_channel_mismatch_rejected(segments):
+    from repro.traces.audio import AudioEnvironment, AudioTraceConfig, generate_audio_trace
+    audio = generate_audio_trace(
+        AudioTraceConfig(AudioEnvironment.OFFICE, duration_s=60.0, seed=1)
+    )
+    with pytest.raises(TraceError, match="channel mismatch"):
+        concat_traces([segments[0], audio])
+
+
+def test_empty_rejected():
+    with pytest.raises(TraceError):
+        concat_traces([])
+
+
+def test_repeat(segments):
+    tiled = repeat_trace(segments[0], 3)
+    assert tiled.duration == pytest.approx(600.0)
+    assert len(tiled.events) == 3 * len(segments[0].events)
+    with pytest.raises(TraceError):
+        repeat_trace(segments[0], 0)
+
+
+def test_composite_simulates_end_to_end(segments):
+    """A composed day runs through the simulator like any trace."""
+    from repro.apps import StepsApp
+    from repro.sim import Sidewinder
+    day = concat_traces(segments)
+    result = Sidewinder().run(StepsApp(), day)
+    assert result.recall == 1.0
+
+
+def test_robot_segments_compose(segments):
+    runs = [
+        generate_robot_run(RobotRunConfig(group=g, duration_s=120.0, seed=g))
+        for g in (1, 2, 3)
+    ]
+    day = concat_traces(runs)
+    assert day.duration == pytest.approx(360.0)
+    assert day.events_with_label("headbutt")

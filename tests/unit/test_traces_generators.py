@@ -1,0 +1,133 @@
+"""Unit tests for the robot / human / audio trace generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.traces.audio import (
+    EVENT_FRACTIONS,
+    AudioEnvironment,
+    AudioTraceConfig,
+    generate_audio_trace,
+)
+from repro.traces.human import (
+    WALKING_FRACTION,
+    HumanScenario,
+    HumanTraceConfig,
+    generate_human_trace,
+)
+from repro.traces.robot import (
+    GROUP_IDLE_FRACTION,
+    RobotRunConfig,
+    generate_robot_run,
+)
+
+
+class TestRobot:
+    def test_determinism(self):
+        config = RobotRunConfig(group=2, duration_s=120.0, seed=5)
+        a = generate_robot_run(config)
+        b = generate_robot_run(config)
+        assert np.array_equal(a.data["ACC_X"], b.data["ACC_X"])
+        assert a.events == b.events
+
+    def test_different_seeds_differ(self):
+        a = generate_robot_run(RobotRunConfig(group=2, duration_s=120.0, seed=1))
+        b = generate_robot_run(RobotRunConfig(group=2, duration_s=120.0, seed=2))
+        assert not np.array_equal(a.data["ACC_X"], b.data["ACC_X"])
+
+    def test_activity_scales_with_group(self, robot_trace, quiet_robot_trace):
+        active_g2 = robot_trace.event_seconds()
+        active_g1 = quiet_robot_trace.event_seconds()
+        assert active_g2 > 2 * active_g1
+
+    def test_event_mix_has_all_classes(self, robot_trace):
+        for label in ("walking", "transition", "headbutt"):
+            assert robot_trace.events_with_label(label), label
+
+    def test_walking_dominates_activity(self, robot_trace):
+        walk = robot_trace.event_seconds("walking")
+        other = robot_trace.event_seconds() - walk
+        assert walk > other
+
+    def test_step_times_inside_bouts(self, robot_trace):
+        for bout in robot_trace.events_with_label("walking"):
+            steps = bout.meta("step_times")
+            assert steps
+            for t in steps:
+                assert bout.start <= t <= bout.end
+
+    def test_gravity_baseline_on_z(self, quiet_robot_trace):
+        z = quiet_robot_trace.data["ACC_Z"]
+        assert np.median(z) == pytest.approx(9.81, abs=0.3)
+
+    def test_headbutts_reach_detector_band(self, robot_trace):
+        y = robot_trace.data["ACC_Y"]
+        rate = robot_trace.rate_hz["ACC_Y"]
+        for event in robot_trace.events_with_label("headbutt"):
+            i0, i1 = int(event.start * rate), int(event.end * rate)
+            assert y[i0:i1].min() <= -3.75
+
+    def test_invalid_group_rejected(self):
+        with pytest.raises(TraceError):
+            RobotRunConfig(group=4)
+
+    def test_too_short_rejected(self):
+        with pytest.raises(TraceError):
+            RobotRunConfig(group=1, duration_s=10.0)
+
+    def test_group_idle_fractions_match_paper(self):
+        assert GROUP_IDLE_FRACTION == {1: 0.90, 2: 0.50, 3: 0.10}
+
+
+class TestHuman:
+    def test_walking_fraction_in_paper_range(self):
+        for fraction in WALKING_FRACTION.values():
+            assert 0.20 <= fraction <= 0.37
+
+    def test_has_confounder_motion(self, human_trace):
+        assert human_trace.events_with_label("other_motion")
+
+    def test_walking_fraction_approximate(self, human_trace):
+        measured = human_trace.event_seconds("walking") / human_trace.duration
+        target = WALKING_FRACTION[HumanScenario.COMMUTE]
+        assert measured == pytest.approx(target, abs=0.08)
+
+    def test_determinism(self):
+        config = HumanTraceConfig(HumanScenario.OFFICE, 200.0, seed=9)
+        a = generate_human_trace(config)
+        b = generate_human_trace(config)
+        assert np.array_equal(a.data["ACC_Y"], b.data["ACC_Y"])
+
+
+class TestAudio:
+    def test_event_fractions_near_paper(self, audio_trace):
+        for label, target in EVENT_FRACTIONS.items():
+            measured = audio_trace.event_seconds(label) / audio_trace.duration
+            assert measured == pytest.approx(target, abs=0.025), label
+
+    def test_at_least_one_phrase_segment(self):
+        for seed in range(5):
+            trace = generate_audio_trace(
+                AudioTraceConfig(AudioEnvironment.OUTDOORS, 120.0, seed=seed)
+            )
+            speech = trace.events_with_label("speech")
+            if speech:
+                assert any(e.meta("phrase") for e in speech)
+
+    def test_events_do_not_overlap(self, audio_trace):
+        events = sorted(audio_trace.events, key=lambda e: e.start)
+        for a, b in zip(events, events[1:]):
+            assert a.end <= b.start + 1e-9
+
+    def test_amplitude_reasonable(self, audio_trace):
+        assert np.abs(audio_trace.data["MIC"]).max() < 2.0
+
+    def test_environments_have_distinct_backgrounds(self):
+        quiet = generate_audio_trace(
+            AudioTraceConfig(AudioEnvironment.OFFICE, 60.0, seed=1)
+        )
+        windy = generate_audio_trace(
+            AudioTraceConfig(AudioEnvironment.OUTDOORS, 60.0, seed=1)
+        )
+        assert np.std(windy.data["MIC"]) > np.std(quiet.data["MIC"])

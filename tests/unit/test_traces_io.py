@@ -1,0 +1,52 @@
+"""Unit tests for trace persistence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.traces.io import load_trace, save_trace
+from repro.traces.robot import RobotRunConfig, generate_robot_run
+
+
+@pytest.fixture()
+def small_trace():
+    return generate_robot_run(RobotRunConfig(group=3, duration_s=90.0, seed=11))
+
+
+def test_round_trip_preserves_everything(tmp_path, small_trace):
+    path = save_trace(small_trace, tmp_path / "run")
+    loaded = load_trace(path)
+    assert loaded.name == small_trace.name
+    assert loaded.duration == small_trace.duration
+    assert loaded.rate_hz == small_trace.rate_hz
+    for channel in small_trace.data:
+        assert np.array_equal(loaded.data[channel], small_trace.data[channel])
+    assert loaded.events == small_trace.events
+    assert loaded.metadata["group"] == 3
+
+
+def test_save_appends_npz_suffix(tmp_path, small_trace):
+    path = save_trace(small_trace, tmp_path / "run.dat")
+    assert path.suffix == ".npz"
+    assert path.exists()
+    assert path.with_suffix(".json").exists()
+
+
+def test_load_missing_raises(tmp_path):
+    with pytest.raises(TraceError, match="missing"):
+        load_trace(tmp_path / "nope.npz")
+
+
+def test_load_by_bare_path(tmp_path, small_trace):
+    save_trace(small_trace, tmp_path / "run")
+    loaded = load_trace(tmp_path / "run")
+    assert loaded.name == small_trace.name
+
+
+def test_step_times_tuples_survive(tmp_path, small_trace):
+    path = save_trace(small_trace, tmp_path / "run")
+    loaded = load_trace(path)
+    original = small_trace.events_with_label("walking")[0].meta("step_times")
+    restored = loaded.events_with_label("walking")[0].meta("step_times")
+    assert restored == original
+    assert isinstance(restored, tuple)

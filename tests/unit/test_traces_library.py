@@ -1,0 +1,59 @@
+"""Unit tests for the standard corpora."""
+
+from repro.traces.library import (
+    ROBOT_GROUP_RUNS,
+    audio_corpus,
+    human_corpus,
+    robot_corpus,
+    robot_group,
+)
+
+#: Small sizes for test speed; corpora are parameterized by duration.
+_ROBOT_S = 120.0
+_HUMAN_S = 150.0
+_AUDIO_S = 60.0
+
+
+def test_robot_corpus_run_counts_match_paper():
+    # Section 4.1: 18 runs — 9 group 1, 6 group 2, 3 group 3.
+    assert ROBOT_GROUP_RUNS == ((1, 9), (2, 6), (3, 3))
+    corpus = robot_corpus(duration_s=_ROBOT_S)
+    assert len(corpus) == 18
+    by_group = {}
+    for trace in corpus:
+        by_group.setdefault(trace.metadata["group"], []).append(trace)
+    assert {g: len(ts) for g, ts in by_group.items()} == {1: 9, 2: 6, 3: 3}
+
+
+def test_robot_group_filter():
+    group2 = robot_group(2, duration_s=_ROBOT_S)
+    assert len(group2) == 6
+    assert all(t.metadata["group"] == 2 for t in group2)
+
+
+def test_human_corpus_has_three_scenarios():
+    corpus = human_corpus(duration_s=_HUMAN_S)
+    scenarios = {t.metadata["scenario"] for t in corpus}
+    assert scenarios == {"commute", "retail", "office"}
+
+
+def test_audio_corpus_has_three_environments():
+    corpus = audio_corpus(duration_s=_AUDIO_S)
+    environments = {t.metadata["environment"] for t in corpus}
+    assert environments == {"office", "coffee_shop", "outdoors"}
+
+
+def test_corpora_are_cached_and_deterministic():
+    a = robot_corpus(duration_s=_ROBOT_S)
+    b = robot_corpus(duration_s=_ROBOT_S)
+    assert a is b  # lru_cache
+    import numpy as np
+    c = robot_corpus(duration_s=_ROBOT_S, base_seed=1000)
+    assert np.array_equal(a[0].data["ACC_X"], c[0].data["ACC_X"])
+
+
+def test_all_trace_names_unique():
+    names = [t.name for t in robot_corpus(duration_s=_ROBOT_S)]
+    names += [t.name for t in human_corpus(duration_s=_HUMAN_S)]
+    names += [t.name for t in audio_corpus(duration_s=_AUDIO_S)]
+    assert len(names) == len(set(names))

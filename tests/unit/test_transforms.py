@@ -1,0 +1,67 @@
+"""Unit tests for FFT / IFFT."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.base import StreamShape
+from repro.algorithms.transforms import FFT, IFFT, fft_cycles
+from repro.algorithms.windowing import Window
+from repro.sensors.samples import Chunk, StreamKind
+from tests.conftest import scalar_chunk
+
+
+def _frames(values, rate=8000.0):
+    window = Window(size=len(values))
+    return window.process([scalar_chunk(values, rate_hz=rate)])
+
+
+def test_fft_produces_one_sided_spectrum():
+    frames = _frames(np.sin(2 * np.pi * 1000 * np.arange(64) / 8000.0))
+    spectrum = FFT().process([frames])
+    assert spectrum.kind is StreamKind.SPECTRUM
+    assert spectrum.values.shape == (1, 33)
+    assert np.iscomplexobj(spectrum.values)
+
+
+def test_fft_peak_at_signal_frequency():
+    rate = 8000.0
+    n = 512
+    freq = 1000.0
+    frames = _frames(np.sin(2 * np.pi * freq * np.arange(n) / rate), rate)
+    spectrum = FFT().process([frames])
+    bins = np.fft.rfftfreq(n, d=1 / rate)
+    peak_bin = int(np.argmax(np.abs(spectrum.values[0])))
+    assert bins[peak_bin] == pytest.approx(freq, abs=bins[1])
+
+
+def test_ifft_roundtrip():
+    signal = np.random.default_rng(1).normal(size=128)
+    frames = _frames(signal)
+    back = IFFT().process([FFT().process([frames])])
+    assert back.kind is StreamKind.FRAME
+    assert np.allclose(back.values[0], signal, atol=1e-10)
+
+
+def test_empty_input_passthrough():
+    empty = Chunk.empty(StreamKind.FRAME, 8000.0, width=64)
+    assert FFT().process([empty]).is_empty
+    empty_spec = Chunk.empty(StreamKind.SPECTRUM, 8000.0, width=33)
+    assert IFFT().process([empty_spec]).is_empty
+
+
+def test_fft_cycles_superlinear():
+    assert fft_cycles(1024) > 2 * fft_cycles(512)
+    assert fft_cycles(1) > 0
+
+
+def test_shape_propagation():
+    in_shape = StreamShape(StreamKind.FRAME, 10.0, 512, 8000.0)
+    out = FFT().propagate_shape([in_shape])
+    assert out.width == 257
+    back = IFFT().propagate_shape([out])
+    assert back.width == 512
+
+
+def test_fft_cost_dominates_scalar_ops():
+    frame_shape = StreamShape(StreamKind.FRAME, 10.0, 512, 8000.0)
+    assert FFT().cycles_per_item([frame_shape]) > 10_000

@@ -1,0 +1,94 @@
+"""Unit tests for the windowing algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.windowing import Window
+from repro.errors import ParameterError
+from repro.sensors.samples import StreamKind
+from tests.conftest import scalar_chunk
+
+
+def test_no_output_until_full_window():
+    window = Window(size=10)
+    out = window.process([scalar_chunk(np.arange(9))])
+    assert out.is_empty
+
+
+def test_emits_one_frame_when_full():
+    window = Window(size=10)
+    out = window.process([scalar_chunk(np.arange(10))])
+    assert out.values.shape == (1, 10)
+    assert list(out.values[0]) == list(np.arange(10, dtype=float))
+
+
+def test_non_overlapping_frames_partition_input():
+    window = Window(size=4)
+    out = window.process([scalar_chunk(np.arange(12))])
+    assert out.values.shape == (3, 4)
+    assert np.array_equal(out.values.ravel(), np.arange(12, dtype=float))
+
+
+def test_hop_gives_overlap():
+    window = Window(size=4, hop=2)
+    out = window.process([scalar_chunk(np.arange(8))])
+    # frames start at 0, 2, 4
+    assert out.values.shape == (3, 4)
+    assert list(out.values[1]) == [2.0, 3.0, 4.0, 5.0]
+
+
+def test_frame_timestamp_is_last_sample():
+    window = Window(size=5)
+    chunk = scalar_chunk(np.arange(5), rate_hz=50.0)
+    out = window.process([chunk])
+    assert out.times[0] == pytest.approx(chunk.times[-1])
+
+
+def test_state_carries_across_chunks():
+    window = Window(size=6)
+    first = window.process([scalar_chunk(np.arange(4))])
+    assert first.is_empty
+    second = window.process([scalar_chunk(np.arange(4, 8), t0=4 / 50.0)])
+    assert second.values.shape == (1, 6)
+    assert list(second.values[0]) == [0, 1, 2, 3, 4, 5]
+
+
+def test_hamming_tapers_edges():
+    window = Window(size=16, shape="hamming")
+    out = window.process([scalar_chunk(np.ones(16))])
+    frame = out.values[0]
+    assert frame[0] == pytest.approx(0.08, abs=0.01)
+    assert frame[8] > 0.9
+
+
+def test_reset_clears_buffer():
+    window = Window(size=4)
+    window.process([scalar_chunk(np.arange(3))])
+    window.reset()
+    out = window.process([scalar_chunk(np.arange(3))])
+    assert out.is_empty
+
+
+def test_output_kind_is_frame():
+    assert Window(size=4).output_kind is StreamKind.FRAME
+
+
+def test_invalid_shape_rejected():
+    with pytest.raises(ParameterError):
+        Window(size=4, shape="blackman")
+
+
+def test_invalid_size_rejected():
+    with pytest.raises(ParameterError):
+        Window(size=0)
+
+
+def test_shape_propagation_rate_and_width():
+    from repro.algorithms.base import StreamShape
+    window = Window(size=100, hop=50)
+    shape = window.propagate_shape(
+        [StreamShape(StreamKind.SCALAR, 1000.0, 1, 1000.0)]
+    )
+    assert shape.kind is StreamKind.FRAME
+    assert shape.items_per_second == pytest.approx(20.0)
+    assert shape.width == 100
