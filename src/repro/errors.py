@@ -68,8 +68,26 @@ class FeasibilityError(SidewinderError):
     """A wake-up condition cannot run in real time on any available MCU."""
 
 
+class HubExecutionError(SidewinderError):
+    """The hub runtime could not execute a wake-up condition.
+
+    Raised when the data handed to the interpreter does not match the
+    condition's needs — most commonly a sensor channel the condition
+    reads is absent from the feed or the trace.
+    """
+
+
 class SimulationError(SidewinderError):
     """The trace-driven simulator was configured inconsistently."""
+
+
+class FaultInjectionError(SimulationError):
+    """A fault plan or reliability policy is inconsistent.
+
+    Raised at construction time — fault injection is meant for
+    deterministic robustness experiments, so a malformed schedule is a
+    configuration bug, never something to paper over at runtime.
+    """
 
 
 class TraceError(SidewinderError):

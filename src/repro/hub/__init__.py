@@ -12,7 +12,11 @@ language pushed by the sensor manager.  This package provides:
 * :mod:`repro.hub.runtime` — the interpreter executing a validated
   dataflow graph over incoming sensor chunks;
 * :mod:`repro.hub.hub` — the :class:`SensorHub` facade managing several
-  concurrent wake-up conditions and their listeners.
+  concurrent wake-up conditions and their listeners;
+* :mod:`repro.hub.faults` — deterministic system-fault injection (hub
+  resets, lossy links, flaky wake interrupts);
+* :mod:`repro.hub.reliability` — the reliable transport (CRC framing,
+  ACK/retry, heartbeats) a production hub vendor would ship.
 """
 
 from repro.hub.delivery import (
@@ -22,9 +26,22 @@ from repro.hub.delivery import (
     DeliverySpec,
     payload_bytes,
 )
+from repro.hub.faults import NO_FAULTS, FaultInjector, FaultPlan
 from repro.hub.feasibility import FeasibilityReport, analyze, is_feasible, select_mcu
 from repro.hub.fpga import ARTIX_CLASS, ICE40_CLASS, FPGAModel, select_processor
-from repro.hub.link import I2C_FAST_MODE, SPI_20MHZ, UART_DEBUG, LinkModel
+from repro.hub.link import (
+    I2C_FAST_MODE,
+    SPI_20MHZ,
+    UART_DEBUG,
+    LinkModel,
+    sample_bytes_for_kind,
+)
+from repro.hub.reliability import (
+    DEFAULT_RELIABILITY,
+    ReliabilityPolicy,
+    ReliableLink,
+    TransferOutcome,
+)
 from repro.hub.merge import (
     MergedProgram,
     MultiTapRuntime,
@@ -40,17 +57,24 @@ from repro.hub.state import AlgorithmState
 __all__ = [
     "ARTIX_CLASS",
     "DEFAULT_CATALOG",
+    "DEFAULT_RELIABILITY",
     "DeliveryMode",
     "DeliverySpec",
     "FPGAModel",
+    "FaultInjector",
+    "FaultPlan",
     "I2C_FAST_MODE",
     "ICE40_CLASS",
     "LM4F120",
     "LinkModel",
     "MSP430",
+    "NO_FAULTS",
     "RAW_DELIVERY",
+    "ReliabilityPolicy",
+    "ReliableLink",
     "SPI_20MHZ",
     "TRIGGER_DELIVERY",
+    "TransferOutcome",
     "UART_DEBUG",
     "AlgorithmState",
     "FeasibilityReport",
@@ -67,6 +91,7 @@ __all__ = [
     "merged_cycles_per_second",
     "merged_graph",
     "payload_bytes",
+    "sample_bytes_for_kind",
     "select_mcu",
     "select_processor",
 ]

@@ -31,7 +31,7 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.errors import SimulationError
-from repro.hub.link import SAMPLE_BYTES_BY_KIND, LinkModel
+from repro.hub.link import LinkModel, sample_bytes_for_kind
 from repro.il.graph import DataflowGraph
 from repro.sensors.channels import channel_by_name
 
@@ -111,7 +111,7 @@ def payload_bytes(spec: DeliverySpec, graph: DataflowGraph) -> float:
             total += (
                 spec.buffer_s
                 * channel.rate_hz
-                * SAMPLE_BYTES_BY_KIND[channel.kind.value]
+                * sample_bytes_for_kind(channel.kind.value)
             )
         return total
     node = graph.node(spec.node_id)

@@ -1,0 +1,175 @@
+"""System-level fault injection: hub resets, lossy links, flaky wake-ups.
+
+The sensor-data perturbations in :mod:`repro.traces.perturb` corrupt
+what the hub *sees*; the faults modeled here break the *system around
+the wake-up condition* — the part of the contract the paper's
+Section 3.8 leaves to the hub vendor:
+
+* **hub resets** — the MCU browns out; every
+  :class:`~repro.hub.state.AlgorithmState` is lost and the condition
+  must be re-pushed by the phone before wake-ups resume;
+* **link corruption/loss** — the debug-UART drops or corrupts frames:
+  sensor-data chunks on the way into the hub, wake messages, and
+  delivery payloads on the way out;
+* **flaky wake interrupts** — the wake line fires late, or not at all.
+
+A :class:`FaultPlan` is a pure, seedable description of the faults one
+simulated run should experience; a :class:`FaultInjector` realizes the
+plan deterministically.  Each fault category draws from its *own*
+pseudo-random stream (seeded from ``(plan.seed, category)``), so adding
+draws in one category — e.g. retransmission attempts on the wake path —
+never perturbs the faults another category injects.  Two runs with the
+same plan therefore see the same resets, the same dropped chunks and
+the same lost heartbeats, which is what lets the fault-recovery
+benchmarks compare naive and reliable delivery under *identical*
+adversity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import FaultInjectionError
+
+#: Fault categories, in stream-seed order.  Order is part of the
+#: determinism contract: reordering would change every seeded run.
+_CATEGORIES = (
+    "wake_drop",
+    "wake_delay",
+    "payload_drop",
+    "chunk_drop",
+    "heartbeat_drop",
+)
+
+
+def _check_probability(name: str, value: float) -> None:
+    if not 0.0 <= value < 1.0:
+        raise FaultInjectionError(
+            f"{name} must lie in [0, 1), got {value}"
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Deterministic schedule of system faults for one simulated run.
+
+    Attributes:
+        seed: Seed for every fault stream; the same plan always injects
+            the same faults.
+        hub_reset_times: Trace times (seconds) at which the hub MCU
+            browns out.  Each reset discards all interpreter state; the
+            condition stays dead until the phone re-pushes it (which
+            only a reliability policy's watchdog ever does).
+        hub_reboot_s: Seconds the hub firmware needs to come back up
+            after a reset before it can accept a push or heartbeat.
+        wake_drop_probability: Per-transmission probability that a wake
+            message is lost on the link.
+        wake_delay_probability: Probability that a wake interrupt is
+            delayed (slow interrupt latch, kernel scheduling).
+        wake_delay_s: Length of one wake delay.
+        payload_drop_probability: Per-transmission probability that a
+            delivery payload (raw buffer, condition push) is corrupted.
+        chunk_drop_probability: Per-round probability that a sensor
+            data chunk never reaches the hub intact.
+        heartbeat_drop_probability: Per-beat probability that a
+            heartbeat frame is lost; defaults to
+            ``wake_drop_probability`` (same wire).
+    """
+
+    seed: int = 0
+    hub_reset_times: Tuple[float, ...] = ()
+    hub_reboot_s: float = 2.0
+    wake_drop_probability: float = 0.0
+    wake_delay_probability: float = 0.0
+    wake_delay_s: float = 1.0
+    payload_drop_probability: float = 0.0
+    chunk_drop_probability: float = 0.0
+    heartbeat_drop_probability: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        _check_probability("wake_drop_probability", self.wake_drop_probability)
+        _check_probability("wake_delay_probability", self.wake_delay_probability)
+        _check_probability("payload_drop_probability", self.payload_drop_probability)
+        _check_probability("chunk_drop_probability", self.chunk_drop_probability)
+        if self.heartbeat_drop_probability is not None:
+            _check_probability(
+                "heartbeat_drop_probability", self.heartbeat_drop_probability
+            )
+        if self.hub_reboot_s <= 0:
+            raise FaultInjectionError(
+                f"hub_reboot_s must be positive, got {self.hub_reboot_s}"
+            )
+        if self.wake_delay_s < 0:
+            raise FaultInjectionError(
+                f"wake_delay_s must be non-negative, got {self.wake_delay_s}"
+            )
+        if any(t < 0 for t in self.hub_reset_times):
+            raise FaultInjectionError(
+                f"hub reset times must be non-negative: {self.hub_reset_times}"
+            )
+        object.__setattr__(
+            self, "hub_reset_times", tuple(sorted(set(self.hub_reset_times)))
+        )
+
+    @property
+    def heartbeat_drop(self) -> float:
+        """Effective heartbeat loss probability."""
+        if self.heartbeat_drop_probability is not None:
+            return self.heartbeat_drop_probability
+        return self.wake_drop_probability
+
+    def resets_before(self, duration: float) -> List[float]:
+        """Reset times that fall inside a trace of the given length."""
+        return [t for t in self.hub_reset_times if t < duration]
+
+
+#: The benign plan: nothing ever fails.  Running a configuration under
+#: ``NO_FAULTS`` is event-identical to running it without fault
+#: injection at all.
+NO_FAULTS = FaultPlan()
+
+
+class FaultInjector:
+    """Stateful, deterministic realization of a :class:`FaultPlan`.
+
+    One injector drives one simulated run.  Every fault category owns
+    an independent stream, so the *order* in which categories are
+    consulted does not affect any category's own sequence of draws.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._streams: Dict[str, np.random.Generator] = {
+            name: np.random.default_rng((plan.seed, index))
+            for index, name in enumerate(_CATEGORIES)
+        }
+
+    def _draw(self, category: str, probability: float) -> bool:
+        if probability <= 0.0:
+            return False
+        return bool(self._streams[category].random() < probability)
+
+    def wake_dropped(self) -> bool:
+        """Is this wake-message transmission lost?"""
+        return self._draw("wake_drop", self.plan.wake_drop_probability)
+
+    def wake_delay(self) -> float:
+        """Delay (seconds) this wake interrupt suffers; usually 0."""
+        if self._draw("wake_delay", self.plan.wake_delay_probability):
+            return self.plan.wake_delay_s
+        return 0.0
+
+    def payload_dropped(self) -> bool:
+        """Is this payload transmission corrupted?"""
+        return self._draw("payload_drop", self.plan.payload_drop_probability)
+
+    def chunk_dropped(self) -> bool:
+        """Does this sensor-data round fail to reach the hub?"""
+        return self._draw("chunk_drop", self.plan.chunk_drop_probability)
+
+    def heartbeat_dropped(self) -> bool:
+        """Is this heartbeat frame lost?"""
+        return self._draw("heartbeat_drop", self.plan.heartbeat_drop)

@@ -37,6 +37,31 @@ SAMPLE_BYTES_BY_KIND = {
 CAMERA_CLASS_BYTES_PER_SECOND = 320 * 240 * 15.0
 
 
+def sample_bytes_for_kind(kind: str) -> int:
+    """Per-sample link encoding size for one sensor kind.
+
+    Raises:
+        SimulationError: when the kind has no link encoding.  Camera
+            streams get the paper's verdict verbatim: they need a
+            higher-bandwidth bus than the serial links modeled here.
+    """
+    try:
+        return SAMPLE_BYTES_BY_KIND[kind]
+    except KeyError:
+        if kind == "camera":
+            raise SimulationError(
+                "camera-class streams "
+                f"(~{CAMERA_CLASS_BYTES_PER_SECOND / 1e6:.1f} MB/s) do not "
+                "fit the hub-to-phone serial link; extending the prototype "
+                "to work with higher bit-rate sensors like the camera would "
+                "require a higher bandwidth data bus, such as I2C or SPI"
+            ) from None
+        raise SimulationError(
+            f"no link encoding for sensor kind {kind!r}; supported kinds: "
+            f"{sorted(SAMPLE_BYTES_BY_KIND)}"
+        ) from None
+
+
 @dataclass(frozen=True)
 class LinkModel:
     """A hub-to-phone data link.
@@ -78,7 +103,7 @@ SPI_20MHZ = LinkModel("SPI 20 MHz", 20_000_000.0, 0.95)
 
 def channel_stream_bytes_per_second(channel: SensorChannel) -> float:
     """Streaming byte rate of one channel at its nominal sample rate."""
-    return channel.rate_hz * SAMPLE_BYTES_BY_KIND[channel.kind.value]
+    return channel.rate_hz * sample_bytes_for_kind(channel.kind.value)
 
 
 def stream_bytes_per_second(channels: Iterable[object]) -> float:

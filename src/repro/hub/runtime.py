@@ -27,6 +27,7 @@ from typing import Dict, Iterable, List, Sequence, Tuple
 
 import numpy as np
 
+from repro.errors import HubExecutionError
 from repro.il.ast import ChannelRef, NodeRef
 from repro.il.graph import DataflowGraph
 from repro.hub.state import AlgorithmState, allocate_states
@@ -77,10 +78,16 @@ class HubRuntime:
 
         Returns:
             Wake events produced this round, in time order.
+
+        Raises:
+            HubExecutionError: when a channel the condition reads has
+                no chunk this round.
         """
         missing = [c for c in self.graph.channels if c not in channel_chunks]
         if missing:
-            raise KeyError(f"feed() missing chunks for channels {missing}")
+            raise HubExecutionError(
+                f"feed() missing chunks for channels {missing}"
+            )
 
         round_outputs: Dict[int, Chunk] = {}
         events: List[WakeEvent] = []

@@ -32,6 +32,9 @@ class PowerBreakdown:
         duration_s: Trace duration the averages are taken over.
         wakeup_count: Number of asleep-to-awake transitions.
         awake_fraction: Fraction of the trace spent fully awake.
+        reliability_mw: Average draw of the reliable-transport overhead
+            (CRC framing, retransmissions, ACKs, heartbeats, condition
+            re-pushes); 0 for naive delivery.
     """
 
     phone_awake_mw: float
@@ -41,6 +44,7 @@ class PowerBreakdown:
     duration_s: float
     wakeup_count: int
     awake_fraction: float
+    reliability_mw: float = 0.0
 
     @property
     def phone_mw(self) -> float:
@@ -49,8 +53,8 @@ class PowerBreakdown:
 
     @property
     def total_mw(self) -> float:
-        """Average total draw including the hub."""
-        return self.phone_mw + self.hub_mw
+        """Average total draw including the hub and link reliability."""
+        return self.phone_mw + self.hub_mw + self.reliability_mw
 
     @property
     def total_energy_mj(self) -> float:
@@ -63,6 +67,7 @@ def account(
     profile: PhonePowerProfile,
     mcus: Tuple[MCUModel, ...] = (),
     hub_mw: Optional[float] = None,
+    reliability_mj: float = 0.0,
 ) -> PowerBreakdown:
     """Compute the :class:`PowerBreakdown` of a run.
 
@@ -73,6 +78,8 @@ def account(
             is charged for the full duration (the hub never sleeps while
             a condition is resident).
         hub_mw: Explicit override for the hub draw; wins over ``mcus``.
+        reliability_mj: Energy the reliable transport spent on retries,
+            ACKs, heartbeats and re-pushes, averaged over the duration.
     """
     duration = timeline.duration
     if duration <= 0:
@@ -93,4 +100,5 @@ def account(
         duration_s=duration,
         wakeup_count=timeline.wakeup_count,
         awake_fraction=awake / duration,
+        reliability_mw=max(0.0, reliability_mj) / duration,
     )

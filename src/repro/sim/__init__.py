@@ -23,8 +23,19 @@ from repro.sim.configs import (
     PredefinedActivity,
     Sidewinder,
 )
+from repro.sim.recovery import (
+    FaultReport,
+    FaultyRun,
+    WakeDelivery,
+    run_condition_under_faults,
+)
 from repro.sim.results import SimulationResult
-from repro.sim.simulator import evaluate, run_wakeup_condition, windows_from_wake_times
+from repro.sim.simulator import (
+    evaluate,
+    faulty_condition_windows,
+    run_wakeup_condition,
+    windows_from_wake_times,
+)
 
 __all__ = [
     "AdaptiveSidewinder",
@@ -32,6 +43,8 @@ __all__ = [
     "ConcurrentResult",
     "ConcurrentSidewinder",
     "EpochReport",
+    "FaultReport",
+    "FaultyRun",
     "ThresholdTuner",
     "Batching",
     "DutyCycling",
@@ -39,7 +52,10 @@ __all__ = [
     "PredefinedActivity",
     "Sidewinder",
     "SimulationResult",
+    "WakeDelivery",
     "evaluate",
+    "faulty_condition_windows",
+    "run_condition_under_faults",
     "run_wakeup_condition",
     "windows_from_wake_times",
 ]

@@ -28,16 +28,21 @@ from repro.api.pipeline import ProcessingPipeline
 from repro.api.stubs import MinThreshold, Statistic, SumOf, Window
 from repro.apps.base import SensingApplication
 from repro.errors import SimulationError
+from repro.hub.faults import FaultPlan
+from repro.hub.link import LinkModel, UART_DEBUG
 from repro.hub.mcu import MSP430
+from repro.hub.reliability import ReliabilityPolicy
 from repro.power.phone import NEXUS4, PhonePowerProfile
 from repro.sensors.channels import ACC_X, ACC_Y, ACC_Z, MIC
 from repro.sim.configs.base import SensingConfiguration
 from repro.sim.results import SimulationResult
 from repro.sim.simulator import (
+    DEFAULT_RAW_BUFFER_S,
     TRIGGERED_HOLD_S,
     compile_app_condition,
     evaluate,
     extend_for_buffer,
+    faulty_condition_windows,
     run_wakeup_condition,
     windows_from_wake_times,
 )
@@ -97,6 +102,12 @@ class PredefinedActivity(SensingConfiguration):
         motion_threshold: Significant-motion threshold (accel apps).
         sound_threshold: Significant-sound threshold (audio apps).
         hold_s: Awake hold per wake-up.
+        fault_plan: Optional system-fault schedule; the manufacturer's
+            hardwired trigger rides the same MCU and link, so it fails
+            the same ways a Sidewinder condition does.
+        reliability: Reliable-transport policy under faults; ``None``
+            models naive delivery.
+        link: Hub-to-phone bus the fault model runs over.
     """
 
     name = "predefined_activity"
@@ -106,10 +117,16 @@ class PredefinedActivity(SensingConfiguration):
         motion_threshold: float = DEFAULT_MOTION_THRESHOLD,
         sound_threshold: float = DEFAULT_SOUND_THRESHOLD,
         hold_s: float = TRIGGERED_HOLD_S,
+        fault_plan: Optional[FaultPlan] = None,
+        reliability: Optional[ReliabilityPolicy] = None,
+        link: LinkModel = UART_DEBUG,
     ):
         self.motion_threshold = motion_threshold
         self.sound_threshold = sound_threshold
         self.hold_s = hold_s
+        self.fault_plan = fault_plan
+        self.reliability = reliability
+        self.link = link
 
     def pipeline_for(self, app: SensingApplication) -> ProcessingPipeline:
         """Pick the matching generic trigger for an application."""
@@ -129,6 +146,28 @@ class PredefinedActivity(SensingConfiguration):
         profile: PhonePowerProfile = NEXUS4,
     ) -> SimulationResult:
         graph = compile_app_condition(self.pipeline_for(app))
+        if self.fault_plan is not None:
+            awake, detect, faulty = faulty_condition_windows(
+                graph,
+                trace,
+                self.fault_plan,
+                self.reliability,
+                link=self.link,
+                hold_s=self.hold_s,
+                raw_buffer_s=DEFAULT_RAW_BUFFER_S,
+                profile=profile,
+            )
+            return evaluate(
+                config_name=self.name,
+                app=app,
+                trace=trace,
+                awake_windows=awake,
+                detect_windows=detect,
+                mcus=(MSP430,),
+                profile=profile,
+                hub_wake_count=faulty.hub_event_count,
+                fault_report=faulty.report,
+            )
         wake_events = run_wakeup_condition(graph, trace)
         awake = windows_from_wake_times(
             [w.time for w in wake_events], trace.duration, self.hold_s, profile

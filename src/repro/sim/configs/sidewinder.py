@@ -13,11 +13,14 @@ the final filtering.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.apps.base import SensingApplication
+from repro.hub.faults import FaultPlan
 from repro.hub.fpga import HubProcessor, select_processor
+from repro.hub.link import LinkModel, UART_DEBUG
 from repro.hub.mcu import DEFAULT_CATALOG
+from repro.hub.reliability import ReliabilityPolicy
 from repro.power.phone import NEXUS4, PhonePowerProfile
 from repro.sim.configs.base import SensingConfiguration
 from repro.sim.results import SimulationResult
@@ -27,6 +30,7 @@ from repro.sim.simulator import (
     compile_app_condition,
     evaluate,
     extend_for_buffer,
+    faulty_condition_windows,
     run_wakeup_condition,
     windows_from_wake_times,
 )
@@ -41,6 +45,12 @@ class Sidewinder(SensingConfiguration):
         raw_buffer_s: Pre-wake raw data the hub hands over.
         catalog: Hub processors on offer — MCUs and/or FPGAs
             (default: the paper's MSP430 + LM4F120 pair).
+        fault_plan: Optional system-fault schedule (hub resets, link
+            loss, flaky wake interrupts); ``None`` runs fault-free.
+        reliability: Reliable-transport policy applied when faults are
+            injected; ``None`` models the paper's naive fire-and-forget
+            delivery (no CRC, no retries, no watchdog).
+        link: Hub-to-phone bus the fault model runs over.
     """
 
     name = "sidewinder"
@@ -50,10 +60,16 @@ class Sidewinder(SensingConfiguration):
         hold_s: float = TRIGGERED_HOLD_S,
         raw_buffer_s: float = DEFAULT_RAW_BUFFER_S,
         catalog: Sequence[HubProcessor] = DEFAULT_CATALOG,
+        fault_plan: Optional[FaultPlan] = None,
+        reliability: Optional[ReliabilityPolicy] = None,
+        link: LinkModel = UART_DEBUG,
     ):
         self.hold_s = hold_s
         self.raw_buffer_s = raw_buffer_s
         self.catalog = tuple(catalog)
+        self.fault_plan = fault_plan
+        self.reliability = reliability
+        self.link = link
 
     def run(
         self,
@@ -63,6 +79,28 @@ class Sidewinder(SensingConfiguration):
     ) -> SimulationResult:
         graph = compile_app_condition(app.build_wakeup_pipeline())
         mcu = select_processor(graph, self.catalog)
+        if self.fault_plan is not None:
+            awake, detect, faulty = faulty_condition_windows(
+                graph,
+                trace,
+                self.fault_plan,
+                self.reliability,
+                link=self.link,
+                hold_s=self.hold_s,
+                raw_buffer_s=self.raw_buffer_s,
+                profile=profile,
+            )
+            return evaluate(
+                config_name=self.name,
+                app=app,
+                trace=trace,
+                awake_windows=awake,
+                detect_windows=detect,
+                mcus=(mcu,),
+                profile=profile,
+                hub_wake_count=faulty.hub_event_count,
+                fault_report=faulty.report,
+            )
         wake_events = run_wakeup_condition(graph, trace)
         awake = windows_from_wake_times(
             [w.time for w in wake_events], trace.duration, self.hold_s, profile

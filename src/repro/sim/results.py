@@ -9,11 +9,12 @@ energy model ... we estimate the average power consumption."
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.apps.base import Detection
 from repro.power.accounting import PowerBreakdown
 from repro.power.timeline import Timeline
+from repro.sim.recovery import FaultReport
 
 
 @dataclass(frozen=True)
@@ -32,6 +33,9 @@ class SimulationResult:
         hub_wake_count: Wake events emitted by the hub condition (0 for
             configurations without a hub condition).
         mcu_names: Hub MCUs charged in the power model.
+        fault_report: Fault-injection and recovery counters when the
+            run executed under a :class:`~repro.hub.faults.FaultPlan`;
+            ``None`` for fault-free runs.
     """
 
     config_name: str
@@ -44,11 +48,32 @@ class SimulationResult:
     precision: float
     hub_wake_count: int = 0
     mcu_names: Tuple[str, ...] = ()
+    fault_report: Optional[FaultReport] = None
 
     @property
     def average_power_mw(self) -> float:
         """Average total power (phone + hub), mW."""
         return self.power.total_mw
+
+    @property
+    def hub_resets(self) -> int:
+        """Hub brown-outs injected during the run."""
+        return self.fault_report.hub_resets if self.fault_report else 0
+
+    @property
+    def retransmissions(self) -> int:
+        """Link retransmissions the reliable transport performed."""
+        return self.fault_report.retransmissions if self.fault_report else 0
+
+    @property
+    def lost_wakeups(self) -> int:
+        """Hub wake events that never reached the phone."""
+        return self.fault_report.lost_wakeups if self.fault_report else 0
+
+    @property
+    def degraded_seconds(self) -> float:
+        """Seconds spent degraded to duty-cycling after a watchdog trip."""
+        return self.fault_report.degraded_seconds if self.fault_report else 0.0
 
     @property
     def awake_fraction(self) -> float:

@@ -13,14 +13,20 @@ from typing import List, Optional, Sequence, Tuple
 from repro.api.compile import compile_pipeline
 from repro.api.pipeline import ProcessingPipeline
 from repro.apps.base import Detection, SensingApplication
+from repro.errors import HubExecutionError
 from repro.eval.metrics import match_events
+from repro.hub.delivery import DeliveryMode, DeliverySpec, payload_bytes
+from repro.hub.faults import FaultPlan
+from repro.hub.link import LinkModel, UART_DEBUG
 from repro.hub.mcu import MCUModel
+from repro.hub.reliability import ReliabilityPolicy
 from repro.hub.runtime import HubRuntime, WakeEvent, split_into_rounds
 from repro.il.graph import DataflowGraph
 from repro.il.validate import validate_program
 from repro.power.accounting import account
 from repro.power.phone import NEXUS4, PhonePowerProfile
 from repro.power.timeline import build_timeline, merge_windows
+from repro.sim.recovery import FaultReport, FaultyRun, run_condition_under_faults
 from repro.sim.results import SimulationResult
 from repro.traces.base import Trace
 
@@ -60,11 +66,68 @@ def run_wakeup_condition(
     }
     missing = set(graph.channels) - set(channels)
     if missing:
-        raise KeyError(
+        raise HubExecutionError(
             f"trace {trace.name!r} lacks channels {sorted(missing)} needed "
             "by the wake-up condition"
         )
     return runtime.run(split_into_rounds(channels, chunk_seconds))
+
+
+def faulty_condition_windows(
+    graph: DataflowGraph,
+    trace: Trace,
+    plan: FaultPlan,
+    policy: Optional[ReliabilityPolicy] = None,
+    link: LinkModel = UART_DEBUG,
+    hold_s: float = TRIGGERED_HOLD_S,
+    raw_buffer_s: float = DEFAULT_RAW_BUFFER_S,
+    profile: PhonePowerProfile = NEXUS4,
+) -> Tuple[List[Tuple[float, float]], List[Tuple[float, float]], FaultyRun]:
+    """Awake and data-visibility windows under injected system faults.
+
+    Runs the condition through :func:`repro.sim.recovery.run_condition_under_faults`
+    and turns the phone's experience into simulator windows:
+
+    * awake windows come from the wake-ups that actually *arrived*
+      (retry/interrupt delays shift them), merged with any degraded
+      duty-cycling windows the watchdog fallback ran;
+    * detect windows extend each wake-up whose delivery payload
+      survived back to the start of the hub's raw buffer — a wake-up
+      whose payload was lost wakes the phone but carries no pre-wake
+      data.
+
+    Returns:
+        ``(awake_windows, detect_windows, faulty_run)``.
+    """
+    payload = payload_bytes(
+        DeliverySpec(DeliveryMode.RAW, buffer_s=raw_buffer_s), graph
+    )
+    run = run_condition_under_faults(
+        graph,
+        trace,
+        plan,
+        policy,
+        link=link,
+        wake_payload_bytes=payload,
+        chunk_seconds=FEED_CHUNK_S,
+    )
+    wake_windows = windows_from_wake_times(
+        [d.arrival_time for d in run.deliveries], trace.duration, hold_s, profile
+    )
+    awake = merge_windows(
+        list(wake_windows) + list(run.degraded_windows),
+        min_gap=2.0 * profile.transition_s,
+    )
+    buffered = [
+        (
+            max(0.0, d.event_time - raw_buffer_s),
+            min(d.arrival_time, trace.duration),
+        )
+        for d in run.deliveries
+        if d.payload_delivered
+    ]
+    detect = merge_windows(list(awake) + buffered, min_gap=0.0)
+    return awake, detect, run
 
 
 def windows_from_wake_times(
@@ -109,6 +172,7 @@ def evaluate(
     mcus: Sequence[MCUModel] = (),
     profile: PhonePowerProfile = NEXUS4,
     hub_wake_count: int = 0,
+    fault_report: Optional[FaultReport] = None,
 ) -> SimulationResult:
     """Assemble a :class:`SimulationResult`.
 
@@ -126,6 +190,9 @@ def evaluate(
         mcus: Hub MCUs charged in the power model.
         profile: Phone power profile.
         hub_wake_count: Wake events the hub condition produced.
+        fault_report: Fault/recovery counters when the run was executed
+            under a fault plan; its reliability energy is charged in
+            the power breakdown.
     """
     timeline = build_timeline(trace.duration, awake_windows, profile)
     if detections is None:
@@ -133,7 +200,12 @@ def evaluate(
         detections = app.detect(trace, windows)
     events = app.events_of_interest(trace)
     match = match_events(events, detections, app.match_tolerance_s)
-    breakdown = account(timeline, profile, mcus=tuple(mcus))
+    breakdown = account(
+        timeline,
+        profile,
+        mcus=tuple(mcus),
+        reliability_mj=fault_report.reliability_mj if fault_report else 0.0,
+    )
     return SimulationResult(
         config_name=config_name,
         app_name=app.name,
@@ -145,4 +217,5 @@ def evaluate(
         precision=match.precision,
         hub_wake_count=hub_wake_count,
         mcu_names=tuple(m.name for m in mcus),
+        fault_report=fault_report,
     )

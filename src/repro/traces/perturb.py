@@ -128,6 +128,11 @@ def random_fault_spans(
     """
     if span_s <= 0 or total_fault_s < 0:
         raise TraceError("span_s must be positive and total_fault_s >= 0")
+    if span_s > trace.duration:
+        raise TraceError(
+            f"fault span length {span_s}s exceeds trace duration "
+            f"{trace.duration}s; no start position exists"
+        )
     rng = np.random.default_rng(seed)
     spans: List[Tuple[float, float]] = []
     budget = total_fault_s

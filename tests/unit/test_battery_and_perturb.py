@@ -109,6 +109,87 @@ class TestRandomFaultSpans:
         with pytest.raises(TraceError):
             random_fault_spans(robot_trace, 10.0, 0.0)
 
+    def test_span_longer_than_trace_rejected(self, robot_trace):
+        # Used to silently draw from uniform(0, negative) — now a
+        # diagnosable error.
+        with pytest.raises(TraceError, match="exceeds trace duration"):
+            random_fault_spans(
+                robot_trace, 10.0, span_s=robot_trace.duration + 1.0
+            )
+
+    def test_budget_below_span_yields_nothing(self, robot_trace):
+        assert random_fault_spans(robot_trace, total_fault_s=2.0, span_s=5.0) == []
+
+    def test_zero_budget_yields_nothing(self, robot_trace):
+        assert random_fault_spans(robot_trace, 0.0, 5.0) == []
+
+    def test_deterministic_per_seed(self, robot_trace):
+        a = random_fault_spans(robot_trace, 30.0, 5.0, seed=11)
+        b = random_fault_spans(robot_trace, 30.0, 5.0, seed=11)
+        c = random_fault_spans(robot_trace, 30.0, 5.0, seed=12)
+        assert a == b
+        assert a != c
+
+
+class TestPerturbationEdgeCases:
+    def test_span_past_trace_end_is_clamped(self, robot_trace):
+        end = robot_trace.duration
+        faulty = dropout(robot_trace, "ACC_X", [(end - 1.0, end + 10.0)], fill=7.0)
+        samples = faulty.data["ACC_X"]
+        assert len(samples) == len(robot_trace.data["ACC_X"])
+        rate = robot_trace.rate_hz["ACC_X"]
+        assert np.all(samples[int((end - 1.0) * rate) :] == 7.0)
+
+    def test_overlapping_spans_compose(self, robot_trace):
+        # Overlapping spans are legal; each is applied in order, so the
+        # union of both regions ends up perturbed.
+        faulty = dropout(
+            robot_trace, "ACC_X", [(10.0, 14.0), (12.0, 16.0)], fill=0.5
+        )
+        rate = robot_trace.rate_hz["ACC_X"]
+        region = faulty.data["ACC_X"][int(10 * rate) : int(16 * rate)]
+        assert np.all(region == 0.5)
+
+    def test_overlapping_stuck_spans_hold_first_value(self, robot_trace):
+        faulty = stuck_sensor(
+            robot_trace, "ACC_Y", [(10.0, 14.0), (12.0, 16.0)]
+        )
+        rate = robot_trace.rate_hz["ACC_Y"]
+        held = robot_trace.data["ACC_Y"][int(10 * rate) - 1]
+        region = faulty.data["ACC_Y"][int(10 * rate) : int(16 * rate)]
+        assert np.all(region == held)
+
+    def test_stuck_span_at_trace_start_holds_first_sample(self, robot_trace):
+        faulty = stuck_sensor(robot_trace, "ACC_X", [(0.0, 2.0)])
+        rate = robot_trace.rate_hz["ACC_X"]
+        first = robot_trace.data["ACC_X"][0]
+        assert np.all(faulty.data["ACC_X"][: int(2 * rate)] == first)
+
+    def test_noise_burst_deterministic_per_seed(self, robot_trace):
+        a = noise_burst(robot_trace, "ACC_Z", [(5.0, 10.0)], sigma=2.0, seed=3)
+        b = noise_burst(robot_trace, "ACC_Z", [(5.0, 10.0)], sigma=2.0, seed=3)
+        c = noise_burst(robot_trace, "ACC_Z", [(5.0, 10.0)], sigma=2.0, seed=4)
+        assert np.array_equal(a.data["ACC_Z"], b.data["ACC_Z"])
+        assert not np.array_equal(a.data["ACC_Z"], c.data["ACC_Z"])
+
+    def test_noise_burst_zero_sigma_is_identity(self, robot_trace):
+        faulty = noise_burst(robot_trace, "ACC_X", [(5.0, 10.0)], sigma=0.0)
+        assert np.array_equal(faulty.data["ACC_X"], robot_trace.data["ACC_X"])
+
+    def test_samples_outside_spans_untouched(self, robot_trace):
+        faulty = noise_burst(
+            robot_trace, "ACC_X", [(5.0, 10.0)], sigma=3.0, seed=1
+        )
+        rate = robot_trace.rate_hz["ACC_X"]
+        assert np.array_equal(
+            faulty.data["ACC_X"][: int(5 * rate)],
+            robot_trace.data["ACC_X"][: int(5 * rate)],
+        )
+        assert np.array_equal(
+            faulty.data["ACC_X"][int(10 * rate) :],
+            robot_trace.data["ACC_X"][int(10 * rate) :],
+        )
+
 
 class TestRobustnessUnderFaults:
     def test_stuck_sensor_outside_events_harmless(self, robot_trace):

@@ -1,0 +1,116 @@
+"""Unit tests for system-fault plans and the deterministic injector."""
+
+import pytest
+
+from repro.errors import FaultInjectionError, SidewinderError
+from repro.hub.faults import NO_FAULTS, FaultInjector, FaultPlan
+
+
+class TestFaultPlanValidation:
+    def test_default_plan_is_benign(self):
+        assert NO_FAULTS.hub_reset_times == ()
+        assert NO_FAULTS.wake_drop_probability == 0.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"wake_drop_probability": -0.1},
+            {"wake_drop_probability": 1.0},
+            {"wake_delay_probability": 1.5},
+            {"payload_drop_probability": -1e-9},
+            {"chunk_drop_probability": 2.0},
+            {"heartbeat_drop_probability": 1.0},
+        ],
+    )
+    def test_probabilities_must_lie_in_unit_interval(self, kwargs):
+        with pytest.raises(FaultInjectionError):
+            FaultPlan(**kwargs)
+
+    def test_negative_reset_time_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            FaultPlan(hub_reset_times=(-1.0,))
+
+    def test_non_positive_reboot_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            FaultPlan(hub_reboot_s=0.0)
+
+    def test_negative_wake_delay_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            FaultPlan(wake_delay_s=-0.5)
+
+    def test_validation_error_is_library_error(self):
+        with pytest.raises(SidewinderError):
+            FaultPlan(wake_drop_probability=7.0)
+
+    def test_reset_times_sorted_and_deduplicated(self):
+        plan = FaultPlan(hub_reset_times=(30.0, 10.0, 30.0))
+        assert plan.hub_reset_times == (10.0, 30.0)
+
+    def test_resets_before_clips_to_duration(self):
+        plan = FaultPlan(hub_reset_times=(10.0, 500.0))
+        assert plan.resets_before(100.0) == [10.0]
+
+    def test_heartbeat_drop_defaults_to_wake_drop(self):
+        plan = FaultPlan(wake_drop_probability=0.2)
+        assert plan.heartbeat_drop == 0.2
+        explicit = FaultPlan(
+            wake_drop_probability=0.2, heartbeat_drop_probability=0.05
+        )
+        assert explicit.heartbeat_drop == 0.05
+
+
+class TestFaultInjector:
+    def test_benign_plan_never_faults(self):
+        injector = FaultInjector(NO_FAULTS)
+        for _ in range(100):
+            assert not injector.wake_dropped()
+            assert not injector.payload_dropped()
+            assert not injector.chunk_dropped()
+            assert not injector.heartbeat_dropped()
+            assert injector.wake_delay() == 0.0
+
+    def test_same_plan_same_draws(self):
+        plan = FaultPlan(
+            seed=5,
+            wake_drop_probability=0.5,
+            wake_delay_probability=0.5,
+            payload_drop_probability=0.5,
+        )
+        a, b = FaultInjector(plan), FaultInjector(plan)
+        draws_a = [
+            (a.wake_dropped(), a.wake_delay(), a.payload_dropped())
+            for _ in range(50)
+        ]
+        draws_b = [
+            (b.wake_dropped(), b.wake_delay(), b.payload_dropped())
+            for _ in range(50)
+        ]
+        assert draws_a == draws_b
+
+    def test_streams_are_independent(self):
+        """Extra draws in one category must not shift another's stream."""
+        plan = FaultPlan(seed=11, wake_drop_probability=0.5,
+                         chunk_drop_probability=0.5)
+        plain = FaultInjector(plan)
+        interleaved = FaultInjector(plan)
+        expected = [plain.chunk_dropped() for _ in range(20)]
+        observed = []
+        for _ in range(20):
+            interleaved.wake_dropped()  # extra traffic on another stream
+            interleaved.wake_dropped()
+            observed.append(interleaved.chunk_dropped())
+        assert observed == expected
+
+    def test_different_seeds_diverge(self):
+        a = FaultInjector(FaultPlan(seed=1, wake_drop_probability=0.5))
+        b = FaultInjector(FaultPlan(seed=2, wake_drop_probability=0.5))
+        draws_a = [a.wake_dropped() for _ in range(64)]
+        draws_b = [b.wake_dropped() for _ in range(64)]
+        assert draws_a != draws_b
+
+    def test_delay_draw_returns_plan_delay(self):
+        plan = FaultPlan(wake_delay_probability=0.999, wake_delay_s=0.7)
+        injector = FaultInjector(plan)
+        delays = {injector.wake_delay() for _ in range(50)}
+        assert 0.7 in delays
+        assert delays <= {0.0, 0.7}

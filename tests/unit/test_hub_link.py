@@ -13,9 +13,30 @@ from repro.hub.link import (
     batch_transfer_seconds,
     can_stream,
     channel_stream_bytes_per_second,
+    sample_bytes_for_kind,
     stream_bytes_per_second,
 )
 from repro.sensors.channels import ACC_X, MIC
+
+
+class TestSampleBytesForKind:
+    def test_known_kinds(self):
+        assert sample_bytes_for_kind("accelerometer") == 2
+        assert sample_bytes_for_kind("microphone") == 1
+
+    def test_unknown_kind_names_itself_and_the_supported_set(self):
+        with pytest.raises(SimulationError) as excinfo:
+            sample_bytes_for_kind("barometer")
+        message = str(excinfo.value)
+        assert "'barometer'" in message
+        assert "accelerometer" in message
+        assert "microphone" in message
+
+    def test_camera_kind_points_at_a_faster_bus(self):
+        with pytest.raises(
+            SimulationError, match="higher bandwidth data bus"
+        ):
+            sample_bytes_for_kind("camera")
 
 
 def test_uart_payload_rate():

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.errors import HubExecutionError, SidewinderError
 from repro.il.parser import parse_program
 from repro.il.validate import validate_program
 from repro.hub.runtime import HubRuntime, split_into_rounds
@@ -52,7 +53,15 @@ def test_silent_on_quiet_data():
 
 def test_missing_channel_rejected():
     runtime = _runtime(SIGNIFICANT_MOTION)
-    with pytest.raises(KeyError, match="ACC_Z"):
+    with pytest.raises(HubExecutionError, match="ACC_Z"):
+        runtime.feed(_acc_chunks(np.zeros(10), np.zeros(10)))
+
+
+def test_missing_channel_is_library_error():
+    # errors.py promises every library failure derives from
+    # SidewinderError; the feed path used to leak a bare KeyError.
+    runtime = _runtime(SIGNIFICANT_MOTION)
+    with pytest.raises(SidewinderError):
         runtime.feed(_acc_chunks(np.zeros(10), np.zeros(10)))
 
 

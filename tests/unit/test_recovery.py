@@ -1,0 +1,237 @@
+"""Unit tests for fault-aware condition execution and watchdog recovery."""
+
+import pytest
+
+from repro.apps import HeadbuttApp
+from repro.errors import HubExecutionError
+from repro.hub.faults import NO_FAULTS, FaultPlan
+from repro.hub.reliability import ReliabilityPolicy
+from repro.sim import PredefinedActivity, Sidewinder
+from repro.sim.configs.predefined import (
+    significant_motion_pipeline,
+    significant_sound_pipeline,
+)
+from repro.sim.recovery import degraded_sense_windows, run_condition_under_faults
+from repro.sim.simulator import (
+    compile_app_condition,
+    faulty_condition_windows,
+    run_wakeup_condition,
+)
+
+
+@pytest.fixture(scope="module")
+def motion_graph():
+    return compile_app_condition(significant_motion_pipeline())
+
+
+class TestRunConditionUnderFaults:
+    def test_no_faults_matches_clean_execution(self, robot_trace, motion_graph):
+        clean_events = run_wakeup_condition(motion_graph, robot_trace)
+        run = run_condition_under_faults(motion_graph, robot_trace, NO_FAULTS)
+        assert [d.event_time for d in run.deliveries] == [
+            e.time for e in clean_events
+        ]
+        assert all(d.arrival_time == d.event_time for d in run.deliveries)
+        assert all(d.payload_delivered for d in run.deliveries)
+        assert run.report.hub_resets == 0
+        assert run.report.lost_wakeups == 0
+        assert run.report.reliability_mj == 0.0
+        assert run.resident_spans == ((0.0, robot_trace.duration),)
+
+    def test_naive_reset_flatlines(self, robot_trace, motion_graph):
+        plan = FaultPlan(hub_reset_times=(100.0,))
+        run = run_condition_under_faults(motion_graph, robot_trace, plan)
+        assert run.report.hub_resets == 1
+        assert run.resident_spans == ((0.0, 100.0),)
+        assert all(d.event_time < 100.0 for d in run.deliveries)
+        assert run.degraded_windows == ()
+
+    def test_watchdog_recovers_from_reset(self, robot_trace, motion_graph):
+        plan = FaultPlan(hub_reset_times=(100.0,))
+        policy = ReliabilityPolicy()
+        run = run_condition_under_faults(
+            motion_graph, robot_trace, plan, policy
+        )
+        assert run.report.watchdog_trips >= 1
+        assert run.report.repushes >= 1
+        assert run.report.degraded_seconds > 0.0
+        assert len(run.resident_spans) == 2
+        resumed_at = run.resident_spans[1][0]
+        assert 100.0 < resumed_at < robot_trace.duration
+        assert any(d.event_time > resumed_at for d in run.deliveries)
+
+    def test_detection_latency_bounded_by_heartbeat(self, robot_trace, motion_graph):
+        # Fast path: the rebooted hub's stale heartbeat confesses, so
+        # recovery lands within reboot + one heartbeat period + push.
+        plan = FaultPlan(hub_reset_times=(100.0,), hub_reboot_s=2.0)
+        policy = ReliabilityPolicy(heartbeat_period_s=5.0)
+        run = run_condition_under_faults(
+            motion_graph, robot_trace, plan, policy
+        )
+        resumed_at = run.resident_spans[1][0]
+        assert resumed_at - 100.0 < 2.0 + 2 * 5.0
+
+    def test_naive_wake_loss(self, robot_trace, motion_graph):
+        plan = FaultPlan(seed=3, wake_drop_probability=0.3)
+        run = run_condition_under_faults(motion_graph, robot_trace, plan)
+        assert run.report.lost_wakeups > 0
+        assert len(run.deliveries) + run.report.lost_wakeups == run.hub_event_count
+
+    def test_reliable_wake_loss_recovered_by_retries(
+        self, robot_trace, motion_graph
+    ):
+        plan = FaultPlan(seed=3, wake_drop_probability=0.3)
+        run = run_condition_under_faults(
+            motion_graph, robot_trace, plan, ReliabilityPolicy()
+        )
+        assert run.report.lost_wakeups == 0
+        assert run.report.retransmissions > 0
+        assert run.report.reliability_mj > 0.0
+
+    def test_delayed_wake_interrupts(self, robot_trace, motion_graph):
+        plan = FaultPlan(
+            seed=4, wake_delay_probability=0.9, wake_delay_s=1.5
+        )
+        run = run_condition_under_faults(motion_graph, robot_trace, plan)
+        delays = [d.arrival_time - d.event_time for d in run.deliveries]
+        assert any(delay == pytest.approx(1.5) for delay in delays)
+        assert all(delay in (0.0, pytest.approx(1.5)) for delay in delays)
+
+    def test_chunk_loss_starves_the_condition(self, robot_trace, motion_graph):
+        clean = run_condition_under_faults(motion_graph, robot_trace, NO_FAULTS)
+        plan = FaultPlan(seed=5, chunk_drop_probability=0.5)
+        lossy = run_condition_under_faults(motion_graph, robot_trace, plan)
+        assert lossy.report.lost_chunks > 0
+        assert lossy.hub_event_count < clean.hub_event_count
+
+    def test_spurious_trips_on_heartbeat_blackout(
+        self, robot_trace, motion_graph
+    ):
+        # A very lossy wire with a healthy hub: the watchdog trips
+        # spuriously, re-pushes, and the condition keeps working.
+        plan = FaultPlan(seed=6, heartbeat_drop_probability=0.85)
+        run = run_condition_under_faults(
+            motion_graph, robot_trace, plan, ReliabilityPolicy()
+        )
+        assert run.report.hub_resets == 0
+        assert run.report.watchdog_trips > 0
+        assert run.report.repushes == run.report.watchdog_trips
+        assert len(run.resident_spans) == run.report.repushes + 1
+
+    def test_deterministic_under_fixed_seed(self, robot_trace, motion_graph):
+        plan = FaultPlan(
+            seed=9,
+            hub_reset_times=(80.0,),
+            wake_drop_probability=0.2,
+            payload_drop_probability=0.2,
+            chunk_drop_probability=0.05,
+        )
+        runs = [
+            run_condition_under_faults(
+                motion_graph, robot_trace, plan, ReliabilityPolicy()
+            )
+            for _ in range(2)
+        ]
+        assert runs[0].report == runs[1].report
+        assert runs[0].deliveries == runs[1].deliveries
+        assert runs[0].degraded_windows == runs[1].degraded_windows
+
+    def test_missing_channel_is_hub_execution_error(self, robot_trace):
+        sound = compile_app_condition(significant_sound_pipeline())
+        with pytest.raises(HubExecutionError, match="MIC"):
+            run_condition_under_faults(sound, robot_trace, NO_FAULTS)
+
+
+class TestDegradedSenseWindows:
+    def test_duty_cycle_covers_interval(self):
+        policy = ReliabilityPolicy(degraded_sense_s=4.0, degraded_sleep_s=10.0)
+        windows = degraded_sense_windows(((0.0, 30.0),), policy)
+        assert windows == [(0.0, 4.0), (14.0, 18.0), (28.0, 30.0)]
+
+    def test_empty_intervals_no_windows(self):
+        assert degraded_sense_windows((), ReliabilityPolicy()) == []
+
+
+class TestFaultyConditionWindows:
+    def test_lost_payloads_shrink_visibility(self, robot_trace, motion_graph):
+        lossless = FaultPlan(seed=12)
+        lossy = FaultPlan(seed=12, payload_drop_probability=0.95)
+        _, detect_full, run_full = faulty_condition_windows(
+            motion_graph, robot_trace, lossless
+        )
+        _, detect_lossy, run_lossy = faulty_condition_windows(
+            motion_graph, robot_trace, lossy
+        )
+        assert any(not d.payload_delivered for d in run_lossy.deliveries)
+        visible = lambda ws: sum(b - a for a, b in ws)
+        assert visible(detect_lossy) < visible(detect_full)
+
+    def test_degraded_windows_join_awake_time(self, robot_trace, motion_graph):
+        # A long brown-out loop forces the slow watchdog path; the
+        # degraded duty cycle must appear in the awake windows.
+        plan = FaultPlan(hub_reset_times=(100.0,), hub_reboot_s=60.0)
+        policy = ReliabilityPolicy()
+        awake, _, run = faulty_condition_windows(
+            motion_graph, robot_trace, plan, policy
+        )
+        assert run.report.degraded_seconds > 10.0
+        degraded_start = run.degraded_windows[0][0]
+        assert any(a <= degraded_start < b for a, b in awake)
+
+
+class TestConfigIntegration:
+    def test_sidewinder_surfaces_counters(self, robot_trace):
+        plan = FaultPlan(
+            seed=21, hub_reset_times=(120.0,), wake_drop_probability=0.1
+        )
+        result = Sidewinder(fault_plan=plan).run(HeadbuttApp(), robot_trace)
+        assert result.fault_report is not None
+        assert result.hub_resets == 1
+        assert result.power.reliability_mw == 0.0
+
+    def test_sidewinder_reliable_beats_naive(self, robot_trace):
+        plan = FaultPlan(
+            seed=21,
+            hub_reset_times=(120.0,),
+            wake_drop_probability=0.15,
+            payload_drop_probability=0.15,
+        )
+        app = HeadbuttApp()
+        naive = Sidewinder(fault_plan=plan).run(app, robot_trace)
+        reliable = Sidewinder(
+            fault_plan=plan, reliability=ReliabilityPolicy()
+        ).run(app, robot_trace)
+        assert reliable.recall > naive.recall
+        assert reliable.retransmissions > 0
+        assert reliable.power.reliability_mw > 0.0
+
+    def test_reliability_power_included_in_total(self, robot_trace):
+        plan = FaultPlan(seed=21, wake_drop_probability=0.2)
+        result = Sidewinder(
+            fault_plan=plan, reliability=ReliabilityPolicy()
+        ).run(HeadbuttApp(), robot_trace)
+        power = result.power
+        assert power.reliability_mw > 0.0
+        assert power.total_mw == pytest.approx(
+            power.phone_mw + power.hub_mw + power.reliability_mw
+        )
+
+    def test_predefined_activity_accepts_fault_plan(self, robot_trace):
+        from repro.apps import StepsApp
+
+        plan = FaultPlan(seed=22, hub_reset_times=(120.0,))
+        naive = PredefinedActivity(fault_plan=plan).run(StepsApp(), robot_trace)
+        reliable = PredefinedActivity(
+            fault_plan=plan, reliability=ReliabilityPolicy()
+        ).run(StepsApp(), robot_trace)
+        assert naive.fault_report is not None
+        assert naive.hub_resets == 1
+        assert reliable.recall >= naive.recall
+
+    def test_fault_free_result_counters_default_to_zero(self, robot_trace):
+        result = Sidewinder().run(HeadbuttApp(), robot_trace)
+        assert result.fault_report is None
+        assert result.hub_resets == 0
+        assert result.retransmissions == 0
+        assert result.lost_wakeups == 0
+        assert result.degraded_seconds == 0.0

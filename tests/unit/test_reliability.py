@@ -1,0 +1,109 @@
+"""Unit tests for the reliable transport (CRC, ACK/retry, backoff)."""
+
+import pytest
+
+from repro.errors import FaultInjectionError
+from repro.hub.link import UART_DEBUG
+from repro.hub.reliability import (
+    ACK_BYTES,
+    DEFAULT_RELIABILITY,
+    ReliabilityPolicy,
+    ReliableLink,
+)
+
+
+def _never():
+    return False
+
+
+def _always():
+    return True
+
+
+class TestReliabilityPolicy:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"crc_overhead": -0.1},
+            {"max_retries": -1},
+            {"initial_backoff_s": -0.1},
+            {"backoff_cap_s": -1.0},
+            {"backoff_factor": 0.5},
+            {"heartbeat_period_s": 0.0},
+            {"heartbeat_tolerance": 0},
+            {"degraded_sense_s": 0.0},
+            {"degraded_sleep_s": -1.0},
+            {"link_active_mw": -1.0},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(FaultInjectionError):
+            ReliabilityPolicy(**kwargs)
+
+    def test_backoff_grows_then_caps(self):
+        policy = ReliabilityPolicy(
+            initial_backoff_s=0.05, backoff_factor=2.0, backoff_cap_s=0.4
+        )
+        values = [policy.backoff_s(i) for i in range(6)]
+        assert values[0] == pytest.approx(0.05)
+        assert values[1] == pytest.approx(0.10)
+        assert values == sorted(values)
+        assert values[-1] == pytest.approx(0.4)
+
+
+class TestReliableLink:
+    def test_clean_send_is_one_attempt(self):
+        link = ReliableLink(UART_DEBUG, DEFAULT_RELIABILITY)
+        outcome = link.send(100.0, _never)
+        assert outcome.delivered
+        assert outcome.attempts == 1
+        assert outcome.retransmissions == 0
+        expected = link.frame_seconds(100.0) + link.ack_seconds()
+        assert outcome.completion_s == pytest.approx(expected)
+        assert outcome.link_busy_s == pytest.approx(expected)
+
+    def test_crc_overhead_slows_the_frame(self):
+        policy = ReliabilityPolicy(crc_overhead=0.10)
+        link = ReliableLink(UART_DEBUG, policy)
+        assert link.frame_seconds(1000.0) == pytest.approx(
+            UART_DEBUG.transfer_seconds(1100.0)
+        )
+        assert link.frame_seconds(1000.0) > UART_DEBUG.transfer_seconds(1000.0)
+
+    def test_exhausted_retries_fail(self):
+        policy = ReliabilityPolicy(max_retries=3)
+        link = ReliableLink(UART_DEBUG, policy)
+        outcome = link.send(50.0, _always)
+        assert not outcome.delivered
+        assert outcome.attempts == 4  # first try + 3 retries
+        # Every attempt burned wire time, but no ACK ever came back.
+        assert outcome.link_busy_s == pytest.approx(
+            4 * link.frame_seconds(50.0)
+        )
+
+    def test_single_loss_recovers_with_backoff(self):
+        fates = iter([True, False])  # first attempt corrupted
+        link = ReliableLink(UART_DEBUG, DEFAULT_RELIABILITY)
+        outcome = link.send(50.0, lambda: next(fates))
+        assert outcome.delivered
+        assert outcome.attempts == 2
+        expected = (
+            2 * link.frame_seconds(50.0)
+            + DEFAULT_RELIABILITY.backoff_s(0)
+            + link.ack_seconds()
+        )
+        assert outcome.completion_s == pytest.approx(expected)
+        # Backoff is idle waiting, not wire time.
+        assert outcome.link_busy_s < outcome.completion_s
+
+    def test_ack_frame_costs_wire_time(self):
+        link = ReliableLink(UART_DEBUG, DEFAULT_RELIABILITY)
+        assert link.ack_seconds() == pytest.approx(
+            UART_DEBUG.transfer_seconds(float(ACK_BYTES))
+        )
+
+    def test_energy_scales_with_busy_time(self):
+        policy = ReliabilityPolicy(link_active_mw=10.0)
+        link = ReliableLink(UART_DEBUG, policy)
+        assert link.energy_mj(2.0) == pytest.approx(20.0)
+        assert link.energy_mj(0.0) == 0.0
