@@ -1,0 +1,104 @@
+"""The simulation engine's caching and parallel fan-out, timed.
+
+Runs the paper's full configuration set over a robot-trace subset three
+ways — cold (fresh context), warm (same context again, everything
+served from cache) and parallel (``jobs=2``, private per-worker
+contexts) — asserts all three agree, and writes the timings to
+``results/BENCH_matrix.json``.
+
+Set ``REPRO_QUICK=1`` for the reduced two-trace smoke version (used by
+CI).
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from benchmarks.conftest import RESULTS_DIR, run_once, save_artifact
+from repro.apps import HeadbuttApp, StepsApp, TransitionsApp
+from repro.eval.experiments import paper_configurations, run_matrix
+from repro.eval.report import render_table
+from repro.sim.engine import RunContext
+
+QUICK = os.environ.get("REPRO_QUICK") == "1"
+
+#: Warm-cache floor: rerunning an identical sweep through the same
+#: context must cost at most half the cold sweep.
+MIN_WARM_SPEEDUP = 2.0
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - t0
+
+
+def test_matrix_engine_cold_warm_parallel(benchmark, robot_traces):
+    traces = robot_traces[:2] if QUICK else robot_traces[:6]
+    apps = [StepsApp(), TransitionsApp(), HeadbuttApp()]
+    configs = paper_configurations()
+    context = RunContext()
+
+    cold, cold_s = _timed(
+        lambda: run_once(
+            benchmark,
+            lambda: run_matrix(configs, apps, traces, context=context),
+        )
+    )
+    warm, warm_s = _timed(
+        lambda: run_matrix(configs, apps, traces, context=context)
+    )
+    parallel, parallel_s = _timed(
+        lambda: run_matrix(configs, apps, traces, jobs=2)
+    )
+
+    # All three sweeps are the same experiment.
+    assert len(warm.results) == len(cold.results) == len(parallel.results)
+    for a, b in zip(cold.results, warm.results):
+        assert (a.recall, a.precision) == (b.recall, b.precision)
+        assert a.average_power_mw == pytest.approx(b.average_power_mw)
+    for a, b in zip(cold.results, parallel.results):
+        assert (a.recall, a.precision) == (b.recall, b.precision)
+        assert a.average_power_mw == pytest.approx(b.average_power_mw)
+    assert cold.skipped == [] and warm.skipped == []
+
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    payload = {
+        "cells": len(cold.results),
+        "configs": len(configs),
+        "apps": len(apps),
+        "traces": len(traces),
+        "quick": QUICK,
+        "cold_s": round(cold_s, 4),
+        "warm_s": round(warm_s, 4),
+        "parallel_s": round(parallel_s, 4),
+        "warm_speedup": round(speedup, 2),
+        "parallel_speedup": round(
+            cold_s / parallel_s if parallel_s > 0 else float("inf"), 2
+        ),
+        "cache_stats": context.stats.as_dict(),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_matrix.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    save_artifact(
+        "matrix_engine",
+        render_table(
+            ["sweep", "seconds", "speedup vs cold"],
+            [
+                ("cold", f"{cold_s:.2f}", "1.0x"),
+                ("warm", f"{warm_s:.2f}", f"{speedup:.1f}x"),
+                ("parallel (jobs=2)", f"{parallel_s:.2f}",
+                 f"{payload['parallel_speedup']:.1f}x"),
+            ],
+            title=f"Matrix engine: {len(cold.results)} cells",
+        ),
+    )
+
+    # The headline claim: a warm context makes rerunning (nearly) free.
+    assert speedup >= MIN_WARM_SPEEDUP, payload
+    # The cold sweep itself already dedups hub work across configs.
+    assert context.stats.hub_hits > 0

@@ -174,13 +174,25 @@ def cmd_table1(_: argparse.Namespace) -> int:
     return 0
 
 
+def _print_skipped(matrix) -> None:
+    from repro.eval.report import render_skipped
+    text = render_skipped(matrix.skipped)
+    if text:
+        print(text, file=sys.stderr)
+
+
 def cmd_table2(args: argparse.Namespace) -> int:
     """Regenerate the paper's Table 2 over the audio corpus."""
     from repro.eval.report import render_table2
     from repro.eval.tables import PAPER_TABLE2, build_table2
     from repro.traces.library import audio_corpus
-    table, _ = build_table2(traces=audio_corpus(duration_s=args.duration))
+    table, matrix = build_table2(
+        traces=audio_corpus(duration_s=args.duration),
+        jobs=args.jobs,
+        cache=not args.no_cache,
+    )
     print(render_table2(table, paper=PAPER_TABLE2))
+    _print_skipped(matrix)
     return 0
 
 
@@ -189,8 +201,13 @@ def cmd_figure5(args: argparse.Namespace) -> int:
     from repro.eval.figures import figure5_series
     from repro.eval.report import render_figure5
     from repro.traces.library import robot_corpus
-    series, _ = figure5_series(traces=robot_corpus(duration_s=args.duration))
+    series, matrix = figure5_series(
+        traces=robot_corpus(duration_s=args.duration),
+        jobs=args.jobs,
+        cache=not args.no_cache,
+    )
     print(render_figure5(series))
+    _print_skipped(matrix)
     return 0
 
 
@@ -203,7 +220,10 @@ def cmd_figure6(args: argparse.Namespace) -> int:
         t for t in robot_corpus(duration_s=args.duration)
         if t.metadata.get("group") == 1
     ]
-    print(render_figure6(figure6_series(traces=group1)))
+    series = figure6_series(
+        traces=group1, jobs=args.jobs, cache=not args.no_cache
+    )
+    print(render_figure6(series))
     return 0
 
 
@@ -212,8 +232,13 @@ def cmd_figure7(args: argparse.Namespace) -> int:
     from repro.eval.figures import figure7_series
     from repro.eval.report import render_figure7
     from repro.traces.library import human_corpus
-    series, _ = figure7_series(traces=human_corpus(duration_s=args.duration))
+    series, matrix = figure7_series(
+        traces=human_corpus(duration_s=args.duration),
+        jobs=args.jobs,
+        cache=not args.no_cache,
+    )
     print(render_figure7(series))
+    _print_skipped(matrix)
     return 0
 
 
@@ -279,6 +304,10 @@ def build_parser() -> argparse.ArgumentParser:
                           ("figure6", 600.0), ("figure7", 1200.0)):
         p = sub.add_parser(name, help=f"regenerate {name}")
         p.add_argument("--duration", type=float, default=default)
+        p.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for the sweep (default 1)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="disable the engine's run caching")
 
     p = sub.add_parser("merge", help="merge several apps' conditions")
     p.add_argument("--apps", required=True,

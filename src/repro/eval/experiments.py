@@ -1,18 +1,23 @@
 """Experiment runners: the paper's configuration matrix.
 
 :func:`run_matrix` replays every (configuration, application, trace)
-combination; the aggregation helpers compute the quantities the paper
-reports — power relative to Oracle (Figures 5 and 7), savings fractions
-(Section 5.2), and cross-configuration ratios (Sections 5.3-5.4).
+combination through the simulation engine (:mod:`repro.sim.engine`):
+the sweep is planned explicitly, shared hub work is deduplicated by a
+:class:`~repro.sim.engine.RunContext`, and ``jobs=N`` fans the plan
+across a process pool.  The aggregation helpers compute the quantities
+the paper reports — power relative to Oracle (Figures 5 and 7), savings
+fractions (Section 5.2), and cross-configuration ratios (Sections
+5.3-5.4).
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.apps.base import SensingApplication
+from repro.power.phone import NEXUS4, PhonePowerProfile
 from repro.sim.configs import (
     AlwaysAwake,
     Batching,
@@ -22,6 +27,7 @@ from repro.sim.configs import (
     Sidewinder,
 )
 from repro.sim.configs.base import SensingConfiguration
+from repro.sim.engine import RunContext, SkippedCell, execute_plan, plan_matrix
 from repro.sim.results import SimulationResult
 from repro.traces.base import Trace
 
@@ -60,26 +66,47 @@ def paper_configurations(
 
 @dataclass
 class Matrix:
-    """All results of one experiment sweep, with lookup helpers."""
+    """All results of one experiment sweep, with indexed lookup helpers.
+
+    Attributes:
+        results: Every simulation result, in the order added.
+        skipped: (app, trace) pairs the sweep could not run because the
+            trace lacked the application's sensors (empty for the
+            paper's corpora, where every app/trace pair is runnable).
+    """
 
     results: List[SimulationResult] = field(default_factory=list)
+    skipped: List[SkippedCell] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._by_key: Dict[Tuple[str, str, str], SimulationResult] = {}
+        self._by_config_app: Dict[
+            Tuple[str, str], List[SimulationResult]
+        ] = defaultdict(list)
+        for result in self.results:
+            self._index(result)
+
+    def _index(self, result: SimulationResult) -> None:
+        key = (result.config_name, result.app_name, result.trace_name)
+        # First-wins, matching the historical scan order of ``get``.
+        self._by_key.setdefault(key, result)
+        self._by_config_app[(result.config_name, result.app_name)].append(
+            result
+        )
 
     def add(self, result: SimulationResult) -> None:
-        """Record one simulation result."""
+        """Record one simulation result (keeps the indexes current)."""
         self.results.append(result)
+        self._index(result)
 
     def get(
         self, config_name: str, app_name: str, trace_name: str
     ) -> SimulationResult:
-        """Exact lookup; raises ``KeyError`` when absent."""
-        for r in self.results:
-            if (
-                r.config_name == config_name
-                and r.app_name == app_name
-                and r.trace_name == trace_name
-            ):
-                return r
-        raise KeyError((config_name, app_name, trace_name))
+        """Exact O(1) lookup; raises ``KeyError`` when absent."""
+        try:
+            return self._by_key[(config_name, app_name, trace_name)]
+        except KeyError:
+            raise KeyError((config_name, app_name, trace_name)) from None
 
     def select(
         self,
@@ -88,16 +115,20 @@ class Matrix:
         predicate: Callable[[SimulationResult], bool] | None = None,
     ) -> List[SimulationResult]:
         """All results matching the given filters."""
-        out = []
-        for r in self.results:
-            if config_name is not None and r.config_name != config_name:
-                continue
-            if app_name is not None and r.app_name != app_name:
-                continue
-            if predicate is not None and not predicate(r):
-                continue
-            out.append(r)
-        return out
+        if config_name is not None and app_name is not None:
+            rows: Iterable[SimulationResult] = self._by_config_app.get(
+                (config_name, app_name), []
+            )
+        else:
+            rows = (
+                r
+                for r in self.results
+                if (config_name is None or r.config_name == config_name)
+                and (app_name is None or r.app_name == app_name)
+            )
+        if predicate is not None:
+            return [r for r in rows if predicate(r)]
+        return list(rows)
 
     def mean_power(
         self,
@@ -109,7 +140,7 @@ class Matrix:
         names = set(trace_names) if trace_names is not None else None
         rows = [
             r
-            for r in self.select(config_name, app_name)
+            for r in self._by_config_app.get((config_name, app_name), [])
             if names is None or r.trace_name in names
         ]
         if not rows:
@@ -147,15 +178,36 @@ def run_matrix(
     configs: Sequence[SensingConfiguration],
     apps: Sequence[SensingApplication],
     traces: Sequence[Trace],
+    jobs: int = 1,
+    cache: bool = True,
+    profile: PhonePowerProfile = NEXUS4,
+    context: Optional[RunContext] = None,
 ) -> Matrix:
-    """Simulate every (config, app, trace) combination."""
-    matrix = Matrix()
-    for trace in traces:
-        for app in apps:
-            if any(channel not in trace.data for channel in app.channels):
-                continue  # app's sensor absent from this trace
-            for config in configs:
-                matrix.add(config.run(app, trace))
+    """Simulate every (config, app, trace) combination.
+
+    Args:
+        configs: Sensing configurations to sweep.
+        apps: Applications to simulate.
+        traces: Traces to replay.
+        jobs: 1 runs serially through one shared
+            :class:`~repro.sim.engine.RunContext`; ``N > 1`` fans
+            trace-groups of cells across a process pool.
+        cache: Enable engine memoization (results are identical either
+            way; ``False`` is the ``--no-cache`` escape hatch).
+        profile: Phone power profile for every cell.
+        context: Optional externally owned context (serial runs only) —
+            pass the same one across sweeps to keep its cache warm.
+
+    (app, trace) pairs whose sensors are absent from the trace are not
+    silently dropped: they are recorded on :attr:`Matrix.skipped`.
+    """
+    plan = plan_matrix(configs, apps, traces)
+    results = execute_plan(
+        plan, jobs=jobs, cache=cache, profile=profile, context=context
+    )
+    matrix = Matrix(skipped=list(plan.skipped))
+    for result in results:
+        matrix.add(result)
     return matrix
 
 

@@ -2,12 +2,14 @@
 
 Each builder returns nested dicts of plain floats so benchmarks can
 print the series and assert on their shape (who wins, by what factor,
-where crossovers fall).
+where crossovers fall).  All of them run their sweeps through
+:func:`repro.eval.experiments.run_matrix`, so they accept the engine's
+``jobs`` / ``cache`` knobs.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 from repro.apps import HeadbuttApp, StepsApp, TransitionsApp
 from repro.eval.experiments import (
@@ -27,6 +29,8 @@ FIGURE6_INTERVALS = (2.0, 5.0, 10.0, 20.0, 30.0)
 
 def figure5_series(
     traces: Sequence[Trace] | None = None,
+    jobs: int = 1,
+    cache: bool = True,
 ) -> Tuple[Dict[int, Dict[str, Dict[str, float]]], Matrix]:
     """Figure 5: power relative to Oracle, per robot group and app.
 
@@ -37,7 +41,9 @@ def figure5_series(
     """
     traces = list(traces) if traces is not None else list(robot_corpus())
     apps = [StepsApp(), TransitionsApp(), HeadbuttApp()]
-    matrix = run_matrix(paper_configurations(), apps, traces)
+    matrix = run_matrix(
+        paper_configurations(), apps, traces, jobs=jobs, cache=cache
+    )
     groups = group_trace_names(traces)
     series: Dict[int, Dict[str, Dict[str, float]]] = {}
     for group, names in sorted(groups.items()):
@@ -56,6 +62,8 @@ def figure5_series(
 def figure6_series(
     traces: Sequence[Trace] | None = None,
     intervals: Sequence[float] = FIGURE6_INTERVALS,
+    jobs: int = 1,
+    cache: bool = True,
 ) -> Dict[str, Dict[float, float]]:
     """Figure 6: duty-cycling recall vs sleep interval at 90 % idle.
 
@@ -65,19 +73,20 @@ def figure6_series(
     if traces is None:
         traces = [t for t in robot_corpus() if t.metadata.get("group") == 1]
     apps = [StepsApp(), TransitionsApp(), HeadbuttApp()]
+    configs = [DutyCycling(interval) for interval in intervals]
+    matrix = run_matrix(configs, apps, traces, jobs=jobs, cache=cache)
     series: Dict[str, Dict[float, float]] = {app.name: {} for app in apps}
-    for interval in intervals:
-        config = DutyCycling(interval)
+    for config, interval in zip(configs, intervals):
         for app in apps:
-            recalls: List[float] = [
-                config.run(app, trace).recall for trace in traces
-            ]
-            series[app.name][interval] = sum(recalls) / len(recalls)
+            rows = matrix.select(config.name, app.name)
+            series[app.name][interval] = sum(r.recall for r in rows) / len(rows)
     return series
 
 
 def figure7_series(
     traces: Sequence[Trace] | None = None,
+    jobs: int = 1,
+    cache: bool = True,
 ) -> Tuple[Dict[str, Dict[str, float]], Matrix]:
     """Figure 7: step-detector power relative to Oracle on human traces.
 
@@ -90,7 +99,11 @@ def figure7_series(
     traces = list(traces) if traces is not None else list(human_corpus())
     app = StepsApp()
     matrix = run_matrix(
-        paper_configurations(sleep_intervals=(10.0,)), [app], traces
+        paper_configurations(sleep_intervals=(10.0,)),
+        [app],
+        traces,
+        jobs=jobs,
+        cache=cache,
     )
     shown = ["always_awake", "duty_cycling_10s", "batching_10s",
              "predefined_activity", "sidewinder"]

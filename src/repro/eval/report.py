@@ -95,3 +95,16 @@ def render_figure7(series: Mapping[str, Mapping[str, float]]) -> str:
 def render_results(results: Sequence) -> str:
     """Render raw simulation results, one summary line each."""
     return "\n".join(r.summary() for r in results)
+
+
+def render_skipped(skipped: Sequence) -> str:
+    """Render a sweep's skipped (app, trace) pairs, one line each.
+
+    Returns the empty string when nothing was skipped, so callers can
+    print unconditionally without adding noise to clean sweeps.
+    """
+    if not skipped:
+        return ""
+    lines = ["skipped (trace lacks the app's sensors):"]
+    lines.extend(f"  {cell.describe()}" for cell in skipped)
+    return "\n".join(lines)

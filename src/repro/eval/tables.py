@@ -36,6 +36,8 @@ def build_table1(
 def build_table2(
     traces: Sequence[Trace] | None = None,
     sound_threshold: float | None = None,
+    jobs: int = 1,
+    cache: bool = True,
 ) -> Tuple[Dict[str, Dict[str, float]], Matrix]:
     """Table 2: average power (mW) per audio app and wake-up mechanism.
 
@@ -43,6 +45,8 @@ def build_table2(
         traces: Audio traces to average over; defaults to the standard
             corpus.
         sound_threshold: Optional calibrated PA sound threshold.
+        jobs: Worker processes for the sweep (1 = serial).
+        cache: Enable engine memoization.
 
     Returns:
         ``(table, matrix)`` where ``table[config][app]`` is the mean
@@ -56,7 +60,7 @@ def build_table2(
     )
     configs = [Oracle(), pa, Sidewinder()]
     apps = [SirenDetectorApp(), MusicJournalApp(), PhraseDetectionApp()]
-    matrix = run_matrix(configs, apps, traces)
+    matrix = run_matrix(configs, apps, traces, jobs=jobs, cache=cache)
     table: Dict[str, Dict[str, float]] = {}
     for config in configs:
         table[config.name] = {

@@ -184,12 +184,24 @@ def split_into_rounds(
         return
     start = min(t[0][0] for t in channel_data.values() if len(t[0]))
     end = max(t[0][-1] for t in channel_data.values() if len(t[0]))
+    # Round boundaries, accumulated the same way the rounds advance so
+    # float rounding matches a per-round scan exactly.
+    edges: List[float] = []
     t0 = start
     while t0 <= end:
-        t1 = t0 + chunk_seconds
+        edges.append(t0)
+        t0 += chunk_seconds
+    edges.append(t0)
+    # One binary search per channel for all boundaries replaces a full
+    # boolean mask per (channel, round): O(samples log rounds) instead
+    # of O(samples x rounds).  Sample times are sorted by construction.
+    bounds = {
+        name: np.searchsorted(times, edges, side="left")
+        for name, (times, values, rate) in channel_data.items()
+    }
+    for k in range(len(edges) - 1):
         round_chunks: Dict[str, Chunk] = {}
         for name, (times, values, rate) in channel_data.items():
-            mask = (times >= t0) & (times < t1)
-            round_chunks[name] = Chunk.scalars(times[mask], values[mask], rate)
+            i0, i1 = bounds[name][k], bounds[name][k + 1]
+            round_chunks[name] = Chunk.scalars(times[i0:i1], values[i0:i1], rate)
         yield round_chunks
-        t0 = t1

@@ -148,7 +148,7 @@ def _parse_source(token: str, line: int) -> SourceRef:
     token = token.strip()
     if not token:
         raise ILSyntaxError("empty input reference", line)
-    if token.isdigit():
+    if token.isascii() and token.isdigit():
         return NodeRef(int(token))
     if re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*", token):
         return ChannelRef(token)

@@ -15,6 +15,16 @@ used to give Predefined Activity its best-case parameters (Section 5.3).
 
 from repro.sim.adaptive import AdaptiveSidewinder, EpochReport, ThresholdTuner
 from repro.sim.concurrent import ConcurrentResult, ConcurrentSidewinder
+from repro.sim.engine import (
+    CacheStats,
+    RunCell,
+    RunContext,
+    RunPlan,
+    SkippedCell,
+    execute_plan,
+    plan_matrix,
+    program_fingerprint,
+)
 from repro.sim.configs import (
     AlwaysAwake,
     Batching,
@@ -40,6 +50,7 @@ from repro.sim.simulator import (
 __all__ = [
     "AdaptiveSidewinder",
     "AlwaysAwake",
+    "CacheStats",
     "ConcurrentResult",
     "ConcurrentSidewinder",
     "EpochReport",
@@ -50,11 +61,18 @@ __all__ = [
     "DutyCycling",
     "Oracle",
     "PredefinedActivity",
+    "RunCell",
+    "RunContext",
+    "RunPlan",
     "Sidewinder",
     "SimulationResult",
+    "SkippedCell",
     "WakeDelivery",
     "evaluate",
+    "execute_plan",
     "faulty_condition_windows",
+    "plan_matrix",
+    "program_fingerprint",
     "run_condition_under_faults",
     "run_wakeup_condition",
     "windows_from_wake_times",

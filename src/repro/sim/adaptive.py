@@ -41,6 +41,7 @@ from repro.il.ast import ILProgram, ILStatement
 from repro.il.validate import validate_program
 from repro.power.phone import NEXUS4, PhonePowerProfile
 from repro.sim.configs.base import SensingConfiguration
+from repro.sim.engine import RunContext
 from repro.sim.results import SimulationResult
 from repro.sim.simulator import (
     TRIGGERED_HOLD_S,
@@ -220,8 +221,11 @@ class AdaptiveSidewinder(SensingConfiguration):
         app: SensingApplication,
         trace: Trace,
         profile: PhonePowerProfile = NEXUS4,
+        context: Optional[RunContext] = None,
     ) -> SimulationResult:
-        base_program = compile_app_condition(app.build_wakeup_pipeline()).program
+        base_program = compile_app_condition(
+            app.build_wakeup_pipeline(), context
+        ).program
         statement, direction = _find_tunable_output(base_program)
         tuner = ThresholdTuner(
             initial_threshold=float(statement.param_dict()["threshold"]),
@@ -236,15 +240,22 @@ class AdaptiveSidewinder(SensingConfiguration):
         all_detections = []
         reports: List[EpochReport] = []
         total_wakes = 0
-        mcu = select_mcu(validate_program(base_program), self.catalog)
+        validated = (
+            context.validated if context is not None else validate_program
+        )
+        mcu = select_mcu(validated(base_program), self.catalog)
 
         for epoch in range(self.epochs):
             start = epoch * epoch_length
             end = min((epoch + 1) * epoch_length, trace.duration)
             threshold = tuner.threshold
             piece = trace.slice(start, end)
+            # Compiled graphs are shared through the context (the
+            # initial-threshold condition recurs across traces), but
+            # each epoch's hub run stays uncached: every slice is a
+            # fresh trace object, so caching it could never hit.
             program = _with_threshold(base_program, threshold)
-            graph = validate_program(program)
+            graph = validated(program)
             wake_events = run_wakeup_condition(graph, piece)
             total_wakes += len(wake_events)
             windows = windows_from_wake_times(
@@ -290,4 +301,5 @@ class AdaptiveSidewinder(SensingConfiguration):
             mcus=(mcu,),
             profile=profile,
             hub_wake_count=total_wakes,
+            context=context,
         )

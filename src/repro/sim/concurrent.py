@@ -28,7 +28,7 @@ individual deployments (which would each pay their own phone).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.apps.base import SensingApplication
 from repro.errors import SimulationError
@@ -40,6 +40,7 @@ from repro.il.validate import validate_program
 from repro.power.accounting import account
 from repro.power.phone import NEXUS4, PhonePowerProfile
 from repro.power.timeline import build_timeline, merge_windows
+from repro.sim.engine import RunContext
 from repro.sim.results import SimulationResult
 from repro.sim.simulator import (
     DEFAULT_RAW_BUFFER_S,
@@ -115,6 +116,7 @@ class ConcurrentSidewinder:
         apps: Sequence[SensingApplication],
         trace: Trace,
         profile: PhonePowerProfile = NEXUS4,
+        context: Optional[RunContext] = None,
     ) -> ConcurrentResult:
         """Simulate all ``apps`` concurrently over ``trace``."""
         if not apps:
@@ -129,11 +131,11 @@ class ConcurrentSidewinder:
             )
 
         programs = [
-            compile_app_condition(app.build_wakeup_pipeline()).program
+            compile_app_condition(app.build_wakeup_pipeline(), context).program
             for app in usable
         ]
         per_app_events, shared_nodes, processors = self._run_hub(
-            usable, programs, trace
+            usable, programs, trace, context
         )
 
         # The phone wakes for the union of all conditions' events.
@@ -155,9 +157,11 @@ class ConcurrentSidewinder:
             own_windows = windows_from_wake_times(
                 [e.time for e in events], trace.duration, self.hold_s, profile
             )
-            detections = app.detect(
-                trace, extend_for_buffer(own_windows, self.raw_buffer_s)
-            )
+            visible = extend_for_buffer(own_windows, self.raw_buffer_s)
+            if context is not None:
+                detections = context.detections(app, trace, visible)
+            else:
+                detections = app.detect(trace, visible)
             result = evaluate(
                 config_name=self.name,
                 app=app,
@@ -166,6 +170,7 @@ class ConcurrentSidewinder:
                 detections=detections,
                 profile=profile,
                 hub_wake_count=len(events),
+                context=context,
             )
             # Replace the power breakdown with the shared-hub charge.
             results.append(
@@ -195,14 +200,22 @@ class ConcurrentSidewinder:
         apps: Sequence[SensingApplication],
         programs: Sequence,
         trace: Trace,
+        context: Optional[RunContext] = None,
     ) -> Tuple[List[List[WakeEvent]], int, List[HubProcessor]]:
         processors: Dict[str, HubProcessor] = {}
+        validated = (
+            context.validated if context is not None else validate_program
+        )
         if self.merge:
             merged = merge_programs(programs)
             runtime = MultiTapRuntime(merged)
+            arrays = (
+                context.channel_arrays(trace) if context is not None
+                else trace.channel_arrays()
+            )
             channels = {
                 name: triple
-                for name, triple in trace.channel_arrays().items()
+                for name, triple in arrays.items()
                 if name in runtime.graph.channels
             }
             events_by_tap = runtime.run(split_into_rounds(channels))
@@ -212,9 +225,7 @@ class ConcurrentSidewinder:
             # condition needs is what must fit), so we place per
             # condition and charge distinct processors once.
             for program in programs:
-                processor = select_processor(
-                    validate_program(program), self.catalog
-                )
+                processor = select_processor(validated(program), self.catalog)
                 processors[processor.name] = processor
             return per_app, merged.shared_nodes, list(processors.values())
 
@@ -222,8 +233,8 @@ class ConcurrentSidewinder:
 
         per_app = []
         for program in programs:
-            graph = validate_program(program)
+            graph = validated(program)
             processor = select_processor(graph, self.catalog)
             processors[processor.name] = processor
-            per_app.append(run_wakeup_condition(graph, trace))
+            per_app.append(run_wakeup_condition(graph, trace, context=context))
         return per_app, 0, list(processors.values())

@@ -6,9 +6,12 @@ how much of the gap between this and Oracle it closes.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.apps.base import SensingApplication
 from repro.power.phone import NEXUS4, PhonePowerProfile
 from repro.sim.configs.base import SensingConfiguration
+from repro.sim.engine import RunContext
 from repro.sim.results import SimulationResult
 from repro.sim.simulator import evaluate
 from repro.traces.base import Trace
@@ -24,6 +27,7 @@ class AlwaysAwake(SensingConfiguration):
         app: SensingApplication,
         trace: Trace,
         profile: PhonePowerProfile = NEXUS4,
+        context: Optional[RunContext] = None,
     ) -> SimulationResult:
         return evaluate(
             config_name=self.name,
@@ -31,4 +35,5 @@ class AlwaysAwake(SensingConfiguration):
             trace=trace,
             awake_windows=[(0.0, trace.duration)],
             profile=profile,
+            context=context,
         )

@@ -2,8 +2,11 @@
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.apps.base import SensingApplication
 from repro.power.phone import NEXUS4, PhonePowerProfile
+from repro.sim.engine import RunContext
 from repro.sim.results import SimulationResult
 from repro.traces.base import Trace
 
@@ -24,8 +27,20 @@ class SensingConfiguration:
         app: SensingApplication,
         trace: Trace,
         profile: PhonePowerProfile = NEXUS4,
+        context: Optional[RunContext] = None,
     ) -> SimulationResult:
-        """Simulate ``app`` on ``trace`` under this configuration."""
+        """Simulate ``app`` on ``trace`` under this configuration.
+
+        Args:
+            app: The application to simulate.
+            trace: The trace to replay.
+            profile: Phone power profile.
+            context: Optional shared :class:`~repro.sim.engine.RunContext`
+                that memoizes compiled condition graphs, per-trace
+                channel arrays, hub runs and detector invocations
+                across runs.  ``None`` (the default) behaves exactly
+                like a fresh private context: same results, no sharing.
+        """
         raise NotImplementedError
 
     def __repr__(self) -> str:

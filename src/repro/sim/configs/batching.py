@@ -13,9 +13,7 @@ in the power model (Section 4.3).
 
 from __future__ import annotations
 
-from typing import List, Tuple
-
-from typing import Optional
+from typing import List, Optional, Tuple
 
 from repro.apps.base import Detection, SensingApplication
 from repro.errors import SimulationError
@@ -23,6 +21,7 @@ from repro.hub.link import LinkModel, batch_transfer_seconds
 from repro.hub.mcu import MSP430
 from repro.power.phone import NEXUS4, PhonePowerProfile
 from repro.sim.configs.base import SensingConfiguration
+from repro.sim.engine import RunContext
 from repro.sim.results import SimulationResult
 from repro.sim.simulator import DEFAULT_HOLD_S, evaluate
 from repro.traces.base import Trace
@@ -69,7 +68,13 @@ class Batching(SensingConfiguration):
         app: SensingApplication,
         trace: Trace,
         profile: PhonePowerProfile = NEXUS4,
+        context: Optional[RunContext] = None,
     ) -> SimulationResult:
+        def detect(span):
+            if context is not None:
+                return context.detections(app, trace, [span])
+            return app.detect(trace, [span])
+
         transfer_s = 0.0
         if self.link is not None:
             transfer_s = batch_transfer_seconds(
@@ -89,7 +94,7 @@ class Batching(SensingConfiguration):
             # sensed live during the extension is never lost.
             while True:
                 batch = (max(0.0, batch_start - self.overlap_s), awake_end)
-                batch_detections = app.detect(trace, [batch])
+                batch_detections = detect(batch)
                 recent = [
                     d for d in batch_detections
                     if d.span[1] >= awake_end - self.hold_s
@@ -118,4 +123,5 @@ class Batching(SensingConfiguration):
             detections=detections,
             mcus=(MSP430,),
             profile=profile,
+            context=context,
         )

@@ -16,12 +16,13 @@ No hub MCU is charged — plain duty cycling needs no sensor hub.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.apps.base import Detection, SensingApplication
 from repro.errors import SimulationError
 from repro.power.phone import NEXUS4, PhonePowerProfile
 from repro.sim.configs.base import SensingConfiguration
+from repro.sim.engine import RunContext
 from repro.sim.results import SimulationResult
 from repro.sim.simulator import DEFAULT_HOLD_S, evaluate
 from repro.traces.base import Trace
@@ -58,7 +59,13 @@ class DutyCycling(SensingConfiguration):
         app: SensingApplication,
         trace: Trace,
         profile: PhonePowerProfile = NEXUS4,
+        context: Optional[RunContext] = None,
     ) -> SimulationResult:
+        def detect(span):
+            if context is not None:
+                return context.detections(app, trace, [span])
+            return app.detect(trace, [span])
+
         windows: List[Tuple[float, float]] = []
         detections: List[Detection] = []
         cursor = 0.0
@@ -67,7 +74,7 @@ class DutyCycling(SensingConfiguration):
             end = min(start + self.sense_s, trace.duration)
             # Extend while the most recent stretch still detects events.
             while True:
-                window_detections = app.detect(trace, [(start, end)])
+                window_detections = detect((start, end))
                 recent = [
                     d for d in window_detections if d.span[1] >= end - self.hold_s
                 ]
@@ -85,4 +92,5 @@ class DutyCycling(SensingConfiguration):
             awake_windows=windows,
             detections=detections,
             profile=profile,
+            context=context,
         )

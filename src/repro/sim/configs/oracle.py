@@ -12,12 +12,13 @@ No hub MCU is charged: the Oracle is an ideal, not an implementation.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.apps.base import Detection, SensingApplication
 from repro.power.phone import NEXUS4, PhonePowerProfile
 from repro.power.timeline import merge_windows
 from repro.sim.configs.base import SensingConfiguration
+from repro.sim.engine import RunContext
 from repro.sim.results import SimulationResult
 from repro.sim.simulator import evaluate
 from repro.traces.base import Trace
@@ -42,8 +43,12 @@ class Oracle(SensingConfiguration):
         app: SensingApplication,
         trace: Trace,
         profile: PhonePowerProfile = NEXUS4,
+        context: Optional[RunContext] = None,
     ) -> SimulationResult:
-        events = app.events_of_interest(trace)
+        if context is not None:
+            events = list(context.events_of_interest(app, trace))
+        else:
+            events = app.events_of_interest(trace)
         windows: List[Tuple[float, float]] = [
             (event.start, min(event.end + self.processing_s, trace.duration))
             for event in events
@@ -60,4 +65,5 @@ class Oracle(SensingConfiguration):
             awake_windows=windows,
             detections=detections,
             profile=profile,
+            context=context,
         )

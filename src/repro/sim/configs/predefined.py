@@ -35,6 +35,7 @@ from repro.hub.reliability import ReliabilityPolicy
 from repro.power.phone import NEXUS4, PhonePowerProfile
 from repro.sensors.channels import ACC_X, ACC_Y, ACC_Z, MIC
 from repro.sim.configs.base import SensingConfiguration
+from repro.sim.engine import RunContext
 from repro.sim.results import SimulationResult
 from repro.sim.simulator import (
     DEFAULT_RAW_BUFFER_S,
@@ -144,8 +145,9 @@ class PredefinedActivity(SensingConfiguration):
         app: SensingApplication,
         trace: Trace,
         profile: PhonePowerProfile = NEXUS4,
+        context: Optional[RunContext] = None,
     ) -> SimulationResult:
-        graph = compile_app_condition(self.pipeline_for(app))
+        graph = compile_app_condition(self.pipeline_for(app), context)
         if self.fault_plan is not None:
             awake, detect, faulty = faulty_condition_windows(
                 graph,
@@ -156,6 +158,7 @@ class PredefinedActivity(SensingConfiguration):
                 hold_s=self.hold_s,
                 raw_buffer_s=DEFAULT_RAW_BUFFER_S,
                 profile=profile,
+                context=context,
             )
             return evaluate(
                 config_name=self.name,
@@ -167,8 +170,9 @@ class PredefinedActivity(SensingConfiguration):
                 profile=profile,
                 hub_wake_count=faulty.hub_event_count,
                 fault_report=faulty.report,
+                context=context,
             )
-        wake_events = run_wakeup_condition(graph, trace)
+        wake_events = run_wakeup_condition(graph, trace, context=context)
         awake = windows_from_wake_times(
             [w.time for w in wake_events], trace.duration, self.hold_s, profile
         )
@@ -181,4 +185,5 @@ class PredefinedActivity(SensingConfiguration):
             mcus=(MSP430,),
             profile=profile,
             hub_wake_count=len(wake_events),
+            context=context,
         )

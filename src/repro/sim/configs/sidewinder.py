@@ -23,6 +23,7 @@ from repro.hub.mcu import DEFAULT_CATALOG
 from repro.hub.reliability import ReliabilityPolicy
 from repro.power.phone import NEXUS4, PhonePowerProfile
 from repro.sim.configs.base import SensingConfiguration
+from repro.sim.engine import RunContext
 from repro.sim.results import SimulationResult
 from repro.sim.simulator import (
     TRIGGERED_HOLD_S,
@@ -76,8 +77,9 @@ class Sidewinder(SensingConfiguration):
         app: SensingApplication,
         trace: Trace,
         profile: PhonePowerProfile = NEXUS4,
+        context: Optional[RunContext] = None,
     ) -> SimulationResult:
-        graph = compile_app_condition(app.build_wakeup_pipeline())
+        graph = compile_app_condition(app.build_wakeup_pipeline(), context)
         mcu = select_processor(graph, self.catalog)
         if self.fault_plan is not None:
             awake, detect, faulty = faulty_condition_windows(
@@ -89,6 +91,7 @@ class Sidewinder(SensingConfiguration):
                 hold_s=self.hold_s,
                 raw_buffer_s=self.raw_buffer_s,
                 profile=profile,
+                context=context,
             )
             return evaluate(
                 config_name=self.name,
@@ -100,8 +103,9 @@ class Sidewinder(SensingConfiguration):
                 profile=profile,
                 hub_wake_count=faulty.hub_event_count,
                 fault_report=faulty.report,
+                context=context,
             )
-        wake_events = run_wakeup_condition(graph, trace)
+        wake_events = run_wakeup_condition(graph, trace, context=context)
         awake = windows_from_wake_times(
             [w.time for w in wake_events], trace.duration, self.hold_s, profile
         )
@@ -114,4 +118,5 @@ class Sidewinder(SensingConfiguration):
             mcus=(mcu,),
             profile=profile,
             hub_wake_count=len(wake_events),
+            context=context,
         )

@@ -1,0 +1,471 @@
+"""The simulation engine: shared run state and the experiment executor.
+
+The paper's whole evaluation is one (configuration × application ×
+trace) sweep, and large parts of every cell are identical: compiling an
+application's wake-up pipeline, pulling a trace's channel arrays, and —
+most expensively — interpreting a wake-up condition over a trace on the
+hub.  Different sensing configurations repeat that shared work cell by
+cell.  This module centralizes it:
+
+* :class:`RunContext` memoizes compiled/validated condition graphs
+  (keyed by a content fingerprint of the IL program), per-trace channel
+  arrays, hub wake-event runs keyed by ``(graph fingerprint, trace,
+  chunk_seconds)``, and precise-detector invocations — so Sidewinder,
+  Predefined Activity, concurrent, adaptive, and fault-recovery runs
+  stop re-interpreting identical (condition, trace) pairs.
+
+* :func:`plan_matrix` builds an explicit :class:`RunPlan` of
+  (config, app, trace) cells, recording the (app, trace) pairs a sweep
+  must skip instead of silently dropping them.
+
+* :func:`execute_plan` executes a plan serially through one shared
+  context, or across a process pool (``jobs=N``) with cells grouped by
+  trace so each worker still deduplicates its own hub work.  Result
+  order is deterministic regardless of completion order.
+
+A context is **not** thread-safe: cached graphs hold stateful algorithm
+instances and are reset before each reuse.  Process-based parallelism
+sidesteps this — each worker owns a private context.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.api.compile import compile_pipeline
+from repro.api.pipeline import ProcessingPipeline
+from repro.errors import HubExecutionError
+from repro.hub.runtime import HubRuntime, WakeEvent, split_into_rounds
+from repro.il.ast import ILProgram
+from repro.il.graph import DataflowGraph
+from repro.il.text import format_program
+from repro.il.validate import validate_program
+from repro.power.phone import NEXUS4, PhonePowerProfile
+from repro.traces.base import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (types only)
+    from repro.apps.base import Detection, SensingApplication
+    from repro.sim.configs.base import SensingConfiguration
+    from repro.sim.results import SimulationResult
+    from repro.traces.base import GroundTruthEvent
+
+
+def program_fingerprint(program: ILProgram) -> str:
+    """Content fingerprint of an IL program.
+
+    Two programs with the same statements (opcodes, parameters, wiring,
+    ids) and the same output reference fingerprint identically; any
+    change — a retuned threshold, a reordered statement — changes it.
+    The textual wire form (what the sensor manager would actually push
+    to the hub) is the canonical content.
+    """
+    text = format_program(program)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one :class:`RunContext`.
+
+    Attributes:
+        compile_hits / compile_misses: Validated-graph lookups.
+        hub_hits / hub_misses: Hub wake-event run lookups.
+        trace_hits / trace_misses: Per-trace channel-array lookups.
+        detect_hits / detect_misses: Precise-detector invocations.
+    """
+
+    compile_hits: int = 0
+    compile_misses: int = 0
+    hub_hits: int = 0
+    hub_misses: int = 0
+    trace_hits: int = 0
+    trace_misses: int = 0
+    detect_hits: int = 0
+    detect_misses: int = 0
+
+    @property
+    def total_hits(self) -> int:
+        """All cache hits across categories."""
+        return (
+            self.compile_hits + self.hub_hits
+            + self.trace_hits + self.detect_hits
+        )
+
+    def as_dict(self) -> Dict[str, int]:
+        """Counters as a plain dict (for logs and benchmark artifacts)."""
+        return {
+            "compile_hits": self.compile_hits,
+            "compile_misses": self.compile_misses,
+            "hub_hits": self.hub_hits,
+            "hub_misses": self.hub_misses,
+            "trace_hits": self.trace_hits,
+            "trace_misses": self.trace_misses,
+            "detect_hits": self.detect_hits,
+            "detect_misses": self.detect_misses,
+        }
+
+
+class RunContext:
+    """Memoized shared state for a batch of simulation runs.
+
+    Args:
+        cache: When False every method computes from scratch — the
+            ``--no-cache`` escape hatch; results are identical either
+            way because everything cached is a pure function of its
+            key.
+
+    Cache keys and invalidation rules:
+
+    * **Validated graphs** are keyed by the IL program's content
+      fingerprint (:func:`program_fingerprint`).  A cached graph's
+      algorithm instances are stateful, so the graph is reset to cold
+      state before every reuse; retuning a parameter produces a new
+      fingerprint and therefore a fresh entry.
+    * **Channel arrays** are keyed by trace object identity (the
+      context pins the object, so the id cannot be recycled).  Traces
+      are treated as immutable once handed to a context.
+    * **Hub runs** are keyed by ``(graph fingerprint, trace,
+      chunk_seconds)`` — the complete determinants of a fault-free
+      interpretation.  Faulty runs are never cached (the injector
+      draws from a stochastic plan).
+    * **Detector runs** are keyed by ``(application instance, trace,
+      exact window tuple)``; ground-truth lookups by ``(application
+      instance, trace)``.  Keying by instance (not name) keeps two
+      differently parameterized copies of one app distinct.
+    """
+
+    def __init__(self, cache: bool = True):
+        self.cache = cache
+        self.stats = CacheStats()
+        self._graphs: Dict[str, DataflowGraph] = {}
+        self._fingerprints: Dict[int, Tuple[ILProgram, str]] = {}
+        self._traces: Dict[int, Trace] = {}
+        self._channel_arrays: Dict[int, Dict[str, tuple]] = {}
+        self._hub_runs: Dict[Tuple[str, int, float], Tuple[WakeEvent, ...]] = {}
+        self._detections: Dict[tuple, Tuple["Detection", ...]] = {}
+        self._events: Dict[Tuple[int, int], Tuple["GroundTruthEvent", ...]] = {}
+        self._apps: Dict[int, "SensingApplication"] = {}
+
+    # -- compiled conditions -------------------------------------------
+
+    def fingerprint(self, program: ILProgram) -> str:
+        """Content fingerprint, memoized per program object."""
+        entry = self._fingerprints.get(id(program))
+        if entry is not None and entry[0] is program:
+            return entry[1]
+        fp = program_fingerprint(program)
+        self._fingerprints[id(program)] = (program, fp)
+        return fp
+
+    def compile(self, pipeline: ProcessingPipeline) -> DataflowGraph:
+        """Compile and validate a wake-up pipeline, memoized by content."""
+        return self.validated(compile_pipeline(pipeline))
+
+    def validated(self, program: ILProgram) -> DataflowGraph:
+        """A validated executable graph for ``program``, memoized.
+
+        The returned graph may be shared across runs; callers must
+        treat it as checked out for the duration of one run (the
+        context resets it before each cached hub run).
+        """
+        if not self.cache:
+            return validate_program(program)
+        fp = self.fingerprint(program)
+        graph = self._graphs.get(fp)
+        if graph is not None:
+            self.stats.compile_hits += 1
+            return graph
+        self.stats.compile_misses += 1
+        graph = validate_program(program)
+        self._graphs[fp] = graph
+        return graph
+
+    # -- traces --------------------------------------------------------
+
+    def _trace_key(self, trace: Trace) -> int:
+        key = id(trace)
+        pinned = self._traces.get(key)
+        if pinned is not trace:
+            self._traces[key] = trace
+            self._channel_arrays.pop(key, None)
+        return key
+
+    def channel_arrays(self, trace: Trace) -> Dict[str, tuple]:
+        """``trace.channel_arrays()``, computed once per trace."""
+        if not self.cache:
+            return trace.channel_arrays()
+        key = self._trace_key(trace)
+        arrays = self._channel_arrays.get(key)
+        if arrays is not None:
+            self.stats.trace_hits += 1
+            return arrays
+        self.stats.trace_misses += 1
+        arrays = trace.channel_arrays()
+        self._channel_arrays[key] = arrays
+        return arrays
+
+    # -- hub runs ------------------------------------------------------
+
+    def wake_events(
+        self, graph: DataflowGraph, trace: Trace, chunk_seconds: float = 4.0
+    ) -> Tuple[WakeEvent, ...]:
+        """Wake events of one condition over one trace, computed once.
+
+        Raises:
+            HubExecutionError: when the trace lacks a channel the
+                condition reads.
+        """
+        if not self.cache:
+            return tuple(self._interpret(graph, trace, chunk_seconds))
+        key = (
+            self.fingerprint(graph.program),
+            self._trace_key(trace),
+            float(chunk_seconds),
+        )
+        events = self._hub_runs.get(key)
+        if events is not None:
+            self.stats.hub_hits += 1
+            return events
+        self.stats.hub_misses += 1
+        events = tuple(self._interpret(graph, trace, chunk_seconds))
+        self._hub_runs[key] = events
+        return events
+
+    def _interpret(
+        self, graph: DataflowGraph, trace: Trace, chunk_seconds: float
+    ) -> List[WakeEvent]:
+        arrays = self.channel_arrays(trace)
+        channels = {
+            name: triple
+            for name, triple in arrays.items()
+            if name in graph.channels
+        }
+        missing = set(graph.channels) - set(channels)
+        if missing:
+            raise HubExecutionError(
+                f"trace {trace.name!r} lacks channels {sorted(missing)} "
+                "needed by the wake-up condition"
+            )
+        # The graph may be a cached instance whose algorithm objects
+        # carry state from a previous run; start cold.
+        graph.reset()
+        runtime = HubRuntime(graph)
+        return runtime.run(split_into_rounds(channels, chunk_seconds))
+
+    # -- application detectors -----------------------------------------
+
+    def detections(
+        self,
+        app: "SensingApplication",
+        trace: Trace,
+        windows: Sequence[Tuple[float, float]],
+    ) -> Tuple["Detection", ...]:
+        """``app.detect(trace, windows)``, memoized on the exact windows."""
+        if not self.cache:
+            return tuple(app.detect(trace, list(windows)))
+        self._apps[id(app)] = app
+        key = (
+            id(app),
+            self._trace_key(trace),
+            tuple((float(a), float(b)) for a, b in windows),
+        )
+        cached = self._detections.get(key)
+        if cached is not None:
+            self.stats.detect_hits += 1
+            return cached
+        self.stats.detect_misses += 1
+        cached = tuple(app.detect(trace, list(windows)))
+        self._detections[key] = cached
+        return cached
+
+    def events_of_interest(
+        self, app: "SensingApplication", trace: Trace
+    ) -> Tuple["GroundTruthEvent", ...]:
+        """``app.events_of_interest(trace)``, memoized."""
+        if not self.cache:
+            return tuple(app.events_of_interest(trace))
+        self._apps[id(app)] = app
+        key = (id(app), self._trace_key(trace))
+        cached = self._events.get(key)
+        if cached is not None:
+            self.stats.detect_hits += 1
+            return cached
+        self.stats.detect_misses += 1
+        cached = tuple(app.events_of_interest(trace))
+        self._events[key] = cached
+        return cached
+
+
+# -- the experiment matrix planner/executor ----------------------------
+
+
+@dataclass(frozen=True)
+class RunCell:
+    """One (configuration, application, trace) cell of an experiment plan.
+
+    Attributes:
+        index: Position in the plan — results are always returned in
+            index order, however the cells were executed.
+        config: The sensing configuration to run.
+        app: The application to simulate.
+        trace: The trace to replay.
+    """
+
+    index: int
+    config: "SensingConfiguration"
+    app: "SensingApplication"
+    trace: Trace
+
+    @property
+    def key(self) -> Tuple[str, str, str]:
+        """(config name, app name, trace name) label."""
+        return (self.config.name, self.app.name, self.trace.name)
+
+
+@dataclass(frozen=True)
+class SkippedCell:
+    """One (application, trace) pair a sweep could not run.
+
+    Attributes:
+        app_name: The application that was skipped.
+        trace_name: The trace it was skipped on.
+        missing_channels: Sensor channels the app needs but the trace
+            lacks.
+    """
+
+    app_name: str
+    trace_name: str
+    missing_channels: Tuple[str, ...]
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        channels = ", ".join(self.missing_channels)
+        return (
+            f"{self.app_name} on {self.trace_name}: "
+            f"trace lacks channel(s) {channels}"
+        )
+
+
+@dataclass
+class RunPlan:
+    """An explicit experiment matrix: the cells to run and the skips.
+
+    Attributes:
+        cells: Runnable cells in deterministic order (trace-major, then
+            application, then configuration — the order hub-run caching
+            benefits from most).
+        skipped: (app, trace) pairs excluded because the trace lacks
+            the application's sensors.
+    """
+
+    cells: List[RunCell] = field(default_factory=list)
+    skipped: List[SkippedCell] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+
+def plan_matrix(
+    configs: Sequence["SensingConfiguration"],
+    apps: Sequence["SensingApplication"],
+    traces: Sequence[Trace],
+) -> RunPlan:
+    """Build the explicit plan for a (config × app × trace) sweep."""
+    plan = RunPlan()
+    index = 0
+    for trace in traces:
+        for app in apps:
+            missing = tuple(
+                sorted(c for c in app.channels if c not in trace.data)
+            )
+            if missing:
+                plan.skipped.append(
+                    SkippedCell(app.name, trace.name, missing)
+                )
+                continue
+            for config in configs:
+                plan.cells.append(RunCell(index, config, app, trace))
+                index += 1
+    return plan
+
+
+def _group_cells_by_trace(cells: Sequence[RunCell]) -> List[List[RunCell]]:
+    """Consecutive cells sharing a trace, in plan order.
+
+    Grouping by trace keeps every cell that can share hub runs and
+    channel arrays inside one worker, so per-worker contexts still
+    deduplicate nearly as well as one shared context.
+    """
+    groups: List[List[RunCell]] = []
+    current: List[RunCell] = []
+    for cell in cells:
+        if current and current[-1].trace is not cell.trace:
+            groups.append(current)
+            current = []
+        current.append(cell)
+    if current:
+        groups.append(current)
+    return groups
+
+
+def _execute_cell_group(
+    cells: List[RunCell], cache: bool, profile: PhonePowerProfile
+) -> List[Tuple[int, "SimulationResult"]]:
+    """Worker body: run a group of cells through one private context."""
+    context = RunContext(cache=cache)
+    return [
+        (cell.index, cell.config.run(cell.app, cell.trace, profile, context=context))
+        for cell in cells
+    ]
+
+
+def execute_plan(
+    plan: RunPlan,
+    jobs: int = 1,
+    cache: bool = True,
+    profile: PhonePowerProfile = NEXUS4,
+    context: Optional[RunContext] = None,
+) -> List["SimulationResult"]:
+    """Execute a plan and return results in plan (index) order.
+
+    Args:
+        plan: The matrix to run.
+        jobs: 1 runs serially through one shared context; ``N > 1``
+            fans trace-groups of cells across a process pool of up to
+            ``N`` workers, each with a private context.
+        cache: Enable :class:`RunContext` memoization (results are
+            identical either way).
+        profile: Phone power profile for every cell.
+        context: Optional externally owned context for serial runs —
+            pass the same context again to reuse a warm cache across
+            sweeps.  Ignored when ``jobs > 1`` (worker processes cannot
+            share it).
+    """
+    if jobs <= 1:
+        ctx = context if context is not None else RunContext(cache=cache)
+        return [
+            (cell.config.run(cell.app, cell.trace, profile, context=ctx))
+            for cell in plan.cells
+        ]
+    groups = _group_cells_by_trace(plan.cells)
+    indexed: List[Tuple[int, "SimulationResult"]] = []
+    workers = max(1, min(jobs, len(groups)))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [
+            pool.submit(_execute_cell_group, group, cache, profile)
+            for group in groups
+        ]
+        for future in futures:
+            indexed.extend(future.result())
+    indexed.sort(key=lambda pair: pair[0])
+    return [result for _, result in indexed]

@@ -41,6 +41,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+import numpy as np
+
 from repro.errors import FaultInjectionError, HubExecutionError
 from repro.hub.faults import FaultInjector, FaultPlan
 from repro.hub.link import LinkModel, UART_DEBUG
@@ -270,6 +272,7 @@ def _run_condition(
     resident: List[Tuple[float, float]],
     injector: FaultInjector,
     chunk_seconds: float,
+    context=None,
 ) -> Tuple[List[WakeEvent], int]:
     """Interpret the condition over its resident spans only.
 
@@ -278,9 +281,13 @@ def _run_condition(
     the warm-up cost of recovery.  Sensor rounds lost on the way into
     the hub are skipped entirely.
     """
+    arrays = (
+        context.channel_arrays(trace) if context is not None
+        else trace.channel_arrays()
+    )
     channels = {
         name: triple
-        for name, triple in trace.channel_arrays().items()
+        for name, triple in arrays.items()
         if name in graph.channels
     }
     missing = set(graph.channels) - set(channels)
@@ -300,11 +307,11 @@ def _run_condition(
             round_chunks = {}
             empty = True
             for name, (times, values, rate) in channels.items():
-                mask = (times >= t0) & (times < t1)
-                if mask.any():
+                i0, i1 = np.searchsorted(times, (t0, t1), side="left")
+                if i1 > i0:
                     empty = False
                 round_chunks[name] = Chunk.scalars(
-                    times[mask], values[mask], rate
+                    times[i0:i1], values[i0:i1], rate
                 )
             if not empty:
                 if injector.chunk_dropped():
@@ -390,6 +397,7 @@ def run_condition_under_faults(
     link: LinkModel = UART_DEBUG,
     wake_payload_bytes: float = 0.0,
     chunk_seconds: float = 4.0,
+    context=None,
 ) -> FaultyRun:
     """Execute a wake-up condition under injected system faults.
 
@@ -403,6 +411,9 @@ def run_condition_under_faults(
         wake_payload_bytes: Delivery payload accompanying each wake-up
             (0 disables payload modeling).
         chunk_seconds: Sensor-feed round length.
+        context: Optional :class:`~repro.sim.engine.RunContext`; only
+            the per-trace channel arrays are drawn from it — a faulty
+            run itself is never cached (the injector is stochastic).
 
     Returns:
         A :class:`FaultyRun`; deterministic for a given plan.
@@ -420,7 +431,8 @@ def run_condition_under_faults(
             plan, policy, trace.duration, injector, rlink
         )
     events, lost_chunks = _run_condition(
-        graph, trace, availability.resident, injector, chunk_seconds
+        graph, trace, availability.resident, injector, chunk_seconds,
+        context=context,
     )
     deliveries, lost_wakeups, wake_retrans, wake_busy = _deliver(
         events, injector, policy, rlink, wake_payload_bytes

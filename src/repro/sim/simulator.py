@@ -26,6 +26,7 @@ from repro.il.validate import validate_program
 from repro.power.accounting import account
 from repro.power.phone import NEXUS4, PhonePowerProfile
 from repro.power.timeline import build_timeline, merge_windows
+from repro.sim.engine import RunContext
 from repro.sim.recovery import FaultReport, FaultyRun, run_condition_under_faults
 from repro.sim.results import SimulationResult
 from repro.traces.base import Trace
@@ -49,15 +50,35 @@ DEFAULT_RAW_BUFFER_S = 4.0
 FEED_CHUNK_S = 4.0
 
 
-def compile_app_condition(pipeline: ProcessingPipeline) -> DataflowGraph:
-    """Compile and validate a wake-up condition pipeline."""
+def compile_app_condition(
+    pipeline: ProcessingPipeline, context: Optional[RunContext] = None
+) -> DataflowGraph:
+    """Compile and validate a wake-up condition pipeline.
+
+    With a :class:`~repro.sim.engine.RunContext`, the validated graph is
+    memoized by the IL program's content fingerprint.
+    """
+    if context is not None:
+        return context.compile(pipeline)
     return validate_program(compile_pipeline(pipeline))
 
 
 def run_wakeup_condition(
-    graph: DataflowGraph, trace: Trace, chunk_seconds: float = FEED_CHUNK_S
+    graph: DataflowGraph,
+    trace: Trace,
+    chunk_seconds: float = FEED_CHUNK_S,
+    context: Optional[RunContext] = None,
 ) -> List[WakeEvent]:
-    """Execute a hub condition over a whole trace, collecting wake events."""
+    """Execute a hub condition over a whole trace, collecting wake events.
+
+    With a :class:`~repro.sim.engine.RunContext`, identical (condition,
+    trace, chunk) runs are interpreted once and served from cache.
+    """
+    if context is not None:
+        return list(context.wake_events(graph, trace, chunk_seconds))
+    # The graph may be a context-cached instance whose algorithm objects
+    # carry state from an earlier run; always start cold.
+    graph.reset()
     runtime = HubRuntime(graph)
     channels = {
         name: triple
@@ -82,6 +103,7 @@ def faulty_condition_windows(
     hold_s: float = TRIGGERED_HOLD_S,
     raw_buffer_s: float = DEFAULT_RAW_BUFFER_S,
     profile: PhonePowerProfile = NEXUS4,
+    context: Optional[RunContext] = None,
 ) -> Tuple[List[Tuple[float, float]], List[Tuple[float, float]], FaultyRun]:
     """Awake and data-visibility windows under injected system faults.
 
@@ -110,6 +132,7 @@ def faulty_condition_windows(
         link=link,
         wake_payload_bytes=payload,
         chunk_seconds=FEED_CHUNK_S,
+        context=context,
     )
     wake_windows = windows_from_wake_times(
         [d.arrival_time for d in run.deliveries], trace.duration, hold_s, profile
@@ -173,6 +196,7 @@ def evaluate(
     profile: PhonePowerProfile = NEXUS4,
     hub_wake_count: int = 0,
     fault_report: Optional[FaultReport] = None,
+    context: Optional[RunContext] = None,
 ) -> SimulationResult:
     """Assemble a :class:`SimulationResult`.
 
@@ -193,12 +217,21 @@ def evaluate(
         fault_report: Fault/recovery counters when the run was executed
             under a fault plan; its reliability energy is charged in
             the power breakdown.
+        context: Optional :class:`~repro.sim.engine.RunContext`;
+            detector runs and ground-truth lookups are served from its
+            cache.
     """
     timeline = build_timeline(trace.duration, awake_windows, profile)
     if detections is None:
         windows = detect_windows if detect_windows is not None else timeline.awake_windows()
-        detections = app.detect(trace, windows)
-    events = app.events_of_interest(trace)
+        if context is not None:
+            detections = context.detections(app, trace, windows)
+        else:
+            detections = app.detect(trace, windows)
+    if context is not None:
+        events = list(context.events_of_interest(app, trace))
+    else:
+        events = app.events_of_interest(trace)
     match = match_events(events, detections, app.match_tolerance_s)
     breakdown = account(
         timeline,

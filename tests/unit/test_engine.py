@@ -1,0 +1,164 @@
+"""Unit tests for the simulation engine (RunContext and the planner)."""
+
+import pytest
+
+from repro.apps import HeadbuttApp, SirenDetectorApp, StepsApp
+from repro.errors import HubExecutionError
+from repro.sim import AlwaysAwake, Oracle, Sidewinder
+from repro.sim.engine import (
+    RunContext,
+    execute_plan,
+    plan_matrix,
+    program_fingerprint,
+)
+from repro.sim.configs.predefined import significant_motion_pipeline
+from repro.sim.simulator import run_wakeup_condition
+
+
+class TestFingerprint:
+    def test_stable_across_compiles(self):
+        from repro.api.compile import compile_pipeline
+        a = compile_pipeline(StepsApp().build_wakeup_pipeline())
+        b = compile_pipeline(StepsApp().build_wakeup_pipeline())
+        assert a is not b
+        assert program_fingerprint(a) == program_fingerprint(b)
+
+    def test_sensitive_to_parameters(self):
+        from repro.api.compile import compile_pipeline
+        a = compile_pipeline(significant_motion_pipeline(0.8))
+        b = compile_pipeline(significant_motion_pipeline(0.9))
+        assert program_fingerprint(a) != program_fingerprint(b)
+
+    def test_sensitive_to_structure(self):
+        from repro.api.compile import compile_pipeline
+        a = compile_pipeline(StepsApp().build_wakeup_pipeline())
+        b = compile_pipeline(HeadbuttApp().build_wakeup_pipeline())
+        assert program_fingerprint(a) != program_fingerprint(b)
+
+
+class TestRunContextCaches:
+    def test_compile_shares_graphs(self):
+        ctx = RunContext()
+        g1 = ctx.compile(StepsApp().build_wakeup_pipeline())
+        g2 = ctx.compile(StepsApp().build_wakeup_pipeline())
+        assert g1 is g2
+        assert ctx.stats.compile_hits == 1
+        assert ctx.stats.compile_misses == 1
+
+    def test_wake_events_match_fresh_run(self, robot_trace):
+        ctx = RunContext()
+        graph = ctx.compile(StepsApp().build_wakeup_pipeline())
+        cached = ctx.wake_events(graph, robot_trace)
+        fresh = run_wakeup_condition(
+            ctx.compile(StepsApp().build_wakeup_pipeline()), robot_trace
+        )
+        assert [(e.time, e.value) for e in cached] == [
+            (e.time, e.value) for e in fresh
+        ]
+
+    def test_wake_events_served_from_cache(self, robot_trace):
+        ctx = RunContext()
+        graph = ctx.compile(StepsApp().build_wakeup_pipeline())
+        first = ctx.wake_events(graph, robot_trace)
+        second = ctx.wake_events(graph, robot_trace)
+        assert first is second
+        assert ctx.stats.hub_hits == 1
+        assert ctx.stats.hub_misses == 1
+
+    def test_cached_graph_reuse_stays_cold(self, robot_trace):
+        # Two different traces through one cached graph: the second run
+        # must not see algorithm state left over from the first.
+        ctx = RunContext()
+        graph = ctx.compile(StepsApp().build_wakeup_pipeline())
+        ctx.wake_events(graph, robot_trace)
+        again = ctx.wake_events(graph, robot_trace, chunk_seconds=2.0)
+        cold = run_wakeup_condition(
+            ctx.compile(StepsApp().build_wakeup_pipeline()),
+            robot_trace,
+            chunk_seconds=2.0,
+        )
+        assert [(e.time, e.value) for e in again] == [
+            (e.time, e.value) for e in cold
+        ]
+
+    def test_missing_channel_raises(self, robot_trace):
+        ctx = RunContext()
+        graph = ctx.compile(SirenDetectorApp().build_wakeup_pipeline())
+        with pytest.raises(HubExecutionError, match="MIC"):
+            ctx.wake_events(graph, robot_trace)
+
+    def test_channel_arrays_computed_once(self, robot_trace):
+        ctx = RunContext()
+        a = ctx.channel_arrays(robot_trace)
+        b = ctx.channel_arrays(robot_trace)
+        assert a is b
+        assert ctx.stats.trace_hits == 1
+
+    def test_detections_cached_and_faithful(self, robot_trace):
+        ctx = RunContext()
+        app = StepsApp()
+        windows = [(0.0, 30.0), (60.0, 90.0)]
+        cached = ctx.detections(app, robot_trace, windows)
+        direct = app.detect(robot_trace, windows)
+        assert list(cached) == list(direct)
+        again = ctx.detections(app, robot_trace, windows)
+        assert again is cached
+        assert ctx.stats.detect_hits == 1
+
+    def test_distinct_windows_are_distinct_entries(self, robot_trace):
+        ctx = RunContext()
+        app = StepsApp()
+        ctx.detections(app, robot_trace, [(0.0, 30.0)])
+        ctx.detections(app, robot_trace, [(0.0, 31.0)])
+        assert ctx.stats.detect_misses == 2
+
+    def test_cache_disabled_computes_fresh(self, robot_trace):
+        ctx = RunContext(cache=False)
+        g1 = ctx.compile(StepsApp().build_wakeup_pipeline())
+        g2 = ctx.compile(StepsApp().build_wakeup_pipeline())
+        assert g1 is not g2
+        e1 = ctx.wake_events(g1, robot_trace)
+        e2 = ctx.wake_events(g2, robot_trace)
+        assert [(e.time, e.value) for e in e1] == [
+            (e.time, e.value) for e in e2
+        ]
+        assert ctx.stats.total_hits == 0
+
+
+class TestPlanner:
+    def test_plan_matrix_shape_and_order(self, robot_trace, quiet_robot_trace):
+        configs = [AlwaysAwake(), Oracle()]
+        apps = [StepsApp(), HeadbuttApp()]
+        plan = plan_matrix(configs, apps, [robot_trace, quiet_robot_trace])
+        assert len(plan) == 2 * 2 * 2
+        assert [c.index for c in plan.cells] == list(range(len(plan)))
+        # Trace-major order: the first half of the plan is trace 1.
+        assert all(
+            c.trace is robot_trace for c in plan.cells[: len(plan) // 2]
+        )
+
+    def test_plan_matrix_records_skips(self, robot_trace):
+        plan = plan_matrix(
+            [AlwaysAwake()], [StepsApp(), SirenDetectorApp()], [robot_trace]
+        )
+        assert len(plan) == 1
+        assert len(plan.skipped) == 1
+        skip = plan.skipped[0]
+        assert skip.app_name == "sirens"
+        assert skip.missing_channels == ("MIC",)
+        assert "MIC" in skip.describe()
+
+    def test_execute_plan_returns_in_plan_order(self, robot_trace):
+        configs = [Oracle(), AlwaysAwake()]
+        plan = plan_matrix(configs, [StepsApp()], [robot_trace])
+        results = execute_plan(plan)
+        assert [r.config_name for r in results] == ["oracle", "always_awake"]
+
+    def test_execute_plan_reuses_external_context(self, robot_trace):
+        plan = plan_matrix([Sidewinder()], [StepsApp()], [robot_trace])
+        ctx = RunContext()
+        execute_plan(plan, context=ctx)
+        assert ctx.stats.hub_misses == 1
+        execute_plan(plan, context=ctx)
+        assert ctx.stats.hub_misses == 1
+        assert ctx.stats.hub_hits >= 1

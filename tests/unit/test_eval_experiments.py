@@ -87,6 +87,48 @@ def test_apps_skipped_on_wrong_sensor(matrix):
     trace = generate_robot_run(RobotRunConfig(group=1, duration_s=120.0, seed=3))
     m = run_matrix([AlwaysAwake()], [SirenDetectorApp()], [trace])
     assert m.results == []  # robot trace has no MIC channel
+    # ...but the skip is recorded, not silently dropped.
+    assert [(s.app_name, s.trace_name) for s in m.skipped] == [
+        ("sirens", trace.name)
+    ]
+    assert m.skipped[0].missing_channels == ("MIC",)
+
+
+def test_clean_sweep_records_no_skips(matrix):
+    m, _ = matrix
+    assert m.skipped == []
+
+
+def test_index_survives_add(matrix):
+    from dataclasses import replace
+    m, traces = matrix
+    original = m.get("oracle", "steps", traces[0].name)
+    extra = replace(original, trace_name="synthetic/extra")
+    copy = Matrix(results=list(m.results))
+    copy.add(extra)
+    assert copy.get("oracle", "steps", "synthetic/extra") is extra
+    assert len(copy.select("oracle", "steps")) == len(
+        m.select("oracle", "steps")
+    ) + 1
+
+
+def test_index_matches_linear_scan(matrix):
+    m, _ = matrix
+    for r in m.results:
+        assert m.get(r.config_name, r.app_name, r.trace_name) is r
+    # select with a predicate still works through the indexed path.
+    high = m.select(
+        "always_awake", "steps", predicate=lambda r: r.average_power_mw > 0
+    )
+    assert len(high) == len(m.select("always_awake", "steps"))
+
+
+def test_render_skipped_lists_pairs():
+    from repro.eval.report import render_skipped
+    from repro.sim.engine import SkippedCell
+    assert render_skipped([]) == ""
+    text = render_skipped([SkippedCell("sirens", "robot/run-1", ("MIC",))])
+    assert "sirens" in text and "robot/run-1" in text and "MIC" in text
 
 
 class TestReportRendering:

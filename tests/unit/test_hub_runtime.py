@@ -151,3 +151,42 @@ def test_empty_round_produces_no_events():
     runtime = _runtime(SIGNIFICANT_MOTION)
     chunks = _acc_chunks(np.empty(0), np.empty(0), np.empty(0))
     assert runtime.feed(chunks) == []
+
+
+def _reference_rounds(channel_data, chunk_seconds):
+    """The pre-optimization per-round boolean-mask splitter (oracle)."""
+    if not channel_data:
+        return
+    start = min(t[0][0] for t in channel_data.values() if len(t[0]))
+    end = max(t[0][-1] for t in channel_data.values() if len(t[0]))
+    t0 = start
+    while t0 <= end:
+        t1 = t0 + chunk_seconds
+        round_arrays = {}
+        for name, (times, values, rate) in channel_data.items():
+            mask = (times >= t0) & (times < t1)
+            round_arrays[name] = (times[mask], values[mask])
+        yield round_arrays
+        t0 = t1
+
+
+def test_split_into_rounds_matches_mask_reference_on_ragged_rates():
+    # Channels at wildly different rates with a non-zero, non-aligned
+    # start and an awkward chunk length: every round must match the
+    # boolean-mask reference sample for sample.
+    rng = np.random.default_rng(7)
+    channel_data = {}
+    for name, rate, n in (("ACC_X", 50.0, 977), ("MIC", 8000.0, 156311),
+                          ("ACC_Y", 13.0, 254)):
+        times = 0.37 + np.arange(n) / rate
+        channel_data[name] = (times, rng.normal(size=n), rate)
+    chunk_seconds = 1.7
+    got = list(split_into_rounds(channel_data, chunk_seconds))
+    want = list(_reference_rounds(channel_data, chunk_seconds))
+    assert len(got) == len(want)
+    for got_round, want_round in zip(got, want):
+        assert set(got_round) == set(want_round)
+        for name in want_round:
+            ref_times, ref_values = want_round[name]
+            assert np.array_equal(got_round[name].times, ref_times)
+            assert np.array_equal(got_round[name].values, ref_values)
