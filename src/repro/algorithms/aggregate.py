@@ -25,6 +25,7 @@ class _ElementwiseAggregate(StreamAlgorithm):
     n_inputs = PORT_VARIADIC
     input_kind = StreamKind.SCALAR
     output_kind = StreamKind.SCALAR
+    chunk_invariant = True
     param_order = ()
 
     _reduce: Callable[..., np.ndarray]

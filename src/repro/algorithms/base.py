@@ -63,12 +63,22 @@ class StreamAlgorithm:
         n_inputs: Number of input streams, or :data:`PORT_VARIADIC`.
         input_kind: Stream kind required on every input.
         output_kind: Stream kind produced.
+        chunk_invariant: True when the concatenated output stream is
+            *bitwise* independent of how the input stream is split into
+            chunks.  The fused execution path
+            (:meth:`repro.hub.runtime.HubRuntime.run_fused`) relies on
+            this to replace many small feed rounds with a few large
+            ones while producing identical wake events; an algorithm
+            whose numerical result can drift with chunk size — even at
+            ulp level — must leave this False.  Defaults to False so
+            new algorithms opt in explicitly.
     """
 
     opcode: str = ""
     n_inputs: int = 1
     input_kind: StreamKind = StreamKind.SCALAR
     output_kind: StreamKind = StreamKind.SCALAR
+    chunk_invariant: bool = False
 
     def __init__(self, **params: Any):
         self.params = params

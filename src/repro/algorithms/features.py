@@ -31,6 +31,7 @@ class VectorMagnitude(StreamAlgorithm):
     n_inputs = PORT_VARIADIC
     input_kind = StreamKind.SCALAR
     output_kind = StreamKind.SCALAR
+    chunk_invariant = True
     param_order = ()
 
     def process(self, chunks: Sequence[Chunk]) -> Chunk:
@@ -60,6 +61,7 @@ class ZeroCrossingRate(StreamAlgorithm):
     n_inputs = 1
     input_kind = StreamKind.FRAME
     output_kind = StreamKind.SCALAR
+    chunk_invariant = True
     param_order = ()
 
     def process(self, chunks: Sequence[Chunk]) -> Chunk:
@@ -108,6 +110,7 @@ class DominantFrequency(StreamAlgorithm):
     n_inputs = 1
     input_kind = StreamKind.SPECTRUM
     output_kind = StreamKind.SCALAR
+    chunk_invariant = True
     param_order = ("mode", "min_hz", "max_hz")
 
     def __init__(self, mode: str = "magnitude", min_hz: float = 0.0, max_hz: float | None = None):

@@ -32,6 +32,7 @@ class MovingAverage(StreamAlgorithm):
     n_inputs = 1
     input_kind = StreamKind.SCALAR
     output_kind = StreamKind.SCALAR
+    chunk_invariant = True
     param_order = ("size",)
 
     def __init__(self, size: int):
@@ -46,10 +47,14 @@ class MovingAverage(StreamAlgorithm):
         if n < self.size:
             return Chunk.empty(StreamKind.SCALAR, chunk.rate_hz)
         values = self._carry.values
-        # Sliding mean via cumulative sum: one output per position where
-        # a full window is available.
-        csum = np.concatenate([[0.0], np.cumsum(values)])
-        means = (csum[self.size:] - csum[:-self.size]) / self.size
+        # Each output is the mean of exactly its window's samples
+        # (sliding_window_view + per-row mean).  Unlike a running
+        # cumulative sum — whose rounding depends on where the carry
+        # buffer happens to start — every window mean is a pure function
+        # of the window contents, which is what makes this opcode
+        # bitwise chunk-invariant and fusion-eligible.
+        windows = np.lib.stride_tricks.sliding_window_view(values, self.size)
+        means = windows.mean(axis=1)
         times = self._carry.times[self.size - 1:]
         # Keep the last size-1 samples as carry for the next chunk.
         self._carry.consume(n - (self.size - 1))
@@ -78,6 +83,11 @@ class ExponentialMovingAverage(StreamAlgorithm):
     n_inputs = 1
     input_kind = StreamKind.SCALAR
     output_kind = StreamKind.SCALAR
+    # Deliberately NOT chunk-invariant: the loop path (short chunks) and
+    # the convolution path (chunks > 64 items) accumulate rounding in a
+    # different order, so fusing rounds can change results at ulp level
+    # — and the convolve path is O(n^2) on trace-sized chunks anyway.
+    chunk_invariant = False
     param_order = ("alpha",)
 
     def __init__(self, alpha: float):
@@ -129,6 +139,9 @@ class _FFTBandFilter(StreamAlgorithm):
     n_inputs = 1
     input_kind = StreamKind.FRAME
     output_kind = StreamKind.FRAME
+    # Per-frame transform: each output frame depends only on its input
+    # frame, never on chunk boundaries.
+    chunk_invariant = True
     param_order = ("cutoff_hz",)
 
     #: True keeps bins below the cutoff (low-pass); False keeps above.

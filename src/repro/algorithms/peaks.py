@@ -41,6 +41,9 @@ class LocalExtrema(StreamAlgorithm):
     n_inputs = 1
     input_kind = StreamKind.SCALAR
     output_kind = StreamKind.SCALAR
+    # State is exact (last sample value + last emission time compared
+    # with ==/</>), so the emitted extrema never depend on chunking.
+    chunk_invariant = True
     param_order = ("mode", "low", "high", "min_separation")
 
     def __init__(

@@ -45,6 +45,8 @@ class Statistic(StreamAlgorithm):
     n_inputs = 1
     input_kind = StreamKind.FRAME
     output_kind = StreamKind.SCALAR
+    # Per-frame reduction: output depends only on the frame contents.
+    chunk_invariant = True
     param_order = ("name",)
 
     #: Relative per-sample cost of each statistic on an MCU.

@@ -38,6 +38,7 @@ class FFT(StreamAlgorithm):
     n_inputs = 1
     input_kind = StreamKind.FRAME
     output_kind = StreamKind.SPECTRUM
+    chunk_invariant = True
     param_order = ()
 
     def process(self, chunks: Sequence[Chunk]) -> Chunk:
@@ -67,6 +68,7 @@ class IFFT(StreamAlgorithm):
     n_inputs = 1
     input_kind = StreamKind.SPECTRUM
     output_kind = StreamKind.FRAME
+    chunk_invariant = True
     param_order = ()
 
     def process(self, chunks: Sequence[Chunk]) -> Chunk:

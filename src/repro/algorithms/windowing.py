@@ -37,6 +37,9 @@ class Window(StreamAlgorithm):
     n_inputs = 1
     input_kind = StreamKind.SCALAR
     output_kind = StreamKind.FRAME
+    # Frames are cut at absolute sample offsets held in the carry
+    # buffer, so the emitted frame sequence never depends on chunking.
+    chunk_invariant = True
     param_order = ("size", "hop", "shape")
 
     def __init__(self, size: int, hop: int | None = None, shape: str = "rectangular"):

@@ -190,6 +190,7 @@ def cmd_table2(args: argparse.Namespace) -> int:
         traces=audio_corpus(duration_s=args.duration),
         jobs=args.jobs,
         cache=not args.no_cache,
+        fuse=not args.no_fuse,
     )
     print(render_table2(table, paper=PAPER_TABLE2))
     _print_skipped(matrix)
@@ -205,6 +206,7 @@ def cmd_figure5(args: argparse.Namespace) -> int:
         traces=robot_corpus(duration_s=args.duration),
         jobs=args.jobs,
         cache=not args.no_cache,
+        fuse=not args.no_fuse,
     )
     print(render_figure5(series))
     _print_skipped(matrix)
@@ -221,7 +223,8 @@ def cmd_figure6(args: argparse.Namespace) -> int:
         if t.metadata.get("group") == 1
     ]
     series = figure6_series(
-        traces=group1, jobs=args.jobs, cache=not args.no_cache
+        traces=group1, jobs=args.jobs, cache=not args.no_cache,
+        fuse=not args.no_fuse,
     )
     print(render_figure6(series))
     return 0
@@ -236,6 +239,7 @@ def cmd_figure7(args: argparse.Namespace) -> int:
         traces=human_corpus(duration_s=args.duration),
         jobs=args.jobs,
         cache=not args.no_cache,
+        fuse=not args.no_fuse,
     )
     print(render_figure7(series))
     _print_skipped(matrix)
@@ -308,6 +312,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes for the sweep (default 1)")
         p.add_argument("--no-cache", action="store_true",
                        help="disable the engine's run caching")
+        p.add_argument("--no-fuse", action="store_true",
+                       help="disable the fused hub fast path (results "
+                            "are identical; this is an escape hatch)")
 
     p = sub.add_parser("merge", help="merge several apps' conditions")
     p.add_argument("--apps", required=True,

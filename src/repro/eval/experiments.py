@@ -27,7 +27,13 @@ from repro.sim.configs import (
     Sidewinder,
 )
 from repro.sim.configs.base import SensingConfiguration
-from repro.sim.engine import RunContext, SkippedCell, execute_plan, plan_matrix
+from repro.sim.engine import (
+    ExecutionInfo,
+    RunContext,
+    SkippedCell,
+    execute_plan_with_info,
+    plan_matrix,
+)
 from repro.sim.results import SimulationResult
 from repro.traces.base import Trace
 
@@ -73,10 +79,13 @@ class Matrix:
         skipped: (app, trace) pairs the sweep could not run because the
             trace lacked the application's sensors (empty for the
             paper's corpora, where every app/trace pair is runnable).
+        execution: How the engine ran the sweep (serial vs pool and
+            why) — ``None`` for hand-assembled matrices.
     """
 
     results: List[SimulationResult] = field(default_factory=list)
     skipped: List[SkippedCell] = field(default_factory=list)
+    execution: Optional[ExecutionInfo] = None
 
     def __post_init__(self) -> None:
         self._by_key: Dict[Tuple[str, str, str], SimulationResult] = {}
@@ -182,6 +191,7 @@ def run_matrix(
     cache: bool = True,
     profile: PhonePowerProfile = NEXUS4,
     context: Optional[RunContext] = None,
+    fuse: bool = True,
 ) -> Matrix:
     """Simulate every (config, app, trace) combination.
 
@@ -190,22 +200,27 @@ def run_matrix(
         apps: Applications to simulate.
         traces: Traces to replay.
         jobs: 1 runs serially through one shared
-            :class:`~repro.sim.engine.RunContext`; ``N > 1`` fans
-            trace-groups of cells across a process pool.
+            :class:`~repro.sim.engine.RunContext`; ``N > 1`` requests
+            the persistent process pool (the engine falls back to
+            serial for plans too small to amortize pool startup — see
+            ``Matrix.execution.reason``).
         cache: Enable engine memoization (results are identical either
             way; ``False`` is the ``--no-cache`` escape hatch).
         profile: Phone power profile for every cell.
         context: Optional externally owned context (serial runs only) —
             pass the same one across sweeps to keep its cache warm.
+        fuse: Enable the fused hub fast path for eligible conditions
+            (results are bit-identical either way; ``False`` is the
+            ``--no-fuse`` escape hatch).
 
     (app, trace) pairs whose sensors are absent from the trace are not
     silently dropped: they are recorded on :attr:`Matrix.skipped`.
     """
     plan = plan_matrix(configs, apps, traces)
-    results = execute_plan(
-        plan, jobs=jobs, cache=cache, profile=profile, context=context
+    results, info = execute_plan_with_info(
+        plan, jobs=jobs, cache=cache, profile=profile, context=context, fuse=fuse
     )
-    matrix = Matrix(skipped=list(plan.skipped))
+    matrix = Matrix(skipped=list(plan.skipped), execution=info)
     for result in results:
         matrix.add(result)
     return matrix

@@ -31,6 +31,7 @@ def figure5_series(
     traces: Sequence[Trace] | None = None,
     jobs: int = 1,
     cache: bool = True,
+    fuse: bool = True,
 ) -> Tuple[Dict[int, Dict[str, Dict[str, float]]], Matrix]:
     """Figure 5: power relative to Oracle, per robot group and app.
 
@@ -42,7 +43,7 @@ def figure5_series(
     traces = list(traces) if traces is not None else list(robot_corpus())
     apps = [StepsApp(), TransitionsApp(), HeadbuttApp()]
     matrix = run_matrix(
-        paper_configurations(), apps, traces, jobs=jobs, cache=cache
+        paper_configurations(), apps, traces, jobs=jobs, cache=cache, fuse=fuse
     )
     groups = group_trace_names(traces)
     series: Dict[int, Dict[str, Dict[str, float]]] = {}
@@ -64,6 +65,7 @@ def figure6_series(
     intervals: Sequence[float] = FIGURE6_INTERVALS,
     jobs: int = 1,
     cache: bool = True,
+    fuse: bool = True,
 ) -> Dict[str, Dict[float, float]]:
     """Figure 6: duty-cycling recall vs sleep interval at 90 % idle.
 
@@ -74,7 +76,7 @@ def figure6_series(
         traces = [t for t in robot_corpus() if t.metadata.get("group") == 1]
     apps = [StepsApp(), TransitionsApp(), HeadbuttApp()]
     configs = [DutyCycling(interval) for interval in intervals]
-    matrix = run_matrix(configs, apps, traces, jobs=jobs, cache=cache)
+    matrix = run_matrix(configs, apps, traces, jobs=jobs, cache=cache, fuse=fuse)
     series: Dict[str, Dict[float, float]] = {app.name: {} for app in apps}
     for config, interval in zip(configs, intervals):
         for app in apps:
@@ -87,6 +89,7 @@ def figure7_series(
     traces: Sequence[Trace] | None = None,
     jobs: int = 1,
     cache: bool = True,
+    fuse: bool = True,
 ) -> Tuple[Dict[str, Dict[str, float]], Matrix]:
     """Figure 7: step-detector power relative to Oracle on human traces.
 
@@ -104,6 +107,7 @@ def figure7_series(
         traces,
         jobs=jobs,
         cache=cache,
+        fuse=fuse,
     )
     shown = ["always_awake", "duty_cycling_10s", "batching_10s",
              "predefined_activity", "sidewinder"]

@@ -38,6 +38,7 @@ def build_table2(
     sound_threshold: float | None = None,
     jobs: int = 1,
     cache: bool = True,
+    fuse: bool = True,
 ) -> Tuple[Dict[str, Dict[str, float]], Matrix]:
     """Table 2: average power (mW) per audio app and wake-up mechanism.
 
@@ -47,6 +48,7 @@ def build_table2(
         sound_threshold: Optional calibrated PA sound threshold.
         jobs: Worker processes for the sweep (1 = serial).
         cache: Enable engine memoization.
+        fuse: Enable the fused hub fast path.
 
     Returns:
         ``(table, matrix)`` where ``table[config][app]`` is the mean
@@ -60,7 +62,7 @@ def build_table2(
     )
     configs = [Oracle(), pa, Sidewinder()]
     apps = [SirenDetectorApp(), MusicJournalApp(), PhraseDetectionApp()]
-    matrix = run_matrix(configs, apps, traces, jobs=jobs, cache=cache)
+    matrix = run_matrix(configs, apps, traces, jobs=jobs, cache=cache, fuse=fuse)
     table: Dict[str, Dict[str, float]] = {}
     for config in configs:
         table[config.name] = {

@@ -23,7 +23,7 @@ moving averages warm up across chunk boundaries.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -32,6 +32,12 @@ from repro.il.ast import ChannelRef, NodeRef
 from repro.il.graph import DataflowGraph
 from repro.hub.state import AlgorithmState, allocate_states
 from repro.sensors.samples import Chunk, StreamKind
+
+#: How many normal feed rounds one fused round spans.  Fusion could use
+#: a single trace-length round, but coalescing in blocks keeps peak
+#: memory bounded on long traces while still amortizing the per-round
+#: dict/Chunk/dispatch overhead over ~minutes of signal.
+FUSED_ROUNDS_COALESCED = 64
 
 
 @dataclass(frozen=True)
@@ -124,6 +130,40 @@ class HubRuntime:
             events.extend(self.feed(chunks))
         return events
 
+    def run_fused(
+        self,
+        channel_data: Dict[str, Tuple[np.ndarray, np.ndarray, float]],
+        chunk_seconds: float = 4.0,
+    ) -> List[WakeEvent]:
+        """Interpret a whole trace in a few large coalesced rounds.
+
+        Instead of feeding hundreds of ``chunk_seconds``-sized rounds,
+        the trace is split into rounds ``FUSED_ROUNDS_COALESCED`` times
+        longer, eliminating almost all per-round dict building, chunk
+        allocation and node dispatch.  Because every node is required
+        to be chunk-invariant (and all channels single-rate), the wake
+        events are *bit-identical* to the round-by-round result for any
+        ``chunk_seconds``.
+
+        Args:
+            channel_data: Per channel name, a ``(times, values,
+                rate_hz)`` triple, as for :func:`split_into_rounds`.
+            chunk_seconds: The round length the caller would have used
+                on the slow path; fused rounds coalesce this.
+
+        Raises:
+            HubExecutionError: when the graph is not fusion-eligible —
+                callers that want silent fallback should consult
+                :func:`fusion_eligibility` first.
+        """
+        reason = fusion_eligibility(self.graph)
+        if reason is not None:
+            raise HubExecutionError(f"graph is not fusion-eligible: {reason}")
+        fused = split_into_rounds(
+            channel_data, chunk_seconds * FUSED_ROUNDS_COALESCED
+        )
+        return self.run(fused)
+
     # -- helpers ------------------------------------------------------
 
     def _gather_inputs(
@@ -154,15 +194,48 @@ class HubRuntime:
         aligned: List[Chunk] = []
         for port in range(len(inputs)):
             buffer = state.pending[port]
+            # Views, not copies: ChunkBuffer never mutates its arrays in
+            # place (extend/consume reassign), so a released prefix stays
+            # valid after the buffer advances past it.
             aligned.append(
-                Chunk.scalars(
-                    buffer.times[:available].copy(),
-                    buffer.values[:available].copy(),
+                Chunk.view(
+                    StreamKind.SCALAR,
+                    buffer.times[:available],
+                    buffer.values[:available],
                     rate,
                 )
             )
             buffer.consume(available)
         return aligned
+
+
+def fusion_eligibility(graph: DataflowGraph) -> Optional[str]:
+    """Why a graph cannot run fused — or ``None`` when it can.
+
+    A graph is fusion-eligible when re-chunking its input provably
+    cannot change its output:
+
+    * every node's algorithm declares ``chunk_invariant = True``;
+    * all raw channels it reads share one sampling rate (multi-rate
+      graphs make round boundaries part of the port-synchronization
+      schedule, so they stay on the round-by-round path).
+
+    Returns a human-readable reason for the first violation found, so
+    callers can log *why* they fell back.
+    """
+    rates = set()
+    for node in graph.nodes:
+        if not node.algorithm.chunk_invariant:
+            return (
+                f"node {node.node_id} ({node.algorithm.opcode or type(node.algorithm).__name__})"
+                " is not chunk-invariant"
+            )
+        for ref, shape in zip(node.inputs, node.input_shapes):
+            if isinstance(ref, ChannelRef):
+                rates.add(shape.rate_hz)
+    if len(rates) > 1:
+        return f"graph reads channels at multiple rates {sorted(rates)}"
+    return None
 
 
 def split_into_rounds(
@@ -178,12 +251,27 @@ def split_into_rounds(
 
     Yields:
         One ``{channel: Chunk}`` mapping per round.  Mimics the hub
-        receiving batches of samples over the sensor bus.
+        receiving batches of samples over the sensor bus.  No channel
+        data (or only empty channels) yields no rounds.
     """
     if not channel_data:
         return
-    start = min(t[0][0] for t in channel_data.values() if len(t[0]))
-    end = max(t[0][-1] for t in channel_data.values() if len(t[0]))
+    # Coerce once up front so per-round slices can be handed out as
+    # zero-copy views without re-validation.
+    coerced = {
+        name: (
+            np.asarray(times, dtype=np.float64),
+            np.asarray(values, dtype=np.float64),
+            rate,
+        )
+        for name, (times, values, rate) in channel_data.items()
+    }
+    nonempty = [times for times, _values, _rate in coerced.values() if len(times)]
+    if not nonempty:
+        return
+    start = min(times[0] for times in nonempty)
+    end = max(times[-1] for times in nonempty)
+    channel_data = coerced
     # Round boundaries, accumulated the same way the rounds advance so
     # float rounding matches a per-round scan exactly.
     edges: List[float] = []
@@ -203,5 +291,7 @@ def split_into_rounds(
         round_chunks: Dict[str, Chunk] = {}
         for name, (times, values, rate) in channel_data.items():
             i0, i1 = bounds[name][k], bounds[name][k + 1]
-            round_chunks[name] = Chunk.scalars(times[i0:i1], values[i0:i1], rate)
+            round_chunks[name] = Chunk.view(
+                StreamKind.SCALAR, times[i0:i1], values[i0:i1], rate
+            )
         yield round_chunks

@@ -93,6 +93,35 @@ class Chunk:
         """Convenience constructor for a SCALAR chunk."""
         return cls(StreamKind.SCALAR, times, values, rate_hz)
 
+    @classmethod
+    def view(
+        cls,
+        kind: StreamKind,
+        times: np.ndarray,
+        values: np.ndarray,
+        rate_hz: float,
+    ) -> "Chunk":
+        """Zero-copy constructor for already-validated arrays.
+
+        Skips ``__post_init__`` coercion and shape checks, so ``times``
+        and ``values`` are stored as-is (typically numpy views).  The
+        caller guarantees dtype/shape invariants; hot paths that slice
+        validated arrays (round splitting, port synchronization) use
+        this to avoid per-chunk validation and copies.
+        """
+        chunk = object.__new__(cls)
+        chunk.kind = kind
+        chunk.times = times
+        chunk.values = values
+        chunk.rate_hz = rate_hz
+        return chunk
+
+    def slice(self, start: int, stop: int) -> "Chunk":
+        """Zero-copy sub-chunk of items ``[start, stop)`` (numpy views)."""
+        return Chunk.view(
+            self.kind, self.times[start:stop], self.values[start:stop], self.rate_hz
+        )
+
     def take(self, mask: np.ndarray) -> "Chunk":
         """Return a new chunk keeping only items where ``mask`` is true."""
         return Chunk(self.kind, self.times[mask], self.values[mask], self.rate_hz)

@@ -30,6 +30,7 @@ sidesteps this — each worker owns a private context.
 
 from __future__ import annotations
 
+import atexit
 import hashlib
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -45,7 +46,12 @@ from typing import (
 from repro.api.compile import compile_pipeline
 from repro.api.pipeline import ProcessingPipeline
 from repro.errors import HubExecutionError
-from repro.hub.runtime import HubRuntime, WakeEvent, split_into_rounds
+from repro.hub.runtime import (
+    HubRuntime,
+    WakeEvent,
+    fusion_eligibility,
+    split_into_rounds,
+)
 from repro.il.ast import ILProgram
 from repro.il.graph import DataflowGraph
 from repro.il.text import format_program
@@ -123,6 +129,12 @@ class RunContext:
             ``--no-cache`` escape hatch; results are identical either
             way because everything cached is a pure function of its
             key.
+        fuse: When True (default) hub interpretation uses the fused
+            fast path for fusion-eligible graphs
+            (:func:`repro.hub.runtime.fusion_eligibility`), falling
+            back to round-by-round otherwise.  The ``--no-fuse``
+            escape hatch sets this False; results are bit-identical
+            either way.
 
     Cache keys and invalidation rules:
 
@@ -138,14 +150,23 @@ class RunContext:
       chunk_seconds)`` — the complete determinants of a fault-free
       interpretation.  Faulty runs are never cached (the injector
       draws from a stochastic plan).
-    * **Detector runs** are keyed by ``(application instance, trace,
-      exact window tuple)``; ground-truth lookups by ``(application
-      instance, trace)``.  Keying by instance (not name) keeps two
-      differently parameterized copies of one app distinct.
+    * **Detector runs** are keyed by ``(application content key,
+      trace, merged visible spans)``; ground-truth lookups by
+      ``(application content key, trace)``.  The content key covers
+      the app's class and constructor state, so two equally
+      parameterized instances — e.g. an app re-pickled into a pool
+      worker — share entries while differently tuned copies stay
+      distinct.  Windows are canonicalized with
+      :func:`repro.apps.detectors.merge_spans` before keying because
+      every detector reads its input through the same merge (a
+      detector is a pure function of the merged visible spans), so
+      configs that cover the same signal with differently split
+      window lists share one entry.
     """
 
-    def __init__(self, cache: bool = True):
+    def __init__(self, cache: bool = True, fuse: bool = True):
         self.cache = cache
+        self.fuse = fuse
         self.stats = CacheStats()
         self._graphs: Dict[str, DataflowGraph] = {}
         self._fingerprints: Dict[int, Tuple[ILProgram, str]] = {}
@@ -153,7 +174,7 @@ class RunContext:
         self._channel_arrays: Dict[int, Dict[str, tuple]] = {}
         self._hub_runs: Dict[Tuple[str, int, float], Tuple[WakeEvent, ...]] = {}
         self._detections: Dict[tuple, Tuple["Detection", ...]] = {}
-        self._events: Dict[Tuple[int, int], Tuple["GroundTruthEvent", ...]] = {}
+        self._events: Dict[tuple, Tuple["GroundTruthEvent", ...]] = {}
         self._apps: Dict[int, "SensingApplication"] = {}
 
     # -- compiled conditions -------------------------------------------
@@ -260,9 +281,27 @@ class RunContext:
         # carry state from a previous run; start cold.
         graph.reset()
         runtime = HubRuntime(graph)
+        if self.fuse and fusion_eligibility(graph) is None:
+            return runtime.run_fused(channels, chunk_seconds)
         return runtime.run(split_into_rounds(channels, chunk_seconds))
 
     # -- application detectors -----------------------------------------
+
+    def _app_key(self, app: "SensingApplication") -> tuple:
+        """Content key for an application instance.
+
+        Covers the class and all constructor-visible state, so a copy
+        of the app unpickled in a pool worker shares cache entries with
+        the original, while a differently parameterized copy does not.
+        Falls back to object identity (with the instance pinned so the
+        id cannot be recycled) when the state has no stable repr.
+        """
+        try:
+            state = repr(sorted(vars(app).items()))
+        except Exception:
+            self._apps[id(app)] = app
+            state = f"id:{id(app)}"
+        return (type(app).__module__, type(app).__qualname__, state)
 
     def detections(
         self,
@@ -270,14 +309,18 @@ class RunContext:
         trace: Trace,
         windows: Sequence[Tuple[float, float]],
     ) -> Tuple["Detection", ...]:
-        """``app.detect(trace, windows)``, memoized on the exact windows."""
+        """``app.detect(trace, windows)``, memoized on the merged spans."""
         if not self.cache:
             return tuple(app.detect(trace, list(windows)))
-        self._apps[id(app)] = app
+        from repro.apps.detectors import merge_spans
+
         key = (
-            id(app),
+            self._app_key(app),
             self._trace_key(trace),
-            tuple((float(a), float(b)) for a, b in windows),
+            tuple(
+                (float(a), float(b))
+                for a, b in merge_spans([(float(a), float(b)) for a, b in windows])
+            ),
         )
         cached = self._detections.get(key)
         if cached is not None:
@@ -294,8 +337,7 @@ class RunContext:
         """``app.events_of_interest(trace)``, memoized."""
         if not self.cache:
             return tuple(app.events_of_interest(trace))
-        self._apps[id(app)] = app
-        key = (id(app), self._trace_key(trace))
+        key = (self._app_key(app), self._trace_key(trace))
         cached = self._events.get(key)
         if cached is not None:
             self.stats.detect_hits += 1
@@ -418,15 +460,145 @@ def _group_cells_by_trace(cells: Sequence[RunCell]) -> List[List[RunCell]]:
     return groups
 
 
-def _execute_cell_group(
-    cells: List[RunCell], cache: bool, profile: PhonePowerProfile
+@dataclass(frozen=True)
+class ExecutionInfo:
+    """How :func:`execute_plan` actually ran a plan.
+
+    Attributes:
+        requested_jobs: The ``jobs`` argument the caller passed.
+        mode: ``"serial"`` or ``"pool"``.
+        workers: Pool size actually used (1 for serial).
+        batches: Number of trace-major batches dispatched (0 for
+            serial).
+        pool_reused: True when a warm persistent pool from an earlier
+            call served this plan (worker caches already populated).
+        reason: Human-readable explanation of the serial-vs-pool
+            decision — the heuristic made observable.
+    """
+
+    requested_jobs: int
+    mode: str
+    workers: int
+    batches: int
+    pool_reused: bool
+    reason: str
+
+
+#: Plans smaller than this are run serially even when ``jobs > 1``
+#: (unless a warm compatible pool already exists): forking workers,
+#: shipping traces, and re-warming per-worker caches costs roughly this
+#: many cells' worth of work, so smaller plans cannot amortize it.
+MIN_POOL_CELLS = 24
+
+# The persistent pool.  A cold ProcessPoolExecutor per execute_plan()
+# call was measurably *slower* than serial (parallel_speedup 0.75 in
+# the PR-2 benchmark): every call re-forked workers, re-pickled every
+# trace, and rebuilt per-worker caches from nothing.  Instead one pool
+# lives across calls; its workers each hold a warm RunContext plus a
+# trace registry filled once at worker start, so a re-dispatch ships
+# only (config, app) cell descriptions — never traces — and hits the
+# worker's caches immediately.
+_POOL: Optional[ProcessPoolExecutor] = None
+_POOL_KEY: Optional[tuple] = None
+_POOL_WORKERS: int = 0
+_POOL_TRACES: Dict[str, Trace] = {}
+
+# Worker-side state, set once by the pool initializer.
+_WORKER_CONTEXT: Optional[RunContext] = None
+_WORKER_TRACES: Dict[str, Trace] = {}
+
+
+def _pool_worker_init(traces: List[Trace], cache: bool, fuse: bool) -> None:
+    """Pool initializer: one warm context + trace registry per worker.
+
+    Runs once per worker process.  Each trace crosses into each worker
+    exactly once, here; later batch dispatches refer to traces by name.
+    """
+    global _WORKER_CONTEXT, _WORKER_TRACES
+    _WORKER_CONTEXT = RunContext(cache=cache, fuse=fuse)
+    _WORKER_TRACES = {trace.name: trace for trace in traces}
+
+
+def _run_batch(
+    trace_name: str,
+    cells: List[Tuple[int, "SensingConfiguration", "SensingApplication"]],
+    profile: PhonePowerProfile,
 ) -> List[Tuple[int, "SimulationResult"]]:
-    """Worker body: run a group of cells through one private context."""
-    context = RunContext(cache=cache)
+    """Worker body: run one trace-major batch through the warm context."""
+    trace = _WORKER_TRACES[trace_name]
+    context = _WORKER_CONTEXT
     return [
-        (cell.index, cell.config.run(cell.app, cell.trace, profile, context=context))
-        for cell in cells
+        (index, config.run(app, trace, profile, context=context))
+        for index, config, app in cells
     ]
+
+
+def _shutdown_pool() -> None:
+    """Tear down the persistent pool (atexit, or before a rebuild)."""
+    global _POOL, _POOL_KEY, _POOL_WORKERS, _POOL_TRACES
+    if _POOL is not None:
+        _POOL.shutdown(wait=True, cancel_futures=True)
+    _POOL = None
+    _POOL_KEY = None
+    _POOL_WORKERS = 0
+    _POOL_TRACES = {}
+
+
+atexit.register(_shutdown_pool)
+
+
+def _obtain_pool(
+    workers: int, cache: bool, fuse: bool, traces: List[Trace]
+) -> Tuple[ProcessPoolExecutor, int, bool]:
+    """The persistent pool for these settings, (re)built if needed.
+
+    Reuses the live pool when its cache/fuse settings match, it has at
+    least as many workers as requested, and every plan trace is already
+    registered in the workers (same name *and* same object — a
+    different object under a known name would silently run on stale
+    data).  A warm pool with surplus workers is kept rather than
+    resized: the surplus idles, while a rebuild would discard every
+    worker's warm caches.  Returns ``(pool, workers, reused)``.
+    """
+    global _POOL, _POOL_KEY, _POOL_WORKERS, _POOL_TRACES
+    key = (bool(cache), bool(fuse))
+    if _POOL is not None and _POOL_KEY == key and _POOL_WORKERS >= workers:
+        shipped = all(
+            _POOL_TRACES.get(trace.name) is trace for trace in traces
+        )
+        if shipped:
+            return _POOL, _POOL_WORKERS, True
+    _shutdown_pool()
+    registry = {trace.name: trace for trace in traces}
+    _POOL = ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_pool_worker_init,
+        initargs=(list(registry.values()), cache, fuse),
+    )
+    _POOL_KEY = key
+    _POOL_WORKERS = workers
+    # Strong references keep trace ids from being recycled while the
+    # pool that shipped them is alive.
+    _POOL_TRACES = registry
+    return _POOL, workers, False
+
+
+def pool_is_warm(
+    plan: RunPlan, jobs: int, cache: bool = True, fuse: bool = True
+) -> bool:
+    """True when the live persistent pool could serve this plan as-is."""
+    if _POOL is None or jobs <= 1:
+        return False
+    if _POOL_KEY != (bool(cache), bool(fuse)):
+        return False
+    return all(
+        _POOL_TRACES.get(cell.trace.name) is cell.trace for cell in plan.cells
+    )
+
+
+def shutdown_pool() -> None:
+    """Public teardown for tests and long-lived embedders."""
+    _shutdown_pool()
 
 
 def execute_plan(
@@ -435,37 +607,129 @@ def execute_plan(
     cache: bool = True,
     profile: PhonePowerProfile = NEXUS4,
     context: Optional[RunContext] = None,
+    fuse: bool = True,
 ) -> List["SimulationResult"]:
     """Execute a plan and return results in plan (index) order.
+
+    See :func:`execute_plan_with_info` for the full contract; this
+    wrapper discards the :class:`ExecutionInfo`.
+    """
+    results, _ = execute_plan_with_info(
+        plan, jobs=jobs, cache=cache, profile=profile, context=context, fuse=fuse
+    )
+    return results
+
+
+def execute_plan_with_info(
+    plan: RunPlan,
+    jobs: int = 1,
+    cache: bool = True,
+    profile: PhonePowerProfile = NEXUS4,
+    context: Optional[RunContext] = None,
+    fuse: bool = True,
+) -> Tuple[List["SimulationResult"], ExecutionInfo]:
+    """Execute a plan; return results in plan order plus how they ran.
 
     Args:
         plan: The matrix to run.
         jobs: 1 runs serially through one shared context; ``N > 1``
-            fans trace-groups of cells across a process pool of up to
-            ``N`` workers, each with a private context.
+            requests the persistent process pool.  The pool is only
+            used when the plan is large enough to amortize worker
+            startup (``MIN_POOL_CELLS``) or a warm compatible pool is
+            already alive; otherwise the plan runs serially and the
+            returned :class:`ExecutionInfo` says why.
         cache: Enable :class:`RunContext` memoization (results are
             identical either way).
         profile: Phone power profile for every cell.
         context: Optional externally owned context for serial runs —
             pass the same context again to reuse a warm cache across
-            sweeps.  Ignored when ``jobs > 1`` (worker processes cannot
-            share it).
+            sweeps.  Ignored when the pool runs the plan (worker
+            processes cannot share it).
+        fuse: Enable the fused hub fast path (results are identical
+            either way; the ``--no-fuse`` escape hatch).
+
+    The pool persists across calls: workers are forked once, each
+    builds a warm :class:`RunContext` and receives every trace exactly
+    once via the pool initializer, and later calls with the same
+    settings and traces dispatch only (config, app) pairs.  Cells are
+    dispatched in trace-major batches so one IPC round trip covers a
+    whole trace's cells.
     """
+    n = len(plan.cells)
     if jobs <= 1:
-        ctx = context if context is not None else RunContext(cache=cache)
-        return [
-            (cell.config.run(cell.app, cell.trace, profile, context=ctx))
+        ctx = context if context is not None else RunContext(cache=cache, fuse=fuse)
+        results = [
+            cell.config.run(cell.app, cell.trace, profile, context=ctx)
             for cell in plan.cells
         ]
+        info = ExecutionInfo(
+            requested_jobs=jobs,
+            mode="serial",
+            workers=1,
+            batches=0,
+            pool_reused=False,
+            reason="jobs<=1: serial execution requested",
+        )
+        return results, info
+
     groups = _group_cells_by_trace(plan.cells)
-    indexed: List[Tuple[int, "SimulationResult"]] = []
     workers = max(1, min(jobs, len(groups)))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = [
-            pool.submit(_execute_cell_group, group, cache, profile)
-            for group in groups
+    warm = pool_is_warm(plan, jobs, cache=cache, fuse=fuse)
+    if n < MIN_POOL_CELLS and not warm:
+        ctx = context if context is not None else RunContext(cache=cache, fuse=fuse)
+        results = [
+            cell.config.run(cell.app, cell.trace, profile, context=ctx)
+            for cell in plan.cells
         ]
-        for future in futures:
-            indexed.extend(future.result())
+        info = ExecutionInfo(
+            requested_jobs=jobs,
+            mode="serial",
+            workers=1,
+            batches=0,
+            pool_reused=False,
+            reason=(
+                f"plan of {n} cells is below the pool threshold "
+                f"({MIN_POOL_CELLS}) and no warm pool exists"
+            ),
+        )
+        return results, info
+
+    traces: List[Trace] = []
+    for cell in plan.cells:
+        if not traces or traces[-1] is not cell.trace:
+            traces.append(cell.trace)
+    pool, workers, reused = _obtain_pool(workers, cache, fuse, traces)
+    futures = [
+        pool.submit(
+            _run_batch,
+            group[0].trace.name,
+            [(cell.index, cell.config, cell.app) for cell in group],
+            profile,
+        )
+        for group in groups
+    ]
+    indexed: List[Tuple[int, "SimulationResult"]] = []
+    for future in futures:
+        indexed.extend(future.result())
     indexed.sort(key=lambda pair: pair[0])
+    info = ExecutionInfo(
+        requested_jobs=jobs,
+        mode="pool",
+        workers=workers,
+        batches=len(groups),
+        pool_reused=reused,
+        reason=(
+            "warm persistent pool reused"
+            if reused
+            else f"plan of {n} cells over {len(groups)} trace batches "
+            f"warrants a pool of {workers}"
+        ),
+    )
+    return indexed_results(indexed), info
+
+
+def indexed_results(
+    indexed: List[Tuple[int, "SimulationResult"]]
+) -> List["SimulationResult"]:
+    """Strip indices after an order-restoring sort."""
     return [result for _, result in indexed]

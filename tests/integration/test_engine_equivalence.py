@@ -98,3 +98,14 @@ def test_warm_context_reruns_identically(configs, apps, traces):
     assert context.stats.total_hits > hits_before
     for a, b in zip(first.results, second.results):
         _assert_results_match(a, b)
+
+
+def test_no_fuse_matches_fused(engine_matrix, configs, apps, traces):
+    # The fused hub fast path must be bit-invisible: a sweep with
+    # fusion disabled (round-by-round interpretation) produces the
+    # exact same results, timelines included.
+    fused_matrix, _ = engine_matrix
+    unfused = run_matrix(configs, apps, traces, fuse=False)
+    assert len(unfused.results) == len(fused_matrix.results)
+    for fused, plain in zip(fused_matrix.results, unfused.results):
+        _assert_results_match(fused, plain)

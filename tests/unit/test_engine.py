@@ -162,3 +162,85 @@ class TestPlanner:
         execute_plan(plan, context=ctx)
         assert ctx.stats.hub_misses == 1
         assert ctx.stats.hub_hits >= 1
+
+
+class TestMergedWindowKeying:
+    def test_split_windows_share_one_entry(self, robot_trace):
+        # Two window lists covering the same signal — one split at 30 s,
+        # one contiguous — merge to the same spans and must share a
+        # cache entry: the detector only ever sees the merged spans.
+        ctx = RunContext()
+        app = StepsApp()
+        first = ctx.detections(app, robot_trace, [(0.0, 30.0), (30.0, 60.0)])
+        second = ctx.detections(app, robot_trace, [(0.0, 60.0)])
+        assert second is first
+        assert ctx.stats.detect_misses == 1
+        assert ctx.stats.detect_hits == 1
+
+    def test_merged_result_is_faithful(self, robot_trace):
+        ctx = RunContext()
+        app = StepsApp()
+        cached = ctx.detections(app, robot_trace, [(0.0, 30.0), (30.0, 60.0)])
+        direct = app.detect(robot_trace, [(0.0, 60.0)])
+        assert list(cached) == list(direct)
+
+    def test_equal_app_instances_share_entries(self, robot_trace):
+        # Content-keyed apps: a re-pickled copy (as in a pool worker
+        # dispatch) must hit the same entries as the original.
+        ctx = RunContext()
+        ctx.detections(StepsApp(), robot_trace, [(0.0, 30.0)])
+        ctx.detections(StepsApp(), robot_trace, [(0.0, 30.0)])
+        assert ctx.stats.detect_misses == 1
+        assert ctx.stats.detect_hits == 1
+
+
+class TestFusedContext:
+    def test_fused_and_round_events_identical(self, robot_trace):
+        graph_program = StepsApp().build_wakeup_pipeline()
+        fused_ctx = RunContext(fuse=True)
+        round_ctx = RunContext(fuse=False)
+        fused = fused_ctx.wake_events(fused_ctx.compile(graph_program), robot_trace)
+        by_rounds = round_ctx.wake_events(
+            round_ctx.compile(StepsApp().build_wakeup_pipeline()), robot_trace
+        )
+        assert fused == by_rounds
+
+
+class TestExecutor:
+    def test_small_plan_falls_back_to_serial(self, robot_trace):
+        from repro.sim.engine import MIN_POOL_CELLS, execute_plan_with_info, shutdown_pool
+
+        shutdown_pool()
+        plan = plan_matrix([AlwaysAwake(), Oracle()], [StepsApp()], [robot_trace])
+        assert len(plan) < MIN_POOL_CELLS
+        results, info = execute_plan_with_info(plan, jobs=4)
+        assert len(results) == len(plan)
+        assert info.mode == "serial"
+        assert info.requested_jobs == 4
+        assert "below the pool threshold" in info.reason
+
+    def test_pool_persists_and_is_reused(self, robot_trace, quiet_robot_trace):
+        from repro.sim.engine import execute_plan_with_info, shutdown_pool
+
+        shutdown_pool()
+        configs = [AlwaysAwake(), Oracle(), Sidewinder()] * 5
+        plan = plan_matrix(configs, [StepsApp()], [robot_trace, quiet_robot_trace])
+        serial = execute_plan(plan)
+        first, info1 = execute_plan_with_info(plan, jobs=2)
+        assert info1.mode == "pool"
+        assert not info1.pool_reused
+        assert info1.batches == 2
+        second, info2 = execute_plan_with_info(plan, jobs=2)
+        assert info2.mode == "pool"
+        assert info2.pool_reused
+
+        def rows(results):
+            return [
+                (r.config_name, r.app_name, r.trace_name,
+                 r.average_power_mw, r.recall, r.precision)
+                for r in results
+            ]
+
+        assert rows(first) == rows(serial)
+        assert rows(second) == rows(serial)
+        shutdown_pool()

@@ -1,0 +1,225 @@
+"""Fused hub execution: eligibility rules and bit-exact equivalence.
+
+The fused fast path (`HubRuntime.run_fused`) replaces hundreds of small
+feed rounds with a few coalesced ones.  Its correctness rests entirely
+on the `chunk_invariant` capability flag, so this module checks:
+
+* every registered chunk-invariant opcode is exercised by at least one
+  equivalence program (a registry-driven completeness assertion keeps
+  future opcodes honest);
+* for each program, the fused run produces *identical* `WakeEvent`
+  lists (exact float equality) to round-by-round runs at several chunk
+  sizes, to randomized irregular chunking, and to a single-round feed —
+  including window warm-up across boundaries and multi-input
+  synchronization;
+* graphs containing a non-invariant node (`expMovingAvg`) are rejected
+  with a reason, and `run_fused` refuses to run them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.base import available_opcodes, get_algorithm_class
+from repro.errors import HubExecutionError
+from repro.hub.runtime import (
+    HubRuntime,
+    fusion_eligibility,
+    split_into_rounds,
+)
+from repro.il.parser import parse_program
+from repro.il.validate import validate_program
+from repro.sensors.samples import Chunk, StreamKind
+
+RATE = 50.0
+
+#: Equivalence programs.  Together their graphs must use every
+#: registered chunk-invariant opcode (asserted below).
+PROGRAMS = {
+    "significant_motion": (
+        # movingAvg warm-up + multi-input synchronization across rounds.
+        "ACC_X -> movingAvg(id=1, params={10});"
+        "ACC_Y -> movingAvg(id=2, params={10});"
+        "ACC_Z -> movingAvg(id=3, params={10});"
+        "1,2,3 -> vectorMagnitude(id=4);"
+        "4 -> minThreshold(id=5, params={0.4});"
+        "5 -> OUT;"
+    ),
+    "window_stat": (
+        # Window warm-up and hop spanning chunk boundaries.
+        "ACC_X -> window(id=1, params={25, 10, rectangular});"
+        "1 -> stat(id=2, params={mean});"
+        "2 -> maxThreshold(id=3, params={0.5});"
+        "3 -> OUT;"
+    ),
+    "spectral": (
+        "ACC_X -> window(id=1, params={32, 16, hamming});"
+        "1 -> fft(id=2);"
+        "2 -> dominantFrequency(id=3, params={magnitude, 0.5, 20});"
+        "3 -> OUT;"
+    ),
+    "filtered_band": (
+        "ACC_X -> window(id=1, params={32, 32, rectangular});"
+        "1 -> lowPass(id=2, params={8});"
+        "2 -> stat(id=3, params={std});"
+        "3 -> rangeThreshold(id=4, params={0.01, 10});"
+        "4 -> OUT;"
+    ),
+    "highpass_ifft": (
+        "ACC_X -> window(id=1, params={32, 32, rectangular});"
+        "1 -> highPass(id=2, params={4});"
+        "2 -> stat(id=3, params={rms});"
+        "3 -> OUT;"
+    ),
+    "ifft_roundtrip": (
+        "ACC_X -> window(id=1, params={16, 16, rectangular});"
+        "1 -> fft(id=2);"
+        "2 -> ifft(id=3);"
+        "3 -> stat(id=4, params={max});"
+        "4 -> OUT;"
+    ),
+    "zero_crossings": (
+        "ACC_X -> window(id=1, params={25, 25, rectangular});"
+        "1 -> zeroCrossingRate(id=2);"
+        "2 -> OUT;"
+    ),
+    "aggregates": (
+        "ACC_X,ACC_Y -> minOf(id=1);"
+        "ACC_X,ACC_Y -> maxOf(id=2);"
+        "1,2 -> sumOf(id=3);"
+        "ACC_Z,3 -> meanOf(id=4);"
+        "4 -> bandIndicator(id=5, params={-0.5, 0.5});"
+        "5 -> OUT;"
+    ),
+    "sustained": (
+        # Integer run-length state crossing chunk boundaries.
+        "ACC_X -> sustainedThreshold(id=1, params={0.2, 7});"
+        "1 -> OUT;"
+    ),
+    "extrema": (
+        "ACC_X -> localExtrema(id=1, params={max, 0.3, 10, 3});"
+        "1 -> OUT;"
+    ),
+}
+
+EMA_PROGRAM = (
+    "ACC_X -> expMovingAvg(id=1, params={0.5});"
+    "1 -> maxThreshold(id=2, params={0.1});"
+    "2 -> OUT;"
+)
+
+
+def _graph(text):
+    return validate_program(parse_program(text))
+
+
+def _signal(duration_s=30.0, seed=0):
+    """A rich test signal: tones + noise so every stage produces events."""
+    rng = np.random.default_rng(seed)
+    t = np.arange(0.0, duration_s, 1.0 / RATE)
+    x = np.sin(2 * np.pi * 2.0 * t) + 0.3 * rng.standard_normal(t.size)
+    y = np.cos(2 * np.pi * 1.3 * t) + 0.3 * rng.standard_normal(t.size)
+    z = 0.5 * np.sin(2 * np.pi * 0.7 * t) + 0.3 * rng.standard_normal(t.size)
+    return {
+        "ACC_X": (t, x, RATE),
+        "ACC_Y": (t, y, RATE),
+        "ACC_Z": (t, z, RATE),
+    }
+
+
+def _random_rounds(channel_data, rng):
+    """Split the channels at random item boundaries (irregular rounds)."""
+    n = len(next(iter(channel_data.values()))[0])
+    cuts = np.sort(rng.choice(np.arange(1, n), size=rng.integers(5, 25), replace=False))
+    edges = [0, *cuts.tolist(), n]
+    for i0, i1 in zip(edges[:-1], edges[1:]):
+        yield {
+            name: Chunk.scalars(times[i0:i1], values[i0:i1], rate)
+            for name, (times, values, rate) in channel_data.items()
+        }
+
+
+def _events(graph, rounds):
+    graph.reset()
+    return HubRuntime(graph).run(rounds)
+
+
+class TestCompleteness:
+    def test_programs_cover_every_chunk_invariant_opcode(self):
+        invariant = {
+            op
+            for op in available_opcodes()
+            if get_algorithm_class(op).chunk_invariant
+        }
+        covered = set()
+        for text in PROGRAMS.values():
+            graph = _graph(text)
+            covered.update(node.algorithm.opcode for node in graph.nodes)
+        assert covered == invariant
+
+    def test_exp_moving_avg_is_declared_variant(self):
+        assert get_algorithm_class("expMovingAvg").chunk_invariant is False
+
+
+class TestEligibility:
+    @pytest.mark.parametrize("name", sorted(PROGRAMS))
+    def test_shipped_programs_are_eligible(self, name):
+        assert fusion_eligibility(_graph(PROGRAMS[name])) is None
+
+    def test_variant_node_blocks_fusion_with_reason(self):
+        reason = fusion_eligibility(_graph(EMA_PROGRAM))
+        assert reason is not None
+        assert "expMovingAvg" in reason
+
+    def test_run_fused_refuses_ineligible_graph(self):
+        graph = _graph(EMA_PROGRAM)
+        data = _signal(duration_s=5.0)
+        with pytest.raises(HubExecutionError, match="not fusion-eligible"):
+            HubRuntime(graph).run_fused({"ACC_X": data["ACC_X"]})
+
+
+class TestFusedEquivalence:
+    @pytest.mark.parametrize("name", sorted(PROGRAMS))
+    @pytest.mark.parametrize("chunk_seconds", [0.37, 1.0, 2.3, 4.0])
+    def test_fused_equals_rounds(self, name, chunk_seconds):
+        graph = _graph(PROGRAMS[name])
+        data = _signal()
+        by_rounds = _events(graph, split_into_rounds(data, chunk_seconds))
+        graph.reset()
+        fused = HubRuntime(graph).run_fused(data, chunk_seconds)
+        assert fused == by_rounds  # exact times AND values
+        # The programs are chosen so equivalence is not vacuous.
+        assert fused, f"{name}: test signal produced no wake events"
+
+    @pytest.mark.parametrize("name", sorted(PROGRAMS))
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_fused_equals_randomized_chunking(self, name, seed):
+        graph = _graph(PROGRAMS[name])
+        data = _signal()
+        rng = np.random.default_rng(seed)
+        irregular = _events(graph, _random_rounds(data, rng))
+        graph.reset()
+        fused = HubRuntime(graph).run_fused(data)
+        assert fused == irregular
+
+    def test_fused_equals_single_round(self):
+        # One giant round is the degenerate fusion: identical too.
+        graph = _graph(PROGRAMS["window_stat"])
+        data = _signal()
+        t, x, rate = data["ACC_X"]
+        whole = _events(
+            graph,
+            [{"ACC_X": Chunk(StreamKind.SCALAR, t, x, rate)}],
+        )
+        graph.reset()
+        fused = HubRuntime(graph).run_fused({"ACC_X": data["ACC_X"]})
+        assert fused == whole
+
+
+class TestSplitIntoRounds:
+    def test_slices_are_views_of_the_input(self):
+        t = np.arange(0.0, 8.0, 1.0 / RATE)
+        x = np.sin(t)
+        rounds = list(split_into_rounds({"ACC_X": (t, x, RATE)}, 4.0))
+        assert len(rounds) >= 2
+        chunk = rounds[0]["ACC_X"]
+        assert chunk.values.base is x or chunk.values.base is not None

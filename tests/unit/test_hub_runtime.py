@@ -190,3 +190,19 @@ def test_split_into_rounds_matches_mask_reference_on_ragged_rates():
             ref_times, ref_values = want_round[name]
             assert np.array_equal(got_round[name].times, ref_times)
             assert np.array_equal(got_round[name].values, ref_values)
+
+
+def test_split_into_rounds_all_empty_channels_yields_no_rounds():
+    # A trace segment with no samples used to crash with
+    # "min() arg is an empty sequence"; it must simply produce no rounds.
+    empty = np.empty(0)
+    rounds = list(
+        split_into_rounds(
+            {"ACC_X": (empty, empty, 50.0), "ACC_Y": (empty, empty, 50.0)}
+        )
+    )
+    assert rounds == []
+
+
+def test_split_into_rounds_no_channels_yields_no_rounds():
+    assert list(split_into_rounds({})) == []
