@@ -1,0 +1,162 @@
+"""The hub execution tiers, timed per wake-up condition.
+
+For every application's wake-up condition over its native corpus
+(accelerometer apps on the robot traces, audio apps on the audio
+traces), this runs the same trace through all three hub execution
+tiers —
+
+* **rounds** — the interpreter fed 4-second rounds, the way a real hub
+  sees data arrive;
+* **fused** — the interpreter fed 64-round coalesced blocks;
+* **compiled** — the whole-trace array program
+  (:func:`repro.hub.compile.compile_graph`), no rounds at all —
+
+asserting the wake events are bit-identical tier by tier and recording
+per-app timings in ``results/BENCH_compile.json``.
+
+The headline floor applies to the accelerometer suite: at 50 Hz the
+per-round interpreter overhead dominates, which is exactly what the
+compiled tier removes, so it must beat the fused tier it replaced as
+the engine default by ``MIN_COMPILED_SPEEDUP``.  The 8 kHz audio
+pipelines are the other regime — frame batches are large enough that
+numpy FFT work and memory bandwidth dominate and the three tiers
+converge — so their timings are recorded for the trajectory but carry
+no floor.
+
+Set ``REPRO_QUICK=1`` for a reduced smoke version (used by CI).
+"""
+
+import json
+import os
+import time
+
+from benchmarks.conftest import RESULTS_DIR, run_once, save_artifact
+from repro.apps import (
+    HeadbuttApp,
+    MusicJournalApp,
+    PhraseDetectionApp,
+    SirenDetectorApp,
+    StepsApp,
+    TransitionsApp,
+)
+from repro.eval.report import render_table
+from repro.hub.compile import compile_eligibility, compile_graph
+from repro.hub.runtime import HubRuntime, split_into_rounds
+from repro.sim.engine import RunContext
+
+QUICK = os.environ.get("REPRO_QUICK") == "1"
+
+#: On the overhead-bound accelerometer suite, the compiled tier must at
+#: least double the fused tier's throughput.
+MIN_COMPILED_SPEEDUP = 2.0
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - t0
+
+
+def _time_app(ctx, app, traces):
+    """Run one app's condition through all three tiers over ``traces``."""
+    graph = ctx.compile(app.build_wakeup_pipeline())
+    assert compile_eligibility(graph) is None, app.name
+    plan = compile_graph(graph)
+    row = {
+        "app": app.name, "traces": len(traces), "wake_events": 0,
+        "round_s": 0.0, "fused_s": 0.0, "compiled_s": 0.0,
+    }
+    for trace in traces:
+        arrays = ctx.channel_arrays(trace)
+        channels = {
+            name: triple
+            for name, triple in arrays.items()
+            if name in graph.channels
+        }
+        graph.reset()
+        by_rounds, dt = _timed(
+            lambda: HubRuntime(graph).run(split_into_rounds(channels, 4.0))
+        )
+        row["round_s"] += dt
+        graph.reset()
+        fused, dt = _timed(lambda: HubRuntime(graph).run_fused(channels, 4.0))
+        row["fused_s"] += dt
+        plan.execute(channels)  # touch the big buffers once (page faults)
+        compiled, dt = _timed(lambda: plan.execute(channels))
+        row["compiled_s"] += dt
+        # The whole point: three tiers, one answer, bit for bit.
+        assert compiled == fused == by_rounds
+        row["wake_events"] += len(compiled)
+    for key in ("round_s", "fused_s", "compiled_s"):
+        row[key] = round(row[key], 4)
+    return row
+
+
+def _suite_speedups(rows):
+    round_s = sum(r["round_s"] for r in rows)
+    fused_s = sum(r["fused_s"] for r in rows)
+    compiled_s = sum(r["compiled_s"] for r in rows)
+    return {
+        "hub_round_s": round(round_s, 4),
+        "hub_fused_s": round(fused_s, 4),
+        "hub_compiled_s": round(compiled_s, 4),
+        "fused_speedup": round(round_s / fused_s, 2) if fused_s else None,
+        "compiled_speedup": (
+            round(fused_s / compiled_s, 2) if compiled_s else None
+        ),
+    }
+
+
+def test_compiled_hub_tiers(benchmark, robot_traces, audio_traces):
+    ctx = RunContext()
+    accel_traces = robot_traces[:2] if QUICK else robot_traces[:6]
+    audio_subset = audio_traces[:1] if QUICK else audio_traces
+    accel_apps = [StepsApp(), TransitionsApp(), HeadbuttApp()]
+    audio_apps = [MusicJournalApp(), PhraseDetectionApp(), SirenDetectorApp()]
+
+    def run_suites():
+        accel = [_time_app(ctx, app, accel_traces) for app in accel_apps]
+        audio = [_time_app(ctx, app, audio_subset) for app in audio_apps]
+        return accel, audio
+
+    accel_rows, audio_rows = run_once(benchmark, run_suites)
+
+    accel = _suite_speedups(accel_rows)
+    audio = _suite_speedups(audio_rows)
+    payload = {
+        "quick": QUICK,
+        "apps": accel_rows + audio_rows,
+        "accel": accel,
+        "audio": audio,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_compile.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    save_artifact(
+        "compiled_hub",
+        render_table(
+            ["app", "rounds (s)", "fused (s)", "compiled (s)", "vs fused"],
+            [
+                (
+                    r["app"],
+                    f"{r['round_s']:.3f}",
+                    f"{r['fused_s']:.3f}",
+                    f"{r['compiled_s']:.3f}",
+                    (
+                        f"{r['fused_s'] / r['compiled_s']:.1f}x"
+                        if r["compiled_s"] > 0 else "inf"
+                    ),
+                )
+                for r in accel_rows + audio_rows
+            ],
+            title=(
+                f"Hub tiers: compiled {accel['compiled_speedup']}x vs fused "
+                f"on the accel suite ({audio['compiled_speedup']}x on the "
+                f"bandwidth-bound audio suite)"
+            ),
+        ),
+    )
+
+    if not QUICK:
+        assert accel["compiled_speedup"] >= MIN_COMPILED_SPEEDUP, payload

@@ -14,6 +14,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.algorithms.base import StreamAlgorithm, StreamShape, register
+from repro.algorithms.kernels import consecutive_run_lengths
 from repro.errors import ParameterError
 from repro.sensors.samples import Chunk, StreamKind
 
@@ -41,6 +42,10 @@ class MinThreshold(StreamAlgorithm):
         (chunk,) = chunks
         return chunk.take(chunk.values >= self.threshold)
 
+    def lower(self, chunks: Sequence[Chunk]) -> Chunk:
+        """Stateless mask-and-take: the whole trace is one process call."""
+        return self.process(chunks)
+
     def cycles_per_item(self, in_shapes: Sequence[StreamShape]) -> float:
         return 3.0
 
@@ -66,6 +71,10 @@ class MaxThreshold(StreamAlgorithm):
     def process(self, chunks: Sequence[Chunk]) -> Chunk:
         (chunk,) = chunks
         return chunk.take(chunk.values <= self.threshold)
+
+    def lower(self, chunks: Sequence[Chunk]) -> Chunk:
+        """Stateless mask-and-take: the whole trace is one process call."""
+        return self.process(chunks)
 
     def cycles_per_item(self, in_shapes: Sequence[StreamShape]) -> float:
         return 3.0
@@ -96,6 +105,10 @@ class RangeThreshold(StreamAlgorithm):
         (chunk,) = chunks
         mask = (chunk.values >= self.low) & (chunk.values <= self.high)
         return chunk.take(mask)
+
+    def lower(self, chunks: Sequence[Chunk]) -> Chunk:
+        """Stateless mask-and-take: the whole trace is one process call."""
+        return self.process(chunks)
 
     def cycles_per_item(self, in_shapes: Sequence[StreamShape]) -> float:
         return 5.0
@@ -130,6 +143,10 @@ class BandIndicator(StreamAlgorithm):
         (chunk,) = chunks
         mask = (chunk.values >= self.low) & (chunk.values <= self.high)
         return Chunk.scalars(chunk.times, mask.astype(np.float64), chunk.rate_hz)
+
+    def lower(self, chunks: Sequence[Chunk]) -> Chunk:
+        """Stateless indicator: the whole trace is one process call."""
+        return self.process(chunks)
 
     def cycles_per_item(self, in_shapes: Sequence[StreamShape]) -> float:
         return 5.0
@@ -169,13 +186,19 @@ class SustainedThreshold(StreamAlgorithm):
         if chunk.is_empty:
             return chunk
         qualifying = chunk.values >= self.threshold
-        emit = np.zeros(len(chunk), dtype=bool)
-        run = self._run
-        for i, ok in enumerate(qualifying):
-            run = run + 1 if ok else 0
-            emit[i] = run >= self.count
-        self._run = run
-        return chunk.take(emit)
+        # Integer run lengths via the shared cumsum-reset kernel: exactly
+        # the sequential counter, but vectorized.
+        runs = consecutive_run_lengths(qualifying, initial=self._run)
+        self._run = int(runs[-1])
+        return chunk.take(runs >= self.count)
+
+    def lower(self, chunks: Sequence[Chunk]) -> Chunk:
+        """Whole-trace run counting; the run carry starts cold at 0."""
+        (chunk,) = chunks
+        if chunk.is_empty:
+            return chunk
+        qualifying = chunk.values >= self.threshold
+        return chunk.take(consecutive_run_lengths(qualifying) >= self.count)
 
     def reset(self) -> None:
         self._run = 0

@@ -37,6 +37,10 @@ class _ElementwiseAggregate(StreamAlgorithm):
         stacked = np.stack([c.values for c in chunks])
         return Chunk.scalars(first.times, type(self)._reduce(stacked), first.rate_hz)
 
+    def lower(self, chunks: Sequence[Chunk]) -> Chunk:
+        """Stateless reduction: the whole trace is one process call."""
+        return self.process(chunks)
+
     def cycles_per_item(self, in_shapes: Sequence[StreamShape]) -> float:
         return 4.0 * len(in_shapes)
 

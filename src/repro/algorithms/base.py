@@ -97,6 +97,32 @@ class StreamAlgorithm:
     def reset(self) -> None:
         """Discard internal state, returning to the just-constructed state."""
 
+    # -- compilation -------------------------------------------------
+
+    def lower(self, chunks: Sequence[Chunk]) -> Chunk:
+        """Whole-trace lowering rule for the hub compiler.
+
+        Transforms one whole-trace chunk per input port into the node's
+        whole-trace output in a single vectorized pass — the compiled
+        counterpart of :meth:`process`.  A lowering rule must be a
+        *pure* function: it may not read or mutate instance state (any
+        carried state collapses to its cold-start value, because the
+        compiled program always covers the trace from the beginning),
+        and its output must be bit-identical to feeding a freshly
+        constructed instance the same data as one ``process`` call.
+        Together with ``chunk_invariant`` this makes the compiled path
+        (:mod:`repro.hub.compile`) exactly equivalent to the
+        interpreter at any chunking.
+
+        The base implementation signals "no lowering rule": the
+        compiler's eligibility check
+        (:func:`repro.hub.compile.compile_eligibility`) reports such
+        nodes by name instead of calling this.
+        """
+        raise NotImplementedError(
+            f"{self.opcode or type(self).__name__} has no lowering rule"
+        )
+
     # -- static analysis ---------------------------------------------
 
     def propagate_shape(self, in_shapes: Sequence[StreamShape]) -> StreamShape:
@@ -189,6 +215,16 @@ def create(opcode: str, **params: Any) -> StreamAlgorithm:
 def available_opcodes() -> List[str]:
     """All opcodes the platform ships, sorted."""
     return sorted(_REGISTRY)
+
+
+def has_lowering(algorithm: StreamAlgorithm) -> bool:
+    """True when ``algorithm``'s class overrides :meth:`StreamAlgorithm.lower`.
+
+    The hub compiler uses this to distinguish "this opcode can be
+    lowered to an array program" from the base class's not-implemented
+    default, without having to call ``lower`` speculatively.
+    """
+    return type(algorithm).lower is not StreamAlgorithm.lower
 
 
 def positional_param_order(opcode: str) -> Tuple[str, ...]:

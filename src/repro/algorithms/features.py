@@ -42,6 +42,10 @@ class VectorMagnitude(StreamAlgorithm):
         magnitude = np.sqrt(np.sum(stacked * stacked, axis=0))
         return Chunk.scalars(first.times, magnitude, first.rate_hz)
 
+    def lower(self, chunks: Sequence[Chunk]) -> Chunk:
+        """Stateless reduction: the whole trace is one process call."""
+        return self.process(chunks)
+
     def cycles_per_item(self, in_shapes: Sequence[StreamShape]) -> float:
         # One multiply-accumulate per input plus a square root.
         return 6.0 * len(in_shapes) + 30.0
@@ -73,6 +77,10 @@ class ZeroCrossingRate(StreamAlgorithm):
         width = chunk.values.shape[1]
         rate = crossings / max(width - 1, 1)
         return Chunk.scalars(chunk.times, rate.astype(np.float64), chunk.rate_hz)
+
+    def lower(self, chunks: Sequence[Chunk]) -> Chunk:
+        """Stateless per-frame feature: the whole trace is one process call."""
+        return self.process(chunks)
 
     def propagate_shape(self, in_shapes: Sequence[StreamShape]) -> StreamShape:
         first = in_shapes[0]
@@ -152,6 +160,10 @@ class DominantFrequency(StreamAlgorithm):
             with np.errstate(divide="ignore", invalid="ignore"):
                 out = np.where(mean_mag > 0, peak_mag / mean_mag, 0.0)
         return Chunk.scalars(chunk.times, out.astype(np.float64), chunk.rate_hz)
+
+    def lower(self, chunks: Sequence[Chunk]) -> Chunk:
+        """Stateless per-spectrum feature: the whole trace is one process call."""
+        return self.process(chunks)
 
     def propagate_shape(self, in_shapes: Sequence[StreamShape]) -> StreamShape:
         first = in_shapes[0]

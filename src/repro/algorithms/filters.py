@@ -11,6 +11,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.algorithms.base import StreamAlgorithm, StreamShape, register
+from repro.algorithms.kernels import window_means
 from repro.algorithms.transforms import fft_cycles
 from repro.errors import ParameterError
 from repro.sensors.samples import Chunk, ChunkBuffer, StreamKind
@@ -46,19 +47,30 @@ class MovingAverage(StreamAlgorithm):
         n = len(self._carry)
         if n < self.size:
             return Chunk.empty(StreamKind.SCALAR, chunk.rate_hz)
-        values = self._carry.values
-        # Each output is the mean of exactly its window's samples
-        # (sliding_window_view + per-row mean).  Unlike a running
+        # Each output is the mean of exactly its window's samples,
+        # summed left to right (`window_means`).  Unlike a running
         # cumulative sum — whose rounding depends on where the carry
         # buffer happens to start — every window mean is a pure function
-        # of the window contents, which is what makes this opcode
-        # bitwise chunk-invariant and fusion-eligible.
-        windows = np.lib.stride_tricks.sliding_window_view(values, self.size)
-        means = windows.mean(axis=1)
+        # of the window contents with a fixed operation order, which is
+        # what makes this opcode bitwise chunk-invariant and eligible
+        # for the fused and compiled fast paths.
+        means = window_means(self._carry.values, self.size)
         times = self._carry.times[self.size - 1:]
         # Keep the last size-1 samples as carry for the next chunk.
         self._carry.consume(n - (self.size - 1))
         return Chunk.scalars(times, means, chunk.rate_hz)
+
+    def lower(self, chunks: Sequence[Chunk]) -> Chunk:
+        """Whole-trace window means; the carry buffer collapses away."""
+        (chunk,) = chunks
+        if len(chunk) < self.size:
+            return Chunk.empty(StreamKind.SCALAR, chunk.rate_hz)
+        return Chunk.view(
+            StreamKind.SCALAR,
+            chunk.times[self.size - 1:],
+            window_means(chunk.values, self.size),
+            chunk.rate_hz,
+        )
 
     def reset(self) -> None:
         self._carry.clear()
@@ -84,11 +96,18 @@ class ExponentialMovingAverage(StreamAlgorithm):
     input_kind = StreamKind.SCALAR
     output_kind = StreamKind.SCALAR
     # Deliberately NOT chunk-invariant: the loop path (short chunks) and
-    # the convolution path (chunks > 64 items) accumulate rounding in a
-    # different order, so fusing rounds can change results at ulp level
-    # — and the convolve path is O(n^2) on trace-sized chunks anyway.
+    # the blockwise closed-form path (longer chunks) accumulate rounding
+    # in a different order, so re-chunking can change results at ulp
+    # level.  Any graph containing this opcode therefore stays on the
+    # round-by-round interpreter.
     chunk_invariant = False
     param_order = ("alpha",)
+
+    #: Samples per closed-form block on the vectorized path.  Bounds the
+    #: largest decay power ever computed at ``(1-alpha)**_BLOCK``, so
+    #: long audio chunks can neither underflow nor cost O(n^2) work the
+    #: way a whole-chunk convolution did.
+    _BLOCK = 64
 
     def __init__(self, alpha: float):
         super().__init__(alpha=alpha)
@@ -96,30 +115,65 @@ class ExponentialMovingAverage(StreamAlgorithm):
         if not 0.0 < self.alpha <= 1.0:
             raise ParameterError(f"expMovingAvg: alpha must be in (0, 1], got {alpha}")
         self._state: float | None = None
+        self._lower_triangle: np.ndarray | None = None
 
     def process(self, chunks: Sequence[Chunk]) -> Chunk:
         (chunk,) = chunks
         if chunk.is_empty:
             return chunk
         x = chunk.values
-        out = np.empty_like(x)
         prev = x[0] if self._state is None else self._state
-        # Closed-form scan: y[k] = (1-a)^k * prev + a * sum_j (1-a)^(k-j) x[j]
-        # A short Python loop is clearer and chunk counts are modest, but
-        # for large audio chunks we vectorize with the standard trick.
         decay = 1.0 - self.alpha
-        if len(x) > 64:
-            powers = decay ** np.arange(len(x) + 1)
-            # y[k] = powers[k+1]*prev + alpha * sum_{j<=k} powers[k-j] * x[j]
-            conv = np.convolve(x, powers[:-1])[: len(x)]
-            out = powers[1:] * prev + self.alpha * conv
+        if len(x) > self._BLOCK:
+            out = self._scan_blockwise(x, prev)
         else:
+            out = np.empty_like(x)
             y = prev
             for i, xi in enumerate(x):
                 y = self.alpha * xi + decay * y
                 out[i] = y
         self._state = float(out[-1])
         return Chunk.scalars(chunk.times, out, chunk.rate_hz)
+
+    def _scan_blockwise(self, x: np.ndarray, prev: float) -> np.ndarray:
+        """O(n) closed-form scan, one fixed-size block at a time.
+
+        Within a block of ``B`` samples the recurrence has the closed
+        form ``y[k] = (1-a)^(k+1) * prev + a * sum_{j<=k} (1-a)^(k-j)
+        x[j]``; the inner sums for *all* blocks are one matmul against a
+        precomputed lower-triangular decay matrix, and the carry from
+        block to block follows the scalar recurrence ``prev' = (1-a)^B
+        * prev + a * local[-1]``.  Total work is O(n * B) with
+        contiguous BLAS-friendly operands — linear in the chunk, unlike
+        the previous full-length convolution (quadratic, and its
+        ``decay ** arange(n)`` powers underflowed on long audio
+        chunks).
+        """
+        n = len(x)
+        block = self._BLOCK
+        decay = 1.0 - self.alpha
+        if self._lower_triangle is None:
+            offsets = np.arange(block)
+            exponents = offsets[:, None] - offsets[None, :]
+            self._lower_triangle = np.where(
+                exponents >= 0, decay ** np.maximum(exponents, 0), 0.0
+            )
+        n_blocks = -(-n // block)
+        padded = np.zeros(n_blocks * block, dtype=np.float64)
+        padded[:n] = x
+        # local[i, k] = sum_{j<=k} decay^(k-j) * x[i*B + j]
+        local = padded.reshape(n_blocks, block) @ self._lower_triangle.T
+        # Scalar carry recurrence across blocks (n/B plain-float steps).
+        decay_block = decay ** block
+        tail = self.alpha * local[:, -1]
+        carries = np.empty(n_blocks, dtype=np.float64)
+        carry = prev
+        for i, t in enumerate(tail.tolist()):
+            carries[i] = carry
+            carry = decay_block * carry + t
+        powers = decay ** np.arange(1, block + 1)
+        out = powers[None, :] * carries[:, None] + self.alpha * local
+        return out.reshape(-1)[:n]
 
     def reset(self) -> None:
         self._state = None
@@ -164,6 +218,10 @@ class _FFTBandFilter(StreamAlgorithm):
         spectra[:, ~mask] = 0.0
         filtered = np.fft.irfft(spectra, n=width, axis=1)
         return Chunk(StreamKind.FRAME, chunk.times, filtered, chunk.rate_hz)
+
+    def lower(self, chunks: Sequence[Chunk]) -> Chunk:
+        """Stateless per-frame transform: the whole trace is one process call."""
+        return self.process(chunks)
 
     def cycles_per_item(self, in_shapes: Sequence[StreamShape]) -> float:
         # Forward FFT + masking + inverse FFT per frame.

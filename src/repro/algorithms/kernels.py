@@ -1,0 +1,121 @@
+"""Shared vectorized stream kernels.
+
+Several hub algorithms and precise detectors used to hand-roll the same
+three sequential scans: greedy debouncing of candidate indices, a
+consecutive-run counter for duration-qualified thresholds, and
+sliding-window means.  This module is their single home, with exact
+semantics pinned by tests so the interpreter (`process`), the compiled
+array program (`lower`) and the main-processor detectors all agree
+bit for bit:
+
+* :func:`debounce_indices` — greedy minimum-separation filter over
+  already-sorted candidate indices (step/headbutt peak emission,
+  detector-side debouncing);
+* :func:`consecutive_run_lengths` — run lengths of a boolean
+  qualification mask, vectorized with the cumulative-maximum reset
+  trick (``sustainedThreshold``);
+* :func:`window_means` — means of all length-``size`` sliding windows,
+  accumulated column-wise left to right (``movingAvg``).
+
+All three are pure functions: the sequential state an algorithm carries
+across chunks enters as an explicit argument (``last_kept``,
+``initial``), which is what lets the hub compiler run them over a whole
+trace in one call.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def debounce_indices(
+    indices: np.ndarray,
+    min_separation: int,
+    last_kept: Optional[int] = None,
+) -> np.ndarray:
+    """Greedily keep indices at least ``min_separation`` apart.
+
+    Scans the (sorted, ascending) candidate ``indices`` left to right
+    and keeps a candidate only when it lies ``min_separation`` or more
+    after the previously kept one — the classic debounce used by the
+    step and headbutt peak detectors.
+
+    Args:
+        indices: Sorted candidate indices (any integer array).
+        min_separation: Minimum index distance between two kept
+            candidates.
+        last_kept: Index of the most recently kept candidate from an
+            earlier scan (carried state for streaming use); ``None``
+            means no history, so the first candidate is always kept.
+
+    Returns:
+        The kept indices as an ``int64`` array.
+    """
+    if len(indices) == 0:
+        return np.asarray(indices, dtype=np.int64)
+    kept: list[int] = []
+    last = -(1 << 62) if last_kept is None else int(last_kept)
+    # A plain-int loop over a Python list is markedly faster than
+    # element-wise numpy indexing, and the greedy scan is inherently
+    # sequential (each decision depends on the previous kept index).
+    for idx in np.asarray(indices).tolist():
+        if idx - last >= min_separation:
+            kept.append(idx)
+            last = idx
+    return np.asarray(kept, dtype=np.int64)
+
+
+def consecutive_run_lengths(
+    qualifying: np.ndarray, initial: int = 0
+) -> np.ndarray:
+    """Length of the consecutive qualifying run ending at each position.
+
+    ``out[i]`` is the number of consecutive ``True`` values ending at
+    (and including) position ``i``; positions where ``qualifying`` is
+    False are 0.  ``initial`` extends a run already in progress when the
+    array starts True (streaming carry).  Integer arithmetic throughout,
+    so the result is exactly what the obvious sequential loop produces.
+
+    Vectorized with the cumulative-maximum reset trick: record the
+    1-based position of every ``False``, take the running maximum to
+    find the most recent reset at every position, and subtract.
+    """
+    qualifying = np.asarray(qualifying, dtype=bool)
+    n = len(qualifying)
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    positions = np.arange(1, n + 1, dtype=np.int64)
+    resets = np.where(~qualifying, positions, 0)
+    last_reset = np.maximum.accumulate(resets)
+    runs = np.where(qualifying, positions - last_reset, 0)
+    if initial:
+        # The leading run (no reset seen yet) continues the carry.
+        runs += np.where(qualifying & (last_reset == 0), int(initial), 0)
+    return runs
+
+
+def window_means(values: np.ndarray, size: int) -> np.ndarray:
+    """Mean of every length-``size`` sliding window of ``values``.
+
+    ``out[i]`` is ``(values[i] + values[i+1] + ... + values[i+size-1])
+    / size`` with the sum accumulated strictly left to right.  Each
+    window mean is a pure function of the window contents with a fixed
+    operation order, which makes ``movingAvg`` bitwise chunk-invariant:
+    however the stream is split, window ``i`` always sums the same
+    floats in the same order.
+
+    Accumulating column-wise (one contiguous vector add per window
+    offset) is far faster than reducing a strided
+    ``sliding_window_view`` row-wise, because every operand is a
+    contiguous slice of the original signal.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    count = len(values) - size + 1
+    if count <= 0:
+        return np.empty(0, dtype=np.float64)
+    acc = values[:count].copy()
+    for offset in range(1, size):
+        acc += values[offset:offset + count]
+    return acc / size

@@ -13,6 +13,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.algorithms.base import StreamAlgorithm, StreamShape, register
+from repro.algorithms.kernels import debounce_indices
 from repro.errors import ParameterError
 from repro.sensors.samples import Chunk, StreamKind
 
@@ -74,27 +75,43 @@ class LocalExtrema(StreamAlgorithm):
         if len(values) < 3:
             self._prev_values, self._prev_times = values, times
             return Chunk.empty(StreamKind.SCALAR, chunk.rate_hz)
+        candidate = self._candidates(values)
+        kept = debounce_indices(
+            candidate + self._stream_index,
+            self.min_separation,
+            last_kept=self._last_emit_index,
+        )
+        if len(kept):
+            self._last_emit_index = int(kept[-1])
+        local = kept - self._stream_index
+        emit_times = times[local]
+        emit_values = values[local]
+        # Keep the final two samples so extrema at chunk edges are found.
+        keep = len(values) - 2
+        self._stream_index += keep
+        self._prev_values, self._prev_times = values[keep:], times[keep:]
+        return Chunk.scalars(emit_times, emit_values, chunk.rate_hz)
+
+    def _candidates(self, values: np.ndarray) -> np.ndarray:
+        """Indices of in-band extrema in ``values`` (pure, vectorized)."""
         mid = values[1:-1]
         if self.mode == "max":
             is_ext = (values[:-2] < mid) & (mid >= values[2:])
         else:
             is_ext = (values[:-2] > mid) & (mid <= values[2:])
         in_band = (mid >= self.low) & (mid <= self.high)
-        candidate = np.flatnonzero(is_ext & in_band) + 1  # index into `values`
-        emit_times, emit_values = [], []
-        for idx in candidate:
-            global_idx = self._stream_index + int(idx)
-            if global_idx - self._last_emit_index >= self.min_separation:
-                emit_times.append(times[idx])
-                emit_values.append(values[idx])
-                self._last_emit_index = global_idx
-        # Keep the final two samples so extrema at chunk edges are found.
-        keep = len(values) - 2
-        self._stream_index += keep
-        self._prev_values, self._prev_times = values[keep:], times[keep:]
-        return Chunk.scalars(
-            np.asarray(emit_times), np.asarray(emit_values), chunk.rate_hz
+        return np.flatnonzero(is_ext & in_band) + 1  # index into `values`
+
+    def lower(self, chunks: Sequence[Chunk]) -> Chunk:
+        """Whole-trace extrema: the edge buffers and index carry collapse."""
+        (chunk,) = chunks
+        values, times = chunk.values, chunk.times
+        if len(values) < 3:
+            return Chunk.empty(StreamKind.SCALAR, chunk.rate_hz)
+        kept = debounce_indices(
+            self._candidates(values), self.min_separation, last_kept=-(10**12)
         )
+        return Chunk.scalars(times[kept], values[kept], chunk.rate_hz)
 
     def reset(self) -> None:
         self._prev_times = np.empty(0)

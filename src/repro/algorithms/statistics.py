@@ -79,6 +79,10 @@ class Statistic(StreamAlgorithm):
         values = self._fn(np.asarray(chunk.values, dtype=np.float64))
         return Chunk.scalars(chunk.times, values, chunk.rate_hz)
 
+    def lower(self, chunks: Sequence[Chunk]) -> Chunk:
+        """Stateless per-frame reduction: the whole trace is one process call."""
+        return self.process(chunks)
+
     def propagate_shape(self, in_shapes: Sequence[StreamShape]) -> StreamShape:
         first = in_shapes[0]
         return StreamShape(StreamKind.SCALAR, first.items_per_second, 1, first.rate_hz)

@@ -48,6 +48,10 @@ class FFT(StreamAlgorithm):
         spectra = np.fft.rfft(chunk.values, axis=1)
         return Chunk(StreamKind.SPECTRUM, chunk.times, spectra, chunk.rate_hz)
 
+    def lower(self, chunks: Sequence[Chunk]) -> Chunk:
+        """Stateless per-frame transform: the whole trace is one process call."""
+        return self.process(chunks)
+
     def propagate_shape(self, in_shapes: Sequence[StreamShape]) -> StreamShape:
         first = in_shapes[0]
         return StreamShape(
@@ -77,6 +81,10 @@ class IFFT(StreamAlgorithm):
             return Chunk.empty(StreamKind.FRAME, chunk.rate_hz, 0)
         frames = np.fft.irfft(chunk.values, axis=1)
         return Chunk(StreamKind.FRAME, chunk.times, frames, chunk.rate_hz)
+
+    def lower(self, chunks: Sequence[Chunk]) -> Chunk:
+        """Stateless per-spectrum transform: the whole trace is one process call."""
+        return self.process(chunks)
 
     def propagate_shape(self, in_shapes: Sequence[StreamShape]) -> StreamShape:
         first = in_shapes[0]

@@ -68,6 +68,26 @@ class Window(StreamAlgorithm):
         self._buffer.consume(int(starts[-1] + self.hop))
         return Chunk(StreamKind.FRAME, times, frames, chunk.rate_hz)
 
+    def lower(self, chunks: Sequence[Chunk]) -> Chunk:
+        """Whole-trace framing: every frame is cut in one fancy-index pass.
+
+        Frames start at absolute offsets ``0, hop, 2*hop, ...`` from the
+        first sample, exactly as the streaming carry buffer would cut
+        them, so the buffer state collapses away entirely.
+        """
+        (chunk,) = chunks
+        n = len(chunk)
+        if n < self.size:
+            return Chunk.empty(StreamKind.FRAME, chunk.rate_hz, self.size)
+        n_frames = (n - self.size) // self.hop + 1
+        starts = np.arange(n_frames) * self.hop
+        idx = starts[:, None] + np.arange(self.size)[None, :]
+        frames = chunk.values[idx]
+        if self._taper is not None:
+            frames = frames * self._taper
+        times = chunk.times[starts + self.size - 1]
+        return Chunk(StreamKind.FRAME, times, frames, chunk.rate_hz)
+
     def reset(self) -> None:
         self._buffer.clear()
 

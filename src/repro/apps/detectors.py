@@ -11,6 +11,7 @@ from typing import Iterator, List, Sequence, Tuple
 
 import numpy as np
 
+from repro.algorithms.kernels import debounce_indices
 from repro.traces.base import Trace
 
 
@@ -97,7 +98,7 @@ def local_maxima(
             ):
                 qualified.append(idx)
         candidates = np.asarray(qualified, dtype=int)
-    return _debounce(candidates, min_separation)
+    return debounce_indices(candidates, min_separation)
 
 
 def local_minima(
@@ -114,16 +115,6 @@ def local_minima(
     semantics (mirrored for valleys).
     """
     return local_maxima(-values, -high, -low, min_separation, margin, prominence)
-
-
-def _debounce(indices: np.ndarray, min_separation: int) -> np.ndarray:
-    if len(indices) == 0:
-        return indices
-    kept = [int(indices[0])]
-    for idx in indices[1:]:
-        if idx - kept[-1] >= min_separation:
-            kept.append(int(idx))
-    return np.asarray(kept, dtype=int)
 
 
 def frame_signal(values: np.ndarray, size: int, hop: int) -> np.ndarray:

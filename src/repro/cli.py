@@ -191,6 +191,7 @@ def cmd_table2(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         cache=not args.no_cache,
         fuse=not args.no_fuse,
+        compiled=not args.no_compile,
     )
     print(render_table2(table, paper=PAPER_TABLE2))
     _print_skipped(matrix)
@@ -207,6 +208,7 @@ def cmd_figure5(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         cache=not args.no_cache,
         fuse=not args.no_fuse,
+        compiled=not args.no_compile,
     )
     print(render_figure5(series))
     _print_skipped(matrix)
@@ -224,7 +226,7 @@ def cmd_figure6(args: argparse.Namespace) -> int:
     ]
     series = figure6_series(
         traces=group1, jobs=args.jobs, cache=not args.no_cache,
-        fuse=not args.no_fuse,
+        fuse=not args.no_fuse, compiled=not args.no_compile,
     )
     print(render_figure6(series))
     return 0
@@ -240,6 +242,7 @@ def cmd_figure7(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         cache=not args.no_cache,
         fuse=not args.no_fuse,
+        compiled=not args.no_compile,
     )
     print(render_figure7(series))
     _print_skipped(matrix)
@@ -315,6 +318,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--no-fuse", action="store_true",
                        help="disable the fused hub fast path (results "
                             "are identical; this is an escape hatch)")
+        p.add_argument("--no-compile", action="store_true",
+                       help="disable the compiled whole-trace hub path "
+                            "(results are identical; this is an escape "
+                            "hatch)")
 
     p = sub.add_parser("merge", help="merge several apps' conditions")
     p.add_argument("--apps", required=True,

@@ -192,6 +192,7 @@ def run_matrix(
     profile: PhonePowerProfile = NEXUS4,
     context: Optional[RunContext] = None,
     fuse: bool = True,
+    compiled: bool = True,
 ) -> Matrix:
     """Simulate every (config, app, trace) combination.
 
@@ -212,13 +213,22 @@ def run_matrix(
         fuse: Enable the fused hub fast path for eligible conditions
             (results are bit-identical either way; ``False`` is the
             ``--no-fuse`` escape hatch).
+        compiled: Enable the compiled whole-trace hub path for
+            eligible conditions (results are bit-identical either way;
+            ``False`` is the ``--no-compile`` escape hatch).
 
     (app, trace) pairs whose sensors are absent from the trace are not
     silently dropped: they are recorded on :attr:`Matrix.skipped`.
     """
     plan = plan_matrix(configs, apps, traces)
     results, info = execute_plan_with_info(
-        plan, jobs=jobs, cache=cache, profile=profile, context=context, fuse=fuse
+        plan,
+        jobs=jobs,
+        cache=cache,
+        profile=profile,
+        context=context,
+        fuse=fuse,
+        compiled=compiled,
     )
     matrix = Matrix(skipped=list(plan.skipped), execution=info)
     for result in results:

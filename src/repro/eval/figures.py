@@ -32,6 +32,7 @@ def figure5_series(
     jobs: int = 1,
     cache: bool = True,
     fuse: bool = True,
+    compiled: bool = True,
 ) -> Tuple[Dict[int, Dict[str, Dict[str, float]]], Matrix]:
     """Figure 5: power relative to Oracle, per robot group and app.
 
@@ -43,7 +44,13 @@ def figure5_series(
     traces = list(traces) if traces is not None else list(robot_corpus())
     apps = [StepsApp(), TransitionsApp(), HeadbuttApp()]
     matrix = run_matrix(
-        paper_configurations(), apps, traces, jobs=jobs, cache=cache, fuse=fuse
+        paper_configurations(),
+        apps,
+        traces,
+        jobs=jobs,
+        cache=cache,
+        fuse=fuse,
+        compiled=compiled,
     )
     groups = group_trace_names(traces)
     series: Dict[int, Dict[str, Dict[str, float]]] = {}
@@ -66,6 +73,7 @@ def figure6_series(
     jobs: int = 1,
     cache: bool = True,
     fuse: bool = True,
+    compiled: bool = True,
 ) -> Dict[str, Dict[float, float]]:
     """Figure 6: duty-cycling recall vs sleep interval at 90 % idle.
 
@@ -76,7 +84,9 @@ def figure6_series(
         traces = [t for t in robot_corpus() if t.metadata.get("group") == 1]
     apps = [StepsApp(), TransitionsApp(), HeadbuttApp()]
     configs = [DutyCycling(interval) for interval in intervals]
-    matrix = run_matrix(configs, apps, traces, jobs=jobs, cache=cache, fuse=fuse)
+    matrix = run_matrix(
+        configs, apps, traces, jobs=jobs, cache=cache, fuse=fuse, compiled=compiled
+    )
     series: Dict[str, Dict[float, float]] = {app.name: {} for app in apps}
     for config, interval in zip(configs, intervals):
         for app in apps:
@@ -90,6 +100,7 @@ def figure7_series(
     jobs: int = 1,
     cache: bool = True,
     fuse: bool = True,
+    compiled: bool = True,
 ) -> Tuple[Dict[str, Dict[str, float]], Matrix]:
     """Figure 7: step-detector power relative to Oracle on human traces.
 
@@ -108,6 +119,7 @@ def figure7_series(
         jobs=jobs,
         cache=cache,
         fuse=fuse,
+        compiled=compiled,
     )
     shown = ["always_awake", "duty_cycling_10s", "batching_10s",
              "predefined_activity", "sidewinder"]

@@ -39,6 +39,7 @@ def build_table2(
     jobs: int = 1,
     cache: bool = True,
     fuse: bool = True,
+    compiled: bool = True,
 ) -> Tuple[Dict[str, Dict[str, float]], Matrix]:
     """Table 2: average power (mW) per audio app and wake-up mechanism.
 
@@ -49,6 +50,7 @@ def build_table2(
         jobs: Worker processes for the sweep (1 = serial).
         cache: Enable engine memoization.
         fuse: Enable the fused hub fast path.
+        compiled: Enable the compiled whole-trace hub path.
 
     Returns:
         ``(table, matrix)`` where ``table[config][app]`` is the mean
@@ -62,7 +64,9 @@ def build_table2(
     )
     configs = [Oracle(), pa, Sidewinder()]
     apps = [SirenDetectorApp(), MusicJournalApp(), PhraseDetectionApp()]
-    matrix = run_matrix(configs, apps, traces, jobs=jobs, cache=cache, fuse=fuse)
+    matrix = run_matrix(
+        configs, apps, traces, jobs=jobs, cache=cache, fuse=fuse, compiled=compiled
+    )
     table: Dict[str, Dict[str, float]] = {}
     for config in configs:
         table[config.name] = {

@@ -11,6 +11,9 @@ language pushed by the sensor manager.  This package provides:
   not run FFT-based filtering of audio in real time);
 * :mod:`repro.hub.runtime` — the interpreter executing a validated
   dataflow graph over incoming sensor chunks;
+* :mod:`repro.hub.compile` — the compiler lowering fusion-eligible
+  graphs to whole-trace numpy array programs (the interpreter stays
+  the semantics oracle: compiled wake events are bit-identical);
 * :mod:`repro.hub.hub` — the :class:`SensorHub` facade managing several
   concurrent wake-up conditions and their listeners;
 * :mod:`repro.hub.faults` — deterministic system-fault injection (hub
@@ -19,6 +22,12 @@ language pushed by the sensor manager.  This package provides:
   ACK/retry, heartbeats) a production hub vendor would ship.
 """
 
+from repro.hub.compile import (
+    CompiledPlan,
+    PlanStep,
+    compile_eligibility,
+    compile_graph,
+)
 from repro.hub.delivery import (
     RAW_DELIVERY,
     TRIGGER_DELIVERY,
@@ -77,15 +86,19 @@ __all__ = [
     "TransferOutcome",
     "UART_DEBUG",
     "AlgorithmState",
+    "CompiledPlan",
     "FeasibilityReport",
     "MergedProgram",
     "MultiTapRuntime",
     "HubRuntime",
     "MCUModel",
+    "PlanStep",
     "PushedCondition",
     "SensorHub",
     "WakeEvent",
     "analyze",
+    "compile_eligibility",
+    "compile_graph",
     "is_feasible",
     "merge_programs",
     "merged_cycles_per_second",

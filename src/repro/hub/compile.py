@@ -1,0 +1,200 @@
+"""The hub compiler: wake-up conditions lowered to whole-trace array programs.
+
+The interpreter (:class:`repro.hub.runtime.HubRuntime`) executes a
+wake-up condition the way the paper's hub does — round by round, node by
+node, with per-round chunk allocation, state bookkeeping and Python
+dispatch.  The fused path amortizes that overhead over 64-round blocks
+but still pays it per block.  This module removes it entirely: a
+validated, fusion-eligible :class:`~repro.il.graph.DataflowGraph` is
+lowered once into a :class:`CompiledPlan` — one whole-trace numpy
+transform per node (each algorithm's :meth:`~repro.algorithms.base.
+StreamAlgorithm.lower` rule), topologically scheduled — and executing
+the plan is a single pass over the trace with no rounds at all.
+
+The interpreter remains the semantics oracle.  A lowering rule must be
+bit-identical to feeding a fresh algorithm instance the whole trace as
+one chunk, and chunk-invariance (the same precondition the fused path
+checks) extends that identity to *any* chunking — so a compiled plan's
+wake events are exactly the interpreter's, at every chunk size.
+
+Eligibility is explainable: :func:`compile_eligibility` returns a
+human-readable reason string (or ``None``) just like
+:func:`repro.hub.runtime.fusion_eligibility`, so callers can log *why*
+a condition fell back to a slower tier instead of silently degrading.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.algorithms.base import StreamAlgorithm, has_lowering
+from repro.errors import HubExecutionError
+from repro.hub.runtime import WakeEvent, fusion_eligibility
+from repro.il.ast import ChannelRef, SourceRef
+from repro.il.graph import DataflowGraph
+from repro.sensors.samples import Chunk, StreamKind
+
+
+def compile_eligibility(graph: DataflowGraph) -> Optional[str]:
+    """Why a graph cannot be compiled to an array program — or ``None``.
+
+    A graph is compile-eligible when it is fusion-eligible (every node
+    chunk-invariant, all channels single-rate — the properties that make
+    whole-trace execution provably equivalent to any chunking) *and*
+    every node's algorithm provides a :meth:`~repro.algorithms.base.
+    StreamAlgorithm.lower` rule.  Returns a human-readable reason for
+    the first violation found, mirroring
+    :func:`repro.hub.runtime.fusion_eligibility`.
+    """
+    reason = fusion_eligibility(graph)
+    if reason is not None:
+        return reason
+    for node in graph.nodes:
+        if not has_lowering(node.algorithm):
+            name = node.opcode or type(node.algorithm).__name__
+            return f"node {node.node_id} ({name}) has no lowering rule"
+    return None
+
+
+@dataclass(frozen=True)
+class PlanStep:
+    """One scheduled node of a compiled plan.
+
+    Attributes:
+        node_id: The graph node this step computes.
+        opcode: The node's IL opcode (for diagnostics).
+        algorithm: The algorithm instance whose ``lower`` rule runs.
+            Lowering rules are pure, so the instance may be shared with
+            a cached interpreter graph without resets.
+        inputs: Source references in port order — channel names resolve
+            against the trace, node ids against earlier steps.
+        align: True when the step has multiple input ports and must be
+            fed the aligned common prefix (the whole-trace collapse of
+            the interpreter's port synchronizer).
+    """
+
+    node_id: int
+    opcode: str
+    algorithm: StreamAlgorithm
+    inputs: Tuple[SourceRef, ...]
+    align: bool
+
+
+@dataclass(frozen=True)
+class CompiledPlan:
+    """A wake-up condition as a whole-trace array program.
+
+    Build with :func:`compile_graph`; run with :meth:`execute`.  A plan
+    holds no mutable state, so one instance can be cached (the engine
+    keys plans by IL content fingerprint) and executed over any number
+    of traces.
+
+    Attributes:
+        steps: Node transforms in topological order.
+        output_id: The node whose items become wake events.
+        channels: Sensor channels the program reads.
+    """
+
+    steps: Tuple[PlanStep, ...]
+    output_id: int
+    channels: Tuple[str, ...]
+
+    def execute(
+        self,
+        channel_data: Dict[str, Tuple[np.ndarray, np.ndarray, float]],
+    ) -> List[WakeEvent]:
+        """Run the array program over one trace's channel arrays.
+
+        Args:
+            channel_data: Per channel name, a ``(times, values,
+                rate_hz)`` triple — the same form
+                :meth:`repro.hub.runtime.HubRuntime.run_fused` takes.
+
+        Returns:
+            The wake events, bit-identical to interpreting the source
+            graph over the same data at any chunking.
+
+        Raises:
+            HubExecutionError: when a channel the program reads is
+                missing from ``channel_data``.
+        """
+        missing = [c for c in self.channels if c not in channel_data]
+        if missing:
+            raise HubExecutionError(
+                f"compiled plan missing data for channels {missing}"
+            )
+        # One environment maps both channel names (str) and node ids
+        # (int) to their whole-trace chunks; the key types never collide.
+        env: Dict[Union[str, int], Chunk] = {}
+        for name in self.channels:
+            times, values, rate = channel_data[name]
+            env[name] = Chunk.view(
+                StreamKind.SCALAR,
+                np.asarray(times, dtype=np.float64),
+                np.asarray(values, dtype=np.float64),
+                rate,
+            )
+        for step in self.steps:
+            inputs = [
+                env[ref.channel] if isinstance(ref, ChannelRef) else env[ref.node_id]
+                for ref in step.inputs
+            ]
+            if step.align:
+                inputs = _aligned_prefix(inputs)
+            env[step.node_id] = step.algorithm.lower(inputs)
+        out = env[self.output_id]
+        return [
+            WakeEvent(t, v)
+            for t, v in zip(
+                out.times.tolist(), np.atleast_1d(out.values).tolist()
+            )
+        ]
+
+
+def _aligned_prefix(inputs: List[Chunk]) -> List[Chunk]:
+    """Truncate multi-port inputs to their common item-aligned prefix.
+
+    The interpreter buffers each port and releases the longest aligned
+    prefix every round; over a whole trace that collapses to one
+    truncation at the shortest port (any surplus would have stayed
+    buffered past end-of-trace and never been processed).
+    """
+    available = min(len(chunk) for chunk in inputs)
+    return [
+        Chunk.view(
+            StreamKind.SCALAR,
+            chunk.times[:available],
+            chunk.values[:available],
+            chunk.rate_hz,
+        )
+        for chunk in inputs
+    ]
+
+
+def compile_graph(graph: DataflowGraph) -> CompiledPlan:
+    """Lower a validated graph to a :class:`CompiledPlan`.
+
+    Raises:
+        HubExecutionError: when the graph is not compile-eligible —
+            callers that want graceful fallback should consult
+            :func:`compile_eligibility` first.
+    """
+    reason = compile_eligibility(graph)
+    if reason is not None:
+        raise HubExecutionError(f"graph is not compile-eligible: {reason}")
+    steps = tuple(
+        PlanStep(
+            node_id=node.node_id,
+            opcode=node.opcode,
+            algorithm=node.algorithm,
+            inputs=tuple(node.inputs),
+            align=len(node.inputs) > 1,
+        )
+        for node in graph.nodes
+    )
+    return CompiledPlan(
+        steps=steps, output_id=graph.output_id, channels=graph.channels
+    )

@@ -46,6 +46,7 @@ from typing import (
 from repro.api.compile import compile_pipeline
 from repro.api.pipeline import ProcessingPipeline
 from repro.errors import HubExecutionError
+from repro.hub.compile import CompiledPlan, compile_eligibility, compile_graph
 from repro.hub.runtime import (
     HubRuntime,
     WakeEvent,
@@ -85,6 +86,9 @@ class CacheStats:
 
     Attributes:
         compile_hits / compile_misses: Validated-graph lookups.
+        plan_hits / plan_misses: Compiled whole-trace plan lookups
+            (keyed by IL fingerprint; a hit may return ``None`` for a
+            condition known to be compile-ineligible).
         hub_hits / hub_misses: Hub wake-event run lookups.
         trace_hits / trace_misses: Per-trace channel-array lookups.
         detect_hits / detect_misses: Precise-detector invocations.
@@ -92,6 +96,8 @@ class CacheStats:
 
     compile_hits: int = 0
     compile_misses: int = 0
+    plan_hits: int = 0
+    plan_misses: int = 0
     hub_hits: int = 0
     hub_misses: int = 0
     trace_hits: int = 0
@@ -103,7 +109,7 @@ class CacheStats:
     def total_hits(self) -> int:
         """All cache hits across categories."""
         return (
-            self.compile_hits + self.hub_hits
+            self.compile_hits + self.plan_hits + self.hub_hits
             + self.trace_hits + self.detect_hits
         )
 
@@ -112,6 +118,8 @@ class CacheStats:
         return {
             "compile_hits": self.compile_hits,
             "compile_misses": self.compile_misses,
+            "plan_hits": self.plan_hits,
+            "plan_misses": self.plan_misses,
             "hub_hits": self.hub_hits,
             "hub_misses": self.hub_misses,
             "trace_hits": self.trace_hits,
@@ -135,6 +143,16 @@ class RunContext:
             back to round-by-round otherwise.  The ``--no-fuse``
             escape hatch sets this False; results are bit-identical
             either way.
+        compiled: When True (default) the context prefers the compiled
+            whole-trace array program
+            (:mod:`repro.hub.compile`) over interpretation for
+            compile-eligible graphs.  Tier order is compiled > fused >
+            round-by-round; every tier produces bit-identical wake
+            events, the interpreter being the semantics oracle.  The
+            ``--no-compile`` escape hatch sets this False.  Fault
+            injection never sees compiled plans: faulty runs replay
+            the condition through the round-level simulator path, not
+            through this context's fault-free interpretation.
 
     Cache keys and invalidation rules:
 
@@ -143,6 +161,11 @@ class RunContext:
       algorithm instances are stateful, so the graph is reset to cold
       state before every reuse; retuning a parameter produces a new
       fingerprint and therefore a fresh entry.
+    * **Compiled plans** are keyed by the same fingerprint, alongside
+      the graph cache.  A fingerprint maps to ``None`` when its
+      condition is compile-ineligible, so the (cheap, but not free)
+      eligibility walk also runs once per condition.  Plans are
+      stateless, so no reset is needed between reuses.
     * **Channel arrays** are keyed by trace object identity (the
       context pins the object, so the id cannot be recycled).  Traces
       are treated as immutable once handed to a context.
@@ -164,11 +187,15 @@ class RunContext:
       window lists share one entry.
     """
 
-    def __init__(self, cache: bool = True, fuse: bool = True):
+    def __init__(
+        self, cache: bool = True, fuse: bool = True, compiled: bool = True
+    ):
         self.cache = cache
         self.fuse = fuse
+        self.compiled = compiled
         self.stats = CacheStats()
         self._graphs: Dict[str, DataflowGraph] = {}
+        self._compiled_plans: Dict[str, Optional[CompiledPlan]] = {}
         self._fingerprints: Dict[int, Tuple[ILProgram, str]] = {}
         self._traces: Dict[int, Trace] = {}
         self._channel_arrays: Dict[int, Dict[str, tuple]] = {}
@@ -210,6 +237,28 @@ class RunContext:
         graph = validate_program(program)
         self._graphs[fp] = graph
         return graph
+
+    def compiled_plan(self, graph: DataflowGraph) -> Optional[CompiledPlan]:
+        """The graph's whole-trace array program, or ``None`` if ineligible.
+
+        Memoized by the IL program's content fingerprint alongside the
+        validated-graph cache; ineligibility is memoized too (as
+        ``None``), so the eligibility walk runs once per condition.
+        """
+        if not self.cache:
+            if compile_eligibility(graph) is None:
+                return compile_graph(graph)
+            return None
+        fp = self.fingerprint(graph.program)
+        if fp in self._compiled_plans:
+            self.stats.plan_hits += 1
+            return self._compiled_plans[fp]
+        self.stats.plan_misses += 1
+        plan = (
+            compile_graph(graph) if compile_eligibility(graph) is None else None
+        )
+        self._compiled_plans[fp] = plan
+        return plan
 
     # -- traces --------------------------------------------------------
 
@@ -277,6 +326,12 @@ class RunContext:
                 f"trace {trace.name!r} lacks channels {sorted(missing)} "
                 "needed by the wake-up condition"
             )
+        # Tier 3: the compiled whole-trace array program (no rounds, no
+        # interpreter state at all).  Plans are pure, so no reset.
+        if self.compiled:
+            plan = self.compiled_plan(graph)
+            if plan is not None:
+                return plan.execute(channels)
         # The graph may be a cached instance whose algorithm objects
         # carry state from a previous run; start cold.
         graph.reset()
@@ -508,14 +563,16 @@ _WORKER_CONTEXT: Optional[RunContext] = None
 _WORKER_TRACES: Dict[str, Trace] = {}
 
 
-def _pool_worker_init(traces: List[Trace], cache: bool, fuse: bool) -> None:
+def _pool_worker_init(
+    traces: List[Trace], cache: bool, fuse: bool, compiled: bool
+) -> None:
     """Pool initializer: one warm context + trace registry per worker.
 
     Runs once per worker process.  Each trace crosses into each worker
     exactly once, here; later batch dispatches refer to traces by name.
     """
     global _WORKER_CONTEXT, _WORKER_TRACES
-    _WORKER_CONTEXT = RunContext(cache=cache, fuse=fuse)
+    _WORKER_CONTEXT = RunContext(cache=cache, fuse=fuse, compiled=compiled)
     _WORKER_TRACES = {trace.name: trace for trace in traces}
 
 
@@ -548,20 +605,20 @@ atexit.register(_shutdown_pool)
 
 
 def _obtain_pool(
-    workers: int, cache: bool, fuse: bool, traces: List[Trace]
+    workers: int, cache: bool, fuse: bool, compiled: bool, traces: List[Trace]
 ) -> Tuple[ProcessPoolExecutor, int, bool]:
     """The persistent pool for these settings, (re)built if needed.
 
-    Reuses the live pool when its cache/fuse settings match, it has at
-    least as many workers as requested, and every plan trace is already
-    registered in the workers (same name *and* same object — a
-    different object under a known name would silently run on stale
+    Reuses the live pool when its cache/fuse/compiled settings match,
+    it has at least as many workers as requested, and every plan trace
+    is already registered in the workers (same name *and* same object —
+    a different object under a known name would silently run on stale
     data).  A warm pool with surplus workers is kept rather than
     resized: the surplus idles, while a rebuild would discard every
     worker's warm caches.  Returns ``(pool, workers, reused)``.
     """
     global _POOL, _POOL_KEY, _POOL_WORKERS, _POOL_TRACES
-    key = (bool(cache), bool(fuse))
+    key = (bool(cache), bool(fuse), bool(compiled))
     if _POOL is not None and _POOL_KEY == key and _POOL_WORKERS >= workers:
         shipped = all(
             _POOL_TRACES.get(trace.name) is trace for trace in traces
@@ -573,7 +630,7 @@ def _obtain_pool(
     _POOL = ProcessPoolExecutor(
         max_workers=workers,
         initializer=_pool_worker_init,
-        initargs=(list(registry.values()), cache, fuse),
+        initargs=(list(registry.values()), cache, fuse, compiled),
     )
     _POOL_KEY = key
     _POOL_WORKERS = workers
@@ -584,12 +641,16 @@ def _obtain_pool(
 
 
 def pool_is_warm(
-    plan: RunPlan, jobs: int, cache: bool = True, fuse: bool = True
+    plan: RunPlan,
+    jobs: int,
+    cache: bool = True,
+    fuse: bool = True,
+    compiled: bool = True,
 ) -> bool:
     """True when the live persistent pool could serve this plan as-is."""
     if _POOL is None or jobs <= 1:
         return False
-    if _POOL_KEY != (bool(cache), bool(fuse)):
+    if _POOL_KEY != (bool(cache), bool(fuse), bool(compiled)):
         return False
     return all(
         _POOL_TRACES.get(cell.trace.name) is cell.trace for cell in plan.cells
@@ -608,6 +669,7 @@ def execute_plan(
     profile: PhonePowerProfile = NEXUS4,
     context: Optional[RunContext] = None,
     fuse: bool = True,
+    compiled: bool = True,
 ) -> List["SimulationResult"]:
     """Execute a plan and return results in plan (index) order.
 
@@ -615,7 +677,13 @@ def execute_plan(
     wrapper discards the :class:`ExecutionInfo`.
     """
     results, _ = execute_plan_with_info(
-        plan, jobs=jobs, cache=cache, profile=profile, context=context, fuse=fuse
+        plan,
+        jobs=jobs,
+        cache=cache,
+        profile=profile,
+        context=context,
+        fuse=fuse,
+        compiled=compiled,
     )
     return results
 
@@ -627,6 +695,7 @@ def execute_plan_with_info(
     profile: PhonePowerProfile = NEXUS4,
     context: Optional[RunContext] = None,
     fuse: bool = True,
+    compiled: bool = True,
 ) -> Tuple[List["SimulationResult"], ExecutionInfo]:
     """Execute a plan; return results in plan order plus how they ran.
 
@@ -647,6 +716,9 @@ def execute_plan_with_info(
             processes cannot share it).
         fuse: Enable the fused hub fast path (results are identical
             either way; the ``--no-fuse`` escape hatch).
+        compiled: Enable the compiled whole-trace hub path (results
+            are identical either way; the ``--no-compile`` escape
+            hatch).
 
     The pool persists across calls: workers are forked once, each
     builds a warm :class:`RunContext` and receives every trace exactly
@@ -657,7 +729,11 @@ def execute_plan_with_info(
     """
     n = len(plan.cells)
     if jobs <= 1:
-        ctx = context if context is not None else RunContext(cache=cache, fuse=fuse)
+        ctx = (
+            context
+            if context is not None
+            else RunContext(cache=cache, fuse=fuse, compiled=compiled)
+        )
         results = [
             cell.config.run(cell.app, cell.trace, profile, context=ctx)
             for cell in plan.cells
@@ -674,9 +750,13 @@ def execute_plan_with_info(
 
     groups = _group_cells_by_trace(plan.cells)
     workers = max(1, min(jobs, len(groups)))
-    warm = pool_is_warm(plan, jobs, cache=cache, fuse=fuse)
+    warm = pool_is_warm(plan, jobs, cache=cache, fuse=fuse, compiled=compiled)
     if n < MIN_POOL_CELLS and not warm:
-        ctx = context if context is not None else RunContext(cache=cache, fuse=fuse)
+        ctx = (
+            context
+            if context is not None
+            else RunContext(cache=cache, fuse=fuse, compiled=compiled)
+        )
         results = [
             cell.config.run(cell.app, cell.trace, profile, context=ctx)
             for cell in plan.cells
@@ -698,7 +778,7 @@ def execute_plan_with_info(
     for cell in plan.cells:
         if not traces or traces[-1] is not cell.trace:
             traces.append(cell.trace)
-    pool, workers, reused = _obtain_pool(workers, cache, fuse, traces)
+    pool, workers, reused = _obtain_pool(workers, cache, fuse, compiled, traces)
     futures = [
         pool.submit(
             _run_batch,

@@ -31,3 +31,18 @@ def test_cli_figure5_small(capsys):
     out = capsys.readouterr().out
     assert "Figure 5" in out
     assert "Group 1" in out and "Sw=" in out
+
+
+def test_cli_execution_tiers_render_identically(capsys):
+    # The compiled and fused hub paths are escape-hatched by
+    # --no-compile and --no-fuse; all three tiers must render the exact
+    # same report.
+    assert main(["figure6", "--duration", "120"]) == 0
+    compiled = capsys.readouterr().out
+    assert main(["figure6", "--duration", "120", "--no-compile"]) == 0
+    fused = capsys.readouterr().out
+    assert main([
+        "figure6", "--duration", "120", "--no-compile", "--no-fuse",
+    ]) == 0
+    interpreted = capsys.readouterr().out
+    assert compiled == fused == interpreted

@@ -100,12 +100,22 @@ def test_warm_context_reruns_identically(configs, apps, traces):
         _assert_results_match(a, b)
 
 
+def test_no_compile_matches_compiled(engine_matrix, configs, apps, traces):
+    # The compiled whole-trace hub path must be bit-invisible: a sweep
+    # with compilation disabled (falling back to the fused tier)
+    # produces the exact same results, timelines included.
+    compiled_matrix, _ = engine_matrix
+    uncompiled = run_matrix(configs, apps, traces, compiled=False)
+    assert len(uncompiled.results) == len(compiled_matrix.results)
+    for compiled, plain in zip(compiled_matrix.results, uncompiled.results):
+        _assert_results_match(compiled, plain)
+
+
 def test_no_fuse_matches_fused(engine_matrix, configs, apps, traces):
-    # The fused hub fast path must be bit-invisible: a sweep with
-    # fusion disabled (round-by-round interpretation) produces the
-    # exact same results, timelines included.
+    # Likewise the fused fast path: with both fast tiers disabled the
+    # round-by-round interpreter produces the exact same results.
     fused_matrix, _ = engine_matrix
-    unfused = run_matrix(configs, apps, traces, fuse=False)
+    unfused = run_matrix(configs, apps, traces, fuse=False, compiled=False)
     assert len(unfused.results) == len(fused_matrix.results)
     for fused, plain in zip(fused_matrix.results, unfused.results):
         _assert_results_match(fused, plain)

@@ -196,14 +196,75 @@ class TestMergedWindowKeying:
 
 class TestFusedContext:
     def test_fused_and_round_events_identical(self, robot_trace):
+        # compiled=False on both sides so this really compares the two
+        # interpreter tiers, not the compiled plan against itself.
         graph_program = StepsApp().build_wakeup_pipeline()
-        fused_ctx = RunContext(fuse=True)
-        round_ctx = RunContext(fuse=False)
+        fused_ctx = RunContext(fuse=True, compiled=False)
+        round_ctx = RunContext(fuse=False, compiled=False)
         fused = fused_ctx.wake_events(fused_ctx.compile(graph_program), robot_trace)
         by_rounds = round_ctx.wake_events(
             round_ctx.compile(StepsApp().build_wakeup_pipeline()), robot_trace
         )
         assert fused == by_rounds
+
+
+class TestCompiledContext:
+    def test_compiled_fused_and_round_events_identical(self, robot_trace):
+        program = StepsApp().build_wakeup_pipeline()
+        compiled_ctx = RunContext(compiled=True)
+        fused_ctx = RunContext(compiled=False, fuse=True)
+        round_ctx = RunContext(compiled=False, fuse=False)
+        compiled = compiled_ctx.wake_events(
+            compiled_ctx.compile(program), robot_trace
+        )
+        fused = fused_ctx.wake_events(
+            fused_ctx.compile(StepsApp().build_wakeup_pipeline()), robot_trace
+        )
+        by_rounds = round_ctx.wake_events(
+            round_ctx.compile(StepsApp().build_wakeup_pipeline()), robot_trace
+        )
+        assert compiled == fused == by_rounds
+
+    def test_plan_cached_by_fingerprint(self, robot_trace, quiet_robot_trace):
+        ctx = RunContext(compiled=True)
+        graph = ctx.compile(StepsApp().build_wakeup_pipeline())
+        ctx.wake_events(graph, robot_trace)
+        assert ctx.stats.plan_misses == 1
+        # A second trace through the same condition reuses the plan …
+        ctx.wake_events(graph, quiet_robot_trace)
+        assert ctx.stats.plan_hits == 1
+        # … and so does an equal program compiled separately.
+        again = ctx.compile(StepsApp().build_wakeup_pipeline())
+        ctx.wake_events(again, robot_trace, chunk_seconds=2.0)
+        assert ctx.stats.plan_hits == 2
+        assert ctx.stats.plan_misses == 1
+
+    def test_ineligible_condition_falls_back(self, robot_trace):
+        from repro.il.parser import parse_program
+
+        # expMovingAvg is not chunk-invariant, so the condition cannot
+        # compile (or fuse) and must interpret round by round — with the
+        # ineligibility memoized, not re-derived per trace.
+        program = parse_program(
+            "ACC_X -> expMovingAvg(id=1, params={0.2});"
+            "1 -> minThreshold(id=2, params={2.0});"
+            "2 -> OUT;"
+        )
+        ctx = RunContext(compiled=True)
+        graph = ctx.validated(program)
+        events = ctx.wake_events(graph, robot_trace)
+        round_ctx = RunContext(compiled=False, fuse=False)
+        expected = round_ctx.wake_events(
+            round_ctx.validated(parse_program(
+                "ACC_X -> expMovingAvg(id=1, params={0.2});"
+                "1 -> minThreshold(id=2, params={2.0});"
+                "2 -> OUT;"
+            )),
+            robot_trace,
+        )
+        assert events == expected
+        assert ctx.compiled_plan(graph) is None
+        assert ctx.stats.plan_hits >= 1
 
 
 class TestExecutor:

@@ -103,6 +103,37 @@ class TestExponentialMovingAverage:
         assert 0 < out.values[55] < 1.0  # lags the step
         assert out.values[-1] > out.values[55]  # keeps converging
 
+    @pytest.mark.parametrize("alpha", [0.05, 0.3, 0.8, 0.97])
+    def test_long_chunk_matches_sequential_reference(self, alpha):
+        # Regression for the old "vectorized" branch: a full-length
+        # convolution against decay ** arange(n+1) was O(n^2) and, for
+        # large alpha, the decay powers underflowed to zero partway
+        # through an audio-sized chunk, silently corrupting the tail.
+        # The blockwise recurrence must track the exact sequential scan
+        # over the whole chunk.
+        rng = np.random.default_rng(11)
+        data = rng.normal(size=40_000)
+        ema = ExponentialMovingAverage(alpha=alpha)
+        out = ema.process([scalar_chunk(data)]).values
+        y = data[0]
+        expected = np.empty_like(data)
+        for i, x in enumerate(data):
+            y = alpha * x + (1.0 - alpha) * y
+            expected[i] = y
+        assert np.allclose(out, expected, rtol=1e-9, atol=1e-12)
+        assert np.all(np.isfinite(out))
+
+    def test_long_chunk_state_carries_into_next_chunk(self):
+        rng = np.random.default_rng(12)
+        data = rng.normal(size=5_000)
+        whole = ExponentialMovingAverage(0.4).process([scalar_chunk(data)]).values
+        ema = ExponentialMovingAverage(0.4)
+        first = ema.process([scalar_chunk(data[:4_000])]).values
+        second = ema.process([scalar_chunk(data[4_000:], t0=80.0)]).values
+        assert np.allclose(
+            np.concatenate([first, second]), whole, rtol=1e-9, atol=1e-12
+        )
+
 
 class TestBandFilters:
     def _frame(self, signal, rate=8000.0):

@@ -1,0 +1,228 @@
+"""Hub compiler: lowering coverage, eligibility reasons, bit-exact equivalence.
+
+The compiled path (`repro.hub.compile`) lowers a fusion-eligible graph
+to a whole-trace array program.  Its correctness contract is the same
+as the fused path's, one level stronger: every `lower` rule must be
+*pure* and bit-identical to a cold-start `process` over the whole
+trace.  This module checks:
+
+* every registered chunk-invariant opcode overrides
+  `StreamAlgorithm.lower` (registry-driven completeness — a new
+  invariant opcode without a lowering rule fails here first);
+* for each equivalence program (shared with the fused suite), the
+  compiled plan produces *identical* `WakeEvent` lists (exact float
+  equality) to round-by-round runs at several chunk sizes, randomized
+  irregular chunking, and the fused path;
+* equivalence also holds under randomized algorithm parameters, not
+  just the shipped programs' constants;
+* ineligible graphs are reported with a human-readable reason
+  (non-invariant node; node without a lowering rule) and
+  `compile_graph` refuses them;
+* a `CompiledPlan` is stateless: one plan re-executes over different
+  traces without leakage, and missing channels raise.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.base import (
+    StreamAlgorithm,
+    available_opcodes,
+    get_algorithm_class,
+    has_lowering,
+)
+from repro.errors import HubExecutionError
+from repro.hub.compile import compile_eligibility, compile_graph
+from repro.hub.runtime import HubRuntime, split_into_rounds
+from tests.unit.test_fused_runtime import (
+    EMA_PROGRAM,
+    PROGRAMS,
+    _events,
+    _graph,
+    _random_rounds,
+    _signal,
+)
+
+
+class _NoLoweringRule(StreamAlgorithm):
+    """Chunk-invariant but deliberately lacks a ``lower`` override."""
+
+    chunk_invariant = True
+
+    def process(self, chunks):
+        return chunks[0]
+
+
+class TestLoweringCompleteness:
+    def test_every_chunk_invariant_opcode_has_a_lowering_rule(self):
+        missing = [
+            op
+            for op in available_opcodes()
+            if get_algorithm_class(op).chunk_invariant
+            and get_algorithm_class(op).lower is StreamAlgorithm.lower
+        ]
+        assert missing == []
+
+    def test_has_lowering_detects_the_base_default(self):
+        assert not has_lowering(_NoLoweringRule())
+        assert has_lowering(get_algorithm_class("movingAvg")(size=4))
+
+    def test_base_lower_raises_with_opcode_name(self):
+        with pytest.raises(NotImplementedError, match="_NoLoweringRule"):
+            _NoLoweringRule().lower([])
+
+
+class TestEligibility:
+    @pytest.mark.parametrize("name", sorted(PROGRAMS))
+    def test_shipped_programs_are_eligible(self, name):
+        assert compile_eligibility(_graph(PROGRAMS[name])) is None
+
+    def test_variant_node_blocks_compilation_with_reason(self):
+        reason = compile_eligibility(_graph(EMA_PROGRAM))
+        assert reason is not None
+        assert "expMovingAvg" in reason
+        assert "not chunk-invariant" in reason
+
+    def test_missing_lowering_rule_blocks_compilation_with_reason(self):
+        graph = _graph(PROGRAMS["sustained"])
+        # GraphNode is a plain dataclass: swap in an algorithm that is
+        # chunk-invariant (so fusion eligibility passes) but has no
+        # lowering rule, leaving the has-lowering check as the blocker.
+        graph.nodes[0].algorithm = _NoLoweringRule()
+        reason = compile_eligibility(graph)
+        assert reason is not None
+        assert "has no lowering rule" in reason
+        assert "sustainedThreshold" in reason
+
+    def test_compile_graph_refuses_ineligible_graph(self):
+        with pytest.raises(HubExecutionError, match="not compile-eligible"):
+            compile_graph(_graph(EMA_PROGRAM))
+
+    def test_execute_requires_every_channel(self):
+        plan = compile_graph(_graph(PROGRAMS["significant_motion"]))
+        data = _signal(duration_s=2.0)
+        del data["ACC_Y"]
+        with pytest.raises(HubExecutionError, match="ACC_Y"):
+            plan.execute(data)
+
+
+class TestCompiledEquivalence:
+    @pytest.mark.parametrize("name", sorted(PROGRAMS))
+    @pytest.mark.parametrize("chunk_seconds", [0.37, 1.0, 2.3, 4.0])
+    def test_compiled_equals_rounds(self, name, chunk_seconds):
+        graph = _graph(PROGRAMS[name])
+        data = _signal()
+        by_rounds = _events(graph, split_into_rounds(data, chunk_seconds))
+        compiled = compile_graph(graph).execute(data)
+        assert compiled == by_rounds  # exact times AND values
+        assert compiled, f"{name}: test signal produced no wake events"
+
+    @pytest.mark.parametrize("name", sorted(PROGRAMS))
+    def test_compiled_equals_fused(self, name):
+        graph = _graph(PROGRAMS[name])
+        data = _signal()
+        compiled = compile_graph(graph).execute(data)
+        graph.reset()
+        fused = HubRuntime(graph).run_fused(data)
+        assert compiled == fused
+
+    @pytest.mark.parametrize("name", sorted(PROGRAMS))
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_compiled_equals_randomized_chunking(self, name, seed):
+        graph = _graph(PROGRAMS[name])
+        data = _signal()
+        rng = np.random.default_rng(seed)
+        irregular = _events(graph, _random_rounds(data, rng))
+        compiled = compile_graph(graph).execute(data)
+        assert compiled == irregular
+
+    def test_plan_is_reusable_across_traces(self):
+        # Lowering rules are pure, so one cached plan must serve many
+        # traces with no state bleeding between executions.
+        graph = _graph(PROGRAMS["window_stat"])
+        plan = compile_graph(graph)
+        for seed in (0, 5, 6):
+            data = _signal(duration_s=12.0, seed=seed)
+            by_rounds = _events(graph, split_into_rounds(data, 1.0))
+            assert plan.execute(data) == by_rounds
+            assert plan.execute(data) == by_rounds  # and is deterministic
+
+
+#: Program templates with randomized parameters.  Each draws its
+#: parameters from the rng, returning valid IL text; the draw ranges
+#: keep every stage productive on the 30 s test signal.
+def _template_moving_avg(rng):
+    size = int(rng.integers(2, 24))
+    threshold = float(rng.uniform(0.1, 0.6))
+    return (
+        f"ACC_X -> movingAvg(id=1, params={{{size}}});"
+        f"1 -> minThreshold(id=2, params={{{threshold:.3f}}});"
+        "2 -> OUT;"
+    )
+
+
+def _template_window_stat(rng):
+    size = int(rng.integers(8, 48))
+    hop = int(rng.integers(1, size + 1))
+    shape = rng.choice(["rectangular", "hamming"])
+    stat = rng.choice(["mean", "std", "rms", "max", "min"])
+    threshold = float(rng.uniform(-0.2, 0.5))
+    return (
+        f"ACC_X -> window(id=1, params={{{size}, {hop}, {shape}}});"
+        f"1 -> stat(id=2, params={{{stat}}});"
+        f"2 -> maxThreshold(id=3, params={{{threshold:.3f}}});"
+        "3 -> OUT;"
+    )
+
+
+def _template_sustained(rng):
+    level = float(rng.uniform(0.0, 0.4))
+    count = int(rng.integers(2, 12))
+    return (
+        f"ACC_X -> sustainedThreshold(id=1, params={{{level:.3f}, {count}}});"
+        "1 -> OUT;"
+    )
+
+
+def _template_extrema(rng):
+    mode = rng.choice(["max", "min"])
+    low = float(rng.uniform(0.1, 0.5))
+    separation = int(rng.integers(1, 20))
+    return (
+        f"ACC_X -> localExtrema(id=1, params={{{mode}, {low:.3f}, 10, {separation}}});"
+        "1 -> OUT;"
+    )
+
+
+def _template_aggregate(rng):
+    low = float(rng.uniform(-0.6, 0.0))
+    high = float(rng.uniform(0.1, 0.7))
+    return (
+        "ACC_X,ACC_Y,ACC_Z -> meanOf(id=1);"
+        f"1 -> bandIndicator(id=2, params={{{low:.3f}, {high:.3f}}});"
+        "2 -> OUT;"
+    )
+
+
+TEMPLATES = {
+    "moving_avg": _template_moving_avg,
+    "window_stat": _template_window_stat,
+    "sustained": _template_sustained,
+    "extrema": _template_extrema,
+    "aggregate": _template_aggregate,
+}
+
+
+class TestRandomizedParameters:
+    @pytest.mark.parametrize("template", sorted(TEMPLATES))
+    @pytest.mark.parametrize("seed", [10, 11, 12])
+    def test_compiled_equals_rounds_for_random_parameters(self, template, seed):
+        rng = np.random.default_rng(seed)
+        graph = _graph(TEMPLATES[template](rng))
+        data = _signal(seed=seed)
+        chunk_seconds = float(rng.uniform(0.2, 5.0))
+        by_rounds = _events(graph, split_into_rounds(data, chunk_seconds))
+        compiled = compile_graph(graph).execute(data)
+        assert compiled == by_rounds
+        graph.reset()
+        assert HubRuntime(graph).run_fused(data) == by_rounds

@@ -1,0 +1,133 @@
+"""Unit tests for the shared vectorized stream kernels.
+
+Each kernel is pinned against the obvious sequential reference loop —
+the semantics the hand-rolled per-algorithm implementations used to
+have — including the explicit carried-state arguments that make the
+kernels pure (and therefore usable from both the interpreter and the
+hub compiler's whole-trace lowering rules).
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.kernels import (
+    consecutive_run_lengths,
+    debounce_indices,
+    window_means,
+)
+
+
+def _debounce_reference(indices, min_separation, last_kept=None):
+    kept = []
+    last = None if last_kept is None else int(last_kept)
+    for idx in indices:
+        if last is None or idx - last >= min_separation:
+            kept.append(int(idx))
+            last = int(idx)
+    return kept
+
+
+def _run_lengths_reference(qualifying, initial=0):
+    out = []
+    run = int(initial)
+    for q in qualifying:
+        run = run + 1 if q else 0
+        out.append(run)
+    return out
+
+
+class TestDebounceIndices:
+    def test_empty_input(self):
+        out = debounce_indices(np.array([], dtype=np.int64), 5)
+        assert out.dtype == np.int64
+        assert len(out) == 0
+
+    def test_first_candidate_always_kept_without_history(self):
+        assert debounce_indices(np.array([0]), 100).tolist() == [0]
+
+    def test_greedy_not_optimal(self):
+        # Greedy keeps 0 then must skip 4 and 7 (separation 8): the
+        # greedy answer, even though {0, 8} and {4, 12} tie in size.
+        out = debounce_indices(np.array([0, 4, 7, 8, 12]), 8)
+        assert out.tolist() == [0, 8]
+
+    def test_last_kept_carry_suppresses_early_candidates(self):
+        # With history at index 95, candidates before 105 are too close.
+        out = debounce_indices(np.array([100, 104, 106]), 10, last_kept=95)
+        assert out.tolist() == [106]
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    @pytest.mark.parametrize("min_separation", [1, 3, 17])
+    def test_matches_sequential_reference(self, seed, min_separation):
+        rng = np.random.default_rng(seed)
+        indices = np.unique(rng.integers(0, 500, size=120))
+        last = None if seed % 2 else int(rng.integers(-20, 20))
+        out = debounce_indices(indices, min_separation, last_kept=last)
+        assert out.tolist() == _debounce_reference(indices, min_separation, last)
+
+
+class TestConsecutiveRunLengths:
+    def test_empty_input(self):
+        out = consecutive_run_lengths(np.array([], dtype=bool))
+        assert out.dtype == np.int64
+        assert len(out) == 0
+
+    def test_simple_runs(self):
+        mask = np.array([True, True, False, True, True, True, False])
+        assert consecutive_run_lengths(mask).tolist() == [1, 2, 0, 1, 2, 3, 0]
+
+    def test_initial_carry_extends_only_the_leading_run(self):
+        mask = np.array([True, True, False, True])
+        assert consecutive_run_lengths(mask, initial=5).tolist() == [6, 7, 0, 1]
+
+    def test_initial_carry_ignored_when_array_starts_false(self):
+        mask = np.array([False, True, True])
+        assert consecutive_run_lengths(mask, initial=9).tolist() == [0, 1, 2]
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_matches_sequential_reference(self, seed):
+        rng = np.random.default_rng(seed)
+        mask = rng.random(size=400) < rng.uniform(0.2, 0.9)
+        initial = int(rng.integers(0, 10))
+        out = consecutive_run_lengths(mask, initial=initial)
+        assert out.tolist() == _run_lengths_reference(mask, initial)
+
+    def test_chunked_equals_whole_via_carry(self):
+        # The streaming contract: carrying the last run length into the
+        # next call reproduces the whole-array result exactly.
+        rng = np.random.default_rng(7)
+        mask = rng.random(size=200) < 0.7
+        whole = consecutive_run_lengths(mask)
+        first = consecutive_run_lengths(mask[:83])
+        second = consecutive_run_lengths(mask[83:], initial=int(first[-1]))
+        assert np.concatenate([first, second]).tolist() == whole.tolist()
+
+
+class TestWindowMeans:
+    def test_too_short_input_is_empty(self):
+        assert len(window_means(np.array([1.0, 2.0]), 3)) == 0
+
+    def test_size_one_is_identity(self):
+        data = np.array([3.0, -1.0, 4.0])
+        assert window_means(data, 1).tolist() == data.tolist()
+
+    def test_matches_left_to_right_reference_bitwise(self):
+        # Exact equality, not allclose: chunk-invariance of movingAvg
+        # rests on every window summing the same floats in the same
+        # (left-to-right) order regardless of chunking.
+        rng = np.random.default_rng(3)
+        data = rng.normal(size=300)
+        size = 8
+        out = window_means(data, size)
+        for i in range(len(out)):
+            acc = 0.0
+            for j in range(size):
+                acc += data[i + j]
+            assert out[i] == acc / size
+
+    @pytest.mark.parametrize("size", [1, 2, 7, 25])
+    def test_close_to_convolution(self, size):
+        rng = np.random.default_rng(4)
+        data = rng.normal(size=200)
+        expected = np.convolve(data, np.ones(size) / size, mode="valid")
+        assert np.allclose(window_means(data, size), expected)
