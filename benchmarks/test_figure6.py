@@ -14,7 +14,7 @@ from repro.eval.report import render_figure6
 
 def test_figure6(benchmark, robot_traces):
     group1 = [t for t in robot_traces if t.metadata.get("group") == 1]
-    series = run_once(benchmark, lambda: figure6_series(traces=group1))
+    series, _ = run_once(benchmark, lambda: figure6_series(traces=group1))
     save_artifact("figure6", render_figure6(series))
 
     for app, curve in series.items():

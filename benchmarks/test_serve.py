@@ -1,0 +1,139 @@
+"""Fleet serving: sustained throughput and dedup savings.
+
+Drives the deterministic Zipf-ish load generator through a
+:class:`~repro.serve.service.ConditionService` at fleet sizes 10, 100
+and 1000 simulated devices and records sustained submissions/sec plus
+dedup savings in ``results/BENCH_serve.json``.
+
+This is also the correctness gate CI's serve smoke job leans on
+(``REPRO_QUICK=1``): the run fails if the dedup hit-rate is zero at any
+fleet size, and — at fleet 10, where re-running everything directly is
+cheap — if any completed result differs from a fresh direct
+``Sidewinder``/engine run (:func:`repro.serve.loadgen.reference_result`).
+The serving layer adds routing, admission and coalescing around the
+engine; it must never change an answer.
+"""
+
+import json
+import os
+
+from benchmarks.conftest import RESULTS_DIR, run_once, save_artifact
+from repro.apps import all_applications
+from repro.eval.report import render_table
+from repro.serve import (
+    ConditionService,
+    LoadSpec,
+    TenantQuota,
+    fleet_workload,
+    reference_result,
+    run_fleet,
+)
+from repro.traces.library import audio_corpus, human_corpus, robot_corpus
+
+QUICK = os.environ.get("REPRO_QUICK") == "1"
+
+#: Simulated device counts the fleet sweep records.
+FLEETS = (10, 100, 1000)
+
+#: Trace length for the serve registry.  Shorter than the table/figure
+#: corpora: serving throughput is dominated by scheduling + dedup, and
+#: the equivalence check re-runs every unique condition directly.
+TRACE_DURATION_S = 120.0 if QUICK else 360.0
+
+#: The fleet regime is head-heavy (Zipf): most devices run the same few
+#: popular conditions, so coalescing must save at least half the engine
+#: runs at fleet >= 100.
+MIN_DEDUP_HIT_RATE_AT_SCALE = 0.5
+
+
+def _registry():
+    """The serve-bench trace registry (matches ``repro serve-bench``)."""
+    traces = (
+        robot_corpus(duration_s=TRACE_DURATION_S)[:3]
+        + audio_corpus(duration_s=TRACE_DURATION_S)
+        + human_corpus(duration_s=TRACE_DURATION_S)
+    )
+    return {trace.name: trace for trace in traces}
+
+
+def _drive(fleet, traces):
+    """One fleet's workload through a fresh service; its LoadReport."""
+    spec = LoadSpec(
+        fleet=fleet,
+        seed=0,
+        min_submissions=1,
+        max_submissions=2 if QUICK else 3,
+    )
+    submissions = fleet_workload(spec, all_applications(), list(traces.values()))
+    service = ConditionService(
+        traces, quota=TenantQuota(max_pending=8), capacity=512
+    )
+    try:
+        report = run_fleet(service, submissions)
+    finally:
+        service.shutdown()
+    return report
+
+
+def test_serve_fleet_scaling(benchmark):
+    traces = _registry()
+    reports = run_once(
+        benchmark, lambda: {fleet: _drive(fleet, traces) for fleet in FLEETS}
+    )
+
+    payload = {"quick": QUICK, "trace_duration_s": TRACE_DURATION_S,
+               "fleets": {}}
+    rows = []
+    for fleet, report in reports.items():
+        m = report.metrics
+        # Every accepted submission reached a terminal response.
+        assert report.tickets == len(report.responses)
+        assert m.cancelled == 0
+        # Dedup is never zero: even ten devices share head conditions.
+        assert m.dedup_hits > 0, (fleet, m.as_dict())
+        if fleet >= 100:
+            assert m.dedup_hit_rate > MIN_DEDUP_HIT_RATE_AT_SCALE, (
+                fleet, m.as_dict(),
+            )
+        # Engine runs are what dedup left over, nothing more.
+        assert m.engine_runs + m.dedup_hits == m.completed
+        payload["fleets"][str(fleet)] = report.as_dict()
+        rows.append((
+            str(fleet),
+            str(report.submitted),
+            str(m.completed),
+            str(m.failed),
+            str(m.engine_runs),
+            f"{m.dedup_hit_rate:.1%}",
+            f"{report.submissions_per_second:,.0f}",
+        ))
+
+    # The smallest fleet is cheap enough to re-run every unique
+    # condition directly: completions must be bit-identical.
+    small = reports[FLEETS[0]]
+    checked = 0
+    for response in small.completed:
+        submission = small.by_ticket[response.ticket.submission_id]
+        assert response.result == reference_result(submission, traces), (
+            submission,
+        )
+        checked += 1
+    assert checked == small.metrics.completed > 0
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_serve.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    save_artifact(
+        "serve_bench",
+        render_table(
+            ["fleet", "submitted", "completed", "failed",
+             "engine runs", "dedup rate", "subs/s"],
+            rows,
+            title=(
+                f"Condition service fleet sweep "
+                f"(traces {TRACE_DURATION_S:.0f} s, "
+                f"{checked} results verified against direct runs)"
+            ),
+        ),
+    )

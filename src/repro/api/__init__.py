@@ -31,7 +31,11 @@ Example (the paper's significant-motion condition)::
 from repro.api.branch import ProcessingBranch
 from repro.api.compile import compile_pipeline
 from repro.api.listener import SensorEvent, SensorEventListener
-from repro.api.manager import SidewinderSensorManager, WakeUpHandle
+from repro.api.manager import (
+    SidewinderSensorManager,
+    WakeUpHandle,
+    validate_condition,
+)
 from repro.api.pipeline import ProcessingPipeline
 from repro.api.stubs import (
     FFT,
@@ -88,4 +92,5 @@ __all__ = [
     "Window",
     "ZeroCrossingRate",
     "compile_pipeline",
+    "validate_condition",
 ]

@@ -8,17 +8,62 @@ low-power sensor hub.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.algorithms.base import available_opcodes
 from repro.api.compile import compile_pipeline
 from repro.api.listener import SensorEventListener
 from repro.api.pipeline import ProcessingPipeline
 from repro.hub.delivery import DeliverySpec
+from repro.hub.fpga import HubProcessor, select_processor
 from repro.hub.hub import PushedCondition, SensorHub
+from repro.hub.mcu import DEFAULT_CATALOG
 from repro.il.ast import ILProgram
+from repro.il.graph import DataflowGraph
+from repro.il.parser import parse_program
 from repro.il.text import format_program
+from repro.il.validate import validate_program
 from repro.sensors.channels import ACC_X, ACC_Y, ACC_Z, MIC, SensorChannel, all_channels
+
+#: What a wake-up condition can arrive as: a developer-built pipeline,
+#: an already-compiled program, or the textual IL wire form a remote
+#: tenant submits to a fleet service.
+ConditionSource = Union[ProcessingPipeline, ILProgram, str]
+
+
+def validate_condition(
+    source: ConditionSource,
+    catalog: Sequence[HubProcessor] = DEFAULT_CATALOG,
+) -> Tuple[ILProgram, DataflowGraph, HubProcessor]:
+    """Everything that can reject a condition, none of the hub residency.
+
+    The shared server-side half of the push path: compile or parse the
+    source into an IL program, validate it, and place it on the
+    cheapest feasible hub processor.  :meth:`SidewinderSensorManager.push`
+    runs submissions through here before handing them to the hub, and
+    the fleet serving layer (:mod:`repro.serve`) reuses it verbatim so
+    a condition a phone-side manager would reject is rejected by the
+    backend for exactly the same reason.
+
+    Returns:
+        ``(program, graph, processor)``.
+
+    Raises:
+        CompileError / PipelineError: the pipeline cannot be compiled.
+        ILSyntaxError: the IL wire form cannot be parsed.
+        ILValidationError / ParameterError / UnknownAlgorithmError:
+            the program is structurally or semantically invalid.
+        FeasibilityError: no catalog processor can run it in real time.
+    """
+    if isinstance(source, ProcessingPipeline):
+        program = compile_pipeline(source)
+    elif isinstance(source, str):
+        program = parse_program(source)
+    else:
+        program = source
+    graph = validate_program(program)
+    processor = select_processor(graph, catalog)
+    return program, graph, processor
 
 
 class WakeUpHandle:
@@ -102,7 +147,31 @@ class SidewinderSensorManager:
             ILValidationError / ParameterError: if validation fails.
             FeasibilityError: if no hub MCU can run the condition.
         """
-        program = compile_pipeline(pipeline)
+        program, _, _ = validate_condition(pipeline, self.hub.catalog)
+        condition = self.hub.push(program, listener, delivery=delivery)
+        handle = WakeUpHandle(self, program, condition)
+        self._handles.append(handle)
+        return handle
+
+    def push_il(
+        self,
+        il_text: str,
+        listener: Optional[SensorEventListener] = None,
+        delivery: Optional[DeliverySpec] = None,
+    ) -> WakeUpHandle:
+        """Push a condition already in textual IL form (the wire format).
+
+        What a fleet backend replays when a remote tenant submits raw
+        IL instead of a pipeline; validation and placement are shared
+        with :meth:`push` via :func:`validate_condition`.
+
+        Raises:
+            ILSyntaxError: the text cannot be parsed.
+            ILValidationError / ParameterError / UnknownAlgorithmError:
+                the program is invalid.
+            FeasibilityError: if no hub MCU can run the condition.
+        """
+        program, _, _ = validate_condition(il_text, self.hub.catalog)
         condition = self.hub.push(program, listener, delivery=delivery)
         handle = WakeUpHandle(self, program, condition)
         self._handles.append(handle)

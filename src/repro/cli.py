@@ -181,6 +181,38 @@ def _print_skipped(matrix) -> None:
         print(text, file=sys.stderr)
 
 
+def _print_execution(matrix, verbose: bool) -> None:
+    """With ``--verbose``, show how the engine ran the sweep.
+
+    Prints the serial/pool decision and — for serial runs, where one
+    context served every cell — the RunContext cache counters, making
+    dedup behaviour observable outside the serve path.
+    """
+    if not verbose:
+        return
+    info = matrix.execution
+    if info is None:
+        return
+    print(f"# engine: {info.mode} ({info.reason})", file=sys.stderr)
+    stats = info.cache_stats
+    if stats is None:
+        print(
+            "# engine cache: per-worker counters live in the pool "
+            "workers (rerun with --jobs 1 to see them)",
+            file=sys.stderr,
+        )
+        return
+    print(
+        "# engine cache hits/misses: "
+        f"compile {stats['compile_hits']}/{stats['compile_misses']} | "
+        f"plan {stats['plan_hits']}/{stats['plan_misses']} | "
+        f"hub {stats['hub_hits']}/{stats['hub_misses']} | "
+        f"trace {stats['trace_hits']}/{stats['trace_misses']} | "
+        f"detect {stats['detect_hits']}/{stats['detect_misses']}",
+        file=sys.stderr,
+    )
+
+
 def cmd_table2(args: argparse.Namespace) -> int:
     """Regenerate the paper's Table 2 over the audio corpus."""
     from repro.eval.report import render_table2
@@ -195,6 +227,7 @@ def cmd_table2(args: argparse.Namespace) -> int:
     )
     print(render_table2(table, paper=PAPER_TABLE2))
     _print_skipped(matrix)
+    _print_execution(matrix, args.verbose)
     return 0
 
 
@@ -212,6 +245,7 @@ def cmd_figure5(args: argparse.Namespace) -> int:
     )
     print(render_figure5(series))
     _print_skipped(matrix)
+    _print_execution(matrix, args.verbose)
     return 0
 
 
@@ -224,11 +258,12 @@ def cmd_figure6(args: argparse.Namespace) -> int:
         t for t in robot_corpus(duration_s=args.duration)
         if t.metadata.get("group") == 1
     ]
-    series = figure6_series(
+    series, matrix = figure6_series(
         traces=group1, jobs=args.jobs, cache=not args.no_cache,
         fuse=not args.no_fuse, compiled=not args.no_compile,
     )
     print(render_figure6(series))
+    _print_execution(matrix, args.verbose)
     return 0
 
 
@@ -246,6 +281,60 @@ def cmd_figure7(args: argparse.Namespace) -> int:
     )
     print(render_figure7(series))
     _print_skipped(matrix)
+    _print_execution(matrix, args.verbose)
+    return 0
+
+
+def _serve_traces(duration_s: float) -> Dict[str, Trace]:
+    """The serve-bench trace registry over the standard corpora."""
+    from repro.traces.library import audio_corpus, human_corpus, robot_corpus
+    traces = (
+        robot_corpus(duration_s=duration_s)[:3]
+        + audio_corpus(duration_s=duration_s)
+        + human_corpus(duration_s=duration_s)
+    )
+    return {trace.name: trace for trace in traces}
+
+
+def cmd_serve_bench(args: argparse.Namespace) -> int:
+    """Run the deterministic fleet load generator against the service."""
+    from repro.apps import all_applications
+    from repro.serve import (
+        ConditionService,
+        LoadSpec,
+        TenantQuota,
+        fleet_workload,
+        run_fleet,
+    )
+    duration = 120.0 if args.quick else args.duration
+    traces = _serve_traces(duration)
+    spec = LoadSpec(
+        fleet=args.fleet,
+        seed=args.seed,
+        min_submissions=1,
+        max_submissions=2 if args.quick else 3,
+    )
+    apps = all_applications()
+    submissions = fleet_workload(spec, apps, list(traces.values()))
+    service = ConditionService(
+        traces,
+        quota=TenantQuota(max_pending=args.max_pending),
+        capacity=args.capacity,
+        jobs=args.jobs,
+    )
+    try:
+        report = run_fleet(service, submissions, pump_every=args.pump_every)
+    finally:
+        service.shutdown()
+    print(
+        f"fleet {args.fleet} devices | workload {len(submissions)} "
+        f"submissions (seed {args.seed})"
+    )
+    print(report.metrics.describe())
+    print(
+        f"wall {report.wall_s:.2f} s | sustained "
+        f"{report.submissions_per_second:,.0f} submissions/s"
+    )
     return 0
 
 
@@ -322,6 +411,30 @@ def build_parser() -> argparse.ArgumentParser:
                        help="disable the compiled whole-trace hub path "
                             "(results are identical; this is an escape "
                             "hatch)")
+        p.add_argument("--verbose", action="store_true",
+                       help="also report the engine's serial/pool "
+                            "decision and RunContext cache counters")
+
+    p = sub.add_parser(
+        "serve-bench",
+        help="drive the fleet condition service with a seeded workload",
+    )
+    p.add_argument("--fleet", type=int, default=100,
+                   help="number of simulated devices (default 100)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="workload seed (default 0)")
+    p.add_argument("--duration", type=float, default=600.0,
+                   help="registry trace length in seconds (default 600)")
+    p.add_argument("--quick", action="store_true",
+                   help="short traces and fewer submissions per device")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="engine worker processes (default 1)")
+    p.add_argument("--capacity", type=int, default=512,
+                   help="service queue capacity (default 512)")
+    p.add_argument("--max-pending", type=int, default=8,
+                   help="per-tenant pending quota (default 8)")
+    p.add_argument("--pump-every", type=int, default=32,
+                   help="run a scheduling round every N submissions")
 
     p = sub.add_parser("merge", help="merge several apps' conditions")
     p.add_argument("--apps", required=True,
@@ -341,6 +454,7 @@ _COMMANDS = {
     "figure6": cmd_figure6,
     "figure7": cmd_figure7,
     "merge": cmd_merge,
+    "serve-bench": cmd_serve_bench,
 }
 
 

@@ -92,3 +92,16 @@ class FaultInjectionError(SimulationError):
 
 class TraceError(SidewinderError):
     """A sensor trace is malformed or incompatible with the request."""
+
+
+class ServiceError(SidewinderError):
+    """The fleet serving layer was configured inconsistently.
+
+    Raised at construction time for invalid service parameters (a
+    non-positive queue capacity, a reserve larger than the queue, a
+    negative TTL).  Per-request problems — a full queue, an exhausted
+    quota, an invalid IL submission — are never raised: they come back
+    as structured :class:`~repro.serve.submission.Rejected` /
+    :class:`~repro.serve.submission.Failed` responses so one tenant's
+    bad input cannot poison another tenant's batch.
+    """

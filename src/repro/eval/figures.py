@@ -74,11 +74,13 @@ def figure6_series(
     cache: bool = True,
     fuse: bool = True,
     compiled: bool = True,
-) -> Dict[str, Dict[float, float]]:
+) -> Tuple[Dict[str, Dict[float, float]], Matrix]:
     """Figure 6: duty-cycling recall vs sleep interval at 90 % idle.
 
     Returns:
-        ``series[app][interval]`` = mean recall over the group-1 runs.
+        ``(series, matrix)`` with ``series[app][interval]`` the mean
+        recall over the group-1 runs (the matrix matches the other
+        figure builders, so callers can inspect execution/cache info).
     """
     if traces is None:
         traces = [t for t in robot_corpus() if t.metadata.get("group") == 1]
@@ -92,7 +94,7 @@ def figure6_series(
         for app in apps:
             rows = matrix.select(config.name, app.name)
             series[app.name][interval] = sum(r.recall for r in rows) / len(rows)
-    return series
+    return series, matrix
 
 
 def figure7_series(

@@ -1,0 +1,75 @@
+"""The fleet serving layer: a multi-tenant condition service.
+
+The paper's deployment story (Section 3.1) is many applications on many
+phones pushing wake-up conditions to a shared sensor manager; its
+Section 7 anticipates concurrent pipelines merged on one hub.  This
+package models the backend side of that story at fleet scale, on top of
+the simulation engine (:mod:`repro.sim.engine`):
+
+* :class:`~repro.serve.service.ConditionService` — bounded two-lane
+  queue, per-tenant quotas, structured rejections, TTL'd result store,
+  metrics snapshot;
+* :class:`~repro.serve.scheduler.Scheduler` — validates submissions
+  through the same path as a phone-side manager push, deduplicates
+  identical work by IL content fingerprint + trace key (inference-server
+  style request coalescing), and batches the survivors trace-major onto
+  the engine's persistent pool;
+* :mod:`~repro.serve.loadgen` — a deterministic seeded fleet workload
+  generator (Zipf-ish popularity) behind ``repro serve-bench``.
+
+Results returned by the service are bit-identical to direct
+``Sidewinder``/engine runs — the serving layer adds routing, admission
+and coalescing around the engine, never arithmetic.
+"""
+
+from repro.serve.loadgen import (
+    LoadReport,
+    LoadSpec,
+    fleet_workload,
+    reference_result,
+    run_fleet,
+)
+from repro.serve.metrics import LogicalClock, MetricsSnapshot, percentile
+from repro.serve.queue import LaneQueue
+from repro.serve.quotas import AdmissionController, TenantQuota
+from repro.serve.scheduler import HUB_CATALOGS, Scheduler
+from repro.serve.service import ConditionService
+from repro.serve.store import ResultStore
+from repro.serve.submission import (
+    Cancelled,
+    Completed,
+    Failed,
+    Lane,
+    Rejected,
+    Response,
+    ServeResult,
+    Submission,
+    Ticket,
+)
+
+__all__ = [
+    "AdmissionController",
+    "Cancelled",
+    "Completed",
+    "ConditionService",
+    "Failed",
+    "HUB_CATALOGS",
+    "Lane",
+    "LaneQueue",
+    "LoadReport",
+    "LoadSpec",
+    "LogicalClock",
+    "MetricsSnapshot",
+    "Rejected",
+    "Response",
+    "ResultStore",
+    "Scheduler",
+    "ServeResult",
+    "Submission",
+    "TenantQuota",
+    "Ticket",
+    "fleet_workload",
+    "percentile",
+    "reference_result",
+    "run_fleet",
+]

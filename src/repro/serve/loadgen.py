@@ -1,0 +1,281 @@
+"""Deterministic fleet load generator for the condition service.
+
+Models the paper's deployment story at fleet scale: N simulated devices
+(tenants), each pushing a handful of wake-up conditions against the
+shared backend.  Popularity is Zipf-ish — most devices run the same few
+popular (application, trace) workloads — which is exactly the regime
+where fingerprint dedup pays: a thousand devices submitting the
+significant-motion condition over the commute trace cost one engine
+run.
+
+Everything is a pure function of the :class:`LoadSpec` seed, so a load
+run is replayable bit for bit: same submissions, same rejections, same
+dedup hits, same results.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.api.manager import validate_condition
+from repro.apps import all_applications
+from repro.apps.base import SensingApplication
+from repro.errors import ServiceError
+from repro.power.phone import NEXUS4, PhonePowerProfile
+from repro.serve.metrics import MetricsSnapshot
+from repro.serve.scheduler import HUB_CATALOGS
+from repro.serve.service import ConditionService
+from repro.serve.submission import (
+    Completed,
+    Failed,
+    Lane,
+    Rejected,
+    Response,
+    ServeResult,
+    Submission,
+)
+from repro.sim.configs.sidewinder import Sidewinder
+from repro.sim.simulator import run_wakeup_condition
+from repro.traces.base import Trace
+
+#: Broken IL texts the generator sprinkles in to exercise the
+#: per-request error path: a parse failure, a dangling node reference,
+#: and an unknown opcode — each fails with a different
+#: :mod:`repro.errors` type, never poisoning the batch it rides in.
+INVALID_IL: Tuple[str, ...] = (
+    "ACC_X -> movingAvg(id=1, params={8}",
+    "ACC_X -> movingAvg(id=1, params={8}); 7 -> OUT;",
+    "ACC_X -> frobnicate(id=1, params={}); 1 -> OUT;",
+)
+
+#: Valid raw-IL conditions (the wire form) for accelerometer traces —
+#: what a device whose app is not in the registry would push.
+VALID_ACCEL_IL: Tuple[str, ...] = (
+    "ACC_X -> movingAvg(id=1, params={8}); "
+    "1 -> maxThreshold(id=2, params={1.5}); 2 -> OUT;",
+    "ACC_Y -> expMovingAvg(id=1, params={0.2}); "
+    "1 -> minThreshold(id=2, params={-0.5}); 2 -> OUT;",
+)
+
+
+@dataclass(frozen=True)
+class LoadSpec:
+    """Shape of one deterministic fleet workload.
+
+    Attributes:
+        fleet: Number of simulated devices (tenants).
+        seed: Base RNG seed; everything derives from it.
+        min_submissions / max_submissions: Per-device submission count
+            range (inclusive).
+        zipf_s: Popularity skew over (app, trace) pairs; higher is more
+            head-heavy.  1.1 gives the classic "few workloads dominate"
+            fleet profile.
+        interactive_fraction: Probability a submission rides the
+            interactive lane.
+        il_fraction: Probability a submission carries raw IL instead of
+            a registry application name.
+        invalid_fraction: Probability a submission carries broken IL
+            (exercises the structured per-request error path).
+    """
+
+    fleet: int = 100
+    seed: int = 0
+    min_submissions: int = 1
+    max_submissions: int = 3
+    zipf_s: float = 1.1
+    interactive_fraction: float = 0.05
+    il_fraction: float = 0.05
+    invalid_fraction: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.fleet <= 0:
+            raise ServiceError(f"fleet must be positive, got {self.fleet}")
+        if not 1 <= self.min_submissions <= self.max_submissions:
+            raise ServiceError(
+                "submission range must satisfy 1 <= min <= max, got "
+                f"[{self.min_submissions}, {self.max_submissions}]"
+            )
+
+
+def zipf_weights(n: int, s: float) -> List[float]:
+    """Unnormalized Zipf weights ``1 / rank^s`` for ranks 1..n."""
+    return [1.0 / (rank ** s) for rank in range(1, n + 1)]
+
+
+def fleet_workload(
+    spec: LoadSpec,
+    apps: Sequence["SensingApplication"],
+    traces: Sequence[Trace],
+) -> List[Submission]:
+    """The submission stream of one simulated fleet, in arrival order.
+
+    Args:
+        spec: Workload shape (seeded).
+        apps: Registry applications devices may request; each is only
+            aimed at traces carrying its sensors (a device does not
+            push an audio condition without a microphone).
+        traces: Registry traces; raw-IL submissions are only aimed at
+            traces that carry accelerometer channels (matching
+            :data:`VALID_ACCEL_IL`).
+    """
+    rng = random.Random(spec.seed)
+    trace_names = [trace.name for trace in traces]
+    accel_traces = [t.name for t in traces if "ACC_X" in t.data]
+    pairs = [
+        (app.name, trace.name)
+        for app in apps
+        for trace in traces
+        if all(channel in trace.data for channel in app.channels)
+    ]
+    # One shared popularity ranking for the whole fleet: shuffle the
+    # (app, trace) pairs once, then weight by rank.
+    rng.shuffle(pairs)
+    weights = zipf_weights(len(pairs), spec.zipf_s)
+
+    submissions: List[Submission] = []
+    for device in range(spec.fleet):
+        tenant = f"device-{device:04d}"
+        count = rng.randint(spec.min_submissions, spec.max_submissions)
+        for _ in range(count):
+            lane = (
+                Lane.INTERACTIVE
+                if rng.random() < spec.interactive_fraction
+                else Lane.BULK
+            )
+            roll = rng.random()
+            if roll < spec.invalid_fraction:
+                submissions.append(
+                    Submission(
+                        tenant=tenant,
+                        trace=rng.choice(trace_names),
+                        il=rng.choice(INVALID_IL),
+                        lane=lane,
+                    )
+                )
+            elif roll < spec.invalid_fraction + spec.il_fraction and accel_traces:
+                submissions.append(
+                    Submission(
+                        tenant=tenant,
+                        trace=rng.choice(accel_traces),
+                        il=rng.choice(VALID_ACCEL_IL),
+                        lane=lane,
+                    )
+                )
+            else:
+                app, trace = rng.choices(pairs, weights=weights)[0]
+                submissions.append(
+                    Submission(tenant=tenant, trace=trace, app=app, lane=lane)
+                )
+    return submissions
+
+
+@dataclass
+class LoadReport:
+    """Outcome of driving one workload through a service.
+
+    Attributes:
+        submitted: Submissions offered to the service.
+        tickets: Submissions that were accepted.
+        rejections: Structured admission refusals, in arrival order.
+        responses: Terminal responses, in completion order.
+        by_ticket: Accepted submissions keyed by submission id — what
+            :func:`reference_result` verifies completions against.
+        wall_s: Wall-clock seconds the drive took (submission +
+            scheduling, engine included).
+        metrics: The service's final metrics snapshot.
+    """
+
+    submitted: int = 0
+    tickets: int = 0
+    rejections: List[Rejected] = field(default_factory=list)
+    responses: List[Response] = field(default_factory=list)
+    by_ticket: Dict[int, Submission] = field(default_factory=dict)
+    wall_s: float = 0.0
+    metrics: MetricsSnapshot = None  # type: ignore[assignment]
+
+    @property
+    def completed(self) -> List[Completed]:
+        """Responses that carry a result."""
+        return [r for r in self.responses if isinstance(r, Completed)]
+
+    @property
+    def failed(self) -> List[Failed]:
+        """Responses that carry a structured per-request error."""
+        return [r for r in self.responses if isinstance(r, Failed)]
+
+    @property
+    def submissions_per_second(self) -> float:
+        """Sustained submission throughput over the drive."""
+        return self.submitted / self.wall_s if self.wall_s > 0 else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        """Benchmark-artifact form."""
+        return {
+            "submitted": self.submitted,
+            "accepted": self.tickets,
+            "rejected": len(self.rejections),
+            "completed": len(self.completed),
+            "failed": len(self.failed),
+            "wall_s": self.wall_s,
+            "submissions_per_sec": self.submissions_per_second,
+            "metrics": self.metrics.as_dict() if self.metrics else None,
+        }
+
+
+def reference_result(
+    submission: Submission,
+    traces: Mapping[str, Trace],
+    profile: PhonePowerProfile = NEXUS4,
+) -> ServeResult:
+    """The direct-engine answer for one submission, computed fresh.
+
+    No shared context, no pool, no memo — exactly what a developer gets
+    running the same condition by hand.  Service completions must equal
+    this bit for bit (the serving layer adds routing, never
+    arithmetic); CI's serve smoke job fails on any mismatch.
+    """
+    trace = traces[submission.trace]
+    if submission.kind == "app":
+        apps = {app.name: app for app in all_applications()}
+        config = Sidewinder(catalog=HUB_CATALOGS[submission.hub])
+        return config.run(apps[submission.app or ""], trace, profile)
+    _, graph, _ = validate_condition(
+        submission.il or "", HUB_CATALOGS[submission.hub]
+    )
+    return tuple(
+        run_wakeup_condition(graph, trace, submission.chunk_seconds)
+    )
+
+
+def run_fleet(
+    service: ConditionService,
+    submissions: Sequence[Submission],
+    pump_every: int = 32,
+) -> LoadReport:
+    """Drive a workload through a service, interleaving pumps.
+
+    Pumping every ``pump_every`` submissions keeps the bounded queue
+    from saturating into pure rejection while still giving the
+    scheduler full batches to coalesce — the steady-state a real
+    backend runs in.  Ends with a full drain, so every accepted
+    submission reaches a terminal response.
+    """
+    report = LoadReport()
+    started = time.perf_counter()
+    for i, submission in enumerate(submissions):
+        outcome = service.submit(submission)
+        report.submitted += 1
+        if isinstance(outcome, Rejected):
+            report.rejections.append(outcome)
+        else:
+            report.tickets += 1
+            report.by_ticket[outcome.submission_id] = submission
+        if (i + 1) % max(1, pump_every) == 0:
+            report.responses.extend(service.pump())
+    report.responses.extend(service.drain())
+    report.wall_s = time.perf_counter() - started
+    report.metrics = service.metrics()
+    return report

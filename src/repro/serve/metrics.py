@@ -1,0 +1,191 @@
+"""Service observability: the logical clock and the metrics snapshot.
+
+Everything the service measures is driven by an injectable clock so
+load tests are bit-for-bit reproducible.  The default
+:class:`LogicalClock` advances only when the service tells it to (one
+tick per submission, one per scheduling round), making "latency" a
+deterministic count of scheduling rounds a submission waited — the
+quantity admission control actually manages — rather than wall time.
+Embedders that want wall-clock metrics pass ``time.monotonic``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+
+class LogicalClock:
+    """A deterministic event-count clock.
+
+    ``now()`` reads the current time; ``tick()`` advances it.  The
+    service ticks once per accepted submission and once per scheduling
+    round, so identical workloads produce identical latencies.
+    """
+
+    def __init__(self, start: float = 0.0, step: float = 1.0):
+        self._now = float(start)
+        self._step = float(step)
+
+    def __call__(self) -> float:
+        return self._now
+
+    def now(self) -> float:
+        """Current logical time."""
+        return self._now
+
+    def tick(self) -> float:
+        """Advance one step; returns the new time."""
+        self._now += self._step
+        return self._now
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation).
+
+    Args:
+        values: Sample values (need not be sorted).
+        q: Percentile in ``[0, 100]``.
+
+    Returns:
+        0.0 for an empty sample, matching "no completed requests yet".
+    """
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if q <= 0:
+        return ordered[0]
+    rank = max(1, -(-len(ordered) * q // 100))  # ceil without float drift
+    return ordered[min(int(rank), len(ordered)) - 1]
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """Point-in-time counters of one :class:`~repro.serve.service.ConditionService`.
+
+    Attributes:
+        submitted: All ``submit()`` calls, accepted or not.
+        accepted: Submissions that received a ticket.
+        rejected: Admission rejections, keyed by reason code.
+        completed: Tickets resolved with a result.
+        failed: Tickets resolved with a structured per-request error.
+        cancelled: Tickets the shutdown path never ran.
+        engine_runs: Unique work items actually executed.
+        dedup_hits: Completed submissions served by coalescing onto an
+            identical work item instead of running.
+        dedup_hit_rate: ``dedup_hits / completed`` (0 when nothing
+            completed).
+        latency_p50 / latency_p90 / latency_p99: Percentiles of
+            completion latency in clock units (scheduling rounds under
+            the default logical clock).
+        queue_depth: Submissions queued at snapshot time.
+        store_size: Unexpired responses held by the result store.
+    """
+
+    submitted: int
+    accepted: int
+    rejected: Dict[str, int]
+    completed: int
+    failed: int
+    cancelled: int
+    engine_runs: int
+    dedup_hits: int
+    dedup_hit_rate: float
+    latency_p50: float
+    latency_p90: float
+    latency_p99: float
+    queue_depth: int
+    store_size: int
+
+    @property
+    def rejected_total(self) -> int:
+        """All rejections across reasons."""
+        return sum(self.rejected.values())
+
+    def as_dict(self) -> Dict[str, object]:
+        """Snapshot as a plain dict (for logs and benchmark artifacts)."""
+        return {
+            "submitted": self.submitted,
+            "accepted": self.accepted,
+            "rejected": dict(self.rejected),
+            "rejected_total": self.rejected_total,
+            "completed": self.completed,
+            "failed": self.failed,
+            "cancelled": self.cancelled,
+            "engine_runs": self.engine_runs,
+            "dedup_hits": self.dedup_hits,
+            "dedup_hit_rate": self.dedup_hit_rate,
+            "latency_p50": self.latency_p50,
+            "latency_p90": self.latency_p90,
+            "latency_p99": self.latency_p99,
+            "queue_depth": self.queue_depth,
+            "store_size": self.store_size,
+        }
+
+    def describe(self) -> str:
+        """Multi-line human-readable report."""
+        rejected = (
+            ", ".join(f"{k}={v}" for k, v in sorted(self.rejected.items()))
+            or "none"
+        )
+        return "\n".join(
+            [
+                f"submitted {self.submitted} | accepted {self.accepted} | "
+                f"rejected {self.rejected_total} ({rejected})",
+                f"completed {self.completed} | failed {self.failed} | "
+                f"cancelled {self.cancelled}",
+                f"engine runs {self.engine_runs} | dedup hits "
+                f"{self.dedup_hits} | dedup hit-rate {self.dedup_hit_rate:.1%}",
+                f"latency p50/p90/p99 {self.latency_p50:g}/"
+                f"{self.latency_p90:g}/{self.latency_p99:g} rounds",
+                f"queue depth {self.queue_depth} | stored results "
+                f"{self.store_size}",
+            ]
+        )
+
+
+@dataclass
+class MetricsRecorder:
+    """Mutable counters the service updates as requests flow through."""
+
+    submitted: int = 0
+    accepted: int = 0
+    rejected: Dict[str, int] = field(default_factory=dict)
+    completed: int = 0
+    failed: int = 0
+    cancelled: int = 0
+    engine_runs: int = 0
+    dedup_hits: int = 0
+    latencies: List[float] = field(default_factory=list)
+
+    def on_rejected(self, reason: str) -> None:
+        """Count one admission rejection."""
+        self.rejected[reason] = self.rejected.get(reason, 0) + 1
+
+    def on_completed(self, latency: float, dedup: bool) -> None:
+        """Count one completion (and its coalescing outcome)."""
+        self.completed += 1
+        if dedup:
+            self.dedup_hits += 1
+        self.latencies.append(latency)
+
+    def snapshot(self, queue_depth: int, store_size: int) -> MetricsSnapshot:
+        """Freeze the counters into a :class:`MetricsSnapshot`."""
+        return MetricsSnapshot(
+            submitted=self.submitted,
+            accepted=self.accepted,
+            rejected=dict(self.rejected),
+            completed=self.completed,
+            failed=self.failed,
+            cancelled=self.cancelled,
+            engine_runs=self.engine_runs,
+            dedup_hits=self.dedup_hits,
+            dedup_hit_rate=(
+                self.dedup_hits / self.completed if self.completed else 0.0
+            ),
+            latency_p50=percentile(self.latencies, 50),
+            latency_p90=percentile(self.latencies, 90),
+            latency_p99=percentile(self.latencies, 99),
+            queue_depth=queue_depth,
+            store_size=store_size,
+        )

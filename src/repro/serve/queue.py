@@ -1,0 +1,92 @@
+"""The service's bounded two-lane submission queue.
+
+Backpressure is structural, not exceptional: :meth:`LaneQueue.offer`
+returns ``False`` when a submission cannot be queued, and the service
+turns that into a structured ``Rejected(reason="queue_full" |
+"bulk_backpressure")`` response.
+
+The interactive lane gets two guarantees a single FIFO cannot give:
+
+* **reserved capacity** — the last ``interactive_reserve`` slots of the
+  queue are never granted to bulk submissions, so a bulk flood leaves
+  room for small interactive requests;
+* **strict priority** — :meth:`take` drains the interactive lane first
+  (FIFO within each lane), so interactive work rides the next batch.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Generic, List, TypeVar
+
+from repro.errors import ServiceError
+from repro.serve.submission import Lane
+
+T = TypeVar("T")
+
+
+class LaneQueue(Generic[T]):
+    """Bounded FIFO pair with interactive priority and reserved slots.
+
+    Args:
+        capacity: Total queued submissions allowed across both lanes.
+        interactive_reserve: Slots (out of ``capacity``) only the
+            interactive lane may claim.  Bulk offers are refused once
+            queue depth reaches ``capacity - interactive_reserve``.
+
+    Raises:
+        ServiceError: on a non-positive capacity or a reserve that
+            leaves bulk no room at all.
+    """
+
+    def __init__(self, capacity: int, interactive_reserve: int = 0):
+        if capacity <= 0:
+            raise ServiceError(f"queue capacity must be positive, got {capacity}")
+        if not 0 <= interactive_reserve < capacity:
+            raise ServiceError(
+                f"interactive reserve must be in [0, capacity), got "
+                f"{interactive_reserve} with capacity {capacity}"
+            )
+        self.capacity = capacity
+        self.interactive_reserve = interactive_reserve
+        self._lanes: dict[Lane, Deque[T]] = {
+            Lane.INTERACTIVE: deque(),
+            Lane.BULK: deque(),
+        }
+
+    def __len__(self) -> int:
+        return sum(len(q) for q in self._lanes.values())
+
+    def depth(self, lane: Lane) -> int:
+        """Queued submissions in one lane."""
+        return len(self._lanes[lane])
+
+    def offer(self, item: T, lane: Lane) -> bool:
+        """Queue ``item``; False when its lane has no capacity left.
+
+        Bulk offers respect the interactive reserve; interactive offers
+        may use every slot.
+        """
+        depth = len(self)
+        limit = (
+            self.capacity
+            if lane is Lane.INTERACTIVE
+            else self.capacity - self.interactive_reserve
+        )
+        if depth >= limit:
+            return False
+        self._lanes[lane].append(item)
+        return True
+
+    def take(self, limit: int) -> List[T]:
+        """Dequeue up to ``limit`` items, interactive lane first."""
+        taken: List[T] = []
+        for lane in (Lane.INTERACTIVE, Lane.BULK):
+            queue = self._lanes[lane]
+            while queue and len(taken) < limit:
+                taken.append(queue.popleft())
+        return taken
+
+    def drain(self) -> List[T]:
+        """Dequeue everything, interactive lane first."""
+        return self.take(len(self))

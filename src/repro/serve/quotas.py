@@ -1,0 +1,93 @@
+"""Per-tenant admission control for the fleet service.
+
+Two independent limits, both returning structured reason codes instead
+of raising:
+
+* **pending quota** — how many of a tenant's submissions may sit in the
+  queue at once.  Protects the shared queue from one chatty device.
+* **budget** — an optional lifetime submission cap per tenant (the
+  hook the ROADMAP's per-tenant billing follow-on will price from).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import ServiceError
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Admission limits applied uniformly to every tenant.
+
+    Attributes:
+        max_pending: Queued (accepted but not yet scheduled)
+            submissions one tenant may hold at once.
+        max_submissions: Optional lifetime cap on accepted submissions
+            per tenant; ``None`` means unmetered.
+    """
+
+    max_pending: int = 8
+    max_submissions: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_pending <= 0:
+            raise ServiceError(
+                f"max_pending must be positive, got {self.max_pending}"
+            )
+        if self.max_submissions is not None and self.max_submissions <= 0:
+            raise ServiceError(
+                f"max_submissions must be positive, got {self.max_submissions}"
+            )
+
+
+class AdmissionController:
+    """Tracks per-tenant pending counts and lifetime budgets.
+
+    The service asks :meth:`admit` before queueing and reports
+    lifecycle transitions back through :meth:`on_accepted` /
+    :meth:`on_scheduled`, keeping the controller the single source of
+    truth for quota state.
+    """
+
+    def __init__(self, quota: TenantQuota):
+        self.quota = quota
+        self._pending: Counter = Counter()
+        self._accepted: Counter = Counter()
+
+    def admit(self, tenant: str) -> Optional[str]:
+        """``None`` when the tenant may queue one more submission,
+        otherwise the rejection reason code."""
+        if (
+            self.quota.max_submissions is not None
+            and self._accepted[tenant] >= self.quota.max_submissions
+        ):
+            return "tenant_budget"
+        if self._pending[tenant] >= self.quota.max_pending:
+            return "tenant_quota"
+        return None
+
+    def on_accepted(self, tenant: str) -> None:
+        """A submission entered the queue."""
+        self._pending[tenant] += 1
+        self._accepted[tenant] += 1
+
+    def on_scheduled(self, tenant: str) -> None:
+        """A queued submission left the queue for the scheduler."""
+        count = self._pending[tenant]
+        if count <= 1:
+            # Counter-hygiene: drop zeroed tenants so pending() stays
+            # an honest view of who is actually waiting.
+            self._pending.pop(tenant, None)
+        else:
+            self._pending[tenant] = count - 1
+
+    def pending(self) -> Dict[str, int]:
+        """Currently queued submissions per tenant (non-zero only)."""
+        return dict(self._pending)
+
+    def accepted(self) -> Dict[str, int]:
+        """Lifetime accepted submissions per tenant."""
+        return dict(self._accepted)

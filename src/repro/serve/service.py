@@ -1,0 +1,273 @@
+"""The multi-tenant condition service.
+
+A :class:`ConditionService` models one Sidewinder backend shard: many
+device-resident sensor managers push wake-up conditions at it, and it
+schedules them onto the single-machine simulation engine (PRs 2–4)
+through a bounded queue, per-tenant admission control, and the
+fingerprint-deduplicating scheduler.
+
+The service is deliberately synchronous and single-threaded: `submit`
+enqueues, `pump` runs one scheduling round, `drain` runs rounds until
+the queue is empty.  That keeps every run bit-for-bit deterministic
+(the async transport is a ROADMAP follow-on); parallelism lives below,
+in the engine's persistent process pool (``jobs > 1``).
+
+Everything that can go wrong for one tenant is a structured value —
+:class:`~repro.serve.submission.Rejected` at admission,
+:class:`~repro.serve.submission.Failed` per request after acceptance —
+so no tenant's input can poison another tenant's batch, and quota
+rejections interleave freely with accepted work.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Mapping, Optional, Union
+
+from repro.power.phone import NEXUS4, PhonePowerProfile
+from repro.serve.metrics import LogicalClock, MetricsRecorder, MetricsSnapshot
+from repro.serve.queue import LaneQueue
+from repro.serve.quotas import AdmissionController, TenantQuota
+from repro.serve.scheduler import Scheduler
+from repro.serve.store import ResultStore
+from repro.serve.submission import (
+    Cancelled,
+    Completed,
+    Lane,
+    Rejected,
+    Response,
+    Submission,
+    Ticket,
+)
+from repro.sim.engine import RunContext, shutdown_pool
+from repro.traces.base import Trace
+
+#: Default total queue capacity.
+DEFAULT_CAPACITY = 256
+
+#: Default queue slots reserved for the interactive lane.
+DEFAULT_INTERACTIVE_RESERVE = 32
+
+#: Default submissions consumed per scheduling round.
+DEFAULT_BATCH_SIZE = 64
+
+#: Default result TTL in service-clock units (scheduling rounds under
+#: the logical clock).
+DEFAULT_RESULT_TTL = 512.0
+
+
+class ConditionService:
+    """A fleet-facing condition service over the simulation engine.
+
+    Args:
+        traces: Trace registry — the sensor recordings tenants may name.
+        quota: Per-tenant admission limits.
+        capacity: Bounded queue size across both lanes.
+        interactive_reserve: Queue slots only interactive submissions
+            may claim.
+        batch_size: Submissions consumed per scheduling round.
+        jobs: Engine worker processes (``N > 1`` uses the persistent
+            pool; it is shut down — idempotently — by :meth:`shutdown`).
+        result_ttl: Clock units a completed response stays fetchable.
+        clock: Injectable time source; defaults to a deterministic
+            :class:`~repro.serve.metrics.LogicalClock`.
+        profile: Phone power profile for every run.
+        context: Optional externally owned engine context (share one
+            across services to share its caches).
+
+    Raises:
+        ServiceError: on inconsistent construction parameters.
+    """
+
+    def __init__(
+        self,
+        traces: Mapping[str, Trace],
+        quota: Optional[TenantQuota] = None,
+        capacity: int = DEFAULT_CAPACITY,
+        interactive_reserve: int = DEFAULT_INTERACTIVE_RESERVE,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        jobs: int = 1,
+        result_ttl: float = DEFAULT_RESULT_TTL,
+        clock: Optional[Callable[[], float]] = None,
+        profile: PhonePowerProfile = NEXUS4,
+        context: Optional[RunContext] = None,
+    ):
+        self._clock = clock if clock is not None else LogicalClock()
+        self._queue: LaneQueue = LaneQueue(capacity, interactive_reserve)
+        self._admission = AdmissionController(quota or TenantQuota())
+        self._context = context if context is not None else RunContext()
+        self._scheduler = Scheduler(
+            traces, context=self._context, jobs=jobs, profile=profile
+        )
+        self._store = ResultStore(result_ttl)
+        self._metrics = MetricsRecorder()
+        self._jobs = jobs
+        self._batch_size = max(1, int(batch_size))
+        self._next_id = 1
+        self._closed = False
+
+    # -- clock plumbing -------------------------------------------------
+
+    def _now(self) -> float:
+        return self._clock()
+
+    def _tick(self) -> None:
+        tick = getattr(self._clock, "tick", None)
+        if callable(tick):
+            tick()
+
+    # -- the tenant-facing API ------------------------------------------
+
+    def submit(self, submission: Submission) -> Union[Ticket, Rejected]:
+        """Admit one submission: a :class:`Ticket`, or why not.
+
+        Admission checks run in order: service liveness, structural
+        validity, registry membership (app/trace/hub names), tenant
+        quota and budget, then queue capacity (with the interactive
+        reserve).  All refusals are values — nothing here raises for a
+        bad request.
+        """
+        self._metrics.submitted += 1
+        tenant = submission.tenant
+        if self._closed:
+            return self._reject(tenant, "shutdown", "service is shut down")
+        if (submission.app is None) == (submission.il is None):
+            return self._reject(
+                tenant, "malformed",
+                "exactly one of app / il must be set",
+            )
+        if submission.chunk_seconds <= 0:
+            return self._reject(
+                tenant, "malformed",
+                f"chunk_seconds must be positive, got {submission.chunk_seconds}",
+            )
+        if submission.hub not in self._scheduler.hub_names:
+            return self._reject(
+                tenant, "unknown_hub",
+                f"hub {submission.hub!r} not in {self._scheduler.hub_names}",
+            )
+        if submission.trace not in self._scheduler.trace_names:
+            return self._reject(
+                tenant, "unknown_trace",
+                f"trace {submission.trace!r} is not in this service's registry",
+            )
+        if submission.app is not None and (
+            submission.app not in self._scheduler.app_names
+        ):
+            return self._reject(
+                tenant, "unknown_app",
+                f"application {submission.app!r} is not registered",
+            )
+        quota_reason = self._admission.admit(tenant)
+        if quota_reason is not None:
+            return self._reject(
+                tenant, quota_reason,
+                f"tenant {tenant!r} exceeded its {quota_reason.split('_')[1]}",
+            )
+        self._tick()
+        ticket = Ticket(self._next_id, tenant, submitted_at=self._now())
+        if not self._queue.offer((ticket, submission), submission.lane):
+            reason = (
+                "bulk_backpressure"
+                if submission.lane is Lane.BULK
+                and len(self._queue) < self._queue.capacity
+                else "queue_full"
+            )
+            return self._reject(
+                tenant, reason,
+                f"queue depth {len(self._queue)}/{self._queue.capacity}",
+            )
+        self._next_id += 1
+        self._metrics.accepted += 1
+        self._admission.on_accepted(tenant)
+        return ticket
+
+    def _reject(self, tenant: str, reason: str, detail: str) -> Rejected:
+        self._metrics.on_rejected(reason)
+        return Rejected(tenant, reason, detail)
+
+    def pump(self) -> List[Response]:
+        """Run one scheduling round over up to ``batch_size`` submissions.
+
+        Returns the round's terminal responses (also fetchable via
+        :meth:`result` until their TTL lapses).  A no-op on an empty
+        queue.
+        """
+        self._store.evict_expired(self._now())
+        entries = self._queue.take(self._batch_size)
+        if not entries:
+            return []
+        for ticket, _ in entries:
+            self._admission.on_scheduled(ticket.tenant)
+        self._tick()
+        responses, engine_runs = self._scheduler.run_batch(
+            entries, now=self._now()
+        )
+        self._metrics.engine_runs += engine_runs
+        now = self._now()
+        for response in responses:
+            if isinstance(response, Completed):
+                self._metrics.on_completed(response.latency, response.dedup)
+            else:
+                self._metrics.failed += 1
+            self._store.put(response.ticket.submission_id, response, now)
+        return responses
+
+    def drain(self) -> List[Response]:
+        """Pump until the queue is empty; all responses, in round order."""
+        responses: List[Response] = []
+        while len(self._queue):
+            responses.extend(self.pump())
+        return responses
+
+    def result(self, submission_id: int) -> Optional[Response]:
+        """A ticket's terminal response, or ``None`` if pending/expired."""
+        return self._store.get(submission_id, self._now())
+
+    def metrics(self) -> MetricsSnapshot:
+        """Current counters, dedup hit-rate and latency percentiles."""
+        return self._metrics.snapshot(
+            queue_depth=len(self._queue), store_size=len(self._store)
+        )
+
+    @property
+    def queue_depth(self) -> int:
+        """Submissions currently queued."""
+        return len(self._queue)
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`shutdown` has run."""
+        return self._closed
+
+    # -- lifecycle ------------------------------------------------------
+
+    def shutdown(self, drain: bool = True) -> List[Response]:
+        """Stop the service; idempotent (a second call is a no-op).
+
+        Args:
+            drain: When True (default) every queued submission runs to
+                a terminal response before the service closes.  When
+                False, queued submissions become structured
+                :class:`Cancelled` responses without running.
+
+        The engine's persistent process pool is torn down through
+        :func:`repro.sim.engine.shutdown_pool` (itself idempotent), so
+        no worker futures outlive the service.
+        """
+        if self._closed:
+            return []
+        responses: List[Response] = []
+        if drain:
+            responses = self.drain()
+        else:
+            now = self._now()
+            for ticket, _ in self._queue.drain():
+                self._admission.on_scheduled(ticket.tenant)
+                cancelled = Cancelled(ticket)
+                self._metrics.cancelled += 1
+                self._store.put(ticket.submission_id, cancelled, now)
+                responses.append(cancelled)
+        self._closed = True
+        if self._jobs > 1:
+            shutdown_pool()
+        return responses

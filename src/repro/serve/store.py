@@ -1,0 +1,64 @@
+"""TTL'd result store: completed responses awaiting pickup.
+
+A fleet backend cannot hold every historical result for every tenant;
+responses live for a bounded time after completion and are then
+evicted.  Eviction is driven by the service clock (logical by default),
+so tests can observe and control expiry deterministically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ServiceError
+from repro.serve.submission import Response
+
+
+class ResultStore:
+    """Responses keyed by submission id, evicted ``ttl`` after storing.
+
+    Args:
+        ttl: Clock units a response stays fetchable after completion.
+
+    Raises:
+        ServiceError: on a non-positive TTL.
+    """
+
+    def __init__(self, ttl: float):
+        if ttl <= 0:
+            raise ServiceError(f"result TTL must be positive, got {ttl}")
+        self.ttl = float(ttl)
+        # Insertion-ordered by construction: puts happen at
+        # monotonically non-decreasing times, so eviction scans stop at
+        # the first unexpired entry.
+        self._entries: Dict[int, Tuple[float, Response]] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def put(self, submission_id: int, response: Response, now: float) -> None:
+        """Store one terminal response."""
+        self._entries[submission_id] = (now + self.ttl, response)
+
+    def get(self, submission_id: int, now: float) -> Optional[Response]:
+        """The response, or ``None`` once expired / never stored."""
+        entry = self._entries.get(submission_id)
+        if entry is None:
+            return None
+        expiry, response = entry
+        if now >= expiry:
+            del self._entries[submission_id]
+            return None
+        return response
+
+    def evict_expired(self, now: float) -> int:
+        """Drop every expired response; returns how many were dropped."""
+        expired: List[int] = []
+        for submission_id, (expiry, _) in self._entries.items():
+            if now >= expiry:
+                expired.append(submission_id)
+            else:
+                break
+        for submission_id in expired:
+            del self._entries[submission_id]
+        return len(expired)

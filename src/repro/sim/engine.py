@@ -496,6 +496,45 @@ def plan_matrix(
     return plan
 
 
+def plan_from_cells(
+    triples: Sequence[
+        Tuple["SensingConfiguration", "SensingApplication", Trace]
+    ],
+) -> RunPlan:
+    """An explicit plan from pre-selected (config, app, trace) triples.
+
+    The bridge the serving layer uses: a scheduler that has already
+    deduplicated its submissions hands the surviving work here instead
+    of a full cross-product.  Triples are reordered trace-major (stable
+    by first appearance, preserving relative order within a trace) so
+    :func:`execute_plan` batches them the way hub-run caching and the
+    persistent pool benefit from most.  Cell indices refer to positions
+    in the *input* sequence, so results from :func:`execute_plan` come
+    back in the caller's submission order.
+
+    (app, trace) pairs whose trace lacks the app's sensors are recorded
+    on :attr:`RunPlan.skipped` exactly as :func:`plan_matrix` does —
+    callers that pre-validated channels can treat a skip as a bug.
+    """
+    plan = RunPlan()
+    order: List[Trace] = []
+    by_trace: Dict[int, List[RunCell]] = {}
+    for index, (config, app, trace) in enumerate(triples):
+        missing = tuple(
+            sorted(c for c in app.channels if c not in trace.data)
+        )
+        if missing:
+            plan.skipped.append(SkippedCell(app.name, trace.name, missing))
+            continue
+        if id(trace) not in by_trace:
+            order.append(trace)
+            by_trace[id(trace)] = []
+        by_trace[id(trace)].append(RunCell(index, config, app, trace))
+    for trace in order:
+        plan.cells.extend(by_trace[id(trace)])
+    return plan
+
+
 def _group_cells_by_trace(cells: Sequence[RunCell]) -> List[List[RunCell]]:
     """Consecutive cells sharing a trace, in plan order.
 
@@ -529,6 +568,11 @@ class ExecutionInfo:
             call served this plan (worker caches already populated).
         reason: Human-readable explanation of the serial-vs-pool
             decision — the heuristic made observable.
+        cache_stats: The executing context's cache counters
+            (:meth:`CacheStats.as_dict`) snapshotted after the plan ran
+            — only for serial runs, where one context served every
+            cell.  ``None`` for pool runs (each worker owns private
+            counters that outlive the call).
     """
 
     requested_jobs: int
@@ -537,6 +581,7 @@ class ExecutionInfo:
     batches: int
     pool_reused: bool
     reason: str
+    cache_stats: Optional[Dict[str, int]] = None
 
 
 #: Plans smaller than this are run serially even when ``jobs > 1``
@@ -734,10 +779,11 @@ def execute_plan_with_info(
             if context is not None
             else RunContext(cache=cache, fuse=fuse, compiled=compiled)
         )
-        results = [
-            cell.config.run(cell.app, cell.trace, profile, context=ctx)
+        indexed = [
+            (cell.index, cell.config.run(cell.app, cell.trace, profile, context=ctx))
             for cell in plan.cells
         ]
+        indexed.sort(key=lambda pair: pair[0])
         info = ExecutionInfo(
             requested_jobs=jobs,
             mode="serial",
@@ -745,8 +791,9 @@ def execute_plan_with_info(
             batches=0,
             pool_reused=False,
             reason="jobs<=1: serial execution requested",
+            cache_stats=ctx.stats.as_dict(),
         )
-        return results, info
+        return indexed_results(indexed), info
 
     groups = _group_cells_by_trace(plan.cells)
     workers = max(1, min(jobs, len(groups)))
@@ -757,10 +804,11 @@ def execute_plan_with_info(
             if context is not None
             else RunContext(cache=cache, fuse=fuse, compiled=compiled)
         )
-        results = [
-            cell.config.run(cell.app, cell.trace, profile, context=ctx)
+        indexed = [
+            (cell.index, cell.config.run(cell.app, cell.trace, profile, context=ctx))
             for cell in plan.cells
         ]
+        indexed.sort(key=lambda pair: pair[0])
         info = ExecutionInfo(
             requested_jobs=jobs,
             mode="serial",
@@ -771,8 +819,9 @@ def execute_plan_with_info(
                 f"plan of {n} cells is below the pool threshold "
                 f"({MIN_POOL_CELLS}) and no warm pool exists"
             ),
+            cache_stats=ctx.stats.as_dict(),
         )
-        return results, info
+        return indexed_results(indexed), info
 
     traces: List[Trace] = []
     for cell in plan.cells:

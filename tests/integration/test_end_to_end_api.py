@@ -93,6 +93,47 @@ def test_cancel_removes_condition(manager):
     assert listener.events == []
 
 
+def test_push_il_matches_pipeline_push(manager):
+    # The wire form round-trips through the same validation/placement
+    # path as a pipeline push and fires identically.
+    handle = manager.push(significant_motion(manager))
+    il_listener = RecordingListener()
+    il_handle = manager.push_il(handle.intermediate_code, il_listener)
+    assert il_handle.mcu_name == handle.mcu_name
+    assert il_handle.intermediate_code == handle.intermediate_code
+    shake = np.full(200, 25.0)
+    _feed(manager, shake, shake, shake)
+    assert il_listener.events
+
+
+def test_push_il_rejects_bad_text(manager):
+    from repro.errors import ILSyntaxError, ILValidationError
+
+    with pytest.raises(ILSyntaxError):
+        manager.push_il("ACC_X -> movingAvg(id=1, params={8}")
+    with pytest.raises(ILValidationError):
+        manager.push_il("ACC_X -> movingAvg(id=1, params={8}); 7 -> OUT;")
+    # A failed push leaves nothing resident.
+    assert manager.handles == ()
+
+
+def test_validate_condition_accepts_all_source_forms(manager):
+    from repro.api.manager import validate_condition
+
+    pipeline = significant_motion(manager)
+    from_pipeline = validate_condition(pipeline)
+    program, graph, processor = from_pipeline
+    from_text = validate_condition(
+        manager.push(pipeline).intermediate_code
+    )
+    from_program = validate_condition(program)
+    assert processor.name == "TI MSP430"
+    assert [n.opcode for n in graph.nodes] == [
+        n.opcode for n in from_text[1].nodes
+    ]
+    assert from_program[0] is program
+
+
 def test_manager_inventories(manager):
     sensors = manager.get_sensor_list()
     assert {s.name for s in sensors} >= {"ACC_X", "ACC_Y", "ACC_Z", "MIC"}

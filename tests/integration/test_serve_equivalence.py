@@ -1,0 +1,156 @@
+"""Service results are bit-identical to direct engine runs.
+
+The acceptance bar for the serving layer: everything a
+:class:`~repro.serve.service.ConditionService` completes — through the
+bounded queue, admission control, fingerprint dedup, cross-round memo
+and batched engine execution — must equal a fresh direct
+``Sidewinder``/engine run of the same condition, bit for bit, including
+when quota rejections interleave with accepted work and invalid IL
+rides in the same batches.
+"""
+
+import pytest
+
+from repro.serve import (
+    Completed,
+    ConditionService,
+    Failed,
+    LoadSpec,
+    Rejected,
+    Submission,
+    TenantQuota,
+    Ticket,
+    fleet_workload,
+    reference_result,
+    run_fleet,
+)
+from repro.serve.loadgen import VALID_ACCEL_IL
+from repro.apps import all_applications
+from repro.sim.configs.sidewinder import Sidewinder
+
+
+@pytest.fixture(scope="module")
+def registry(robot_trace, quiet_robot_trace, audio_trace):
+    traces = (robot_trace, quiet_robot_trace, audio_trace)
+    return {trace.name: trace for trace in traces}
+
+
+def test_app_results_bit_identical_to_direct_runs(registry, robot_trace):
+    svc = ConditionService(registry)
+    try:
+        for tenant in ("a", "b"):
+            svc.submit(
+                Submission(tenant=tenant, trace=robot_trace.name, app="steps")
+            )
+        payer, coalesced = svc.pump()
+    finally:
+        svc.shutdown()
+    direct = Sidewinder().run(
+        {app.name: app for app in all_applications()}["steps"], robot_trace
+    )
+    # Full structural equality: timeline, power breakdown, detections.
+    assert payer.result == direct
+    assert coalesced.result == direct
+    assert coalesced.dedup and not payer.dedup
+
+
+def test_il_results_bit_identical_to_direct_runs(registry, robot_trace):
+    svc = ConditionService(registry)
+    try:
+        submission = Submission(
+            tenant="dev", trace=robot_trace.name, il=VALID_ACCEL_IL[0],
+            chunk_seconds=2.0,
+        )
+        svc.submit(submission)
+        (response,) = svc.pump()
+    finally:
+        svc.shutdown()
+    assert isinstance(response, Completed)
+    assert response.result == reference_result(submission, registry)
+    assert len(response.result) > 0
+
+
+def test_fleet_with_rejections_stays_bit_identical(registry):
+    """A tight quota forces rejections interleaved with accepted work;
+    every completion must still match its direct run."""
+    spec = LoadSpec(
+        fleet=40,
+        seed=3,
+        min_submissions=2,
+        max_submissions=4,
+        il_fraction=0.15,
+        invalid_fraction=0.1,
+    )
+    submissions = fleet_workload(
+        spec, all_applications(), list(registry.values())
+    )
+    svc = ConditionService(
+        registry, quota=TenantQuota(max_pending=2, max_submissions=3)
+    )
+    try:
+        # A large pump interval lets per-tenant pending counts build up,
+        # so the quota actually bites mid-stream.
+        report = run_fleet(svc, submissions, pump_every=64)
+    finally:
+        svc.shutdown()
+
+    assert report.submitted == len(submissions)
+    # The interesting regime really occurred: rejections (quota and/or
+    # budget) interleaved with accepted-and-completed work, plus some
+    # structured per-request failures from invalid IL.
+    reasons = {r.reason for r in report.rejections}
+    assert reasons & {"tenant_quota", "tenant_budget"}
+    assert report.completed
+    assert report.failed
+    assert report.tickets == len(report.responses)
+
+    dedup = 0
+    for response in report.completed:
+        submission = report.by_ticket[response.ticket.submission_id]
+        assert response.result == reference_result(submission, registry), (
+            submission,
+        )
+        dedup += response.dedup
+    # Coalescing happened and never changed an answer.
+    assert dedup > 0
+    # Failures are structured library errors, not crashes.
+    for response in report.failed:
+        assert response.error_type.endswith("Error")
+
+
+def test_same_seed_same_outcome(registry):
+    """The whole serve path is deterministic: same seed, same workload,
+    same tickets, same rejections, same results."""
+    def drive():
+        spec = LoadSpec(fleet=12, seed=9, il_fraction=0.2)
+        submissions = fleet_workload(
+            spec, all_applications(), list(registry.values())
+        )
+        svc = ConditionService(registry, quota=TenantQuota(max_pending=2))
+        try:
+            report = run_fleet(svc, submissions, pump_every=16)
+        finally:
+            svc.shutdown()
+        outcomes = []
+        for response in report.responses:
+            if isinstance(response, Completed):
+                outcomes.append(
+                    ("ok", response.ticket.submission_id, response.dedup,
+                     response.latency)
+                )
+            else:
+                outcomes.append(
+                    ("fail", response.ticket.submission_id,
+                     response.error_type)
+                )
+        rejections = [(r.tenant, r.reason) for r in report.rejections]
+        results = [
+            r.result for r in report.responses if isinstance(r, Completed)
+        ]
+        return outcomes, rejections, results
+
+    first = drive()
+    second = drive()
+    assert first[0] == second[0]
+    assert first[1] == second[1]
+    assert first[2] == second[2]

@@ -107,6 +107,30 @@ def test_merge_unknown_app(capsys):
     assert main(["merge", "--apps", "music_journal,nope"]) == 2
 
 
+def test_serve_bench_quick(capsys):
+    code = main(["serve-bench", "--fleet", "8", "--quick"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "fleet 8 devices" in out
+    assert "dedup hit-rate" in out
+    assert "submissions/s" in out
+
+
+def test_figure6_verbose_prints_cache_counters(capsys):
+    code = main(["figure6", "--duration", "120", "--verbose"])
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "# engine:" in captured.err
+    assert "# engine cache hits/misses:" in captured.err
+    assert "detect" in captured.err
+
+
+def test_figure6_quiet_without_verbose(capsys):
+    code = main(["figure6", "--duration", "120"])
+    assert code == 0
+    assert "# engine" not in capsys.readouterr().err
+
+
 def test_requires_command():
     with pytest.raises(SystemExit):
         main([])

@@ -164,6 +164,87 @@ class TestPlanner:
         assert ctx.stats.hub_hits >= 1
 
 
+class TestPlanFromCells:
+    def test_trace_major_order_with_input_indices(
+        self, robot_trace, quiet_robot_trace
+    ):
+        from repro.sim.engine import plan_from_cells
+
+        # Interleave traces on purpose: the plan groups trace-major for
+        # locality, but cell indices keep pointing at input positions.
+        triples = [
+            (AlwaysAwake(), StepsApp(), robot_trace),
+            (AlwaysAwake(), StepsApp(), quiet_robot_trace),
+            (Oracle(), HeadbuttApp(), robot_trace),
+        ]
+        plan = plan_from_cells(triples)
+        assert [c.trace.name for c in plan.cells] == [
+            robot_trace.name, robot_trace.name, quiet_robot_trace.name
+        ]
+        assert [c.index for c in plan.cells] == [0, 2, 1]
+
+    def test_results_come_back_in_input_order(
+        self, robot_trace, quiet_robot_trace
+    ):
+        from repro.sim.engine import plan_from_cells
+
+        triples = [
+            (AlwaysAwake(), StepsApp(), robot_trace),
+            (AlwaysAwake(), StepsApp(), quiet_robot_trace),
+            (Oracle(), StepsApp(), robot_trace),
+        ]
+        results = execute_plan(plan_from_cells(triples))
+        assert [(r.config_name, r.trace_name) for r in results] == [
+            ("always_awake", robot_trace.name),
+            ("always_awake", quiet_robot_trace.name),
+            ("oracle", robot_trace.name),
+        ]
+
+    def test_missing_channels_are_skipped(self, robot_trace):
+        from repro.sim.engine import plan_from_cells
+
+        plan = plan_from_cells(
+            [
+                (AlwaysAwake(), StepsApp(), robot_trace),
+                (AlwaysAwake(), SirenDetectorApp(), robot_trace),
+            ]
+        )
+        assert len(plan) == 1
+        assert [s.app_name for s in plan.skipped] == ["sirens"]
+        assert plan.skipped[0].missing_channels == ("MIC",)
+
+    def test_serial_info_reports_cache_stats(self, robot_trace):
+        from repro.sim.engine import execute_plan_with_info, plan_from_cells
+
+        ctx = RunContext()
+        plan = plan_from_cells([(Sidewinder(), StepsApp(), robot_trace)])
+        _, info = execute_plan_with_info(plan, context=ctx)
+        assert info.mode == "serial"
+        assert info.cache_stats == ctx.stats.as_dict()
+        assert info.cache_stats["hub_misses"] == 1
+
+
+class TestShutdownPool:
+    def test_shutdown_is_idempotent(self, robot_trace, quiet_robot_trace):
+        from repro.sim.engine import execute_plan_with_info, shutdown_pool
+
+        # Cold: shutting down with no pool is a no-op …
+        shutdown_pool()
+        shutdown_pool()
+        # … and after a pool run, repeated shutdowns stay safe.
+        configs = [AlwaysAwake(), Oracle(), Sidewinder()] * 5
+        plan = plan_matrix(configs, [StepsApp()], [robot_trace, quiet_robot_trace])
+        _, info = execute_plan_with_info(plan, jobs=2)
+        assert info.mode == "pool"
+        shutdown_pool()
+        shutdown_pool()
+        # The engine recovers: the next pool run forks a fresh pool.
+        _, again = execute_plan_with_info(plan, jobs=2)
+        assert again.mode == "pool"
+        assert not again.pool_reused
+        shutdown_pool()
+
+
 class TestMergedWindowKeying:
     def test_split_windows_share_one_entry(self, robot_trace):
         # Two window lists covering the same signal — one split at 30 s,

@@ -52,7 +52,8 @@ def test_figure5_oracle_normalization(mini_robot):
 
 def test_figure6_structure(mini_robot):
     group1 = [t for t in mini_robot if t.metadata["group"] == 1]
-    series = figure6_series(traces=group1, intervals=(2.0, 10.0))
+    series, matrix = figure6_series(traces=group1, intervals=(2.0, 10.0))
+    assert matrix.execution is not None
     assert set(series) == {"steps", "transitions", "headbutts"}
     for curve in series.values():
         assert set(curve) == {2.0, 10.0}

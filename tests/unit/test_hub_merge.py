@@ -162,6 +162,89 @@ class TestMultiTapRuntime:
         assert len(first[tap]) == len(second[tap])
 
 
+class TestServeStyleCoalescing:
+    """Merging in the fleet-coalescing regime: N tenants, one condition.
+
+    The serving layer dedups identical submissions before the engine;
+    merging is the hub-side analogue.  Both must agree that N copies of
+    a condition cost one runtime and answer exactly like N separate
+    runs.
+    """
+
+    def test_n_identical_programs_collapse_to_one(self):
+        for n in (2, 5, 16):
+            merged = merge_programs(
+                [parse_program(SIGNIFICANT_MOTION) for _ in range(n)]
+            )
+            # One runtime's worth of nodes, every tap aliased onto it;
+            # each of the n-1 later copies shares all 5 nodes.
+            assert merged.node_count == 5
+            assert merged.shared_nodes == 5 * (n - 1)
+            assert merged.original_node_count == 5 * n
+            assert len(merged.taps) == n
+            assert len(set(merged.taps)) == 1
+
+    def test_n_identical_apps_wake_events_bit_identical(self):
+        n = 4
+        programs = [
+            compile_pipeline(StepsApp().build_wakeup_pipeline())
+            for _ in range(n)
+        ]
+        merged = merge_programs(programs)
+        graph = validate_program(programs[0])
+        assert merged.node_count == merged.original_node_count // n
+
+        # Peaks must land inside the step detector's localExtrema band
+        # ([2.1, 5.1] after the moving average), so a ~3.5-amplitude
+        # oscillation with mild noise produces a healthy event stream.
+        rng = np.random.default_rng(7)
+        signal = np.sin(np.arange(600) / 5.0) * 3.5 + rng.normal(
+            0.0, 0.2, 600
+        )
+        chunks = {name: scalar_chunk(signal) for name in graph.channels}
+        merged_events = MultiTapRuntime(merged).feed(chunks)
+        # Every tenant's tap sees the same event list …
+        per_tap = [merged_events[tap] for tap in merged.taps]
+        assert all(events is per_tap[0] for events in per_tap)
+        # … and it is bit-identical to one unmerged per-app run.
+        reference = HubRuntime(
+            validate_program(
+                compile_pipeline(StepsApp().build_wakeup_pipeline())
+            )
+        ).feed(chunks)
+        assert len(reference) > 0
+        assert per_tap[0] == reference
+
+    def test_mixed_fleet_matches_per_app_runs(self):
+        # A head-heavy mix (the Zipf regime): three tenants on the
+        # strict condition, two on the gentle one.  Merged output per
+        # tap must equal each condition's standalone run.
+        programs = (
+            [parse_program(SIGNIFICANT_MOTION)] * 3
+            + [parse_program(GENTLE_MOTION)] * 2
+        )
+        merged = merge_programs(programs)
+        assert merged.node_count == 6  # one runtime + one extra threshold
+        assert len(set(merged.taps)) == 2
+
+        x = np.zeros(120)
+        x[60:80] = 12.5  # between the two thresholds
+        zero = np.zeros(120)
+        chunks = {
+            "ACC_X": scalar_chunk(x),
+            "ACC_Y": scalar_chunk(zero),
+            "ACC_Z": scalar_chunk(zero),
+        }
+        merged_events = MultiTapRuntime(merged).feed(chunks)
+        for text, tap in zip(
+            [SIGNIFICANT_MOTION] * 3 + [GENTLE_MOTION] * 2, merged.taps
+        ):
+            reference = HubRuntime(
+                validate_program(parse_program(text))
+            ).feed(chunks)
+            assert merged_events[tap] == reference
+
+
 def test_merged_graph_channels_union():
     audio = (
         "MIC -> window(id=1, params={256});"

@@ -1,0 +1,100 @@
+"""Unit tests for the logical clock, percentiles, metrics and store."""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.serve import LogicalClock, ResultStore, percentile
+from repro.serve.metrics import MetricsRecorder
+from repro.serve.submission import Completed, Ticket
+
+
+class TestLogicalClock:
+    def test_starts_at_start_and_ticks_by_step(self):
+        clock = LogicalClock(start=5.0, step=2.0)
+        assert clock() == 5.0
+        assert clock.now() == 5.0
+        assert clock.tick() == 7.0
+        assert clock() == 7.0
+
+    def test_reading_does_not_advance(self):
+        clock = LogicalClock()
+        for _ in range(3):
+            assert clock() == 0.0
+
+
+class TestPercentile:
+    def test_empty_sample_is_zero(self):
+        assert percentile([], 99) == 0.0
+
+    def test_nearest_rank_values(self):
+        values = [4.0, 1.0, 3.0, 2.0, 5.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 50) == 3.0
+        assert percentile(values, 90) == 5.0
+        assert percentile(values, 100) == 5.0
+
+    def test_single_value(self):
+        assert percentile([7.0], 50) == 7.0
+        assert percentile([7.0], 99) == 7.0
+
+
+class TestMetricsRecorder:
+    def test_snapshot_rates_and_percentiles(self):
+        recorder = MetricsRecorder()
+        recorder.submitted = 5
+        recorder.accepted = 4
+        recorder.on_rejected("queue_full")
+        recorder.on_completed(1.0, dedup=False)
+        recorder.on_completed(2.0, dedup=True)
+        recorder.on_completed(3.0, dedup=True)
+        recorder.engine_runs = 1
+        snap = recorder.snapshot(queue_depth=1, store_size=3)
+        assert snap.rejected == {"queue_full": 1}
+        assert snap.rejected_total == 1
+        assert snap.dedup_hits == 2
+        assert snap.dedup_hit_rate == pytest.approx(2 / 3)
+        assert snap.latency_p50 == 2.0
+        assert snap.latency_p99 == 3.0
+        assert snap.as_dict()["queue_depth"] == 1
+        assert "dedup hit-rate" in snap.describe()
+
+    def test_empty_snapshot_is_all_zero(self):
+        snap = MetricsRecorder().snapshot(queue_depth=0, store_size=0)
+        assert snap.dedup_hit_rate == 0.0
+        assert snap.latency_p50 == 0.0
+        assert snap.rejected_total == 0
+
+
+class TestResultStore:
+    def _response(self, submission_id):
+        return Completed(Ticket(submission_id, "t", 0.0), result=None)
+
+    def test_rejects_non_positive_ttl(self):
+        with pytest.raises(ServiceError, match="TTL"):
+            ResultStore(0.0)
+
+    def test_get_before_expiry(self):
+        store = ResultStore(10.0)
+        response = self._response(1)
+        store.put(1, response, now=0.0)
+        assert store.get(1, now=9.9) is response
+
+    def test_get_evicts_at_expiry(self):
+        store = ResultStore(10.0)
+        store.put(1, self._response(1), now=0.0)
+        assert store.get(1, now=10.0) is None
+        assert len(store) == 0
+
+    def test_unknown_id_is_none(self):
+        assert ResultStore(5.0).get(42, now=0.0) is None
+
+    def test_evict_expired_scans_in_insertion_order(self):
+        store = ResultStore(10.0)
+        store.put(1, self._response(1), now=0.0)
+        store.put(2, self._response(2), now=5.0)
+        store.put(3, self._response(3), now=8.0)
+        assert store.evict_expired(now=12.0) == 1
+        assert len(store) == 2
+        assert store.get(2, now=12.0) is not None
+        assert store.evict_expired(now=100.0) == 2
+        assert len(store) == 0

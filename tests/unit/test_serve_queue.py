@@ -1,0 +1,82 @@
+"""Unit tests for the bounded two-lane submission queue."""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.serve import Lane, LaneQueue
+
+
+class TestConstruction:
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ServiceError, match="capacity"):
+            LaneQueue(0)
+        with pytest.raises(ServiceError, match="capacity"):
+            LaneQueue(-3)
+
+    def test_rejects_reserve_leaving_bulk_nothing(self):
+        with pytest.raises(ServiceError, match="reserve"):
+            LaneQueue(4, interactive_reserve=4)
+        with pytest.raises(ServiceError, match="reserve"):
+            LaneQueue(4, interactive_reserve=-1)
+
+    def test_zero_reserve_is_allowed(self):
+        queue = LaneQueue(2, interactive_reserve=0)
+        assert queue.offer("a", Lane.BULK)
+        assert queue.offer("b", Lane.BULK)
+        assert not queue.offer("c", Lane.BULK)
+
+
+class TestBackpressure:
+    def test_bulk_respects_interactive_reserve(self):
+        queue = LaneQueue(3, interactive_reserve=1)
+        assert queue.offer("b1", Lane.BULK)
+        assert queue.offer("b2", Lane.BULK)
+        # Bulk limit is capacity - reserve = 2.
+        assert not queue.offer("b3", Lane.BULK)
+        # The reserved slot is still there for interactive work.
+        assert queue.offer("i1", Lane.INTERACTIVE)
+        assert len(queue) == 3
+
+    def test_interactive_may_use_every_slot(self):
+        queue = LaneQueue(2, interactive_reserve=1)
+        assert queue.offer("i1", Lane.INTERACTIVE)
+        assert queue.offer("i2", Lane.INTERACTIVE)
+        assert not queue.offer("i3", Lane.INTERACTIVE)
+
+    def test_full_queue_refuses_both_lanes(self):
+        queue = LaneQueue(2, interactive_reserve=1)
+        queue.offer("b1", Lane.BULK)
+        queue.offer("i1", Lane.INTERACTIVE)
+        assert not queue.offer("b2", Lane.BULK)
+        assert not queue.offer("i2", Lane.INTERACTIVE)
+
+
+class TestOrdering:
+    def test_interactive_lane_drains_first(self):
+        queue = LaneQueue(8, interactive_reserve=2)
+        queue.offer("b1", Lane.BULK)
+        queue.offer("b2", Lane.BULK)
+        queue.offer("i1", Lane.INTERACTIVE)
+        queue.offer("b3", Lane.BULK)
+        queue.offer("i2", Lane.INTERACTIVE)
+        assert queue.take(3) == ["i1", "i2", "b1"]
+        assert queue.take(10) == ["b2", "b3"]
+        assert queue.take(1) == []
+
+    def test_fifo_within_each_lane(self):
+        queue = LaneQueue(8)
+        for name in ("b1", "b2", "b3"):
+            queue.offer(name, Lane.BULK)
+        assert queue.take(2) == ["b1", "b2"]
+        queue.offer("b4", Lane.BULK)
+        assert queue.take(10) == ["b3", "b4"]
+
+    def test_depth_and_drain(self):
+        queue = LaneQueue(8, interactive_reserve=2)
+        queue.offer("b1", Lane.BULK)
+        queue.offer("i1", Lane.INTERACTIVE)
+        assert queue.depth(Lane.BULK) == 1
+        assert queue.depth(Lane.INTERACTIVE) == 1
+        assert len(queue) == 2
+        assert queue.drain() == ["i1", "b1"]
+        assert len(queue) == 0

@@ -1,0 +1,62 @@
+"""Unit tests for per-tenant admission control."""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.serve import AdmissionController, TenantQuota
+
+
+class TestTenantQuota:
+    def test_rejects_non_positive_pending(self):
+        with pytest.raises(ServiceError, match="max_pending"):
+            TenantQuota(max_pending=0)
+
+    def test_rejects_non_positive_budget(self):
+        with pytest.raises(ServiceError, match="max_submissions"):
+            TenantQuota(max_submissions=0)
+
+    def test_unmetered_budget_by_default(self):
+        assert TenantQuota().max_submissions is None
+
+
+class TestAdmissionController:
+    def test_pending_quota_enforced_per_tenant(self):
+        ctl = AdmissionController(TenantQuota(max_pending=2))
+        assert ctl.admit("a") is None
+        ctl.on_accepted("a")
+        assert ctl.admit("a") is None
+        ctl.on_accepted("a")
+        assert ctl.admit("a") == "tenant_quota"
+        # Another tenant is unaffected.
+        assert ctl.admit("b") is None
+
+    def test_scheduling_frees_pending_slots(self):
+        ctl = AdmissionController(TenantQuota(max_pending=1))
+        ctl.on_accepted("a")
+        assert ctl.admit("a") == "tenant_quota"
+        ctl.on_scheduled("a")
+        assert ctl.admit("a") is None
+
+    def test_budget_is_lifetime_not_pending(self):
+        ctl = AdmissionController(TenantQuota(max_pending=8, max_submissions=2))
+        for _ in range(2):
+            assert ctl.admit("a") is None
+            ctl.on_accepted("a")
+            ctl.on_scheduled("a")
+        # Queue is empty, but the lifetime budget is spent.
+        assert ctl.admit("a") == "tenant_budget"
+        assert ctl.accepted()["a"] == 2
+
+    def test_budget_checked_before_pending_quota(self):
+        ctl = AdmissionController(TenantQuota(max_pending=1, max_submissions=1))
+        ctl.on_accepted("a")
+        assert ctl.admit("a") == "tenant_budget"
+
+    def test_pending_view_drops_zeroed_tenants(self):
+        ctl = AdmissionController(TenantQuota())
+        ctl.on_accepted("a")
+        ctl.on_accepted("b")
+        ctl.on_scheduled("a")
+        assert ctl.pending() == {"b": 1}
+        ctl.on_scheduled("b")
+        assert ctl.pending() == {}

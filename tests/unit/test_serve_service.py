@@ -1,0 +1,280 @@
+"""Unit tests for the multi-tenant ConditionService."""
+
+import pytest
+
+from repro.serve import (
+    Cancelled,
+    Completed,
+    ConditionService,
+    Failed,
+    Lane,
+    Rejected,
+    Submission,
+    TenantQuota,
+    Ticket,
+)
+from repro.serve.loadgen import INVALID_IL, VALID_ACCEL_IL
+
+
+@pytest.fixture()
+def registry(robot_trace):
+    return {robot_trace.name: robot_trace}
+
+
+@pytest.fixture()
+def service(registry):
+    svc = ConditionService(registry)
+    yield svc
+    svc.shutdown()
+
+
+def _steps(registry, tenant="t1", **kwargs):
+    (trace_name,) = registry
+    return Submission(tenant=tenant, trace=trace_name, app="steps", **kwargs)
+
+
+class TestSubmitValidation:
+    def test_accepts_and_tickets(self, service, registry):
+        ticket = service.submit(_steps(registry))
+        assert isinstance(ticket, Ticket)
+        assert ticket.tenant == "t1"
+        assert service.queue_depth == 1
+
+    def test_rejects_neither_app_nor_il(self, service, registry):
+        (trace_name,) = registry
+        outcome = service.submit(Submission(tenant="t", trace=trace_name))
+        assert isinstance(outcome, Rejected)
+        assert outcome.reason == "malformed"
+
+    def test_rejects_both_app_and_il(self, service, registry):
+        (trace_name,) = registry
+        outcome = service.submit(
+            Submission(
+                tenant="t", trace=trace_name, app="steps",
+                il=VALID_ACCEL_IL[0],
+            )
+        )
+        assert isinstance(outcome, Rejected)
+        assert outcome.reason == "malformed"
+
+    def test_rejects_bad_chunking(self, service, registry):
+        (trace_name,) = registry
+        outcome = service.submit(
+            Submission(
+                tenant="t", trace=trace_name, il=VALID_ACCEL_IL[0],
+                chunk_seconds=0.0,
+            )
+        )
+        assert isinstance(outcome, Rejected)
+        assert outcome.reason == "malformed"
+
+    def test_rejects_unknown_names(self, service, registry):
+        (trace_name,) = registry
+        cases = [
+            (Submission(tenant="t", trace=trace_name, app="steps",
+                        hub="quantum"), "unknown_hub"),
+            (Submission(tenant="t", trace="no-such-trace", app="steps"),
+             "unknown_trace"),
+            (Submission(tenant="t", trace=trace_name, app="no_such_app"),
+             "unknown_app"),
+        ]
+        for submission, reason in cases:
+            outcome = service.submit(submission)
+            assert isinstance(outcome, Rejected)
+            assert outcome.reason == reason
+
+    def test_rejections_are_counted(self, service, registry):
+        service.submit(Submission(tenant="t", trace="nope", app="steps"))
+        snap = service.metrics()
+        assert snap.rejected == {"unknown_trace": 1}
+        assert snap.submitted == 1
+        assert snap.accepted == 0
+
+
+class TestQuotasAndBackpressure:
+    def test_pending_quota_rejects_then_recovers(self, registry):
+        svc = ConditionService(registry, quota=TenantQuota(max_pending=1))
+        try:
+            assert isinstance(svc.submit(_steps(registry)), Ticket)
+            second = svc.submit(_steps(registry))
+            assert isinstance(second, Rejected)
+            assert second.reason == "tenant_quota"
+            svc.pump()
+            # Scheduling freed the pending slot.
+            assert isinstance(svc.submit(_steps(registry)), Ticket)
+        finally:
+            svc.shutdown()
+
+    def test_budget_is_lifetime(self, registry):
+        svc = ConditionService(
+            registry, quota=TenantQuota(max_submissions=1)
+        )
+        try:
+            assert isinstance(svc.submit(_steps(registry)), Ticket)
+            svc.pump()
+            outcome = svc.submit(_steps(registry))
+            assert isinstance(outcome, Rejected)
+            assert outcome.reason == "tenant_budget"
+            # Other tenants are unaffected.
+            assert isinstance(
+                svc.submit(_steps(registry, tenant="t2")), Ticket
+            )
+        finally:
+            svc.shutdown()
+
+    def test_bulk_backpressure_and_queue_full(self, registry):
+        svc = ConditionService(registry, capacity=2, interactive_reserve=1)
+        try:
+            assert isinstance(svc.submit(_steps(registry)), Ticket)
+            bulk = svc.submit(_steps(registry, tenant="t2"))
+            assert isinstance(bulk, Rejected)
+            assert bulk.reason == "bulk_backpressure"
+            # The reserve still admits interactive work …
+            interactive = svc.submit(
+                _steps(registry, tenant="t3", lane=Lane.INTERACTIVE)
+            )
+            assert isinstance(interactive, Ticket)
+            # … until the queue is genuinely full.
+            full = svc.submit(
+                _steps(registry, tenant="t4", lane=Lane.INTERACTIVE)
+            )
+            assert isinstance(full, Rejected)
+            assert full.reason == "queue_full"
+        finally:
+            svc.shutdown()
+
+
+class TestSchedulingAndDedup:
+    def test_identical_submissions_coalesce_in_batch(self, service, registry):
+        t1 = service.submit(_steps(registry, tenant="a"))
+        t2 = service.submit(_steps(registry, tenant="b"))
+        responses = service.pump()
+        assert [r.ticket.submission_id for r in responses] == [
+            t1.submission_id, t2.submission_id
+        ]
+        first, second = responses
+        assert isinstance(first, Completed) and not first.dedup
+        assert isinstance(second, Completed) and second.dedup
+        assert second.result is first.result
+        snap = service.metrics()
+        assert snap.engine_runs == 1
+        assert snap.dedup_hits == 1
+        assert snap.dedup_hit_rate == 0.5
+
+    def test_cross_round_memo_coalesces_later_rounds(self, service, registry):
+        service.submit(_steps(registry))
+        service.pump()
+        service.submit(_steps(registry, tenant="later"))
+        (response,) = service.pump()
+        assert isinstance(response, Completed)
+        assert response.dedup
+        assert service.metrics().engine_runs == 1
+
+    def test_results_fetchable_until_ttl(self, registry):
+        svc = ConditionService(registry, result_ttl=3.0)
+        try:
+            ticket = svc.submit(_steps(registry))
+            svc.pump()
+            assert isinstance(svc.result(ticket.submission_id), Completed)
+            # The logical clock ticks once per submit and once per
+            # round; burn rounds until the TTL lapses.
+            for _ in range(4):
+                svc.submit(_steps(registry, tenant="filler"))
+                svc.pump()
+            assert svc.result(ticket.submission_id) is None
+        finally:
+            svc.shutdown()
+
+    def test_latency_counts_rounds_waited(self, service, registry):
+        ticket = service.submit(_steps(registry))
+        (response,) = service.pump()
+        assert response.ticket is ticket
+        # One submit tick + one round tick between acceptance and
+        # completion under the logical clock.
+        assert response.latency == 1.0
+
+
+class TestStructuredFailures:
+    @pytest.mark.parametrize("il", INVALID_IL)
+    def test_invalid_il_fails_structurally(self, service, registry, il):
+        (trace_name,) = registry
+        ticket = service.submit(
+            Submission(tenant="t", trace=trace_name, il=il)
+        )
+        assert isinstance(ticket, Ticket)
+        (response,) = service.pump()
+        assert isinstance(response, Failed)
+        assert response.error_type in {
+            "ILSyntaxError", "ILValidationError", "UnknownAlgorithmError",
+        }
+        assert response.message
+
+    def test_bad_il_does_not_poison_the_batch(self, service, registry):
+        (trace_name,) = registry
+        bad = service.submit(
+            Submission(tenant="bad", trace=trace_name, il=INVALID_IL[0])
+        )
+        good = service.submit(_steps(registry, tenant="good"))
+        responses = {r.ticket.submission_id: r for r in service.pump()}
+        assert isinstance(responses[bad.submission_id], Failed)
+        assert isinstance(responses[good.submission_id], Completed)
+        snap = service.metrics()
+        assert snap.failed == 1
+        assert snap.completed == 1
+
+    def test_il_missing_channel_fails_structurally(self, service, registry):
+        # A microphone condition against an accelerometer-only trace.
+        (trace_name,) = registry
+        mic_il = (
+            "MIC -> window(id=1, params={256});"
+            "1 -> stat(id=2, params={rms});"
+            "2 -> minThreshold(id=3, params={0.5});"
+            "3 -> OUT;"
+        )
+        service.submit(Submission(tenant="t", trace=trace_name, il=mic_il))
+        (response,) = service.pump()
+        assert isinstance(response, Failed)
+        assert response.error_type == "HubExecutionError"
+        assert "MIC" in response.message
+
+
+class TestShutdown:
+    def test_shutdown_drains_and_is_idempotent(self, registry):
+        svc = ConditionService(registry)
+        svc.submit(_steps(registry))
+        svc.submit(_steps(registry, tenant="t2"))
+        responses = svc.shutdown()
+        assert len(responses) == 2
+        assert all(isinstance(r, Completed) for r in responses)
+        assert svc.closed
+        # The double-shutdown path: a strict no-op.
+        assert svc.shutdown() == []
+        assert svc.shutdown(drain=False) == []
+
+    def test_shutdown_without_drain_cancels(self, registry):
+        svc = ConditionService(registry)
+        ticket = svc.submit(_steps(registry))
+        responses = svc.shutdown(drain=False)
+        assert len(responses) == 1
+        assert isinstance(responses[0], Cancelled)
+        assert responses[0].reason == "shutdown"
+        # Cancellations are stored and counted like any terminal state.
+        assert isinstance(svc.result(ticket.submission_id), Cancelled)
+        assert svc.metrics().cancelled == 1
+
+    def test_submit_after_shutdown_rejected(self, registry):
+        svc = ConditionService(registry)
+        svc.shutdown()
+        outcome = svc.submit(_steps(registry))
+        assert isinstance(outcome, Rejected)
+        assert outcome.reason == "shutdown"
+
+    def test_pool_service_shutdown_twice(self, registry):
+        # jobs > 1 wires service shutdown to the engine's (idempotent)
+        # pool teardown; small batches stay serial, so this exercises
+        # the lifecycle without forking workers.
+        svc = ConditionService(registry, jobs=2)
+        svc.submit(_steps(registry))
+        responses = svc.shutdown()
+        assert len(responses) == 1
+        assert svc.shutdown() == []
