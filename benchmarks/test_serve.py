@@ -16,6 +16,7 @@ engine; it must never change an answer.
 
 import json
 import os
+import time
 
 from benchmarks.conftest import RESULTS_DIR, run_once, save_artifact
 from repro.apps import all_applications
@@ -26,6 +27,7 @@ from repro.serve import (
     TenantQuota,
     fleet_workload,
     reference_result,
+    response_digest,
     run_fleet,
 )
 from repro.traces.library import audio_corpus, human_corpus, robot_corpus
@@ -45,6 +47,10 @@ TRACE_DURATION_S = 120.0 if QUICK else 360.0
 #: runs at fleet >= 100.
 MIN_DEDUP_HIT_RATE_AT_SCALE = 0.5
 
+#: The write-ahead journal may cost at most this fraction of sustained
+#: throughput at fleet 100 (one pickle per accept, one fsync per round).
+MAX_JOURNAL_OVERHEAD = 0.15
+
 
 def _registry():
     """The serve-bench trace registry (matches ``repro serve-bench``)."""
@@ -56,7 +62,7 @@ def _registry():
     return {trace.name: trace for trace in traces}
 
 
-def _drive(fleet, traces):
+def _drive(fleet, traces, journal=None):
     """One fleet's workload through a fresh service; its LoadReport."""
     spec = LoadSpec(
         fleet=fleet,
@@ -66,13 +72,22 @@ def _drive(fleet, traces):
     )
     submissions = fleet_workload(spec, all_applications(), list(traces.values()))
     service = ConditionService(
-        traces, quota=TenantQuota(max_pending=8), capacity=512
+        traces, quota=TenantQuota(max_pending=8), capacity=512,
+        journal=journal,
     )
     try:
         report = run_fleet(service, submissions)
     finally:
         service.shutdown()
     return report
+
+
+def _merge_results(payload):
+    """Merge one module's payload into ``results/BENCH_serve.json``."""
+    target = RESULTS_DIR / "BENCH_serve.json"
+    merged = json.loads(target.read_text()) if target.exists() else {}
+    merged.update(payload)
+    target.write_text(json.dumps(merged, indent=2) + "\n")
 
 
 def test_serve_fleet_scaling(benchmark):
@@ -121,9 +136,7 @@ def test_serve_fleet_scaling(benchmark):
     assert checked == small.metrics.completed > 0
 
     RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_serve.json").write_text(
-        json.dumps(payload, indent=2) + "\n"
-    )
+    _merge_results(payload)
     save_artifact(
         "serve_bench",
         render_table(
@@ -134,6 +147,97 @@ def test_serve_fleet_scaling(benchmark):
                 f"Condition service fleet sweep "
                 f"(traces {TRACE_DURATION_S:.0f} s, "
                 f"{checked} results verified against direct runs)"
+            ),
+        ),
+    )
+
+
+def test_serve_journal_overhead_and_recovery(benchmark, tmp_path):
+    """Durability costs: journal-on vs journal-off throughput at fleet
+    100, and recovery time as a function of journal length.
+
+    The write-ahead journal buys crash recovery with one pickle per
+    accept/unique result and one write+fsync per scheduling round; it
+    must not cost more than :data:`MAX_JOURNAL_OVERHEAD` of sustained
+    throughput, and it must never change an answer (digest-checked).
+    Recovery replays completions without touching the engine, so even
+    the fleet-1000 journal restores in well under a second.
+    """
+    traces = _registry()
+    recovery_fleets = (10, 100) if QUICK else (10, 100, 1000)
+
+    def run():
+        _drive(100, traces)  # warm-up: caches, first-touch costs
+        baseline = _drive(100, traces)
+        durable = _drive(100, traces, journal=tmp_path / "fleet-100.wal")
+        recoveries = []
+        for fleet in recovery_fleets:
+            journal = tmp_path / f"recover-{fleet}.wal"
+            report = _drive(fleet, traces, journal=journal)
+            started = time.perf_counter()
+            service, stats = ConditionService.recover(
+                journal, traces, quota=TenantQuota(max_pending=8),
+                capacity=512,
+            )
+            recover_s = time.perf_counter() - started
+            service.shutdown()
+            assert len(stats.replayed) == report.tickets
+            assert response_digest(stats.replayed) == response_digest(
+                report.responses
+            )
+            recoveries.append({
+                "fleet": fleet,
+                "journal_bytes": stats.journal_bytes,
+                "records": stats.records,
+                "completions": stats.completions,
+                "recover_s": recover_s,
+            })
+        return baseline, durable, recoveries
+
+    baseline, durable, recoveries = run_once(benchmark, run)
+
+    # The journal never changes an answer ...
+    assert response_digest(durable.responses) == response_digest(
+        baseline.responses
+    )
+    # ... and costs a bounded slice of throughput.
+    overhead = durable.wall_s / baseline.wall_s - 1.0
+    assert overhead <= MAX_JOURNAL_OVERHEAD, (
+        f"journal overhead {overhead:.1%} exceeds "
+        f"{MAX_JOURNAL_OVERHEAD:.0%} "
+        f"({durable.wall_s:.2f} s vs {baseline.wall_s:.2f} s)"
+    )
+
+    _merge_results({
+        "durability": {
+            "fleet": 100,
+            "baseline_wall_s": baseline.wall_s,
+            "journal_wall_s": durable.wall_s,
+            "journal_overhead": overhead,
+            "max_overhead": MAX_JOURNAL_OVERHEAD,
+            "recoveries": recoveries,
+        }
+    })
+    rows = [
+        (
+            str(entry["fleet"]),
+            f"{entry['journal_bytes']:,}",
+            str(entry["records"]),
+            str(entry["completions"]),
+            f"{entry['recover_s'] * 1e3:.1f}",
+        )
+        for entry in recoveries
+    ]
+    save_artifact(
+        "serve_durability",
+        render_table(
+            ["fleet", "journal bytes", "records", "completions",
+             "recover ms"],
+            rows,
+            title=(
+                f"Journal overhead at fleet 100: {overhead:+.1%} "
+                f"(bound {MAX_JOURNAL_OVERHEAD:.0%}); recovery time vs "
+                f"journal length"
             ),
         ),
     )

@@ -299,13 +299,20 @@ def _serve_traces(duration_s: float) -> Dict[str, Trace]:
 def cmd_serve_bench(args: argparse.Namespace) -> int:
     """Run the deterministic fleet load generator against the service."""
     from repro.apps import all_applications
+    from repro.errors import ServiceKilled
     from repro.serve import (
         ConditionService,
         LoadSpec,
+        ServiceFaultPlan,
         TenantQuota,
         fleet_workload,
+        response_digest,
         run_fleet,
+        run_fleet_with_recovery,
     )
+    if (args.kill_after or args.recover) and not args.journal:
+        print("--kill-after / --recover require --journal", file=sys.stderr)
+        return 2
     duration = 120.0 if args.quick else args.duration
     traces = _serve_traces(duration)
     spec = LoadSpec(
@@ -316,25 +323,56 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
     )
     apps = all_applications()
     submissions = fleet_workload(spec, apps, list(traces.values()))
-    service = ConditionService(
-        traces,
+    service_kwargs = dict(
         quota=TenantQuota(max_pending=args.max_pending),
         capacity=args.capacity,
         jobs=args.jobs,
     )
-    try:
-        report = run_fleet(service, submissions, pump_every=args.pump_every)
-    finally:
+    faults = (
+        ServiceFaultPlan(kill_after_accepts=args.kill_after)
+        if args.kill_after
+        else None
+    )
+    service = ConditionService(
+        traces, journal=args.journal, faults=faults, **service_kwargs
+    )
+    stats = None
+    if args.recover:
+        report, stats, service = run_fleet_with_recovery(
+            service,
+            submissions,
+            traces,
+            args.journal,
+            pump_every=args.pump_every,
+            recover_kwargs=service_kwargs,
+        )
         service.shutdown()
+    else:
+        try:
+            report = run_fleet(
+                service, submissions, pump_every=args.pump_every
+            )
+        except ServiceKilled as error:
+            print(
+                f"{error}; journal preserved at {args.journal} "
+                "(rerun with --recover to resume)"
+            )
+            return 1
+        finally:
+            service.shutdown()
     print(
         f"fleet {args.fleet} devices | workload {len(submissions)} "
         f"submissions (seed {args.seed})"
     )
     print(report.metrics.describe())
+    if stats is not None:
+        print(f"recovery: {stats.describe()}")
     print(
         f"wall {report.wall_s:.2f} s | sustained "
         f"{report.submissions_per_second:,.0f} submissions/s"
     )
+    if args.digest:
+        print(f"digest {response_digest(report.responses)}")
     return 0
 
 
@@ -435,6 +473,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-tenant pending quota (default 8)")
     p.add_argument("--pump-every", type=int, default=32,
                    help="run a scheduling round every N submissions")
+    p.add_argument("--journal", metavar="PATH",
+                   help="write-ahead journal path (enables durability)")
+    p.add_argument("--kill-after", type=int, metavar="N",
+                   help="fault-inject: kill the service after N accepted "
+                        "submissions (requires --journal)")
+    p.add_argument("--recover", action="store_true",
+                   help="recover killed services from the journal and "
+                        "finish the workload (requires --journal)")
+    p.add_argument("--digest", action="store_true",
+                   help="print an order-insensitive SHA-256 digest of "
+                        "all terminal responses (for crash-restart "
+                        "equivalence checks)")
 
     p = sub.add_parser("merge", help="merge several apps' conditions")
     p.add_argument("--apps", required=True,

@@ -105,3 +105,25 @@ class ServiceError(SidewinderError):
     :class:`~repro.serve.submission.Failed` responses so one tenant's
     bad input cannot poison another tenant's batch.
     """
+
+
+class JournalError(ServiceError):
+    """The service's durability tier failed an I/O or integrity check.
+
+    Raised when a write-ahead journal append/flush fails (possibly
+    injected by a :class:`~repro.serve.faults.ServiceFaultPlan`) or a
+    spilled result fails its CRC on fault-back.  The service converts
+    journal failures at admission time into structured
+    ``Rejected(reason="journal_unavailable")`` responses and degrades;
+    it never lets a durability failure poison completed work.
+    """
+
+
+class ServiceKilled(SidewinderError):
+    """A :class:`~repro.serve.faults.ServiceFaultPlan` killed the service.
+
+    Models abrupt process death at a planned submission or pump
+    boundary: un-flushed journal bytes are discarded (or torn
+    mid-record) exactly as a real crash would leave them.  Harnesses
+    catch this and exercise :meth:`ConditionService.recover`.
+    """

@@ -15,19 +15,45 @@ the simulation engine (:mod:`repro.sim.engine`):
   style request coalescing), and batches the survivors trace-major onto
   the engine's persistent pool;
 * :mod:`~repro.serve.loadgen` — a deterministic seeded fleet workload
-  generator (Zipf-ish popularity) behind ``repro serve-bench``.
+  generator (Zipf-ish popularity) behind ``repro serve-bench``;
+* :mod:`~repro.serve.journal` / :mod:`~repro.serve.persist` — the
+  durability tier: a CRC-framed write-ahead journal (accepts made
+  durable before tickets escape, fsync batched per round) and the
+  crash-atomic spill files of the result store's disk tier;
+* :mod:`~repro.serve.health` / :mod:`~repro.serve.faults` — shard
+  self-healing: a pump-cadence liveness monitor driving a degraded
+  mode, and a deterministic fault plan that kills the service at
+  planned boundaries so :meth:`ConditionService.recover` can be tested
+  for bit-identical crash recovery.
 
 Results returned by the service are bit-identical to direct
 ``Sidewinder``/engine runs — the serving layer adds routing, admission
-and coalescing around the engine, never arithmetic.
+and coalescing around the engine, never arithmetic — and recovery
+preserves that: re-answered and re-executed responses are byte-equal
+to the uninterrupted run's.
 """
 
+from repro.serve.faults import (
+    NO_SERVICE_FAULTS,
+    ServiceFaultInjector,
+    ServiceFaultPlan,
+)
+from repro.serve.health import HealthMonitor, HealthPolicy, HealthState
+from repro.serve.journal import (
+    JournalScan,
+    JournalWriter,
+    RecoveryStats,
+    read_journal,
+    truncate_journal,
+)
 from repro.serve.loadgen import (
     LoadReport,
     LoadSpec,
     fleet_workload,
     reference_result,
+    response_digest,
     run_fleet,
+    run_fleet_with_recovery,
 )
 from repro.serve.metrics import LogicalClock, MetricsSnapshot, percentile
 from repro.serve.queue import LaneQueue
@@ -54,22 +80,35 @@ __all__ = [
     "ConditionService",
     "Failed",
     "HUB_CATALOGS",
+    "HealthMonitor",
+    "HealthPolicy",
+    "HealthState",
+    "JournalScan",
+    "JournalWriter",
     "Lane",
     "LaneQueue",
     "LoadReport",
     "LoadSpec",
     "LogicalClock",
     "MetricsSnapshot",
+    "NO_SERVICE_FAULTS",
+    "RecoveryStats",
     "Rejected",
     "Response",
     "ResultStore",
     "Scheduler",
     "ServeResult",
+    "ServiceFaultInjector",
+    "ServiceFaultPlan",
     "Submission",
     "TenantQuota",
     "Ticket",
     "fleet_workload",
     "percentile",
+    "read_journal",
     "reference_result",
+    "response_digest",
     "run_fleet",
+    "run_fleet_with_recovery",
+    "truncate_journal",
 ]

@@ -1,0 +1,151 @@
+"""Service-tier fault injection: kill the shard, break its journal.
+
+The hub tier's :mod:`repro.hub.faults` breaks the system *around* a
+wake-up condition — resets, lossy links, flaky interrupts.  This module
+applies the same idiom one tier up: a :class:`ServiceFaultPlan` is a
+pure, seedable description of where a :class:`ConditionService` process
+dies and which journal appends fail; a :class:`ServiceFaultInjector`
+realizes it deterministically.
+
+Kill points map to the places a real crash hurts most:
+
+* after the N-th accepted submission (ticket issued, journal record
+  buffered but maybe not flushed);
+* at a chosen pump round, in one of three phases — ``"begin"`` (round
+  record flushed, nothing executed), ``"store"`` (results computed and
+  stored in memory, completion records *not yet durable*), ``"end"``
+  (completions buffered, final flush skipped);
+* mid-journal-append, by tearing a configured number of bytes of the
+  buffered tail into the file (``torn_tail_bytes``), which is how the
+  torn-record recovery path gets exercised end to end.
+
+Journal I/O errors come in two flavours: a deterministic set of append
+indices (``journal_error_appends``) and a seeded per-append probability
+(``journal_error_probability``), drawn from its own stream per the
+``(seed, category)`` convention so adding draws in one category never
+perturbs another.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import FaultInjectionError
+
+#: Fault categories, in stream-seed order — the determinism contract.
+_CATEGORIES = ("journal_error",)
+
+#: Pump phases a kill may target, in execution order.
+KILL_PHASES = ("begin", "store", "end")
+
+
+@dataclass(frozen=True)
+class ServiceFaultPlan:
+    """Deterministic schedule of service-process faults for one run.
+
+    Attributes:
+        seed: Seed for the probabilistic streams.
+        kill_after_accepts: Kill the process immediately after this
+            many submissions have been accepted (``None`` disables).
+        kill_at_pump: Kill the process during this pump round,
+            0-indexed over the service's lifetime (``None`` disables).
+        kill_pump_phase: Which phase of the targeted round dies:
+            ``"begin"``, ``"store"``, or ``"end"``.
+        torn_tail_bytes: When a kill fires, this many buffered journal
+            bytes reach disk first — tearing the tail record.  ``0``
+            (default) loses the whole un-flushed buffer.
+        journal_error_appends: Append indices (0-based over the
+            journal's lifetime) that fail deterministically.
+        journal_error_probability: Per-append probability of an
+            injected I/O error, drawn from the plan's own stream.
+    """
+
+    seed: int = 0
+    kill_after_accepts: Optional[int] = None
+    kill_at_pump: Optional[int] = None
+    kill_pump_phase: str = "begin"
+    torn_tail_bytes: int = 0
+    journal_error_appends: Tuple[int, ...] = ()
+    journal_error_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kill_pump_phase not in KILL_PHASES:
+            raise FaultInjectionError(
+                f"kill_pump_phase must be one of {KILL_PHASES}, "
+                f"got {self.kill_pump_phase!r}"
+            )
+        if self.kill_after_accepts is not None and self.kill_after_accepts < 1:
+            raise FaultInjectionError(
+                f"kill_after_accepts must be >= 1, got {self.kill_after_accepts}"
+            )
+        if self.kill_at_pump is not None and self.kill_at_pump < 0:
+            raise FaultInjectionError(
+                f"kill_at_pump must be >= 0, got {self.kill_at_pump}"
+            )
+        if self.torn_tail_bytes < 0:
+            raise FaultInjectionError(
+                f"torn_tail_bytes must be >= 0, got {self.torn_tail_bytes}"
+            )
+        if not 0.0 <= self.journal_error_probability < 1.0:
+            raise FaultInjectionError(
+                "journal_error_probability must lie in [0, 1), "
+                f"got {self.journal_error_probability}"
+            )
+        if any(i < 0 for i in self.journal_error_appends):
+            raise FaultInjectionError(
+                "journal_error_appends must be non-negative: "
+                f"{self.journal_error_appends}"
+            )
+        object.__setattr__(
+            self,
+            "journal_error_appends",
+            tuple(sorted(set(self.journal_error_appends))),
+        )
+
+
+#: The benign plan: the process never dies, the journal never errors.
+NO_SERVICE_FAULTS = ServiceFaultPlan()
+
+
+class ServiceFaultInjector:
+    """Stateful, deterministic realization of a :class:`ServiceFaultPlan`.
+
+    One injector drives one service lifetime.  The service consults it
+    at every accept and pump boundary; the journal writer consults it
+    per append.
+    """
+
+    def __init__(self, plan: ServiceFaultPlan):
+        self.plan = plan
+        self._streams = {
+            name: np.random.default_rng((plan.seed, index))
+            for index, name in enumerate(_CATEGORIES)
+        }
+        self._accepts = 0
+        self._appends = 0
+
+    def kill_on_accept(self) -> bool:
+        """Does the process die right after this acceptance?"""
+        self._accepts += 1
+        return self._accepts == self.plan.kill_after_accepts
+
+    def kill_on_pump(self, round_index: int, phase: str) -> bool:
+        """Does the process die in this phase of this pump round?"""
+        return (
+            round_index == self.plan.kill_at_pump
+            and phase == self.plan.kill_pump_phase
+        )
+
+    def journal_append_fails(self) -> bool:
+        """Does this journal append hit an injected I/O error?"""
+        index = self._appends
+        self._appends += 1
+        if index in self.plan.journal_error_appends:
+            return True
+        probability = self.plan.journal_error_probability
+        if probability <= 0.0:
+            return False
+        return bool(self._streams["journal_error"].random() < probability)

@@ -1,0 +1,142 @@
+"""Shard health supervision: liveness from pump cadence.
+
+PR 1's hub reliability layer watches heartbeats from the sensor hub and
+drives a degraded mode while the hub is dark.  This module lifts the
+same pattern to the service tier: the "heartbeat" is the service's own
+pump cadence under the logical clock, and the degraded mode changes
+*admission policy* rather than delivery policy — a shard that has
+stopped pumping on schedule (or whose journal is erroring) sheds new
+batch work and keeps draining what it already accepted, exactly the
+behaviour a fleet balancer wants from a sick shard.
+
+The state machine is deliberately tiny and fully deterministic under
+the logical clock:
+
+``HEALTHY --(pump gap > period * tolerance, or journal error)-->
+DEGRADED --(recovery_pumps timely pumps)--> HEALTHY``
+
+Transitions are recorded with their logical timestamps and surfaced in
+:class:`~repro.serve.metrics.MetricsSnapshot`, so a seeded run always
+produces the same transition list.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import ServiceError
+
+
+class HealthState(enum.Enum):
+    """Liveness verdict for one service shard."""
+
+    HEALTHY = "healthy"
+    DEGRADED = "degraded"
+
+
+@dataclass(frozen=True)
+class HealthPolicy:
+    """When a shard counts as sick, and how it earns its way back.
+
+    Attributes:
+        pump_period: Expected logical-clock gap between pump rounds.
+            The default matches a fleet driver that pumps every
+            :data:`~repro.serve.service.DEFAULT_BATCH_SIZE` submissions
+            (each submit and each round ticks the clock once).
+        tolerance: Missed-period multiplier before degrading: a gap
+            longer than ``pump_period * tolerance`` marks the shard
+            degraded, mirroring the hub watchdog's missed-beat budget.
+        recovery_pumps: Consecutive timely pumps required to return to
+            ``HEALTHY``.
+    """
+
+    pump_period: float = 64.0
+    tolerance: int = 3
+    recovery_pumps: int = 2
+
+    def __post_init__(self) -> None:
+        if self.pump_period <= 0:
+            raise ServiceError(
+                f"pump_period must be positive, got {self.pump_period}"
+            )
+        if self.tolerance < 1:
+            raise ServiceError(
+                f"tolerance must be >= 1, got {self.tolerance}"
+            )
+        if self.recovery_pumps < 1:
+            raise ServiceError(
+                f"recovery_pumps must be >= 1, got {self.recovery_pumps}"
+            )
+
+    @property
+    def deadline(self) -> float:
+        """Longest acceptable gap between pumps."""
+        return self.pump_period * self.tolerance
+
+
+class HealthMonitor:
+    """Tracks one shard's liveness from its pump cadence.
+
+    The service calls :meth:`on_submit` before admission (so a stalled
+    shard degrades as soon as traffic exposes the stall), :meth:`on_pump`
+    at every round, and :meth:`on_journal_error` when durability I/O
+    fails.  :attr:`state` then gates admission: a degraded shard rejects
+    new BULK work and drops its interactive reserve while it drains.
+    """
+
+    def __init__(self, policy: HealthPolicy = HealthPolicy(), start: float = 0.0):
+        self.policy = policy
+        self._state = HealthState.HEALTHY
+        self._last_pump = start
+        self._timely_pumps = 0
+        self.journal_errors = 0
+        self._transitions: List[Tuple[float, str, str]] = []
+
+    @property
+    def state(self) -> HealthState:
+        """Current verdict."""
+        return self._state
+
+    @property
+    def degraded(self) -> bool:
+        """True while the shard should shed new batch work."""
+        return self._state is HealthState.DEGRADED
+
+    @property
+    def transitions(self) -> Tuple[Tuple[float, str, str], ...]:
+        """Every ``(now, from, to)`` transition, in order."""
+        return tuple(self._transitions)
+
+    def _move(self, now: float, to: HealthState) -> None:
+        if to is self._state:
+            return
+        self._transitions.append((now, self._state.value, to.value))
+        self._state = to
+
+    def on_submit(self, now: float) -> None:
+        """Check cadence at admission time: has the shard gone dark?"""
+        if now - self._last_pump > self.policy.deadline:
+            self._timely_pumps = 0
+            self._move(now, HealthState.DEGRADED)
+
+    def on_pump(self, now: float) -> None:
+        """Record one pump round; timely rounds earn recovery credit."""
+        timely = now - self._last_pump <= self.policy.deadline
+        self._last_pump = now
+        if not timely:
+            self._timely_pumps = 0
+            self._move(now, HealthState.DEGRADED)
+            return
+        if self._state is HealthState.DEGRADED:
+            self._timely_pumps += 1
+            if self._timely_pumps >= self.policy.recovery_pumps:
+                self._timely_pumps = 0
+                self._move(now, HealthState.HEALTHY)
+
+    def on_journal_error(self, now: float) -> None:
+        """A durability failure immediately degrades the shard."""
+        self.journal_errors += 1
+        self._timely_pumps = 0
+        self._move(now, HealthState.DEGRADED)

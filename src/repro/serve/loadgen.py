@@ -15,16 +15,29 @@ dedup hits, same results.
 
 from __future__ import annotations
 
+import hashlib
+import pickle
 import random
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Sequence, Tuple
+from pathlib import Path
+from typing import (
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.api.manager import validate_condition
 from repro.apps import all_applications
 from repro.apps.base import SensingApplication
-from repro.errors import ServiceError
+from repro.errors import ServiceError, ServiceKilled
 from repro.power.phone import NEXUS4, PhonePowerProfile
+from repro.serve.journal import RecoveryStats
 from repro.serve.metrics import MetricsSnapshot
 from repro.serve.scheduler import HUB_CATALOGS
 from repro.serve.service import ConditionService
@@ -36,6 +49,7 @@ from repro.serve.submission import (
     Response,
     ServeResult,
     Submission,
+    Ticket,
 )
 from repro.sim.configs.sidewinder import Sidewinder
 from repro.sim.simulator import run_wakeup_condition
@@ -279,3 +293,154 @@ def run_fleet(
     report.wall_s = time.perf_counter() - started
     report.metrics = service.metrics()
     return report
+
+
+def response_digest(responses: Iterable[Response]) -> str:
+    """Order-insensitive SHA-256 digest over terminal responses.
+
+    Each response is pickled on its own (so shared result objects
+    serialize identically regardless of which responses accompany
+    them), the pickles are sorted, and the digest runs over the
+    concatenation.  Two drives whose responses are bit-identical as a
+    *set* — the recovery guarantee — digest equal even though recovery
+    reorders re-answered, re-executed and re-driven work.  Callers
+    supply one response per ticket (the natural shape of a drive).
+    """
+    blobs = sorted(
+        pickle.dumps(response, protocol=4) for response in responses
+    )
+    digest = hashlib.sha256()
+    for blob in blobs:
+        digest.update(blob)
+    return digest.hexdigest()
+
+
+def run_fleet_with_recovery(
+    service: ConditionService,
+    submissions: Sequence[Submission],
+    traces: Mapping[str, Trace],
+    journal: Union[str, Path],
+    pump_every: int = 32,
+    recover_kwargs: Optional[Dict[str, object]] = None,
+) -> Tuple[LoadReport, Optional[RecoveryStats], ConditionService]:
+    """Drive a workload through a crash-prone service, recovering kills.
+
+    Behaves exactly like :func:`run_fleet` against a service whose
+    fault plan never fires.  When the service's
+    :class:`~repro.serve.faults.ServiceFaultPlan` kills it
+    (:class:`~repro.errors.ServiceKilled`), the driver rebuilds a
+    service with :meth:`ConditionService.recover` and **resumes the
+    stream right after the last durable accept** — the submissions the
+    crash forgot are re-driven through the recovered service, which
+    (by the restored ticket counter, clock and quota state) hands out
+    the same ticket ids and produces bit-identical responses and
+    rejections.  Pump cadence is keyed to the global stream index, so
+    resumed pumping stays aligned with the uninterrupted run.
+
+    Args:
+        service: The (possibly fault-planned) service to drive first.
+        submissions: The full workload, in arrival order.
+        traces: Trace registry for :meth:`ConditionService.recover`.
+        journal: The journal path the service writes (and recovery
+            reads).
+        pump_every: Pump cadence over the global stream index.
+        recover_kwargs: Extra keyword arguments for ``recover`` (quota,
+            capacity, jobs, ... — pass the service's construction
+            parameters so the rebuilt shard matches).
+
+    Returns:
+        ``(report, stats, service)`` — the merged load report (one
+        response per accepted ticket), the last recovery's stats
+        (``None`` when no kill fired), and the service left running at
+        the end (callers own its shutdown).
+    """
+    kwargs = dict(recover_kwargs or {})
+    report = LoadReport()
+    started = time.perf_counter()
+    svc = service
+    stats: Optional[RecoveryStats] = None
+    ticket_by_index: Dict[int, Ticket] = {}
+    rejection_by_index: Dict[int, Rejected] = {}
+    submission_by_index: Dict[int, Submission] = {}
+    sid_to_index: Dict[int, int] = {}
+    responses_by_sid: Dict[int, Response] = {}
+    # Global stream indices at which a *non-empty* pump ran.  Queue
+    # occupancy at a boundary is deterministic, so the journal's r-th
+    # round record corresponds to the r-th smallest index here — which
+    # is how recovery knows not to re-fire a boundary whose round is
+    # already durable.
+    pump_boundaries: set = set()
+
+    def recovered() -> Tuple[ConditionService, int]:
+        nonlocal stats
+        new_svc, stats = ConditionService.recover(journal, traces, **kwargs)
+        for response in (*stats.replayed, *stats.reexecuted):
+            responses_by_sid[response.ticket.submission_id] = response
+        # Resume right after the last durable accept AND the last
+        # durable round's boundary; everything the crash forgot is
+        # re-driven (and re-decided identically), while rounds that
+        # already ran are never re-fired.
+        last_sid = stats.next_id - 1
+        resume = sid_to_index[last_sid] + 1 if last_sid in sid_to_index else 0
+        boundaries = sorted(pump_boundaries)
+        if stats.rounds > len(boundaries):
+            # The extra rounds ran inside drain(), past the stream —
+            # the whole stream is already driven.
+            resume = len(submissions)
+        elif stats.rounds > 0:
+            resume = max(resume, boundaries[stats.rounds - 1] + 1)
+        for index in [k for k in ticket_by_index if k >= resume]:
+            sid = ticket_by_index.pop(index).submission_id
+            sid_to_index.pop(sid, None)
+            responses_by_sid.pop(sid, None)
+        for index in [k for k in rejection_by_index if k >= resume]:
+            del rejection_by_index[index]
+        return new_svc, resume
+
+    i = 0
+    while i < len(submissions):
+        submission = submissions[i]
+        try:
+            outcome = svc.submit(submission)
+        except ServiceKilled:
+            svc, i = recovered()
+            continue
+        submission_by_index[i] = submission
+        if isinstance(outcome, Rejected):
+            rejection_by_index[i] = outcome
+        else:
+            ticket_by_index[i] = outcome
+            sid_to_index[outcome.submission_id] = i
+        if (i + 1) % max(1, pump_every) == 0:
+            if svc.queue_depth:
+                pump_boundaries.add(i)
+            try:
+                for response in svc.pump():
+                    responses_by_sid[response.ticket.submission_id] = response
+            except ServiceKilled:
+                svc, i = recovered()
+                continue
+        i += 1
+    while True:
+        try:
+            for response in svc.drain():
+                responses_by_sid[response.ticket.submission_id] = response
+            break
+        except ServiceKilled:
+            svc, _ = recovered()
+
+    report.submitted = len(submissions)
+    report.tickets = len(ticket_by_index)
+    report.rejections = [
+        rejection_by_index[k] for k in sorted(rejection_by_index)
+    ]
+    report.by_ticket = {
+        ticket_by_index[k].submission_id: submission_by_index[k]
+        for k in ticket_by_index
+    }
+    report.responses = [
+        responses_by_sid[sid] for sid in sorted(responses_by_sid)
+    ]
+    report.wall_s = time.perf_counter() - started
+    report.metrics = svc.metrics()
+    return report, stats, svc

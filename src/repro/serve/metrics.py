@@ -80,6 +80,14 @@ class MetricsSnapshot:
             the default logical clock).
         queue_depth: Submissions queued at snapshot time.
         store_size: Unexpired responses held by the result store.
+        store_spilled: Of those, how many currently live in the spill
+            tier on disk.
+        journal_errors: Write-ahead-journal append/flush failures
+            (injected or real) the service survived.
+        health_state: The :class:`~repro.serve.health.HealthMonitor`
+            verdict (``"healthy"`` / ``"degraded"``) at snapshot time.
+        health_transitions: Every ``(now, from, to)`` health transition
+            so far, in order — deterministic under the logical clock.
     """
 
     submitted: int
@@ -96,6 +104,10 @@ class MetricsSnapshot:
     latency_p99: float
     queue_depth: int
     store_size: int
+    store_spilled: int = 0
+    journal_errors: int = 0
+    health_state: str = "healthy"
+    health_transitions: Tuple[Tuple[float, str, str], ...] = ()
 
     @property
     def rejected_total(self) -> int:
@@ -120,6 +132,12 @@ class MetricsSnapshot:
             "latency_p99": self.latency_p99,
             "queue_depth": self.queue_depth,
             "store_size": self.store_size,
+            "store_spilled": self.store_spilled,
+            "journal_errors": self.journal_errors,
+            "health_state": self.health_state,
+            "health_transitions": [
+                list(transition) for transition in self.health_transitions
+            ],
         }
 
     def describe(self) -> str:
@@ -139,7 +157,10 @@ class MetricsSnapshot:
                 f"latency p50/p90/p99 {self.latency_p50:g}/"
                 f"{self.latency_p90:g}/{self.latency_p99:g} rounds",
                 f"queue depth {self.queue_depth} | stored results "
-                f"{self.store_size}",
+                f"{self.store_size} ({self.store_spilled} spilled)",
+                f"health {self.health_state} | transitions "
+                f"{len(self.health_transitions)} | journal errors "
+                f"{self.journal_errors}",
             ]
         )
 
@@ -169,7 +190,15 @@ class MetricsRecorder:
             self.dedup_hits += 1
         self.latencies.append(latency)
 
-    def snapshot(self, queue_depth: int, store_size: int) -> MetricsSnapshot:
+    def snapshot(
+        self,
+        queue_depth: int,
+        store_size: int,
+        store_spilled: int = 0,
+        journal_errors: int = 0,
+        health_state: str = "healthy",
+        health_transitions: Tuple[Tuple[float, str, str], ...] = (),
+    ) -> MetricsSnapshot:
         """Freeze the counters into a :class:`MetricsSnapshot`."""
         return MetricsSnapshot(
             submitted=self.submitted,
@@ -188,4 +217,8 @@ class MetricsRecorder:
             latency_p99=percentile(self.latencies, 99),
             queue_depth=queue_depth,
             store_size=store_size,
+            store_spilled=store_spilled,
+            journal_errors=journal_errors,
+            health_state=health_state,
+            health_transitions=health_transitions,
         )

@@ -78,6 +78,26 @@ class LaneQueue(Generic[T]):
         self._lanes[lane].append(item)
         return True
 
+    def restore(self, item: T, lane: Lane) -> None:
+        """Re-enqueue an already-admitted item, ignoring capacity.
+
+        Crash recovery uses this for journaled accepts that never
+        reached a scheduling round: they were admitted before the
+        crash, so they must not be re-subjected to capacity checks a
+        smaller post-restart queue might fail.
+        """
+        self._lanes[lane].append(item)
+
+    def retract(self, lane: Lane) -> None:
+        """Undo the most recent :meth:`offer` on ``lane``.
+
+        The service offers before journaling so ticket ids stay in
+        queue order; when the journal append then fails, the entry must
+        come back out — the tenant got a rejection, not a ticket.
+        """
+        if self._lanes[lane]:
+            self._lanes[lane].pop()
+
     def take(self, limit: int) -> List[T]:
         """Dequeue up to ``limit`` items, interactive lane first."""
         taken: List[T] = []

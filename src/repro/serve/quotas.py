@@ -74,6 +74,15 @@ class AdmissionController:
         self._pending[tenant] += 1
         self._accepted[tenant] += 1
 
+    def on_requeued(self, tenant: str) -> None:
+        """Crash recovery put an already-accepted submission back.
+
+        Restores the pending slot without double-charging the lifetime
+        budget (the original :meth:`on_accepted` already charged it and
+        the journal replay reconstructs that charge).
+        """
+        self._pending[tenant] += 1
+
     def on_scheduled(self, tenant: str) -> None:
         """A queued submission left the queue for the scheduler."""
         count = self._pending[tenant]

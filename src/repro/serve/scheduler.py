@@ -231,6 +231,23 @@ class Scheduler:
             self._memo.pop(next(iter(self._memo)))
         self._memo[key] = result
 
+    def seed_memo(self, submission: Submission, result: ServeResult) -> bool:
+        """Pre-load the coalescing memo with a known (submission, result).
+
+        Crash recovery calls this with journaled completions before
+        re-executing an interrupted round, so coalesced members whose
+        payer already completed durably coalesce onto the *same* result
+        object again — preserving dedup flags and bit-identity without
+        re-entering the engine.  Returns False (and seeds nothing) for
+        submissions that no longer resolve.
+        """
+        try:
+            work = self._resolve(submission)
+        except SidewinderError:
+            return False
+        self._remember(work.key, result)
+        return True
+
     def run_batch(
         self, entries: Sequence[Tuple[Ticket, Submission]], now: float
     ) -> Tuple[List[Response], int]:

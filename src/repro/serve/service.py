@@ -17,13 +17,43 @@ Everything that can go wrong for one tenant is a structured value —
 :class:`~repro.serve.submission.Failed` per request after acceptance —
 so no tenant's input can poison another tenant's batch, and quota
 rejections interleave freely with accepted work.
+
+With a ``journal`` path the shard is also **crash-recoverable**: every
+acceptance is journaled before its ticket escapes, every scheduling
+round and terminal response is journaled behind it, and
+:meth:`ConditionService.recover` rebuilds an equivalent service from
+the journal — completed work re-answered bit-identically, the
+interrupted round re-executed at its original logical time, the rest
+re-enqueued, and tenant quota state reconstructed so a restart cannot
+be used to reset budgets.  A :class:`~repro.serve.health.HealthMonitor`
+supervises the shard's own pump cadence and sheds new batch work while
+the shard is degraded.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Mapping, Optional, Union
+from pathlib import Path
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
+from repro.errors import JournalError, ServiceKilled
 from repro.power.phone import NEXUS4, PhonePowerProfile
+from repro.serve.faults import ServiceFaultInjector, ServiceFaultPlan
+from repro.serve.health import HealthMonitor, HealthPolicy
+from repro.serve.journal import (
+    JournalWriter,
+    RecoveryStats,
+    read_journal,
+    truncate_journal,
+)
 from repro.serve.metrics import LogicalClock, MetricsRecorder, MetricsSnapshot
 from repro.serve.queue import LaneQueue
 from repro.serve.quotas import AdmissionController, TenantQuota
@@ -35,6 +65,7 @@ from repro.serve.submission import (
     Lane,
     Rejected,
     Response,
+    ServeResult,
     Submission,
     Ticket,
 )
@@ -53,6 +84,11 @@ DEFAULT_BATCH_SIZE = 64
 #: Default result TTL in service-clock units (scheduling rounds under
 #: the logical clock).
 DEFAULT_RESULT_TTL = 512.0
+
+#: Bound on the journal's result-reference map: completed results kept
+#: strongly referenced so later coalesced completions journal a small
+#: ``cref`` record instead of re-pickling a shared payload.
+DEFAULT_CREF_ENTRIES = 1024
 
 
 class ConditionService:
@@ -73,6 +109,20 @@ class ConditionService:
         profile: Phone power profile for every run.
         context: Optional externally owned engine context (share one
             across services to share its caches).
+        journal: Optional write-ahead journal path.  When set, every
+            acceptance is made durable before its ticket escapes and
+            :meth:`recover` can rebuild the shard after a crash.
+        faults: Optional deterministic
+            :class:`~repro.serve.faults.ServiceFaultPlan` — kills the
+            process at planned submission/pump boundaries and injects
+            journal I/O errors (robustness tests only).
+        health: Liveness policy for the shard's
+            :class:`~repro.serve.health.HealthMonitor`; a degraded
+            shard rejects new bulk work (``reason="degraded"``) while
+            it keeps draining accepted work.
+        spill_dir: Optional directory for the result store's disk tier.
+        memory_budget: With ``spill_dir``, how many responses stay
+            resident in memory before older ones spill.
 
     Raises:
         ServiceError: on inconsistent construction parameters.
@@ -90,6 +140,11 @@ class ConditionService:
         clock: Optional[Callable[[], float]] = None,
         profile: PhonePowerProfile = NEXUS4,
         context: Optional[RunContext] = None,
+        journal: Optional[Union[str, Path]] = None,
+        faults: Optional[ServiceFaultPlan] = None,
+        health: Optional[HealthPolicy] = None,
+        spill_dir: Optional[Union[str, Path]] = None,
+        memory_budget: Optional[int] = None,
     ):
         self._clock = clock if clock is not None else LogicalClock()
         self._queue: LaneQueue = LaneQueue(capacity, interactive_reserve)
@@ -98,12 +153,30 @@ class ConditionService:
         self._scheduler = Scheduler(
             traces, context=self._context, jobs=jobs, profile=profile
         )
-        self._store = ResultStore(result_ttl)
+        self._store = ResultStore(
+            result_ttl, spill_dir=spill_dir, memory_budget=memory_budget
+        )
         self._metrics = MetricsRecorder()
         self._jobs = jobs
         self._batch_size = max(1, int(batch_size))
         self._next_id = 1
         self._closed = False
+        self._faults = (
+            ServiceFaultInjector(faults) if faults is not None else None
+        )
+        self._journal = (
+            JournalWriter(journal, faults=self._faults)
+            if journal is not None
+            else None
+        )
+        self._health = HealthMonitor(
+            health if health is not None else HealthPolicy(),
+            start=self._now(),
+        )
+        self._pump_index = 0
+        # id(result) -> (result, submission_id): strong refs, so a live
+        # id can never be recycled while its map entry exists.
+        self._journaled_results: Dict[int, Tuple[ServeResult, int]] = {}
 
     # -- clock plumbing -------------------------------------------------
 
@@ -120,16 +193,26 @@ class ConditionService:
     def submit(self, submission: Submission) -> Union[Ticket, Rejected]:
         """Admit one submission: a :class:`Ticket`, or why not.
 
-        Admission checks run in order: service liveness, structural
-        validity, registry membership (app/trace/hub names), tenant
-        quota and budget, then queue capacity (with the interactive
-        reserve).  All refusals are values — nothing here raises for a
-        bad request.
+        Admission checks run in order: service liveness, shard health
+        (a degraded shard sheds new bulk work), structural validity,
+        registry membership (app/trace/hub names), tenant quota and
+        budget, then queue capacity (with the interactive reserve).
+        With a journal, the acceptance is made durable *before* the
+        ticket is returned; a journal failure retracts the queue entry
+        and comes back as ``Rejected(reason="journal_unavailable")``.
+        All refusals are values — nothing here raises for a bad
+        request.
         """
         self._metrics.submitted += 1
         tenant = submission.tenant
         if self._closed:
             return self._reject(tenant, "shutdown", "service is shut down")
+        self._health.on_submit(self._now())
+        if self._health.degraded and submission.lane is Lane.BULK:
+            return self._reject(
+                tenant, "degraded",
+                "shard is degraded and sheds new bulk work while draining",
+            )
         if (submission.app is None) == (submission.il is None):
             return self._reject(
                 tenant, "malformed",
@@ -176,40 +259,145 @@ class ConditionService:
                 tenant, reason,
                 f"queue depth {len(self._queue)}/{self._queue.capacity}",
             )
+        if self._journal is not None:
+            try:
+                self._journal.append(
+                    ("accept", ticket.submission_id, ticket.submitted_at,
+                     submission)
+                )
+            except JournalError as error:
+                # The ticket must not escape un-journaled: take the
+                # entry back out and refuse the submission instead.
+                self._queue.retract(submission.lane)
+                self._health.on_journal_error(self._now())
+                return self._reject(tenant, "journal_unavailable", str(error))
         self._next_id += 1
         self._metrics.accepted += 1
         self._admission.on_accepted(tenant)
+        if self._faults is not None and self._faults.kill_on_accept():
+            self._kill()
         return ticket
 
     def _reject(self, tenant: str, reason: str, detail: str) -> Rejected:
         self._metrics.on_rejected(reason)
         return Rejected(tenant, reason, detail)
 
+    def _kill(self) -> None:
+        """Simulate abrupt process death at a planned fault point."""
+        plan = self._faults.plan
+        if self._journal is not None:
+            self._journal.crash(plan.torn_tail_bytes or None)
+        self._closed = True
+        if self._jobs > 1:
+            shutdown_pool()
+        raise ServiceKilled(
+            f"service killed by fault plan (seed {plan.seed})"
+        )
+
+    # -- journal plumbing -----------------------------------------------
+
+    def _journal_round(
+        self, now: float, entries: Sequence[Tuple[Ticket, Submission]]
+    ) -> None:
+        """Make this round — and every buffered accept — durable."""
+        if self._journal is None:
+            return
+        member_ids = tuple(ticket.submission_id for ticket, _ in entries)
+        try:
+            self._journal.append(("round", now, member_ids))
+            self._journal.flush()
+        except JournalError:
+            self._health.on_journal_error(now)
+
+    def _remember_result(self, result: ServeResult, sid: int) -> None:
+        key = id(result)
+        if key in self._journaled_results:
+            return
+        while len(self._journaled_results) >= DEFAULT_CREF_ENTRIES:
+            self._journaled_results.pop(next(iter(self._journaled_results)))
+        self._journaled_results[key] = (result, sid)
+
+    def _journal_responses(
+        self, now: float, responses: Sequence[Response]
+    ) -> None:
+        """Buffer completion records, sharing payloads via ``cref``."""
+        if self._journal is None:
+            return
+        try:
+            for response in responses:
+                sid = response.ticket.submission_id
+                if isinstance(response, Completed):
+                    ref = self._journaled_results.get(id(response.result))
+                    if ref is not None:
+                        self._journal.append(
+                            ("cref", sid, now, ref[1], response.dedup,
+                             response.latency)
+                        )
+                        continue
+                    self._journal.append(("complete", sid, now, response))
+                    self._remember_result(response.result, sid)
+                else:
+                    self._journal.append(("complete", sid, now, response))
+        except JournalError:
+            self._health.on_journal_error(now)
+
+    def _journal_flush(self) -> None:
+        if self._journal is None:
+            return
+        try:
+            self._journal.flush()
+        except JournalError:
+            self._health.on_journal_error(self._now())
+
+    # -- scheduling -----------------------------------------------------
+
     def pump(self) -> List[Response]:
         """Run one scheduling round over up to ``batch_size`` submissions.
 
         Returns the round's terminal responses (also fetchable via
         :meth:`result` until their TTL lapses).  A no-op on an empty
-        queue.
+        queue.  With a journal, the round's membership is flushed
+        before execution and its completions are flushed at round end,
+        so a crash anywhere inside the round is recoverable with the
+        round's original batch and logical time.
         """
         self._store.evict_expired(self._now())
         entries = self._queue.take(self._batch_size)
         if not entries:
+            self._health.on_pump(self._now())
             return []
+        round_index = self._pump_index
+        self._pump_index += 1
         for ticket, _ in entries:
             self._admission.on_scheduled(ticket.tenant)
         self._tick()
+        round_now = self._now()
+        self._journal_round(round_now, entries)
+        if self._faults is not None and self._faults.kill_on_pump(
+            round_index, "begin"
+        ):
+            self._kill()
         responses, engine_runs = self._scheduler.run_batch(
-            entries, now=self._now()
+            entries, now=round_now
         )
         self._metrics.engine_runs += engine_runs
-        now = self._now()
         for response in responses:
             if isinstance(response, Completed):
                 self._metrics.on_completed(response.latency, response.dedup)
             else:
                 self._metrics.failed += 1
-            self._store.put(response.ticket.submission_id, response, now)
+            self._store.put(response.ticket.submission_id, response, round_now)
+        if self._faults is not None and self._faults.kill_on_pump(
+            round_index, "store"
+        ):
+            self._kill()
+        self._journal_responses(round_now, responses)
+        if self._faults is not None and self._faults.kill_on_pump(
+            round_index, "end"
+        ):
+            self._kill()
+        self._journal_flush()
+        self._health.on_pump(round_now)
         return responses
 
     def drain(self) -> List[Response]:
@@ -224,9 +412,15 @@ class ConditionService:
         return self._store.get(submission_id, self._now())
 
     def metrics(self) -> MetricsSnapshot:
-        """Current counters, dedup hit-rate and latency percentiles."""
+        """Current counters, dedup hit-rate, latency percentiles, and
+        durability/health state."""
         return self._metrics.snapshot(
-            queue_depth=len(self._queue), store_size=len(self._store)
+            queue_depth=len(self._queue),
+            store_size=len(self._store),
+            store_spilled=self._store.spilled_count,
+            journal_errors=self._health.journal_errors,
+            health_state=self._health.state.value,
+            health_transitions=self._health.transitions,
         )
 
     @property
@@ -239,6 +433,16 @@ class ConditionService:
         """True once :meth:`shutdown` has run."""
         return self._closed
 
+    @property
+    def health(self) -> HealthMonitor:
+        """The shard's liveness supervisor."""
+        return self._health
+
+    @property
+    def journal_path(self) -> Optional[Path]:
+        """Where this shard journals, or ``None`` when not durable."""
+        return self._journal.path if self._journal is not None else None
+
     # -- lifecycle ------------------------------------------------------
 
     def shutdown(self, drain: bool = True) -> List[Response]:
@@ -250,9 +454,11 @@ class ConditionService:
                 False, queued submissions become structured
                 :class:`Cancelled` responses without running.
 
-        The engine's persistent process pool is torn down through
-        :func:`repro.sim.engine.shutdown_pool` (itself idempotent), so
-        no worker futures outlive the service.
+        The journal is flushed and closed (cancellations included, so a
+        restart re-answers them instead of re-running them), spill
+        files are removed, and the engine's persistent process pool is
+        torn down through :func:`repro.sim.engine.shutdown_pool`
+        (itself idempotent), so no worker futures outlive the service.
         """
         if self._closed:
             return []
@@ -267,7 +473,222 @@ class ConditionService:
                 self._metrics.cancelled += 1
                 self._store.put(ticket.submission_id, cancelled, now)
                 responses.append(cancelled)
+            self._journal_responses(now, responses)
         self._closed = True
+        if self._journal is not None:
+            try:
+                self._journal.close()
+            except JournalError:
+                pass
+        self._store.close()
         if self._jobs > 1:
             shutdown_pool()
         return responses
+
+    # -- crash recovery -------------------------------------------------
+
+    @classmethod
+    def recover(
+        cls,
+        journal: Union[str, Path],
+        traces: Mapping[str, Trace],
+        quota: Optional[TenantQuota] = None,
+        capacity: int = DEFAULT_CAPACITY,
+        interactive_reserve: int = DEFAULT_INTERACTIVE_RESERVE,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        jobs: int = 1,
+        result_ttl: float = DEFAULT_RESULT_TTL,
+        profile: PhonePowerProfile = NEXUS4,
+        context: Optional[RunContext] = None,
+        faults: Optional[ServiceFaultPlan] = None,
+        health: Optional[HealthPolicy] = None,
+        spill_dir: Optional[Union[str, Path]] = None,
+        memory_budget: Optional[int] = None,
+    ) -> Tuple["ConditionService", RecoveryStats]:
+        """Rebuild a crashed shard from its write-ahead journal.
+
+        The recovery invariants:
+
+        * a damaged journal (torn tail, bad-CRC record) is truncated to
+          its longest valid prefix — reported, never raised;
+        * every durable completion is re-answered **bit-identically**
+          (same ids, same payloads, same dedup flags and latencies) and
+          re-stored under its original completion time;
+        * the interrupted round, if any, is re-executed through the
+          engine at its journaled logical time, with the coalescing
+          memo pre-seeded from durable completions so payer/dedup
+          structure is preserved;
+        * accepts that never reached a round are re-enqueued;
+        * the ticket counter, logical clock, and per-tenant quota state
+          (pending and lifetime budgets) are restored, so a restart
+          cannot be used to reset budgets and the resumed submission
+          stream reproduces the uninterrupted run exactly.
+
+        Returns:
+            ``(service, stats)`` — the rebuilt service (journaling to
+            the same file) and a :class:`RecoveryStats` describing what
+            was replayed, re-executed, re-enqueued and truncated.
+
+        Raises:
+            JournalError: when the journal file itself cannot be read
+                or truncated.
+        """
+        journal = Path(journal)
+        scan = read_journal(journal)
+        if scan.truncated_bytes:
+            truncate_journal(journal, scan.valid_bytes)
+
+        accepts: Dict[int, Tuple[float, Submission]] = {}
+        completions: Dict[int, Tuple[float, Response]] = {}
+        rounds: List[Tuple[float, Tuple[int, ...]]] = []
+        clock = 0.0
+        for record in scan.records:
+            kind = record[0]
+            if kind == "accept":
+                _, sid, now, submission = record
+                accepts[sid] = (now, submission)
+            elif kind == "round":
+                _, now, member_ids = record
+                rounds.append((now, tuple(member_ids)))
+            elif kind == "complete":
+                _, sid, now, response = record
+                completions[sid] = (now, response)
+            else:  # cref: a completion sharing an earlier payload
+                _, sid, now, ref_sid, dedup, latency = record
+                base = completions.get(ref_sid)
+                accepted = accepts.get(sid)
+                if (
+                    accepted is not None
+                    and base is not None
+                    and isinstance(base[1], Completed)
+                ):
+                    ticket = Ticket(sid, accepted[1].tenant, accepted[0])
+                    completions[sid] = (
+                        now,
+                        Completed(
+                            ticket, base[1].result,
+                            dedup=dedup, latency=latency,
+                        ),
+                    )
+            clock = max(clock, now)
+
+        service = cls(
+            traces,
+            quota=quota,
+            capacity=capacity,
+            interactive_reserve=interactive_reserve,
+            batch_size=batch_size,
+            jobs=jobs,
+            result_ttl=result_ttl,
+            clock=LogicalClock(start=clock),
+            profile=profile,
+            context=context,
+            journal=journal,
+            faults=faults,
+            health=health,
+            spill_dir=spill_dir,
+            memory_budget=memory_budget,
+        )
+        if accepts:
+            service._next_id = max(accepts) + 1
+        service._pump_index = len(rounds)
+
+        # Quota state: every durable accept charged the tenant's
+        # lifetime budget and took a pending slot ...
+        for _, (_, submission) in accepts.items():
+            service._admission.on_accepted(submission.tenant)
+            service._metrics.submitted += 1
+            service._metrics.accepted += 1
+
+        # ... and every durable completion had already left the queue.
+        replayed: List[Response] = []
+        for sid, (completed_at, response) in completions.items():
+            accepted = accepts.get(sid)
+            if accepted is not None:
+                service._admission.on_scheduled(accepted[1].tenant)
+            if isinstance(response, Completed):
+                service._metrics.on_completed(response.latency, response.dedup)
+                # Seed the coalescing memo (payers only — they carry
+                # the authoritative result) and the journal's
+                # result-reference map, so post-recovery coalescing
+                # and journaling behave exactly as before the crash.
+                if not response.dedup and accepted is not None:
+                    service._scheduler.seed_memo(
+                        accepted[1], response.result
+                    )
+                service._remember_result(response.result, sid)
+            elif isinstance(response, Cancelled):
+                service._metrics.cancelled += 1
+            else:
+                service._metrics.failed += 1
+            service._store.put(sid, response, completed_at)
+            replayed.append(response)
+
+        # Re-execute interrupted rounds at their original logical time.
+        # Normally only the last round can be incomplete (completions
+        # flush at round end), but injected journal errors can lose an
+        # earlier round's completions too — handle all of them.
+        reexecuted: List[Response] = []
+        in_rounds = set()
+        for round_now, member_ids in rounds:
+            in_rounds.update(member_ids)
+            missing = [
+                sid
+                for sid in member_ids
+                if sid not in completions and sid in accepts
+            ]
+            if not missing:
+                continue
+            entries = [
+                (
+                    Ticket(sid, accepts[sid][1].tenant, accepts[sid][0]),
+                    accepts[sid][1],
+                )
+                for sid in missing
+            ]
+            for ticket, _ in entries:
+                service._admission.on_scheduled(ticket.tenant)
+            responses, engine_runs = service._scheduler.run_batch(
+                entries, now=round_now
+            )
+            service._metrics.engine_runs += engine_runs
+            for response in responses:
+                if isinstance(response, Completed):
+                    service._metrics.on_completed(
+                        response.latency, response.dedup
+                    )
+                else:
+                    service._metrics.failed += 1
+                service._store.put(
+                    response.ticket.submission_id, response, round_now
+                )
+            service._journal_responses(round_now, responses)
+            service._journal_flush()
+            reexecuted.extend(responses)
+
+        # Accepts that never reached a round go back in the queue,
+        # bypassing capacity checks — they were admitted pre-crash.
+        requeued: List[int] = []
+        for sid, (accepted_at, submission) in accepts.items():
+            if sid in completions or sid in in_rounds:
+                continue
+            ticket = Ticket(sid, submission.tenant, accepted_at)
+            service._queue.restore((ticket, submission), submission.lane)
+            requeued.append(sid)
+
+        stats = RecoveryStats(
+            journal_bytes=scan.total_bytes,
+            valid_bytes=scan.valid_bytes,
+            truncated_bytes=scan.truncated_bytes,
+            truncation_reason=scan.reason,
+            records=len(scan.records),
+            accepts=len(accepts),
+            rounds=len(rounds),
+            completions=len(completions),
+            replayed=tuple(replayed),
+            reexecuted=tuple(reexecuted),
+            requeued=tuple(requeued),
+            next_id=service._next_id,
+            clock=clock,
+        )
+        return service, stats

@@ -4,13 +4,30 @@ A fleet backend cannot hold every historical result for every tenant;
 responses live for a bounded time after completion and are then
 evicted.  Eviction is driven by the service clock (logical by default),
 so tests can observe and control expiry deterministically.
+
+The store optionally carries a **spill tier**: with a ``spill_dir`` and
+a finite ``memory_budget``, the hottest ``memory_budget`` responses
+stay in memory and older ones are spilled to disk in the
+npz+JSON-sidecar format of :mod:`repro.serve.persist` (itself borrowed
+from :mod:`repro.traces.io`), then transparently faulted back on
+:meth:`get`.  TTL eviction is unified across both tiers: an expired
+entry disappears from memory *and* disk in the same scan.
+
+The entry dict is kept ordered by expiry — puts happen at
+monotonically non-decreasing times, and a re-put of an existing id
+moves the key to the end — so the eviction scan may stop at the first
+unexpired entry.  (An earlier version left re-put keys in their old
+position, which broke that monotonicity and let the early ``break``
+strand expired entries sitting behind a refreshed one.)
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
 
-from repro.errors import ServiceError
+from repro.errors import JournalError, ServiceError
+from repro.serve import persist
 from repro.serve.submission import Response
 
 
@@ -19,40 +36,118 @@ class ResultStore:
 
     Args:
         ttl: Clock units a response stays fetchable after completion.
+        spill_dir: Directory for the disk tier; ``None`` (default)
+            keeps everything in memory and never spills.
+        memory_budget: With a spill tier, how many responses stay
+            resident; beyond that, the entries furthest from expiry
+            eviction (the oldest) spill to disk.
 
     Raises:
-        ServiceError: on a non-positive TTL.
+        ServiceError: on a non-positive TTL or memory budget, or a
+            memory budget without a spill directory.
     """
 
-    def __init__(self, ttl: float):
+    def __init__(
+        self,
+        ttl: float,
+        spill_dir: Optional[Union[str, Path]] = None,
+        memory_budget: Optional[int] = None,
+    ):
         if ttl <= 0:
             raise ServiceError(f"result TTL must be positive, got {ttl}")
+        if memory_budget is not None:
+            if spill_dir is None:
+                raise ServiceError(
+                    "memory_budget requires a spill_dir to spill into"
+                )
+            if memory_budget < 1:
+                raise ServiceError(
+                    f"memory_budget must be >= 1, got {memory_budget}"
+                )
         self.ttl = float(ttl)
-        # Insertion-ordered by construction: puts happen at
-        # monotonically non-decreasing times, so eviction scans stop at
-        # the first unexpired entry.
-        self._entries: Dict[int, Tuple[float, Response]] = {}
+        self.spill_dir = Path(spill_dir) if spill_dir is not None else None
+        self.memory_budget = memory_budget
+        self.spill_writes = 0
+        self.spill_reads = 0
+        # Ordered by expiry: puts happen at monotonically non-decreasing
+        # times and a re-put moves its key to the end, so the eviction
+        # scan may stop at the first unexpired entry.  A ``None``
+        # response means the payload lives in the spill tier.
+        self._entries: Dict[int, Tuple[float, Optional[Response]]] = {}
 
     def __len__(self) -> int:
         return len(self._entries)
 
+    @property
+    def spilled_count(self) -> int:
+        """Entries whose payload currently lives on disk."""
+        return sum(
+            1 for _, response in self._entries.values() if response is None
+        )
+
     def put(self, submission_id: int, response: Response, now: float) -> None:
-        """Store one terminal response."""
+        """Store one terminal response.
+
+        A re-put of an existing id refreshes its TTL and moves the key
+        to the end of the expiry order (the fix for the stranded-entry
+        eviction bug); any stale spill file for the id is dropped so
+        the disk tier never shadows a newer payload.
+        """
+        if submission_id in self._entries:
+            _, old = self._entries.pop(submission_id)
+            if old is None and self.spill_dir is not None:
+                persist.delete_response(self.spill_dir, submission_id)
         self._entries[submission_id] = (now + self.ttl, response)
+        self._maybe_spill()
+
+    def _maybe_spill(self, keep: Optional[int] = None) -> None:
+        if self.memory_budget is None:
+            return
+        resident = [
+            sid
+            for sid, (_, response) in self._entries.items()
+            if response is not None
+        ]
+        excess = max(0, len(resident) - self.memory_budget)
+        # Spill from the front: entries closest to expiry go to disk
+        # first, keeping the most recently stored responses hot.  The
+        # entry a get() just faulted back is hot by definition, so it
+        # never bounces straight back to disk.
+        candidates = [sid for sid in resident if sid != keep]
+        for sid in candidates[:excess]:
+            expiry, response = self._entries[sid]
+            persist.save_response(self.spill_dir, sid, response, expiry)
+            self._entries[sid] = (expiry, None)
+            self.spill_writes += 1
 
     def get(self, submission_id: int, now: float) -> Optional[Response]:
-        """The response, or ``None`` once expired / never stored."""
+        """The response, or ``None`` once expired / never stored.
+
+        Spilled responses are faulted back from disk (and stay
+        resident, possibly spilling a colder entry to make room).
+        """
         entry = self._entries.get(submission_id)
         if entry is None:
             return None
         expiry, response = entry
         if now >= expiry:
-            del self._entries[submission_id]
+            self._drop(submission_id)
             return None
+        if response is None:
+            response = persist.load_response(self.spill_dir, submission_id)
+            self.spill_reads += 1
+            persist.delete_response(self.spill_dir, submission_id)
+            self._entries[submission_id] = (expiry, response)
+            self._maybe_spill(keep=submission_id)
         return response
 
+    def _drop(self, submission_id: int) -> None:
+        _, response = self._entries.pop(submission_id)
+        if response is None and self.spill_dir is not None:
+            persist.delete_response(self.spill_dir, submission_id)
+
     def evict_expired(self, now: float) -> int:
-        """Drop every expired response; returns how many were dropped."""
+        """Drop every expired response (both tiers); returns the count."""
         expired: List[int] = []
         for submission_id, (expiry, _) in self._entries.items():
             if now >= expiry:
@@ -60,5 +155,18 @@ class ResultStore:
             else:
                 break
         for submission_id in expired:
-            del self._entries[submission_id]
+            self._drop(submission_id)
         return len(expired)
+
+    def close(self) -> None:
+        """Remove every spill file this store still owns."""
+        if self.spill_dir is None:
+            return
+        for submission_id, (_, response) in self._entries.items():
+            if response is None:
+                persist.delete_response(self.spill_dir, submission_id)
+
+
+# Re-exported for callers that treat spill integrity failures
+# specially; faulting a corrupted spill file back raises this.
+__all__ = ["ResultStore", "JournalError"]

@@ -103,7 +103,10 @@ class Rejected:
         reason: Machine-readable reason code — one of
             ``queue_full``, ``bulk_backpressure``, ``tenant_quota``,
             ``tenant_budget``, ``unknown_app``, ``unknown_trace``,
-            ``unknown_hub``, ``malformed``, ``shutdown``.
+            ``unknown_hub``, ``malformed``, ``shutdown``,
+            ``degraded`` (the shard's health monitor is shedding new
+            batch work), ``journal_unavailable`` (the write-ahead
+            journal could not make the acceptance durable).
         detail: Human-readable explanation.
     """
 

@@ -3,13 +3,21 @@
 Sample arrays go into a compressed ``.npz``; events and metadata go into
 a human-readable ``.json`` next to it.  Round-tripping preserves ground
 truth exactly (floats included, via JSON's double precision).
+
+Saves are crash-atomic: each file is written to a temporary sibling and
+``os.replace()``d into place, so a process killed mid-save never leaves
+a torn file behind — at worst the old contents survive.  The serving
+layer's spill-to-disk result store (:mod:`repro.serve.persist`) reuses
+:func:`atomic_write` for the same guarantee.
 """
 
 from __future__ import annotations
 
 import json
+import os
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Union
+from typing import Iterator, Union
 
 import numpy as np
 
@@ -21,16 +29,38 @@ def _sidecar(path: Path) -> Path:
     return path.with_suffix(".json")
 
 
+@contextmanager
+def atomic_write(path: Union[str, Path]) -> Iterator[Path]:
+    """Yield a temporary sibling of ``path``; rename it over ``path``.
+
+    The caller writes the full contents to the yielded temp path; on
+    clean exit it is ``os.replace()``d onto ``path`` (atomic on POSIX),
+    on any exception the temp file is removed and ``path`` is left
+    untouched.
+    """
+    path = Path(path)
+    tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+    try:
+        yield tmp
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():
+            tmp.unlink()
+
+
 def save_trace(trace: Trace, path: Union[str, Path]) -> Path:
     """Write a trace to ``path`` (``.npz``) and its JSON sidecar.
 
-    Returns the ``.npz`` path actually written.
+    Both files are written crash-atomically (temp file +
+    ``os.replace``).  Returns the ``.npz`` path actually written.
     """
     path = Path(path)
     if path.suffix != ".npz":
         path = path.with_suffix(".npz")
     path.parent.mkdir(parents=True, exist_ok=True)
-    np.savez_compressed(path, **trace.data)
+    with atomic_write(path) as tmp:
+        with open(tmp, "wb") as handle:
+            np.savez_compressed(handle, **trace.data)
     manifest = {
         "name": trace.name,
         "duration": trace.duration,
@@ -46,7 +76,8 @@ def save_trace(trace: Trace, path: Union[str, Path]) -> Path:
             for e in trace.events
         ],
     }
-    _sidecar(path).write_text(json.dumps(manifest, indent=2, sort_keys=True))
+    with atomic_write(_sidecar(path)) as tmp:
+        tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True))
     return path
 
 

@@ -1,0 +1,354 @@
+"""Crash-recovery equivalence: kill the shard anywhere, lose nothing.
+
+The acceptance bar for the durability tier: for any planned kill point
+— after an accept, at any pump phase, with or without a torn journal
+tail — the union of pre-crash responses and post-recovery responses
+must be bit-identical to the uninterrupted run's, quota rejections
+included.  A damaged journal recovers its longest valid prefix; a
+restart can never reset tenant budgets; a stalled or journal-broken
+shard degrades deterministically and sheds bulk work.
+"""
+
+import pytest
+
+from repro.apps import all_applications
+from repro.errors import ServiceKilled
+from repro.serve import (
+    Completed,
+    ConditionService,
+    HealthPolicy,
+    Lane,
+    LoadSpec,
+    Rejected,
+    ServiceFaultPlan,
+    Submission,
+    TenantQuota,
+    fleet_workload,
+    read_journal,
+    response_digest,
+    run_fleet,
+    run_fleet_with_recovery,
+)
+
+QUOTA = TenantQuota(max_pending=2)
+PUMP_EVERY = 16
+
+
+@pytest.fixture(scope="module")
+def registry(robot_trace, quiet_robot_trace, audio_trace):
+    traces = (robot_trace, quiet_robot_trace, audio_trace)
+    return {trace.name: trace for trace in traces}
+
+
+@pytest.fixture(scope="module")
+def bundle(registry):
+    """Per-seed (workload, uninterrupted reference run), computed once."""
+    cache = {}
+
+    def get(seed):
+        if seed not in cache:
+            spec = LoadSpec(
+                fleet=24,
+                seed=seed,
+                min_submissions=1,
+                max_submissions=3,
+                il_fraction=0.15,
+                invalid_fraction=0.1,
+            )
+            submissions = fleet_workload(
+                spec, all_applications(), list(registry.values())
+            )
+            svc = ConditionService(registry, quota=QUOTA)
+            try:
+                report = run_fleet(svc, submissions, pump_every=PUMP_EVERY)
+            finally:
+                svc.shutdown()
+            assert report.rejections, "workload must exercise rejections"
+            cache[seed] = (submissions, report)
+        return cache[seed]
+
+    return get
+
+
+@pytest.fixture(scope="module")
+def workload(bundle):
+    return bundle(5)[0]
+
+
+@pytest.fixture(scope="module")
+def reference(bundle):
+    """The uninterrupted run every crashed run must reproduce."""
+    return bundle(5)[1]
+
+
+def _drive_with_kill(registry, workload, journal, plan):
+    svc = ConditionService(registry, quota=QUOTA, journal=journal, faults=plan)
+    report, stats, svc = run_fleet_with_recovery(
+        svc, workload, registry, journal,
+        pump_every=PUMP_EVERY,
+        recover_kwargs=dict(quota=QUOTA),
+    )
+    svc.shutdown()
+    return report, stats
+
+
+def _plan_id(plan):
+    return (
+        f"accepts{plan.kill_after_accepts}" if plan.kill_after_accepts
+        else f"pump{plan.kill_at_pump}-{plan.kill_pump_phase}"
+    ) + (f"-torn{plan.torn_tail_bytes}" if plan.torn_tail_bytes else "")
+
+
+KILL_PLANS = [
+    ServiceFaultPlan(kill_after_accepts=8),
+    ServiceFaultPlan(kill_after_accepts=20, torn_tail_bytes=33),
+    ServiceFaultPlan(kill_at_pump=0, kill_pump_phase="begin"),
+    ServiceFaultPlan(kill_at_pump=1, kill_pump_phase="store"),
+    ServiceFaultPlan(kill_at_pump=1, kill_pump_phase="end", torn_tail_bytes=48),
+    ServiceFaultPlan(kill_at_pump=2, kill_pump_phase="store"),
+]
+
+#: Seeds × kill points: the full plan battery on the main workload,
+#: and a kill per category on a second seeded workload so the
+#: equivalence is a property of the mechanism, not one stream.
+SCENARIOS = [(5, plan) for plan in KILL_PLANS] + [
+    (11, ServiceFaultPlan(kill_after_accepts=13)),
+    (11, ServiceFaultPlan(kill_at_pump=1, kill_pump_phase="store",
+                          torn_tail_bytes=21)),
+    (11, ServiceFaultPlan(kill_at_pump=0, kill_pump_phase="end")),
+]
+
+
+@pytest.mark.parametrize(
+    "seed, plan", SCENARIOS,
+    ids=lambda value: (
+        _plan_id(value) if isinstance(value, ServiceFaultPlan)
+        else f"seed{value}"
+    ),
+)
+def test_kill_anywhere_recovers_bit_identically(
+    registry, bundle, tmp_path, seed, plan
+):
+    workload, reference = bundle(seed)
+    report, stats = _drive_with_kill(
+        registry, workload, tmp_path / "shard.wal", plan
+    )
+    assert stats is not None, "the kill must actually fire"
+    # The union of pre-crash and post-recovery responses equals the
+    # uninterrupted run's responses as a multiset of bytes...
+    assert response_digest(report.responses) == response_digest(
+        reference.responses
+    )
+    # ... and the interleaved admission decisions replayed identically,
+    # quota rejections included.
+    assert [(r.tenant, r.reason) for r in report.rejections] == [
+        (r.tenant, r.reason) for r in reference.rejections
+    ]
+    assert report.tickets == reference.tickets
+    if plan.torn_tail_bytes and stats.truncated_bytes:
+        assert stats.truncation_reason == "torn_tail"
+
+
+def test_restart_reanswers_everything_bit_identically(
+    registry, workload, reference, tmp_path
+):
+    """A clean restart from the journal re-answers every completed
+    submission without touching the engine."""
+    journal = tmp_path / "shard.wal"
+    svc = ConditionService(registry, quota=QUOTA, journal=journal)
+    try:
+        report = run_fleet(svc, workload, pump_every=PUMP_EVERY)
+    finally:
+        svc.shutdown()
+    assert response_digest(report.responses) == response_digest(
+        reference.responses
+    )
+    recovered, stats = ConditionService.recover(journal, registry, quota=QUOTA)
+    try:
+        assert stats.truncated_bytes == 0
+        assert stats.reexecuted == ()
+        assert stats.requeued == ()
+        assert len(stats.replayed) == reference.tickets
+        assert response_digest(stats.replayed) == response_digest(
+            reference.responses
+        )
+        # Every result is fetchable under its original ticket id.
+        for response in report.responses:
+            sid = response.ticket.submission_id
+            assert recovered.result(sid) == response
+    finally:
+        recovered.shutdown()
+
+
+def _accepted(svc, registry, tenant="t1", lane=Lane.BULK):
+    (trace_name, *_) = registry
+    outcome = svc.submit(
+        Submission(tenant=tenant, trace=trace_name, app="steps", lane=lane)
+    )
+    assert not isinstance(outcome, Rejected), outcome
+    return outcome
+
+
+class TestDamagedJournals:
+    def test_bad_crc_record_truncates_to_valid_prefix(
+        self, registry, tmp_path
+    ):
+        journal = tmp_path / "shard.wal"
+        svc = ConditionService(registry, journal=journal)
+        try:
+            for tenant in ("a", "b", "c"):
+                _accepted(svc, registry, tenant=tenant)
+            svc.pump()
+        finally:
+            svc.shutdown()
+        clean = read_journal(journal)
+        data = bytearray(journal.read_bytes())
+        data[-1] ^= 0xFF  # bit-rot inside the last record's payload
+        journal.write_bytes(bytes(data))
+        recovered, stats = ConditionService.recover(journal, registry)
+        try:
+            assert stats.truncation_reason == "corrupt_record"
+            assert stats.truncated_bytes > 0
+            assert stats.records == len(clean.records) - 1
+            # The journal itself was truncated back to health.
+            assert read_journal(journal).reason is None
+            # The lost completion was re-executed, not forgotten.
+            assert len(stats.replayed) + len(stats.reexecuted) == 3
+        finally:
+            recovered.shutdown()
+
+    def test_torn_tail_is_truncated_and_reported(self, registry, tmp_path):
+        journal = tmp_path / "shard.wal"
+        plan = ServiceFaultPlan(kill_after_accepts=3, torn_tail_bytes=17)
+        svc = ConditionService(registry, journal=journal, faults=plan)
+        _accepted(svc, registry, tenant="a")
+        svc.pump()  # flushes the first accept + round
+        _accepted(svc, registry, tenant="b")
+        with pytest.raises(ServiceKilled):
+            _accepted(svc, registry, tenant="c")
+        assert read_journal(journal).reason == "torn_tail"
+        recovered, stats = ConditionService.recover(journal, registry)
+        try:
+            assert stats.truncation_reason == "torn_tail"
+            assert stats.truncated_bytes == 17
+        finally:
+            recovered.shutdown()
+
+
+class TestQuotaReconstruction:
+    def test_restart_cannot_reset_tenant_budgets(self, registry, tmp_path):
+        journal = tmp_path / "shard.wal"
+        quota = TenantQuota(max_pending=4)
+        svc = ConditionService(
+            registry, quota=quota, batch_size=2, journal=journal
+        )
+        try:
+            for _ in range(4):
+                _accepted(svc, registry, tenant="t1")
+            svc.pump()  # completes 2, leaves 2 pending (accepts durable)
+        finally:
+            svc.shutdown(drain=False)  # cancels the 2 queued, durably
+        recovered, stats = ConditionService.recover(
+            journal, registry, quota=quota, batch_size=2
+        )
+        try:
+            assert stats.accepts == 4
+            # Shutdown cancellation was journaled, so nothing requeues
+            # and the tenant's pending count is back to zero...
+            assert stats.requeued == ()
+            for _ in range(4):
+                _accepted(recovered, registry, tenant="t1")
+            # ... and the reconstructed pending count still enforces the
+            # quota exactly where the uninterrupted service would.
+            (trace_name, *_) = registry
+            outcome = recovered.submit(
+                Submission(tenant="t1", trace=trace_name, app="steps")
+            )
+            assert isinstance(outcome, Rejected)
+            assert outcome.reason == "tenant_quota"
+        finally:
+            recovered.shutdown()
+
+    def test_requeued_accepts_keep_their_pending_slots(
+        self, registry, tmp_path
+    ):
+        journal = tmp_path / "shard.wal"
+        quota = TenantQuota(max_pending=4)
+        plan = ServiceFaultPlan(kill_at_pump=1, kill_pump_phase="begin")
+        svc = ConditionService(
+            registry, quota=quota, batch_size=2, journal=journal, faults=plan
+        )
+        for _ in range(4):
+            _accepted(svc, registry, tenant="t1")
+        svc.pump()  # round 0: completes 2, flushes all 4 accepts
+        with pytest.raises(ServiceKilled):
+            svc.pump()  # round 1 dies at "begin"
+        recovered, stats = ConditionService.recover(
+            journal, registry, quota=quota, batch_size=2
+        )
+        try:
+            # Round 1's membership was durable, so its two submissions
+            # re-executed; nothing is left to requeue.
+            assert len(stats.reexecuted) == 2
+            assert recovered.queue_depth == 0
+            # All four pending slots were released by completion, so the
+            # tenant has full headroom again — no double-charging.
+            for _ in range(4):
+                _accepted(recovered, registry, tenant="t1")
+        finally:
+            recovered.shutdown()
+
+
+class TestHealthSupervision:
+    def test_stalled_shard_sheds_bulk_keeps_interactive(self, registry):
+        policy = HealthPolicy(pump_period=1.0, tolerance=1, recovery_pumps=1)
+        svc = ConditionService(registry, health=policy)
+        try:
+            _accepted(svc, registry, tenant="a")  # now=0, gap 0
+            _accepted(svc, registry, tenant="b")  # now=1, gap 1 (deadline)
+            (trace_name, *_) = registry
+            outcome = svc.submit(
+                Submission(tenant="c", trace=trace_name, app="steps")
+            )
+            assert isinstance(outcome, Rejected)  # now=2, gap 2 > deadline
+            assert outcome.reason == "degraded"
+            # Interactive work still lands on the degraded shard.
+            _accepted(svc, registry, tenant="c", lane=Lane.INTERACTIVE)
+            snapshot = svc.metrics()
+            assert snapshot.health_state == "degraded"
+            assert snapshot.health_transitions == (
+                (2.0, "healthy", "degraded"),
+            )
+            # Draining pumps on schedule earns the shard its way back.
+            svc.drain()
+            svc.pump()  # empty, timely: recovery credit
+            assert svc.metrics().health_state == "healthy"
+            assert len(svc.metrics().health_transitions) == 2
+        finally:
+            svc.shutdown()
+
+    def test_journal_error_rejects_and_degrades(self, registry, tmp_path):
+        plan = ServiceFaultPlan(journal_error_appends=(2,))
+        svc = ConditionService(
+            registry, journal=tmp_path / "shard.wal", faults=plan
+        )
+        try:
+            _accepted(svc, registry, tenant="a")
+            _accepted(svc, registry, tenant="b")
+            (trace_name, *_) = registry
+            outcome = svc.submit(
+                Submission(tenant="c", trace=trace_name, app="steps")
+            )
+            assert isinstance(outcome, Rejected)
+            assert outcome.reason == "journal_unavailable"
+            snapshot = svc.metrics()
+            assert snapshot.journal_errors == 1
+            assert snapshot.health_state == "degraded"
+            # The failed acceptance was retracted: queue holds only the
+            # two durable accepts, and the rejected tenant is uncharged.
+            assert svc.queue_depth == 2
+            responses = svc.drain()
+            assert {r.ticket.tenant for r in responses} == {"a", "b"}
+            assert all(isinstance(r, Completed) for r in responses)
+        finally:
+            svc.shutdown()

@@ -1,0 +1,142 @@
+"""Unit tests for shard health supervision and the service fault plan."""
+
+import pytest
+
+from repro.errors import FaultInjectionError, ServiceError
+from repro.serve import (
+    HealthMonitor,
+    HealthPolicy,
+    HealthState,
+    ServiceFaultInjector,
+    ServiceFaultPlan,
+)
+
+POLICY = HealthPolicy(pump_period=10.0, tolerance=2, recovery_pumps=2)
+
+
+class TestHealthPolicy:
+    def test_deadline_is_period_times_tolerance(self):
+        assert POLICY.deadline == 20.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"pump_period": 0.0},
+            {"pump_period": -1.0},
+            {"tolerance": 0},
+            {"recovery_pumps": 0},
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ServiceError):
+            HealthPolicy(**kwargs)
+
+
+class TestHealthMonitor:
+    def test_starts_healthy(self):
+        monitor = HealthMonitor(POLICY)
+        assert monitor.state is HealthState.HEALTHY
+        assert not monitor.degraded
+        assert monitor.transitions == ()
+
+    def test_timely_pumps_stay_healthy(self):
+        monitor = HealthMonitor(POLICY)
+        for now in (10.0, 20.0, 40.0):
+            monitor.on_pump(now)
+        assert monitor.state is HealthState.HEALTHY
+        assert monitor.transitions == ()
+
+    def test_late_pump_degrades(self):
+        monitor = HealthMonitor(POLICY)
+        monitor.on_pump(25.0)
+        assert monitor.degraded
+        assert monitor.transitions == ((25.0, "healthy", "degraded"),)
+
+    def test_submit_exposes_a_stall(self):
+        monitor = HealthMonitor(POLICY)
+        monitor.on_submit(15.0)
+        assert not monitor.degraded
+        monitor.on_submit(21.0)
+        assert monitor.degraded
+
+    def test_recovers_after_consecutive_timely_pumps(self):
+        monitor = HealthMonitor(POLICY)
+        monitor.on_pump(25.0)  # degrade
+        monitor.on_pump(30.0)  # timely, 1 credit
+        assert monitor.degraded
+        monitor.on_pump(35.0)  # timely, 2 credits -> healthy
+        assert monitor.state is HealthState.HEALTHY
+        assert monitor.transitions == (
+            (25.0, "healthy", "degraded"),
+            (35.0, "degraded", "healthy"),
+        )
+
+    def test_untimely_pump_resets_recovery_credit(self):
+        monitor = HealthMonitor(POLICY)
+        monitor.on_pump(25.0)   # degrade
+        monitor.on_pump(30.0)   # 1 credit
+        monitor.on_pump(60.0)   # late again: credit resets
+        monitor.on_pump(65.0)   # 1 credit
+        assert monitor.degraded
+        monitor.on_pump(70.0)   # 2 credits -> healthy
+        assert not monitor.degraded
+
+    def test_journal_error_degrades_immediately(self):
+        monitor = HealthMonitor(POLICY)
+        monitor.on_journal_error(3.0)
+        assert monitor.degraded
+        assert monitor.journal_errors == 1
+        assert monitor.transitions == ((3.0, "healthy", "degraded"),)
+
+    def test_transitions_are_deterministic(self):
+        def drive():
+            monitor = HealthMonitor(POLICY)
+            for now in (5.0, 30.0, 33.0, 36.0, 80.0):
+                monitor.on_pump(now)
+            return monitor.transitions
+
+        assert drive() == drive()
+
+
+class TestServiceFaultPlan:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"kill_pump_phase": "middle"},
+            {"kill_after_accepts": 0},
+            {"kill_at_pump": -1},
+            {"torn_tail_bytes": -4},
+            {"journal_error_probability": 1.0},
+            {"journal_error_appends": (-1,)},
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(FaultInjectionError):
+            ServiceFaultPlan(**kwargs)
+
+    def test_kill_on_accept_fires_exactly_once(self):
+        injector = ServiceFaultInjector(
+            ServiceFaultPlan(kill_after_accepts=3)
+        )
+        assert [injector.kill_on_accept() for _ in range(5)] == [
+            False, False, True, False, False,
+        ]
+
+    def test_kill_on_pump_matches_round_and_phase(self):
+        injector = ServiceFaultInjector(
+            ServiceFaultPlan(kill_at_pump=2, kill_pump_phase="store")
+        )
+        assert not injector.kill_on_pump(2, "begin")
+        assert not injector.kill_on_pump(1, "store")
+        assert injector.kill_on_pump(2, "store")
+
+    def test_probabilistic_append_errors_are_seed_deterministic(self):
+        def draws(seed):
+            injector = ServiceFaultInjector(
+                ServiceFaultPlan(seed=seed, journal_error_probability=0.3)
+            )
+            return [injector.journal_append_fails() for _ in range(50)]
+
+        assert draws(7) == draws(7)
+        assert draws(7) != draws(8)
+        assert any(draws(7))

@@ -1,0 +1,184 @@
+"""Unit tests for the write-ahead journal framing and writer."""
+
+import pytest
+
+from repro.errors import JournalError
+from repro.serve import (
+    JournalWriter,
+    RecoveryStats,
+    ServiceFaultInjector,
+    ServiceFaultPlan,
+    read_journal,
+    truncate_journal,
+)
+from repro.serve.journal import HEADER, encode_record
+from repro.serve.submission import Completed, Ticket
+
+RECORDS = (
+    ("accept", 1, 1.0, "payload-a"),
+    ("round", 2.0, (1,)),
+    ("complete", 1, 2.0, Completed(Ticket(1, "t1", 1.0), result=())),
+    ("cref", 2, 2.0, 1, True, 1.0),
+)
+
+
+def _write(path, records):
+    with open(path, "wb") as handle:
+        for record in records:
+            handle.write(encode_record(record))
+
+
+class TestReadJournal:
+    def test_round_trips_every_record_kind(self, tmp_path):
+        path = tmp_path / "j.wal"
+        _write(path, RECORDS)
+        scan = read_journal(path)
+        assert scan.records == RECORDS
+        assert scan.reason is None
+        assert scan.truncated_bytes == 0
+        assert scan.valid_bytes == scan.total_bytes == path.stat().st_size
+
+    def test_empty_journal_is_clean(self, tmp_path):
+        path = tmp_path / "j.wal"
+        path.write_bytes(b"")
+        scan = read_journal(path)
+        assert scan.records == ()
+        assert scan.reason is None
+
+    def test_missing_journal_raises(self, tmp_path):
+        with pytest.raises(JournalError):
+            read_journal(tmp_path / "nope.wal")
+
+    @pytest.mark.parametrize("torn", [1, HEADER.size, HEADER.size + 3])
+    def test_torn_tail_recovers_valid_prefix(self, tmp_path, torn):
+        path = tmp_path / "j.wal"
+        _write(path, RECORDS)
+        clean = path.stat().st_size
+        with open(path, "ab") as handle:
+            handle.write(encode_record(("accept", 9, 9.0, "torn"))[:torn])
+        scan = read_journal(path)
+        assert scan.records == RECORDS
+        assert scan.reason == "torn_tail"
+        assert scan.valid_bytes == clean
+        assert scan.truncated_bytes == torn
+
+    def test_bad_crc_stops_the_prefix(self, tmp_path):
+        path = tmp_path / "j.wal"
+        _write(path, RECORDS)
+        data = bytearray(path.read_bytes())
+        # Flip one payload byte of the second record.
+        first = HEADER.size + HEADER.unpack_from(data, 0)[0]
+        data[first + HEADER.size] ^= 0xFF
+        path.write_bytes(bytes(data))
+        scan = read_journal(path)
+        assert scan.records == RECORDS[:1]
+        assert scan.reason == "corrupt_record"
+        assert scan.truncated_bytes == len(data) - scan.valid_bytes
+
+    def test_unknown_kind_is_corrupt(self, tmp_path):
+        path = tmp_path / "j.wal"
+        _write(path, (RECORDS[0], ("frobnicate", 1)))
+        scan = read_journal(path)
+        assert scan.records == RECORDS[:1]
+        assert scan.reason == "corrupt_record"
+
+    def test_truncate_then_reread_is_clean(self, tmp_path):
+        path = tmp_path / "j.wal"
+        _write(path, RECORDS)
+        with open(path, "ab") as handle:
+            handle.write(b"\x07garbage")
+        scan = read_journal(path)
+        truncate_journal(path, scan.valid_bytes)
+        again = read_journal(path)
+        assert again.records == RECORDS
+        assert again.reason is None
+
+
+class TestJournalWriter:
+    def test_appends_buffer_until_flush(self, tmp_path):
+        path = tmp_path / "j.wal"
+        writer = JournalWriter(path)
+        writer.append(RECORDS[0])
+        assert writer.pending_bytes > 0
+        assert read_journal(path).records == ()
+        writer.flush()
+        assert writer.pending_bytes == 0
+        assert read_journal(path).records == RECORDS[:1]
+        writer.close()
+
+    def test_close_flushes_outstanding_records(self, tmp_path):
+        path = tmp_path / "j.wal"
+        writer = JournalWriter(path)
+        writer.append(RECORDS[0])
+        writer.close()
+        assert read_journal(path).records == RECORDS[:1]
+
+    def test_crash_loses_the_unflushed_buffer(self, tmp_path):
+        path = tmp_path / "j.wal"
+        writer = JournalWriter(path)
+        writer.append(RECORDS[0])
+        writer.flush()
+        writer.append(RECORDS[1])
+        writer.crash()
+        assert read_journal(path).records == RECORDS[:1]
+
+    def test_crash_with_torn_bytes_tears_the_tail(self, tmp_path):
+        path = tmp_path / "j.wal"
+        writer = JournalWriter(path)
+        writer.append(RECORDS[0])
+        writer.flush()
+        clean = path.stat().st_size
+        writer.append(RECORDS[1])
+        writer.crash(torn_bytes=5)
+        assert path.stat().st_size == clean + 5
+        scan = read_journal(path)
+        assert scan.records == RECORDS[:1]
+        assert scan.reason == "torn_tail"
+
+    def test_closed_writer_refuses_appends(self, tmp_path):
+        writer = JournalWriter(tmp_path / "j.wal")
+        writer.close()
+        with pytest.raises(JournalError):
+            writer.append(RECORDS[0])
+        with pytest.raises(JournalError):
+            writer.flush()
+        writer.close()  # idempotent
+
+    def test_counters(self, tmp_path):
+        writer = JournalWriter(tmp_path / "j.wal")
+        writer.append(RECORDS[0])
+        writer.append(RECORDS[1])
+        writer.flush()
+        assert writer.appended_records == 2
+        assert writer.flushes == 1
+        writer.close()
+
+    def test_injected_append_errors(self, tmp_path):
+        plan = ServiceFaultPlan(journal_error_appends=(1,))
+        writer = JournalWriter(
+            tmp_path / "j.wal", faults=ServiceFaultInjector(plan)
+        )
+        writer.append(RECORDS[0])
+        with pytest.raises(JournalError):
+            writer.append(RECORDS[1])
+        writer.append(RECORDS[2])
+        writer.close()
+        assert read_journal(tmp_path / "j.wal").records == (
+            RECORDS[0], RECORDS[2],
+        )
+
+
+class TestRecoveryStats:
+    def test_describe_mentions_damage_only_when_present(self):
+        clean = RecoveryStats(
+            journal_bytes=10, valid_bytes=10, truncated_bytes=0,
+            truncation_reason=None, records=2, accepts=1, rounds=1,
+            completions=1,
+        )
+        assert "truncated" not in clean.describe()
+        torn = RecoveryStats(
+            journal_bytes=12, valid_bytes=10, truncated_bytes=2,
+            truncation_reason="torn_tail", records=2, accepts=1, rounds=1,
+            completions=1,
+        )
+        assert "truncated 2 bytes (torn_tail)" in torn.describe()

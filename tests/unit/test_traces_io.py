@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import TraceError
-from repro.traces.io import load_trace, save_trace
+from repro.traces.io import atomic_write, load_trace, save_trace
 from repro.traces.robot import RobotRunConfig, generate_robot_run
 
 
@@ -40,6 +40,41 @@ def test_load_missing_raises(tmp_path):
 def test_load_by_bare_path(tmp_path, small_trace):
     save_trace(small_trace, tmp_path / "run")
     loaded = load_trace(tmp_path / "run")
+    assert loaded.name == small_trace.name
+
+
+def test_atomic_write_replaces_on_success(tmp_path):
+    target = tmp_path / "file.txt"
+    target.write_text("old")
+    with atomic_write(target) as tmp:
+        tmp.write_text("new")
+    assert target.read_text() == "new"
+    assert list(tmp_path.iterdir()) == [target]
+
+
+def test_atomic_write_leaves_target_untouched_on_failure(tmp_path):
+    target = tmp_path / "file.txt"
+    target.write_text("old")
+    with pytest.raises(RuntimeError):
+        with atomic_write(target) as tmp:
+            tmp.write_text("half-writ")
+            raise RuntimeError("crash mid-save")
+    assert target.read_text() == "old"
+    assert list(tmp_path.iterdir()) == [target]
+
+
+def test_interrupted_save_preserves_previous_trace(tmp_path, small_trace, monkeypatch):
+    path = save_trace(small_trace, tmp_path / "run")
+    import repro.traces.io as traces_io
+
+    def boom(*args, **kwargs):
+        raise OSError("disk full")
+
+    monkeypatch.setattr(traces_io.np, "savez_compressed", boom)
+    with pytest.raises(OSError):
+        save_trace(small_trace, tmp_path / "run")
+    monkeypatch.undo()
+    loaded = load_trace(path)  # the old files survived, untorn
     assert loaded.name == small_trace.name
 
 
