@@ -14,6 +14,14 @@ tiers —
 asserting the wake events are bit-identical tier by tier and recording
 per-app timings in ``results/BENCH_compile.json``.
 
+The timings also feed a :class:`repro.hub.costmodel.CostModel`, the
+same way the engine feeds it from real runs, and the model's resulting
+``selected_tier`` is recorded per app.  The selection contract: no
+app's auto-selected tier may be slower than the round-by-round
+interpreter — the measured model must never regress an app the way the
+old hardwired ``compiled > fused > rounds`` ranking regressed the
+bandwidth-bound audio suite (fused audio at 0.27x rounds).
+
 The headline floor applies to the accelerometer suite: at 50 Hz the
 per-round interpreter overhead dominates, which is exactly what the
 compiled tier removes, so it must beat the fused tier it replaced as
@@ -41,6 +49,7 @@ from repro.apps import (
 )
 from repro.eval.report import render_table
 from repro.hub.compile import compile_eligibility, compile_graph
+from repro.hub.costmodel import CostModel
 from repro.hub.runtime import HubRuntime, split_into_rounds
 from repro.sim.engine import RunContext
 
@@ -57,15 +66,25 @@ def _timed(fn):
     return result, time.perf_counter() - t0
 
 
-def _time_app(ctx, app, traces):
-    """Run one app's condition through all three tiers over ``traces``."""
+#: JSON row key per cost-model tier name.
+TIER_KEYS = {"rounds": "round_s", "fused": "fused_s", "compiled": "compiled_s"}
+
+
+def _time_app(ctx, app, traces, model):
+    """Run one app's condition through all three tiers over ``traces``.
+
+    Feeds every measurement into ``model`` exactly as the engine does
+    from real runs, and records which tier the model settles on.
+    """
     graph = ctx.compile(app.build_wakeup_pipeline())
     assert compile_eligibility(graph) is None, app.name
     plan = compile_graph(graph)
+    fingerprint = ctx.fingerprint(graph.program)
     row = {
         "app": app.name, "traces": len(traces), "wake_events": 0,
         "round_s": 0.0, "fused_s": 0.0, "compiled_s": 0.0,
     }
+    items = 0
     for trace in traces:
         arrays = ctx.channel_arrays(trace)
         channels = {
@@ -73,6 +92,7 @@ def _time_app(ctx, app, traces):
             for name, triple in arrays.items()
             if name in graph.channels
         }
+        items += sum(len(triple[0]) for triple in channels.values())
         graph.reset()
         by_rounds, dt = _timed(
             lambda: HubRuntime(graph).run(split_into_rounds(channels, 4.0))
@@ -87,6 +107,11 @@ def _time_app(ctx, app, traces):
         # The whole point: three tiers, one answer, bit for bit.
         assert compiled == fused == by_rounds
         row["wake_events"] += len(compiled)
+    for tier, key in TIER_KEYS.items():
+        model.observe(fingerprint, tier, row[key], items)
+    selected = model.choose(fingerprint, list(TIER_KEYS))
+    row["selected_tier"] = selected
+    row["selected_s"] = round(row[TIER_KEYS[selected]], 4)
     for key in ("round_s", "fused_s", "compiled_s"):
         row[key] = round(row[key], 4)
     return row
@@ -115,8 +140,9 @@ def test_compiled_hub_tiers(benchmark, robot_traces, audio_traces):
     audio_apps = [MusicJournalApp(), PhraseDetectionApp(), SirenDetectorApp()]
 
     def run_suites():
-        accel = [_time_app(ctx, app, accel_traces) for app in accel_apps]
-        audio = [_time_app(ctx, app, audio_subset) for app in audio_apps]
+        model = CostModel()
+        accel = [_time_app(ctx, app, accel_traces, model) for app in accel_apps]
+        audio = [_time_app(ctx, app, audio_subset, model) for app in audio_apps]
         return accel, audio
 
     accel_rows, audio_rows = run_once(benchmark, run_suites)
@@ -136,7 +162,8 @@ def test_compiled_hub_tiers(benchmark, robot_traces, audio_traces):
     save_artifact(
         "compiled_hub",
         render_table(
-            ["app", "rounds (s)", "fused (s)", "compiled (s)", "vs fused"],
+            ["app", "rounds (s)", "fused (s)", "compiled (s)", "vs fused",
+             "selected"],
             [
                 (
                     r["app"],
@@ -147,6 +174,7 @@ def test_compiled_hub_tiers(benchmark, robot_traces, audio_traces):
                         f"{r['fused_s'] / r['compiled_s']:.1f}x"
                         if r["compiled_s"] > 0 else "inf"
                     ),
+                    r["selected_tier"],
                 )
                 for r in accel_rows + audio_rows
             ],
@@ -157,6 +185,13 @@ def test_compiled_hub_tiers(benchmark, robot_traces, audio_traces):
             ),
         ),
     )
+
+    # The cost model may never pick a tier slower than the paper's
+    # round-by-round baseline (small epsilon absorbs timing jitter on
+    # sub-threshold plans, where the model keeps the static preference
+    # because the choice cannot matter at that scale).
+    for row in accel_rows + audio_rows:
+        assert row["selected_s"] <= row["round_s"] * 1.05 + 0.005, row
 
     if not QUICK:
         assert accel["compiled_speedup"] >= MIN_COMPILED_SPEEDUP, payload

@@ -14,9 +14,9 @@ from typing import Sequence
 import numpy as np
 
 from repro.algorithms.base import StreamAlgorithm, StreamShape, register
-from repro.algorithms.kernels import consecutive_run_lengths
+from repro.algorithms.kernels import batched_run_lengths, consecutive_run_lengths
 from repro.errors import ParameterError
-from repro.sensors.samples import Chunk, StreamKind
+from repro.sensors.samples import BatchedChunk, Chunk, StreamKind
 
 
 @register("minThreshold")
@@ -45,6 +45,11 @@ class MinThreshold(StreamAlgorithm):
     def lower(self, chunks: Sequence[Chunk]) -> Chunk:
         """Stateless mask-and-take: the whole trace is one process call."""
         return self.process(chunks)
+
+    def lower_batched(self, batches: Sequence[BatchedChunk]) -> BatchedChunk:
+        """Batched mask over the full tensor, ragged compaction per row."""
+        (batch,) = batches
+        return batch.take(batch.values >= self.threshold)
 
     def cycles_per_item(self, in_shapes: Sequence[StreamShape]) -> float:
         return 3.0
@@ -75,6 +80,11 @@ class MaxThreshold(StreamAlgorithm):
     def lower(self, chunks: Sequence[Chunk]) -> Chunk:
         """Stateless mask-and-take: the whole trace is one process call."""
         return self.process(chunks)
+
+    def lower_batched(self, batches: Sequence[BatchedChunk]) -> BatchedChunk:
+        """Batched mask over the full tensor, ragged compaction per row."""
+        (batch,) = batches
+        return batch.take(batch.values <= self.threshold)
 
     def cycles_per_item(self, in_shapes: Sequence[StreamShape]) -> float:
         return 3.0
@@ -109,6 +119,12 @@ class RangeThreshold(StreamAlgorithm):
     def lower(self, chunks: Sequence[Chunk]) -> Chunk:
         """Stateless mask-and-take: the whole trace is one process call."""
         return self.process(chunks)
+
+    def lower_batched(self, batches: Sequence[BatchedChunk]) -> BatchedChunk:
+        """Batched band mask over the full tensor, compacted per row."""
+        (batch,) = batches
+        mask = (batch.values >= self.low) & (batch.values <= self.high)
+        return batch.take(mask)
 
     def cycles_per_item(self, in_shapes: Sequence[StreamShape]) -> float:
         return 5.0
@@ -147,6 +163,10 @@ class BandIndicator(StreamAlgorithm):
     def lower(self, chunks: Sequence[Chunk]) -> Chunk:
         """Stateless indicator: the whole trace is one process call."""
         return self.process(chunks)
+
+    def lower_batched(self, batches: Sequence[BatchedChunk]) -> BatchedChunk:
+        """Itemwise indicator: one comparison per element, alignment kept."""
+        return self._lower_batched_itemwise(batches)
 
     def cycles_per_item(self, in_shapes: Sequence[StreamShape]) -> float:
         return 5.0
@@ -199,6 +219,17 @@ class SustainedThreshold(StreamAlgorithm):
             return chunk
         qualifying = chunk.values >= self.threshold
         return chunk.take(consecutive_run_lengths(qualifying) >= self.count)
+
+    def lower_batched(self, batches: Sequence[BatchedChunk]) -> BatchedChunk:
+        """Per-row run counting in one 2-D pass.
+
+        Runs grow strictly left to right, so a row's right padding
+        cannot perturb its valid prefix; the cold-start carry is 0 for
+        every row by construction (each row is a whole trace).
+        """
+        (batch,) = batches
+        qualifying = batch.values >= self.threshold
+        return batch.take(batched_run_lengths(qualifying) >= self.count)
 
     def reset(self) -> None:
         self._run = 0

@@ -16,7 +16,7 @@ from typing import Callable, Dict, Sequence
 import numpy as np
 
 from repro.algorithms.base import PORT_VARIADIC, StreamAlgorithm, StreamShape, register
-from repro.sensors.samples import Chunk, StreamKind
+from repro.sensors.samples import BatchedChunk, Chunk, StreamKind
 
 
 class _ElementwiseAggregate(StreamAlgorithm):
@@ -40,6 +40,11 @@ class _ElementwiseAggregate(StreamAlgorithm):
     def lower(self, chunks: Sequence[Chunk]) -> Chunk:
         """Stateless reduction: the whole trace is one process call."""
         return self.process(chunks)
+
+    def lower_batched(self, batches: Sequence[BatchedChunk]) -> BatchedChunk:
+        """Itemwise over aligned ports: stacking reduces along a new
+        leading axis exactly as in the per-trace rule."""
+        return self._lower_batched_itemwise(batches)
 
     def cycles_per_item(self, in_shapes: Sequence[StreamShape]) -> float:
         return 4.0 * len(in_shapes)

@@ -29,7 +29,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Sequence, Tuple, Type
 
 from repro.errors import ParameterError, UnknownAlgorithmError
-from repro.sensors.samples import Chunk, StreamKind
+from repro.sensors.samples import BatchedChunk, Chunk, StreamKind
 
 #: Sentinel for algorithms accepting any number of inputs >= 1
 #: (e.g. vector magnitude).
@@ -121,6 +121,70 @@ class StreamAlgorithm:
         """
         raise NotImplementedError(
             f"{self.opcode or type(self).__name__} has no lowering rule"
+        )
+
+    def lower_batched(self, batches: Sequence[BatchedChunk]) -> BatchedChunk:
+        """Batched lowering rule: one whole-trace pass over *B* traces.
+
+        Consumes one :class:`~repro.sensors.samples.BatchedChunk` per
+        input port (all ports share the batch axis) and produces the
+        node's batched output.  The contract is row-wise bit-identity:
+        row ``b`` of the result must equal ``lower`` applied to row
+        ``b`` of every input — padding may hold anything, but valid
+        prefixes are exact.
+
+        The base implementation loops ``lower`` over the rows and
+        re-stacks, which is always correct (lowering rules are pure)
+        and is what FFT-bearing frame ops keep: numpy's pocketfft is
+        only guaranteed bitwise reproducible per 1-D transform, and a
+        per-row loop sidesteps any question of batched reassociation.
+        Scalar ops whose padding behaves (elementwise maps, prefix
+        scans) override this with genuinely vectorized versions.
+        """
+        return BatchedChunk.from_rows(
+            [
+                self.lower([batch.row(b) for batch in batches])
+                for b in range(batches[0].batch_size)
+            ]
+        )
+
+    def _lower_batched_itemwise(
+        self, batches: Sequence[BatchedChunk]
+    ) -> BatchedChunk:
+        """Batched lowering for per-item maps (output count == input count).
+
+        Flattens the batch axis into the item axis, runs the node's
+        ordinary :meth:`lower` once over the ``B·n_max`` flattened
+        items, and folds the result back to ``(B, n_max, ...)``.  Valid
+        for any *itemwise* rule — one output item per input item, each
+        depending only on its own item — because then the flattened
+        pass applies the identical float operations to every valid
+        element as the per-row pass, and padding items merely compute
+        garbage that stays masked behind ``lengths``.
+        """
+        first = batches[0]
+        rows, width = first.times.shape[0], first.times.shape[1]
+        flat = [
+            Chunk.view(
+                batch.kind,
+                batch.times.reshape(rows * width),
+                batch.values.reshape((rows * width,) + batch.values.shape[2:]),
+                batch.rate_hz,
+            )
+            for batch in batches
+        ]
+        out = self.lower(flat)
+        if len(out) != rows * width:
+            raise ValueError(
+                f"{self.opcode}: itemwise batching expected {rows * width} "
+                f"items, got {len(out)}"
+            )
+        return BatchedChunk.view(
+            out.kind,
+            out.times.reshape(rows, width),
+            out.values.reshape((rows, width) + out.values.shape[1:]),
+            first.lengths,
+            out.rate_hz,
         )
 
     # -- static analysis ---------------------------------------------

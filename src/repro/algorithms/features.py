@@ -13,7 +13,7 @@ import numpy as np
 
 from repro.algorithms.base import PORT_VARIADIC, StreamAlgorithm, StreamShape, register
 from repro.errors import ParameterError
-from repro.sensors.samples import Chunk, StreamKind
+from repro.sensors.samples import BatchedChunk, Chunk, StreamKind
 
 
 @register("vectorMagnitude")
@@ -45,6 +45,11 @@ class VectorMagnitude(StreamAlgorithm):
     def lower(self, chunks: Sequence[Chunk]) -> Chunk:
         """Stateless reduction: the whole trace is one process call."""
         return self.process(chunks)
+
+    def lower_batched(self, batches: Sequence[BatchedChunk]) -> BatchedChunk:
+        """Itemwise over aligned ports: the batch axis folds into the
+        item axis, preserving the per-item reduction order."""
+        return self._lower_batched_itemwise(batches)
 
     def cycles_per_item(self, in_shapes: Sequence[StreamShape]) -> float:
         # One multiply-accumulate per input plus a square root.
@@ -81,6 +86,11 @@ class ZeroCrossingRate(StreamAlgorithm):
     def lower(self, chunks: Sequence[Chunk]) -> Chunk:
         """Stateless per-frame feature: the whole trace is one process call."""
         return self.process(chunks)
+
+    def lower_batched(self, batches: Sequence[BatchedChunk]) -> BatchedChunk:
+        """Itemwise over aligned ports: the batch axis folds into the
+        item axis, preserving the per-item reduction order."""
+        return self._lower_batched_itemwise(batches)
 
     def propagate_shape(self, in_shapes: Sequence[StreamShape]) -> StreamShape:
         first = in_shapes[0]
@@ -164,6 +174,11 @@ class DominantFrequency(StreamAlgorithm):
     def lower(self, chunks: Sequence[Chunk]) -> Chunk:
         """Stateless per-spectrum feature: the whole trace is one process call."""
         return self.process(chunks)
+
+    def lower_batched(self, batches: Sequence[BatchedChunk]) -> BatchedChunk:
+        """Itemwise over aligned ports: the batch axis folds into the
+        item axis, preserving the per-item reduction order."""
+        return self._lower_batched_itemwise(batches)
 
     def propagate_shape(self, in_shapes: Sequence[StreamShape]) -> StreamShape:
         first = in_shapes[0]

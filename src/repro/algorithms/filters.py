@@ -11,10 +11,10 @@ from typing import Sequence
 import numpy as np
 
 from repro.algorithms.base import StreamAlgorithm, StreamShape, register
-from repro.algorithms.kernels import window_means
+from repro.algorithms.kernels import batched_window_means, window_means
 from repro.algorithms.transforms import fft_cycles
 from repro.errors import ParameterError
-from repro.sensors.samples import Chunk, ChunkBuffer, StreamKind
+from repro.sensors.samples import BatchedChunk, Chunk, ChunkBuffer, StreamKind
 
 
 @register("movingAvg")
@@ -70,6 +70,32 @@ class MovingAverage(StreamAlgorithm):
             chunk.times[self.size - 1:],
             window_means(chunk.values, self.size),
             chunk.rate_hz,
+        )
+
+    def lower_batched(self, batches: Sequence[BatchedChunk]) -> BatchedChunk:
+        """Per-row window means in one 2-D pass.
+
+        The batched kernel accumulates the same contiguous column
+        slices in the same order as the per-trace kernel, so every
+        row's valid windows are bitwise identical; rows shorter than
+        the window simply get length 0.
+        """
+        (batch,) = batches
+        if batch.n_max < self.size:
+            rows = batch.batch_size
+            return BatchedChunk.view(
+                StreamKind.SCALAR,
+                np.zeros((rows, 0)),
+                np.zeros((rows, 0)),
+                np.zeros(rows, dtype=np.int64),
+                batch.rate_hz,
+            )
+        return BatchedChunk.view(
+            StreamKind.SCALAR,
+            batch.times[:, self.size - 1:],
+            batched_window_means(batch.values, self.size),
+            np.maximum(batch.lengths - (self.size - 1), 0),
+            batch.rate_hz,
         )
 
     def reset(self) -> None:
@@ -222,6 +248,11 @@ class _FFTBandFilter(StreamAlgorithm):
     def lower(self, chunks: Sequence[Chunk]) -> Chunk:
         """Stateless per-frame transform: the whole trace is one process call."""
         return self.process(chunks)
+
+    def lower_batched(self, batches: Sequence[BatchedChunk]) -> BatchedChunk:
+        """Itemwise: each frame filters independently, so the batch
+        axis folds into the item axis (padding frames are zeros)."""
+        return self._lower_batched_itemwise(batches)
 
     def cycles_per_item(self, in_shapes: Sequence[StreamShape]) -> float:
         # Forward FFT + masking + inverse FFT per frame.

@@ -119,3 +119,40 @@ def window_means(values: np.ndarray, size: int) -> np.ndarray:
     for offset in range(1, size):
         acc += values[offset:offset + count]
     return acc / size
+
+
+def batched_window_means(values: np.ndarray, size: int) -> np.ndarray:
+    """:func:`window_means` over every row of a ``(B, n)`` batch.
+
+    Accumulates the same contiguous column slices in the same left-to-
+    right order as the single-trace kernel, so row ``b`` of the result
+    is bitwise equal to ``window_means(values[b], size)`` wherever that
+    row has a full window.  Columns past a short row's own window count
+    hold garbage; callers mask them with per-row lengths.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    count = values.shape[1] - size + 1
+    if count <= 0:
+        return np.empty((values.shape[0], 0), dtype=np.float64)
+    acc = values[:, :count].copy()
+    for offset in range(1, size):
+        acc += values[:, offset:offset + count]
+    return acc / size
+
+
+def batched_run_lengths(qualifying: np.ndarray) -> np.ndarray:
+    """:func:`consecutive_run_lengths` over every row of a batch.
+
+    Integer arithmetic only, so row ``b`` equals
+    ``consecutive_run_lengths(qualifying[b])`` exactly.  Runs only grow
+    left to right, so right-padding a row cannot disturb its valid
+    prefix (batched streams have no cross-chunk carry to thread).
+    """
+    qualifying = np.asarray(qualifying, dtype=bool)
+    n = qualifying.shape[1]
+    if n == 0:
+        return np.zeros(qualifying.shape, dtype=np.int64)
+    positions = np.arange(1, n + 1, dtype=np.int64)[None, :]
+    resets = np.where(~qualifying, positions, 0)
+    last_reset = np.maximum.accumulate(resets, axis=1)
+    return np.where(qualifying, positions - last_reset, 0)

@@ -15,7 +15,7 @@ import numpy as np
 from repro.algorithms.base import StreamAlgorithm, StreamShape, register
 from repro.algorithms.kernels import debounce_indices
 from repro.errors import ParameterError
-from repro.sensors.samples import Chunk, StreamKind
+from repro.sensors.samples import BatchedChunk, Chunk, StreamKind
 
 #: Extremum polarities :class:`LocalExtrema` can search for.
 EXTREMA_MODES = ("max", "min")
@@ -112,6 +112,56 @@ class LocalExtrema(StreamAlgorithm):
             self._candidates(values), self.min_separation, last_kept=-(10**12)
         )
         return Chunk.scalars(times[kept], values[kept], chunk.rate_hz)
+
+    def lower_batched(self, batches: Sequence[BatchedChunk]) -> BatchedChunk:
+        """Vectorized candidate detection, per-row debouncing.
+
+        Neighbor comparisons and the band check run on the full tensor;
+        a candidate is then valid only at interior positions of its own
+        row (``1 .. length-2``).  The greedy debounce is inherently
+        sequential, so the (sparse) candidate indices of all rows are
+        flattened — spaced so rows cannot interact — into one scan that
+        makes exactly the per-row decisions.  With the default
+        ``min_separation == 1`` every candidate survives and the scan
+        is skipped entirely.
+        """
+        (batch,) = batches
+        values = batch.values
+        rows, width = values.shape
+        mask = np.zeros((rows, width), dtype=bool)
+        if width >= 3:
+            mid = values[:, 1:-1]
+            if self.mode == "max":
+                is_ext = (values[:, :-2] < mid) & (mid >= values[:, 2:])
+            else:
+                is_ext = (values[:, :-2] > mid) & (mid <= values[:, 2:])
+            in_band = (mid >= self.low) & (mid <= self.high)
+            candidate = is_ext & in_band
+            # Interior positions only: candidate column c sits at stream
+            # index c+1, which must be <= length-2 of its own row.
+            candidate &= (
+                np.arange(width - 2, dtype=np.int64)[None, :]
+                < batch.lengths[:, None] - 2
+            )
+            if self.min_separation == 1:
+                mask[:, 1:-1] = candidate
+            else:
+                # One flattened greedy scan replaces B per-row scans:
+                # with rows spaced ``width + min_separation`` apart the
+                # last kept candidate of one row sits more than
+                # ``min_separation`` before the first candidate of the
+                # next, so the combined scan makes exactly the per-row
+                # decisions (each row's first candidate is always kept,
+                # matching the fresh ``last_kept`` a per-row scan gets).
+                rows_idx, cols_idx = np.nonzero(candidate)
+                stride = width + self.min_separation
+                kept = debounce_indices(
+                    rows_idx * stride + cols_idx + 1,
+                    self.min_separation,
+                    last_kept=-(10**12),
+                )
+                mask[kept // stride, kept % stride] = True
+        return batch.take(mask)
 
     def reset(self) -> None:
         self._prev_times = np.empty(0)

@@ -9,7 +9,7 @@ import numpy as np
 
 from repro.algorithms.base import StreamAlgorithm, StreamShape, register
 from repro.errors import ParameterError
-from repro.sensors.samples import Chunk, StreamKind
+from repro.sensors.samples import BatchedChunk, Chunk, StreamKind
 
 _STATS: Dict[str, Callable[[np.ndarray], np.ndarray]] = {
     "mean": lambda v: np.mean(v, axis=1),
@@ -82,6 +82,11 @@ class Statistic(StreamAlgorithm):
     def lower(self, chunks: Sequence[Chunk]) -> Chunk:
         """Stateless per-frame reduction: the whole trace is one process call."""
         return self.process(chunks)
+
+    def lower_batched(self, batches: Sequence[BatchedChunk]) -> BatchedChunk:
+        """Itemwise: each frame reduces independently, so the batch
+        axis folds into the item axis."""
+        return self._lower_batched_itemwise(batches)
 
     def propagate_shape(self, in_shapes: Sequence[StreamShape]) -> StreamShape:
         first = in_shapes[0]

@@ -15,7 +15,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.algorithms.base import StreamAlgorithm, StreamShape, register
-from repro.sensors.samples import Chunk, StreamKind
+from repro.sensors.samples import BatchedChunk, Chunk, StreamKind
 
 #: Cycle cost multiplier for a software FFT butterfly on an MCU without
 #: an FPU.  Chosen so that an 8 kHz audio pipeline with 512-point FFTs
@@ -52,6 +52,11 @@ class FFT(StreamAlgorithm):
         """Stateless per-frame transform: the whole trace is one process call."""
         return self.process(chunks)
 
+    def lower_batched(self, batches: Sequence[BatchedChunk]) -> BatchedChunk:
+        """Itemwise: each item transforms independently, so the batch
+        axis folds into the item axis (padding items are zeros)."""
+        return self._lower_batched_itemwise(batches)
+
     def propagate_shape(self, in_shapes: Sequence[StreamShape]) -> StreamShape:
         first = in_shapes[0]
         return StreamShape(
@@ -85,6 +90,11 @@ class IFFT(StreamAlgorithm):
     def lower(self, chunks: Sequence[Chunk]) -> Chunk:
         """Stateless per-spectrum transform: the whole trace is one process call."""
         return self.process(chunks)
+
+    def lower_batched(self, batches: Sequence[BatchedChunk]) -> BatchedChunk:
+        """Itemwise: each item transforms independently, so the batch
+        axis folds into the item axis (padding items are zeros)."""
+        return self._lower_batched_itemwise(batches)
 
     def propagate_shape(self, in_shapes: Sequence[StreamShape]) -> StreamShape:
         first = in_shapes[0]

@@ -12,7 +12,7 @@ import numpy as np
 
 from repro.algorithms.base import StreamAlgorithm, StreamShape, register
 from repro.errors import ParameterError
-from repro.sensors.samples import Chunk, ChunkBuffer, StreamKind
+from repro.sensors.samples import BatchedChunk, Chunk, ChunkBuffer, StreamKind
 
 #: Supported window shapes.
 WINDOW_SHAPES = ("rectangular", "hamming")
@@ -87,6 +87,41 @@ class Window(StreamAlgorithm):
             frames = frames * self._taper
         times = chunk.times[starts + self.size - 1]
         return Chunk(StreamKind.FRAME, times, frames, chunk.rate_hz)
+
+    def lower_batched(self, batches: Sequence[BatchedChunk]) -> BatchedChunk:
+        """Per-row framing in one 3-D fancy-index pass.
+
+        Every row cuts frames at the same absolute offsets ``0, hop,
+        2*hop, ...``; a row's frame is valid only while it fits inside
+        the row's own length, so short rows just expose fewer frames.
+        Gathered elements and the taper multiply are the identical
+        float operations the per-trace rule applies.
+        """
+        (batch,) = batches
+        rows = batch.batch_size
+        if batch.n_max < self.size:
+            return BatchedChunk.view(
+                StreamKind.FRAME,
+                np.zeros((rows, 0)),
+                np.zeros((rows, 0, self.size)),
+                np.zeros(rows, dtype=np.int64),
+                batch.rate_hz,
+            )
+        n_frames = (batch.n_max - self.size) // self.hop + 1
+        starts = np.arange(n_frames) * self.hop
+        idx = starts[:, None] + np.arange(self.size)[None, :]
+        frames = batch.values[:, idx]
+        if self._taper is not None:
+            frames = frames * self._taper
+        times = batch.times[:, starts + self.size - 1]
+        lengths = np.where(
+            batch.lengths >= self.size,
+            (batch.lengths - self.size) // self.hop + 1,
+            0,
+        )
+        return BatchedChunk.view(
+            StreamKind.FRAME, times, frames, lengths, batch.rate_hz
+        )
 
     def reset(self) -> None:
         self._buffer.clear()

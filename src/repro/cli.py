@@ -208,7 +208,9 @@ def _print_execution(matrix, verbose: bool) -> None:
         f"plan {stats['plan_hits']}/{stats['plan_misses']} | "
         f"hub {stats['hub_hits']}/{stats['hub_misses']} | "
         f"trace {stats['trace_hits']}/{stats['trace_misses']} | "
-        f"detect {stats['detect_hits']}/{stats['detect_misses']}",
+        f"detect {stats['detect_hits']}/{stats['detect_misses']} | "
+        f"batch {stats['batch_rounds']} rounds/"
+        f"{stats['batched_cells']} cells",
         file=sys.stderr,
     )
 
@@ -224,6 +226,7 @@ def cmd_table2(args: argparse.Namespace) -> int:
         cache=not args.no_cache,
         fuse=not args.no_fuse,
         compiled=not args.no_compile,
+        batch=not args.no_batch,
     )
     print(render_table2(table, paper=PAPER_TABLE2))
     _print_skipped(matrix)
@@ -242,6 +245,7 @@ def cmd_figure5(args: argparse.Namespace) -> int:
         cache=not args.no_cache,
         fuse=not args.no_fuse,
         compiled=not args.no_compile,
+        batch=not args.no_batch,
     )
     print(render_figure5(series))
     _print_skipped(matrix)
@@ -261,6 +265,7 @@ def cmd_figure6(args: argparse.Namespace) -> int:
     series, matrix = figure6_series(
         traces=group1, jobs=args.jobs, cache=not args.no_cache,
         fuse=not args.no_fuse, compiled=not args.no_compile,
+        batch=not args.no_batch,
     )
     print(render_figure6(series))
     _print_execution(matrix, args.verbose)
@@ -278,6 +283,7 @@ def cmd_figure7(args: argparse.Namespace) -> int:
         cache=not args.no_cache,
         fuse=not args.no_fuse,
         compiled=not args.no_compile,
+        batch=not args.no_batch,
     )
     print(render_figure7(series))
     _print_skipped(matrix)
@@ -328,6 +334,10 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         capacity=args.capacity,
         jobs=args.jobs,
     )
+    if args.no_batch:
+        from repro.sim.engine import RunContext
+
+        service_kwargs["context"] = RunContext(batch=False)
     faults = (
         ServiceFaultPlan(kill_after_accepts=args.kill_after)
         if args.kill_after
@@ -449,6 +459,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="disable the compiled whole-trace hub path "
                             "(results are identical; this is an escape "
                             "hatch)")
+        p.add_argument("--no-batch", action="store_true",
+                       help="disable tensor-major batching of "
+                            "same-condition cells (results are "
+                            "identical; this is an escape hatch)")
         p.add_argument("--verbose", action="store_true",
                        help="also report the engine's serial/pool "
                             "decision and RunContext cache counters")
@@ -473,6 +487,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-tenant pending quota (default 8)")
     p.add_argument("--pump-every", type=int, default=32,
                    help="run a scheduling round every N submissions")
+    p.add_argument("--no-batch", action="store_true",
+                   help="disable tensor-major batching across "
+                        "tenants/traces (results are identical; this "
+                        "is an escape hatch)")
     p.add_argument("--journal", metavar="PATH",
                    help="write-ahead journal path (enables durability)")
     p.add_argument("--kill-after", type=int, metavar="N",

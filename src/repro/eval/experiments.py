@@ -193,6 +193,7 @@ def run_matrix(
     context: Optional[RunContext] = None,
     fuse: bool = True,
     compiled: bool = True,
+    batch: bool = True,
 ) -> Matrix:
     """Simulate every (config, app, trace) combination.
 
@@ -216,6 +217,9 @@ def run_matrix(
         compiled: Enable the compiled whole-trace hub path for
             eligible conditions (results are bit-identical either way;
             ``False`` is the ``--no-compile`` escape hatch).
+        batch: Enable tensor-major batching of same-condition cells
+            (results are bit-identical either way; ``False`` is the
+            ``--no-batch`` escape hatch).
 
     (app, trace) pairs whose sensors are absent from the trace are not
     silently dropped: they are recorded on :attr:`Matrix.skipped`.
@@ -229,6 +233,7 @@ def run_matrix(
         context=context,
         fuse=fuse,
         compiled=compiled,
+        batch=batch,
     )
     matrix = Matrix(skipped=list(plan.skipped), execution=info)
     for result in results:

@@ -33,6 +33,7 @@ def figure5_series(
     cache: bool = True,
     fuse: bool = True,
     compiled: bool = True,
+    batch: bool = True,
 ) -> Tuple[Dict[int, Dict[str, Dict[str, float]]], Matrix]:
     """Figure 5: power relative to Oracle, per robot group and app.
 
@@ -51,6 +52,7 @@ def figure5_series(
         cache=cache,
         fuse=fuse,
         compiled=compiled,
+        batch=batch,
     )
     groups = group_trace_names(traces)
     series: Dict[int, Dict[str, Dict[str, float]]] = {}
@@ -74,6 +76,7 @@ def figure6_series(
     cache: bool = True,
     fuse: bool = True,
     compiled: bool = True,
+    batch: bool = True,
 ) -> Tuple[Dict[str, Dict[float, float]], Matrix]:
     """Figure 6: duty-cycling recall vs sleep interval at 90 % idle.
 
@@ -87,7 +90,8 @@ def figure6_series(
     apps = [StepsApp(), TransitionsApp(), HeadbuttApp()]
     configs = [DutyCycling(interval) for interval in intervals]
     matrix = run_matrix(
-        configs, apps, traces, jobs=jobs, cache=cache, fuse=fuse, compiled=compiled
+        configs, apps, traces, jobs=jobs, cache=cache, fuse=fuse,
+        compiled=compiled, batch=batch,
     )
     series: Dict[str, Dict[float, float]] = {app.name: {} for app in apps}
     for config, interval in zip(configs, intervals):
@@ -103,6 +107,7 @@ def figure7_series(
     cache: bool = True,
     fuse: bool = True,
     compiled: bool = True,
+    batch: bool = True,
 ) -> Tuple[Dict[str, Dict[str, float]], Matrix]:
     """Figure 7: step-detector power relative to Oracle on human traces.
 
@@ -122,6 +127,7 @@ def figure7_series(
         cache=cache,
         fuse=fuse,
         compiled=compiled,
+        batch=batch,
     )
     shown = ["always_awake", "duty_cycling_10s", "batching_10s",
              "predefined_activity", "sidewinder"]

@@ -40,6 +40,7 @@ def build_table2(
     cache: bool = True,
     fuse: bool = True,
     compiled: bool = True,
+    batch: bool = True,
 ) -> Tuple[Dict[str, Dict[str, float]], Matrix]:
     """Table 2: average power (mW) per audio app and wake-up mechanism.
 
@@ -51,6 +52,7 @@ def build_table2(
         cache: Enable engine memoization.
         fuse: Enable the fused hub fast path.
         compiled: Enable the compiled whole-trace hub path.
+        batch: Enable tensor-major batching of same-condition cells.
 
     Returns:
         ``(table, matrix)`` where ``table[config][app]`` is the mean
@@ -65,7 +67,8 @@ def build_table2(
     configs = [Oracle(), pa, Sidewinder()]
     apps = [SirenDetectorApp(), MusicJournalApp(), PhraseDetectionApp()]
     matrix = run_matrix(
-        configs, apps, traces, jobs=jobs, cache=cache, fuse=fuse, compiled=compiled
+        configs, apps, traces, jobs=jobs, cache=cache, fuse=fuse,
+        compiled=compiled, batch=batch,
     )
     table: Dict[str, Dict[str, float]] = {}
     for config in configs:

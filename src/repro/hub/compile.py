@@ -35,7 +35,7 @@ from repro.errors import HubExecutionError
 from repro.hub.runtime import WakeEvent, fusion_eligibility
 from repro.il.ast import ChannelRef, SourceRef
 from repro.il.graph import DataflowGraph
-from repro.sensors.samples import Chunk, StreamKind
+from repro.sensors.samples import BatchedChunk, Chunk, StreamKind
 
 
 def compile_eligibility(graph: DataflowGraph) -> Optional[str]:
@@ -172,6 +172,160 @@ def _aligned_prefix(inputs: List[Chunk]) -> List[Chunk]:
         )
         for chunk in inputs
     ]
+
+
+def batch_eligibility(graph: DataflowGraph) -> Optional[str]:
+    """Why a graph cannot run tensor-major over many traces — or ``None``.
+
+    Batched execution stacks *B* traces into one array program, so it
+    needs everything compilation needs (every ``lower`` rule has a
+    row-identical ``lower_batched`` counterpart — the base class
+    guarantees one by looping rows).  On top of that, the output stream
+    must be scalar: per-trace wake events are unstacked item by item,
+    and only scalar items map one-to-one onto ``WakeEvent`` values.
+    Returns a human-readable reason string beside
+    :func:`compile_eligibility`'s, or ``None`` when batchable.
+    """
+    reason = compile_eligibility(graph)
+    if reason is not None:
+        return reason
+    for node in graph.nodes:
+        if node.node_id == graph.output_id:
+            if node.algorithm.output_kind is not StreamKind.SCALAR:
+                return (
+                    f"output node {node.node_id} ({node.opcode}) emits "
+                    f"{node.algorithm.output_kind.value} items; batched "
+                    "unstacking requires a scalar output stream"
+                )
+    return None
+
+
+@dataclass(frozen=True)
+class BatchedPlan:
+    """A compiled plan lifted over a leading batch (trace) axis.
+
+    Build with :func:`compile_batched`; run with :meth:`execute_batch`.
+    One batched execution replaces *B* per-trace :meth:`CompiledPlan.
+    execute` calls for same-fingerprint work: channel arrays stack into
+    ``(B, n_max)`` tensors (ragged rows pad on the right), every node
+    runs its ``lower_batched`` rule once, and the output unstacks into
+    per-trace wake events that are bit-identical to the per-trace plan
+    — and therefore to the interpreter oracle at any chunking.
+
+    Like :class:`CompiledPlan`, a batched plan holds no mutable state;
+    the engine caches one per IL fingerprint and reuses it across pump
+    rounds and batch compositions.
+    """
+
+    plan: CompiledPlan
+
+    @property
+    def channels(self) -> Tuple[str, ...]:
+        """Sensor channels the program reads (same as the scalar plan)."""
+        return self.plan.channels
+
+    def execute_batch(
+        self,
+        rows: List[Dict[str, Tuple[np.ndarray, np.ndarray, float]]],
+    ) -> List[List[WakeEvent]]:
+        """Run the array program once over ``B`` traces' channel arrays.
+
+        Args:
+            rows: One channel-data mapping per trace, each in the form
+                :meth:`CompiledPlan.execute` takes.  Rows may have
+                ragged lengths; every row must carry the same sampling
+                rate per channel (the engine groups work that way
+                before stacking).
+
+        Returns:
+            One wake-event list per row, in input order — each
+            bit-identical to ``plan.execute`` on that row alone.
+
+        Raises:
+            HubExecutionError: when a row lacks a channel the program
+                reads, or rows disagree on a channel's sampling rate.
+        """
+        if len(rows) == 1:
+            return [self.plan.execute(rows[0])]
+        env: Dict[Union[str, int], BatchedChunk] = {}
+        for name in self.plan.channels:
+            times_rows = []
+            values_rows = []
+            rates = set()
+            for row in rows:
+                if name not in row:
+                    raise HubExecutionError(
+                        f"batched plan missing data for channel {name!r}"
+                    )
+                times, values, rate = row[name]
+                times_rows.append(times)
+                values_rows.append(values)
+                rates.add(rate)
+            if len(rates) > 1:
+                raise HubExecutionError(
+                    f"batched plan: channel {name!r} rate differs across "
+                    f"rows ({sorted(rates)}); group rows by rate first"
+                )
+            env[name] = BatchedChunk.from_scalar_rows(
+                times_rows, values_rows, rates.pop()
+            )
+        for step in self.plan.steps:
+            inputs = [
+                env[ref.channel] if isinstance(ref, ChannelRef) else env[ref.node_id]
+                for ref in step.inputs
+            ]
+            if step.align:
+                inputs = _aligned_prefix_batched(inputs)
+            env[step.node_id] = step.algorithm.lower_batched(inputs)
+        out = env[self.plan.output_id]
+        # The output is scalar (batch eligibility guarantees it), so the
+        # whole (B, k) tensors convert to nested Python lists in one
+        # C-level pass each instead of B small per-row conversions; the
+        # per-row slice then trims each row's padding.
+        all_times = out.times.tolist()
+        all_values = out.values.tolist()
+        return [
+            [WakeEvent(t, v) for t, v in zip(trow[:n], vrow[:n])]
+            for trow, vrow, n in zip(
+                all_times, all_values, out.lengths.tolist()
+            )
+        ]
+
+
+def _aligned_prefix_batched(inputs: List[BatchedChunk]) -> List[BatchedChunk]:
+    """Per-row aligned-prefix collapse of multi-port batched inputs.
+
+    Row ``b``'s aligned prefix is the shortest port length at that row
+    (exactly :func:`_aligned_prefix` per row); columns are cropped to
+    the longest aligned row so every port presents the same tensor
+    width downstream.
+    """
+    lengths = np.minimum.reduce([batch.lengths for batch in inputs])
+    limit = int(lengths.max()) if lengths.size else 0
+    return [
+        BatchedChunk.view(
+            batch.kind,
+            batch.times[:, :limit],
+            batch.values[:, :limit],
+            lengths,
+            batch.rate_hz,
+        )
+        for batch in inputs
+    ]
+
+
+def compile_batched(graph: DataflowGraph) -> BatchedPlan:
+    """Lower a validated graph to a :class:`BatchedPlan`.
+
+    Raises:
+        HubExecutionError: when the graph is not batch-eligible —
+            callers that want graceful fallback should consult
+            :func:`batch_eligibility` first.
+    """
+    reason = batch_eligibility(graph)
+    if reason is not None:
+        raise HubExecutionError(f"graph is not batch-eligible: {reason}")
+    return BatchedPlan(plan=compile_graph(graph))
 
 
 def compile_graph(graph: DataflowGraph) -> CompiledPlan:

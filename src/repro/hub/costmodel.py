@@ -1,0 +1,168 @@
+"""Measured per-graph tier selection for hub execution.
+
+The engine can run a wake-up condition three ways — ``compiled`` (one
+whole-trace array program), ``fused`` (64-round coalesced
+interpretation) and ``rounds`` (the paper's round-by-round interpreter)
+— all bit-identical.  Until now the preference was hardwired
+``compiled > fused > rounds``, which is right for accelerometer suites
+but demonstrably wrong for FFT-heavy audio graphs: their working sets
+are memory-bandwidth-bound, and ``results/BENCH_compile.json`` records
+fused audio at **0.27×** round-by-round.  A static ranking cannot see
+that; a measurement can.
+
+:class:`CostModel` makes the choice per graph fingerprint from observed
+runtimes, and it gets its measurements for free: every real run of a
+fingerprint *is* a sample.  The engine asks :meth:`CostModel.choose`
+which tier to run, times the run it was going to do anyway, and feeds
+the timing back through :meth:`CostModel.observe`.  Because every tier
+returns identical events, probing costs nothing but the probed tier's
+own runtime — there are no throwaway micro-benchmark executions, and
+timing noise can never change a result, only a future tier choice.
+
+Exploration is gated: while the preferred tier's runs stay under
+:data:`PROBE_THRESHOLD_S` the model does not bother probing
+alternatives (the choice cannot matter at that scale, and accelerometer
+plans run in tens of microseconds).  Once a fingerprint proves
+expensive, the next runs probe each remaining tier once, after which
+the cheapest observed seconds-per-item wins.  A pre-calibrated
+``table`` mapping fingerprints to tiers short-circuits everything —
+benchmarks use it to pin selections, and deployments can ship one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+#: Execution tiers in static preference order — the order probing walks,
+#: and the tie-break ranking when measurements are equal.
+TIER_PREFERENCE = ("compiled", "fused", "rounds")
+
+#: Mean per-run seconds above which a fingerprint is worth probing.
+#: Below this, the preferred tier runs unchallenged: exploring a slower
+#: tier would cost more than the choice could ever save, and sub-10ms
+#: plans (every accelerometer suite) keep their zero-overhead fast path.
+PROBE_THRESHOLD_S = 0.01
+
+
+@dataclass
+class _TierStats:
+    """Accumulated observations of one (fingerprint, tier) pair."""
+
+    seconds: float = 0.0
+    items: float = 0.0
+    runs: int = 0
+
+    def add(self, seconds: float, items: float) -> None:
+        self.seconds += max(float(seconds), 0.0)
+        self.items += max(float(items), 0.0)
+        self.runs += 1
+
+    @property
+    def mean_run_seconds(self) -> float:
+        return self.seconds / self.runs if self.runs else 0.0
+
+    @property
+    def seconds_per_item(self) -> float:
+        return self.seconds / max(self.items, 1.0)
+
+
+@dataclass
+class CostModel:
+    """Online measured tier selection, keyed by graph fingerprint.
+
+    Args:
+        table: Optional calibrated ``fingerprint -> tier`` overrides.
+            A table entry always wins (when its tier is allowed) and is
+            never re-probed.
+        probe_threshold_s: Mean per-run seconds a fingerprint's
+            preferred tier must exceed before alternatives get probed.
+    """
+
+    table: Mapping[str, str] = field(default_factory=dict)
+    probe_threshold_s: float = PROBE_THRESHOLD_S
+    _stats: Dict[Tuple[str, str], _TierStats] = field(default_factory=dict)
+
+    def observe(
+        self, fingerprint: str, tier: str, seconds: float, items: float
+    ) -> None:
+        """Record one real run's timing: ``tier`` processed ``items``
+        input items in ``seconds``."""
+        key = (fingerprint, tier)
+        stats = self._stats.get(key)
+        if stats is None:
+            stats = self._stats[key] = _TierStats()
+        stats.add(seconds, items)
+
+    def choose(self, fingerprint: str, allowed: Sequence[str]) -> str:
+        """The tier the next run of ``fingerprint`` should use.
+
+        ``allowed`` lists the tiers actually available for this graph
+        under the context's flags (e.g. no ``compiled`` entry when the
+        graph is not compile-eligible).  Returns a calibrated override
+        if one applies, the preferred tier while it is unprobed or
+        proven cheap, the next unprobed tier while probing, and the
+        cheapest observed seconds-per-item once every allowed tier has
+        a sample.
+        """
+        ordered = [t for t in TIER_PREFERENCE if t in allowed]
+        if not ordered:
+            raise ValueError(f"no allowed tiers for {fingerprint!r}")
+        override = self.table.get(fingerprint)
+        if override in ordered:
+            return override
+        preferred = ordered[0]
+        head = self._stats.get((fingerprint, preferred))
+        if head is None or head.mean_run_seconds < self.probe_threshold_s:
+            return preferred
+        for tier in ordered[1:]:
+            if (fingerprint, tier) not in self._stats:
+                return tier
+        return min(
+            ordered, key=lambda t: self._stats[(fingerprint, t)].seconds_per_item
+        )
+
+    def selection(
+        self, fingerprint: str, allowed: Sequence[str]
+    ) -> Optional[str]:
+        """The settled choice for ``fingerprint``, or ``None`` while the
+        model still wants probe runs.
+
+        Batching uses this: a batch is only worth assembling once the
+        model has committed to a tier (otherwise the rows should run
+        one at a time to finish probing).
+        """
+        ordered = [t for t in TIER_PREFERENCE if t in allowed]
+        if not ordered:
+            return None
+        override = self.table.get(fingerprint)
+        if override in ordered:
+            return override
+        preferred = ordered[0]
+        head = self._stats.get((fingerprint, preferred))
+        if head is None:
+            return None
+        if head.mean_run_seconds < self.probe_threshold_s:
+            return preferred
+        if any((fingerprint, tier) not in self._stats for tier in ordered[1:]):
+            return None
+        return min(
+            ordered, key=lambda t: self._stats[(fingerprint, t)].seconds_per_item
+        )
+
+    def seconds_per_item(self, fingerprint: str, tier: str) -> Optional[float]:
+        """Observed mean seconds per input item, or ``None`` if unseen."""
+        stats = self._stats.get((fingerprint, tier))
+        return stats.seconds_per_item if stats else None
+
+    def as_dict(self) -> Dict[str, Dict[str, Dict[str, float]]]:
+        """Diagnostic dump: per fingerprint, per tier, the accumulated
+        seconds/items/runs (benchmarks record this beside timings)."""
+        out: Dict[str, Dict[str, Dict[str, float]]] = {}
+        for (fingerprint, tier), stats in sorted(self._stats.items()):
+            out.setdefault(fingerprint, {})[tier] = {
+                "seconds": stats.seconds,
+                "items": stats.items,
+                "runs": stats.runs,
+            }
+        return out

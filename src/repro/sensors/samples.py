@@ -128,6 +128,175 @@ class Chunk:
 
 
 @dataclass
+class BatchedChunk:
+    """A stack of per-trace chunks sharing one array program.
+
+    Tensor-major execution runs a compiled wake-up condition once over
+    *B* traces by adding a leading batch axis to every stream: ``times``
+    and ``values`` gain a row per trace, padded on the right to the
+    longest row.  Valid data is always a *left-justified prefix* —
+    ``lengths[b]`` items — so elementwise and multi-port operations stay
+    aligned without masks, and padding never has to be inspected, only
+    ignored.
+
+    Attributes:
+        kind: Item kind carried by every row.
+        times: Per-item timestamps, shape ``(B, n_max)``; entries at or
+            past ``lengths[b]`` are padding (zeros or stale values) and
+            must never be read.
+        values: Item payload, shape ``(B, n_max)`` for scalars and
+            ``(B, n_max, width)`` otherwise; same padding contract.
+        lengths: Valid-prefix item counts per row, shape ``(B,)`` int64.
+        rate_hz: Sampling rate shared by every row (batches are grouped
+            by rate before stacking).
+    """
+
+    kind: StreamKind
+    times: np.ndarray
+    values: np.ndarray
+    lengths: np.ndarray
+    rate_hz: float
+
+    @property
+    def batch_size(self) -> int:
+        """Number of rows (traces) in the batch."""
+        return int(self.times.shape[0])
+
+    @property
+    def n_max(self) -> int:
+        """Padded per-row item capacity."""
+        return int(self.times.shape[1])
+
+    def row(self, index: int) -> Chunk:
+        """Zero-copy :class:`Chunk` over row ``index``'s valid prefix."""
+        n = int(self.lengths[index])
+        return Chunk.view(
+            self.kind, self.times[index, :n], self.values[index, :n], self.rate_hz
+        )
+
+    def rows(self) -> "list[Chunk]":
+        """Every row's valid prefix as per-trace chunks."""
+        return [self.row(b) for b in range(self.batch_size)]
+
+    @classmethod
+    def view(
+        cls,
+        kind: StreamKind,
+        times: np.ndarray,
+        values: np.ndarray,
+        lengths: np.ndarray,
+        rate_hz: float,
+    ) -> "BatchedChunk":
+        """Zero-copy constructor for already-validated arrays."""
+        batch = object.__new__(cls)
+        batch.kind = kind
+        batch.times = times
+        batch.values = values
+        batch.lengths = lengths
+        batch.rate_hz = rate_hz
+        return batch
+
+    def take(self, mask: np.ndarray) -> "BatchedChunk":
+        """Batched ``Chunk.take``: keep masked items, re-left-justified.
+
+        For every row, items where ``mask`` is True within that row's
+        valid prefix move to a left-justified prefix in their original
+        order (a ragged boolean take); the new lengths count what was
+        kept.  Padding positions are ignored regardless of their mask.
+        """
+        mask = np.asarray(mask, dtype=bool)
+        columns = np.arange(mask.shape[1], dtype=np.int64)[None, :]
+        keep = mask & (columns < self.lengths[:, None])
+        lengths = keep.sum(axis=1, dtype=np.int64)
+        # Scatter kept items to left-justified prefixes.  ``nonzero``
+        # walks row-major, so items stay in original order and each
+        # row's destinations are consecutive from its start offset.
+        # O(B*n + kept) — and the result shrinks to the widest kept
+        # prefix, so downstream stages stop paying for dropped columns.
+        rows_idx, cols_idx = np.nonzero(keep)
+        starts = np.zeros(len(lengths) + 1, dtype=np.int64)
+        np.cumsum(lengths, out=starts[1:])
+        dest = np.arange(rows_idx.size, dtype=np.int64) - starts[rows_idx]
+        k_max = int(lengths.max()) if len(lengths) else 0
+        times = np.zeros((self.batch_size, k_max), dtype=self.times.dtype)
+        times[rows_idx, dest] = self.times[rows_idx, cols_idx]
+        values = np.zeros(
+            (self.batch_size, k_max) + self.values.shape[2:],
+            dtype=self.values.dtype,
+        )
+        values[rows_idx, dest] = self.values[rows_idx, cols_idx]
+        return BatchedChunk.view(
+            self.kind, times, values, lengths, self.rate_hz
+        )
+
+    @classmethod
+    def from_scalar_rows(
+        cls,
+        times_rows: "list[np.ndarray]",
+        values_rows: "list[np.ndarray]",
+        rate_hz: float,
+    ) -> "BatchedChunk":
+        """Stack per-row scalar arrays into one padded batch.
+
+        The raw-array counterpart of :meth:`from_rows` for ``SCALAR``
+        streams: when every row happens to be the same length (the
+        common fleet case — same-duration rounds arriving together) the
+        stack is a single C-level copy; ragged rows fall back to the
+        padded per-row loop.  Rows are coerced to ``float64`` batchwise.
+        """
+        if not times_rows:
+            raise ValueError("cannot batch zero rows")
+        lengths = np.array([len(t) for t in times_rows], dtype=np.int64)
+        n_max = int(lengths.max())
+        if n_max and bool((lengths == n_max).all()):
+            # One C-level concatenate per tensor; np.stack would build a
+            # Python-side expanded view per row first.
+            batch = len(times_rows)
+            times = np.concatenate(times_rows).reshape(batch, n_max)
+            values = np.concatenate(values_rows).reshape(batch, n_max)
+            if times.dtype != np.float64:
+                times = times.astype(np.float64)
+            if values.dtype != np.float64:
+                values = values.astype(np.float64)
+        else:
+            batch = len(times_rows)
+            times = np.zeros((batch, n_max), dtype=np.float64)
+            values = np.zeros((batch, n_max), dtype=np.float64)
+            for b, (t, v) in enumerate(zip(times_rows, values_rows)):
+                n = lengths[b]
+                times[b, :n] = t
+                values[b, :n] = v
+        return cls.view(StreamKind.SCALAR, times, values, lengths, rate_hz)
+
+    @classmethod
+    def from_rows(cls, chunks: "list[Chunk]") -> "BatchedChunk":
+        """Stack per-trace chunks into one padded batch.
+
+        Rows may be ragged; each is copied into the left-justified
+        prefix of its row and the remainder zero-filled.
+        """
+        if not chunks:
+            raise ValueError("cannot batch zero chunks")
+        kind = chunks[0].kind
+        rate_hz = chunks[0].rate_hz
+        lengths = np.array([len(c) for c in chunks], dtype=np.int64)
+        n_max = int(lengths.max())
+        batch = len(chunks)
+        times = np.zeros((batch, n_max), dtype=np.float64)
+        if kind is StreamKind.SCALAR:
+            values = np.zeros((batch, n_max), dtype=np.float64)
+        else:
+            width = max((c.values.shape[1] for c in chunks), default=0)
+            dtype = np.complex128 if kind is StreamKind.SPECTRUM else np.float64
+            values = np.zeros((batch, n_max, width), dtype=dtype)
+        for b, chunk in enumerate(chunks):
+            n = len(chunk)
+            times[b, :n] = chunk.times
+            values[b, :n] = chunk.values
+        return cls.view(kind, times, values, lengths, rate_hz)
+
+
+@dataclass
 class ChunkBuffer:
     """Accumulates scalar items across chunk boundaries.
 

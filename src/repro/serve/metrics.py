@@ -84,6 +84,10 @@ class MetricsSnapshot:
             tier on disk.
         journal_errors: Write-ahead-journal append/flush failures
             (injected or real) the service survived.
+        batch_rounds: Tensor-major hub dispatches the engine ran for
+            this service — batched executions, not per-trace runs.
+        batched_cells: Per-trace hub runs those dispatches covered
+            (``batched_cells / batch_rounds`` is the mean batch size).
         health_state: The :class:`~repro.serve.health.HealthMonitor`
             verdict (``"healthy"`` / ``"degraded"``) at snapshot time.
         health_transitions: Every ``(now, from, to)`` health transition
@@ -108,11 +112,18 @@ class MetricsSnapshot:
     journal_errors: int = 0
     health_state: str = "healthy"
     health_transitions: Tuple[Tuple[float, str, str], ...] = ()
+    batch_rounds: int = 0
+    batched_cells: int = 0
 
     @property
     def rejected_total(self) -> int:
         """All rejections across reasons."""
         return sum(self.rejected.values())
+
+    @property
+    def batch_occupancy(self) -> float:
+        """Mean per-trace runs per batched dispatch (0 when none ran)."""
+        return self.batched_cells / self.batch_rounds if self.batch_rounds else 0.0
 
     def as_dict(self) -> Dict[str, object]:
         """Snapshot as a plain dict (for logs and benchmark artifacts)."""
@@ -134,6 +145,9 @@ class MetricsSnapshot:
             "store_size": self.store_size,
             "store_spilled": self.store_spilled,
             "journal_errors": self.journal_errors,
+            "batch_rounds": self.batch_rounds,
+            "batched_cells": self.batched_cells,
+            "batch_occupancy": self.batch_occupancy,
             "health_state": self.health_state,
             "health_transitions": [
                 list(transition) for transition in self.health_transitions
@@ -154,6 +168,8 @@ class MetricsSnapshot:
                 f"cancelled {self.cancelled}",
                 f"engine runs {self.engine_runs} | dedup hits "
                 f"{self.dedup_hits} | dedup hit-rate {self.dedup_hit_rate:.1%}",
+                f"batch rounds {self.batch_rounds} | batched cells "
+                f"{self.batched_cells} | occupancy {self.batch_occupancy:.1f}",
                 f"latency p50/p90/p99 {self.latency_p50:g}/"
                 f"{self.latency_p90:g}/{self.latency_p99:g} rounds",
                 f"queue depth {self.queue_depth} | stored results "
@@ -198,6 +214,8 @@ class MetricsRecorder:
         journal_errors: int = 0,
         health_state: str = "healthy",
         health_transitions: Tuple[Tuple[float, str, str], ...] = (),
+        batch_rounds: int = 0,
+        batched_cells: int = 0,
     ) -> MetricsSnapshot:
         """Freeze the counters into a :class:`MetricsSnapshot`."""
         return MetricsSnapshot(
@@ -221,4 +239,6 @@ class MetricsRecorder:
             journal_errors=journal_errors,
             health_state=health_state,
             health_transitions=health_transitions,
+            batch_rounds=batch_rounds,
+            batched_cells=batched_cells,
         )

@@ -17,7 +17,10 @@ coalescing.  Every scheduling round:
    engine as one plan (:func:`repro.sim.engine.plan_from_cells` →
    :func:`execute_plan`), sharing the persistent process pool when
    ``jobs > 1``; raw-IL work runs hub-only through the shared
-   :class:`~repro.sim.engine.RunContext`;
+   :class:`~repro.sim.engine.RunContext`, with dedup-missed work across
+   tenants and traces stacked into tensor-major batched plans
+   (:meth:`~repro.sim.engine.RunContext.wake_events_batch`) per pump
+   round;
 4. results fan back out to every coalesced subscriber, and land in a
    bounded cross-round memo so later identical submissions coalesce
    without re-entering the engine at all.
@@ -134,6 +137,16 @@ class Scheduler:
         #: push path; memoized so repeat submissions skip re-validation).
         self._il_graphs: Dict[Tuple[str, str], DataflowGraph] = {}
         self._memo: Dict[tuple, ServeResult] = {}
+
+    @property
+    def batch_rounds(self) -> int:
+        """Tensor-major hub dispatches the shared context has run."""
+        return self._context.stats.batch_rounds
+
+    @property
+    def batched_cells(self) -> int:
+        """Per-trace hub runs those batched dispatches covered."""
+        return self._context.stats.batched_cells
 
     # -- registry views the service validates against -------------------
 
@@ -339,21 +352,42 @@ class Scheduler:
                         ),
                     )
 
-        for key in fresh:
-            work = works[key]
-            if work.graph is None:
-                continue
+        il_keys = [k for k in fresh if works[k].graph is not None]
+        by_chunk: Dict[float, List[tuple]] = {}
+        for key in il_keys:
+            by_chunk.setdefault(works[key].chunk_seconds, []).append(key)
+        for chunk_seconds, keys in by_chunk.items():
+            # One tensor-major dispatch per (pump round, chunking):
+            # dedup-missed conditions across tenants and traces stack
+            # into batched plans where the engine's cost model has
+            # settled on the compiled tier; the rest run per-trace
+            # inside the same call.  Bit-identical either way, so a
+            # batch failure (e.g. one member's missing channel) simply
+            # re-runs the group per key to preserve per-request errors.
+            batched: Optional[List[tuple]] = None
             try:
-                events = self._context.wake_events(
-                    work.graph, work.trace, work.chunk_seconds
+                batched = self._context.wake_events_batch(
+                    [(works[k].graph, works[k].trace) for k in keys],
+                    chunk_seconds,
                 )
-            except SidewinderError as error:
-                fail(key, error)
-                continue
-            engine_runs += 1
-            result = tuple(events)
-            self._remember(key, result)
-            complete(key, result, payer=members[key][0])
+            except SidewinderError:
+                batched = None
+            for position, key in enumerate(keys):
+                work = works[key]
+                if batched is not None:
+                    events = batched[position]
+                else:
+                    try:
+                        events = self._context.wake_events(
+                            work.graph, work.trace, work.chunk_seconds
+                        )
+                    except SidewinderError as error:
+                        fail(key, error)
+                        continue
+                engine_runs += 1
+                result = tuple(events)
+                self._remember(key, result)
+                complete(key, result, payer=members[key][0])
 
         assert all(r is not None for r in responses)
         return list(responses), engine_runs

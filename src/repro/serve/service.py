@@ -421,6 +421,8 @@ class ConditionService:
             journal_errors=self._health.journal_errors,
             health_state=self._health.state.value,
             health_transitions=self._health.transitions,
+            batch_rounds=self._scheduler.batch_rounds,
+            batched_cells=self._scheduler.batched_cells,
         )
 
     @property

@@ -43,5 +43,23 @@ class SensingConfiguration:
         """
         raise NotImplementedError
 
+    def condition_graph(
+        self,
+        app: SensingApplication,
+        context: Optional[RunContext] = None,
+    ):
+        """The hub condition :meth:`run` would interpret for ``app``.
+
+        Returns the validated
+        :class:`~repro.il.graph.DataflowGraph`, or ``None`` when this
+        configuration runs no (fault-free, cacheable) hub condition —
+        the base default.  The engine's batch prewarmer uses this to
+        collect same-condition cells across traces and execute them
+        tensor-major before the per-cell loop; configurations that call
+        :func:`~repro.sim.simulator.run_wakeup_condition` fault-free
+        should override it with exactly the graph that call will use.
+        """
+        return None
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r})"

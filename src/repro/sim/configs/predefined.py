@@ -187,3 +187,19 @@ class PredefinedActivity(SensingConfiguration):
             hub_wake_count=len(wake_events),
             context=context,
         )
+
+    def condition_graph(
+        self,
+        app: SensingApplication,
+        context: Optional[RunContext] = None,
+    ):
+        """The generic trigger :meth:`run` would interpret for ``app``.
+
+        ``None`` under fault injection (faulty runs bypass the
+        fault-free hub cache); raises
+        :class:`~repro.errors.SimulationError` for apps no predefined
+        activity covers, exactly as :meth:`run` would.
+        """
+        if self.fault_plan is not None:
+            return None
+        return compile_app_condition(self.pipeline_for(app), context)

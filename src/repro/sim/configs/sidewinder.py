@@ -120,3 +120,18 @@ class Sidewinder(SensingConfiguration):
             hub_wake_count=len(wake_events),
             context=context,
         )
+
+    def condition_graph(
+        self,
+        app: SensingApplication,
+        context: Optional[RunContext] = None,
+    ):
+        """The app's wake-up condition, exactly as :meth:`run` compiles it.
+
+        ``None`` under fault injection: faulty runs replay the
+        condition through the round-level fault simulator, so their
+        hub work must not be batch-prewarmed into the fault-free cache.
+        """
+        if self.fault_plan is not None:
+            return None
+        return compile_app_condition(app.build_wakeup_pipeline(), context)

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import atexit
 import hashlib
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import (
@@ -46,7 +47,15 @@ from typing import (
 from repro.api.compile import compile_pipeline
 from repro.api.pipeline import ProcessingPipeline
 from repro.errors import HubExecutionError
-from repro.hub.compile import CompiledPlan, compile_eligibility, compile_graph
+from repro.hub.compile import (
+    BatchedPlan,
+    CompiledPlan,
+    batch_eligibility,
+    compile_batched,
+    compile_eligibility,
+    compile_graph,
+)
+from repro.hub.costmodel import CostModel
 from repro.hub.runtime import (
     HubRuntime,
     WakeEvent,
@@ -92,6 +101,10 @@ class CacheStats:
         hub_hits / hub_misses: Hub wake-event run lookups.
         trace_hits / trace_misses: Per-trace channel-array lookups.
         detect_hits / detect_misses: Precise-detector invocations.
+        batch_rounds / batched_cells: Tensor-major hub dispatches — how
+            many batched executions ran and how many per-trace runs
+            they covered (each covered run also counts as a
+            ``hub_miss``; the batch only changes how it was computed).
     """
 
     compile_hits: int = 0
@@ -104,6 +117,8 @@ class CacheStats:
     trace_misses: int = 0
     detect_hits: int = 0
     detect_misses: int = 0
+    batch_rounds: int = 0
+    batched_cells: int = 0
 
     @property
     def total_hits(self) -> int:
@@ -126,6 +141,8 @@ class CacheStats:
             "trace_misses": self.trace_misses,
             "detect_hits": self.detect_hits,
             "detect_misses": self.detect_misses,
+            "batch_rounds": self.batch_rounds,
+            "batched_cells": self.batched_cells,
         }
 
 
@@ -153,6 +170,19 @@ class RunContext:
             injection never sees compiled plans: faulty runs replay
             the condition through the round-level simulator path, not
             through this context's fault-free interpretation.
+        batch: When True (default) :meth:`wake_events_batch` may stack
+            same-condition work from many traces into one tensor-major
+            execution (:class:`repro.hub.compile.BatchedPlan`).  The
+            ``--no-batch`` escape hatch sets this False; wake events
+            are bit-identical either way — batching only changes how
+            many numpy dispatches compute them.
+        cost_model: The measured tier selector
+            (:class:`repro.hub.costmodel.CostModel`) consulted on every
+            hub interpretation.  Tiers are bit-identical, so the model
+            only decides *which* one runs; every run it requests is
+            timed and fed back as a free sample.  ``None`` builds a
+            private empty model; pass a shared or pre-calibrated one to
+            pin selections across contexts.
 
     Cache keys and invalidation rules:
 
@@ -188,14 +218,22 @@ class RunContext:
     """
 
     def __init__(
-        self, cache: bool = True, fuse: bool = True, compiled: bool = True
+        self,
+        cache: bool = True,
+        fuse: bool = True,
+        compiled: bool = True,
+        batch: bool = True,
+        cost_model: Optional[CostModel] = None,
     ):
         self.cache = cache
         self.fuse = fuse
         self.compiled = compiled
+        self.batch = batch
+        self.cost_model = cost_model if cost_model is not None else CostModel()
         self.stats = CacheStats()
         self._graphs: Dict[str, DataflowGraph] = {}
         self._compiled_plans: Dict[str, Optional[CompiledPlan]] = {}
+        self._batched_plans: Dict[str, Optional[BatchedPlan]] = {}
         self._fingerprints: Dict[int, Tuple[ILProgram, str]] = {}
         self._traces: Dict[int, Trace] = {}
         self._channel_arrays: Dict[int, Dict[str, tuple]] = {}
@@ -260,6 +298,27 @@ class RunContext:
         self._compiled_plans[fp] = plan
         return plan
 
+    def batched_plan(self, graph: DataflowGraph) -> Optional[BatchedPlan]:
+        """The graph's tensor-major array program, or ``None`` if ineligible.
+
+        Memoized like :meth:`compiled_plan` (ineligibility included).
+        Batch eligibility is compile eligibility plus a scalar output
+        stream (:func:`repro.hub.compile.batch_eligibility`), so every
+        batched plan has a per-trace twin to fall back on.
+        """
+        if not self.cache:
+            if batch_eligibility(graph) is None:
+                return compile_batched(graph)
+            return None
+        fp = self.fingerprint(graph.program)
+        if fp in self._batched_plans:
+            return self._batched_plans[fp]
+        plan = (
+            compile_batched(graph) if batch_eligibility(graph) is None else None
+        )
+        self._batched_plans[fp] = plan
+        return plan
+
     # -- traces --------------------------------------------------------
 
     def _trace_key(self, trace: Trace) -> int:
@@ -311,34 +370,182 @@ class RunContext:
         self._hub_runs[key] = events
         return events
 
-    def _interpret(
-        self, graph: DataflowGraph, trace: Trace, chunk_seconds: float
-    ) -> List[WakeEvent]:
+    def _trace_channels(
+        self, graph_channels: Sequence[str], trace: Trace
+    ) -> Dict[str, tuple]:
+        """The trace's channel arrays a condition reads, validated."""
         arrays = self.channel_arrays(trace)
         channels = {
             name: triple
             for name, triple in arrays.items()
-            if name in graph.channels
+            if name in graph_channels
         }
-        missing = set(graph.channels) - set(channels)
+        missing = set(graph_channels) - set(channels)
         if missing:
             raise HubExecutionError(
                 f"trace {trace.name!r} lacks channels {sorted(missing)} "
                 "needed by the wake-up condition"
             )
-        # Tier 3: the compiled whole-trace array program (no rounds, no
-        # interpreter state at all).  Plans are pure, so no reset.
-        if self.compiled:
-            plan = self.compiled_plan(graph)
-            if plan is not None:
-                return plan.execute(channels)
-        # The graph may be a cached instance whose algorithm objects
-        # carry state from a previous run; start cold.
-        graph.reset()
-        runtime = HubRuntime(graph)
+        return channels
+
+    def _allowed_tiers(
+        self, graph: DataflowGraph, plan: Optional[CompiledPlan]
+    ) -> List[str]:
+        """Execution tiers this context's flags permit for ``graph``."""
+        allowed: List[str] = []
+        if plan is not None:
+            allowed.append("compiled")
         if self.fuse and fusion_eligibility(graph) is None:
-            return runtime.run_fused(channels, chunk_seconds)
-        return runtime.run(split_into_rounds(channels, chunk_seconds))
+            allowed.append("fused")
+        allowed.append("rounds")
+        return allowed
+
+    def _interpret(
+        self, graph: DataflowGraph, trace: Trace, chunk_seconds: float
+    ) -> List[WakeEvent]:
+        channels = self._trace_channels(graph.channels, trace)
+        plan = self.compiled_plan(graph) if self.compiled else None
+        allowed = self._allowed_tiers(graph, plan)
+        fp = self.fingerprint(graph.program)
+        # Every tier is bit-identical, so the cost model only picks the
+        # fastest way to the same events — and the run it was going to
+        # do anyway doubles as its measurement sample.
+        tier = self.cost_model.choose(fp, allowed)
+        items = sum(len(triple[0]) for triple in channels.values())
+        start = time.perf_counter()
+        if tier == "compiled":
+            # The compiled whole-trace array program (no rounds, no
+            # interpreter state at all).  Plans are pure, so no reset.
+            events = plan.execute(channels)
+        else:
+            # The graph may be a cached instance whose algorithm objects
+            # carry state from a previous run; start cold.
+            graph.reset()
+            runtime = HubRuntime(graph)
+            if tier == "fused":
+                events = runtime.run_fused(channels, chunk_seconds)
+            else:
+                events = runtime.run(split_into_rounds(channels, chunk_seconds))
+        self.cost_model.observe(fp, tier, time.perf_counter() - start, items)
+        return events
+
+    def wake_events_batch(
+        self,
+        items: Sequence[Tuple[DataflowGraph, Trace]],
+        chunk_seconds: float = 4.0,
+    ) -> List[Tuple[WakeEvent, ...]]:
+        """Wake events for many (condition, trace) pairs, batched.
+
+        Bit-identical to calling :meth:`wake_events` per pair, in input
+        order — batching only changes how the uncached work is computed.
+        Cached pairs are served as usual; the rest group by condition
+        fingerprint.  A group's rows run individually until the cost
+        model settles — those runs *are* the probes — and once it
+        commits to the compiled tier the remaining rows (two or more)
+        go tensor-major: one
+        :meth:`repro.hub.compile.BatchedPlan.execute_batch` dispatch
+        over stacked channel arrays.  Anything else — ineligible
+        graphs, fingerprints settled on another tier, singleton
+        remainders, a context with ``batch``/``cache``/``compiled``
+        off — stays on the per-trace path.  Results are cached under
+        the same keys either way, so later :meth:`wake_events` calls
+        hit.
+
+        Raises:
+            HubExecutionError: when a trace lacks a channel its
+                condition reads.
+        """
+        results: List[Optional[Tuple[WakeEvent, ...]]] = [None] * len(items)
+        if not (self.batch and self.cache and self.compiled):
+            for i, (graph, trace) in enumerate(items):
+                results[i] = self.wake_events(graph, trace, chunk_seconds)
+            return results  # type: ignore[return-value]
+        # Group uncached work by condition fingerprint; one entry per
+        # distinct trace (duplicate pairs share the entry's result).
+        groups: Dict[
+            str, Dict[int, Tuple[DataflowGraph, Trace, List[int]]]
+        ] = {}
+        for i, (graph, trace) in enumerate(items):
+            key = (
+                self.fingerprint(graph.program),
+                self._trace_key(trace),
+                float(chunk_seconds),
+            )
+            cached = self._hub_runs.get(key)
+            if cached is not None:
+                self.stats.hub_hits += 1
+                results[i] = cached
+                continue
+            entry = groups.setdefault(key[0], {}).get(key[1])
+            if entry is None:
+                groups[key[0]][key[1]] = (graph, trace, [i])
+            else:
+                entry[2].append(i)
+        for fp, members in groups.items():
+            rows = list(members.values())
+            graph = rows[0][0]
+            plan = self.compiled_plan(graph)
+            bplan = self.batched_plan(graph) if plan is not None else None
+            # Run rows individually until the model settles — each call
+            # lands in _interpret, which times its tier and feeds the
+            # cost model, so these runs double as the probes.  A group
+            # whose condition is not batch-eligible drains entirely
+            # this way.
+            pending = list(rows)
+            while pending:
+                settled = (
+                    self.cost_model.selection(
+                        fp, self._allowed_tiers(graph, plan)
+                    )
+                    if bplan is not None
+                    else None
+                )
+                if settled == "compiled" and len(pending) >= 2:
+                    break
+                row_graph, row_trace, indices = pending.pop(0)
+                events = self.wake_events(row_graph, row_trace, chunk_seconds)
+                for i in indices:
+                    results[i] = events
+            if not pending:
+                continue
+            rows = pending
+            # Rows must agree per channel on sampling rate to stack;
+            # split by the rate signature (almost always one group).
+            by_rate: Dict[tuple, List[Tuple[Trace, List[int], Dict[str, tuple]]]] = {}
+            for _, row_trace, indices in rows:
+                channels = self._trace_channels(bplan.channels, row_trace)
+                sig = tuple(float(channels[name][2]) for name in bplan.channels)
+                by_rate.setdefault(sig, []).append((row_trace, indices, channels))
+            for sub in by_rate.values():
+                if len(sub) == 1:
+                    row_trace, indices, _ = sub[0]
+                    events = self.wake_events(graph, row_trace, chunk_seconds)
+                    for i in indices:
+                        results[i] = events
+                    continue
+                total_items = sum(
+                    len(triple[0])
+                    for _, _, channels in sub
+                    for triple in channels.values()
+                )
+                start = time.perf_counter()
+                batch_events = bplan.execute_batch(
+                    [channels for _, _, channels in sub]
+                )
+                self.cost_model.observe(
+                    fp, "compiled", time.perf_counter() - start, total_items
+                )
+                self.stats.batch_rounds += 1
+                self.stats.batched_cells += len(sub)
+                for (row_trace, indices, _), row_events in zip(sub, batch_events):
+                    events = tuple(row_events)
+                    self.stats.hub_misses += 1
+                    self._hub_runs[
+                        (fp, self._trace_key(row_trace), float(chunk_seconds))
+                    ] = events
+                    for i in indices:
+                        results[i] = events
+        return results  # type: ignore[return-value]
 
     # -- application detectors -----------------------------------------
 
@@ -602,6 +809,7 @@ _POOL: Optional[ProcessPoolExecutor] = None
 _POOL_KEY: Optional[tuple] = None
 _POOL_WORKERS: int = 0
 _POOL_TRACES: Dict[str, Trace] = {}
+_POOL_EXPORT = None  # TraceExport keeping shm segments alive for the pool
 
 # Worker-side state, set once by the pool initializer.
 _WORKER_CONTEXT: Optional[RunContext] = None
@@ -609,16 +817,25 @@ _WORKER_TRACES: Dict[str, Trace] = {}
 
 
 def _pool_worker_init(
-    traces: List[Trace], cache: bool, fuse: bool, compiled: bool
+    payload: tuple, cache: bool, fuse: bool, compiled: bool, batch: bool
 ) -> None:
     """Pool initializer: one warm context + trace registry per worker.
 
     Runs once per worker process.  Each trace crosses into each worker
     exactly once, here; later batch dispatches refer to traces by name.
+    ``payload`` is a trace-shipping envelope from
+    :func:`repro.sim.shm.export_traces` — either hollow traces backed
+    by shared-memory segments (so N workers map one copy of the channel
+    arrays instead of unpickling N) or plain pickled traces when shared
+    memory is unavailable.
     """
     global _WORKER_CONTEXT, _WORKER_TRACES
-    _WORKER_CONTEXT = RunContext(cache=cache, fuse=fuse, compiled=compiled)
-    _WORKER_TRACES = {trace.name: trace for trace in traces}
+    from repro.sim.shm import attach_traces
+
+    _WORKER_CONTEXT = RunContext(
+        cache=cache, fuse=fuse, compiled=compiled, batch=batch
+    )
+    _WORKER_TRACES = {trace.name: trace for trace in attach_traces(payload)}
 
 
 def _run_batch(
@@ -637,33 +854,51 @@ def _run_batch(
 
 def _shutdown_pool() -> None:
     """Tear down the persistent pool (atexit, or before a rebuild)."""
-    global _POOL, _POOL_KEY, _POOL_WORKERS, _POOL_TRACES
+    global _POOL, _POOL_KEY, _POOL_WORKERS, _POOL_TRACES, _POOL_EXPORT
     if _POOL is not None:
         _POOL.shutdown(wait=True, cancel_futures=True)
+    if _POOL_EXPORT is not None:
+        # Workers are gone (shutdown waited), so the segments can be
+        # unlinked; until here the parent's export kept them alive.
+        _POOL_EXPORT.close()
     _POOL = None
     _POOL_KEY = None
     _POOL_WORKERS = 0
     _POOL_TRACES = {}
+    _POOL_EXPORT = None
 
 
 atexit.register(_shutdown_pool)
 
 
 def _obtain_pool(
-    workers: int, cache: bool, fuse: bool, compiled: bool, traces: List[Trace]
+    workers: int,
+    cache: bool,
+    fuse: bool,
+    compiled: bool,
+    batch: bool,
+    traces: List[Trace],
 ) -> Tuple[ProcessPoolExecutor, int, bool]:
     """The persistent pool for these settings, (re)built if needed.
 
-    Reuses the live pool when its cache/fuse/compiled settings match,
-    it has at least as many workers as requested, and every plan trace
-    is already registered in the workers (same name *and* same object —
-    a different object under a known name would silently run on stale
-    data).  A warm pool with surplus workers is kept rather than
-    resized: the surplus idles, while a rebuild would discard every
-    worker's warm caches.  Returns ``(pool, workers, reused)``.
+    Reuses the live pool when its cache/fuse/compiled/batch settings
+    match, it has at least as many workers as requested, and every plan
+    trace is already registered in the workers (same name *and* same
+    object — a different object under a known name would silently run
+    on stale data).  A warm pool with surplus workers is kept rather
+    than resized: the surplus idles, while a rebuild would discard
+    every worker's warm caches.  Returns ``(pool, workers, reused)``.
+
+    Traces ship to workers through shared memory when the platform
+    supports it (:func:`repro.sim.shm.export_traces`): the initializer
+    payload then carries only channel metadata plus segment names, and
+    every worker maps the parent's arrays instead of re-materializing
+    its own copy of every trace.
     """
-    global _POOL, _POOL_KEY, _POOL_WORKERS, _POOL_TRACES
-    key = (bool(cache), bool(fuse), bool(compiled))
+    global _POOL, _POOL_KEY, _POOL_WORKERS, _POOL_TRACES, _POOL_EXPORT
+    from repro.sim.shm import export_traces
+
+    key = (bool(cache), bool(fuse), bool(compiled), bool(batch))
     if _POOL is not None and _POOL_KEY == key and _POOL_WORKERS >= workers:
         shipped = all(
             _POOL_TRACES.get(trace.name) is trace for trace in traces
@@ -672,16 +907,18 @@ def _obtain_pool(
             return _POOL, _POOL_WORKERS, True
     _shutdown_pool()
     registry = {trace.name: trace for trace in traces}
+    export = export_traces(list(registry.values()))
     _POOL = ProcessPoolExecutor(
         max_workers=workers,
         initializer=_pool_worker_init,
-        initargs=(list(registry.values()), cache, fuse, compiled),
+        initargs=(export.payload, cache, fuse, compiled, batch),
     )
     _POOL_KEY = key
     _POOL_WORKERS = workers
     # Strong references keep trace ids from being recycled while the
     # pool that shipped them is alive.
     _POOL_TRACES = registry
+    _POOL_EXPORT = export
     return _POOL, workers, False
 
 
@@ -691,11 +928,12 @@ def pool_is_warm(
     cache: bool = True,
     fuse: bool = True,
     compiled: bool = True,
+    batch: bool = True,
 ) -> bool:
     """True when the live persistent pool could serve this plan as-is."""
     if _POOL is None or jobs <= 1:
         return False
-    if _POOL_KEY != (bool(cache), bool(fuse), bool(compiled)):
+    if _POOL_KEY != (bool(cache), bool(fuse), bool(compiled), bool(batch)):
         return False
     return all(
         _POOL_TRACES.get(cell.trace.name) is cell.trace for cell in plan.cells
@@ -707,6 +945,64 @@ def shutdown_pool() -> None:
     _shutdown_pool()
 
 
+def _prewarm_batches(cells: Sequence[RunCell], context: RunContext) -> None:
+    """Collect same-condition cells before dispatch and batch their hub runs.
+
+    A serial plan visits cells one at a time, so without this the first
+    cell of every (condition, trace) pair interprets alone even when
+    nineteen sibling traces carry identical work.  This pass asks each
+    configuration for the condition it is about to run
+    (:meth:`SensingConfiguration.condition_graph`), deduplicates the
+    (condition, trace) pairs, and pushes them through
+    :meth:`RunContext.wake_events_batch` — warming the hub-run cache
+    with tensor-major executions the per-cell loop then hits.
+
+    Purely an execution-order change: every cached entry is
+    bit-identical to the per-cell run that would otherwise compute it.
+    Fault-injected configurations replay conditions through the
+    round-level fault simulator, so their cells never join a batch, and
+    any error (unsupported app, missing channel) is left for the owning
+    cell to surface on its own terms.
+    """
+    if not (context.batch and context.cache and context.compiled):
+        return
+    pairs: List[Tuple[DataflowGraph, Trace]] = []
+    seen: set = set()
+    for cell in cells:
+        if getattr(cell.config, "fault_plan", None) is not None:
+            continue
+        try:
+            graph = cell.config.condition_graph(cell.app, context)
+        except Exception:
+            continue
+        if graph is None:
+            continue
+        key = (context.fingerprint(graph.program), id(cell.trace))
+        if key in seen:
+            continue
+        seen.add(key)
+        pairs.append((graph, cell.trace))
+    if len(pairs) < 2:
+        return
+    try:
+        context.wake_events_batch(pairs)
+    except HubExecutionError:
+        pass
+
+
+def _run_serial(
+    plan: RunPlan, profile: PhonePowerProfile, ctx: RunContext
+) -> List[Tuple[int, "SimulationResult"]]:
+    """Run every cell through one shared context, batch-prewarmed."""
+    _prewarm_batches(plan.cells, ctx)
+    indexed = [
+        (cell.index, cell.config.run(cell.app, cell.trace, profile, context=ctx))
+        for cell in plan.cells
+    ]
+    indexed.sort(key=lambda pair: pair[0])
+    return indexed
+
+
 def execute_plan(
     plan: RunPlan,
     jobs: int = 1,
@@ -715,6 +1011,7 @@ def execute_plan(
     context: Optional[RunContext] = None,
     fuse: bool = True,
     compiled: bool = True,
+    batch: bool = True,
 ) -> List["SimulationResult"]:
     """Execute a plan and return results in plan (index) order.
 
@@ -729,6 +1026,7 @@ def execute_plan(
         context=context,
         fuse=fuse,
         compiled=compiled,
+        batch=batch,
     )
     return results
 
@@ -741,6 +1039,7 @@ def execute_plan_with_info(
     context: Optional[RunContext] = None,
     fuse: bool = True,
     compiled: bool = True,
+    batch: bool = True,
 ) -> Tuple[List["SimulationResult"], ExecutionInfo]:
     """Execute a plan; return results in plan order plus how they ran.
 
@@ -764,26 +1063,28 @@ def execute_plan_with_info(
         compiled: Enable the compiled whole-trace hub path (results
             are identical either way; the ``--no-compile`` escape
             hatch).
+        batch: Enable tensor-major batching of same-condition cells
+            (results are bit-identical either way; the ``--no-batch``
+            escape hatch).  Serial plans prewarm the shared context's
+            hub-run cache with one batched execution per condition
+            group before the per-cell loop.
 
     The pool persists across calls: workers are forked once, each
     builds a warm :class:`RunContext` and receives every trace exactly
-    once via the pool initializer, and later calls with the same
-    settings and traces dispatch only (config, app) pairs.  Cells are
-    dispatched in trace-major batches so one IPC round trip covers a
-    whole trace's cells.
+    once via the pool initializer (through shared memory when the
+    platform supports it), and later calls with the same settings and
+    traces dispatch only (config, app) pairs.  Cells are dispatched in
+    trace-major batches so one IPC round trip covers a whole trace's
+    cells.
     """
     n = len(plan.cells)
     if jobs <= 1:
         ctx = (
             context
             if context is not None
-            else RunContext(cache=cache, fuse=fuse, compiled=compiled)
+            else RunContext(cache=cache, fuse=fuse, compiled=compiled, batch=batch)
         )
-        indexed = [
-            (cell.index, cell.config.run(cell.app, cell.trace, profile, context=ctx))
-            for cell in plan.cells
-        ]
-        indexed.sort(key=lambda pair: pair[0])
+        indexed = _run_serial(plan, profile, ctx)
         info = ExecutionInfo(
             requested_jobs=jobs,
             mode="serial",
@@ -797,18 +1098,16 @@ def execute_plan_with_info(
 
     groups = _group_cells_by_trace(plan.cells)
     workers = max(1, min(jobs, len(groups)))
-    warm = pool_is_warm(plan, jobs, cache=cache, fuse=fuse, compiled=compiled)
+    warm = pool_is_warm(
+        plan, jobs, cache=cache, fuse=fuse, compiled=compiled, batch=batch
+    )
     if n < MIN_POOL_CELLS and not warm:
         ctx = (
             context
             if context is not None
-            else RunContext(cache=cache, fuse=fuse, compiled=compiled)
+            else RunContext(cache=cache, fuse=fuse, compiled=compiled, batch=batch)
         )
-        indexed = [
-            (cell.index, cell.config.run(cell.app, cell.trace, profile, context=ctx))
-            for cell in plan.cells
-        ]
-        indexed.sort(key=lambda pair: pair[0])
+        indexed = _run_serial(plan, profile, ctx)
         info = ExecutionInfo(
             requested_jobs=jobs,
             mode="serial",
@@ -827,7 +1126,9 @@ def execute_plan_with_info(
     for cell in plan.cells:
         if not traces or traces[-1] is not cell.trace:
             traces.append(cell.trace)
-    pool, workers, reused = _obtain_pool(workers, cache, fuse, compiled, traces)
+    pool, workers, reused = _obtain_pool(
+        workers, cache, fuse, compiled, batch, traces
+    )
     futures = [
         pool.submit(
             _run_batch,

@@ -1,0 +1,172 @@
+"""Shared-memory trace shipping for the persistent worker pool.
+
+The pool initializer used to pickle every trace into every worker: *N*
+workers each received — and re-materialized — a private copy of every
+channel array, multiplying the resident set by the worker count and
+putting megabytes of sample data through the pickle channel on every
+pool (re)build.  The arrays are read-only for the pool's whole life,
+so one copy is enough: :func:`export_traces` copies each channel into
+a :class:`multiprocessing.shared_memory.SharedMemory` segment once and
+builds a small picklable *payload* of segment names plus metadata;
+:func:`attach_traces` (run inside each worker) maps those segments and
+rebuilds "hollow" :class:`~repro.traces.base.Trace` objects whose data
+arrays are zero-copy views over the shared pages.
+
+The parent owns the segments: it keeps the :class:`TraceExport` alive
+for the pool's lifetime and calls :meth:`TraceExport.close` after the
+pool has shut down (workers detached).  Platforms or sandboxes without
+usable shared memory degrade gracefully — the payload then carries the
+traces themselves (``"direct"`` mode), which is exactly the old
+behavior.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.traces.base import Trace
+
+#: SharedMemory handles attached by this process (worker side).  Pinned
+#: for process lifetime: the numpy views handed to simulations borrow
+#: the mapped buffer, so the handles must never be garbage-collected
+#: under them.
+_ATTACHED: List[object] = []
+
+
+@dataclass
+class TraceExport:
+    """A parent-side export: the worker payload plus owned segments.
+
+    Attributes:
+        payload: Picklable envelope for the pool initializer — either
+            ``("shm", descriptors)`` or ``("direct", traces)``.
+        segments: The shared-memory segments backing an ``"shm"``
+            payload (empty in ``"direct"`` mode).  The export must stay
+            referenced while any worker may map them.
+    """
+
+    payload: tuple
+    segments: List[object] = field(default_factory=list)
+
+    @property
+    def mode(self) -> str:
+        """``"shm"`` or ``"direct"``."""
+        return self.payload[0]
+
+    def close(self) -> None:
+        """Close and unlink every owned segment (idempotent).
+
+        Call only after the consuming pool has shut down; a worker's
+        exit may have raced us to the unlink, so a missing file is
+        fine.
+        """
+        for segment in self.segments:
+            try:
+                segment.close()
+            except Exception:
+                pass
+            try:
+                segment.unlink()
+            except FileNotFoundError:
+                pass
+            except Exception:
+                pass
+        self.segments = []
+
+
+def export_traces(traces: Sequence[Trace]) -> TraceExport:
+    """Stage traces for zero-copy shipping to pool workers.
+
+    Each channel array is copied into one shared-memory segment; the
+    returned payload carries only segment names, dtypes/shapes, and the
+    trace's scalar fields — a few hundred bytes per trace instead of
+    its full sample data.  Any failure to allocate shared memory falls
+    back to ``"direct"`` mode (the traces ship by pickle, as before).
+    """
+    try:
+        from multiprocessing import shared_memory
+    except Exception:  # pragma: no cover - platform without shm
+        return TraceExport(payload=("direct", list(traces)))
+    segments: List[object] = []
+    descriptors = []
+    try:
+        for trace in traces:
+            channels: Dict[str, Tuple[str, tuple, str, float]] = {}
+            for name, samples in trace.data.items():
+                array = np.ascontiguousarray(samples)
+                segment = shared_memory.SharedMemory(
+                    create=True, size=max(array.nbytes, 1)
+                )
+                segments.append(segment)
+                view = np.ndarray(
+                    array.shape, dtype=array.dtype, buffer=segment.buf
+                )
+                view[...] = array
+                channels[name] = (
+                    segment.name,
+                    array.shape,
+                    array.dtype.str,
+                    float(trace.rate_hz[name]),
+                )
+            descriptors.append(
+                (
+                    trace.name,
+                    float(trace.duration),
+                    list(trace.events),
+                    dict(trace.metadata),
+                    channels,
+                )
+            )
+    except Exception:
+        TraceExport(payload=("shm", []), segments=segments).close()
+        return TraceExport(payload=("direct", list(traces)))
+    return TraceExport(payload=("shm", descriptors), segments=segments)
+
+
+def _attach_segment(name: str):
+    """Map an existing segment without resource-tracker ownership."""
+    from multiprocessing import shared_memory
+
+    try:
+        # track=False (3.13+): an attacher must not let the resource
+        # tracker unlink a segment the parent still owns.
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        return shared_memory.SharedMemory(name=name)
+
+
+def attach_traces(payload: tuple) -> List[Trace]:
+    """Rebuild the shipped traces inside a worker process.
+
+    ``"direct"`` payloads already hold the traces.  ``"shm"`` payloads
+    are mapped: each channel array becomes a read-only numpy view over
+    the parent's segment — no copy, no pickle — and the trace object is
+    rebuilt hollow (skipping ``__post_init__`` validation, which the
+    parent already ran on the same data).
+    """
+    mode, body = payload
+    if mode == "direct":
+        return list(body)
+    traces: List[Trace] = []
+    for name, duration, events, metadata, channels in body:
+        data: Dict[str, np.ndarray] = {}
+        rate_hz: Dict[str, float] = {}
+        for channel, (segment_name, shape, dtype, rate) in channels.items():
+            segment = _attach_segment(segment_name)
+            _ATTACHED.append(segment)
+            array = np.ndarray(shape, dtype=np.dtype(dtype), buffer=segment.buf)
+            array.flags.writeable = False
+            data[channel] = array
+            rate_hz[channel] = rate
+        trace = object.__new__(Trace)
+        trace.name = name
+        trace.data = data
+        trace.rate_hz = rate_hz
+        trace.duration = duration
+        trace.events = events
+        trace.metadata = metadata
+        traces.append(trace)
+    return traces

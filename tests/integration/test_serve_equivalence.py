@@ -118,6 +118,56 @@ def test_fleet_with_rejections_stays_bit_identical(registry):
         assert response.error_type.endswith("Error")
 
 
+def test_batching_on_and_off_bit_identical(registry):
+    """Tensor-major batching is invisible in every response: the same
+    workload served with and without it yields identical outcomes,
+    while the batched shard actually ran batch rounds."""
+    from repro.serve import response_digest
+    from repro.sim.engine import RunContext
+    from repro.traces.robot import RobotRunConfig, generate_robot_run
+
+    # Batching needs the same condition over *different* traces in one
+    # pump round, so widen the registry beyond the shared fixtures (the
+    # first row of a fresh fingerprint runs alone as the probe).
+    fleet_registry = dict(registry)
+    for seed in range(4):
+        trace = generate_robot_run(
+            RobotRunConfig(group=1 + seed % 2, duration_s=60.0, seed=100 + seed)
+        )
+        fleet_registry[trace.name] = trace
+
+    def drive(batch):
+        spec = LoadSpec(fleet=24, seed=5, il_fraction=0.9)
+        submissions = fleet_workload(
+            spec, all_applications(), list(fleet_registry.values())
+        )
+        svc = ConditionService(
+            fleet_registry, context=RunContext(batch=batch)
+        )
+        try:
+            report = run_fleet(svc, submissions, pump_every=16)
+            metrics = svc.metrics()
+        finally:
+            svc.shutdown()
+        return report, metrics
+
+    batched, batched_metrics = drive(batch=True)
+    plain, plain_metrics = drive(batch=False)
+    assert response_digest(batched.responses) == response_digest(
+        plain.responses
+    )
+    assert [r.ticket for r in batched.responses] == [
+        r.ticket for r in plain.responses
+    ]
+    # Batching genuinely engaged on the batched shard only.
+    assert batched_metrics.batch_rounds > 0
+    assert (
+        batched_metrics.batched_cells >= 2 * batched_metrics.batch_rounds
+    )
+    assert plain_metrics.batch_rounds == 0
+    assert plain_metrics.batched_cells == 0
+
+
 def test_same_seed_same_outcome(registry):
     """The whole serve path is deterministic: same seed, same workload,
     same tickets, same rejections, same results."""

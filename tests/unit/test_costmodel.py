@@ -1,0 +1,120 @@
+"""Measured tier selection: probe order, gating, and settlement.
+
+The cost model replaces the hardwired ``compiled > fused > rounds``
+preference with per-fingerprint measurements fed by the engine's real
+runs.  These tests pin its decision procedure:
+
+* the static preference runs unchallenged while unprobed or while its
+  runs stay under the probe threshold (accelerometer-class plans never
+  pay exploration);
+* an expensive fingerprint probes each remaining tier exactly once,
+  then the cheapest observed seconds-per-item wins — fixing the case
+  the hardwired ranking got wrong (fused audio at 0.27x rounds);
+* ``selection`` stays ``None`` mid-probe (batches only assemble once
+  the choice is settled);
+* a calibrated table entry short-circuits everything.
+"""
+
+import pytest
+
+from repro.hub.costmodel import (
+    PROBE_THRESHOLD_S,
+    TIER_PREFERENCE,
+    CostModel,
+)
+
+ALL = list(TIER_PREFERENCE)
+FP = "fp:test"
+
+
+class TestChoose:
+    def test_preferred_tier_while_unprobed(self):
+        assert CostModel().choose(FP, ALL) == "compiled"
+
+    def test_respects_allowed_subset(self):
+        assert CostModel().choose(FP, ["fused", "rounds"]) == "fused"
+        assert CostModel().choose(FP, ["rounds"]) == "rounds"
+
+    def test_no_allowed_tiers_raises(self):
+        with pytest.raises(ValueError):
+            CostModel().choose(FP, [])
+
+    def test_cheap_runs_never_trigger_probing(self):
+        model = CostModel()
+        for _ in range(50):
+            model.observe(FP, "compiled", PROBE_THRESHOLD_S / 10, 1000)
+            assert model.choose(FP, ALL) == "compiled"
+        # No alternative tier ever collected a sample.
+        assert model.seconds_per_item(FP, "fused") is None
+        assert model.seconds_per_item(FP, "rounds") is None
+
+    def test_expensive_fingerprint_probes_each_tier_once(self):
+        model = CostModel()
+        model.observe(FP, "compiled", 0.5, 1000)  # slow: worth probing
+        assert model.choose(FP, ALL) == "fused"
+        model.observe(FP, "fused", 0.2, 1000)
+        assert model.choose(FP, ALL) == "rounds"
+        model.observe(FP, "rounds", 0.1, 1000)
+        # All probed: cheapest observed seconds-per-item wins.
+        assert model.choose(FP, ALL) == "rounds"
+
+    def test_winner_is_per_item_not_per_run(self):
+        model = CostModel()
+        model.observe(FP, "compiled", 0.5, 100)    # 5 ms/item
+        model.observe(FP, "fused", 0.4, 1000)      # 0.4 ms/item
+        model.observe(FP, "rounds", 0.3, 200)      # 1.5 ms/item
+        assert model.choose(FP, ALL) == "fused"
+
+    def test_fingerprints_are_independent(self):
+        model = CostModel()
+        model.observe("fp:a", "compiled", 0.5, 100)
+        assert model.choose("fp:a", ALL) == "fused"   # probing fp:a
+        assert model.choose("fp:b", ALL) == "compiled"  # fp:b untouched
+
+
+class TestSelection:
+    def test_none_while_unprobed(self):
+        assert CostModel().selection(FP, ALL) is None
+
+    def test_settles_immediately_on_cheap_runs(self):
+        model = CostModel()
+        model.observe(FP, "compiled", PROBE_THRESHOLD_S / 10, 1000)
+        assert model.selection(FP, ALL) == "compiled"
+
+    def test_none_mid_probe_then_settles_on_winner(self):
+        model = CostModel()
+        model.observe(FP, "compiled", 0.5, 1000)
+        assert model.selection(FP, ALL) is None   # fused/rounds unprobed
+        model.observe(FP, "fused", 0.1, 1000)
+        assert model.selection(FP, ALL) is None   # rounds unprobed
+        model.observe(FP, "rounds", 0.3, 1000)
+        assert model.selection(FP, ALL) == "fused"
+
+    def test_no_allowed_tiers_is_none(self):
+        assert CostModel().selection(FP, []) is None
+
+
+class TestTable:
+    def test_override_wins_and_is_never_probed(self):
+        model = CostModel(table={FP: "rounds"})
+        assert model.choose(FP, ALL) == "rounds"
+        assert model.selection(FP, ALL) == "rounds"
+        # Even heavy observed runs do not trigger probing.
+        model.observe(FP, "rounds", 10.0, 10)
+        assert model.choose(FP, ALL) == "rounds"
+
+    def test_override_outside_allowed_is_ignored(self):
+        model = CostModel(table={FP: "compiled"})
+        assert model.choose(FP, ["fused", "rounds"]) == "fused"
+        assert model.selection(FP, ["fused", "rounds"]) is None
+
+
+class TestDiagnostics:
+    def test_as_dict_accumulates_runs(self):
+        model = CostModel()
+        model.observe(FP, "compiled", 0.25, 500)
+        model.observe(FP, "compiled", 0.25, 500)
+        dump = model.as_dict()
+        assert dump[FP]["compiled"]["runs"] == 2
+        assert dump[FP]["compiled"]["seconds"] == pytest.approx(0.5)
+        assert model.seconds_per_item(FP, "compiled") == pytest.approx(5e-4)

@@ -1,0 +1,157 @@
+"""Shared-memory trace shipping: round trips, fallback, pool hygiene.
+
+`repro.sim.shm` moves trace channel arrays into shared-memory segments
+so every pool worker maps one copy instead of re-materializing its own
+through pickle.  These tests pin the contract:
+
+* an export/attach round trip reproduces every trace field and every
+  sample bit-exactly, through read-only zero-copy views;
+* the payload that actually crosses the pickle channel is a small
+  envelope, orders of magnitude under the raw sample data;
+* platforms where shared memory fails degrade to ``"direct"`` mode
+  (the traces themselves ship, exactly the old behavior);
+* closing an export is idempotent;
+* a real pool run over shared memory returns results identical to the
+  serial engine (skipped under ``REPRO_QUICK=1``).
+"""
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.sim.shm import TraceExport, attach_traces, export_traces
+from repro.traces.base import GroundTruthEvent, Trace
+
+QUICK = os.environ.get("REPRO_QUICK") == "1"
+
+RATE = 50.0
+
+
+def _trace(name="shm-test", duration_s=60.0, seed=0):
+    rng = np.random.default_rng(seed)
+    n = int(duration_s * RATE)
+    return Trace(
+        name=name,
+        data={
+            "ACC_X": rng.standard_normal(n),
+            "ACC_Y": rng.standard_normal(n),
+            "ACC_Z": rng.standard_normal(n),
+        },
+        rate_hz={"ACC_X": RATE, "ACC_Y": RATE, "ACC_Z": RATE},
+        duration=duration_s,
+        events=[GroundTruthEvent("walking", 1.0, 5.0)],
+        metadata={"seed": seed},
+    )
+
+
+class TestRoundTrip:
+    def test_attach_reproduces_every_field_bit_exactly(self):
+        traces = [_trace("a", seed=1), _trace("b", duration_s=20.0, seed=2)]
+        export = export_traces(traces)
+        try:
+            assert export.mode == "shm"
+            rebuilt = attach_traces(export.payload)
+            assert [t.name for t in rebuilt] == ["a", "b"]
+            for original, copy in zip(traces, rebuilt):
+                assert copy.duration == original.duration
+                assert copy.rate_hz == original.rate_hz
+                assert copy.events == original.events
+                assert copy.metadata == original.metadata
+                for channel, samples in original.data.items():
+                    np.testing.assert_array_equal(
+                        copy.data[channel], samples
+                    )
+        finally:
+            export.close()
+
+    def test_attached_arrays_are_read_only_views(self):
+        export = export_traces([_trace()])
+        try:
+            [copy] = attach_traces(export.payload)
+            array = copy.data["ACC_X"]
+            assert not array.flags.writeable
+            with pytest.raises(ValueError):
+                array[0] = 1.0
+        finally:
+            export.close()
+
+    def test_payload_is_a_small_envelope(self):
+        traces = [_trace(duration_s=120.0)]
+        export = export_traces(traces)
+        try:
+            assert export.mode == "shm"
+            envelope = len(pickle.dumps(export.payload))
+            raw = len(pickle.dumps(traces))
+            assert envelope * 20 < raw
+        finally:
+            export.close()
+
+
+class TestFallback:
+    def test_allocation_failure_degrades_to_direct(self, monkeypatch):
+        def refuse(*args, **kwargs):
+            raise OSError("no shared memory here")
+
+        monkeypatch.setattr(
+            "multiprocessing.shared_memory.SharedMemory", refuse
+        )
+        traces = [_trace()]
+        export = export_traces(traces)
+        assert export.mode == "direct"
+        assert export.segments == []
+        # Direct payloads carry the very same objects.
+        assert attach_traces(export.payload) == traces
+        export.close()  # no-op, must not raise
+
+    def test_attach_direct_payload_returns_traces(self):
+        traces = [_trace("x"), _trace("y")]
+        assert attach_traces(("direct", traces)) == traces
+
+
+class TestClose:
+    def test_close_is_idempotent(self):
+        export = export_traces([_trace()])
+        assert export.mode == "shm"
+        assert export.segments
+        export.close()
+        assert export.segments == []
+        export.close()
+
+    def test_close_survives_missing_segments(self):
+        export = export_traces([_trace(duration_s=5.0)])
+        # Unlink behind the export's back (a worker exit can race us).
+        for segment in list(export.segments):
+            segment.close()
+            segment.unlink()
+        export.close()
+
+
+@pytest.mark.skipif(QUICK, reason="pool startup is slow for quick runs")
+class TestPoolOverSharedMemory:
+    def test_pool_results_match_serial(self, robot_trace, quiet_robot_trace):
+        from repro.apps import StepsApp
+        from repro.sim import AlwaysAwake, Oracle, Sidewinder
+        from repro.sim.engine import (
+            execute_plan_with_info,
+            plan_matrix,
+            shutdown_pool,
+        )
+
+        configs = [AlwaysAwake(), Oracle(), Sidewinder()] * 5
+        plan = plan_matrix(
+            configs, [StepsApp()], [robot_trace, quiet_robot_trace]
+        )
+        serial, info = execute_plan_with_info(plan, jobs=1)
+        assert info.mode == "serial"
+        try:
+            pooled, pool_info = execute_plan_with_info(plan, jobs=2)
+            assert pool_info.mode == "pool"
+            from repro.sim import engine
+
+            if engine._POOL_EXPORT is not None:
+                assert engine._POOL_EXPORT.mode == "shm"
+            assert pooled == serial
+        finally:
+            shutdown_pool()
