@@ -16,7 +16,9 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 from repro.algorithms.base import available_opcodes
@@ -316,6 +318,11 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         run_fleet,
         run_fleet_with_recovery,
     )
+    if args.shards is not None or args.open_loop is not None:
+        return _serve_bench_cluster(args)
+    if args.kill_shard is not None:
+        print("--kill-shard requires --shards", file=sys.stderr)
+        return 2
     if (args.kill_after or args.recover) and not args.journal:
         print("--kill-after / --recover require --journal", file=sys.stderr)
         return 2
@@ -383,6 +390,179 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
     )
     if args.digest:
         print(f"digest {response_digest(report.responses)}")
+    return 0
+
+
+def _serve_bench_cluster(args: argparse.Namespace) -> int:
+    """serve-bench over a shard cluster (``--shards`` / ``--open-loop``).
+
+    Closed-loop by default (the cluster analogue of the single-service
+    drive); ``--open-loop RATE`` switches to the Poisson-arrival
+    overload sweep on simulated time.  ``--digest`` prints the
+    **completion digest** — the topology-independent content hash that
+    is equal across shard counts — not the single-service response
+    digest (which bakes in per-shard ticket ids and can only ever
+    match itself).
+    """
+    from repro.apps import all_applications
+    from repro.serve import (
+        LoadSpec,
+        ServiceFaultPlan,
+        ShardCluster,
+        TenantQuota,
+        completion_digest,
+        fleet_workload,
+        run_cluster_fleet,
+        run_cluster_fleet_with_recovery,
+    )
+    shards = args.shards if args.shards is not None else 1
+    if args.kill_shard is not None and not (0 <= args.kill_shard < shards):
+        print(f"--kill-shard must be in [0, {shards})", file=sys.stderr)
+        return 2
+    if args.kill_shard is not None and not args.journal:
+        print("--kill-shard requires --journal (a directory of "
+              "per-shard journals)", file=sys.stderr)
+        return 2
+    duration = 120.0 if args.quick else args.duration
+    traces = _serve_traces(duration)
+    spec = LoadSpec(
+        fleet=args.fleet,
+        seed=args.seed,
+        min_submissions=1,
+        max_submissions=2 if args.quick else 3,
+    )
+    if args.open_loop is not None:
+        return _serve_bench_open_loop(args, shards, traces, spec)
+    submissions = fleet_workload(spec, all_applications(), list(traces.values()))
+    cluster_kwargs: Dict[str, object] = dict(
+        quota=TenantQuota(max_pending=args.max_pending),
+        capacity=args.capacity,
+        jobs=args.jobs,
+        shards=shards,
+    )
+    if args.no_batch:
+        from repro.sim.engine import RunContext
+
+        cluster_kwargs["context_factory"] = lambda: RunContext(batch=False)
+    faults = None
+    if args.kill_shard is not None:
+        faults = {
+            args.kill_shard: ServiceFaultPlan(
+                kill_at_pump=args.kill_after or 1,
+                kill_pump_phase="store",
+            )
+        }
+    cluster = ShardCluster(
+        traces, journal_dir=args.journal, faults=faults, **cluster_kwargs
+    )
+    stats = {}
+    try:
+        if args.kill_shard is not None:
+            report, stats = run_cluster_fleet_with_recovery(
+                cluster, submissions, pump_every=args.pump_every
+            )
+        else:
+            report = run_cluster_fleet(
+                cluster, submissions, pump_every=args.pump_every
+            )
+    finally:
+        cluster.shutdown()
+    print(
+        f"fleet {args.fleet} devices | {shards} shard(s) | workload "
+        f"{len(submissions)} submissions (seed {args.seed})"
+    )
+    print(report.metrics.describe())
+    for shard in sorted(stats):
+        print(f"shard {shard} recovery: {stats[shard].describe()}")
+    print(
+        f"wall {report.wall_s:.2f} s | sustained "
+        f"{report.submissions_per_second:,.0f} submissions/s"
+    )
+    if args.digest:
+        print(f"digest {completion_digest(report.pairs)}")
+    return 0
+
+
+def _serve_bench_open_loop(
+    args: argparse.Namespace,
+    shards: int,
+    traces: Dict[str, Trace],
+    spec,
+) -> int:
+    """The ``--open-loop RATE`` overload sweep (simulated time).
+
+    Sweeps offered load across fixed multipliers of RATE, one fresh
+    cluster per point, and prints goodput plus p50/p90/p99/p99.9
+    latency (simulated seconds) per point.  ``--out`` merges the sweep
+    into a JSON artifact (``open_loop`` key).
+    """
+    from repro.serve import (
+        OpenLoopSpec,
+        ShardCluster,
+        TenantQuota,
+        overload_sweep,
+    )
+    rate = args.open_loop
+    if rate <= 0:
+        print("--open-loop RATE must be positive", file=sys.stderr)
+        return 2
+    multipliers = (0.25, 0.5, 0.75, 1.0, 1.25, 1.5)
+    rates = [rate * m for m in multipliers]
+    # Quotas out of the way: the bounded queue is the overload
+    # mechanism under study, not per-tenant budgets.
+    quota = TenantQuota(max_pending=1_000_000, max_submissions=10_000_000)
+
+    def make_cluster(clock):
+        return ShardCluster(
+            traces,
+            quota=quota,
+            capacity=args.capacity,
+            jobs=args.jobs,
+            shards=shards,
+            clock_factory=lambda: clock,
+        )
+
+    ospec = OpenLoopSpec(
+        rate=rate,
+        duration_s=args.open_loop_duration,
+        seed=args.seed,
+        pump_interval_s=1.0,
+        load=spec,
+    )
+    reports = overload_sweep(make_cluster, ospec, rates)
+    print(
+        f"open-loop sweep | {shards} shard(s) | fleet {spec.fleet} | "
+        f"{args.open_loop_duration:g} simulated s per point"
+    )
+    header = (
+        f"{'rate':>8} {'arrived':>8} {'accepted':>8} {'shed':>6} "
+        f"{'goodput':>8} {'p50':>7} {'p90':>7} {'p99':>7} {'p99.9':>7}"
+    )
+    print(header)
+    for report in reports:
+        print(
+            f"{report.offered_rate:8.1f} {report.arrivals:8d} "
+            f"{report.accepted:8d} {report.shed_total:6d} "
+            f"{report.goodput:8.1f} {report.latency_p50:7.2f} "
+            f"{report.latency_p90:7.2f} {report.latency_p99:7.2f} "
+            f"{report.latency_p999:7.2f}"
+        )
+    if args.out:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        payload: Dict[str, object] = {}
+        if out.exists():
+            payload = json.loads(out.read_text())
+        payload["open_loop"] = {
+            "shards": shards,
+            "fleet": spec.fleet,
+            "seed": args.seed,
+            "duration_s": args.open_loop_duration,
+            "pump_interval_s": 1.0,
+            "sweep": [report.as_dict() for report in reports],
+        }
+        out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote open-loop sweep to {out}")
     return 0
 
 
@@ -492,17 +672,43 @@ def build_parser() -> argparse.ArgumentParser:
                         "tenants/traces (results are identical; this "
                         "is an escape hatch)")
     p.add_argument("--journal", metavar="PATH",
-                   help="write-ahead journal path (enables durability)")
+                   help="write-ahead journal path (enables durability); "
+                        "with --shards, a directory of per-shard "
+                        "journals (shard-00.wal, ...)")
     p.add_argument("--kill-after", type=int, metavar="N",
                    help="fault-inject: kill the service after N accepted "
-                        "submissions (requires --journal)")
+                        "submissions (requires --journal); with "
+                        "--kill-shard, the pump round the shard dies in")
     p.add_argument("--recover", action="store_true",
                    help="recover killed services from the journal and "
                         "finish the workload (requires --journal)")
     p.add_argument("--digest", action="store_true",
                    help="print an order-insensitive SHA-256 digest of "
-                        "all terminal responses (for crash-restart "
-                        "equivalence checks)")
+                        "all terminal responses; with --shards, the "
+                        "topology-independent completion digest "
+                        "(equal across shard counts)")
+    p.add_argument("--shards", type=int, metavar="N",
+                   help="serve through a cluster of N rendezvous-routed "
+                        "shards, each with its own scheduler, engine "
+                        "context, pool and journal")
+    p.add_argument("--kill-shard", type=int, metavar="I",
+                   help="fault-inject: kill shard I at pump round "
+                        "--kill-after (default 1) and recover it from "
+                        "its own journal while the rest keep serving "
+                        "(requires --shards and --journal)")
+    p.add_argument("--open-loop", type=float, metavar="RATE",
+                   help="open-loop mode: sweep Poisson arrivals on "
+                        "simulated time at multiples of RATE "
+                        "(arrivals/simulated second), reporting "
+                        "goodput and p50/p90/p99/p99.9 tail latency "
+                        "per offered load")
+    p.add_argument("--open-loop-duration", type=float, default=64.0,
+                   metavar="S",
+                   help="simulated seconds of arrivals per sweep point "
+                        "(default 64)")
+    p.add_argument("--out", metavar="PATH",
+                   help="with --open-loop, merge the sweep into this "
+                        "JSON artifact under the open_loop key")
 
     p = sub.add_parser("merge", help="merge several apps' conditions")
     p.add_argument("--apps", required=True,

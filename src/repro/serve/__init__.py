@@ -24,7 +24,16 @@ the simulation engine (:mod:`repro.sim.engine`):
   self-healing: a pump-cadence liveness monitor driving a degraded
   mode, and a deterministic fault plan that kills the service at
   planned boundaries so :meth:`ConditionService.recover` can be tested
-  for bit-identical crash recovery.
+  for bit-identical crash recovery;
+* :mod:`~repro.serve.router` / :mod:`~repro.serve.cluster` — the
+  sharded tier: a deterministic rendezvous-hash router over
+  ``(tenant, trace)`` keys, N isolated service shards (each with its
+  own engine context, pool, clock and journal) pumped concurrently,
+  cross-shard metrics aggregation, and an asyncio front end whose
+  ``submit`` resolves at pump time;
+* :mod:`~repro.serve.openloop` — Poisson-arrival open-loop load on a
+  simulated clock, and the overload sweep measuring goodput and
+  p50/p90/p99/p99.9 tail latency vs offered rate.
 
 Results returned by the service are bit-identical to direct
 ``Sidewinder``/engine runs — the serving layer adds routing, admission
@@ -46,16 +55,42 @@ from repro.serve.journal import (
     read_journal,
     truncate_journal,
 )
+from repro.serve.cluster import (
+    AsyncCluster,
+    ClusterMetricsSnapshot,
+    Routed,
+    ShardCluster,
+    shard_journal_path,
+)
 from repro.serve.loadgen import (
+    ClusterLoadReport,
     LoadReport,
     LoadSpec,
+    completion_digest,
     fleet_workload,
     reference_result,
     response_digest,
+    run_cluster_fleet,
+    run_cluster_fleet_with_recovery,
     run_fleet,
     run_fleet_with_recovery,
+    submission_content_key,
 )
-from repro.serve.metrics import LogicalClock, MetricsSnapshot, percentile
+from repro.serve.metrics import (
+    LogicalClock,
+    MetricsSnapshot,
+    percentile,
+    percentile_sorted,
+)
+from repro.serve.openloop import (
+    OpenLoopReport,
+    OpenLoopSpec,
+    SimClock,
+    overload_sweep,
+    poisson_arrivals,
+    run_open_loop,
+)
+from repro.serve.router import ShardRouter, route_key
 from repro.serve.queue import LaneQueue
 from repro.serve.quotas import AdmissionController, TenantQuota
 from repro.serve.scheduler import HUB_CATALOGS, Scheduler
@@ -75,7 +110,10 @@ from repro.serve.submission import (
 
 __all__ = [
     "AdmissionController",
+    "AsyncCluster",
     "Cancelled",
+    "ClusterLoadReport",
+    "ClusterMetricsSnapshot",
     "Completed",
     "ConditionService",
     "Failed",
@@ -92,23 +130,38 @@ __all__ = [
     "LogicalClock",
     "MetricsSnapshot",
     "NO_SERVICE_FAULTS",
+    "OpenLoopReport",
+    "OpenLoopSpec",
     "RecoveryStats",
     "Rejected",
     "Response",
     "ResultStore",
+    "Routed",
     "Scheduler",
     "ServeResult",
     "ServiceFaultInjector",
     "ServiceFaultPlan",
+    "ShardCluster",
+    "ShardRouter",
+    "SimClock",
     "Submission",
     "TenantQuota",
     "Ticket",
+    "completion_digest",
     "fleet_workload",
+    "overload_sweep",
     "percentile",
+    "percentile_sorted",
+    "poisson_arrivals",
     "read_journal",
     "reference_result",
     "response_digest",
+    "route_key",
+    "run_cluster_fleet",
+    "run_cluster_fleet_with_recovery",
     "run_fleet",
     "run_fleet_with_recovery",
-    "truncate_journal",
+    "run_open_loop",
+    "shard_journal_path",
+    "submission_content_key",
 ]

@@ -1,0 +1,634 @@
+"""The sharded serving tier: N condition services behind one router.
+
+One :class:`~repro.serve.service.ConditionService` is one shard: one
+pump loop, one scheduler, one engine context.  :class:`ShardCluster`
+composes N of them behind a deterministic
+:class:`~repro.serve.router.ShardRouter` (rendezvous hashing on
+``(tenant, trace)``), so fleet work partitions across independent
+schedulers while each shard keeps the single-shard guarantees —
+fingerprint dedup, tensor-major batching, durable journals, health
+supervision — within its partition.
+
+Isolation is the design rule: every shard owns its own
+:class:`~repro.sim.engine.RunContext` (and therefore its own
+:class:`~repro.sim.engine.EnginePool` worker pool), its own clock, and
+its own write-ahead journal (``shard-00.wal`` … under one directory),
+so shards never contend for cached graphs, pool settings, or journal
+frames, and a crashed shard recovers from *its* journal without
+touching the others.  Shard pumps run concurrently over a thread
+executor; no state crosses shard boundaries, so concurrency cannot
+change any shard's responses.
+
+:class:`AsyncCluster` is the event-loop front end: ``submit`` returns
+an :class:`asyncio.Future` resolved with the submission's terminal
+:class:`~repro.serve.submission.Response` at its shard's pump time,
+and ``pump``/``drain`` dispatch shard pumps through
+``loop.run_in_executor``.  Clocks stay injectable — with the default
+per-shard :class:`~repro.serve.metrics.LogicalClock`, a cluster run is
+bit-reproducible regardless of event-loop interleaving.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.errors import ServiceKilled, SidewinderError
+from repro.power.phone import NEXUS4, PhonePowerProfile
+from repro.serve.health import HealthPolicy
+from repro.serve.journal import RecoveryStats
+from repro.serve.metrics import (
+    LogicalClock,
+    MetricsSnapshot,
+    percentile_sorted,
+)
+from repro.serve.faults import ServiceFaultPlan
+from repro.serve.quotas import TenantQuota
+from repro.serve.router import ShardRouter
+from repro.serve.service import ConditionService
+from repro.serve.submission import Rejected, Response, Submission, Ticket
+from repro.sim.engine import RunContext
+from repro.traces.base import Trace
+
+__all__ = [
+    "AsyncCluster",
+    "ClusterMetricsSnapshot",
+    "Routed",
+    "ShardCluster",
+    "shard_journal_path",
+]
+
+
+def shard_journal_path(journal_dir: Union[str, Path], shard: int) -> Path:
+    """Where shard ``shard`` journals under ``journal_dir``."""
+    return Path(journal_dir) / f"shard-{shard:02d}.wal"
+
+
+@dataclass(frozen=True)
+class Routed:
+    """A routed admission outcome: which shard, and what it said.
+
+    ``response`` is the shard's :meth:`ConditionService.submit` return —
+    a :class:`Ticket` on acceptance, a :class:`Rejected` refusal
+    otherwise.  Submission ids are **per-shard** counters, so a result
+    lookup always needs the ``(shard, submission_id)`` pair.
+    """
+
+    shard: int
+    response: Union[Ticket, Rejected]
+
+    @property
+    def accepted(self) -> bool:
+        """True when the shard issued a ticket."""
+        return isinstance(self.response, Ticket)
+
+
+@dataclass(frozen=True)
+class ClusterMetricsSnapshot:
+    """Cross-shard metrics: merged totals plus the per-shard breakdown.
+
+    ``merged`` sums counters across shards and recomputes latency
+    percentiles over the **union** of every shard's raw samples —
+    per-shard percentiles cannot be averaged into a fleet percentile.
+    ``merged.health_state`` is ``"degraded"`` if any shard is.
+    """
+
+    shards: int
+    merged: MetricsSnapshot
+    per_shard: Tuple[MetricsSnapshot, ...]
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict form for logs and benchmark artifacts."""
+        return {
+            "shards": self.shards,
+            "merged": self.merged.as_dict(),
+            "per_shard": [snap.as_dict() for snap in self.per_shard],
+        }
+
+    def describe(self) -> str:
+        """Merged report plus one summary line per shard."""
+        lines = [f"cluster of {self.shards} shard(s)", self.merged.describe()]
+        for shard, snap in enumerate(self.per_shard):
+            lines.append(
+                f"  shard {shard}: accepted {snap.accepted} | completed "
+                f"{snap.completed} | engine runs {snap.engine_runs} | "
+                f"dedup {snap.dedup_hit_rate:.1%} | p99 {snap.latency_p99:g}"
+            )
+        return "\n".join(lines)
+
+
+def merge_snapshots(
+    per_shard: Sequence[MetricsSnapshot],
+    latency_samples: Sequence[Sequence[float]],
+) -> MetricsSnapshot:
+    """Fold per-shard snapshots into one fleet-wide snapshot.
+
+    Counters add; the rejection breakdown merges by reason; dedup
+    hit-rate and latency percentiles are recomputed from the summed
+    counters and the pooled raw samples.  Health transitions are not
+    merged (they are per-shard timelines on per-shard clocks) — read
+    them from the per-shard snapshots.
+    """
+    rejected: Dict[str, int] = {}
+    for snap in per_shard:
+        for reason, count in snap.rejected.items():
+            rejected[reason] = rejected.get(reason, 0) + count
+    pooled = sorted(
+        sample for samples in latency_samples for sample in samples
+    )
+    completed = sum(snap.completed for snap in per_shard)
+    dedup_hits = sum(snap.dedup_hits for snap in per_shard)
+    return MetricsSnapshot(
+        submitted=sum(snap.submitted for snap in per_shard),
+        accepted=sum(snap.accepted for snap in per_shard),
+        rejected=rejected,
+        completed=completed,
+        failed=sum(snap.failed for snap in per_shard),
+        cancelled=sum(snap.cancelled for snap in per_shard),
+        engine_runs=sum(snap.engine_runs for snap in per_shard),
+        dedup_hits=dedup_hits,
+        dedup_hit_rate=(dedup_hits / completed if completed else 0.0),
+        latency_p50=percentile_sorted(pooled, 50),
+        latency_p90=percentile_sorted(pooled, 90),
+        latency_p99=percentile_sorted(pooled, 99),
+        latency_p999=percentile_sorted(pooled, 99.9),
+        queue_depth=sum(snap.queue_depth for snap in per_shard),
+        store_size=sum(snap.store_size for snap in per_shard),
+        store_spilled=sum(snap.store_spilled for snap in per_shard),
+        journal_errors=sum(snap.journal_errors for snap in per_shard),
+        health_state=(
+            "degraded"
+            if any(snap.health_state != "healthy" for snap in per_shard)
+            else "healthy"
+        ),
+        batch_rounds=sum(snap.batch_rounds for snap in per_shard),
+        batched_cells=sum(snap.batched_cells for snap in per_shard),
+    )
+
+
+class ShardCluster:
+    """N independent condition-service shards behind one router.
+
+    Args:
+        traces: Trace registry shared by every shard (read-only).
+        quota: Per-tenant admission limits, enforced **per shard** —
+            each shard has its own admission controller, so a tenant's
+            effective fleet budget is ``quota × shards it routes to``.
+        shards: Shard count (router fan-out and service count).
+        capacity / interactive_reserve / batch_size / jobs /
+            result_ttl / profile / spill_dir / memory_budget / health:
+            Per-shard :class:`ConditionService` settings, identical
+            across shards.
+        clock_factory: Called once per shard for its clock; defaults to
+            a fresh deterministic
+            :class:`~repro.serve.metrics.LogicalClock` per shard, so a
+            shard's latencies depend only on *its* submission stream,
+            not on cluster-wide interleaving.
+        journal_dir: When set, shard ``i`` journals to
+            ``journal_dir/shard-0i.wal`` and
+            :meth:`recover_shard` / :meth:`recover` can rebuild shards
+            after a crash, shard by shard.
+        faults: Optional per-shard fault plans (``{shard: plan}``) —
+            deterministic kill/torn-tail injection for exactly the
+            shards named.
+        salt: Router namespace (see :class:`ShardRouter`).
+        parallel_pumps: Pump shards concurrently over a thread
+            executor (default).  Shards share no mutable state, so this
+            cannot change any shard's responses; disable it to simplify
+            debugging or profiling.
+    """
+
+    def __init__(
+        self,
+        traces: Mapping[str, Trace],
+        quota: Optional[TenantQuota] = None,
+        shards: int = 1,
+        capacity: int = 256,
+        interactive_reserve: int = 32,
+        batch_size: int = 64,
+        jobs: int = 1,
+        result_ttl: float = 512.0,
+        clock_factory: Optional[Callable[[], Callable[[], float]]] = None,
+        profile: PhonePowerProfile = NEXUS4,
+        journal_dir: Optional[Union[str, Path]] = None,
+        faults: Optional[Mapping[int, ServiceFaultPlan]] = None,
+        health: Optional[HealthPolicy] = None,
+        spill_dir: Optional[Union[str, Path]] = None,
+        memory_budget: Optional[int] = None,
+        salt: str = "",
+        parallel_pumps: bool = True,
+        context_factory: Optional[Callable[[], RunContext]] = None,
+    ):
+        self._router = ShardRouter(shards, salt=salt)
+        self._traces = traces
+        self._journal_dir = (
+            Path(journal_dir) if journal_dir is not None else None
+        )
+        if self._journal_dir is not None:
+            self._journal_dir.mkdir(parents=True, exist_ok=True)
+        self._clock_factory = (
+            clock_factory if clock_factory is not None else LogicalClock
+        )
+        # One fresh context per shard — never one shared context, which
+        # would defeat shard isolation (and RunContext is not
+        # thread-safe under concurrent pumps).
+        self._context_factory = context_factory
+        self._shard_kwargs = dict(
+            quota=quota,
+            capacity=capacity,
+            interactive_reserve=interactive_reserve,
+            batch_size=batch_size,
+            jobs=jobs,
+            result_ttl=result_ttl,
+            profile=profile,
+            health=health,
+            memory_budget=memory_budget,
+        )
+        self._spill_dir = Path(spill_dir) if spill_dir is not None else None
+        self._services: List[ConditionService] = []
+        for shard in range(shards):
+            self._services.append(
+                ConditionService(
+                    traces,
+                    clock=self._clock_factory(),
+                    journal=self._shard_journal(shard),
+                    faults=faults.get(shard) if faults is not None else None,
+                    spill_dir=self._shard_spill(shard),
+                    context=self._shard_context(),
+                    **self._shard_kwargs,
+                )
+            )
+        self._dead: Dict[int, str] = {}
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._parallel = parallel_pumps and shards > 1
+        self._closed = False
+
+    # -- construction plumbing ------------------------------------------
+
+    def _shard_journal(self, shard: int) -> Optional[Path]:
+        if self._journal_dir is None:
+            return None
+        return shard_journal_path(self._journal_dir, shard)
+
+    def _shard_spill(self, shard: int) -> Optional[Path]:
+        if self._spill_dir is None:
+            return None
+        return self._spill_dir / f"shard-{shard:02d}"
+
+    def _shard_context(self):
+        return (
+            self._context_factory()
+            if self._context_factory is not None
+            else None
+        )
+
+    def _pump_executor(self) -> ThreadPoolExecutor:
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.shards,
+                thread_name_prefix="shard-pump",
+            )
+        return self._executor
+
+    # -- topology -------------------------------------------------------
+
+    @property
+    def shards(self) -> int:
+        """Number of shards (live or dead)."""
+        return self._router.shards
+
+    @property
+    def router(self) -> ShardRouter:
+        """The routing function (stateless; safe to share)."""
+        return self._router
+
+    @property
+    def traces(self) -> Mapping[str, Trace]:
+        """The trace registry every shard serves."""
+        return self._traces
+
+    @property
+    def dead_shards(self) -> Tuple[int, ...]:
+        """Shards killed by fault injection, awaiting recovery."""
+        return tuple(sorted(self._dead))
+
+    def shard(self, shard: int) -> ConditionService:
+        """Direct access to one shard's service (tests, recovery)."""
+        return self._services[shard]
+
+    # -- the tenant-facing API ------------------------------------------
+
+    def submit(self, submission: Submission) -> Routed:
+        """Route one submission to its shard and admit it there.
+
+        A dead (killed, unrecovered) shard refuses with
+        ``Rejected(reason="shard_down")`` rather than silently routing
+        elsewhere — re-routing would break the determinism contract
+        (the same key must always land on the same shard) and the
+        recovered shard's journal replay.
+        """
+        shard = self._router.route_submission(submission)
+        if shard in self._dead:
+            return Routed(
+                shard,
+                Rejected(
+                    submission.tenant,
+                    "shard_down",
+                    f"shard {shard} is down pending recovery",
+                ),
+            )
+        return Routed(shard, self._services[shard].submit(submission))
+
+    def pump_shard(self, shard: int) -> List[Response]:
+        """Run one scheduling round on one shard.
+
+        A fault-plan kill (:class:`~repro.errors.ServiceKilled`) is
+        caught and recorded: the shard joins :attr:`dead_shards` and
+        keeps refusing work until :meth:`recover_shard`.
+        """
+        if shard in self._dead:
+            return []
+        try:
+            return self._services[shard].pump()
+        except ServiceKilled as killed:
+            self._dead[shard] = str(killed)
+            return []
+
+    def pump(self) -> Dict[int, List[Response]]:
+        """One scheduling round on every live shard; shard → responses.
+
+        Shards with queued work pump concurrently over the thread
+        executor when ``parallel_pumps`` is on.  Each shard is pumped
+        by exactly one thread and shards share no mutable state, so
+        the interleaving cannot affect any shard's responses.
+        """
+        live = [shard for shard in range(self.shards) if shard not in self._dead]
+        if not self._parallel or len(live) <= 1:
+            return {shard: self.pump_shard(shard) for shard in live}
+        executor = self._pump_executor()
+        futures = {
+            shard: executor.submit(self.pump_shard, shard) for shard in live
+        }
+        return {shard: future.result() for shard, future in futures.items()}
+
+    def drain(self) -> Dict[int, List[Response]]:
+        """Pump until every live shard's queue is empty."""
+        merged: Dict[int, List[Response]] = {
+            shard: []
+            for shard in range(self.shards)
+            if shard not in self._dead
+        }
+        while any(
+            self._services[shard].queue_depth for shard in merged
+            if shard not in self._dead
+        ):
+            for shard, responses in self.pump().items():
+                merged[shard].extend(responses)
+        return merged
+
+    def result(self, shard: int, submission_id: int) -> Optional[Response]:
+        """A ticket's terminal response from its owning shard."""
+        return self._services[shard].result(submission_id)
+
+    def metrics(self) -> ClusterMetricsSnapshot:
+        """Merged counters + per-shard breakdown (see
+        :class:`ClusterMetricsSnapshot`)."""
+        per_shard = tuple(service.metrics() for service in self._services)
+        merged = merge_snapshots(
+            per_shard,
+            [service.latency_samples() for service in self._services],
+        )
+        return ClusterMetricsSnapshot(
+            shards=self.shards, merged=merged, per_shard=per_shard
+        )
+
+    # -- lifecycle ------------------------------------------------------
+
+    def shutdown(self, drain: bool = True) -> Dict[int, List[Response]]:
+        """Shut every live shard down; shard → its shutdown responses.
+
+        Dead shards are skipped (their journals stay on disk for a
+        later :meth:`recover`).  The pump executor is torn down last.
+        """
+        responses: Dict[int, List[Response]] = {}
+        if not self._closed:
+            for shard, service in enumerate(self._services):
+                if shard in self._dead:
+                    continue
+                responses[shard] = service.shutdown(drain=drain)
+            self._closed = True
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        return responses
+
+    # -- crash recovery -------------------------------------------------
+
+    def recover_shard(self, shard: int) -> RecoveryStats:
+        """Rebuild one crashed shard from its own journal, in place.
+
+        The other shards keep serving throughout — per-shard journals
+        are the point: recovery is a shard-local replay, not a cluster
+        restart.  The rebuilt service takes over the shard's slot with
+        a fresh engine context (and pool handle), and the shard leaves
+        :attr:`dead_shards`.
+        """
+        journal = self._shard_journal(shard)
+        if journal is None:
+            raise SidewinderError(
+                "cannot recover a shard without a journal_dir"
+            )
+        service, stats = ConditionService.recover(
+            journal,
+            self._traces,
+            spill_dir=self._shard_spill(shard),
+            context=self._shard_context(),
+            **self._shard_kwargs,
+        )
+        self._services[shard] = service
+        self._dead.pop(shard, None)
+        return stats
+
+    @classmethod
+    def recover(
+        cls,
+        journal_dir: Union[str, Path],
+        traces: Mapping[str, Trace],
+        shards: int,
+        **kwargs: object,
+    ) -> Tuple["ShardCluster", Dict[int, RecoveryStats]]:
+        """Rebuild a whole cluster, shard by shard, from its journals.
+
+        ``kwargs`` are the original :class:`ShardCluster` settings.
+        Every shard journal must exist (a cluster that never journaled
+        cannot be recovered).  Returns the cluster plus per-shard
+        :class:`RecoveryStats`.
+        """
+        cluster = cls(
+            traces, shards=shards, journal_dir=None, **kwargs  # type: ignore[arg-type]
+        )
+        # Keep the cluster's config but none of its fresh services:
+        # each shard is rebuilt from its journal instead.
+        for service in cluster._services:
+            service.shutdown(drain=False)
+        cluster._journal_dir = Path(journal_dir)
+        cluster._services = []
+        stats: Dict[int, RecoveryStats] = {}
+        for shard in range(shards):
+            service, shard_stats = ConditionService.recover(
+                shard_journal_path(journal_dir, shard),
+                traces,
+                spill_dir=cluster._shard_spill(shard),
+                context=cluster._shard_context(),
+                **cluster._shard_kwargs,
+            )
+            cluster._services.append(service)
+            stats[shard] = shard_stats
+        return cluster, stats
+
+
+class AsyncCluster:
+    """The asyncio front end over a :class:`ShardCluster`.
+
+    ``submit`` returns an :class:`asyncio.Future` that resolves with
+    the submission's terminal :class:`Response` when its shard pumps
+    the round containing it (immediately, for admission refusals).
+    ``pump``/``drain`` dispatch the blocking shard pumps through
+    ``loop.run_in_executor`` so the event loop stays responsive while
+    shards execute concurrently.
+
+    Determinism contract: response *content* is produced entirely
+    inside per-shard synchronous code under injectable clocks — the
+    event loop only decides *when* futures resolve, never what they
+    resolve to.  Same submissions + same topology ⇒ same responses,
+    regardless of loop scheduling.
+    """
+
+    def __init__(
+        self,
+        cluster: ShardCluster,
+        loop: Optional[asyncio.AbstractEventLoop] = None,
+    ):
+        self._cluster = cluster
+        self._loop = loop
+        # (shard, submission_id) -> the future its pump will resolve.
+        self._pending: Dict[Tuple[int, int], "asyncio.Future[Response]"] = {}
+
+    @property
+    def cluster(self) -> ShardCluster:
+        """The synchronous cluster underneath."""
+        return self._cluster
+
+    @property
+    def pending(self) -> int:
+        """Futures awaiting a pump."""
+        return len(self._pending)
+
+    def _event_loop(self) -> asyncio.AbstractEventLoop:
+        return self._loop if self._loop is not None else asyncio.get_running_loop()
+
+    def submit(self, submission: Submission) -> "asyncio.Future[Response]":
+        """Admit a submission; an awaitable of its terminal response.
+
+        Refusals (quota, capacity, dead shard, malformed) resolve the
+        future immediately with the :class:`Rejected` value — awaiting
+        a rejection never blocks a client on a pump that will not come.
+        """
+        loop = self._event_loop()
+        future: "asyncio.Future[Response]" = loop.create_future()
+        routed = self._cluster.submit(submission)
+        if isinstance(routed.response, Ticket):
+            self._pending[
+                (routed.shard, routed.response.submission_id)
+            ] = future
+        else:
+            future.set_result(routed.response)
+        return future
+
+    def _resolve(self, shard: int, responses: List[Response]) -> None:
+        for response in responses:
+            ticket = getattr(response, "ticket", None)
+            if ticket is None:
+                continue
+            future = self._pending.pop((shard, ticket.submission_id), None)
+            if future is not None and not future.done():
+                future.set_result(response)
+
+    async def pump(self) -> Dict[int, List[Response]]:
+        """One concurrent scheduling round across all live shards.
+
+        Each live shard's blocking pump runs in the default executor;
+        resolved responses settle their submit futures before this
+        returns.  A shard killed by fault injection fails its still
+        pending futures with :class:`~repro.errors.ServiceKilled` —
+        awaiters see the crash instead of hanging until recovery.
+        """
+        loop = self._event_loop()
+        live = [
+            shard
+            for shard in range(self._cluster.shards)
+            if shard not in self._cluster.dead_shards
+        ]
+        results = await asyncio.gather(
+            *(
+                loop.run_in_executor(None, self._cluster.pump_shard, shard)
+                for shard in live
+            )
+        )
+        merged: Dict[int, List[Response]] = {}
+        for shard, responses in zip(live, results):
+            merged[shard] = responses
+            self._resolve(shard, responses)
+        self._fail_dead_futures()
+        return merged
+
+    def _fail_dead_futures(self) -> None:
+        for shard in self._cluster.dead_shards:
+            for key in [k for k in self._pending if k[0] == shard]:
+                future = self._pending.pop(key)
+                if not future.done():
+                    future.set_exception(
+                        ServiceKilled(
+                            f"shard {shard} died before pumping "
+                            f"submission {key[1]}"
+                        )
+                    )
+
+    async def drain(self) -> Dict[int, List[Response]]:
+        """Pump until every live shard's queue is empty."""
+        merged: Dict[int, List[Response]] = {}
+        while True:
+            depth = sum(
+                self._cluster.shard(shard).queue_depth
+                for shard in range(self._cluster.shards)
+                if shard not in self._cluster.dead_shards
+            )
+            if not depth:
+                break
+            for shard, responses in (await self.pump()).items():
+                merged.setdefault(shard, []).extend(responses)
+        return merged
+
+    async def shutdown(self, drain: bool = True) -> Dict[int, List[Response]]:
+        """Drain (optionally), shut the cluster down, cancel leftovers."""
+        merged = await self.drain() if drain else {}
+        for shard, responses in self._cluster.shutdown(drain=drain).items():
+            merged.setdefault(shard, []).extend(responses)
+            self._resolve(shard, responses)
+        for future in self._pending.values():
+            if not future.done():
+                future.cancel()
+        self._pending.clear()
+        return merged

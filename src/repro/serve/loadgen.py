@@ -315,6 +315,245 @@ def response_digest(responses: Iterable[Response]) -> str:
     return digest.hexdigest()
 
 
+def submission_content_key(submission: Submission) -> Tuple[object, ...]:
+    """What a submission *asks for*, independent of how it is served.
+
+    The routing-free identity of a request: who asked, which condition,
+    over which trace, with which feed/hub parameters.  Two topologies
+    serving the same workload agree on these keys even though their
+    tickets (per-shard id counters), latencies (per-shard clocks) and
+    dedup payer structure all differ.
+    """
+    return (
+        submission.tenant,
+        submission.trace,
+        submission.app,
+        submission.il,
+        submission.chunk_seconds,
+        submission.hub,
+        submission.lane.value,
+    )
+
+
+def completion_digest(
+    pairs: Iterable[Tuple[Submission, Response]],
+) -> str:
+    """Topology-independent digest over terminal work outcomes.
+
+    :func:`response_digest` pickles whole responses — ticket ids,
+    latencies, dedup flags included — which is the right identity for
+    crash recovery (same shard, before vs after) but can never match
+    across shard *topologies*: a 4-shard cluster hands out four
+    independent id sequences and elects one dedup payer per shard.
+    This digest instead hashes what must be invariant: for every
+    terminal response, the submission's :func:`submission_content_key`
+    plus the pickled **result content** (the simulation result or
+    wake-event tuple for completions; the error type and message for
+    failures; the reason for cancellations).  Blobs are sorted, so the
+    digest is order-insensitive like :func:`response_digest`.
+
+    N-shard completions digest-equal the 1-shard reference iff every
+    submission produced bit-identical result content — the cluster
+    acceptance gate.  Admission outcomes (rejections) are *not*
+    covered: quotas and queue bounds are enforced per shard, so under
+    overload they are genuinely topology-dependent.
+
+    The key and the payload are pickled *separately* per blob: a
+    single combined pickle would memoize strings shared between the
+    submission key and a fresh engine result, while a journal-replayed
+    result (already pickle round-tripped) holds equal-but-distinct
+    strings — same content, different bytes.  Separate pickles hash
+    content only, so recovered runs digest-equal uninterrupted ones.
+    """
+    blobs = []
+    for submission, response in pairs:
+        key = pickle.dumps(submission_content_key(submission), protocol=4)
+        if isinstance(response, Completed):
+            kind = b"completed"
+            payload: object = response.result
+        elif isinstance(response, Failed):
+            kind = b"failed"
+            payload = (response.error_type, response.message)
+        else:
+            kind = b"cancelled"
+            payload = response.reason
+        blobs.append(kind + key + pickle.dumps(payload, protocol=4))
+    digest = hashlib.sha256()
+    for blob in sorted(blobs):
+        digest.update(blob)
+    return digest.hexdigest()
+
+
+@dataclass
+class ClusterLoadReport:
+    """Outcome of driving one workload through a shard cluster.
+
+    Attributes:
+        submitted: Submissions offered to the cluster.
+        tickets: Submissions some shard accepted.
+        rejections: ``(shard, rejection)`` refusals, in arrival order.
+        responses: ``(shard, response)`` terminal responses, in
+            completion order.
+        by_ticket: Accepted submissions keyed by their *global* key —
+            ``(shard, submission_id)`` — since shard id counters are
+            independent.
+        wall_s: Wall-clock seconds the drive took.
+        metrics: The cluster's final merged + per-shard snapshot.
+    """
+
+    submitted: int = 0
+    tickets: int = 0
+    rejections: List[Tuple[int, Rejected]] = field(default_factory=list)
+    responses: List[Tuple[int, Response]] = field(default_factory=list)
+    by_ticket: Dict[Tuple[int, int], Submission] = field(default_factory=dict)
+    wall_s: float = 0.0
+    metrics: object = None  # ClusterMetricsSnapshot
+
+    @property
+    def completed(self) -> List[Completed]:
+        """Responses that carry a result, across shards."""
+        return [r for _, r in self.responses if isinstance(r, Completed)]
+
+    @property
+    def pairs(self) -> List[Tuple[Submission, Response]]:
+        """(submission, response) pairs for :func:`completion_digest`."""
+        return [
+            (self.by_ticket[(shard, response.ticket.submission_id)], response)
+            for shard, response in self.responses
+        ]
+
+    @property
+    def submissions_per_second(self) -> float:
+        """Sustained submission throughput over the drive."""
+        return self.submitted / self.wall_s if self.wall_s > 0 else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        """Benchmark-artifact form."""
+        return {
+            "submitted": self.submitted,
+            "accepted": self.tickets,
+            "rejected": len(self.rejections),
+            "completed": len(self.completed),
+            "wall_s": self.wall_s,
+            "submissions_per_sec": self.submissions_per_second,
+            "metrics": self.metrics.as_dict() if self.metrics else None,
+        }
+
+
+def run_cluster_fleet(
+    cluster: "ShardCluster",
+    submissions: Sequence[Submission],
+    pump_every: int = 32,
+) -> ClusterLoadReport:
+    """Drive a workload through a cluster, interleaving cluster pumps.
+
+    The cluster analogue of :func:`run_fleet`: same closed-loop shape
+    (submit ``pump_every``, pump, repeat, then drain), but each pump is
+    one concurrent scheduling round across every shard.  Per-shard
+    pump cadence therefore *scales with the shard count* — N shards
+    consume up to ``N × batch_size`` submissions per boundary — which
+    is exactly the capacity model the throughput benchmark measures.
+    """
+    report = ClusterLoadReport()
+    started = time.perf_counter()
+    for i, submission in enumerate(submissions):
+        routed = cluster.submit(submission)
+        report.submitted += 1
+        if isinstance(routed.response, Rejected):
+            report.rejections.append((routed.shard, routed.response))
+        else:
+            report.tickets += 1
+            report.by_ticket[
+                (routed.shard, routed.response.submission_id)
+            ] = submission
+        if (i + 1) % max(1, pump_every) == 0:
+            for shard, responses in cluster.pump().items():
+                report.responses.extend(
+                    (shard, response) for response in responses
+                )
+    for shard, responses in cluster.drain().items():
+        report.responses.extend((shard, response) for response in responses)
+    report.wall_s = time.perf_counter() - started
+    report.metrics = cluster.metrics()
+    return report
+
+
+def run_cluster_fleet_with_recovery(
+    cluster: "ShardCluster",
+    submissions: Sequence[Submission],
+    pump_every: int = 32,
+) -> Tuple[ClusterLoadReport, Dict[int, RecoveryStats]]:
+    """Drive a cluster whose shards may be fault-killed at pump time.
+
+    Behaves exactly like :func:`run_cluster_fleet` when no fault plan
+    fires.  When a shard's :class:`~repro.serve.faults.ServiceFaultPlan`
+    kills it during a pump (the cluster marks it dead instead of
+    propagating), the driver immediately rebuilds that shard from its
+    own journal via :meth:`ShardCluster.recover_shard` — the other
+    shards never notice.  Durable completions the crash re-answered
+    and the interrupted round's re-executed responses come out of
+    :class:`~repro.serve.journal.RecoveryStats`; responses are keyed
+    by ``(shard, submission_id)``, so a re-answered response simply
+    overwrites its (bit-identical) original.
+
+    Only **pump-phase** kills are supported here: an accept-time kill
+    raises out of ``submit`` before routing bookkeeping completes and
+    needs the single-shard :func:`run_fleet_with_recovery` resume
+    logic instead.
+
+    Returns:
+        ``(report, stats_by_shard)`` — the merged report (one response
+        per accepted ticket) and each recovered shard's last
+        :class:`RecoveryStats`.
+    """
+    report = ClusterLoadReport()
+    started = time.perf_counter()
+    responses: Dict[Tuple[int, int], Response] = {}
+    stats_by_shard: Dict[int, RecoveryStats] = {}
+
+    def record(shard: int, batch: Sequence[Response]) -> None:
+        for response in batch:
+            responses[(shard, response.ticket.submission_id)] = response
+
+    def recover_dead() -> None:
+        for shard in cluster.dead_shards:
+            stats = cluster.recover_shard(shard)
+            stats_by_shard[shard] = stats
+            record(shard, stats.replayed)
+            record(shard, stats.reexecuted)
+
+    for i, submission in enumerate(submissions):
+        routed = cluster.submit(submission)
+        report.submitted += 1
+        if isinstance(routed.response, Rejected):
+            report.rejections.append((routed.shard, routed.response))
+        else:
+            report.tickets += 1
+            report.by_ticket[
+                (routed.shard, routed.response.submission_id)
+            ] = submission
+        if (i + 1) % max(1, pump_every) == 0:
+            for shard, batch in cluster.pump().items():
+                record(shard, batch)
+            recover_dead()
+    while any(
+        cluster.shard(shard).queue_depth
+        for shard in range(cluster.shards)
+        if shard not in cluster.dead_shards
+    ):
+        for shard, batch in cluster.pump().items():
+            record(shard, batch)
+        recover_dead()
+
+    report.responses = [
+        (shard, responses[(shard, sid)])
+        for shard, sid in sorted(responses)
+    ]
+    report.wall_s = time.perf_counter() - started
+    report.metrics = cluster.metrics()
+    return report, stats_by_shard
+
+
 def run_fleet_with_recovery(
     service: ConditionService,
     submissions: Sequence[Submission],

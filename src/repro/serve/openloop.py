@@ -1,0 +1,312 @@
+"""Open-loop arrival load generation and the overload sweep.
+
+:func:`~repro.serve.loadgen.run_fleet` is *closed-loop*: the driver
+submits a block, waits for the pump, submits the next block — so the
+offered load implicitly adapts to service speed and the queue can
+never really overflow.  Real fleets are **open-loop**: devices submit
+on their own schedule whether or not the backend keeps up, and the
+interesting regime is exactly where it does not — tail latency and
+goodput as offered load crosses capacity.
+
+This module drives a :class:`~repro.serve.cluster.ShardCluster` with
+Poisson arrivals (exponential inter-arrival times from a seeded RNG,
+so every run of a spec is bit-identical) on a **simulated clock**:
+
+* :class:`SimClock` is a settable time source shared by the driver and
+  every shard.  It deliberately has no ``tick`` method, so the
+  services' own event ticking is inert and time advances *only* when
+  the driver says so — one timeline, owned by the arrival process.
+* Shards pump on a fixed simulated cadence (``pump_interval_s``).
+  Each boundary pumps every shard once, so an N-shard cluster's
+  capacity is ``N × batch_size`` submissions per interval — the
+  partitioned-scheduler speedup the benchmark quantifies, independent
+  of how many host cores the test machine happens to have.
+* Latency is simulated seconds between arrival and the pump that
+  completed the submission; "goodput" is completions per simulated
+  second.  Overload sheds through the bounded queue
+  (``bulk_backpressure`` / ``queue_full`` rejections), exactly like
+  the closed-loop path.
+
+:func:`overload_sweep` repeats this across offered rates and reports
+p50/p90/p99/p99.9 vs load — the classic hockey-stick curve.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ServiceError
+from repro.serve.cluster import ShardCluster
+from repro.serve.loadgen import LoadSpec, fleet_workload
+from repro.serve.metrics import percentile_sorted
+from repro.serve.submission import (
+    Completed,
+    Rejected,
+    Response,
+    Submission,
+)
+
+__all__ = [
+    "OpenLoopReport",
+    "OpenLoopSpec",
+    "SimClock",
+    "overload_sweep",
+    "poisson_arrivals",
+    "run_open_loop",
+]
+
+
+class SimClock:
+    """A settable simulated-time clock, advanced only by the driver.
+
+    Unlike :class:`~repro.serve.metrics.LogicalClock` it has **no**
+    ``tick`` method — services probe for one and no-op without it — so
+    submission and pump events do not move time.  The open-loop driver
+    owns the timeline: it advances the clock to each arrival instant
+    and each pump boundary.  Time never goes backwards.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def __call__(self) -> float:
+        return self._now
+
+    def now(self) -> float:
+        """Current simulated time (seconds)."""
+        return self._now
+
+    def advance_to(self, now: float) -> float:
+        """Move time forward to ``now``; moving backwards is an error."""
+        if now < self._now:
+            raise ServiceError(
+                f"simulated time cannot rewind: {now} < {self._now}"
+            )
+        self._now = float(now)
+        return self._now
+
+
+@dataclass(frozen=True)
+class OpenLoopSpec:
+    """Shape of one open-loop drive.
+
+    Attributes:
+        rate: Offered load — mean arrivals per simulated second.
+        duration_s: Simulated seconds of arrivals to generate.
+        seed: RNG seed for the arrival process (the workload content
+            comes from ``load.seed``; the two seeds are independent so
+            the same fleet can be replayed at different rates).
+        pump_interval_s: Simulated seconds between pump boundaries;
+            every shard pumps once per boundary.
+        load: The fleet workload shape (who submits what); the
+            submission *sequence* is cycled to cover however many
+            arrivals the rate and duration imply.
+    """
+
+    rate: float = 64.0
+    duration_s: float = 64.0
+    seed: int = 0
+    pump_interval_s: float = 1.0
+    load: LoadSpec = field(default_factory=LoadSpec)
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ServiceError(f"rate must be positive, got {self.rate}")
+        if self.duration_s <= 0:
+            raise ServiceError(
+                f"duration_s must be positive, got {self.duration_s}"
+            )
+        if self.pump_interval_s <= 0:
+            raise ServiceError(
+                f"pump_interval_s must be positive, got {self.pump_interval_s}"
+            )
+
+
+def poisson_arrivals(
+    rate: float, duration_s: float, seed: int
+) -> List[float]:
+    """Deterministic Poisson arrival instants in ``[0, duration_s)``.
+
+    Exponential inter-arrival times with mean ``1/rate`` from
+    ``random.Random(seed)`` — same spec, same instants, bit for bit.
+    """
+    rng = random.Random(seed)
+    arrivals: List[float] = []
+    now = rng.expovariate(rate)
+    while now < duration_s:
+        arrivals.append(now)
+        now += rng.expovariate(rate)
+    return arrivals
+
+
+@dataclass
+class OpenLoopReport:
+    """Outcome of one open-loop drive at one offered rate.
+
+    Attributes:
+        offered_rate: The spec's arrivals per simulated second.
+        arrivals: Arrival count the rate and duration produced.
+        accepted: Arrivals some shard admitted.
+        shed: Arrivals refused (the overload signal: queue bounds and
+            per-tenant quotas), by reason.
+        completed / failed: Terminal outcomes among accepted work.
+        goodput: Completions per simulated second over the drive.
+        latency_p50/p90/p99/p999: Nearest-rank percentiles of
+            simulated-seconds latency (arrival → completing pump).
+        wall_s: Real seconds the drive took (host-dependent; reported
+            for honesty, never gated on).
+    """
+
+    offered_rate: float = 0.0
+    arrivals: int = 0
+    accepted: int = 0
+    shed: Dict[str, int] = field(default_factory=dict)
+    completed: int = 0
+    failed: int = 0
+    goodput: float = 0.0
+    latency_p50: float = 0.0
+    latency_p90: float = 0.0
+    latency_p99: float = 0.0
+    latency_p999: float = 0.0
+    wall_s: float = 0.0
+
+    @property
+    def shed_total(self) -> int:
+        """All refusals across reasons."""
+        return sum(self.shed.values())
+
+    def as_dict(self) -> Dict[str, object]:
+        """Benchmark-artifact form."""
+        return {
+            "offered_rate": self.offered_rate,
+            "arrivals": self.arrivals,
+            "accepted": self.accepted,
+            "shed": dict(self.shed),
+            "shed_total": self.shed_total,
+            "completed": self.completed,
+            "failed": self.failed,
+            "goodput": self.goodput,
+            "latency_p50": self.latency_p50,
+            "latency_p90": self.latency_p90,
+            "latency_p99": self.latency_p99,
+            "latency_p999": self.latency_p999,
+            "wall_s": self.wall_s,
+        }
+
+
+def run_open_loop(
+    cluster: ShardCluster,
+    clock: SimClock,
+    spec: OpenLoopSpec,
+    submissions: Optional[Sequence[Submission]] = None,
+) -> OpenLoopReport:
+    """Drive Poisson arrivals through a cluster on simulated time.
+
+    ``cluster`` must have been built with every shard reading
+    ``clock`` (``clock_factory=lambda: clock``) — the driver advances
+    it to each arrival and each pump boundary, so shard-side
+    ``submitted_at`` stamps and completion latencies are simulated
+    seconds on one shared timeline.
+
+    The submission sequence (default: ``fleet_workload(spec.load)``
+    over the cluster's registry apps/traces) is cycled to cover every
+    arrival instant.  Returns the per-rate report; the cluster is left
+    drained but running (callers own shutdown, so a sweep can reuse
+    construction machinery).
+    """
+    from repro.apps import all_applications
+
+    if submissions is None:
+        traces = list(cluster.traces.values())
+        submissions = fleet_workload(
+            spec.load, all_applications(), traces
+        )
+    if not submissions:
+        raise ServiceError("open-loop drive needs a non-empty workload")
+
+    arrivals = poisson_arrivals(spec.rate, spec.duration_s, spec.seed)
+    report = OpenLoopReport(offered_rate=spec.rate, arrivals=len(arrivals))
+    started = time.perf_counter()
+
+    latencies: List[float] = []
+
+    def pump_once() -> None:
+        for _, responses in cluster.pump().items():
+            _count(responses)
+
+    def _count(responses: List[Response]) -> None:
+        for response in responses:
+            if isinstance(response, Completed):
+                report.completed += 1
+                latencies.append(response.latency)
+            else:
+                report.failed += 1
+
+    next_pump = spec.pump_interval_s
+    for index, arrival in enumerate(arrivals):
+        while next_pump <= arrival:
+            clock.advance_to(next_pump)
+            pump_once()
+            next_pump += spec.pump_interval_s
+        clock.advance_to(arrival)
+        routed = cluster.submit(submissions[index % len(submissions)])
+        if isinstance(routed.response, Rejected):
+            reason = routed.response.reason
+            report.shed[reason] = report.shed.get(reason, 0) + 1
+        else:
+            report.accepted += 1
+    # Drain: keep pumping on cadence until every queue empties, so
+    # accepted-at-the-bell work still completes with honest latency.
+    while any(
+        cluster.shard(shard).queue_depth
+        for shard in range(cluster.shards)
+        if shard not in cluster.dead_shards
+    ):
+        clock.advance_to(next_pump)
+        pump_once()
+        next_pump += spec.pump_interval_s
+
+    report.wall_s = time.perf_counter() - started
+    report.goodput = report.completed / spec.duration_s
+    ordered = sorted(latencies)
+    report.latency_p50 = percentile_sorted(ordered, 50)
+    report.latency_p90 = percentile_sorted(ordered, 90)
+    report.latency_p99 = percentile_sorted(ordered, 99)
+    report.latency_p999 = percentile_sorted(ordered, 99.9)
+    return report
+
+
+def overload_sweep(
+    make_cluster,
+    spec: OpenLoopSpec,
+    rates: Sequence[float],
+) -> List[OpenLoopReport]:
+    """One open-loop drive per offered rate; the tail-latency curve.
+
+    Args:
+        make_cluster: ``(clock) -> ShardCluster`` factory — a fresh
+            cluster per rate (every point starts cold and fair), with
+            every shard reading the given clock.
+        spec: Drive shape; its ``rate`` is overridden per point.
+        rates: Offered loads to sweep, in arrivals per simulated
+            second.
+    """
+    reports: List[OpenLoopReport] = []
+    for rate in rates:
+        clock = SimClock()
+        cluster = make_cluster(clock)
+        point = OpenLoopSpec(
+            rate=rate,
+            duration_s=spec.duration_s,
+            seed=spec.seed,
+            pump_interval_s=spec.pump_interval_s,
+            load=spec.load,
+        )
+        try:
+            reports.append(run_open_loop(cluster, clock, point))
+        finally:
+            cluster.shutdown(drain=False)
+    return reports

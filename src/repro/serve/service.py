@@ -69,7 +69,7 @@ from repro.serve.submission import (
     Submission,
     Ticket,
 )
-from repro.sim.engine import RunContext, shutdown_pool
+from repro.sim.engine import RunContext
 from repro.traces.base import Trace
 
 #: Default total queue capacity.
@@ -289,7 +289,7 @@ class ConditionService:
             self._journal.crash(plan.torn_tail_bytes or None)
         self._closed = True
         if self._jobs > 1:
-            shutdown_pool()
+            self._context.shutdown_pool()
         raise ServiceKilled(
             f"service killed by fault plan (seed {plan.seed})"
         )
@@ -425,6 +425,15 @@ class ConditionService:
             batched_cells=self._scheduler.batched_cells,
         )
 
+    def latency_samples(self) -> Tuple[float, ...]:
+        """Every completion latency recorded so far, in completion order.
+
+        Cross-shard aggregation needs the raw samples: merged
+        percentiles must be computed over the union of shard samples,
+        not averaged from per-shard percentiles (which has no meaning).
+        """
+        return tuple(self._metrics.latencies)
+
     @property
     def queue_depth(self) -> int:
         """Submissions currently queued."""
@@ -458,9 +467,11 @@ class ConditionService:
 
         The journal is flushed and closed (cancellations included, so a
         restart re-answers them instead of re-running them), spill
-        files are removed, and the engine's persistent process pool is
-        torn down through :func:`repro.sim.engine.shutdown_pool`
+        files are removed, and this service's own worker pool is torn
+        down through :meth:`repro.sim.engine.RunContext.shutdown_pool`
         (itself idempotent), so no worker futures outlive the service.
+        Other services' pools are untouched — pool lifetime is
+        per-context, not module-global.
         """
         if self._closed:
             return []
@@ -484,7 +495,7 @@ class ConditionService:
                 pass
         self._store.close()
         if self._jobs > 1:
-            shutdown_pool()
+            self._context.shutdown_pool()
         return responses
 
     # -- crash recovery -------------------------------------------------

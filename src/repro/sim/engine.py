@@ -33,6 +33,7 @@ from __future__ import annotations
 import atexit
 import hashlib
 import time
+import weakref
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import (
@@ -224,12 +225,19 @@ class RunContext:
         compiled: bool = True,
         batch: bool = True,
         cost_model: Optional[CostModel] = None,
+        pool: Optional["EnginePool"] = None,
     ):
         self.cache = cache
         self.fuse = fuse
         self.compiled = compiled
         self.batch = batch
         self.cost_model = cost_model if cost_model is not None else CostModel()
+        # The context's own persistent-pool handle (workers fork only
+        # when a plan actually warrants them).  Sharing a handle across
+        # contexts is allowed — pass the same one — but the default is
+        # isolation: two contexts with different settings no longer
+        # tear down each other's warm workers.
+        self.pool: "EnginePool" = pool if pool is not None else EnginePool()
         self.stats = CacheStats()
         self._graphs: Dict[str, DataflowGraph] = {}
         self._compiled_plans: Dict[str, Optional[CompiledPlan]] = {}
@@ -609,6 +617,16 @@ class RunContext:
         self._events[key] = cached
         return cached
 
+    # -- pool lifecycle ------------------------------------------------
+
+    def shutdown_pool(self) -> None:
+        """Tear down this context's worker pool (idempotent).
+
+        Only this context's workers: other contexts' pools — and the
+        module default pool — are untouched.
+        """
+        self.pool.shutdown()
+
 
 # -- the experiment matrix planner/executor ----------------------------
 
@@ -797,20 +815,6 @@ class ExecutionInfo:
 #: many cells' worth of work, so smaller plans cannot amortize it.
 MIN_POOL_CELLS = 24
 
-# The persistent pool.  A cold ProcessPoolExecutor per execute_plan()
-# call was measurably *slower* than serial (parallel_speedup 0.75 in
-# the PR-2 benchmark): every call re-forked workers, re-pickled every
-# trace, and rebuilt per-worker caches from nothing.  Instead one pool
-# lives across calls; its workers each hold a warm RunContext plus a
-# trace registry filled once at worker start, so a re-dispatch ships
-# only (config, app) cell descriptions — never traces — and hits the
-# worker's caches immediately.
-_POOL: Optional[ProcessPoolExecutor] = None
-_POOL_KEY: Optional[tuple] = None
-_POOL_WORKERS: int = 0
-_POOL_TRACES: Dict[str, Trace] = {}
-_POOL_EXPORT = None  # TraceExport keeping shm segments alive for the pool
-
 # Worker-side state, set once by the pool initializer.
 _WORKER_CONTEXT: Optional[RunContext] = None
 _WORKER_TRACES: Dict[str, Trace] = {}
@@ -852,74 +856,153 @@ def _run_batch(
     ]
 
 
-def _shutdown_pool() -> None:
-    """Tear down the persistent pool (atexit, or before a rebuild)."""
-    global _POOL, _POOL_KEY, _POOL_WORKERS, _POOL_TRACES, _POOL_EXPORT
-    if _POOL is not None:
-        _POOL.shutdown(wait=True, cancel_futures=True)
-    if _POOL_EXPORT is not None:
-        # Workers are gone (shutdown waited), so the segments can be
-        # unlinked; until here the parent's export kept them alive.
-        _POOL_EXPORT.close()
-    _POOL = None
-    _POOL_KEY = None
-    _POOL_WORKERS = 0
-    _POOL_TRACES = {}
-    _POOL_EXPORT = None
+class EnginePool:
+    """One persistent process-pool handle, owned by whoever made it.
 
+    A cold ProcessPoolExecutor per ``execute_plan()`` call was
+    measurably *slower* than serial (parallel_speedup 0.75 in the PR-2
+    benchmark): every call re-forked workers, re-pickled every trace,
+    and rebuilt per-worker caches from nothing.  Instead one pool lives
+    across calls; its workers each hold a warm :class:`RunContext` plus
+    a trace registry filled once at worker start, so a re-dispatch
+    ships only (config, app) cell descriptions — never traces — and
+    hits the worker's caches immediately.
 
-atexit.register(_shutdown_pool)
-
-
-def _obtain_pool(
-    workers: int,
-    cache: bool,
-    fuse: bool,
-    compiled: bool,
-    batch: bool,
-    traces: List[Trace],
-) -> Tuple[ProcessPoolExecutor, int, bool]:
-    """The persistent pool for these settings, (re)built if needed.
-
-    Reuses the live pool when its cache/fuse/compiled/batch settings
-    match, it has at least as many workers as requested, and every plan
-    trace is already registered in the workers (same name *and* same
-    object — a different object under a known name would silently run
-    on stale data).  A warm pool with surplus workers is kept rather
-    than resized: the surplus idles, while a rebuild would discard
-    every worker's warm caches.  Returns ``(pool, workers, reused)``.
-
-    Traces ship to workers through shared memory when the platform
-    supports it (:func:`repro.sim.shm.export_traces`): the initializer
-    payload then carries only channel metadata plus segment names, and
-    every worker maps the parent's arrays instead of re-materializing
-    its own copy of every trace.
+    Pool lifetime used to be module-global, which made two contexts
+    with different ``batch=`` / ``fuse=`` settings contend for one key
+    space — every settings flip tore down the other context's warm
+    workers.  Now each :class:`RunContext` owns its own handle
+    (``context.pool``), and the module keeps one default handle for
+    context-less callers; :func:`shutdown_pool` tears down the default,
+    :meth:`RunContext.shutdown_pool` a context's own.  Handles are
+    cheap until :meth:`obtain` actually forks workers, and every live
+    handle is torn down at interpreter exit.
     """
-    global _POOL, _POOL_KEY, _POOL_WORKERS, _POOL_TRACES, _POOL_EXPORT
-    from repro.sim.shm import export_traces
 
-    key = (bool(cache), bool(fuse), bool(compiled), bool(batch))
-    if _POOL is not None and _POOL_KEY == key and _POOL_WORKERS >= workers:
-        shipped = all(
-            _POOL_TRACES.get(trace.name) is trace for trace in traces
+    def __init__(self) -> None:
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._key: Optional[tuple] = None
+        self._workers: int = 0
+        self._traces: Dict[str, Trace] = {}
+        self._export = None  # TraceExport keeping shm segments alive
+        _LIVE_POOLS.add(self)
+
+    @property
+    def export(self):
+        """The live trace-shipping envelope, or ``None`` (tests only)."""
+        return self._export
+
+    @property
+    def active(self) -> bool:
+        """True while worker processes are alive."""
+        return self._pool is not None
+
+    def shutdown(self) -> None:
+        """Tear down the workers (idempotent; the handle stays usable)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+        if self._export is not None:
+            # Workers are gone (shutdown waited), so the segments can
+            # be unlinked; until here this export kept them alive.
+            self._export.close()
+        self._pool = None
+        self._key = None
+        self._workers = 0
+        self._traces = {}
+        self._export = None
+
+    def obtain(
+        self,
+        workers: int,
+        cache: bool,
+        fuse: bool,
+        compiled: bool,
+        batch: bool,
+        traces: List[Trace],
+    ) -> Tuple[ProcessPoolExecutor, int, bool]:
+        """The pool for these settings, (re)built if needed.
+
+        Reuses the live pool when its cache/fuse/compiled/batch
+        settings match, it has at least as many workers as requested,
+        and every plan trace is already registered in the workers (same
+        name *and* same object — a different object under a known name
+        would silently run on stale data).  A warm pool with surplus
+        workers is kept rather than resized: the surplus idles, while a
+        rebuild would discard every worker's warm caches.  Returns
+        ``(pool, workers, reused)``.
+
+        Traces ship to workers through shared memory when the platform
+        supports it (:func:`repro.sim.shm.export_traces`): the
+        initializer payload then carries only channel metadata plus
+        segment names, and every worker maps the parent's arrays
+        instead of re-materializing its own copy of every trace.
+        """
+        from repro.sim.shm import export_traces
+
+        key = (bool(cache), bool(fuse), bool(compiled), bool(batch))
+        if (
+            self._pool is not None
+            and self._key == key
+            and self._workers >= workers
+        ):
+            shipped = all(
+                self._traces.get(trace.name) is trace for trace in traces
+            )
+            if shipped:
+                return self._pool, self._workers, True
+        self.shutdown()
+        registry = {trace.name: trace for trace in traces}
+        export = export_traces(list(registry.values()))
+        self._pool = ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_pool_worker_init,
+            initargs=(export.payload, cache, fuse, compiled, batch),
         )
-        if shipped:
-            return _POOL, _POOL_WORKERS, True
-    _shutdown_pool()
-    registry = {trace.name: trace for trace in traces}
-    export = export_traces(list(registry.values()))
-    _POOL = ProcessPoolExecutor(
-        max_workers=workers,
-        initializer=_pool_worker_init,
-        initargs=(export.payload, cache, fuse, compiled, batch),
-    )
-    _POOL_KEY = key
-    _POOL_WORKERS = workers
-    # Strong references keep trace ids from being recycled while the
-    # pool that shipped them is alive.
-    _POOL_TRACES = registry
-    _POOL_EXPORT = export
-    return _POOL, workers, False
+        self._key = key
+        self._workers = workers
+        # Strong references keep trace ids from being recycled while
+        # the pool that shipped them is alive.
+        self._traces = registry
+        self._export = export
+        return self._pool, workers, False
+
+    def is_warm(
+        self,
+        plan: RunPlan,
+        jobs: int,
+        cache: bool = True,
+        fuse: bool = True,
+        compiled: bool = True,
+        batch: bool = True,
+    ) -> bool:
+        """True when this handle's live pool could serve the plan as-is."""
+        if self._pool is None or jobs <= 1:
+            return False
+        if self._key != (bool(cache), bool(fuse), bool(compiled), bool(batch)):
+            return False
+        return all(
+            self._traces.get(cell.trace.name) is cell.trace
+            for cell in plan.cells
+        )
+
+
+# Every handle ever constructed, so interpreter exit reaps stray
+# workers even when an embedder forgot its own shutdown.  Weak refs:
+# a collected handle already lost its workers via ProcessPoolExecutor
+# finalization, and pinning it here would leak every per-context pool.
+_LIVE_POOLS: "weakref.WeakSet[EnginePool]" = weakref.WeakSet()
+
+#: The default handle, used by ``execute_plan(..., context=None)``
+#: callers; one warm pool therefore still persists across bare calls.
+_DEFAULT_POOL = EnginePool()
+
+
+def _shutdown_all_pools() -> None:
+    for handle in list(_LIVE_POOLS):
+        handle.shutdown()
+
+
+atexit.register(_shutdown_all_pools)
 
 
 def pool_is_warm(
@@ -929,20 +1012,23 @@ def pool_is_warm(
     fuse: bool = True,
     compiled: bool = True,
     batch: bool = True,
+    pool: Optional[EnginePool] = None,
 ) -> bool:
-    """True when the live persistent pool could serve this plan as-is."""
-    if _POOL is None or jobs <= 1:
-        return False
-    if _POOL_KEY != (bool(cache), bool(fuse), bool(compiled), bool(batch)):
-        return False
-    return all(
-        _POOL_TRACES.get(cell.trace.name) is cell.trace for cell in plan.cells
+    """True when the (default or given) pool could serve this plan as-is."""
+    handle = pool if pool is not None else _DEFAULT_POOL
+    return handle.is_warm(
+        plan, jobs, cache=cache, fuse=fuse, compiled=compiled, batch=batch
     )
 
 
 def shutdown_pool() -> None:
-    """Public teardown for tests and long-lived embedders."""
-    _shutdown_pool()
+    """Tear down the *default* pool (idempotent).
+
+    Contexts own their pools now — use
+    :meth:`RunContext.shutdown_pool` for those; this remains the
+    teardown for context-less ``execute_plan`` callers and older tests.
+    """
+    _DEFAULT_POOL.shutdown()
 
 
 def _prewarm_batches(cells: Sequence[RunCell], context: RunContext) -> None:
@@ -1096,9 +1182,14 @@ def execute_plan_with_info(
         )
         return indexed_results(indexed), info
 
+    # Pool runs go through the caller's context pool when a context is
+    # supplied (per-shard isolation in the serving tier), and through
+    # the module default handle otherwise (so bare sweep calls still
+    # share one warm pool across invocations).
+    pool_handle = context.pool if context is not None else _DEFAULT_POOL
     groups = _group_cells_by_trace(plan.cells)
     workers = max(1, min(jobs, len(groups)))
-    warm = pool_is_warm(
+    warm = pool_handle.is_warm(
         plan, jobs, cache=cache, fuse=fuse, compiled=compiled, batch=batch
     )
     if n < MIN_POOL_CELLS and not warm:
@@ -1126,7 +1217,7 @@ def execute_plan_with_info(
     for cell in plan.cells:
         if not traces or traces[-1] is not cell.trace:
             traces.append(cell.trace)
-    pool, workers, reused = _obtain_pool(
+    pool, workers, reused = pool_handle.obtain(
         workers, cache, fuse, compiled, batch, traces
     )
     futures = [

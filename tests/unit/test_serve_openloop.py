@@ -1,0 +1,184 @@
+"""Unit tests for the open-loop driver and the overload sweep."""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.serve import (
+    OpenLoopSpec,
+    ShardCluster,
+    SimClock,
+    Submission,
+    TenantQuota,
+    overload_sweep,
+    poisson_arrivals,
+    run_open_loop,
+)
+from repro.serve.loadgen import LoadSpec
+
+
+@pytest.fixture()
+def registry(robot_trace):
+    return {robot_trace.name: robot_trace}
+
+
+def _workload(registry, n):
+    (trace_name,) = registry
+    return [
+        Submission(tenant=f"device-{i:05d}", trace=trace_name, app="steps")
+        for i in range(n)
+    ]
+
+
+class TestSimClock:
+    def test_advances_and_reads(self):
+        clock = SimClock()
+        assert clock.now() == 0.0
+        assert clock() == 0.0
+        clock.advance_to(3.5)
+        assert clock.now() == 3.5
+
+    def test_refuses_to_rewind(self):
+        clock = SimClock(start=10.0)
+        with pytest.raises(ServiceError, match="rewind"):
+            clock.advance_to(9.0)
+
+    def test_has_no_tick(self):
+        # Services probe for a tick method and no-op without one; the
+        # open-loop driver must own the timeline exclusively.
+        assert not hasattr(SimClock(), "tick")
+
+
+class TestPoissonArrivals:
+    def test_deterministic_per_seed(self):
+        assert poisson_arrivals(32.0, 8.0, seed=7) == poisson_arrivals(
+            32.0, 8.0, seed=7
+        )
+        assert poisson_arrivals(32.0, 8.0, seed=7) != poisson_arrivals(
+            32.0, 8.0, seed=8
+        )
+
+    def test_rate_sets_the_mean(self):
+        arrivals = poisson_arrivals(50.0, 100.0, seed=0)
+        # ~5000 expected; Poisson fluctuation is a few percent.
+        assert 4500 <= len(arrivals) <= 5500
+
+    def test_sorted_within_horizon(self):
+        arrivals = poisson_arrivals(10.0, 5.0, seed=3)
+        assert arrivals == sorted(arrivals)
+        assert all(0.0 <= t < 5.0 for t in arrivals)
+
+
+class TestOpenLoopSpec:
+    def test_validates_shape(self):
+        with pytest.raises(ServiceError, match="rate"):
+            OpenLoopSpec(rate=0.0)
+        with pytest.raises(ServiceError, match="duration"):
+            OpenLoopSpec(duration_s=-1.0)
+        with pytest.raises(ServiceError, match="pump_interval"):
+            OpenLoopSpec(pump_interval_s=0.0)
+
+
+class TestRunOpenLoop:
+    def test_underload_completes_everything(self, registry):
+        clock = SimClock()
+        cluster = ShardCluster(
+            registry, shards=2, clock_factory=lambda: clock
+        )
+        spec = OpenLoopSpec(rate=8.0, duration_s=8.0, seed=0)
+        try:
+            report = run_open_loop(
+                cluster, clock, spec, submissions=_workload(registry, 64)
+            )
+        finally:
+            cluster.shutdown(drain=False)
+        assert report.arrivals == report.accepted + report.shed_total
+        assert report.shed_total == 0
+        assert report.completed == report.accepted > 0
+        assert report.goodput == pytest.approx(
+            report.completed / spec.duration_s
+        )
+        # Latency is simulated seconds: arrival to the next pump
+        # boundary, so never more than one interval under light load.
+        assert 0.0 < report.latency_p50 <= spec.pump_interval_s
+        assert report.latency_p999 >= report.latency_p50
+
+    def test_deterministic_replay(self, registry):
+        def drive():
+            clock = SimClock()
+            cluster = ShardCluster(
+                registry, shards=2, clock_factory=lambda: clock
+            )
+            try:
+                return run_open_loop(
+                    cluster, clock,
+                    OpenLoopSpec(rate=16.0, duration_s=4.0, seed=1),
+                    submissions=_workload(registry, 32),
+                ).as_dict()
+            finally:
+                cluster.shutdown(drain=False)
+
+        first, second = drive(), drive()
+        first.pop("wall_s"), second.pop("wall_s")
+        assert first == second
+
+    def test_overload_sheds(self, registry):
+        # Capacity is shards x batch_size per interval = 4/s; offering
+        # 40/s against a 16-deep queue must shed through backpressure.
+        clock = SimClock()
+        cluster = ShardCluster(
+            registry,
+            shards=1,
+            capacity=16,
+            interactive_reserve=2,
+            batch_size=4,
+            quota=TenantQuota(max_pending=1_000_000),
+            clock_factory=lambda: clock,
+        )
+        try:
+            report = run_open_loop(
+                cluster, clock,
+                OpenLoopSpec(rate=40.0, duration_s=4.0, seed=0),
+                submissions=_workload(registry, 256),
+            )
+        finally:
+            cluster.shutdown(drain=False)
+        assert report.shed_total > 0
+        assert report.arrivals == report.accepted + report.shed_total
+        assert report.completed == report.accepted  # drain finishes all
+
+    def test_empty_workload_is_an_error(self, registry):
+        clock = SimClock()
+        cluster = ShardCluster(registry, clock_factory=lambda: clock)
+        try:
+            with pytest.raises(ServiceError, match="workload"):
+                run_open_loop(
+                    cluster, clock, OpenLoopSpec(), submissions=[]
+                )
+        finally:
+            cluster.shutdown(drain=False)
+
+
+class TestOverloadSweep:
+    def test_one_report_per_rate_tail_grows(self, registry):
+        def make_cluster(clock):
+            return ShardCluster(
+                registry,
+                shards=1,
+                capacity=16,
+                interactive_reserve=2,
+                batch_size=4,
+                quota=TenantQuota(max_pending=1_000_000),
+                clock_factory=lambda: clock,
+            )
+
+        spec = OpenLoopSpec(
+            rate=1.0, duration_s=4.0, seed=0,
+            load=LoadSpec(fleet=8, seed=0),
+        )
+        rates = (2.0, 40.0)
+        reports = overload_sweep(make_cluster, spec, rates)
+        assert [r.offered_rate for r in reports] == list(rates)
+        calm, slammed = reports
+        assert calm.shed_total == 0
+        assert slammed.shed_total > 0
+        assert slammed.latency_p99 >= calm.latency_p99

@@ -1,0 +1,107 @@
+"""Unit tests for the rendezvous-hash shard router."""
+
+import pytest
+
+from repro.errors import SidewinderError
+from repro.serve import ShardRouter, Submission, route_key
+
+
+def _keys(n):
+    """A fleet-scale key population: n tenants over a few traces."""
+    traces = [
+        "robot/group1/seed1000",
+        "audio/office/seed3000",
+        "human/commute/seed2000",
+    ]
+    return [
+        (f"device-{i:04d}", traces[i % len(traces)]) for i in range(n)
+    ]
+
+
+class TestRouteKey:
+    def test_separator_prevents_collisions(self):
+        # ("ab", "c") and ("a", "bc") must not share a routing key.
+        assert route_key("ab", "c") != route_key("a", "bc")
+
+    def test_submission_routing_uses_tenant_and_trace(self):
+        router = ShardRouter(8)
+        submission = Submission(
+            tenant="device-0001", trace="robot/group1/seed1000", app="steps"
+        )
+        assert router.route_submission(submission) == router.route(
+            "device-0001", "robot/group1/seed1000"
+        )
+
+
+class TestShardRouter:
+    def test_rejects_non_positive_shard_count(self):
+        with pytest.raises(SidewinderError, match="shard"):
+            ShardRouter(0)
+
+    def test_deterministic_across_instances(self):
+        # No PYTHONHASHSEED dependence: two routers built separately
+        # (as two processes would) agree on every key.
+        a, b = ShardRouter(5), ShardRouter(5)
+        for tenant, trace in _keys(200):
+            assert a.route(tenant, trace) == b.route(tenant, trace)
+
+    def test_salt_changes_the_mapping(self):
+        plain, salted = ShardRouter(8), ShardRouter(8, salt="blue")
+        moved = sum(
+            plain.route(tenant, trace) != salted.route(tenant, trace)
+            for tenant, trace in _keys(500)
+        )
+        assert moved > 0
+
+    def test_single_shard_takes_everything(self):
+        router = ShardRouter(1)
+        assert all(
+            router.route(tenant, trace) == 0 for tenant, trace in _keys(50)
+        )
+
+    def test_balanced_within_20pct_at_fleet_1000(self):
+        # ISSUE acceptance: at fleet 1000 no shard deviates from the
+        # even share by more than 20%.
+        keys = _keys(1000)
+        for shards in (2, 4, 8):
+            counts = {
+                shard: len(assigned)
+                for shard, assigned in ShardRouter(shards)
+                .assignment(keys)
+                .items()
+            }
+            even = len(keys) / shards
+            assert set(counts) == set(range(shards))
+            for shard, count in counts.items():
+                assert abs(count - even) <= 0.20 * even, (
+                    shards, shard, counts,
+                )
+
+    def test_adding_a_shard_remaps_about_one_over_n_plus_1(self):
+        # Rendezvous hashing's whole point: growing N -> N+1 moves only
+        # the keys the new shard wins, an expected 1/(N+1) fraction --
+        # not the (N-1)/N a mod-N router would reshuffle.
+        keys = _keys(1000)
+        for shards in (2, 4, 8):
+            before = ShardRouter(shards)
+            after = ShardRouter(shards + 1)
+            moved = [
+                (tenant, trace)
+                for tenant, trace in keys
+                if before.route(tenant, trace) != after.route(tenant, trace)
+            ]
+            expected = len(keys) / (shards + 1)
+            assert 0.5 * expected <= len(moved) <= 1.5 * expected, (
+                shards, len(moved), expected,
+            )
+            # Every moved key lands on the new shard, nowhere else.
+            assert all(
+                after.route(tenant, trace) == shards
+                for tenant, trace in moved
+            )
+
+    def test_assignment_covers_every_key_once(self):
+        keys = _keys(100)
+        assignment = ShardRouter(4).assignment(keys)
+        flat = [key for assigned in assignment.values() for key in assigned]
+        assert sorted(flat) == sorted(keys)

@@ -150,8 +150,8 @@ class TestPoolOverSharedMemory:
             assert pool_info.mode == "pool"
             from repro.sim import engine
 
-            if engine._POOL_EXPORT is not None:
-                assert engine._POOL_EXPORT.mode == "shm"
+            if engine._DEFAULT_POOL.export is not None:
+                assert engine._DEFAULT_POOL.export.mode == "shm"
             assert pooled == serial
         finally:
             shutdown_pool()
