@@ -9,7 +9,7 @@ passes reaches ``OUT`` and wakes the main processor.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Dict, Sequence
 
 import numpy as np
 
@@ -33,6 +33,7 @@ class MinThreshold(StreamAlgorithm):
     output_kind = StreamKind.SCALAR
     chunk_invariant = True
     param_order = ("threshold",)
+    row_params = ("threshold",)
 
     def __init__(self, threshold: float):
         super().__init__(threshold=threshold)
@@ -51,6 +52,13 @@ class MinThreshold(StreamAlgorithm):
         (batch,) = batches
         return batch.take(batch.values >= self.threshold)
 
+    def lower_batched_rows(
+        self, batches: Sequence[BatchedChunk], row_values: Dict[str, np.ndarray]
+    ) -> BatchedChunk:
+        """Per-row thresholds: one column-broadcast mask over the tensor."""
+        (batch,) = batches
+        return batch.take(batch.values >= row_values["threshold"][:, None])
+
     def cycles_per_item(self, in_shapes: Sequence[StreamShape]) -> float:
         return 3.0
 
@@ -68,6 +76,7 @@ class MaxThreshold(StreamAlgorithm):
     output_kind = StreamKind.SCALAR
     chunk_invariant = True
     param_order = ("threshold",)
+    row_params = ("threshold",)
 
     def __init__(self, threshold: float):
         super().__init__(threshold=threshold)
@@ -86,6 +95,13 @@ class MaxThreshold(StreamAlgorithm):
         (batch,) = batches
         return batch.take(batch.values <= self.threshold)
 
+    def lower_batched_rows(
+        self, batches: Sequence[BatchedChunk], row_values: Dict[str, np.ndarray]
+    ) -> BatchedChunk:
+        """Per-row thresholds: one column-broadcast mask over the tensor."""
+        (batch,) = batches
+        return batch.take(batch.values <= row_values["threshold"][:, None])
+
     def cycles_per_item(self, in_shapes: Sequence[StreamShape]) -> float:
         return 3.0
 
@@ -103,6 +119,7 @@ class RangeThreshold(StreamAlgorithm):
     output_kind = StreamKind.SCALAR
     chunk_invariant = True
     param_order = ("low", "high")
+    row_params = ("low", "high")
 
     def __init__(self, low: float, high: float):
         super().__init__(low=low, high=high)
@@ -126,6 +143,16 @@ class RangeThreshold(StreamAlgorithm):
         mask = (batch.values >= self.low) & (batch.values <= self.high)
         return batch.take(mask)
 
+    def lower_batched_rows(
+        self, batches: Sequence[BatchedChunk], row_values: Dict[str, np.ndarray]
+    ) -> BatchedChunk:
+        """Per-row band edges, broadcast down each row."""
+        (batch,) = batches
+        mask = (batch.values >= row_values["low"][:, None]) & (
+            batch.values <= row_values["high"][:, None]
+        )
+        return batch.take(mask)
+
     def cycles_per_item(self, in_shapes: Sequence[StreamShape]) -> float:
         return 5.0
 
@@ -147,6 +174,7 @@ class BandIndicator(StreamAlgorithm):
     output_kind = StreamKind.SCALAR
     chunk_invariant = True
     param_order = ("low", "high")
+    row_params = ("low", "high")
 
     def __init__(self, low: float, high: float):
         super().__init__(low=low, high=high)
@@ -167,6 +195,22 @@ class BandIndicator(StreamAlgorithm):
     def lower_batched(self, batches: Sequence[BatchedChunk]) -> BatchedChunk:
         """Itemwise indicator: one comparison per element, alignment kept."""
         return self._lower_batched_itemwise(batches)
+
+    def lower_batched_rows(
+        self, batches: Sequence[BatchedChunk], row_values: Dict[str, np.ndarray]
+    ) -> BatchedChunk:
+        """Per-row band edges; emits for every item, alignment kept."""
+        (batch,) = batches
+        mask = (batch.values >= row_values["low"][:, None]) & (
+            batch.values <= row_values["high"][:, None]
+        )
+        return BatchedChunk.view(
+            StreamKind.SCALAR,
+            batch.times,
+            mask.astype(np.float64),
+            batch.lengths,
+            batch.rate_hz,
+        )
 
     def cycles_per_item(self, in_shapes: Sequence[StreamShape]) -> float:
         return 5.0
@@ -194,6 +238,7 @@ class SustainedThreshold(StreamAlgorithm):
     output_kind = StreamKind.SCALAR
     chunk_invariant = True
     param_order = ("threshold", "count")
+    row_params = ("threshold", "count")
 
     def __init__(self, threshold: float, count: int):
         super().__init__(threshold=threshold, count=count)
@@ -230,6 +275,15 @@ class SustainedThreshold(StreamAlgorithm):
         (batch,) = batches
         qualifying = batch.values >= self.threshold
         return batch.take(batched_run_lengths(qualifying) >= self.count)
+
+    def lower_batched_rows(
+        self, batches: Sequence[BatchedChunk], row_values: Dict[str, np.ndarray]
+    ) -> BatchedChunk:
+        """Per-row thresholds and counts over one 2-D run-length pass."""
+        (batch,) = batches
+        qualifying = batch.values >= row_values["threshold"][:, None]
+        runs = batched_run_lengths(qualifying)
+        return batch.take(runs >= row_values["count"][:, None])
 
     def reset(self) -> None:
         self._run = 0

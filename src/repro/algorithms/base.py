@@ -79,6 +79,13 @@ class StreamAlgorithm:
     input_kind: StreamKind = StreamKind.SCALAR
     output_kind: StreamKind = StreamKind.SCALAR
     chunk_invariant: bool = False
+    #: Parameters the shape-batched path may vary *per row*.  An opcode
+    #: that overrides :meth:`lower_batched_rows` lists here exactly the
+    #: parameter names its row kernel lifts into ``(B,)`` tensors; every
+    #: other parameter stays structural (rows must agree on it to share
+    #: a shape batch).  Empty means "no row lowering": heterogeneous
+    #: rows fall back to a per-row ``lower`` loop for this node.
+    row_params: Tuple[str, ...] = ()
 
     def __init__(self, **params: Any):
         self.params = params
@@ -146,6 +153,38 @@ class StreamAlgorithm:
                 self.lower([batch.row(b) for batch in batches])
                 for b in range(batches[0].batch_size)
             ]
+        )
+
+    def lower_batched_rows(
+        self,
+        batches: Sequence[BatchedChunk],
+        row_values: Dict[str, "np.ndarray"],
+    ) -> BatchedChunk:
+        """Shape-batched lowering: per-row parameter tensors.
+
+        Like :meth:`lower_batched`, but the parameters named in
+        :attr:`row_params` arrive as ``(B,)`` arrays in ``row_values``
+        (row ``b`` holds row ``b``'s own parameter value) instead of as
+        scalars on ``self``.  The contract is the same row-wise
+        bit-identity: row ``b`` of the result must equal
+        ``lower_batched`` on an instance constructed with row ``b``'s
+        parameters — broadcasting a per-row scalar down a row is the
+        same elementwise float operation as broadcasting a Python
+        scalar over the row, so overrides get this for free.
+
+        The method is invoked on an *arbitrary* row's instance (the
+        shape-batched plan holds one plan per row); an override MUST
+        read the lifted parameters only from ``row_values``, never from
+        ``self``.  Structural parameters (everything not in
+        ``row_params``) are guaranteed equal across the batch and may
+        be read from ``self`` as usual.
+
+        The base implementation signals "no row lowering" — the
+        shape-batched executor detects that via :func:`has_row_lowering`
+        and falls back to a per-row ``lower`` loop for the node.
+        """
+        raise NotImplementedError(
+            f"{self.opcode or type(self).__name__} has no row lowering rule"
         )
 
     def _lower_batched_itemwise(
@@ -289,6 +328,20 @@ def has_lowering(algorithm: StreamAlgorithm) -> bool:
     default, without having to call ``lower`` speculatively.
     """
     return type(algorithm).lower is not StreamAlgorithm.lower
+
+
+def has_row_lowering(algorithm: StreamAlgorithm) -> bool:
+    """True when ``algorithm``'s class overrides :meth:`lower_batched_rows`.
+
+    The shape-batched executor uses this (together with a non-empty
+    :attr:`StreamAlgorithm.row_params`) to decide whether a node whose
+    parameters differ across rows can still run as one tensor dispatch
+    with per-row parameter arrays, or must fall back to a per-row loop.
+    """
+    return (
+        type(algorithm).lower_batched_rows
+        is not StreamAlgorithm.lower_batched_rows
+    )
 
 
 def positional_param_order(opcode: str) -> Tuple[str, ...]:

@@ -212,9 +212,19 @@ def _print_execution(matrix, verbose: bool) -> None:
         f"trace {stats['trace_hits']}/{stats['trace_misses']} | "
         f"detect {stats['detect_hits']}/{stats['detect_misses']} | "
         f"batch {stats['batch_rounds']} rounds/"
-        f"{stats['batched_cells']} cells",
+        f"{stats['batched_cells']} cells | "
+        f"shape {stats['shape_rounds']} rounds/"
+        f"{stats['shape_cells']} cells",
         file=sys.stderr,
     )
+    valid = stats["batch_valid_cells"]
+    if valid:
+        print(
+            "# engine batch padding: "
+            f"{stats['batch_padded_cells']}/{valid} cells "
+            f"(ratio {stats['batch_padded_cells'] / valid:.2f})",
+            file=sys.stderr,
+        )
 
 
 def cmd_table2(args: argparse.Namespace) -> int:
@@ -229,6 +239,7 @@ def cmd_table2(args: argparse.Namespace) -> int:
         fuse=not args.no_fuse,
         compiled=not args.no_compile,
         batch=not args.no_batch,
+        shape_batch=not args.no_shape_batch,
     )
     print(render_table2(table, paper=PAPER_TABLE2))
     _print_skipped(matrix)
@@ -248,6 +259,7 @@ def cmd_figure5(args: argparse.Namespace) -> int:
         fuse=not args.no_fuse,
         compiled=not args.no_compile,
         batch=not args.no_batch,
+        shape_batch=not args.no_shape_batch,
     )
     print(render_figure5(series))
     _print_skipped(matrix)
@@ -267,7 +279,7 @@ def cmd_figure6(args: argparse.Namespace) -> int:
     series, matrix = figure6_series(
         traces=group1, jobs=args.jobs, cache=not args.no_cache,
         fuse=not args.no_fuse, compiled=not args.no_compile,
-        batch=not args.no_batch,
+        batch=not args.no_batch, shape_batch=not args.no_shape_batch,
     )
     print(render_figure6(series))
     _print_execution(matrix, args.verbose)
@@ -286,6 +298,7 @@ def cmd_figure7(args: argparse.Namespace) -> int:
         fuse=not args.no_fuse,
         compiled=not args.no_compile,
         batch=not args.no_batch,
+        shape_batch=not args.no_shape_batch,
     )
     print(render_figure7(series))
     _print_skipped(matrix)
@@ -341,10 +354,17 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         capacity=args.capacity,
         jobs=args.jobs,
     )
-    if args.no_batch:
+    cost_model = _load_cost_table(args)
+    context = None
+    if args.no_batch or args.no_shape_batch or cost_model is not None:
         from repro.sim.engine import RunContext
 
-        service_kwargs["context"] = RunContext(batch=False)
+        context = RunContext(
+            batch=not args.no_batch,
+            shape_batch=not args.no_shape_batch,
+            cost_model=cost_model,
+        )
+        service_kwargs["context"] = context
     faults = (
         ServiceFaultPlan(kill_after_accepts=args.kill_after)
         if args.kill_after
@@ -390,7 +410,27 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
     )
     if args.digest:
         print(f"digest {response_digest(report.responses)}")
+    if args.cost_table and context is not None:
+        context.cost_model.save(Path(args.cost_table))
+        print(f"wrote cost table to {args.cost_table}")
     return 0
+
+
+def _load_cost_table(args: argparse.Namespace):
+    """The calibrated cost model from ``--cost-table``, if the file exists.
+
+    A missing file is not an error: the flag then means "save the model
+    learned during this run here", so the *next* run starts calibrated
+    (tier choices and shape-batching decisions settle without probing).
+    """
+    if not getattr(args, "cost_table", None):
+        return None
+    from repro.hub.costmodel import CostModel
+
+    path = Path(args.cost_table)
+    if path.exists():
+        return CostModel.load(path)
+    return CostModel()
 
 
 def _serve_bench_cluster(args: argparse.Namespace) -> int:
@@ -440,10 +480,17 @@ def _serve_bench_cluster(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         shards=shards,
     )
-    if args.no_batch:
+    cost_model = _load_cost_table(args)
+    if args.no_batch or args.no_shape_batch or cost_model is not None:
         from repro.sim.engine import RunContext
 
-        cluster_kwargs["context_factory"] = lambda: RunContext(batch=False)
+        # Shards share one cost model (they pump sequentially in one
+        # process), so batch-size samples pool across the cluster.
+        cluster_kwargs["context_factory"] = lambda: RunContext(
+            batch=not args.no_batch,
+            shape_batch=not args.no_shape_batch,
+            cost_model=cost_model,
+        )
     faults = None
     if args.kill_shard is not None:
         faults = {
@@ -480,6 +527,9 @@ def _serve_bench_cluster(args: argparse.Namespace) -> int:
     )
     if args.digest:
         print(f"digest {completion_digest(report.pairs)}")
+    if args.cost_table and cost_model is not None:
+        cost_model.save(Path(args.cost_table))
+        print(f"wrote cost table to {args.cost_table}")
     return 0
 
 
@@ -643,6 +693,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="disable tensor-major batching of "
                             "same-condition cells (results are "
                             "identical; this is an escape hatch)")
+        p.add_argument("--no-shape-batch", action="store_true",
+                       help="disable shape-keyed batching across "
+                            "conditions that share a graph shape "
+                            "(results are identical; this is an "
+                            "escape hatch)")
         p.add_argument("--verbose", action="store_true",
                        help="also report the engine's serial/pool "
                             "decision and RunContext cache counters")
@@ -671,6 +726,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="disable tensor-major batching across "
                         "tenants/traces (results are identical; this "
                         "is an escape hatch)")
+    p.add_argument("--no-shape-batch", action="store_true",
+                   help="disable shape-keyed batching across "
+                        "differently parameterized conditions that "
+                        "share a graph shape (results are identical; "
+                        "this is an escape hatch)")
+    p.add_argument("--cost-table", metavar="PATH",
+                   help="load a persisted cost model from PATH if it "
+                        "exists and save the (updated) model there "
+                        "after the run, so tier and shape-batching "
+                        "choices start calibrated next time")
     p.add_argument("--journal", metavar="PATH",
                    help="write-ahead journal path (enables durability); "
                         "with --shards, a directory of per-shard "

@@ -194,6 +194,7 @@ def run_matrix(
     fuse: bool = True,
     compiled: bool = True,
     batch: bool = True,
+    shape_batch: bool = True,
 ) -> Matrix:
     """Simulate every (config, app, trace) combination.
 
@@ -220,6 +221,10 @@ def run_matrix(
         batch: Enable tensor-major batching of same-condition cells
             (results are bit-identical either way; ``False`` is the
             ``--no-batch`` escape hatch).
+        shape_batch: Enable shape-keyed batching of different
+            conditions sharing one graph shape (results are
+            bit-identical either way; ``False`` is the
+            ``--no-shape-batch`` escape hatch).
 
     (app, trace) pairs whose sensors are absent from the trace are not
     silently dropped: they are recorded on :attr:`Matrix.skipped`.
@@ -234,6 +239,7 @@ def run_matrix(
         fuse=fuse,
         compiled=compiled,
         batch=batch,
+        shape_batch=shape_batch,
     )
     matrix = Matrix(skipped=list(plan.skipped), execution=info)
     for result in results:

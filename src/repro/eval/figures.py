@@ -34,6 +34,7 @@ def figure5_series(
     fuse: bool = True,
     compiled: bool = True,
     batch: bool = True,
+    shape_batch: bool = True,
 ) -> Tuple[Dict[int, Dict[str, Dict[str, float]]], Matrix]:
     """Figure 5: power relative to Oracle, per robot group and app.
 
@@ -53,6 +54,7 @@ def figure5_series(
         fuse=fuse,
         compiled=compiled,
         batch=batch,
+        shape_batch=shape_batch,
     )
     groups = group_trace_names(traces)
     series: Dict[int, Dict[str, Dict[str, float]]] = {}
@@ -77,6 +79,7 @@ def figure6_series(
     fuse: bool = True,
     compiled: bool = True,
     batch: bool = True,
+    shape_batch: bool = True,
 ) -> Tuple[Dict[str, Dict[float, float]], Matrix]:
     """Figure 6: duty-cycling recall vs sleep interval at 90 % idle.
 
@@ -91,7 +94,7 @@ def figure6_series(
     configs = [DutyCycling(interval) for interval in intervals]
     matrix = run_matrix(
         configs, apps, traces, jobs=jobs, cache=cache, fuse=fuse,
-        compiled=compiled, batch=batch,
+        compiled=compiled, batch=batch, shape_batch=shape_batch,
     )
     series: Dict[str, Dict[float, float]] = {app.name: {} for app in apps}
     for config, interval in zip(configs, intervals):
@@ -108,6 +111,7 @@ def figure7_series(
     fuse: bool = True,
     compiled: bool = True,
     batch: bool = True,
+    shape_batch: bool = True,
 ) -> Tuple[Dict[str, Dict[str, float]], Matrix]:
     """Figure 7: step-detector power relative to Oracle on human traces.
 
@@ -128,6 +132,7 @@ def figure7_series(
         fuse=fuse,
         compiled=compiled,
         batch=batch,
+        shape_batch=shape_batch,
     )
     shown = ["always_awake", "duty_cycling_10s", "batching_10s",
              "predefined_activity", "sidewinder"]

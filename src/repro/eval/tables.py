@@ -41,6 +41,7 @@ def build_table2(
     fuse: bool = True,
     compiled: bool = True,
     batch: bool = True,
+    shape_batch: bool = True,
 ) -> Tuple[Dict[str, Dict[str, float]], Matrix]:
     """Table 2: average power (mW) per audio app and wake-up mechanism.
 
@@ -53,6 +54,8 @@ def build_table2(
         fuse: Enable the fused hub fast path.
         compiled: Enable the compiled whole-trace hub path.
         batch: Enable tensor-major batching of same-condition cells.
+        shape_batch: Enable shape-keyed batching across conditions that
+            share one graph shape.
 
     Returns:
         ``(table, matrix)`` where ``table[config][app]`` is the mean
@@ -68,7 +71,7 @@ def build_table2(
     apps = [SirenDetectorApp(), MusicJournalApp(), PhraseDetectionApp()]
     matrix = run_matrix(
         configs, apps, traces, jobs=jobs, cache=cache, fuse=fuse,
-        compiled=compiled, batch=batch,
+        compiled=compiled, batch=batch, shape_batch=shape_batch,
     )
     table: Dict[str, Dict[str, float]] = {}
     for config in configs:

@@ -25,17 +25,121 @@ a condition fell back to a slower tier instead of silently degrading.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.algorithms.base import StreamAlgorithm, has_lowering
+from repro.algorithms.base import StreamAlgorithm, has_lowering, has_row_lowering
 from repro.errors import HubExecutionError
 from repro.hub.runtime import WakeEvent, fusion_eligibility
 from repro.il.ast import ChannelRef, SourceRef
 from repro.il.graph import DataflowGraph
 from repro.sensors.samples import BatchedChunk, Chunk, StreamKind
+
+#: Padding-waste guard: a stacked dispatch whose widest row exceeds the
+#: mean row length by more than this factor splits into length-sorted
+#: sub-batches instead of padding everything to the longest row.
+PADDING_WASTE_THRESHOLD = 1.5
+
+
+def shape_signature(graph: DataflowGraph) -> str:
+    """Canonical opcode + topology hash with node parameters struck out.
+
+    Two graphs share a shape signature exactly when they run the same
+    opcodes over the same wiring — node ids normalized to topological
+    positions, parameter *names* kept (they select kernel variants) but
+    parameter *values* dropped.  This is the batching key one level
+    above :func:`repro.sim.engine.program_fingerprint`: a fleet running
+    the same detector with per-tenant thresholds has as many
+    fingerprints as tenants but one shape, and shape-equal graphs can
+    execute as a single parameterized tensor dispatch
+    (:meth:`BatchedPlan.execute_shape_batch`).
+
+    ``graph.nodes`` is deterministically topologically ordered (see
+    :func:`repro.il.graph.build_graph`), so shape-equal graphs list
+    their nodes in positional lockstep — the property the shape-batched
+    executor relies on to zip per-row plans step by step.
+
+    Returns a ``"shape:"``-prefixed SHA-256 hex digest, disjoint by
+    construction from program fingerprints so both can share cost-model
+    key space.
+    """
+    positions = {node.node_id: idx for idx, node in enumerate(graph.nodes)}
+    lines = []
+    for idx, node in enumerate(graph.nodes):
+        refs = ",".join(
+            f"ch:{ref.channel}"
+            if isinstance(ref, ChannelRef)
+            else f"n:{positions[ref.node_id]}"
+            for ref in node.inputs
+        )
+        names = ",".join(sorted(node.algorithm.params))
+        lines.append(f"{idx}:{node.opcode}({names})<-[{refs}]")
+    lines.append(f"out:{positions[graph.output_id]}")
+    digest = hashlib.sha256("\n".join(lines).encode("utf-8")).hexdigest()
+    return f"shape:{digest}"
+
+
+def structural_key(graph: DataflowGraph) -> Tuple:
+    """Parameter values the shape-batched path cannot vary per row.
+
+    Per node in topological order, the ``(name, value)`` pairs of every
+    parameter that is *not* liftable into a per-row tensor — i.e. all
+    parameters of nodes without a row-lowering rule, and the
+    non-``row_params`` remainder of nodes with one.  Shape-equal graphs
+    with equal structural keys differ only in liftable values and can
+    share one :meth:`BatchedPlan.execute_shape_batch` dispatch; the
+    engine sub-groups heterogeneous work on this key.
+    """
+    key = []
+    for node in graph.nodes:
+        algorithm = node.algorithm
+        liftable = (
+            set(algorithm.row_params) if has_row_lowering(algorithm) else set()
+        )
+        key.append(
+            tuple(
+                (name, algorithm.params[name])
+                for name in sorted(algorithm.params)
+                if name not in liftable
+            )
+        )
+    return tuple(key)
+
+
+def split_for_padding(
+    lengths: Sequence[int], threshold: float = PADDING_WASTE_THRESHOLD
+) -> List[List[int]]:
+    """Group row indices into sub-batches bounded in padding waste.
+
+    Rows sort ascending by length and close greedily: a sub-batch stops
+    growing when admitting the next (longest-so-far) row would push its
+    ``n_max / mean(row_len)`` above ``threshold``.  Sorting first means
+    each group's rows are as alike in length as possible, so the bound
+    splits a genuinely bimodal batch in two instead of shedding one row
+    at a time.
+
+    Returns groups of *original* row indices; concatenated, they cover
+    every row exactly once.
+    """
+    order = sorted(range(len(lengths)), key=lambda i: (lengths[i], i))
+    groups: List[List[int]] = []
+    current: List[int] = []
+    total = 0
+    for idx in order:
+        row_len = lengths[idx]
+        if current:
+            mean = (total + row_len) / (len(current) + 1)
+            if mean > 0 and row_len / mean > threshold:
+                groups.append(current)
+                current, total = [], 0
+        current.append(idx)
+        total += row_len
+    if current:
+        groups.append(current)
+    return groups
 
 
 def compile_eligibility(graph: DataflowGraph) -> Optional[str]:
@@ -201,6 +305,32 @@ def batch_eligibility(graph: DataflowGraph) -> Optional[str]:
 
 
 @dataclass(frozen=True)
+class BatchDispatchInfo:
+    """Accounting for one batched/shape-batched execution.
+
+    Attributes:
+        sub_batches: Stacked dispatches actually issued (more than one
+            when the padding-waste guard split the batch; zero when a
+            single row short-circuited to the scalar plan).
+        valid_cells: Total valid (non-padding) channel-tensor cells
+            across all dispatches.
+        padded_cells: Total allocated channel-tensor cells, padding
+            included.
+    """
+
+    sub_batches: int
+    valid_cells: int
+    padded_cells: int
+
+    @property
+    def padding_ratio(self) -> float:
+        """Allocated cells over valid cells (1.0 means zero waste)."""
+        if self.valid_cells <= 0:
+            return 1.0
+        return self.padded_cells / self.valid_cells
+
+
+@dataclass(frozen=True)
 class BatchedPlan:
     """A compiled plan lifted over a leading batch (trace) axis.
 
@@ -212,9 +342,19 @@ class BatchedPlan:
     per-trace wake events that are bit-identical to the per-trace plan
     — and therefore to the interpreter oracle at any chunking.
 
+    :meth:`execute_shape_batch` extends that to *heterogeneous* rows:
+    work that shares this plan's graph shape (see
+    :func:`shape_signature`) but not its parameter values executes in
+    the same stacked pass, per-node parameters lifted into ``(B,)``
+    tensors wherever the opcode provides a row-lowering rule.
+
+    Batches whose row lengths are too ragged split into length-sorted
+    sub-batches first (:func:`split_for_padding`), so one outlier row
+    cannot make every other row pay its padding.
+
     Like :class:`CompiledPlan`, a batched plan holds no mutable state;
-    the engine caches one per IL fingerprint and reuses it across pump
-    rounds and batch compositions.
+    the engine caches one per IL fingerprint (and one per shape) and
+    reuses it across pump rounds and batch compositions.
     """
 
     plan: CompiledPlan
@@ -245,8 +385,120 @@ class BatchedPlan:
             HubExecutionError: when a row lacks a channel the program
                 reads, or rows disagree on a channel's sampling rate.
         """
+        return self.execute_batch_with_info(rows)[0]
+
+    def execute_batch_with_info(
+        self,
+        rows: List[Dict[str, Tuple[np.ndarray, np.ndarray, float]]],
+    ) -> Tuple[List[List[WakeEvent]], BatchDispatchInfo]:
+        """:meth:`execute_batch` plus padding/sub-batch accounting."""
         if len(rows) == 1:
-            return [self.plan.execute(rows[0])]
+            return (
+                [self.plan.execute(rows[0])],
+                BatchDispatchInfo(sub_batches=0, valid_cells=0, padded_cells=0),
+            )
+        results: List[Optional[List[WakeEvent]]] = [None] * len(rows)
+        sub_batches = valid_cells = padded_cells = 0
+        for group in split_for_padding(self._row_lengths(rows)):
+            if len(group) == 1:
+                results[group[0]] = self.plan.execute(rows[group[0]])
+                continue
+            env = self._stack([rows[idx] for idx in group])
+            valid, padded = _cell_counts(env)
+            out = self._run_steps(env)
+            for idx, events in zip(group, self._unstack(out)):
+                results[idx] = events
+            sub_batches += 1
+            valid_cells += valid
+            padded_cells += padded
+        return (
+            results,
+            BatchDispatchInfo(
+                sub_batches=sub_batches,
+                valid_cells=valid_cells,
+                padded_cells=padded_cells,
+            ),
+        )
+
+    def execute_shape_batch(
+        self,
+        rows: List[
+            Tuple[CompiledPlan, Dict[str, Tuple[np.ndarray, np.ndarray, float]]]
+        ],
+    ) -> List[List[WakeEvent]]:
+        """Run a heterogeneous same-shape batch in one stacked pass.
+
+        Args:
+            rows: ``(plan, channel_data)`` pairs.  Every plan must come
+                from a graph with this plan's :func:`shape_signature`
+                (same opcodes, same wiring, possibly different
+                parameter values), so plans align step by step.
+
+        Returns:
+            One wake-event list per row, in input order — each
+            bit-identical to ``plan.execute(channel_data)`` for that
+            row alone.
+        """
+        return self.execute_shape_batch_with_info(rows)[0]
+
+    def execute_shape_batch_with_info(
+        self,
+        rows: List[
+            Tuple[CompiledPlan, Dict[str, Tuple[np.ndarray, np.ndarray, float]]]
+        ],
+    ) -> Tuple[List[List[WakeEvent]], BatchDispatchInfo]:
+        """:meth:`execute_shape_batch` plus padding/sub-batch accounting."""
+        if len(rows) == 1:
+            plan, channel_data = rows[0]
+            return (
+                [plan.execute(channel_data)],
+                BatchDispatchInfo(sub_batches=0, valid_cells=0, padded_cells=0),
+            )
+        results: List[Optional[List[WakeEvent]]] = [None] * len(rows)
+        sub_batches = valid_cells = padded_cells = 0
+        lengths = self._row_lengths([channel_data for _, channel_data in rows])
+        for group in split_for_padding(lengths):
+            if len(group) == 1:
+                plan, channel_data = rows[group[0]]
+                results[group[0]] = plan.execute(channel_data)
+                continue
+            env = self._stack([rows[idx][1] for idx in group])
+            valid, padded = _cell_counts(env)
+            out = self._run_steps(env, row_plans=[rows[idx][0] for idx in group])
+            for idx, events in zip(group, self._unstack(out)):
+                results[idx] = events
+            sub_batches += 1
+            valid_cells += valid
+            padded_cells += padded
+        return (
+            results,
+            BatchDispatchInfo(
+                sub_batches=sub_batches,
+                valid_cells=valid_cells,
+                padded_cells=padded_cells,
+            ),
+        )
+
+    # -- internals ----------------------------------------------------
+
+    def _row_lengths(
+        self, rows: List[Dict[str, Tuple[np.ndarray, np.ndarray, float]]]
+    ) -> List[int]:
+        """Per-row total channel samples — the padding guard's metric.
+
+        Summing across channels is rate-proportional per row (a longer
+        recording lengthens every channel alike), so the waste ratio on
+        summed lengths tracks each channel tensor's own ratio.
+        """
+        return [
+            sum(len(row[name][0]) for name in self.plan.channels if name in row)
+            for row in rows
+        ]
+
+    def _stack(
+        self, rows: List[Dict[str, Tuple[np.ndarray, np.ndarray, float]]]
+    ) -> Dict[Union[str, int], BatchedChunk]:
+        """Stack rows' channel arrays into the batched environment."""
         env: Dict[Union[str, int], BatchedChunk] = {}
         for name in self.plan.channels:
             times_rows = []
@@ -269,15 +521,40 @@ class BatchedPlan:
             env[name] = BatchedChunk.from_scalar_rows(
                 times_rows, values_rows, rates.pop()
             )
-        for step in self.plan.steps:
+        return env
+
+    def _run_steps(
+        self,
+        env: Dict[Union[str, int], BatchedChunk],
+        row_plans: Optional[List[CompiledPlan]] = None,
+    ) -> BatchedChunk:
+        """Run every node once over the stacked environment.
+
+        With ``row_plans`` (the shape-batched case), each step resolves
+        per row: parameters equal across the batch run the plain
+        ``lower_batched`` rule; parameters that differ but are liftable
+        run ``lower_batched_rows`` with ``(B,)`` tensors; anything else
+        falls back to a per-row ``lower`` loop (always correct —
+        lowering rules are pure).
+        """
+        for position, step in enumerate(self.plan.steps):
             inputs = [
                 env[ref.channel] if isinstance(ref, ChannelRef) else env[ref.node_id]
                 for ref in step.inputs
             ]
             if step.align:
                 inputs = _aligned_prefix_batched(inputs)
-            env[step.node_id] = step.algorithm.lower_batched(inputs)
-        out = env[self.plan.output_id]
+            if row_plans is None:
+                env[step.node_id] = step.algorithm.lower_batched(inputs)
+            else:
+                algorithms = [
+                    plan.steps[position].algorithm for plan in row_plans
+                ]
+                env[step.node_id] = _lower_step_rows(algorithms, inputs)
+        return env[self.plan.output_id]
+
+    def _unstack(self, out: BatchedChunk) -> List[List[WakeEvent]]:
+        """Per-row wake events from the batched output chunk."""
         # The output is scalar (batch eligibility guarantees it), so the
         # whole (B, k) tensors convert to nested Python lists in one
         # C-level pass each instead of B small per-row conversions; the
@@ -290,6 +567,50 @@ class BatchedPlan:
                 all_times, all_values, out.lengths.tolist()
             )
         ]
+
+
+def _cell_counts(env: Dict[Union[str, int], BatchedChunk]) -> Tuple[int, int]:
+    """(valid, allocated) channel-tensor cells of a stacked environment."""
+    valid = padded = 0
+    for batch in env.values():
+        valid += int(batch.lengths.sum())
+        padded += int(batch.times.shape[0] * batch.times.shape[1])
+    return valid, padded
+
+
+def _lower_step_rows(
+    algorithms: List[StreamAlgorithm], inputs: List[BatchedChunk]
+) -> BatchedChunk:
+    """One shape-batched step: pick the cheapest correct lowering.
+
+    Shape equality guarantees every row runs the same opcode here with
+    the same parameter *names*; only values may differ.
+    """
+    first = algorithms[0]
+    if all(alg.params == first.params for alg in algorithms[1:]):
+        # Parameter values agree across the batch: the homogeneous
+        # batched rule applies unchanged (rules are pure, so any row's
+        # instance serves).
+        return first.lower_batched(inputs)
+    if has_row_lowering(first):
+        liftable = set(first.row_params)
+        structural = [name for name in first.params if name not in liftable]
+        if all(
+            all(alg.params[name] == first.params[name] for name in structural)
+            for alg in algorithms[1:]
+        ):
+            row_values = {
+                name: np.asarray([getattr(alg, name) for alg in algorithms])
+                for name in first.row_params
+            }
+            return first.lower_batched_rows(inputs, row_values)
+    # Per-row fallback: always correct, never fast.
+    return BatchedChunk.from_rows(
+        [
+            algorithms[b].lower([batch.row(b) for batch in inputs])
+            for b in range(inputs[0].batch_size)
+        ]
+    )
 
 
 def _aligned_prefix_batched(inputs: List[BatchedChunk]) -> List[BatchedChunk]:

@@ -31,8 +31,11 @@ benchmarks use it to pin selections, and deployments can ship one.
 
 from __future__ import annotations
 
+import bisect
+import json
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
 
 #: Execution tiers in static preference order — the order probing walks,
 #: and the tie-break ranking when measurements are equal.
@@ -46,17 +49,46 @@ PROBE_THRESHOLD_S = 0.01
 
 
 @dataclass
-class _TierStats:
-    """Accumulated observations of one (fingerprint, tier) pair."""
+class _BatchPoint:
+    """Accumulated observations at one dispatch batch size."""
 
     seconds: float = 0.0
     items: float = 0.0
     runs: int = 0
 
-    def add(self, seconds: float, items: float) -> None:
-        self.seconds += max(float(seconds), 0.0)
-        self.items += max(float(items), 0.0)
+    @property
+    def mean_seconds(self) -> float:
+        return self.seconds / self.runs if self.runs else 0.0
+
+
+@dataclass
+class _TierStats:
+    """Accumulated observations of one (fingerprint, tier) pair.
+
+    The aggregate counters drive tier *selection* (seconds-per-item is
+    batch-size-agnostic); the per-batch-size ``profile`` drives batch
+    *composition* — interpolating it prices "one big shape batch"
+    against "split into per-fingerprint batches", so raggedness and
+    padding waste are measured rather than guessed.
+    """
+
+    seconds: float = 0.0
+    items: float = 0.0
+    runs: int = 0
+    profile: Dict[int, _BatchPoint] = field(default_factory=dict)
+
+    def add(self, seconds: float, items: float, batch_size: int = 1) -> None:
+        seconds = max(float(seconds), 0.0)
+        items = max(float(items), 0.0)
+        self.seconds += seconds
+        self.items += items
         self.runs += 1
+        point = self.profile.get(batch_size)
+        if point is None:
+            point = self.profile[batch_size] = _BatchPoint()
+        point.seconds += seconds
+        point.items += items
+        point.runs += 1
 
     @property
     def mean_run_seconds(self) -> float:
@@ -65,6 +97,31 @@ class _TierStats:
     @property
     def seconds_per_item(self) -> float:
         return self.seconds / max(self.items, 1.0)
+
+    def predict_seconds(self, batch_size: int) -> Optional[float]:
+        """Expected seconds for one dispatch of ``batch_size`` rows.
+
+        Piecewise-linear interpolation over observed batch sizes.
+        Outside the observed range: below the smallest size, scale that
+        point proportionally (throughput through the origin); above the
+        largest, extend the last segment's slope when two points exist,
+        else scale the single point proportionally.
+        """
+        if not self.profile:
+            return None
+        sizes = sorted(self.profile)
+        means = [self.profile[size].mean_seconds for size in sizes]
+        if batch_size <= sizes[0]:
+            return means[0] * batch_size / sizes[0]
+        if batch_size >= sizes[-1]:
+            if len(sizes) >= 2:
+                slope = (means[-1] - means[-2]) / (sizes[-1] - sizes[-2])
+                return max(means[-1] + slope * (batch_size - sizes[-1]), 0.0)
+            return means[-1] * batch_size / sizes[-1]
+        right = bisect.bisect_left(sizes, batch_size)
+        left = right - 1
+        frac = (batch_size - sizes[left]) / (sizes[right] - sizes[left])
+        return means[left] + frac * (means[right] - means[left])
 
 
 @dataclass
@@ -84,15 +141,26 @@ class CostModel:
     _stats: Dict[Tuple[str, str], _TierStats] = field(default_factory=dict)
 
     def observe(
-        self, fingerprint: str, tier: str, seconds: float, items: float
+        self,
+        fingerprint: str,
+        tier: str,
+        seconds: float,
+        items: float,
+        batch_size: int = 1,
     ) -> None:
         """Record one real run's timing: ``tier`` processed ``items``
-        input items in ``seconds``."""
+        input items in ``seconds``, dispatched as one batch of
+        ``batch_size`` rows (1 for per-trace execution).  The
+        observation feeds both the aggregate seconds-per-item used for
+        tier selection and the per-batch-size throughput profile used
+        for batch composition.  ``fingerprint`` may equally be a shape
+        signature (see :func:`repro.hub.compile.shape_signature`) —
+        the key spaces are disjoint by construction."""
         key = (fingerprint, tier)
         stats = self._stats.get(key)
         if stats is None:
             stats = self._stats[key] = _TierStats()
-        stats.add(seconds, items)
+        stats.add(seconds, items, batch_size=max(int(batch_size), 1))
 
     def choose(self, fingerprint: str, allowed: Sequence[str]) -> str:
         """The tier the next run of ``fingerprint`` should use.
@@ -155,14 +223,133 @@ class CostModel:
         stats = self._stats.get((fingerprint, tier))
         return stats.seconds_per_item if stats else None
 
-    def as_dict(self) -> Dict[str, Dict[str, Dict[str, float]]]:
-        """Diagnostic dump: per fingerprint, per tier, the accumulated
-        seconds/items/runs (benchmarks record this beside timings)."""
-        out: Dict[str, Dict[str, Dict[str, float]]] = {}
+    def predict_batch_seconds(
+        self, fingerprint: str, tier: str, batch_size: int
+    ) -> Optional[float]:
+        """Expected seconds for one ``tier`` dispatch of ``batch_size``
+        rows of ``fingerprint`` (or shape-signature) work, interpolated
+        from the observed per-batch-size profile.  ``None`` when the
+        pair has never been observed."""
+        stats = self._stats.get((fingerprint, tier))
+        if stats is None:
+            return None
+        return stats.predict_seconds(max(int(batch_size), 1))
+
+    def choose_shape_batching(
+        self,
+        shape_key: str,
+        parts: Sequence[Tuple[str, int]],
+        tier: str = "compiled",
+    ) -> bool:
+        """Should same-shape work run as one heterogeneous batch?
+
+        Args:
+            shape_key: The group's shape signature.
+            parts: ``(fingerprint, row_count)`` per same-fingerprint
+                sub-group the work would otherwise split into.
+            tier: The settled execution tier.
+
+        Prices "one big shape batch" (the shape profile at the summed
+        row count) against "split into per-fingerprint batches" (each
+        fingerprint's own profile at its row count).  Missing data on
+        either side defaults to **True** — shape batching is the path
+        being probed, and its observations are what make this
+        comparison meaningful later.
+        """
+        total = sum(size for _, size in parts)
+        whole = self.predict_batch_seconds(shape_key, tier, total)
+        if whole is None:
+            return True
+        split = 0.0
+        for fingerprint, size in parts:
+            part = self.predict_batch_seconds(fingerprint, tier, size)
+            if part is None:
+                return True
+            split += part
+        return whole <= split
+
+    def as_dict(self) -> Dict[str, Dict[str, Dict[str, object]]]:
+        """Diagnostic/persistence dump: per fingerprint, per tier, the
+        accumulated seconds/items/runs plus the per-batch-size profile
+        (benchmarks record this beside timings; :meth:`from_dict`
+        round-trips it)."""
+        out: Dict[str, Dict[str, Dict[str, object]]] = {}
         for (fingerprint, tier), stats in sorted(self._stats.items()):
-            out.setdefault(fingerprint, {})[tier] = {
+            entry: Dict[str, object] = {
                 "seconds": stats.seconds,
                 "items": stats.items,
                 "runs": stats.runs,
             }
+            if stats.profile:
+                entry["profile"] = {
+                    str(size): {
+                        "seconds": point.seconds,
+                        "items": point.items,
+                        "runs": point.runs,
+                    }
+                    for size, point in sorted(stats.profile.items())
+                }
+            out.setdefault(fingerprint, {})[tier] = entry
         return out
+
+    @classmethod
+    def from_dict(
+        cls,
+        data: Mapping[str, Mapping[str, Mapping[str, object]]],
+        table: Optional[Mapping[str, str]] = None,
+        probe_threshold_s: float = PROBE_THRESHOLD_S,
+    ) -> "CostModel":
+        """Rebuild a model from :meth:`as_dict` output.
+
+        Dumps without a ``profile`` section (written before batch-size
+        profiling existed) load as one aggregate point at batch size 1,
+        so old calibration files keep selecting tiers correctly.
+        """
+        model = cls(
+            table=dict(table or {}), probe_threshold_s=probe_threshold_s
+        )
+        for fingerprint, tiers in data.items():
+            for tier, entry in tiers.items():
+                stats = _TierStats(
+                    seconds=float(entry.get("seconds", 0.0)),
+                    items=float(entry.get("items", 0.0)),
+                    runs=int(entry.get("runs", 0)),
+                )
+                profile = entry.get("profile")
+                if profile:
+                    for size, point in profile.items():
+                        stats.profile[int(size)] = _BatchPoint(
+                            seconds=float(point.get("seconds", 0.0)),
+                            items=float(point.get("items", 0.0)),
+                            runs=int(point.get("runs", 0)),
+                        )
+                elif stats.runs:
+                    stats.profile[1] = _BatchPoint(
+                        seconds=stats.seconds,
+                        items=stats.items,
+                        runs=stats.runs,
+                    )
+                model._stats[(fingerprint, tier)] = stats
+        return model
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the model (overrides + observations) to a JSON file."""
+        payload = {
+            "version": 1,
+            "probe_threshold_s": self.probe_threshold_s,
+            "table": dict(self.table),
+            "stats": self.as_dict(),
+        }
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "CostModel":
+        """Rebuild a model saved with :meth:`save`."""
+        payload = json.loads(Path(path).read_text())
+        return cls.from_dict(
+            payload.get("stats", {}),
+            table=payload.get("table"),
+            probe_threshold_s=float(
+                payload.get("probe_threshold_s", PROBE_THRESHOLD_S)
+            ),
+        )

@@ -175,6 +175,10 @@ def merge_snapshots(
         ),
         batch_rounds=sum(snap.batch_rounds for snap in per_shard),
         batched_cells=sum(snap.batched_cells for snap in per_shard),
+        shape_rounds=sum(snap.shape_rounds for snap in per_shard),
+        shape_cells=sum(snap.shape_cells for snap in per_shard),
+        batch_padded_cells=sum(snap.batch_padded_cells for snap in per_shard),
+        batch_valid_cells=sum(snap.batch_valid_cells for snap in per_shard),
     )
 
 

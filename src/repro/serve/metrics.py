@@ -100,6 +100,16 @@ class MetricsSnapshot:
             this service — batched executions, not per-trace runs.
         batched_cells: Per-trace hub runs those dispatches covered
             (``batched_cells / batch_rounds`` is the mean batch size).
+        shape_rounds: Shape-keyed heterogeneous dispatches — batched
+            executions mixing different fingerprints of one graph
+            shape.
+        shape_cells: Per-trace hub runs those shape dispatches covered
+            (``shape_cells / shape_rounds`` is the mean shape-batch
+            occupancy).
+        batch_padded_cells / batch_valid_cells: Allocated vs valid
+            channel-tensor cells across every stacked dispatch; their
+            ratio is the padding waste the engine's splitting guard
+            keeps bounded.
         health_state: The :class:`~repro.serve.health.HealthMonitor`
             verdict (``"healthy"`` / ``"degraded"``) at snapshot time.
         health_transitions: Every ``(now, from, to)`` health transition
@@ -127,6 +137,10 @@ class MetricsSnapshot:
     health_transitions: Tuple[Tuple[float, str, str], ...] = ()
     batch_rounds: int = 0
     batched_cells: int = 0
+    shape_rounds: int = 0
+    shape_cells: int = 0
+    batch_padded_cells: int = 0
+    batch_valid_cells: int = 0
 
     @property
     def rejected_total(self) -> int:
@@ -137,6 +151,18 @@ class MetricsSnapshot:
     def batch_occupancy(self) -> float:
         """Mean per-trace runs per batched dispatch (0 when none ran)."""
         return self.batched_cells / self.batch_rounds if self.batch_rounds else 0.0
+
+    @property
+    def shape_occupancy(self) -> float:
+        """Mean per-trace runs per shape dispatch (0 when none ran)."""
+        return self.shape_cells / self.shape_rounds if self.shape_rounds else 0.0
+
+    @property
+    def batch_padding_ratio(self) -> float:
+        """Allocated over valid stacked cells (1.0 means zero waste)."""
+        if self.batch_valid_cells <= 0:
+            return 1.0
+        return self.batch_padded_cells / self.batch_valid_cells
 
     def as_dict(self) -> Dict[str, object]:
         """Snapshot as a plain dict (for logs and benchmark artifacts)."""
@@ -162,6 +188,12 @@ class MetricsSnapshot:
             "batch_rounds": self.batch_rounds,
             "batched_cells": self.batched_cells,
             "batch_occupancy": self.batch_occupancy,
+            "shape_rounds": self.shape_rounds,
+            "shape_cells": self.shape_cells,
+            "shape_occupancy": self.shape_occupancy,
+            "batch_padded_cells": self.batch_padded_cells,
+            "batch_valid_cells": self.batch_valid_cells,
+            "batch_padding_ratio": self.batch_padding_ratio,
             "health_state": self.health_state,
             "health_transitions": [
                 list(transition) for transition in self.health_transitions
@@ -184,6 +216,9 @@ class MetricsSnapshot:
                 f"{self.dedup_hits} | dedup hit-rate {self.dedup_hit_rate:.1%}",
                 f"batch rounds {self.batch_rounds} | batched cells "
                 f"{self.batched_cells} | occupancy {self.batch_occupancy:.1f}",
+                f"shape rounds {self.shape_rounds} | shape cells "
+                f"{self.shape_cells} | occupancy {self.shape_occupancy:.1f} | "
+                f"padding ratio {self.batch_padding_ratio:.2f}",
                 f"latency p50/p90/p99/p99.9 {self.latency_p50:g}/"
                 f"{self.latency_p90:g}/{self.latency_p99:g}/"
                 f"{self.latency_p999:g} rounds",
@@ -231,6 +266,10 @@ class MetricsRecorder:
         health_transitions: Tuple[Tuple[float, str, str], ...] = (),
         batch_rounds: int = 0,
         batched_cells: int = 0,
+        shape_rounds: int = 0,
+        shape_cells: int = 0,
+        batch_padded_cells: int = 0,
+        batch_valid_cells: int = 0,
     ) -> MetricsSnapshot:
         """Freeze the counters into a :class:`MetricsSnapshot`.
 
@@ -264,4 +303,8 @@ class MetricsRecorder:
             health_transitions=health_transitions,
             batch_rounds=batch_rounds,
             batched_cells=batched_cells,
+            shape_rounds=shape_rounds,
+            shape_cells=shape_cells,
+            batch_padded_cells=batch_padded_cells,
+            batch_valid_cells=batch_valid_cells,
         )

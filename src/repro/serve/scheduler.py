@@ -148,6 +148,26 @@ class Scheduler:
         """Per-trace hub runs those batched dispatches covered."""
         return self._context.stats.batched_cells
 
+    @property
+    def shape_rounds(self) -> int:
+        """Shape-keyed heterogeneous dispatches the context has run."""
+        return self._context.stats.shape_rounds
+
+    @property
+    def shape_cells(self) -> int:
+        """Per-trace hub runs those shape dispatches covered."""
+        return self._context.stats.shape_cells
+
+    @property
+    def batch_padded_cells(self) -> int:
+        """Allocated channel-tensor cells across stacked dispatches."""
+        return self._context.stats.batch_padded_cells
+
+    @property
+    def batch_valid_cells(self) -> int:
+        """Valid (non-padding) cells across stacked dispatches."""
+        return self._context.stats.batch_valid_cells
+
     # -- registry views the service validates against -------------------
 
     @property

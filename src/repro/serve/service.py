@@ -423,6 +423,10 @@ class ConditionService:
             health_transitions=self._health.transitions,
             batch_rounds=self._scheduler.batch_rounds,
             batched_cells=self._scheduler.batched_cells,
+            shape_rounds=self._scheduler.shape_rounds,
+            shape_cells=self._scheduler.shape_cells,
+            batch_padded_cells=self._scheduler.batch_padded_cells,
+            batch_valid_cells=self._scheduler.batch_valid_cells,
         )
 
     def latency_samples(self) -> Tuple[float, ...]:

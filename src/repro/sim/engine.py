@@ -55,6 +55,8 @@ from repro.hub.compile import (
     compile_batched,
     compile_eligibility,
     compile_graph,
+    shape_signature,
+    structural_key,
 )
 from repro.hub.costmodel import CostModel
 from repro.hub.runtime import (
@@ -106,6 +108,15 @@ class CacheStats:
             many batched executions ran and how many per-trace runs
             they covered (each covered run also counts as a
             ``hub_miss``; the batch only changes how it was computed).
+        shape_rounds / shape_cells: Shape-keyed heterogeneous
+            dispatches — batched executions that mixed *different*
+            fingerprints sharing one graph shape, and the rows they
+            covered (counted separately from the exact-fingerprint
+            ``batch_rounds``).
+        batch_padded_cells / batch_valid_cells: Channel-tensor cells
+            allocated vs actually valid across every stacked dispatch
+            (homogeneous and shape-keyed); their ratio is the padding
+            waste the splitting guard keeps bounded.
     """
 
     compile_hits: int = 0
@@ -120,6 +131,10 @@ class CacheStats:
     detect_misses: int = 0
     batch_rounds: int = 0
     batched_cells: int = 0
+    shape_rounds: int = 0
+    shape_cells: int = 0
+    batch_padded_cells: int = 0
+    batch_valid_cells: int = 0
 
     @property
     def total_hits(self) -> int:
@@ -128,6 +143,13 @@ class CacheStats:
             self.compile_hits + self.plan_hits + self.hub_hits
             + self.trace_hits + self.detect_hits
         )
+
+    @property
+    def batch_padding_ratio(self) -> float:
+        """Allocated over valid stacked cells (1.0 means zero waste)."""
+        if self.batch_valid_cells <= 0:
+            return 1.0
+        return self.batch_padded_cells / self.batch_valid_cells
 
     def as_dict(self) -> Dict[str, int]:
         """Counters as a plain dict (for logs and benchmark artifacts)."""
@@ -144,6 +166,10 @@ class CacheStats:
             "detect_misses": self.detect_misses,
             "batch_rounds": self.batch_rounds,
             "batched_cells": self.batched_cells,
+            "shape_rounds": self.shape_rounds,
+            "shape_cells": self.shape_cells,
+            "batch_padded_cells": self.batch_padded_cells,
+            "batch_valid_cells": self.batch_valid_cells,
         }
 
 
@@ -177,6 +203,16 @@ class RunContext:
             ``--no-batch`` escape hatch sets this False; wake events
             are bit-identical either way — batching only changes how
             many numpy dispatches compute them.
+        shape_batch: When True (default) :meth:`wake_events_batch` may
+            additionally merge *different* fingerprints that share one
+            graph shape (:func:`repro.hub.compile.shape_signature`)
+            into a single heterogeneous dispatch, with per-row
+            parameters lifted into tensors
+            (:meth:`repro.hub.compile.BatchedPlan.execute_shape_batch`).
+            The ``--no-shape-batch`` escape hatch sets this False;
+            wake events are bit-identical either way.  Implies nothing
+            when ``batch`` is off — shape batching rides on the
+            batched path.
         cost_model: The measured tier selector
             (:class:`repro.hub.costmodel.CostModel`) consulted on every
             hub interpretation.  Tiers are bit-identical, so the model
@@ -224,6 +260,7 @@ class RunContext:
         fuse: bool = True,
         compiled: bool = True,
         batch: bool = True,
+        shape_batch: bool = True,
         cost_model: Optional[CostModel] = None,
         pool: Optional["EnginePool"] = None,
     ):
@@ -231,6 +268,7 @@ class RunContext:
         self.fuse = fuse
         self.compiled = compiled
         self.batch = batch
+        self.shape_batch = shape_batch
         self.cost_model = cost_model if cost_model is not None else CostModel()
         # The context's own persistent-pool handle (workers fork only
         # when a plan actually warrants them).  Sharing a handle across
@@ -246,6 +284,8 @@ class RunContext:
         self._traces: Dict[int, Trace] = {}
         self._channel_arrays: Dict[int, Dict[str, tuple]] = {}
         self._hub_runs: Dict[Tuple[str, int, float], Tuple[WakeEvent, ...]] = {}
+        self._shape_sigs: Dict[str, str] = {}
+        self._structural_keys: Dict[str, tuple] = {}
         self._detections: Dict[tuple, Tuple["Detection", ...]] = {}
         self._events: Dict[tuple, Tuple["GroundTruthEvent", ...]] = {}
         self._apps: Dict[int, "SensingApplication"] = {}
@@ -326,6 +366,34 @@ class RunContext:
         )
         self._batched_plans[fp] = plan
         return plan
+
+    def shape_sig(self, graph: DataflowGraph) -> str:
+        """The graph's canonical shape signature, memoized by fingerprint.
+
+        Parameters are struck out (only names survive), so distinctly
+        tuned copies of one detector share a signature — the key the
+        heterogeneous batching path groups by.
+        """
+        fp = self.fingerprint(graph.program)
+        sig = self._shape_sigs.get(fp)
+        if sig is None:
+            sig = shape_signature(graph)
+            self._shape_sigs[fp] = sig
+        return sig
+
+    def struct_key(self, graph: DataflowGraph) -> tuple:
+        """Non-liftable parameter values in topo order, memoized.
+
+        Two shape-equal graphs with equal structural keys differ only
+        in parameters the row-lowering kernels can vary per row, so
+        they may share one heterogeneous dispatch.
+        """
+        fp = self.fingerprint(graph.program)
+        key = self._structural_keys.get(fp)
+        if key is None:
+            key = structural_key(graph)
+            self._structural_keys[fp] = key
+        return key
 
     # -- traces --------------------------------------------------------
 
@@ -409,7 +477,12 @@ class RunContext:
         return allowed
 
     def _interpret(
-        self, graph: DataflowGraph, trace: Trace, chunk_seconds: float
+        self,
+        graph: DataflowGraph,
+        trace: Trace,
+        chunk_seconds: float,
+        extra_keys: Sequence[str] = (),
+        force_tier: Optional[str] = None,
     ) -> List[WakeEvent]:
         channels = self._trace_channels(graph.channels, trace)
         plan = self.compiled_plan(graph) if self.compiled else None
@@ -417,8 +490,14 @@ class RunContext:
         fp = self.fingerprint(graph.program)
         # Every tier is bit-identical, so the cost model only picks the
         # fastest way to the same events — and the run it was going to
-        # do anyway doubles as its measurement sample.
-        tier = self.cost_model.choose(fp, allowed)
+        # do anyway doubles as its measurement sample.  A caller probing
+        # on behalf of a *shared* key (the shape-batch path) forces the
+        # tier that key still needs measured and lists the key in
+        # ``extra_keys`` so the sample lands there too.
+        if force_tier is not None and force_tier in allowed:
+            tier = force_tier
+        else:
+            tier = self.cost_model.choose(fp, allowed)
         items = sum(len(triple[0]) for triple in channels.values())
         start = time.perf_counter()
         if tier == "compiled":
@@ -434,7 +513,52 @@ class RunContext:
                 events = runtime.run_fused(channels, chunk_seconds)
             else:
                 events = runtime.run(split_into_rounds(channels, chunk_seconds))
-        self.cost_model.observe(fp, tier, time.perf_counter() - start, items)
+        elapsed = time.perf_counter() - start
+        self.cost_model.observe(fp, tier, elapsed, items)
+        for key in extra_keys:
+            self.cost_model.observe(key, tier, elapsed, items)
+        return events
+
+    def _wake_events_probed(
+        self,
+        graph: DataflowGraph,
+        trace: Trace,
+        chunk_seconds: float,
+        shape_key: str,
+    ) -> Tuple[WakeEvent, ...]:
+        """One cached per-trace run that doubles as a *shape-key* probe.
+
+        In a heterogeneous group every row's fingerprint is fresh, so a
+        plain :meth:`wake_events` would always pick the preferred tier
+        and the shared shape key would never finish probing.  This
+        variant forces the tier the shape key's own probe schedule asks
+        for and observes the sample under both the row's fingerprint
+        and the shape key.
+        """
+        key = (
+            self.fingerprint(graph.program),
+            self._trace_key(trace),
+            float(chunk_seconds),
+        )
+        cached = self._hub_runs.get(key)
+        if cached is not None:
+            self.stats.hub_hits += 1
+            return cached
+        self.stats.hub_misses += 1
+        plan = self.compiled_plan(graph) if self.compiled else None
+        tier = self.cost_model.choose(
+            shape_key, self._allowed_tiers(graph, plan)
+        )
+        events = tuple(
+            self._interpret(
+                graph,
+                trace,
+                chunk_seconds,
+                extra_keys=(shape_key,),
+                force_tier=tier,
+            )
+        )
+        self._hub_runs[key] = events
         return events
 
     def wake_events_batch(
@@ -458,6 +582,16 @@ class RunContext:
         off — stays on the per-trace path.  Results are cached under
         the same keys either way, so later :meth:`wake_events` calls
         hit.
+
+        With ``shape_batch`` on (the default), fingerprint groups that
+        share a graph *shape* (:func:`repro.hub.compile.shape_signature`
+        — same opcodes and wiring, different parameter values) merge
+        into one heterogeneous group first: probing is keyed by the
+        shape signature, rows sub-group by structural key and rate, the
+        batch-size-aware cost profile arbitrates between one big shape
+        batch and per-fingerprint batches, and a shape dispatch lifts
+        per-row parameters into tensors
+        (:meth:`repro.hub.compile.BatchedPlan.execute_shape_batch`).
 
         Raises:
             HubExecutionError: when a trace lacks a channel its
@@ -489,6 +623,25 @@ class RunContext:
                 groups[key[0]][key[1]] = (graph, trace, [i])
             else:
                 entry[2].append(i)
+        # Merge fingerprint groups that share a graph shape into
+        # heterogeneous groups (two or more distinct fingerprints, all
+        # batch-eligible); everything else drains homogeneously below.
+        shape_groups: Dict[
+            str, List[Tuple[str, List[Tuple[DataflowGraph, Trace, List[int]]]]]
+        ] = {}
+        if self.shape_batch:
+            by_sig: Dict[str, List[str]] = {}
+            for fp, members in groups.items():
+                graph = next(iter(members.values()))[0]
+                if self.batched_plan(graph) is None:
+                    continue
+                by_sig.setdefault(self.shape_sig(graph), []).append(fp)
+            for sig, fps in by_sig.items():
+                if len(fps) < 2:
+                    continue
+                shape_groups[sig] = [
+                    (fp, list(groups.pop(fp).values())) for fp in fps
+                ]
         for fp, members in groups.items():
             rows = list(members.values())
             graph = rows[0][0]
@@ -525,35 +678,179 @@ class RunContext:
                 sig = tuple(float(channels[name][2]) for name in bplan.channels)
                 by_rate.setdefault(sig, []).append((row_trace, indices, channels))
             for sub in by_rate.values():
-                if len(sub) == 1:
-                    row_trace, indices, _ = sub[0]
-                    events = self.wake_events(graph, row_trace, chunk_seconds)
-                    for i in indices:
-                        results[i] = events
-                    continue
-                total_items = sum(
-                    len(triple[0])
-                    for _, _, channels in sub
-                    for triple in channels.values()
+                self._run_homogeneous_batch(
+                    fp,
+                    bplan,
+                    [(graph, row_trace, indices, channels)
+                     for row_trace, indices, channels in sub],
+                    chunk_seconds,
+                    results,
                 )
-                start = time.perf_counter()
-                batch_events = bplan.execute_batch(
-                    [channels for _, _, channels in sub]
-                )
-                self.cost_model.observe(
-                    fp, "compiled", time.perf_counter() - start, total_items
-                )
-                self.stats.batch_rounds += 1
-                self.stats.batched_cells += len(sub)
-                for (row_trace, indices, _), row_events in zip(sub, batch_events):
-                    events = tuple(row_events)
-                    self.stats.hub_misses += 1
-                    self._hub_runs[
-                        (fp, self._trace_key(row_trace), float(chunk_seconds))
-                    ] = events
-                    for i in indices:
-                        results[i] = events
+        for sig, parts in shape_groups.items():
+            self._run_shape_group(sig, parts, chunk_seconds, results)
         return results  # type: ignore[return-value]
+
+    def _run_homogeneous_batch(
+        self,
+        fp: str,
+        bplan: BatchedPlan,
+        sub: List[Tuple[DataflowGraph, Trace, List[int], Dict[str, tuple]]],
+        chunk_seconds: float,
+        results: List[Optional[Tuple[WakeEvent, ...]]],
+    ) -> None:
+        """Dispatch one same-fingerprint, same-rate batch (or singleton)."""
+        if len(sub) == 1:
+            row_graph, row_trace, indices, _ = sub[0]
+            events = self.wake_events(row_graph, row_trace, chunk_seconds)
+            for i in indices:
+                results[i] = events
+            return
+        total_items = sum(
+            len(triple[0])
+            for _, _, _, channels in sub
+            for triple in channels.values()
+        )
+        start = time.perf_counter()
+        batch_events, info = bplan.execute_batch_with_info(
+            [channels for _, _, _, channels in sub]
+        )
+        self.cost_model.observe(
+            fp,
+            "compiled",
+            time.perf_counter() - start,
+            total_items,
+            batch_size=len(sub),
+        )
+        self.stats.batch_rounds += 1
+        self.stats.batched_cells += len(sub)
+        self.stats.batch_padded_cells += info.padded_cells
+        self.stats.batch_valid_cells += info.valid_cells
+        for (_, row_trace, indices, _), row_events in zip(sub, batch_events):
+            events = tuple(row_events)
+            self.stats.hub_misses += 1
+            self._hub_runs[
+                (fp, self._trace_key(row_trace), float(chunk_seconds))
+            ] = events
+            for i in indices:
+                results[i] = events
+
+    def _run_shape_group(
+        self,
+        sig: str,
+        parts: List[Tuple[str, List[Tuple[DataflowGraph, Trace, List[int]]]]],
+        chunk_seconds: float,
+        results: List[Optional[Tuple[WakeEvent, ...]]],
+    ) -> None:
+        """Run one heterogeneous (shared-shape) group of uncached work.
+
+        Mirrors the homogeneous loop, but keyed by the shape signature:
+        rows run individually as *shape-key* probes (forcing the tier
+        the shared key still needs measured — each row's fingerprint is
+        fresh, so per-fingerprint probing would never settle the shape)
+        until the model commits to the compiled tier, then the
+        remainder sub-groups by structural key and rate signature.
+        Each sub-group asks the batch-size profile whether one
+        parameterized shape dispatch beats splitting back into
+        per-fingerprint batches, and goes tensor-major accordingly.
+        """
+        rows: List[Tuple[str, DataflowGraph, Trace, List[int]]] = [
+            (fp, graph, trace, indices)
+            for fp, members in parts
+            for graph, trace, indices in members
+        ]
+        rep_graph = rows[0][1]
+        allowed = self._allowed_tiers(rep_graph, self.compiled_plan(rep_graph))
+        pending = rows
+        while pending:
+            settled = self.cost_model.selection(sig, allowed)
+            if settled == "compiled" and len(pending) >= 2:
+                break
+            fp, row_graph, row_trace, indices = pending.pop(0)
+            events = self._wake_events_probed(
+                row_graph, row_trace, chunk_seconds, sig
+            )
+            for i in indices:
+                results[i] = events
+        if not pending:
+            return
+        # Rows must agree on non-liftable parameter values (structural
+        # key) and per-channel sampling rates to share a stacked
+        # dispatch; split accordingly (almost always one sub-group).
+        subgroups: Dict[
+            tuple,
+            List[Tuple[str, DataflowGraph, Trace, List[int], Dict[str, tuple]]],
+        ] = {}
+        for fp, row_graph, row_trace, indices in pending:
+            bplan = self.batched_plan(row_graph)
+            channels = self._trace_channels(bplan.channels, row_trace)
+            rate_sig = tuple(
+                float(channels[name][2]) for name in bplan.channels
+            )
+            key = (self.struct_key(row_graph), rate_sig)
+            subgroups.setdefault(key, []).append(
+                (fp, row_graph, row_trace, indices, channels)
+            )
+        for sub in subgroups.values():
+            if len(sub) == 1:
+                fp, row_graph, row_trace, indices, _ = sub[0]
+                events = self.wake_events(row_graph, row_trace, chunk_seconds)
+                for i in indices:
+                    results[i] = events
+                continue
+            counts: Dict[str, int] = {}
+            for fp, *_ in sub:
+                counts[fp] = counts.get(fp, 0) + 1
+            if not self.cost_model.choose_shape_batching(
+                sig, list(counts.items())
+            ):
+                # The profile prices one big (padded, ragged) shape
+                # batch worse than exact-fingerprint batches: regroup.
+                by_fp: Dict[str, List[tuple]] = {}
+                for entry in sub:
+                    by_fp.setdefault(entry[0], []).append(entry)
+                for part_fp, fp_rows in by_fp.items():
+                    self._run_homogeneous_batch(
+                        part_fp,
+                        self.batched_plan(fp_rows[0][1]),
+                        [(g, t, idx, ch) for _, g, t, idx, ch in fp_rows],
+                        chunk_seconds,
+                        results,
+                    )
+                continue
+            total_items = sum(
+                len(triple[0])
+                for *_, channels in sub
+                for triple in channels.values()
+            )
+            bplan = self.batched_plan(sub[0][1])
+            start = time.perf_counter()
+            batch_events, info = bplan.execute_shape_batch_with_info(
+                [
+                    (self.compiled_plan(row_graph), channels)
+                    for _, row_graph, _, _, channels in sub
+                ]
+            )
+            self.cost_model.observe(
+                sig,
+                "compiled",
+                time.perf_counter() - start,
+                total_items,
+                batch_size=len(sub),
+            )
+            self.stats.shape_rounds += 1
+            self.stats.shape_cells += len(sub)
+            self.stats.batch_padded_cells += info.padded_cells
+            self.stats.batch_valid_cells += info.valid_cells
+            for (fp, _, row_trace, indices, _), row_events in zip(
+                sub, batch_events
+            ):
+                events = tuple(row_events)
+                self.stats.hub_misses += 1
+                self._hub_runs[
+                    (fp, self._trace_key(row_trace), float(chunk_seconds))
+                ] = events
+                for i in indices:
+                    results[i] = events
 
     # -- application detectors -----------------------------------------
 
@@ -821,7 +1118,12 @@ _WORKER_TRACES: Dict[str, Trace] = {}
 
 
 def _pool_worker_init(
-    payload: tuple, cache: bool, fuse: bool, compiled: bool, batch: bool
+    payload: tuple,
+    cache: bool,
+    fuse: bool,
+    compiled: bool,
+    batch: bool,
+    shape_batch: bool,
 ) -> None:
     """Pool initializer: one warm context + trace registry per worker.
 
@@ -837,7 +1139,11 @@ def _pool_worker_init(
     from repro.sim.shm import attach_traces
 
     _WORKER_CONTEXT = RunContext(
-        cache=cache, fuse=fuse, compiled=compiled, batch=batch
+        cache=cache,
+        fuse=fuse,
+        compiled=compiled,
+        batch=batch,
+        shape_batch=shape_batch,
     )
     _WORKER_TRACES = {trace.name: trace for trace in attach_traces(payload)}
 
@@ -918,6 +1224,7 @@ class EnginePool:
         fuse: bool,
         compiled: bool,
         batch: bool,
+        shape_batch: bool,
         traces: List[Trace],
     ) -> Tuple[ProcessPoolExecutor, int, bool]:
         """The pool for these settings, (re)built if needed.
@@ -939,7 +1246,10 @@ class EnginePool:
         """
         from repro.sim.shm import export_traces
 
-        key = (bool(cache), bool(fuse), bool(compiled), bool(batch))
+        key = (
+            bool(cache), bool(fuse), bool(compiled), bool(batch),
+            bool(shape_batch),
+        )
         if (
             self._pool is not None
             and self._key == key
@@ -956,7 +1266,7 @@ class EnginePool:
         self._pool = ProcessPoolExecutor(
             max_workers=workers,
             initializer=_pool_worker_init,
-            initargs=(export.payload, cache, fuse, compiled, batch),
+            initargs=(export.payload, cache, fuse, compiled, batch, shape_batch),
         )
         self._key = key
         self._workers = workers
@@ -974,11 +1284,15 @@ class EnginePool:
         fuse: bool = True,
         compiled: bool = True,
         batch: bool = True,
+        shape_batch: bool = True,
     ) -> bool:
         """True when this handle's live pool could serve the plan as-is."""
         if self._pool is None or jobs <= 1:
             return False
-        if self._key != (bool(cache), bool(fuse), bool(compiled), bool(batch)):
+        if self._key != (
+            bool(cache), bool(fuse), bool(compiled), bool(batch),
+            bool(shape_batch),
+        ):
             return False
         return all(
             self._traces.get(cell.trace.name) is cell.trace
@@ -1012,12 +1326,19 @@ def pool_is_warm(
     fuse: bool = True,
     compiled: bool = True,
     batch: bool = True,
+    shape_batch: bool = True,
     pool: Optional[EnginePool] = None,
 ) -> bool:
     """True when the (default or given) pool could serve this plan as-is."""
     handle = pool if pool is not None else _DEFAULT_POOL
     return handle.is_warm(
-        plan, jobs, cache=cache, fuse=fuse, compiled=compiled, batch=batch
+        plan,
+        jobs,
+        cache=cache,
+        fuse=fuse,
+        compiled=compiled,
+        batch=batch,
+        shape_batch=shape_batch,
     )
 
 
@@ -1098,6 +1419,7 @@ def execute_plan(
     fuse: bool = True,
     compiled: bool = True,
     batch: bool = True,
+    shape_batch: bool = True,
 ) -> List["SimulationResult"]:
     """Execute a plan and return results in plan (index) order.
 
@@ -1113,6 +1435,7 @@ def execute_plan(
         fuse=fuse,
         compiled=compiled,
         batch=batch,
+        shape_batch=shape_batch,
     )
     return results
 
@@ -1126,6 +1449,7 @@ def execute_plan_with_info(
     fuse: bool = True,
     compiled: bool = True,
     batch: bool = True,
+    shape_batch: bool = True,
 ) -> Tuple[List["SimulationResult"], ExecutionInfo]:
     """Execute a plan; return results in plan order plus how they ran.
 
@@ -1154,6 +1478,11 @@ def execute_plan_with_info(
             escape hatch).  Serial plans prewarm the shared context's
             hub-run cache with one batched execution per condition
             group before the per-cell loop.
+        shape_batch: Enable shape-keyed batching of *different*
+            conditions sharing one graph shape (results are
+            bit-identical either way; the ``--no-shape-batch`` escape
+            hatch).  Rides on the batched path, so it only matters
+            when ``batch`` is on.
 
     The pool persists across calls: workers are forked once, each
     builds a warm :class:`RunContext` and receives every trace exactly
@@ -1168,7 +1497,13 @@ def execute_plan_with_info(
         ctx = (
             context
             if context is not None
-            else RunContext(cache=cache, fuse=fuse, compiled=compiled, batch=batch)
+            else RunContext(
+                cache=cache,
+                fuse=fuse,
+                compiled=compiled,
+                batch=batch,
+                shape_batch=shape_batch,
+            )
         )
         indexed = _run_serial(plan, profile, ctx)
         info = ExecutionInfo(
@@ -1190,13 +1525,25 @@ def execute_plan_with_info(
     groups = _group_cells_by_trace(plan.cells)
     workers = max(1, min(jobs, len(groups)))
     warm = pool_handle.is_warm(
-        plan, jobs, cache=cache, fuse=fuse, compiled=compiled, batch=batch
+        plan,
+        jobs,
+        cache=cache,
+        fuse=fuse,
+        compiled=compiled,
+        batch=batch,
+        shape_batch=shape_batch,
     )
     if n < MIN_POOL_CELLS and not warm:
         ctx = (
             context
             if context is not None
-            else RunContext(cache=cache, fuse=fuse, compiled=compiled, batch=batch)
+            else RunContext(
+                cache=cache,
+                fuse=fuse,
+                compiled=compiled,
+                batch=batch,
+                shape_batch=shape_batch,
+            )
         )
         indexed = _run_serial(plan, profile, ctx)
         info = ExecutionInfo(
@@ -1218,7 +1565,7 @@ def execute_plan_with_info(
         if not traces or traces[-1] is not cell.trace:
             traces.append(cell.trace)
     pool, workers, reused = pool_handle.obtain(
-        workers, cache, fuse, compiled, batch, traces
+        workers, cache, fuse, compiled, batch, shape_batch, traces
     )
     futures = [
         pool.submit(

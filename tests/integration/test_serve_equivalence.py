@@ -168,6 +168,74 @@ def test_batching_on_and_off_bit_identical(registry):
     assert plain_metrics.batched_cells == 0
 
 
+def test_shape_batching_on_and_off_bit_identical(registry):
+    """Shape-keyed batching is invisible too: one detector shape with
+    per-tenant thresholds (distinct fingerprints, one shape) served
+    with and without it yields identical responses, while the enabled
+    shard actually ran shape rounds."""
+    from repro.hub.compile import shape_signature
+    from repro.hub.costmodel import CostModel
+    from repro.il.parser import parse_program
+    from repro.il.validate import validate_program
+    from repro.serve import response_digest
+    from repro.sim.engine import RunContext
+
+    # Raw-IL fleet: every tenant runs the same detector shape with its
+    # own threshold — as many fingerprints as tenants, one shape.
+    trace_names = [
+        name for name in sorted(registry) if name.startswith("robot")
+    ]
+
+    def tenant_il(k):
+        return (
+            "ACC_X -> movingAvg(id=1, params={8});"
+            f"1 -> maxThreshold(id=2, params={{{0.05 + 0.03 * k:.2f}}});"
+            "2 -> OUT;"
+        )
+
+    submissions = [
+        Submission(
+            tenant=f"tenant-{k}",
+            trace=trace_names[k % len(trace_names)],
+            il=tenant_il(k),
+            chunk_seconds=2.0,
+        )
+        for k in range(12)
+    ]
+    # Pin the shared shape to the compiled tier: the cost model's probe
+    # threshold is wall-clock based, so an unpinned run may settle on a
+    # different tier under load (still bit-identical, but then the
+    # shape-round counters this test asserts on would be zero).
+    shape = shape_signature(validate_program(parse_program(tenant_il(0))))
+
+    def drive(shape_batch):
+        context = RunContext(shape_batch=shape_batch)
+        context.cost_model = CostModel(table={shape: "compiled"})
+        svc = ConditionService(registry, context=context)
+        try:
+            report = run_fleet(svc, list(submissions), pump_every=len(submissions))
+            metrics = svc.metrics()
+        finally:
+            svc.shutdown()
+        return report, metrics
+
+    shaped, shaped_metrics = drive(shape_batch=True)
+    plain, plain_metrics = drive(shape_batch=False)
+    assert response_digest(shaped.responses) == response_digest(
+        plain.responses
+    )
+    assert [r.ticket for r in shaped.responses] == [
+        r.ticket for r in plain.responses
+    ]
+    # Shape batching genuinely engaged on the enabled shard only.
+    assert shaped_metrics.shape_rounds > 0
+    assert (
+        shaped_metrics.shape_cells >= 2 * shaped_metrics.shape_rounds
+    )
+    assert plain_metrics.shape_rounds == 0
+    assert plain_metrics.shape_cells == 0
+
+
 def test_same_seed_same_outcome(registry):
     """The whole serve path is deterministic: same seed, same workload,
     same tickets, same rejections, same results."""

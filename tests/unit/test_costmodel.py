@@ -118,3 +118,102 @@ class TestDiagnostics:
         assert dump[FP]["compiled"]["runs"] == 2
         assert dump[FP]["compiled"]["seconds"] == pytest.approx(0.5)
         assert model.seconds_per_item(FP, "compiled") == pytest.approx(5e-4)
+
+
+class TestBatchProfile:
+    """Per-batch-size throughput: interpolation and extrapolation."""
+
+    def _model(self):
+        model = CostModel()
+        model.observe(FP, "compiled", 1.0, 100, batch_size=1)
+        model.observe(FP, "compiled", 4.0, 1000, batch_size=10)
+        return model
+
+    def test_unseen_pair_predicts_none(self):
+        assert CostModel().predict_batch_seconds(FP, "compiled", 4) is None
+        assert self._model().predict_batch_seconds(FP, "fused", 4) is None
+
+    def test_interpolates_between_observed_sizes(self):
+        # Linear between (1, 1.0s) and (10, 4.0s): size 5.5 is midway.
+        predicted = self._model().predict_batch_seconds(FP, "compiled", 5)
+        assert predicted == pytest.approx(1.0 + 4.0 / 9.0 * 3.0)
+
+    def test_extends_last_segment_above_the_profile(self):
+        # Slope between the top two points is (4-1)/(10-1) s per row.
+        predicted = self._model().predict_batch_seconds(FP, "compiled", 19)
+        assert predicted == pytest.approx(4.0 + 3.0)
+
+    def test_single_point_scales_proportionally(self):
+        model = CostModel()
+        model.observe(FP, "compiled", 2.0, 100, batch_size=4)
+        assert model.predict_batch_seconds(FP, "compiled", 2) == pytest.approx(1.0)
+        assert model.predict_batch_seconds(FP, "compiled", 8) == pytest.approx(4.0)
+
+    def test_repeat_observations_average_within_a_size(self):
+        model = CostModel()
+        model.observe(FP, "compiled", 1.0, 100, batch_size=4)
+        model.observe(FP, "compiled", 3.0, 100, batch_size=4)
+        assert model.predict_batch_seconds(FP, "compiled", 4) == pytest.approx(2.0)
+
+
+class TestChooseShapeBatching:
+    SHAPE = "shape:test"
+    PARTS = [("fp:a", 4), ("fp:b", 4)]
+
+    def test_missing_data_defaults_to_batching(self):
+        assert CostModel().choose_shape_batching(self.SHAPE, self.PARTS)
+
+    def test_cheaper_shape_batch_wins(self):
+        model = CostModel()
+        model.observe(self.SHAPE, "compiled", 0.5, 800, batch_size=8)
+        model.observe("fp:a", "compiled", 0.4, 400, batch_size=4)
+        model.observe("fp:b", "compiled", 0.4, 400, batch_size=4)
+        assert model.choose_shape_batching(self.SHAPE, self.PARTS)
+
+    def test_costlier_shape_batch_splits(self):
+        model = CostModel()
+        model.observe(self.SHAPE, "compiled", 2.0, 800, batch_size=8)
+        model.observe("fp:a", "compiled", 0.4, 400, batch_size=4)
+        model.observe("fp:b", "compiled", 0.4, 400, batch_size=4)
+        assert not model.choose_shape_batching(self.SHAPE, self.PARTS)
+
+    def test_unseen_fingerprint_defaults_to_batching(self):
+        model = CostModel()
+        model.observe(self.SHAPE, "compiled", 2.0, 800, batch_size=8)
+        model.observe("fp:a", "compiled", 0.4, 400, batch_size=4)
+        assert model.choose_shape_batching(self.SHAPE, self.PARTS)
+
+
+class TestPersistence:
+    def test_dict_round_trip_preserves_profile_and_choice(self):
+        model = CostModel(table={"fp:pinned": "rounds"})
+        model.observe(FP, "compiled", 0.5, 1000, batch_size=1)
+        model.observe(FP, "compiled", 2.0, 4000, batch_size=8)
+        model.observe(FP, "fused", 0.2, 1000)
+        model.observe(FP, "rounds", 0.3, 1000)
+        copy = CostModel.from_dict(model.as_dict(), table=dict(model.table))
+        assert copy.as_dict() == model.as_dict()
+        assert copy.choose(FP, ALL) == model.choose(FP, ALL)
+        assert copy.choose("fp:pinned", ALL) == "rounds"
+        assert copy.predict_batch_seconds(
+            FP, "compiled", 4
+        ) == model.predict_batch_seconds(FP, "compiled", 4)
+
+    def test_legacy_dump_without_profile_still_predicts(self):
+        legacy = {FP: {"compiled": {"seconds": 0.5, "items": 1000, "runs": 5}}}
+        model = CostModel.from_dict(legacy)
+        # Aggregate loads as one point at batch size 1.
+        assert model.predict_batch_seconds(FP, "compiled", 1) == pytest.approx(0.1)
+        assert model.seconds_per_item(FP, "compiled") == pytest.approx(5e-4)
+
+    def test_save_load_round_trip(self, tmp_path):
+        model = CostModel(
+            table={"fp:pinned": "fused"}, probe_threshold_s=0.02
+        )
+        model.observe(FP, "compiled", 0.5, 1000, batch_size=4)
+        path = tmp_path / "cost_table.json"
+        model.save(path)
+        loaded = CostModel.load(path)
+        assert loaded.as_dict() == model.as_dict()
+        assert dict(loaded.table) == {"fp:pinned": "fused"}
+        assert loaded.probe_threshold_s == pytest.approx(0.02)
