@@ -32,6 +32,7 @@ class MinThreshold(StreamAlgorithm):
     input_kind = StreamKind.SCALAR
     output_kind = StreamKind.SCALAR
     chunk_invariant = True
+    incremental = True
     param_order = ("threshold",)
     row_params = ("threshold",)
 
@@ -75,6 +76,7 @@ class MaxThreshold(StreamAlgorithm):
     input_kind = StreamKind.SCALAR
     output_kind = StreamKind.SCALAR
     chunk_invariant = True
+    incremental = True
     param_order = ("threshold",)
     row_params = ("threshold",)
 
@@ -118,6 +120,7 @@ class RangeThreshold(StreamAlgorithm):
     input_kind = StreamKind.SCALAR
     output_kind = StreamKind.SCALAR
     chunk_invariant = True
+    incremental = True
     param_order = ("low", "high")
     row_params = ("low", "high")
 
@@ -173,6 +176,7 @@ class BandIndicator(StreamAlgorithm):
     input_kind = StreamKind.SCALAR
     output_kind = StreamKind.SCALAR
     chunk_invariant = True
+    incremental = True
     param_order = ("low", "high")
     row_params = ("low", "high")
 
@@ -237,6 +241,7 @@ class SustainedThreshold(StreamAlgorithm):
     input_kind = StreamKind.SCALAR
     output_kind = StreamKind.SCALAR
     chunk_invariant = True
+    incremental = True
     param_order = ("threshold", "count")
     row_params = ("threshold", "count")
 
@@ -287,6 +292,22 @@ class SustainedThreshold(StreamAlgorithm):
 
     def reset(self) -> None:
         self._run = 0
+
+    def incremental_retention(self, merged: Chunk, seen: int) -> int:
+        """Keep the trailing qualifying run, capped at ``count - 1``.
+
+        Replaying at most ``count - 1`` qualifying items re-emits
+        nothing on their own (a run that short never fires), while a
+        future item extending the run sees a replayed run length of
+        ``count - 1 + k`` whenever its true run length is ``>= count``
+        — so continuation items fire exactly as in the whole trace.
+        """
+        if merged.is_empty:
+            return 0
+        qualifying = merged.values >= self.threshold
+        misses = np.flatnonzero(~qualifying)
+        trailing = len(qualifying) if not len(misses) else len(qualifying) - int(misses[-1]) - 1
+        return min(trailing, self.count - 1)
 
     def cycles_per_item(self, in_shapes: Sequence[StreamShape]) -> float:
         return 6.0

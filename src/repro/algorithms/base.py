@@ -26,7 +26,7 @@ runtime.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Sequence, Tuple, Type
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Type
 
 from repro.errors import ParameterError, UnknownAlgorithmError
 from repro.sensors.samples import BatchedChunk, Chunk, StreamKind
@@ -79,6 +79,15 @@ class StreamAlgorithm:
     input_kind: StreamKind = StreamKind.SCALAR
     output_kind: StreamKind = StreamKind.SCALAR
     chunk_invariant: bool = False
+    #: True when the opcode's ``lower`` rule supports *bounded-replay
+    #: incremental* execution (streaming ingestion): the executor keeps
+    #: a retained trailing-input buffer ``R`` sized by
+    #: :meth:`incremental_retention` such that ``lower(R)`` emits
+    #: nothing and ``lower(R ++ new_span)`` emits exactly the
+    #: never-before-emitted output items.  Opt-in like
+    #: ``chunk_invariant``: an opcode must only set this after checking
+    #: the replay contract holds bit-exactly for its rule.
+    incremental: bool = False
     #: Parameters the shape-batched path may vary *per row*.  An opcode
     #: that overrides :meth:`lower_batched_rows` lists here exactly the
     #: parameter names its row kernel lifts into ``(B,)`` tensors; every
@@ -225,6 +234,35 @@ class StreamAlgorithm:
             first.lengths,
             out.rate_hz,
         )
+
+    # -- incremental (streaming) execution ---------------------------
+
+    def incremental_retention(self, merged: Chunk, seen: int) -> int:
+        """Trailing input items to retain for the next incremental round.
+
+        Called after ``lower(merged)`` ran, where ``merged`` is the
+        retained buffer plus the round's new span and ``seen`` is the
+        total number of items this port has consumed since the stream
+        started.  The returned count ``r`` (items off the end of
+        ``merged``) must satisfy the bounded-replay contract: running
+        ``lower`` on those ``r`` items alone emits nothing, and running
+        it on them plus any future span emits exactly the output items
+        that whole-trace ``lower`` would emit beyond what has already
+        been emitted — bit for bit.  The default (0) is correct for
+        stateless itemwise rules; windowed/stateful opcodes override it.
+        """
+        return 0
+
+    def incremental_ineligibility(self) -> Optional[str]:
+        """Why *this instance* cannot run incrementally, or None.
+
+        Some opcodes are incremental only for part of their parameter
+        space (e.g. a window whose hop exceeds its size discards
+        samples between frames, which bounded replay cannot express).
+        Instances outside that space return a human-readable reason and
+        the streaming executor falls back to a persistent interpreter.
+        """
+        return None
 
     # -- static analysis ---------------------------------------------
 

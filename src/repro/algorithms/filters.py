@@ -34,6 +34,7 @@ class MovingAverage(StreamAlgorithm):
     input_kind = StreamKind.SCALAR
     output_kind = StreamKind.SCALAR
     chunk_invariant = True
+    incremental = True
     param_order = ("size",)
 
     def __init__(self, size: int):
@@ -100,6 +101,11 @@ class MovingAverage(StreamAlgorithm):
 
     def reset(self) -> None:
         self._carry.clear()
+
+    def incremental_retention(self, merged: Chunk, seen: int) -> int:
+        """Keep the last ``size - 1`` samples: too few for a window on
+        their own, exactly the predecessors every future window needs."""
+        return min(seen, self.size - 1)
 
     def cycles_per_item(self, in_shapes: Sequence[StreamShape]) -> float:
         # Running-sum implementation: add, subtract, divide per sample.
@@ -222,6 +228,7 @@ class _FFTBandFilter(StreamAlgorithm):
     # Per-frame transform: each output frame depends only on its input
     # frame, never on chunk boundaries.
     chunk_invariant = True
+    incremental = True
     param_order = ("cutoff_hz",)
 
     #: True keeps bins below the cutoff (low-pass); False keeps above.

@@ -45,6 +45,7 @@ class LocalExtrema(StreamAlgorithm):
     # State is exact (last sample value + last emission time compared
     # with ==/</>), so the emitted extrema never depend on chunking.
     chunk_invariant = True
+    incremental = True
     param_order = ("mode", "low", "high", "min_separation")
 
     def __init__(
@@ -168,6 +169,26 @@ class LocalExtrema(StreamAlgorithm):
         self._prev_values = np.empty(0)
         self._last_emit_index = -(10**12)
         self._stream_index = 0
+
+    def incremental_ineligibility(self) -> str | None:
+        if self.min_separation != 1:
+            return (
+                "localExtrema min_separation > 1 debounces against an "
+                "emission history that bounded replay cannot carry"
+            )
+        return None
+
+    def incremental_retention(self, merged: Chunk, seen: int) -> int:
+        """Keep the final two samples so extrema at span edges are found.
+
+        Two samples can never form a candidate on their own (three are
+        required), and the sample at index ``seen - 2`` was already
+        judged when its right neighbour arrived — with
+        ``min_separation == 1`` the debounce keeps every candidate, so
+        replaying the pair emits nothing and only genuinely new extrema
+        fire when the next span lands.
+        """
+        return min(seen, 2)
 
     def cycles_per_item(self, in_shapes: Sequence[StreamShape]) -> float:
         # Two comparisons plus band check per sample.

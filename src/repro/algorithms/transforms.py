@@ -39,6 +39,7 @@ class FFT(StreamAlgorithm):
     input_kind = StreamKind.FRAME
     output_kind = StreamKind.SPECTRUM
     chunk_invariant = True
+    incremental = True
     param_order = ()
 
     def process(self, chunks: Sequence[Chunk]) -> Chunk:
@@ -78,6 +79,7 @@ class IFFT(StreamAlgorithm):
     input_kind = StreamKind.SPECTRUM
     output_kind = StreamKind.FRAME
     chunk_invariant = True
+    incremental = True
     param_order = ()
 
     def process(self, chunks: Sequence[Chunk]) -> Chunk:

@@ -40,6 +40,7 @@ class Window(StreamAlgorithm):
     # Frames are cut at absolute sample offsets held in the carry
     # buffer, so the emitted frame sequence never depends on chunking.
     chunk_invariant = True
+    incremental = True
     param_order = ("size", "hop", "shape")
 
     def __init__(self, size: int, hop: int | None = None, shape: str = "rectangular"):
@@ -125,6 +126,27 @@ class Window(StreamAlgorithm):
 
     def reset(self) -> None:
         self._buffer.clear()
+
+    def incremental_ineligibility(self) -> str | None:
+        if self.hop > self.size:
+            return (
+                "window hop exceeds size (samples between frames are "
+                "discarded, which bounded replay cannot express)"
+            )
+        return None
+
+    def incremental_retention(self, merged: Chunk, seen: int) -> int:
+        """Samples past the start of the next uncut frame.
+
+        With ``seen`` samples consumed, ``(seen - size) // hop + 1``
+        frames have been emitted and the next frame starts at that count
+        times ``hop``; everything from there on must replay.  The result
+        is always below ``size`` (no retained frame re-emits) because
+        ``hop <= size`` is guaranteed by :meth:`incremental_ineligibility`.
+        """
+        if seen < self.size:
+            return seen
+        return (seen - self.size) % self.hop + self.size - self.hop
 
     def propagate_shape(self, in_shapes: Sequence[StreamShape]) -> StreamShape:
         first = in_shapes[0]

@@ -331,6 +331,8 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         run_fleet,
         run_fleet_with_recovery,
     )
+    if args.stream:
+        return _serve_bench_stream(args)
     if args.shards is not None or args.open_loop is not None:
         return _serve_bench_cluster(args)
     if args.kill_shard is not None:
@@ -531,6 +533,153 @@ def _serve_bench_cluster(args: argparse.Namespace) -> int:
         cost_model.save(Path(args.cost_table))
         print(f"wrote cost table to {args.cost_table}")
     return 0
+
+
+def _serve_bench_stream(args: argparse.Namespace) -> int:
+    """The ``--stream`` benchmark: streamed ingestion vs whole-trace replay.
+
+    Drives one seeded streamed fleet (devices pushing chunks round by
+    round through intermittent connectivity, subscriptions evaluating
+    incrementally) and then the replay reference (the same fleet's
+    chunks assembled into whole traces, the same conditions submitted
+    as ordinary raw-IL work) through fresh clusters of the same shard
+    count.  The two drives must produce **digest-identical** wake
+    events — the exit code reflects it — and the report compares
+    goodput and batched-tier occupancy between the paths.  With
+    ``--kill-shard`` the named shard is fault-killed mid-stream and
+    rebuilt from its journal; the digest must still match.  ``--out``
+    merges the comparison into a JSON artifact (``stream`` key).
+    """
+    from repro.serve import (
+        ServiceFaultPlan,
+        ShardCluster,
+        StreamLoadSpec,
+        completion_digest,
+        run_cluster_fleet,
+        run_stream_fleet,
+        stream_fleet_plan,
+        stream_replay_workload,
+    )
+    shards = args.shards if args.shards is not None else 1
+    if args.kill_shard is not None and not (0 <= args.kill_shard < shards):
+        print(f"--kill-shard must be in [0, {shards})", file=sys.stderr)
+        return 2
+    if args.kill_shard is not None and not args.journal:
+        print("--kill-shard requires --journal (a directory of "
+              "per-shard journals)", file=sys.stderr)
+        return 2
+    spec = StreamLoadSpec(
+        fleet=args.fleet,
+        seed=args.seed,
+        duration_s=16.0 if args.quick else args.stream_duration,
+    )
+    plans = stream_fleet_plan(spec)
+
+    faults = None
+    if args.kill_shard is not None:
+        # Stream-only pump rounds run no submissions, so only the
+        # "begin" fault hook (right after the round's journal flush)
+        # is reached — the "store" phase used by the submission-path
+        # kill benchmark would never fire here.
+        faults = {
+            args.kill_shard: ServiceFaultPlan(
+                kill_at_pump=args.kill_after or 1,
+                kill_pump_phase="begin",
+            )
+        }
+    cluster = ShardCluster(
+        traces={},
+        shards=shards,
+        jobs=args.jobs,
+        journal_dir=args.journal,
+        faults=faults,
+    )
+    try:
+        streamed = run_stream_fleet(
+            cluster, plans, spec, recover=args.kill_shard is not None
+        )
+    finally:
+        cluster.shutdown()
+    stream_digest = streamed.digest()
+    stream_metrics = streamed.metrics.merged
+
+    traces, submissions = stream_replay_workload(plans)
+    replay_cluster = ShardCluster(traces, shards=shards, jobs=args.jobs)
+    try:
+        replay = run_cluster_fleet(
+            replay_cluster, submissions, pump_every=args.pump_every
+        )
+    finally:
+        replay_cluster.shutdown()
+    replay_digest = completion_digest(replay.pairs)
+    replay_metrics = replay.metrics.merged
+
+    identical = stream_digest == replay_digest
+    stream_goodput = (
+        streamed.wake_events / streamed.wall_s if streamed.wall_s else 0.0
+    )
+    replay_events = sum(
+        len(response.result) for response in replay.completed
+    )
+    replay_goodput = replay_events / replay.wall_s if replay.wall_s else 0.0
+    print(
+        f"stream fleet {spec.fleet} devices | {shards} shard(s) | "
+        f"{spec.rounds} rounds of {spec.chunk_interval_s:g} s chunks "
+        f"(seed {args.seed})"
+    )
+    print(
+        f"streamed: {streamed.subscriptions} subs | "
+        f"{streamed.chunks_pushed} chunks ({streamed.deferred_chunks} "
+        f"deferred) | {streamed.wake_events} events | "
+        f"wall {streamed.wall_s:.2f} s | {stream_goodput:,.0f} events/s | "
+        f"occupancy {stream_metrics.stream_occupancy:.1f}"
+    )
+    print(
+        f"replay:   {len(replay.completed)} completions | "
+        f"{replay_events} events | wall {replay.wall_s:.2f} s | "
+        f"{replay_goodput:,.0f} events/s | "
+        f"occupancy {replay_metrics.batch_occupancy:.1f}"
+    )
+    for shard, times in sorted(streamed.recoveries.items()):
+        print(f"shard {shard}: killed and recovered x{times} mid-stream")
+    print(f"streamed vs replay: {'IDENTICAL' if identical else 'MISMATCH'}")
+    if args.digest:
+        print(f"digest {stream_digest}")
+    if args.out:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        payload: Dict[str, object] = {}
+        if out.exists():
+            payload = json.loads(out.read_text())
+        payload["stream"] = {
+            "fleet": spec.fleet,
+            "shards": shards,
+            "seed": args.seed,
+            "duration_s": spec.duration_s,
+            "chunk_interval_s": spec.chunk_interval_s,
+            "rounds": spec.rounds,
+            "identical": identical,
+            "stream_digest": stream_digest,
+            "replay_digest": replay_digest,
+            "streamed": {
+                **streamed.as_dict(),
+                "goodput_events_per_s": stream_goodput,
+                "occupancy": stream_metrics.stream_occupancy,
+            },
+            "replay": {
+                **replay.as_dict(),
+                "wake_events": replay_events,
+                "goodput_events_per_s": replay_goodput,
+                "occupancy": replay_metrics.batch_occupancy,
+            },
+            "occupancy_streamed_ge_replay": (
+                stream_metrics.stream_occupancy
+                >= replay_metrics.batch_occupancy
+            ),
+        }
+        out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote stream benchmark to {out}")
+    return 0 if identical else 1
 
 
 def _serve_bench_open_loop(
@@ -771,9 +920,21 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="S",
                    help="simulated seconds of arrivals per sweep point "
                         "(default 64)")
+    p.add_argument("--stream", action="store_true",
+                   help="streaming mode: devices push sensor chunks "
+                        "round by round and subscriptions evaluate "
+                        "incrementally; compares goodput, batched-tier "
+                        "occupancy and wake-event digests against the "
+                        "whole-trace replay of the same fleet (exit 1 "
+                        "on digest mismatch)")
+    p.add_argument("--stream-duration", type=float, default=64.0,
+                   metavar="S",
+                   help="with --stream, seconds of sensor data each "
+                        "device produces (default 64; --quick uses 16)")
     p.add_argument("--out", metavar="PATH",
-                   help="with --open-loop, merge the sweep into this "
-                        "JSON artifact under the open_loop key")
+                   help="with --open-loop or --stream, merge the report "
+                        "into this JSON artifact (open_loop / stream "
+                        "key)")
 
     p = sub.add_parser("merge", help="merge several apps' conditions")
     p.add_argument("--apps", required=True,

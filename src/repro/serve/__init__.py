@@ -32,8 +32,17 @@ the simulation engine (:mod:`repro.sim.engine`):
   cross-shard metrics aggregation, and an asyncio front end whose
   ``submit`` resolves at pump time;
 * :mod:`~repro.serve.openloop` — Poisson-arrival open-loop load on a
-  simulated clock, and the overload sweep measuring goodput and
-  p50/p90/p99/p99.9 tail latency vs offered rate.
+  simulated clock, the overload sweep measuring goodput and
+  p50/p90/p99/p99.9 tail latency vs offered rate, and the streamed
+  fleet driver with its intermittent device-connectivity model;
+* :mod:`~repro.serve.ingest` — streaming ingestion: devices push
+  sequence-numbered sensor chunks into per-``(tenant, stream)``
+  append-only buffers, tenants register long-lived subscriptions whose
+  conditions evaluate *incrementally* on each pump round (carried hub
+  state, stacked batched-tier dispatches per ``batch_key``), with
+  ``chunk``/``sub`` journal records making streams crash-recoverable —
+  streamed wake events are bit-identical to replaying the assembled
+  trace whole.
 
 Results returned by the service are bit-identical to direct
 ``Sidewinder``/engine runs — the serving layer adds routing, admission
@@ -62,10 +71,16 @@ from repro.serve.cluster import (
     ShardCluster,
     shard_journal_path,
 )
+from repro.serve.ingest import StreamIngest, StreamSubscriptionState
 from repro.serve.loadgen import (
     ClusterLoadReport,
+    DeviceStreamPlan,
     LoadReport,
     LoadSpec,
+    STREAM_INCREMENTAL_IL,
+    STREAM_REPLAY_IL,
+    StreamLoadSpec,
+    assemble_stream_trace,
     completion_digest,
     fleet_workload,
     reference_result,
@@ -74,6 +89,8 @@ from repro.serve.loadgen import (
     run_cluster_fleet_with_recovery,
     run_fleet,
     run_fleet_with_recovery,
+    stream_fleet_plan,
+    stream_replay_workload,
     submission_content_key,
 )
 from repro.serve.metrics import (
@@ -83,12 +100,15 @@ from repro.serve.metrics import (
     percentile_sorted,
 )
 from repro.serve.openloop import (
+    DeviceConnectivity,
     OpenLoopReport,
     OpenLoopSpec,
     SimClock,
+    StreamFleetReport,
     overload_sweep,
     poisson_arrivals,
     run_open_loop,
+    run_stream_fleet,
 )
 from repro.serve.router import ShardRouter, route_key
 from repro.serve.queue import LaneQueue
@@ -116,6 +136,8 @@ __all__ = [
     "ClusterMetricsSnapshot",
     "Completed",
     "ConditionService",
+    "DeviceConnectivity",
+    "DeviceStreamPlan",
     "Failed",
     "HUB_CATALOGS",
     "HealthMonitor",
@@ -141,12 +163,19 @@ __all__ = [
     "ServeResult",
     "ServiceFaultInjector",
     "ServiceFaultPlan",
+    "STREAM_INCREMENTAL_IL",
+    "STREAM_REPLAY_IL",
     "ShardCluster",
     "ShardRouter",
     "SimClock",
+    "StreamFleetReport",
+    "StreamIngest",
+    "StreamLoadSpec",
+    "StreamSubscriptionState",
     "Submission",
     "TenantQuota",
     "Ticket",
+    "assemble_stream_trace",
     "completion_digest",
     "fleet_workload",
     "overload_sweep",
@@ -162,6 +191,9 @@ __all__ = [
     "run_fleet",
     "run_fleet_with_recovery",
     "run_open_loop",
+    "run_stream_fleet",
     "shard_journal_path",
+    "stream_fleet_plan",
+    "stream_replay_workload",
     "submission_content_key",
 ]

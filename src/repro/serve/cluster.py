@@ -179,6 +179,18 @@ def merge_snapshots(
         shape_cells=sum(snap.shape_cells for snap in per_shard),
         batch_padded_cells=sum(snap.batch_padded_cells for snap in per_shard),
         batch_valid_cells=sum(snap.batch_valid_cells for snap in per_shard),
+        stream_chunks=sum(snap.stream_chunks for snap in per_shard),
+        stream_subscriptions=sum(
+            snap.stream_subscriptions for snap in per_shard
+        ),
+        stream_backlog=sum(snap.stream_backlog for snap in per_shard),
+        # Lag is a worst-case freshness bound, not a volume — the fleet
+        # lags as far as its furthest-behind shard.
+        stream_lag_s=max(
+            (snap.stream_lag_s for snap in per_shard), default=0.0
+        ),
+        stream_rounds=sum(snap.stream_rounds for snap in per_shard),
+        stream_cells=sum(snap.stream_cells for snap in per_shard),
     )
 
 
@@ -354,6 +366,64 @@ class ShardCluster:
                 ),
             )
         return Routed(shard, self._services[shard].submit(submission))
+
+    # -- streaming ingestion --------------------------------------------
+
+    def push_chunk(
+        self,
+        tenant: str,
+        stream: str,
+        seq: int,
+        samples: Mapping[str, object],
+        rate_hz: Optional[Mapping[str, float]] = None,
+    ) -> Tuple[int, Optional[bool]]:
+        """Route one device chunk to its stream's shard and apply it.
+
+        Returns ``(shard, applied)``; ``applied`` is ``None`` when the
+        shard is down — the device buffers and re-pushes after
+        recovery, resyncing from :meth:`stream_cursor` (per-stream
+        ``seq`` makes the re-push idempotent).
+        """
+        shard = self._router.route_stream(tenant, stream)
+        if shard in self._dead:
+            return shard, None
+        return shard, self._services[shard].push_chunk(
+            tenant, stream, seq, samples, rate_hz=rate_hz
+        )
+
+    def subscribe_stream(
+        self, submission: Submission
+    ) -> Tuple[int, Union[int, Rejected]]:
+        """Register a streaming subscription on the stream's shard.
+
+        Returns ``(shard, sub_id_or_rejection)``.  Ids are per-shard —
+        results are read back through ``(shard, sub_id)``.
+        """
+        shard = self._router.route_stream(
+            submission.tenant, submission.trace
+        )
+        if shard in self._dead:
+            return shard, Rejected(
+                submission.tenant,
+                "shard_down",
+                f"shard {shard} is down pending recovery",
+            )
+        return shard, self._services[shard].subscribe_stream(submission)
+
+    def close_stream(self, tenant: str, stream: str) -> Dict[int, tuple]:
+        """End one stream on its shard; subscription id → event log."""
+        shard = self._router.route_stream(tenant, stream)
+        return self._services[shard].close_stream(tenant, stream)
+
+    def stream_results(self, shard: int, sub_id: int) -> tuple:
+        """Wake events a streaming subscription has emitted so far."""
+        return self._services[shard].stream_results(sub_id)
+
+    def stream_cursor(self, tenant: str, stream: str) -> int:
+        """The next chunk ``seq`` a stream's shard expects (0 when the
+        stream is unknown there) — the device resync point."""
+        shard = self._router.route_stream(tenant, stream)
+        return self._services[shard].stream_cursor(tenant, stream)
 
     def pump_shard(self, shard: int) -> List[Response]:
         """Run one scheduling round on one shard.

@@ -27,7 +27,20 @@ kind:
   completion (fingerprint dedup / memo hits); the journal stores one
   payload per unique result and references it thereafter, which is
   what keeps journal size proportional to engine runs rather than
-  fleet size.
+  fleet size;
+* ``("chunk", tenant, stream, seq, now, rate_hz, samples)`` — one
+  device chunk applied to a stream buffer, flushed with the pump round
+  that made it durable; streams rebuild by re-pushing these in journal
+  order (idempotent by per-stream ``seq``);
+* ``("sub", subscription_id, now, subscription)`` — a streaming
+  subscription was registered.  No per-subscription results are
+  journaled: streamed evaluation is arrival-chunking invariant, so
+  recovery re-derives wake events from the rebuilt buffers.
+
+Record kinds version forward: a reader encountering a validly framed
+record whose kind it does not know *skips* it (counted on the scan)
+instead of treating it as damage, so journals carrying newer record
+kinds stay readable by older tooling.
 
 Durability batching follows the service's pump cadence: appends buffer
 in memory and :meth:`JournalWriter.flush` (write + fsync) runs at round
@@ -54,8 +67,11 @@ from repro.serve.submission import Response
 #: Record header: payload length, then CRC-32 of the payload.
 HEADER = struct.Struct("<II")
 
-#: Record kinds the reader accepts; anything else ends the valid prefix.
-RECORD_KINDS = ("accept", "round", "complete", "cref")
+#: Record kinds this reader understands.  A validly framed tuple whose
+#: kind is *not* listed here is skipped with a count, not damage — the
+#: forward-compatibility contract that lets old tooling read journals
+#: written with newer record kinds.
+RECORD_KINDS = ("accept", "round", "complete", "cref", "chunk", "sub")
 
 #: Pickle protocol for record payloads (stable across 3.8+).
 _PICKLE_PROTOCOL = 4
@@ -79,12 +95,16 @@ class JournalScan:
         reason: Why the scan stopped early (``"torn_tail"`` for a
             record cut short, ``"corrupt_record"`` for a CRC or decode
             failure), or ``None`` for a clean journal.
+        skipped_records: Validly framed records whose kind this reader
+            does not know — written by newer tooling and skipped, not
+            treated as damage.  Their bytes count as valid.
     """
 
     records: Tuple[tuple, ...]
     valid_bytes: int
     total_bytes: int
     reason: Optional[str] = None
+    skipped_records: int = 0
 
     @property
     def truncated_bytes(self) -> int:
@@ -96,8 +116,12 @@ def read_journal(path: Union[str, Path]) -> JournalScan:
     """Scan a journal, returning the longest valid record prefix.
 
     Never raises on damage: a torn tail (partial header or payload) or
-    a corrupted record (CRC mismatch, undecodable or unknown payload)
-    simply ends the prefix, with the reason reported on the scan.
+    a corrupted record (CRC mismatch, undecodable or malformed payload)
+    simply ends the prefix, with the reason reported on the scan.  A
+    validly framed record of an *unknown kind* — a tuple headed by an
+    unrecognized string — is not damage: it is counted on
+    ``skipped_records`` and the scan continues, so journals written
+    with newer record kinds stay readable.
 
     Raises:
         JournalError: only when the file itself cannot be read.
@@ -110,6 +134,7 @@ def read_journal(path: Union[str, Path]) -> JournalScan:
     records: List[tuple] = []
     offset = 0
     reason: Optional[str] = None
+    skipped = 0
     while offset < len(data):
         if offset + HEADER.size > len(data):
             reason = "torn_tail"
@@ -131,10 +156,14 @@ def read_journal(path: Union[str, Path]) -> JournalScan:
         if not (
             isinstance(record, tuple)
             and record
-            and record[0] in RECORD_KINDS
+            and isinstance(record[0], str)
         ):
             reason = "corrupt_record"
             break
+        if record[0] not in RECORD_KINDS:
+            skipped += 1
+            offset = start + length
+            continue
         records.append(record)
         offset = start + length
     return JournalScan(
@@ -142,6 +171,7 @@ def read_journal(path: Union[str, Path]) -> JournalScan:
         valid_bytes=offset,
         total_bytes=len(data),
         reason=reason,
+        skipped_records=skipped,
     )
 
 

@@ -32,6 +32,8 @@ from typing import (
     Union,
 )
 
+import numpy as np
+
 from repro.api.manager import validate_condition
 from repro.apps import all_applications
 from repro.apps.base import SensingApplication
@@ -54,6 +56,7 @@ from repro.serve.submission import (
 from repro.sim.configs.sidewinder import Sidewinder
 from repro.sim.simulator import run_wakeup_condition
 from repro.traces.base import Trace
+from repro.traces.stream import StreamBuffer
 
 #: Broken IL texts the generator sprinkles in to exercise the
 #: per-request error path: a parse failure, a dangling node reference,
@@ -72,6 +75,38 @@ VALID_ACCEL_IL: Tuple[str, ...] = (
     "1 -> maxThreshold(id=2, params={1.5}); 2 -> OUT;",
     "ACC_Y -> expMovingAvg(id=1, params={0.2}); "
     "1 -> minThreshold(id=2, params={-0.5}); 2 -> OUT;",
+)
+
+
+#: Streaming condition templates that support bounded-replay
+#: incremental execution.  Each family rolls only a *liftable*
+#: threshold parameter, so every instance of a family shares one
+#: ``batch_key`` — subscriptions across the whole fleet advance through
+#: one stacked batched-tier dispatch per family per round, which is
+#: what makes round-sized streaming work batched-tier work.
+STREAM_INCREMENTAL_IL: Tuple[str, ...] = tuple(
+    f"ACC_X -> movingAvg(id=1, params={{10}});"
+    f"1 -> minThreshold(id=2, params={{{threshold}}});"
+    f"2 -> OUT;"
+    for threshold in (0.2, 0.35, 0.5)
+) + tuple(
+    f"ACC_Y -> movingAvg(id=1, params={{12}});"
+    f"1 -> maxThreshold(id=2, params={{{threshold}}});"
+    f"2 -> OUT;"
+    for threshold in (0.6, 0.75, 0.9)
+) + (
+    "ACC_X -> sustainedThreshold(id=1, params={0.2, 7}); 1 -> OUT;",
+)
+
+#: Streaming templates that fall back to whole-graph replay:
+#: ``localExtrema`` with a debounce window (chunk-invariant, so it
+#: replays over arbitrary arrival spans) and ``expMovingAvg`` (not
+#: chunk-invariant, so it replays through the canonical round replica).
+STREAM_REPLAY_IL: Tuple[str, ...] = (
+    "ACC_X -> localExtrema(id=1, params={max, 0.3, 10, 3}); 1 -> OUT;",
+    "ACC_X -> expMovingAvg(id=1, params={0.5});"
+    "1 -> maxThreshold(id=2, params={0.1});"
+    "2 -> OUT;",
 )
 
 
@@ -184,6 +219,175 @@ def fleet_workload(
                     Submission(tenant=tenant, trace=trace, app=app, lane=lane)
                 )
     return submissions
+
+
+@dataclass(frozen=True)
+class StreamLoadSpec:
+    """Shape of one deterministic streaming fleet workload.
+
+    Attributes:
+        fleet: Number of simulated devices; device ``d`` is tenant
+            ``device-000d`` pushing stream ``stream-000d``.
+        seed: Base RNG seed; signal content, subscription choices and
+            connectivity gaps all derive from it.
+        duration_s: Seconds of sensor data each device produces.
+        chunk_interval_s: Seconds of data per pushed chunk — the round
+            granularity of the streamed drive.
+        chunk_seconds: Feed chunking the subscriptions evaluate at
+            (the replay reference must use the same value).
+        rate_hz: Sampling rate of every synthetic channel.
+        min_subscriptions / max_subscriptions: Per-device subscription
+            count range (inclusive).
+        replay_fraction: Probability a subscription draws a
+            whole-graph-replay template (:data:`STREAM_REPLAY_IL`)
+            instead of an incremental one
+            (:data:`STREAM_INCREMENTAL_IL`).
+        disconnect_rate: Per-round probability a connected device drops
+            off; while gone its chunks buffer on-device.
+        mean_gap_rounds: Mean rounds a disconnection lasts (geometric);
+            reconnection delivers the buffered chunks in one burst.
+    """
+
+    fleet: int = 20
+    seed: int = 0
+    duration_s: float = 32.0
+    chunk_interval_s: float = 2.0
+    chunk_seconds: float = 4.0
+    rate_hz: float = 50.0
+    min_subscriptions: int = 1
+    max_subscriptions: int = 2
+    replay_fraction: float = 0.2
+    disconnect_rate: float = 0.1
+    mean_gap_rounds: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.fleet <= 0:
+            raise ServiceError(f"fleet must be positive, got {self.fleet}")
+        if self.duration_s <= 0 or self.chunk_interval_s <= 0:
+            raise ServiceError(
+                "duration_s and chunk_interval_s must be positive"
+            )
+        if not 1 <= self.min_subscriptions <= self.max_subscriptions:
+            raise ServiceError(
+                "subscription range must satisfy 1 <= min <= max, got "
+                f"[{self.min_subscriptions}, {self.max_subscriptions}]"
+            )
+
+    @property
+    def rounds(self) -> int:
+        """Chunks each device produces over the drive."""
+        return max(1, int(round(self.duration_s / self.chunk_interval_s)))
+
+
+@dataclass(frozen=True)
+class DeviceStreamPlan:
+    """One device's complete streaming intent, fixed before the drive.
+
+    The plan is the shared ground truth between the streamed drive and
+    the replay reference: the streamed path pushes ``chunks`` in order
+    (possibly deferred by connectivity gaps) and registers
+    ``submissions`` as live subscriptions; the reference assembles the
+    same chunks into one trace (:func:`assemble_stream_trace`) and
+    submits the same ``submissions`` over it.  Digest identity between
+    the two is the streaming correctness gate.
+    """
+
+    tenant: str
+    stream: str
+    rate_hz: Mapping[str, float]
+    chunks: Tuple[Mapping[str, np.ndarray], ...]
+    submissions: Tuple[Submission, ...]
+
+
+def stream_fleet_plan(spec: StreamLoadSpec) -> List[DeviceStreamPlan]:
+    """The per-device streaming plans of one seeded fleet.
+
+    Every device carries two accelerometer channels; chunk ``seq``
+    covers seconds ``[seq, seq+1) * chunk_interval_s`` of the device's
+    seeded signal.  Subscription ILs draw from the rolled template
+    families, so many devices share each template's ``batch_key`` and
+    the shard's incremental rounds batch across the fleet.
+    """
+    plans: List[DeviceStreamPlan] = []
+    per_chunk = max(1, int(round(spec.rate_hz * spec.chunk_interval_s)))
+    rounds = spec.rounds
+    for device in range(spec.fleet):
+        rng = random.Random(spec.seed * 1_000_003 + device)
+        data_rng = np.random.default_rng(spec.seed * 7_654_321 + device)
+        tenant = f"device-{device:04d}"
+        stream = f"stream-{device:04d}"
+        total = per_chunk * rounds
+        columns = {
+            "ACC_X": data_rng.normal(0.35, 0.35, total),
+            "ACC_Y": data_rng.normal(0.7, 0.25, total),
+        }
+        chunks = tuple(
+            {
+                name: column[index * per_chunk:(index + 1) * per_chunk]
+                for name, column in columns.items()
+            }
+            for index in range(rounds)
+        )
+        count = rng.randint(
+            spec.min_subscriptions, spec.max_subscriptions
+        )
+        submissions = tuple(
+            Submission(
+                tenant=tenant,
+                trace=stream,
+                il=rng.choice(
+                    STREAM_REPLAY_IL
+                    if rng.random() < spec.replay_fraction
+                    else STREAM_INCREMENTAL_IL
+                ),
+                chunk_seconds=spec.chunk_seconds,
+            )
+            for _ in range(count)
+        )
+        plans.append(
+            DeviceStreamPlan(
+                tenant=tenant,
+                stream=stream,
+                rate_hz={
+                    "ACC_X": spec.rate_hz, "ACC_Y": spec.rate_hz,
+                },
+                chunks=chunks,
+                submissions=submissions,
+            )
+        )
+    return plans
+
+
+def assemble_stream_trace(plan: DeviceStreamPlan) -> Trace:
+    """A plan's chunks assembled into the whole-trace replay reference.
+
+    Built through the same :class:`~repro.traces.stream.StreamBuffer`
+    machinery the serving shard uses, so the assembled channel arrays
+    and timeline are bitwise what the streamed path saw.
+    """
+    buffer = StreamBuffer(plan.stream, dict(plan.rate_hz))
+    for seq, chunk in enumerate(plan.chunks):
+        buffer.push(seq, chunk)
+    return buffer.to_trace()
+
+
+def stream_replay_workload(
+    plans: Sequence[DeviceStreamPlan],
+) -> Tuple[Dict[str, Trace], List[Submission]]:
+    """The replay-whole-trace equivalent of a streamed fleet drive.
+
+    Returns the trace registry (every device's assembled stream) and
+    the submission list (every plan's subscriptions, as ordinary raw-IL
+    submissions over the assembled traces).  Drive these through
+    :func:`run_cluster_fleet` and the
+    :func:`completion_digest` of the report's pairs must equal the
+    streamed drive's digest — same fleet, same seed, same events.
+    """
+    traces = {plan.stream: assemble_stream_trace(plan) for plan in plans}
+    submissions = [
+        submission for plan in plans for submission in plan.submissions
+    ]
+    return traces, submissions
 
 
 @dataclass

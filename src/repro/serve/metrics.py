@@ -114,6 +114,20 @@ class MetricsSnapshot:
             verdict (``"healthy"`` / ``"degraded"``) at snapshot time.
         health_transitions: Every ``(now, from, to)`` health transition
             so far, in order — deterministic under the logical clock.
+        stream_chunks: Device chunks applied to stream buffers.
+        stream_subscriptions: Streaming subscriptions registered.
+        stream_backlog: Samples pushed but not yet walked by every
+            subscription of their stream — the ingestion backlog at
+            snapshot time.
+        stream_lag_s: Worst per-subscription chunk lag in stream
+            seconds: how far the furthest-behind subscription's cursor
+            trails its stream's timeline end.
+        stream_rounds: Incremental-round dispatches the streaming path
+            ran (stacked ``advance_rows`` calls plus single-state and
+            replay advances).
+        stream_cells: Per-subscription advances those dispatches
+            covered; ``stream_cells / stream_rounds`` is the
+            incremental-round occupancy.
     """
 
     submitted: int
@@ -141,6 +155,12 @@ class MetricsSnapshot:
     shape_cells: int = 0
     batch_padded_cells: int = 0
     batch_valid_cells: int = 0
+    stream_chunks: int = 0
+    stream_subscriptions: int = 0
+    stream_backlog: int = 0
+    stream_lag_s: float = 0.0
+    stream_rounds: int = 0
+    stream_cells: int = 0
 
     @property
     def rejected_total(self) -> int:
@@ -163,6 +183,11 @@ class MetricsSnapshot:
         if self.batch_valid_cells <= 0:
             return 1.0
         return self.batch_padded_cells / self.batch_valid_cells
+
+    @property
+    def stream_occupancy(self) -> float:
+        """Mean subscription advances per incremental-round dispatch."""
+        return self.stream_cells / self.stream_rounds if self.stream_rounds else 0.0
 
     def as_dict(self) -> Dict[str, object]:
         """Snapshot as a plain dict (for logs and benchmark artifacts)."""
@@ -194,6 +219,13 @@ class MetricsSnapshot:
             "batch_padded_cells": self.batch_padded_cells,
             "batch_valid_cells": self.batch_valid_cells,
             "batch_padding_ratio": self.batch_padding_ratio,
+            "stream_chunks": self.stream_chunks,
+            "stream_subscriptions": self.stream_subscriptions,
+            "stream_backlog": self.stream_backlog,
+            "stream_lag_s": self.stream_lag_s,
+            "stream_rounds": self.stream_rounds,
+            "stream_cells": self.stream_cells,
+            "stream_occupancy": self.stream_occupancy,
             "health_state": self.health_state,
             "health_transitions": [
                 list(transition) for transition in self.health_transitions
@@ -219,6 +251,11 @@ class MetricsSnapshot:
                 f"shape rounds {self.shape_rounds} | shape cells "
                 f"{self.shape_cells} | occupancy {self.shape_occupancy:.1f} | "
                 f"padding ratio {self.batch_padding_ratio:.2f}",
+                f"stream chunks {self.stream_chunks} | subs "
+                f"{self.stream_subscriptions} | backlog "
+                f"{self.stream_backlog} | lag {self.stream_lag_s:.2f}s | "
+                f"rounds {self.stream_rounds} | occupancy "
+                f"{self.stream_occupancy:.1f}",
                 f"latency p50/p90/p99/p99.9 {self.latency_p50:g}/"
                 f"{self.latency_p90:g}/{self.latency_p99:g}/"
                 f"{self.latency_p999:g} rounds",
@@ -270,6 +307,12 @@ class MetricsRecorder:
         shape_cells: int = 0,
         batch_padded_cells: int = 0,
         batch_valid_cells: int = 0,
+        stream_chunks: int = 0,
+        stream_subscriptions: int = 0,
+        stream_backlog: int = 0,
+        stream_lag_s: float = 0.0,
+        stream_rounds: int = 0,
+        stream_cells: int = 0,
     ) -> MetricsSnapshot:
         """Freeze the counters into a :class:`MetricsSnapshot`.
 
@@ -307,4 +350,10 @@ class MetricsRecorder:
             shape_cells=shape_cells,
             batch_padded_cells=batch_padded_cells,
             batch_valid_cells=batch_valid_cells,
+            stream_chunks=stream_chunks,
+            stream_subscriptions=stream_subscriptions,
+            stream_backlog=stream_backlog,
+            stream_lag_s=stream_lag_s,
+            stream_rounds=stream_rounds,
+            stream_cells=stream_cells,
         )

@@ -40,22 +40,32 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ServiceError
 from repro.serve.cluster import ShardCluster
-from repro.serve.loadgen import LoadSpec, fleet_workload
+from repro.serve.loadgen import (
+    DeviceStreamPlan,
+    LoadSpec,
+    StreamLoadSpec,
+    completion_digest,
+    fleet_workload,
+)
 from repro.serve.metrics import percentile_sorted
 from repro.serve.submission import (
     Completed,
     Rejected,
     Response,
     Submission,
+    Ticket,
 )
 
 __all__ = [
+    "DeviceConnectivity",
     "OpenLoopReport",
     "OpenLoopSpec",
     "SimClock",
+    "StreamFleetReport",
     "overload_sweep",
     "poisson_arrivals",
     "run_open_loop",
+    "run_stream_fleet",
 ]
 
 
@@ -276,6 +286,236 @@ def run_open_loop(
     report.latency_p90 = percentile_sorted(ordered, 90)
     report.latency_p99 = percentile_sorted(ordered, 99)
     report.latency_p999 = percentile_sorted(ordered, 99.9)
+    return report
+
+
+class DeviceConnectivity:
+    """Seeded intermittent connectivity for one streaming device.
+
+    Mobile devices do not upload on a clean cadence: radios sleep,
+    coverage drops, uploads batch.  This model makes that part of the
+    arrival process — per round a connected device disconnects with
+    probability ``disconnect_rate`` and a disconnected one reconnects
+    with probability ``1 / mean_gap_rounds`` (geometric gap lengths).
+    While disconnected its chunks buffer on-device; the driver delivers
+    the whole backlog in one burst at reconnect, which is exactly the
+    bursty span shape the incremental execution layer must stay
+    bit-identical under.
+
+    Round 0 is always connected: a device's first contact carries its
+    stream's first chunk and registers its subscriptions.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        device: int,
+        disconnect_rate: float = 0.0,
+        mean_gap_rounds: float = 2.0,
+    ):
+        if not 0 <= disconnect_rate < 1:
+            raise ServiceError(
+                f"disconnect_rate must be in [0, 1), got {disconnect_rate}"
+            )
+        self._rng = random.Random(seed * 2_000_003 + device)
+        self._disconnect = disconnect_rate
+        self._reconnect = 1.0 / max(1.0, mean_gap_rounds)
+
+    def schedule(self, rounds: int) -> List[bool]:
+        """Connected flags for ``rounds`` rounds (round 0 always True)."""
+        flags: List[bool] = []
+        connected = True
+        for index in range(rounds):
+            if index > 0:
+                if connected:
+                    if self._rng.random() < self._disconnect:
+                        connected = False
+                elif self._rng.random() < self._reconnect:
+                    connected = True
+            flags.append(connected or index == 0)
+        return flags
+
+
+@dataclass
+class StreamFleetReport:
+    """Outcome of driving one streamed fleet through a cluster.
+
+    Attributes:
+        devices / subscriptions / chunks_pushed: Fleet shape counters.
+        deferred_chunks: Chunks delivered later than the round that
+            produced them (buffered through a connectivity gap, or
+            re-pushed after a shard recovery).
+        rejections: ``(shard, rejection)`` subscription refusals.
+        by_subscription: Registered submissions keyed by their global
+            ``(shard, sub_id)``.
+        events: Complete per-subscription wake-event logs, same keys.
+        recoveries: Shard → times it was killed and rebuilt mid-drive.
+        wall_s: Real seconds the drive took.
+        metrics: The cluster's final merged + per-shard snapshot.
+    """
+
+    devices: int = 0
+    subscriptions: int = 0
+    chunks_pushed: int = 0
+    deferred_chunks: int = 0
+    rejections: List[Tuple[int, Rejected]] = field(default_factory=list)
+    by_subscription: Dict[Tuple[int, int], Submission] = field(
+        default_factory=dict
+    )
+    events: Dict[Tuple[int, int], tuple] = field(default_factory=dict)
+    recoveries: Dict[int, int] = field(default_factory=dict)
+    wall_s: float = 0.0
+    metrics: object = None  # ClusterMetricsSnapshot
+
+    @property
+    def wake_events(self) -> int:
+        """Wake events emitted across every subscription."""
+        return sum(len(log) for log in self.events.values())
+
+    @property
+    def pairs(self) -> List[Tuple[Submission, Completed]]:
+        """(submission, completion) pairs for
+        :func:`~repro.serve.loadgen.completion_digest`.
+
+        Each subscription's event log is wrapped as a completion whose
+        result is the event tuple — the same result content an ordinary
+        raw-IL submission over the assembled trace completes with, so
+        streamed and replayed drives digest-compare directly.  Ticket
+        ids and timestamps are synthetic; the digest ignores them.
+        """
+        return [
+            (
+                self.by_subscription[key],
+                Completed(
+                    Ticket(key[1], self.by_subscription[key].tenant, 0.0),
+                    result=self.events.get(key, ()),
+                ),
+            )
+            for key in sorted(self.by_subscription)
+        ]
+
+    def digest(self) -> str:
+        """Topology-independent digest of every subscription's events."""
+        return completion_digest(self.pairs)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Benchmark-artifact form."""
+        return {
+            "devices": self.devices,
+            "subscriptions": self.subscriptions,
+            "chunks_pushed": self.chunks_pushed,
+            "deferred_chunks": self.deferred_chunks,
+            "rejections": len(self.rejections),
+            "wake_events": self.wake_events,
+            "recoveries": dict(self.recoveries),
+            "wall_s": self.wall_s,
+            "metrics": self.metrics.as_dict() if self.metrics else None,
+        }
+
+
+def run_stream_fleet(
+    cluster: ShardCluster,
+    plans: Sequence[DeviceStreamPlan],
+    spec: StreamLoadSpec,
+    recover: bool = False,
+) -> StreamFleetReport:
+    """Drive a streamed fleet through a cluster, round by round.
+
+    Each round, every connected device pushes its backlog of produced
+    chunks (one chunk per round while connected; a burst after a gap),
+    then the cluster pumps once — chunks become durable at the round
+    flush and every subscription advances incrementally over whatever
+    arrived.  Round 0 additionally registers each device's
+    subscriptions, right after its first chunk lands.
+
+    With ``recover=True``, shards killed by their fault plans are
+    rebuilt from their journals after the pump that killed them, and
+    the affected devices resync their send pointers from
+    :meth:`~repro.serve.cluster.ShardCluster.stream_cursor` — re-pushing
+    whatever durability lost, exactly the reconnect protocol.  The
+    drive ends by closing every stream and collecting complete event
+    logs; digest-compare against the replay reference built from
+    :func:`~repro.serve.loadgen.stream_replay_workload`.
+    """
+    report = StreamFleetReport(devices=len(plans))
+    started = time.perf_counter()
+    rounds = max((len(plan.chunks) for plan in plans), default=0)
+    sent: Dict[str, int] = {plan.stream: 0 for plan in plans}
+    schedules = {
+        plan.stream: DeviceConnectivity(
+            spec.seed, device, spec.disconnect_rate, spec.mean_gap_rounds
+        ).schedule(rounds)
+        for device, plan in enumerate(plans)
+    }
+
+    def deliver(plan: DeviceStreamPlan, upto: int, now_round: int) -> None:
+        for seq in range(sent[plan.stream], upto):
+            _, applied = cluster.push_chunk(
+                plan.tenant,
+                plan.stream,
+                seq,
+                plan.chunks[seq],
+                rate_hz=dict(plan.rate_hz) if seq == 0 else None,
+            )
+            if applied is None:
+                return  # Shard down: keep buffering, retry post-recovery.
+            sent[plan.stream] = seq + 1
+            report.chunks_pushed += 1
+            if seq < now_round:
+                report.deferred_chunks += 1
+
+    def recover_dead() -> None:
+        if not recover:
+            return
+        for shard in cluster.dead_shards:
+            cluster.recover_shard(shard)
+            report.recoveries[shard] = report.recoveries.get(shard, 0) + 1
+            # Devices resync from the durable cursor: chunks the crash
+            # lost get re-pushed, chunks it kept are skipped (seq is
+            # idempotent either way).
+            for plan in plans:
+                sent[plan.stream] = min(
+                    sent[plan.stream],
+                    cluster.stream_cursor(plan.tenant, plan.stream),
+                )
+
+    for now_round in range(rounds):
+        for plan in plans:
+            if now_round < len(plan.chunks) and (
+                schedules[plan.stream][now_round]
+            ):
+                deliver(plan, now_round + 1, now_round)
+        if now_round == 0:
+            for plan in plans:
+                for submission in plan.submissions:
+                    shard, outcome = cluster.subscribe_stream(submission)
+                    if isinstance(outcome, Rejected):
+                        report.rejections.append((shard, outcome))
+                    else:
+                        report.subscriptions += 1
+                        report.by_subscription[(shard, outcome)] = submission
+        cluster.pump()
+        recover_dead()
+
+    # Final reconnect: every device flushes its remaining backlog (and
+    # anything a recovery rolled back), pumping until all delivered.
+    while any(sent[plan.stream] < len(plan.chunks) for plan in plans):
+        for plan in plans:
+            deliver(plan, len(plan.chunks), rounds)
+        cluster.pump()
+        recover_dead()
+        if cluster.dead_shards and not recover:
+            break
+
+    for plan in plans:
+        shard = cluster.router.route_stream(plan.tenant, plan.stream)
+        for sub_id, log in cluster.close_stream(
+            plan.tenant, plan.stream
+        ).items():
+            report.events[(shard, sub_id)] = log
+
+    report.wall_s = time.perf_counter() - started
+    report.metrics = cluster.metrics()
     return report
 
 

@@ -89,6 +89,16 @@ class ShardRouter:
         """Route a submission by its ``(tenant, trace)`` pair."""
         return self.route(submission.tenant, submission.trace)
 
+    def route_stream(self, tenant: str, stream: str) -> int:
+        """The shard owning a device stream.
+
+        Streams route exactly like traces — the stream name *is* the
+        trace name its subscriptions carry — so every chunk of a
+        device's stream, every subscription over it, and any eventual
+        replay of its assembled trace all land on the same shard.
+        """
+        return self.route(tenant, stream)
+
     def assignment(
         self, keys: List[Tuple[str, str]]
     ) -> Dict[int, List[Tuple[str, str]]]:

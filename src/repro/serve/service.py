@@ -44,10 +44,14 @@ from typing import (
     Union,
 )
 
-from repro.errors import JournalError, ServiceKilled
+import numpy as np
+
+from repro.errors import JournalError, ServiceError, ServiceKilled, SidewinderError
+from repro.hub.runtime import WakeEvent
 from repro.power.phone import NEXUS4, PhonePowerProfile
 from repro.serve.faults import ServiceFaultInjector, ServiceFaultPlan
 from repro.serve.health import HealthMonitor, HealthPolicy
+from repro.serve.ingest import StreamIngest
 from repro.serve.journal import (
     JournalWriter,
     RecoveryStats,
@@ -174,6 +178,14 @@ class ConditionService:
             start=self._now(),
         )
         self._pump_index = 0
+        self._ingest = StreamIngest(
+            now=self._now,
+            journal_append=(
+                self._journal_stream_record
+                if self._journal is not None
+                else None
+            ),
+        )
         # id(result) -> (result, submission_id): strong refs, so a live
         # id can never be recycled while its map entry exists.
         self._journaled_results: Dict[int, Tuple[ServeResult, int]] = {}
@@ -349,6 +361,94 @@ class ConditionService:
         except JournalError:
             self._health.on_journal_error(self._now())
 
+    def _journal_stream_record(self, record: tuple) -> None:
+        """Buffer a stream record (chunk/sub) for the next round flush.
+
+        Stream records are apply-then-journal: a journal failure counts
+        on shard health but does not refuse the chunk — the device's
+        resync protocol (:meth:`stream_cursor` after recovery, then
+        idempotent re-push) recovers anything the journal lost.
+        """
+        try:
+            self._journal.append(record)
+        except JournalError:
+            self._health.on_journal_error(self._now())
+
+    # -- streaming ingestion --------------------------------------------
+
+    def push_chunk(
+        self,
+        tenant: str,
+        stream: str,
+        seq: int,
+        samples: Mapping[str, np.ndarray],
+        rate_hz: Optional[Mapping[str, float]] = None,
+    ) -> bool:
+        """Apply one device chunk to a stream; True when it advanced.
+
+        The first chunk of a new stream must carry ``rate_hz``.  A
+        duplicate ``seq`` (reconnect retry) is an idempotent no-op.
+        Chunks become durable at the next pump's journal flush; the
+        device's resync point after a shard crash is
+        :meth:`stream_cursor`.
+
+        Raises:
+            ServiceError: when the service is shut down, or on an
+                unknown stream with no ``rate_hz``.
+            TraceError: on a sequence gap or unknown channel.
+        """
+        if self._closed:
+            raise ServiceError("service is shut down")
+        self._health.on_submit(self._now())
+        return self._ingest.push(
+            tenant, stream, seq, samples, rate_hz=rate_hz,
+            journal=self._journal is not None,
+        )
+
+    def subscribe_stream(
+        self, submission: Submission
+    ) -> Union[int, Rejected]:
+        """Register a streaming subscription; its id, or why not.
+
+        ``submission.trace`` names an already-started stream of the
+        same tenant and ``submission.il`` carries the condition (app
+        submissions replay finished recordings; streams have none).
+        Validation failures come back as structured
+        :class:`~repro.serve.submission.Rejected` values, mirroring
+        :meth:`submit`.
+        """
+        tenant = submission.tenant
+        if self._closed:
+            return self._reject(tenant, "shutdown", "service is shut down")
+        self._health.on_submit(self._now())
+        try:
+            return self._ingest.subscribe(
+                submission, journal=self._journal is not None
+            )
+        except SidewinderError as error:
+            return self._reject(tenant, "invalid_subscription", str(error))
+
+    def close_stream(
+        self, tenant: str, stream: str
+    ) -> Dict[int, Tuple[WakeEvent, ...]]:
+        """End one stream: final catch-up round, then complete event
+        logs per subscription id.
+
+        Pending stream records are flushed first, so everything the
+        final results derive from is durable before they escape.
+        """
+        self._journal_flush()
+        return self._ingest.close_stream(tenant, stream)
+
+    def stream_results(self, sub_id: int) -> Tuple[WakeEvent, ...]:
+        """Wake events a streaming subscription has emitted so far."""
+        return self._ingest.results(sub_id)
+
+    def stream_cursor(self, tenant: str, stream: str) -> int:
+        """The next chunk ``seq`` a stream expects (0 when unknown) —
+        the device resync point after shard recovery."""
+        return self._ingest.next_seq(tenant, stream)
+
     # -- scheduling -----------------------------------------------------
 
     def pump(self) -> List[Response]:
@@ -356,14 +456,24 @@ class ConditionService:
 
         Returns the round's terminal responses (also fetchable via
         :meth:`result` until their TTL lapses).  A no-op on an empty
-        queue.  With a journal, the round's membership is flushed
-        before execution and its completions are flushed at round end,
-        so a crash anywhere inside the round is recoverable with the
-        round's original batch and logical time.
+        queue with no new stream arrivals.  With a journal, the round's
+        membership is flushed before execution and its completions are
+        flushed at round end, so a crash anywhere inside the round is
+        recoverable with the round's original batch and logical time.
+
+        Streams ride the same cadence: chunks and subscriptions that
+        arrived since the last round are made durable by the round
+        flush, then every subscription advances incrementally over its
+        newly arrived span (one stacked batched-tier dispatch per
+        ``batch_key`` group) before the batch executes.  Rounds with
+        only stream work run the advance and return no responses —
+        streamed wake events are read through :meth:`stream_results` /
+        :meth:`close_stream`.
         """
         self._store.evict_expired(self._now())
         entries = self._queue.take(self._batch_size)
-        if not entries:
+        stream_work = self._ingest.dirty
+        if not entries and not stream_work:
             self._health.on_pump(self._now())
             return []
         round_index = self._pump_index
@@ -372,11 +482,22 @@ class ConditionService:
             self._admission.on_scheduled(ticket.tenant)
         self._tick()
         round_now = self._now()
-        self._journal_round(round_now, entries)
+        if entries:
+            # The round flush also makes buffered stream records durable.
+            self._journal_round(round_now, entries)
+        else:
+            # Stream-only round: chunks/subscriptions become durable
+            # before they are evaluated.
+            self._journal_flush()
         if self._faults is not None and self._faults.kill_on_pump(
             round_index, "begin"
         ):
             self._kill()
+        if stream_work:
+            self._ingest.advance()
+        if not entries:
+            self._health.on_pump(round_now)
+            return []
         responses, engine_runs = self._scheduler.run_batch(
             entries, now=round_now
         )
@@ -427,6 +548,12 @@ class ConditionService:
             shape_cells=self._scheduler.shape_cells,
             batch_padded_cells=self._scheduler.batch_padded_cells,
             batch_valid_cells=self._scheduler.batch_valid_cells,
+            stream_chunks=self._ingest.chunks,
+            stream_subscriptions=self._ingest.subscriptions,
+            stream_backlog=self._ingest.backlog,
+            stream_lag_s=self._ingest.lag_s,
+            stream_rounds=self._ingest.rounds,
+            stream_cells=self._ingest.cells,
         )
 
     def latency_samples(self) -> Tuple[float, ...]:
@@ -558,6 +685,7 @@ class ConditionService:
         accepts: Dict[int, Tuple[float, Submission]] = {}
         completions: Dict[int, Tuple[float, Response]] = {}
         rounds: List[Tuple[float, Tuple[int, ...]]] = []
+        stream_records: List[tuple] = []
         clock = 0.0
         for record in scan.records:
             kind = record[0]
@@ -570,7 +698,8 @@ class ConditionService:
             elif kind == "complete":
                 _, sid, now, response = record
                 completions[sid] = (now, response)
-            else:  # cref: a completion sharing an earlier payload
+            elif kind == "cref":
+                # A completion sharing an earlier payload.
                 _, sid, now, ref_sid, dedup, latency = record
                 base = completions.get(ref_sid)
                 accepted = accepts.get(sid)
@@ -587,6 +716,12 @@ class ConditionService:
                             dedup=dedup, latency=latency,
                         ),
                     )
+            elif kind == "chunk":
+                now = record[4]
+                stream_records.append(record)
+            else:  # sub
+                now = record[2]
+                stream_records.append(record)
             clock = max(clock, now)
 
         service = cls(
@@ -609,6 +744,27 @@ class ConditionService:
         if accepts:
             service._next_id = max(accepts) + 1
         service._pump_index = len(rounds)
+
+        # Streams rebuild from their durable chunk/sub records, in
+        # journal order (re-pushing is idempotent by seq; subscription
+        # ids reattach from the records).  One catch-up advance then
+        # re-derives every streamed wake event — bit-identical to the
+        # pre-crash run, because streamed evaluation is invariant to
+        # how arrivals were chunked into rounds.
+        for record in stream_records:
+            if record[0] == "chunk":
+                _, tenant, stream, seq, _, rates, samples = record
+                service._ingest.push(
+                    tenant, stream, seq, samples, rate_hz=rates,
+                    journal=False,
+                )
+            else:
+                _, sub_id, _, submission = record
+                service._ingest.subscribe(
+                    submission, journal=False, sub_id=sub_id
+                )
+        if service._ingest.dirty:
+            service._ingest.advance()
 
         # Quota state: every durable accept charged the tenant's
         # lifetime budget and took a pending slot ...

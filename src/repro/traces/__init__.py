@@ -17,6 +17,8 @@ which we use as the ground truth").
   days with confounder motion;
 * :mod:`repro.traces.audio` — office / coffee-shop / outdoor scenes
   with injected sirens, music and speech;
+* :mod:`repro.traces.stream` — append-only :class:`StreamBuffer`
+  (a trace assembled incrementally from pushed device chunks);
 * :mod:`repro.traces.io` — save/load;
 * :mod:`repro.traces.library` — the standard corpora the benchmarks use
   (18 robot runs, 3 human traces, 3 audio traces).
@@ -27,6 +29,7 @@ from repro.traces.compose import concat_traces, repeat_trace
 from repro.traces.perturb import dropout, noise_burst, random_fault_spans, stuck_sensor
 from repro.traces.library import audio_corpus, human_corpus, robot_corpus
 from repro.traces.robot import RobotRunConfig, generate_robot_run
+from repro.traces.stream import StreamBuffer
 from repro.traces.human import HumanScenario, generate_human_trace
 from repro.traces.audio import AudioEnvironment, generate_audio_trace
 
@@ -41,6 +44,7 @@ __all__ = [
     "GroundTruthEvent",
     "HumanScenario",
     "RobotRunConfig",
+    "StreamBuffer",
     "Trace",
     "audio_corpus",
     "generate_audio_trace",

@@ -60,6 +60,26 @@ class GroundTruthEvent:
         return GroundTruthEvent(label, start, end, items)
 
 
+def shift_times_metadata(
+    metadata: Tuple[Tuple[str, object], ...], offset: float
+) -> Tuple[Tuple[str, object], ...]:
+    """Shift time-valued event metadata by ``offset`` seconds.
+
+    By convention, metadata keys ending in ``_times`` hold tuples of
+    absolute trace times (e.g. a walking bout's ``step_times``); they
+    must move whenever the event's own times are re-based — splicing
+    traces together (:func:`repro.traces.compose.concat_traces`) or
+    cutting one down (:meth:`Trace.slice`).  Everything else passes
+    through verbatim.
+    """
+    shifted = []
+    for key, value in metadata:
+        if key.endswith("_times") and isinstance(value, tuple):
+            value = tuple(float(t) + offset for t in value)
+        shifted.append((key, value))
+    return tuple(shifted)
+
+
 @dataclass
 class Trace:
     """A multi-channel sensor recording with ground truth.
@@ -133,8 +153,9 @@ class Trace:
     def slice(self, start: float, end: float, name: Optional[str] = None) -> "Trace":
         """Extract a sub-trace covering ``[start, end]``.
 
-        Events are clipped to the window; event times and sample times
-        are re-based so the sub-trace starts at 0.
+        Events are clipped to the window; event times, time-valued
+        event metadata (``*_times``) and sample times are re-based so
+        the sub-trace starts at 0.
         """
         start = max(0.0, start)
         end = min(self.duration, end)
@@ -150,7 +171,7 @@ class Trace:
                 e.label,
                 max(e.start, start) - start,
                 min(e.end, end) - start,
-                e.metadata,
+                shift_times_metadata(e.metadata, -start),
             )
             for e in self.events
             if e.end > start and e.start < end

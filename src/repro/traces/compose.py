@@ -15,22 +15,7 @@ from typing import Dict, List, Sequence
 import numpy as np
 
 from repro.errors import TraceError
-from repro.traces.base import GroundTruthEvent, Trace
-
-
-def _shift_metadata(metadata, offset: float):
-    """Shift time-valued event metadata into composite time.
-
-    By convention, metadata keys ending in ``_times`` hold tuples of
-    absolute trace times (e.g. a walking bout's ``step_times``); they
-    must move with the event.  Everything else passes through verbatim.
-    """
-    shifted = []
-    for key, value in metadata:
-        if key.endswith("_times") and isinstance(value, tuple):
-            value = tuple(float(t) + offset for t in value)
-        shifted.append((key, value))
-    return tuple(shifted)
+from repro.traces.base import GroundTruthEvent, Trace, shift_times_metadata
 
 
 def concat_traces(traces: Sequence[Trace], name: str | None = None) -> Trace:
@@ -74,7 +59,7 @@ def concat_traces(traces: Sequence[Trace], name: str | None = None) -> Trace:
                     event.label,
                     event.start + offset,
                     event.end + offset,
-                    _shift_metadata(event.metadata, offset),
+                    shift_times_metadata(event.metadata, offset),
                 )
             )
         segments.append((trace.name, offset, offset + trace.duration))

@@ -1,0 +1,218 @@
+"""Append-only stream buffers: traces that grow as devices push chunks.
+
+The serving stack's traces are fixed recordings; streaming ingestion
+(:mod:`repro.serve.ingest`) instead assembles a trace *incrementally*
+from timestamped sensor chunks a device pushes over time.
+:class:`StreamBuffer` is that growing-``Trace`` abstraction: per
+channel an append-only sample column on the canonical uniform timeline
+(sample ``i`` of a channel lives at ``i / rate``, exactly where
+:meth:`repro.traces.base.Trace.times` puts it), with sequence-numbered,
+idempotent appends so journal replay after a crash cannot double-apply
+a chunk.
+
+The central identity: for any cursor, the per-channel spans handed out
+by :meth:`spans_since` concatenate to bitwise the same arrays
+:meth:`to_trace` produces at the end — which is what lets incremental
+evaluation over arrival spans be digest-identical to replaying the
+final assembled trace whole.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.sensors.samples import Chunk, StreamKind
+from repro.traces.base import Trace
+
+
+class _Column:
+    """Append-only float64 sample column with a cached concatenation."""
+
+    __slots__ = ("_parts", "_cache", "_n")
+
+    def __init__(self) -> None:
+        self._parts: List[np.ndarray] = []
+        self._cache: Optional[np.ndarray] = None
+        self._n = 0
+
+    def append(self, array: np.ndarray) -> None:
+        if not len(array):
+            return
+        self._parts.append(np.asarray(array, dtype=np.float64))
+        self._cache = None
+        self._n += len(array)
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def data(self) -> np.ndarray:
+        if self._cache is None:
+            self._cache = (
+                np.concatenate(self._parts)
+                if self._parts
+                else np.empty(0, dtype=np.float64)
+            )
+            self._parts = [self._cache]
+        return self._cache
+
+
+class StreamBuffer:
+    """One device's growing multi-channel recording.
+
+    Args:
+        name: Stream identifier — becomes the assembled trace's name,
+            so it plays the role a trace name plays everywhere else
+            (routing keys, result digests, store lookups).
+        rate_hz: Sampling rate per channel name; fixes the channel set
+            for the stream's lifetime.
+
+    Chunks append through :meth:`push` with a per-stream sequence
+    number; ``seq`` must be the next unseen number (re-pushing an
+    already-applied ``seq`` — journal replay, reconnect retries — is a
+    counted no-op, a gap is an error).  Channels within one stream
+    should advance roughly together: the assembled :meth:`to_trace`
+    enforces the ``Trace`` consistency contract between every
+    channel's sample count and the stream duration.
+    """
+
+    def __init__(self, name: str, rate_hz: Dict[str, float]):
+        if not rate_hz:
+            raise TraceError(f"stream {name!r} has no channels")
+        for channel, rate in rate_hz.items():
+            if not rate or rate <= 0:
+                raise TraceError(
+                    f"stream {name!r}: channel {channel!r} has no sampling rate"
+                )
+        self.name = name
+        self.rate_hz: Dict[str, float] = dict(rate_hz)
+        self.next_seq = 0
+        self._columns: Dict[str, _Column] = {
+            channel: _Column() for channel in rate_hz
+        }
+
+    @property
+    def channels(self) -> Tuple[str, ...]:
+        """Channel names, sorted (matching :attr:`Trace.channels`)."""
+        return tuple(sorted(self.rate_hz))
+
+    def counts(self) -> Dict[str, int]:
+        """Samples appended so far, per channel — the cursor currency."""
+        return {name: len(column) for name, column in self._columns.items()}
+
+    @property
+    def total_samples(self) -> int:
+        """Samples appended so far across every channel."""
+        return sum(len(column) for column in self._columns.values())
+
+    @property
+    def end_seconds(self) -> float:
+        """Timeline end: the furthest any channel has been filled."""
+        return max(
+            len(self._columns[name]) / rate
+            for name, rate in self.rate_hz.items()
+        )
+
+    @property
+    def watermark_seconds(self) -> float:
+        """Fully-covered span: the least-filled channel's extent."""
+        return min(
+            len(self._columns[name]) / rate
+            for name, rate in self.rate_hz.items()
+        )
+
+    def push(self, seq: int, samples: Dict[str, np.ndarray]) -> bool:
+        """Append one sequence-numbered chunk of per-channel samples.
+
+        Args:
+            seq: The chunk's per-stream sequence number.
+            samples: New samples per channel name; channels absent from
+                the chunk simply receive nothing this push.
+
+        Returns:
+            True when the chunk was applied; False when ``seq`` was
+            already applied (idempotent duplicate — journal replay or a
+            device retrying after reconnect).
+
+        Raises:
+            TraceError: on a sequence gap or an unknown channel.
+        """
+        if seq < self.next_seq:
+            return False
+        if seq > self.next_seq:
+            raise TraceError(
+                f"stream {self.name!r}: chunk seq {seq} arrived before "
+                f"seq {self.next_seq} (chunks must append in order)"
+            )
+        unknown = sorted(set(samples) - set(self.rate_hz))
+        if unknown:
+            raise TraceError(
+                f"stream {self.name!r}: unknown channels {unknown}"
+            )
+        for name, values in samples.items():
+            self._columns[name].append(np.asarray(values, dtype=np.float64))
+        self.next_seq += 1
+        return True
+
+    def channel_span(self, name: str, start: int, stop: int) -> Chunk:
+        """Items ``[start, stop)`` of one channel as a SCALAR chunk.
+
+        Timestamps are computed on the canonical uniform grid
+        (``arange(start, stop) / rate``), bitwise the slice of the
+        assembled trace's :meth:`~repro.traces.base.Trace.times`.
+        """
+        rate = self.rate_hz[name]
+        column = self._columns[name]
+        stop = min(stop, len(column))
+        if stop <= start:
+            return Chunk.empty(StreamKind.SCALAR, rate)
+        return Chunk.view(
+            StreamKind.SCALAR,
+            np.arange(start, stop, dtype=np.float64) / rate,
+            column.data[start:stop],
+            rate,
+        )
+
+    def spans_since(
+        self, cursor: Dict[str, int]
+    ) -> Tuple[Dict[str, Chunk], Dict[str, int]]:
+        """New per-channel spans past a cursor, plus the moved cursor.
+
+        The cursor maps channel names to already-consumed item counts
+        (missing channels count as 0).  Concatenating the spans a
+        cursor walks through reproduces every channel array exactly.
+        """
+        spans: Dict[str, Chunk] = {}
+        moved: Dict[str, int] = {}
+        for name, column in self._columns.items():
+            start = cursor.get(name, 0)
+            stop = len(column)
+            spans[name] = self.channel_span(name, start, stop)
+            moved[name] = max(start, stop)
+        return spans, moved
+
+    def to_trace(self, name: Optional[str] = None) -> Trace:
+        """Assemble everything pushed so far into a plain :class:`Trace`.
+
+        The duration is the timeline end (the furthest-filled channel);
+        ``Trace`` validation then enforces that every other channel is
+        consistent with it.  The result carries no ground-truth events
+        — a live stream has none — and replaying it whole through the
+        ordinary serving path is the reference the streamed evaluation
+        is asserted bit-identical against.
+        """
+        if self.total_samples == 0:
+            raise TraceError(f"stream {self.name!r} has no samples")
+        return Trace(
+            name=name or self.name,
+            data={
+                channel: self._columns[channel].data
+                for channel in self.rate_hz
+            },
+            rate_hz=dict(self.rate_hz),
+            duration=self.end_seconds,
+            metadata={"kind": "stream", "chunks": self.next_seq},
+        )

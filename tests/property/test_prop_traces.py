@@ -10,6 +10,8 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.traces.base import GroundTruthEvent, Trace
+from repro.traces.compose import concat_traces
 from repro.traces.audio import AudioEnvironment, AudioTraceConfig, generate_audio_trace
 from repro.traces.human import HumanScenario, HumanTraceConfig, generate_human_trace
 from repro.traces.robot import (
@@ -87,6 +89,68 @@ def test_audio_trace_invariants(seed, environment, duration):
         assert any(e.meta("phrase") for e in speech)  # guaranteed target
     assert np.all(np.isfinite(trace.data["MIC"]))
     assert np.abs(trace.data["MIC"]).max() < 3.0
+
+
+@given(data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_slice_concat_roundtrip_bitwise(data):
+    """Cutting a trace into pieces and splicing them back is lossless.
+
+    ``concat_traces`` over ``Trace.slice`` pieces must round-trip the
+    original **bit-identically**: channel arrays, duration, event
+    times, and time-valued event metadata (``*_times``, re-based out
+    by slice and back in by concat).  Cut points are drawn at integer
+    seconds in the gaps between events and all event times are dyadic
+    rationals, so every re-basing is exact float arithmetic — any
+    mismatch is a real offset bug, not rounding.
+    """
+    rng = np.random.default_rng(data.draw(seeds, label="seed"))
+    n_sec = data.draw(st.integers(4, 12), label="duration_s")
+    rate = 50.0
+    # At most one event per integer-second cell, strictly inside it, so
+    # integer cut points never split an event.
+    cells = data.draw(
+        st.sets(st.integers(0, n_sec - 1), min_size=1), label="event_cells"
+    )
+    events = [
+        GroundTruthEvent.make(
+            "walking", c + 0.25, c + 0.75, step_times=(c + 0.25, c + 0.5)
+        )
+        for c in sorted(cells)
+    ]
+    trace = Trace(
+        name="synthetic",
+        data={
+            "ACC_X": rng.normal(size=int(n_sec * rate)),
+            "ACC_Y": rng.normal(size=int(n_sec * rate)),
+        },
+        rate_hz={"ACC_X": rate, "ACC_Y": rate},
+        duration=float(n_sec),
+        events=events,
+    )
+    cuts = data.draw(
+        st.sets(st.integers(1, n_sec - 1), min_size=1), label="cuts"
+    )
+    bounds = [0.0] + [float(c) for c in sorted(cuts)] + [float(n_sec)]
+    pieces = [
+        trace.slice(a, b) for a, b in zip(bounds, bounds[1:])
+    ]
+    # Slice re-bases *_times metadata along with the event itself.
+    for piece in pieces:
+        for event in piece.events:
+            for t in event.meta("step_times"):
+                assert event.start <= t <= event.end
+    rebuilt = concat_traces(pieces)
+    assert rebuilt.duration == trace.duration
+    for channel in trace.data:
+        assert rebuilt.data[channel].dtype == trace.data[channel].dtype
+        assert np.array_equal(rebuilt.data[channel], trace.data[channel])
+        assert np.array_equal(rebuilt.times(channel), trace.times(channel))
+    assert rebuilt.events == trace.events
+    assert rebuilt.metadata["segments"] == [
+        (piece.name, a, b)
+        for piece, (a, b) in zip(pieces, zip(bounds, bounds[1:]))
+    ]
 
 
 @given(seed=seeds, group=st.sampled_from([1, 2, 3]))

@@ -1,0 +1,288 @@
+"""Streaming ingestion through the service: chunks in, wake events out.
+
+The contract under test is the tentpole identity: a subscription fed a
+stream chunk by chunk — across pump rounds, device retries, even a
+crash and journal recovery in the middle — emits **bit-identical**
+wake events to running the same condition over the finally assembled
+trace whole.  Plus the request-path furniture around it: structured
+rejections, idempotent re-push, stream-only pump rounds, and the new
+``stream_*`` metrics fields.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api.manager import validate_condition
+from repro.errors import TraceError
+from repro.sim.simulator import run_wakeup_condition
+from repro.serve import (
+    HUB_CATALOGS,
+    ConditionService,
+    Rejected,
+    Submission,
+)
+
+RATE = 50.0
+
+#: One template per stream-state flavour: bounded incremental replay,
+#: chunk-invariant whole-graph replay (debounced extrema), and the
+#: round-replica fallback (expMovingAvg is round-seeded).
+CONDITIONS = {
+    "incremental": (
+        "ACC_X -> movingAvg(id=1, params={10});"
+        "1 -> minThreshold(id=2, params={0.4});"
+        "2 -> OUT;"
+    ),
+    "chunked_replay": (
+        "ACC_X -> localExtrema(id=1, params={max, 0.3, 10, 3});"
+        "1 -> OUT;"
+    ),
+    "round_replay": (
+        "ACC_X -> expMovingAvg(id=1, params={0.5});"
+        "1 -> maxThreshold(id=2, params={0.1});"
+        "2 -> OUT;"
+    ),
+}
+
+
+def _chunks(seed=0, count=8, n=100):
+    rng = np.random.default_rng(seed)
+    return [
+        {
+            "ACC_X": rng.normal(0.35, 0.35, size=n),
+            "ACC_Y": rng.normal(0.7, 0.25, size=n),
+        }
+        for _ in range(count)
+    ]
+
+
+def _push_all(service, chunks, tenant="t0", stream="s0", pump_every=1,
+              start=0):
+    for seq, chunk in enumerate(chunks, start=start):
+        service.push_chunk(
+            tenant, stream, seq, chunk,
+            rate_hz={"ACC_X": RATE, "ACC_Y": RATE} if seq == 0 else None,
+        )
+        if (seq + 1) % pump_every == 0:
+            service.pump()
+
+
+def _reference(il, chunks, chunk_seconds=4.0):
+    """The whole-trace answer: assemble, then one direct engine run."""
+    from repro.traces.stream import StreamBuffer
+    buffer = StreamBuffer("s0", {"ACC_X": RATE, "ACC_Y": RATE})
+    for seq, chunk in enumerate(chunks):
+        buffer.push(seq, chunk)
+    _, graph, _ = validate_condition(il, HUB_CATALOGS["default"])
+    return tuple(run_wakeup_condition(graph, buffer.to_trace(), chunk_seconds))
+
+
+class TestStreamedEqualsWhole:
+    @pytest.mark.parametrize("name", sorted(CONDITIONS))
+    def test_streamed_events_bit_identical(self, name):
+        il = CONDITIONS[name]
+        chunks = _chunks(seed=3)
+        service = ConditionService(traces={})
+        _push_all(service, chunks[:1])
+        sub_id = service.subscribe_stream(
+            Submission(tenant="t0", trace="s0", il=il)
+        )
+        assert isinstance(sub_id, int)
+        _push_all(service, chunks[1:], pump_every=3, start=1)
+        logs = service.close_stream("t0", "s0")
+        assert logs[sub_id] == _reference(il, chunks)
+        assert service.stream_results(sub_id) == logs[sub_id]
+
+    def test_many_subscriptions_one_stream(self):
+        chunks = _chunks(seed=9)
+        service = ConditionService(traces={})
+        _push_all(service, chunks[:1])
+        subs = {
+            name: service.subscribe_stream(
+                Submission(tenant="t0", trace="s0", il=il)
+            )
+            for name, il in CONDITIONS.items()
+        }
+        _push_all(service, chunks[1:], pump_every=2, start=1)
+        logs = service.close_stream("t0", "s0")
+        for name, il in CONDITIONS.items():
+            assert logs[subs[name]] == _reference(il, chunks), name
+
+    def test_duplicate_seq_does_not_skew_results(self):
+        il = CONDITIONS["incremental"]
+        chunks = _chunks(seed=5)
+        service = ConditionService(traces={})
+        _push_all(service, chunks[:1])
+        sub_id = service.subscribe_stream(
+            Submission(tenant="t0", trace="s0", il=il)
+        )
+        for seq, chunk in enumerate(chunks[1:], start=1):
+            service.push_chunk("t0", "s0", seq, chunk)
+            # Reconnect retry: the same seq again is a counted no-op.
+            assert not service.push_chunk("t0", "s0", seq, chunk)
+            service.pump()
+        assert service.close_stream("t0", "s0")[sub_id] == _reference(
+            il, chunks
+        )
+
+
+class TestRequestPath:
+    def test_app_submission_rejected(self):
+        service = ConditionService(traces={})
+        service.push_chunk(
+            "t0", "s0", 0, _chunks(count=1)[0],
+            rate_hz={"ACC_X": RATE, "ACC_Y": RATE},
+        )
+        rejected = service.subscribe_stream(
+            Submission(tenant="t0", trace="s0", app="pedometer")
+        )
+        assert isinstance(rejected, Rejected)
+        assert rejected.reason == "invalid_subscription"
+
+    def test_unknown_stream_rejected(self):
+        service = ConditionService(traces={})
+        rejected = service.subscribe_stream(
+            Submission(tenant="t0", trace="nope", il=CONDITIONS["incremental"])
+        )
+        assert isinstance(rejected, Rejected)
+        assert "no chunks yet" in rejected.detail
+
+    def test_missing_channel_rejected(self):
+        service = ConditionService(traces={})
+        service.push_chunk(
+            "t0", "s0", 0, {"ACC_X": np.zeros(100)}, rate_hz={"ACC_X": RATE}
+        )
+        rejected = service.subscribe_stream(
+            Submission(
+                tenant="t0", trace="s0",
+                il="MIC -> maxThreshold(id=1, params={0.5}); 1 -> OUT;",
+            )
+        )
+        assert isinstance(rejected, Rejected)
+        assert "MIC" in rejected.detail
+
+    def test_first_chunk_must_carry_rate(self):
+        from repro.errors import ServiceError
+        service = ConditionService(traces={})
+        with pytest.raises(ServiceError, match="rate_hz"):
+            service.push_chunk("t0", "s0", 0, {"ACC_X": np.zeros(10)})
+
+    def test_sequence_gap_raises(self):
+        service = ConditionService(traces={})
+        service.push_chunk(
+            "t0", "s0", 0, {"ACC_X": np.zeros(100)}, rate_hz={"ACC_X": RATE}
+        )
+        with pytest.raises(TraceError, match="chunks must append in order"):
+            service.push_chunk("t0", "s0", 2, {"ACC_X": np.zeros(100)})
+
+    def test_stream_cursor_tracks_next_seq(self):
+        service = ConditionService(traces={})
+        assert service.stream_cursor("t0", "s0") == 0
+        for seq, chunk in enumerate(_chunks(count=3)):
+            service.push_chunk(
+                "t0", "s0", seq, chunk,
+                rate_hz={"ACC_X": RATE, "ACC_Y": RATE} if seq == 0 else None,
+            )
+        assert service.stream_cursor("t0", "s0") == 3
+
+
+class TestPumpAndMetrics:
+    def test_stream_only_pump_advances(self):
+        service = ConditionService(traces={})
+        chunks = _chunks(seed=1, count=2)
+        _push_all(service, chunks[:1])
+        sub_id = service.subscribe_stream(
+            Submission(tenant="t0", trace="s0", il=CONDITIONS["incremental"])
+        )
+        assert service.metrics().stream_backlog > 0
+        responses = service.pump()  # no queued submissions: stream-only
+        assert responses == []
+        snap = service.metrics()
+        assert snap.stream_backlog == 0
+        assert snap.stream_lag_s == 0.0
+        assert snap.stream_chunks == 1
+        assert snap.stream_subscriptions == 1
+        assert snap.stream_rounds > 0
+        assert service.stream_results(sub_id)  # events already emitted
+
+    def test_occupancy_stacks_same_template(self):
+        """Same-batch_key subscriptions share each round's dispatches."""
+        service = ConditionService(traces={})
+        chunks = _chunks(seed=2)
+        thresholds = (0.2, 0.3, 0.4, 0.5)
+        _push_all(service, chunks[:1])
+        for threshold in thresholds:
+            result = service.subscribe_stream(
+                Submission(
+                    tenant="t0", trace="s0",
+                    il=(
+                        "ACC_X -> movingAvg(id=1, params={10});"
+                        f"1 -> minThreshold(id=2, params={{{threshold}}});"
+                        "2 -> OUT;"
+                    ),
+                )
+            )
+            assert isinstance(result, int)
+        _push_all(service, chunks[1:], pump_every=1, start=1)
+        snap = service.metrics()
+        assert snap.stream_cells >= len(thresholds) * snap.stream_rounds
+        assert snap.stream_occupancy >= len(thresholds)
+
+    def test_empty_pump_stays_noop(self):
+        service = ConditionService(traces={})
+        assert service.pump() == []
+        assert service.metrics().stream_rounds == 0
+
+
+class TestRecovery:
+    def test_mid_stream_crash_recovers_bit_identical(self, tmp_path):
+        il = CONDITIONS["incremental"]
+        chunks = _chunks(seed=11)
+        journal = tmp_path / "shard.journal"
+
+        service = ConditionService(traces={}, journal=journal)
+        _push_all(service, chunks[:1])
+        sub_id = service.subscribe_stream(
+            Submission(tenant="t0", trace="s0", il=il)
+        )
+        for seq in range(1, 5):
+            service.push_chunk("t0", "s0", seq, chunks[seq])
+            service.pump()
+        # Crash: a new service rebuilds buffers + subscriptions from the
+        # journal's chunk/sub records and catches the cursor up.
+        recovered, _ = ConditionService.recover(journal, traces={})
+        resync = recovered.stream_cursor("t0", "s0")
+        assert resync == 5
+        # The device re-pushes from the resync point (idempotent dupes
+        # below it would be no-ops) and the drive finishes normally.
+        for seq in range(resync, len(chunks)):
+            recovered.push_chunk("t0", "s0", seq, chunks[seq])
+            recovered.pump()
+        logs = recovered.close_stream("t0", "s0")
+        assert logs[sub_id] == _reference(il, chunks)
+
+    def test_unflushed_chunks_fall_off_and_repush(self, tmp_path):
+        """Chunks pushed but never flushed are simply not applied after
+        recovery; the resync cursor tells the device where to resume."""
+        il = CONDITIONS["incremental"]
+        chunks = _chunks(seed=13)
+        journal = tmp_path / "shard.journal"
+
+        service = ConditionService(traces={}, journal=journal)
+        _push_all(service, chunks[:1])
+        sub_id = service.subscribe_stream(
+            Submission(tenant="t0", trace="s0", il=il)
+        )
+        service.pump()  # flushes chunk 0 + the subscription
+        # These two never hit a pump, so they are buffered, not durable.
+        service.push_chunk("t0", "s0", 1, chunks[1])
+        service.push_chunk("t0", "s0", 2, chunks[2])
+
+        recovered, _ = ConditionService.recover(journal, traces={})
+        resync = recovered.stream_cursor("t0", "s0")
+        assert resync == 1
+        for seq in range(resync, len(chunks)):
+            recovered.push_chunk("t0", "s0", seq, chunks[seq])
+            recovered.pump()
+        logs = recovered.close_stream("t0", "s0")
+        assert logs[sub_id] == _reference(il, chunks)

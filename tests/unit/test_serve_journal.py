@@ -75,12 +75,56 @@ class TestReadJournal:
         assert scan.reason == "corrupt_record"
         assert scan.truncated_bytes == len(data) - scan.valid_bytes
 
-    def test_unknown_kind_is_corrupt(self, tmp_path):
+    def test_unknown_kind_is_skipped_not_damage(self, tmp_path):
+        # Forward compatibility: a validly framed record of a future
+        # kind does not end the prefix — it is counted and skipped.
         path = tmp_path / "j.wal"
-        _write(path, (RECORDS[0], ("frobnicate", 1)))
+        _write(path, (RECORDS[0], ("frobnicate", 1), RECORDS[1]))
         scan = read_journal(path)
-        assert scan.records == RECORDS[:1]
-        assert scan.reason == "corrupt_record"
+        assert scan.records == (RECORDS[0], RECORDS[1])
+        assert scan.reason is None
+        assert scan.skipped_records == 1
+        assert scan.valid_bytes == scan.total_bytes
+
+    def test_skipped_records_count_each_unknown_kind(self, tmp_path):
+        path = tmp_path / "j.wal"
+        _write(
+            path,
+            (
+                ("v99-header", "future"),
+                RECORDS[0],
+                ("frobnicate", 1),
+                RECORDS[1],
+                ("frobnicate", 2),
+            ),
+        )
+        scan = read_journal(path)
+        assert scan.records == RECORDS[:2]
+        assert scan.skipped_records == 3
+        assert scan.reason is None
+
+    def test_malformed_payload_is_still_corrupt(self, tmp_path):
+        # The skip contract only covers *tuples headed by a string*;
+        # anything else remains damage and ends the prefix.
+        for bad in (["accept", 1], (), (42, "x"), "accept"):
+            path = tmp_path / "j.wal"
+            _write(path, (RECORDS[0], bad, RECORDS[1]))
+            scan = read_journal(path)
+            assert scan.records == RECORDS[:1]
+            assert scan.reason == "corrupt_record"
+            assert scan.skipped_records == 0
+
+    def test_stream_record_kinds_round_trip(self, tmp_path):
+        path = tmp_path / "j.wal"
+        stream_records = (
+            ("chunk", "t1", "dev-0", 0, 1.0, {"ACC_X": 50.0}, {"ACC_X": (0.1, 0.2)}),
+            ("sub", 3, 1.0, "subscription-payload"),
+        )
+        _write(path, RECORDS + stream_records)
+        scan = read_journal(path)
+        assert scan.records == RECORDS + stream_records
+        assert scan.reason is None
+        assert scan.skipped_records == 0
 
     def test_truncate_then_reread_is_clean(self, tmp_path):
         path = tmp_path / "j.wal"
